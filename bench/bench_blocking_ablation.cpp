@@ -1,0 +1,65 @@
+// Ablation: the blocked [Cb][Nb][bn][bc] / [Kb][Cb][bc][bk] tensor layouts
+// vs the flat layout across minibatch sizes — the design choice of paper
+// Sect. III.B ("small minibatch values may not fully exploit reuse").
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "kernels/mlp.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+int main() {
+  banner("Ablation: blocked vs flat MLP layouts across minibatch sizes");
+  const std::int64_t width = 1024;
+  std::vector<std::int64_t> dims(4, width);
+
+  row({"N", "blocked fwd ms", "flat fwd ms", "speedup", "blocked bwd ms",
+       "flat bwd ms", "speedup"},
+      16);
+  for (std::int64_t n : {64, 128, 256, 512, 1024, 2048}) {
+    Rng rng(n);
+    Mlp blocked(dims, Activation::kRelu, Activation::kRelu);
+    blocked.init(rng);
+    blocked.set_batch(n);
+    Rng rng2(n);
+    MlpFlat flat(dims, Activation::kRelu, Activation::kRelu);
+    flat.init(rng2);
+    flat.set_batch(n);
+
+    Tensor<float> x({n, width});
+    fill_uniform(x, rng, 1.0f);
+    Tensor<float> dy({n, width});
+    fill_uniform(dy, rng, 0.1f);
+
+    const double bf = time_median_sec([&] { blocked.forward(x); }) * 1e3;
+    const double bb = time_median_sec([&] { blocked.backward(dy); }) * 1e3;
+    const double ff = time_median_sec([&] { flat.forward(x); }) * 1e3;
+    const double fb = time_median_sec([&] { flat.backward(dy); }) * 1e3;
+    row({fmt_int(n), fmt(bf, 2), fmt(ff, 2), fmt(ff / bf, 2) + "x", fmt(bb, 2),
+         fmt(fb, 2), fmt(fb / bb, 2) + "x"},
+        16);
+  }
+
+  // Block-size sweep at fixed shape: which (bn, bc/bk) targets win.
+  std::printf("\n-- block-target sweep, N=1024, C=K=1024, fwd+bwd --\n");
+  row({"bn", "bc=bk", "fwd ms", "bwd ms"}, 12);
+  for (std::int64_t bn : {16, 32, 64}) {
+    for (std::int64_t bck : {32, 64}) {
+      Rng rng(99);
+      BlockTargets t{bn, bck, bck};
+      Mlp mlp(dims, Activation::kRelu, Activation::kRelu, t);
+      mlp.init(rng);
+      mlp.set_batch(1024);
+      Tensor<float> x({1024, width});
+      fill_uniform(x, rng, 1.0f);
+      Tensor<float> dy({1024, width});
+      fill_uniform(dy, rng, 0.1f);
+      const double f = time_median_sec([&] { mlp.forward(x); }) * 1e3;
+      const double b = time_median_sec([&] { mlp.backward(dy); }) * 1e3;
+      row({fmt_int(bn), fmt_int(bck), fmt(f, 2), fmt(b, 2)}, 12);
+    }
+  }
+  return 0;
+}

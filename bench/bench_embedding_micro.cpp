@@ -1,0 +1,134 @@
+// Micro-benchmark (google-benchmark): EmbeddingBag kernels — update
+// strategies under uniform vs Zipf index streams, and the fused
+// backward+update ablation (paper Sect. III.A: up to 1.6x).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "kernels/embedding.hpp"
+
+namespace {
+
+using namespace dlrm;
+
+BagBatch make_bags(std::int64_t n, std::int64_t pooling, std::int64_t rows,
+                   double skew) {
+  BagBatch bags;
+  bags.indices.reshape({n * pooling});
+  bags.offsets.reshape({n + 1});
+  Rng rng(7);
+  ZipfSampler zipf(rows, skew);
+  for (std::int64_t i = 0; i < n * pooling; ++i) bags.indices[i] = zipf(rng);
+  for (std::int64_t i = 0; i <= n; ++i) bags.offsets[i] = i * pooling;
+  return bags;
+}
+
+constexpr std::int64_t kRows = 200000, kDim = 64, kBatch = 2048, kPool = 20;
+
+void BM_EmbeddingForward(benchmark::State& state) {
+  EmbeddingTable table(kRows, kDim);
+  Rng rng(1);
+  table.init(rng, 1.0f);
+  BagBatch bags = make_bags(kBatch, kPool, kRows, 0.0);
+  Tensor<float> out({kBatch, kDim});
+  for (auto _ : state) {
+    table.forward(bags, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GB/s"] = benchmark::Counter(
+      static_cast<double>(kBatch * kPool * kDim * 4),
+      benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_EmbeddingForward);
+
+// strategy x skew sweep for the fused update.
+void BM_EmbeddingUpdate(benchmark::State& state) {
+  const auto strategy = static_cast<UpdateStrategy>(state.range(0));
+  const double skew = state.range(1) == 0 ? 0.0 : 1.05;
+  EmbeddingTable table(kRows, kDim);
+  Rng rng(2);
+  table.init(rng, 1.0f);
+  BagBatch bags = make_bags(kBatch, kPool, kRows, skew);
+  Tensor<float> dy({kBatch, kDim});
+  fill_uniform(dy, rng, 0.1f);
+  for (auto _ : state) {
+    table.fused_backward_update(dy.data(), bags, 0.01f, strategy);
+  }
+  state.SetLabel(std::string(to_string(strategy)) +
+                 (skew > 0 ? "/zipf" : "/uniform"));
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(kBatch * kPool),
+      benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_EmbeddingUpdate)
+    ->ArgsProduct({{static_cast<long>(UpdateStrategy::kAtomicXchg),
+                    static_cast<long>(UpdateStrategy::kRtm),
+                    static_cast<long>(UpdateStrategy::kRaceFree)},
+                   {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+// Fused vs unfused update (the 1.6x claim).
+void BM_EmbeddingUpdateUnfused(benchmark::State& state) {
+  EmbeddingTable table(kRows, kDim);
+  Rng rng(3);
+  table.init(rng, 1.0f);
+  BagBatch bags = make_bags(kBatch, kPool, kRows, 0.0);
+  Tensor<float> dy({kBatch, kDim});
+  fill_uniform(dy, rng, 0.1f);
+  Tensor<float> dlookup;
+  for (auto _ : state) {
+    table.backward(dy.data(), bags, dlookup);
+    table.apply_update(dlookup, bags, 0.01f, UpdateStrategy::kRaceFree);
+  }
+  state.SetLabel("unfused/RaceFree");
+}
+BENCHMARK(BM_EmbeddingUpdateUnfused)->Unit(benchmark::kMillisecond);
+
+void BM_EmbeddingUpdateFused(benchmark::State& state) {
+  EmbeddingTable table(kRows, kDim);
+  Rng rng(3);
+  table.init(rng, 1.0f);
+  BagBatch bags = make_bags(kBatch, kPool, kRows, 0.0);
+  Tensor<float> dy({kBatch, kDim});
+  fill_uniform(dy, rng, 0.1f);
+  for (auto _ : state) {
+    table.fused_backward_update(dy.data(), bags, 0.01f, UpdateStrategy::kRaceFree);
+  }
+  state.SetLabel("fused/RaceFree");
+}
+BENCHMARK(BM_EmbeddingUpdateFused)->Unit(benchmark::kMillisecond);
+
+// The naive reference kernel on a small table (it is O(M*E), keep it tiny).
+void BM_EmbeddingUpdateReference(benchmark::State& state) {
+  EmbeddingTable table(20000, kDim);
+  Rng rng(4);
+  table.init(rng, 1.0f);
+  BagBatch bags = make_bags(256, 4, 20000, 0.0);
+  Tensor<float> dy({256, kDim});
+  fill_uniform(dy, rng, 0.1f);
+  Tensor<float> dlookup;
+  for (auto _ : state) {
+    table.backward(dy.data(), bags, dlookup);
+    table.apply_update(dlookup, bags, 0.01f, UpdateStrategy::kReference);
+  }
+  state.SetLabel("reference/dense-sweep");
+}
+BENCHMARK(BM_EmbeddingUpdateReference)->Unit(benchmark::kMillisecond);
+
+// Split-SGD embedding update (16-bit hi/lo) vs fp32.
+void BM_EmbeddingUpdateSplit(benchmark::State& state) {
+  EmbeddingTable table(kRows, kDim, EmbedPrecision::kBf16Split);
+  Rng rng(5);
+  table.init(rng, 1.0f);
+  BagBatch bags = make_bags(kBatch, kPool, kRows, 0.0);
+  Tensor<float> dy({kBatch, kDim});
+  fill_uniform(dy, rng, 0.1f);
+  for (auto _ : state) {
+    table.fused_backward_update(dy.data(), bags, 0.01f, UpdateStrategy::kRaceFree);
+  }
+  state.SetLabel("fused/RaceFree/bf16-split");
+}
+BENCHMARK(BM_EmbeddingUpdateSplit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

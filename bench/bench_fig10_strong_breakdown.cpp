@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 10: strong-scaling compute/communication time
+// break-up, with and without overlap, MPI vs CCL backends (Large and
+// MLPerf configs).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/simulator.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+namespace {
+
+void run_config(const DlrmConfig& cfg, const std::vector<int>& ranks) {
+  std::printf("\n-- %s (GN=%lld) --\n", cfg.name.c_str(),
+              static_cast<long long>(cfg.global_batch_strong));
+  row({"mode", "backend", "ranks", "compute ms", "comm ms", "total ms"}, 13);
+  for (bool overlap : {true, false}) {
+    for (SimBackend backend : {SimBackend::kMpi, SimBackend::kCcl}) {
+      for (int r : ranks) {
+        SimOptions o;
+        o.socket = clx_8280();
+        o.topo = Topology::pruned_fat_tree(64);
+        o.backend = backend;
+        o.strategy = ExchangeStrategy::kAlltoall;
+        o.overlap = overlap;
+        o.skewed_indices = cfg.name == "MLPerf";
+        const auto it = DlrmSimulator(cfg, o).iteration(r, cfg.global_batch_strong);
+        row({overlap ? "Overlapping" : "Blocking", to_string(backend),
+             fmt_int(r), fmt(it.compute_ms(), 1), fmt(it.comm_ms(), 1),
+             fmt(it.total_ms(), 1)},
+            13);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 10: compute/comm break-up, strong scaling (simulated)");
+  run_config(large_config(), {4, 8, 16, 32, 64});
+  run_config(mlperf_config(), {2, 4, 8, 16, 26});
+  std::printf(
+      "\nExpected shape (paper): overlapping MPI inflates even the compute\n"
+      "time (unpinned progress-thread interference); CCL keeps compute flat\n"
+      "and hides most communication.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 12: DLRM weak-scaling speed-up and efficiency
+// (local minibatch fixed per rank, GN = LN * R).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/simulator.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  SimBackend backend;
+  ExchangeStrategy strategy;
+};
+
+const Variant kVariants[] = {
+    {"MPI-ScatterList", SimBackend::kMpi, ExchangeStrategy::kScatterList},
+    {"MPI-FusedScatter", SimBackend::kMpi, ExchangeStrategy::kFusedScatter},
+    {"MPI-Alltoall", SimBackend::kMpi, ExchangeStrategy::kAlltoall},
+    {"CCL-Alltoall", SimBackend::kCcl, ExchangeStrategy::kAlltoall},
+};
+
+void run_config(const DlrmConfig& cfg, const std::vector<int>& ranks,
+                int baseline_ranks, bool naive_loader) {
+  std::printf("\n-- %s (LN=%lld) --\n", cfg.name.c_str(),
+              static_cast<long long>(cfg.local_batch_weak));
+  SimOptions base_opts;
+  base_opts.socket = clx_8280();
+  base_opts.topo = Topology::pruned_fat_tree(64);
+  base_opts.backend = SimBackend::kCcl;
+  base_opts.strategy = ExchangeStrategy::kAlltoall;
+  base_opts.skewed_indices = cfg.name == "MLPerf";
+  base_opts.naive_loader = naive_loader;
+  const double base_ms =
+      DlrmSimulator(cfg, base_opts)
+          .iteration(baseline_ranks, cfg.local_batch_weak * baseline_ranks)
+          .total_ms();
+
+  row({"ranks", "variant", "ms/iter", "speedup", "efficiency"}, 16);
+  for (int r : ranks) {
+    for (const auto& v : kVariants) {
+      SimOptions o = base_opts;
+      o.backend = v.backend;
+      o.strategy = v.strategy;
+      const double ms = DlrmSimulator(cfg, o)
+                            .iteration(r, cfg.local_batch_weak * r)
+                            .total_ms();
+      // Weak scaling: work grows with R, so speedup = (R/R0) * t(R0)/t(R).
+      const double speedup =
+          static_cast<double>(r) / baseline_ranks * base_ms / ms;
+      const double eff = base_ms / ms;
+      row({fmt_int(r), v.name, fmt(ms, 2), fmt(speedup, 2), fmt(eff * 100, 0) + "%"},
+          16);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 12: DLRM weak scaling (speed-up and efficiency, simulated)");
+  run_config(small_config(), {2, 4, 8}, 1, false);
+  run_config(large_config(), {4, 8, 16, 32, 64}, 4, false);
+  run_config(mlperf_config(), {2, 4, 8, 16, 26}, 1, true);
+  std::printf(
+      "\nExpected shape (paper): ~17x at 26R for MLPerf (~65%% eff), ~13.5x\n"
+      "at 64R/4R for Large (~84%% eff), ~6.4x at 8R for Small (~80%% eff).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 13: weak-scaling compute/communication break-up —
+// including the MLPerf data-loader artifact (compute grows with ranks
+// because the reference loader materializes the full global batch).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/simulator.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+namespace {
+
+void run_config(const DlrmConfig& cfg, const std::vector<int>& ranks,
+                bool naive_loader) {
+  std::printf("\n-- %s (LN=%lld, loader=%s) --\n", cfg.name.c_str(),
+              static_cast<long long>(cfg.local_batch_weak),
+              naive_loader ? "reference-full-GN" : "sliced");
+  row({"mode", "backend", "ranks", "compute ms", "loader ms", "comm ms",
+       "total ms"},
+      12);
+  for (bool overlap : {true, false}) {
+    for (SimBackend backend : {SimBackend::kMpi, SimBackend::kCcl}) {
+      for (int r : ranks) {
+        SimOptions o;
+        o.socket = clx_8280();
+        o.topo = Topology::pruned_fat_tree(64);
+        o.backend = backend;
+        o.strategy = ExchangeStrategy::kAlltoall;
+        o.overlap = overlap;
+        o.skewed_indices = cfg.name == "MLPerf";
+        o.naive_loader = naive_loader;
+        const auto it =
+            DlrmSimulator(cfg, o).iteration(r, cfg.local_batch_weak * r);
+        row({overlap ? "Overlap" : "Blocking", to_string(backend), fmt_int(r),
+             fmt(it.compute_ms() - it.loader_ms, 1), fmt(it.loader_ms, 1),
+             fmt(it.comm_ms(), 1), fmt(it.total_ms(), 1)},
+            12);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 13: compute/comm break-up, weak scaling (simulated)");
+  run_config(large_config(), {4, 8, 16, 32, 64}, false);
+  run_config(mlperf_config(), {2, 4, 8, 16, 26}, true);
+  std::printf(
+      "\nExpected shape (paper): Large compute stays flat; MLPerf 'compute'\n"
+      "creeps upward purely from the loader reading the full global batch\n"
+      "on every rank (Sect. VI.D.2).\n");
+  return 0;
+}

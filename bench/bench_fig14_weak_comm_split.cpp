@@ -1,0 +1,51 @@
+// Reproduces paper Fig. 14: weak-scaling communication split
+// (Alltoall/Allreduce x Framework/Wait).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/simulator.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+namespace {
+
+void run_config(const DlrmConfig& cfg, const std::vector<int>& ranks) {
+  std::printf("\n-- %s (LN=%lld) --\n", cfg.name.c_str(),
+              static_cast<long long>(cfg.local_batch_weak));
+  row({"mode", "backend", "ranks", "a2a-frame", "ar-frame", "a2a-wait",
+       "ar-wait"},
+      12);
+  for (bool overlap : {true, false}) {
+    for (SimBackend backend : {SimBackend::kMpi, SimBackend::kCcl}) {
+      for (int r : ranks) {
+        SimOptions o;
+        o.socket = clx_8280();
+        o.topo = Topology::pruned_fat_tree(64);
+        o.backend = backend;
+        o.strategy = ExchangeStrategy::kAlltoall;
+        o.overlap = overlap;
+        o.skewed_indices = cfg.name == "MLPerf";
+        const auto it =
+            DlrmSimulator(cfg, o).iteration(r, cfg.local_batch_weak * r);
+        row({overlap ? "Overlap" : "Blocking", to_string(backend), fmt_int(r),
+             fmt(it.a2a_framework_ms, 2), fmt(it.ar_framework_ms, 2),
+             fmt(it.a2a_wait_ms, 2), fmt(it.ar_wait_ms, 2)},
+            12);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 14: weak-scaling comm split (simulated)");
+  run_config(large_config(), {4, 8, 16, 32, 64});
+  run_config(mlperf_config(), {2, 4, 8, 16, 26});
+  std::printf(
+      "\nExpected shape (paper): under weak scaling the alltoall volume per\n"
+      "rank stays constant while allreduce cost grows with R, so the MLPerf\n"
+      "comm cost first falls (to ~8R) then rises again.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 5: single-socket MLP training kernel performance.
+//
+// Compares the blocked batch-reduce implementation ("this work") against the
+// flat large-GEMM baseline ("framework/MKL-style") for all three passes
+// (FWD, BWD overall) at N=1024, C=K in {1024, 2048, 4096}, 5 layers.
+// Absolute GFLOPS depend on this machine; the *ratio* blocked/flat and the
+// fraction of the measured FMA peak are the reproduced quantities.
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "kernels/mlp.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+namespace {
+
+double mlp_gflops(std::int64_t n, const std::vector<std::int64_t>& dims,
+                  double sec, double flop_mult) {
+  double flops = 0.0;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    flops += 2.0 * static_cast<double>(n) * static_cast<double>(dims[i]) *
+             static_cast<double>(dims[i + 1]);
+  }
+  return flops * flop_mult / sec / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 5: MLP training kernel performance, single socket (real)");
+  const std::int64_t n = 1024;
+  const int threads = static_cast<int>(std::thread::hardware_concurrency());
+  const double peak =
+      measured_core_peak_flops() * threads / 1e9;  // machine proxy, GFLOPS
+  std::printf("threads=%d, measured FMA peak proxy: %.0f GFLOPS\n", threads, peak);
+
+  row({"C=K", "pass", "impl", "GFLOPS", "%peak"}, 12);
+  for (std::int64_t width : {1024, 2048, 4096}) {
+    // 5-layer MLP as in the paper's standalone kernel study.
+    std::vector<std::int64_t> dims(6, width);
+    Rng rng(width);
+
+    Mlp blocked(dims, Activation::kRelu, Activation::kRelu);
+    blocked.init(rng);
+    blocked.set_batch(n);
+    MlpFlat flat(dims, Activation::kRelu, Activation::kRelu);
+    Rng rng2(width);
+    flat.init(rng2);
+    flat.set_batch(n);
+
+    Tensor<float> x({n, width});
+    fill_uniform(x, rng, 1.0f);
+    Tensor<float> dy({n, width});
+    fill_uniform(dy, rng, 0.1f);
+
+    const double fwd_blocked = time_median_sec([&] { blocked.forward(x); });
+    const double bwd_blocked = time_median_sec([&] { blocked.backward(dy); });
+    const double fwd_flat = time_median_sec([&] { flat.forward(x); });
+    const double bwd_flat = time_median_sec([&] { flat.backward(dy); });
+
+    auto emit = [&](const char* pass, const char* impl, double sec, double mult) {
+      const double gf = mlp_gflops(n, dims, sec, mult);
+      row({fmt_int(width), pass, impl, fmt(gf, 0), fmt(gf / peak * 100, 0) + "%"}, 12);
+    };
+    emit("FWD", "this-work", fwd_blocked, 1.0);
+    emit("FWD", "flat-GEMM", fwd_flat, 1.0);
+    emit("BWD", "this-work", bwd_blocked, 2.0);  // bwd_d + bwd_w
+    emit("BWD", "flat-GEMM", bwd_flat, 2.0);
+    std::printf("  speedup blocked/flat: FWD %.2fx, BWD %.2fx\n",
+                fwd_flat / fwd_blocked, bwd_flat / bwd_blocked);
+  }
+  std::printf(
+      "\nExpected shape (paper): blocked implementation ~72%% of peak vs\n"
+      "~61%% for the framework large-GEMM path (~18%% slower than ours).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces paper Figs. 2/6: overlapping the SGD allreduce
+// (reduce-scatter + allgather) with the backward-pass GEMMs of a standalone
+// MLP, on real rank threads, plus the simulated 8-CLX-node numbers.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/simulator.hpp"
+#include "comm/ddp.hpp"
+#include "comm/thread_comm.hpp"
+#include "common/rng.hpp"
+#include "kernels/mlp.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+namespace {
+
+// Real measurement: R rank threads train a 5-layer C=K MLP; compare the
+// blocking allreduce schedule against start()/compute/finish() overlap.
+void real_overlap(int ranks, std::int64_t n, std::int64_t width,
+                  int threads_per_rank) {
+  std::printf("\n-- real: %d ranks x %d threads, N=%lld, C=K=%lld --\n", ranks,
+              threads_per_rank, static_cast<long long>(n),
+              static_cast<long long>(width));
+  double blocking_ms = 0.0, overlap_ms = 0.0, gemm_ms = 0.0, comm_ms = 0.0;
+
+  for (bool overlap : {false, true}) {
+    double total = 0.0, gemm = 0.0, comm = 0.0;
+    run_ranks(ranks, threads_per_rank, [&](ThreadComm& comm_handle) {
+      std::vector<std::int64_t> dims(6, width);
+      Rng rng(7);
+      Mlp mlp(dims, Activation::kRelu, Activation::kRelu);
+      mlp.init(rng);
+      mlp.set_batch(n / ranks);
+      Tensor<float> x({n / ranks, width});
+      fill_uniform(x, rng, 1.0f);
+      Tensor<float> dy({n / ranks, width});
+      fill_uniform(dy, rng, 0.1f);
+
+      auto backend = overlap ? QueueBackend::ccl_like(2) : nullptr;
+      DdpAllreducer ddp(comm_handle, backend.get(), 2);
+      ddp.attach(mlp.param_slots());
+
+      mlp.forward(x);
+      const int iters = 5;
+      const Timer t;
+      double local_gemm = 0.0, local_comm = 0.0;
+      for (int i = 0; i < iters; ++i) {
+        mlp.forward(x);
+        const Timer tb;
+        if (overlap) {
+          // Fig. 2 schedule: launch the reduce-scatter/allgather while the
+          // backward GEMMs still run.
+          mlp.backward(dy);
+          local_gemm += tb.elapsed_sec();
+          ddp.start();
+          ddp.finish();
+        } else {
+          mlp.backward(dy);
+          local_gemm += tb.elapsed_sec();
+          ddp.run();
+        }
+        local_comm += ddp.wait_sec() + ddp.framework_sec();
+      }
+      if (comm_handle.rank() == 0) {
+        total = t.elapsed_sec() / iters * 1e3;
+        gemm = local_gemm / iters * 1e3;
+        comm = local_comm / iters * 1e3;
+      }
+    });
+    if (overlap) {
+      overlap_ms = total;
+    } else {
+      blocking_ms = total;
+      gemm_ms = gemm;
+      comm_ms = comm;
+    }
+  }
+  row({"schedule", "iter ms", "bwd GEMM ms", "comm ms"}, 14);
+  row({"blocking", fmt(blocking_ms, 2), fmt(gemm_ms, 2), fmt(comm_ms, 2)}, 14);
+  row({"overlapped", fmt(overlap_ms, 2), "-", "-"}, 14);
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 2/6: overlapping MLP GEMMs with the SGD allreduce");
+  // Scaled to this machine: 4 in-process ranks.
+  real_overlap(4, 1008, 1024, 4);
+
+  // Paper-scale simulation: 8 CLX nodes, 1 process/node, N=1008, C=K=1024.
+  std::printf("\n-- simulated: 8 CLX nodes (1 rank/node, 4 EPs), N=1008, C=K=1024 --\n");
+  DlrmConfig mlp_only;
+  mlp_only.name = "mlp-only";
+  mlp_only.minibatch = 1008;
+  mlp_only.global_batch_strong = 1008;
+  mlp_only.local_batch_weak = 126;
+  mlp_only.pooling = 1;
+  mlp_only.dim = 64;
+  mlp_only.table_rows.assign(8, 64);  // negligible embeddings
+  mlp_only.bottom_mlp = {1024, 1024, 1024, 1024, 1024, 64};
+  mlp_only.top_mlp = {1};
+  SimOptions o;
+  o.socket = clx_8280();
+  o.topo = Topology::pruned_fat_tree(64);
+  o.backend = SimBackend::kCcl;
+  o.overlap = true;
+  DlrmSimulator sim(mlp_only, o);
+  // N=1008 is the paper's per-node minibatch: GN = 8 * 1008.
+  const auto it = sim.iteration(8, 8 * 1008);
+  row({"pass", "GEMM ms", "comm exposed ms"}, 20);
+  row({"BWD+UPD", fmt(it.mlp_ms, 2), fmt(it.ar_wait_ms, 2)}, 20);
+  std::printf(
+      "\nExpected shape (paper): with 4 dedicated comm cores the reduce-\n"
+      "scatter/allgather hides completely behind the backward GEMMs\n"
+      "(e.g. 5.4 ms GEMM vs 2.8 ms comm per pass on 8 CLX nodes).\n");
+  return 0;
+}

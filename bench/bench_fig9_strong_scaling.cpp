@@ -1,0 +1,78 @@
+// Reproduces paper Fig. 9: DLRM strong-scaling speed-up and efficiency for
+// the four communication strategies (ScatterList / FusedScatter / Alltoall
+// on the MPI backend, Alltoall on the CCL backend), on the simulated
+// 64-socket CLX + OPA cluster.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/simulator.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  SimBackend backend;
+  ExchangeStrategy strategy;
+};
+
+const Variant kVariants[] = {
+    {"MPI-ScatterList", SimBackend::kMpi, ExchangeStrategy::kScatterList},
+    {"MPI-FusedScatter", SimBackend::kMpi, ExchangeStrategy::kFusedScatter},
+    {"MPI-Alltoall", SimBackend::kMpi, ExchangeStrategy::kAlltoall},
+    {"CCL-Alltoall", SimBackend::kCcl, ExchangeStrategy::kAlltoall},
+};
+
+DlrmSimulator make_sim(const DlrmConfig& cfg, const Variant& v) {
+  SimOptions o;
+  o.socket = clx_8280();
+  o.topo = Topology::pruned_fat_tree(64);
+  o.backend = v.backend;
+  o.strategy = v.strategy;
+  o.overlap = true;
+  o.skewed_indices = cfg.name == "MLPerf";
+  return DlrmSimulator(cfg, o);
+}
+
+void run_config(const DlrmConfig& cfg, const std::vector<int>& ranks,
+                int baseline_ranks) {
+  std::printf("\n-- %s (GN=%lld), baseline: best single-%d-rank time --\n",
+              cfg.name.c_str(), static_cast<long long>(cfg.global_batch_strong),
+              baseline_ranks);
+  // Baseline: the optimized (CCL-Alltoall) variant at the smallest feasible
+  // rank count, exactly as in the paper.
+  const double base_ms =
+      make_sim(cfg, kVariants[3])
+          .iteration(baseline_ranks, cfg.global_batch_strong)
+          .total_ms() *
+      baseline_ranks;  // normalize to "rank-time" product for R0 != 1
+
+  row({"ranks", "variant", "ms/iter", "speedup", "efficiency"}, 16);
+  for (int r : ranks) {
+    for (const auto& v : kVariants) {
+      const double ms =
+          make_sim(cfg, v).iteration(r, cfg.global_batch_strong).total_ms();
+      const double speedup = base_ms / baseline_ranks / ms;
+      const double eff = speedup * baseline_ranks / r;
+      row({fmt_int(r), v.name, fmt(ms, 2), fmt(speedup, 2), fmt(eff * 100, 0) + "%"},
+          16);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 9: DLRM strong scaling (speed-up and efficiency, simulated)");
+  run_config(small_config(), {2, 4, 8}, 1);
+  run_config(large_config(), {4, 8, 16, 32, 64}, 4);
+  run_config(mlperf_config(), {2, 4, 8, 16, 26}, 1);
+  std::printf(
+      "\nExpected shape (paper): up to ~8.5x at 26R for MLPerf (~33%% eff),\n"
+      "~5-6x at 8x sockets for Small/Large (~60-71%% eff); native alltoall\n"
+      ">2x over scatter-based; CCL-Alltoall adds up to ~1.4x over MPI.\n");
+  return 0;
+}

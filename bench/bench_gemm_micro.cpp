@@ -1,0 +1,107 @@
+// Micro-benchmark (google-benchmark): batch-reduce GEMM kernel vs naive
+// reference, and the micro-tile (bn/bk) ablation behind the paper's blocked
+// layout choice (Sect. III.B).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/gemm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace dlrm;
+
+struct BrgemmFixture {
+  std::vector<Tensor<float>> as, bs;
+  std::vector<const float*> aptrs, bptrs;
+  Tensor<float> c;
+
+  BrgemmFixture(int count, int m, int k, int n) {
+    Rng rng(1);
+    for (int i = 0; i < count; ++i) {
+      as.emplace_back(std::vector<std::int64_t>{m, k});
+      bs.emplace_back(std::vector<std::int64_t>{k, n});
+      fill_uniform(as.back(), rng, 1.0f);
+      fill_uniform(bs.back(), rng, 1.0f);
+      aptrs.push_back(as.back().data());
+      bptrs.push_back(bs.back().data());
+    }
+    c.reshape({m, n});
+    c.zero();
+  }
+};
+
+// Sweep micro-tile shapes: (count, bn, bc, bk).
+void BM_BatchReduceGemm(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const int n = static_cast<int>(state.range(3));
+  BrgemmFixture f(count, m, k, n);
+  for (auto _ : state) {
+    batchreduce_gemm(f.aptrs.data(), f.bptrs.data(), f.c.data(), count, m, k,
+                     n, true);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * count * m * k * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BatchReduceGemm)
+    ->Args({16, 32, 64, 64})
+    ->Args({16, 16, 64, 64})
+    ->Args({16, 48, 64, 64})
+    ->Args({16, 32, 32, 64})
+    ->Args({16, 32, 64, 32})
+    ->Args({16, 32, 64, 16})
+    ->Args({32, 32, 64, 64})
+    ->Args({16, 32, 13, 37});  // generic-width fallback path
+
+void BM_GemmReference(benchmark::State& state) {
+  const int m = 32, k = 64, n = 64, count = 16;
+  BrgemmFixture f(count, m, k, n);
+  for (auto _ : state) {
+    for (int i = 0; i < count; ++i) {
+      gemm_reference(f.aptrs[static_cast<std::size_t>(i)],
+                     f.bptrs[static_cast<std::size_t>(i)], f.c.data(), m, k, n,
+                     1.0f, 1.0f);
+    }
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * count * m * k * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmReference);
+
+void BM_BatchReduceGemmAt(benchmark::State& state) {
+  // Transposed-A variant (backward-by-weights pass).
+  const int count = 16, m = 64, k = 32, n = 64;
+  std::vector<Tensor<float>> as, bs;
+  std::vector<const float*> aptrs, bptrs;
+  Rng rng(2);
+  for (int i = 0; i < count; ++i) {
+    as.emplace_back(std::vector<std::int64_t>{k, m});
+    bs.emplace_back(std::vector<std::int64_t>{k, n});
+    fill_uniform(as.back(), rng, 1.0f);
+    fill_uniform(bs.back(), rng, 1.0f);
+    aptrs.push_back(as.back().data());
+    bptrs.push_back(bs.back().data());
+  }
+  Tensor<float> c({m, n});
+  c.zero();
+  for (auto _ : state) {
+    batchreduce_gemm_at(aptrs.data(), bptrs.data(), c.data(), count, m, k, n, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * count * m * k * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BatchReduceGemmAt);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Micro-benchmark (google-benchmark): Split-SGD-BF16 vs plain FP32 SGD vs
+// FP16-with-master-weights — update throughput and the capacity accounting
+// of paper Sect. VII.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "optim/optimizer.hpp"
+
+namespace {
+
+using namespace dlrm;
+
+constexpr std::int64_t kParams = 1 << 22;  // 4M parameters
+
+struct Fixture {
+  Tensor<float> p{std::vector<std::int64_t>{kParams}};
+  Tensor<float> g{std::vector<std::int64_t>{kParams}};
+  Fixture() {
+    Rng rng(1);
+    fill_uniform(p, rng, 1.0f);
+    fill_uniform(g, rng, 0.01f);
+  }
+  std::vector<ParamSlot> slots() { return {{p.data(), g.data(), kParams}}; }
+};
+
+template <typename Opt>
+void run_opt(benchmark::State& state, Opt& opt, Fixture& f) {
+  opt.attach(f.slots());
+  for (auto _ : state) {
+    opt.step(0.01f);
+    benchmark::DoNotOptimize(f.p.data());
+  }
+  state.counters["params/s"] = benchmark::Counter(
+      static_cast<double>(kParams),
+      benchmark::Counter::kIsIterationInvariantRate, benchmark::Counter::kIs1000);
+  state.counters["state_bytes"] =
+      static_cast<double>(opt.state_bytes());
+}
+
+void BM_SgdFp32(benchmark::State& state) {
+  Fixture f;
+  SgdFp32 opt;
+  run_opt(state, opt, f);
+}
+BENCHMARK(BM_SgdFp32)->Unit(benchmark::kMillisecond);
+
+void BM_SplitSgdBf16(benchmark::State& state) {
+  Fixture f;
+  SplitSgdBf16 opt(16);
+  run_opt(state, opt, f);
+}
+BENCHMARK(BM_SplitSgdBf16)->Unit(benchmark::kMillisecond);
+
+void BM_Fp16MasterSgd(benchmark::State& state) {
+  Fixture f;
+  Fp16MasterSgd opt;
+  run_opt(state, opt, f);
+}
+BENCHMARK(BM_Fp16MasterSgd)->Unit(benchmark::kMillisecond);
+
+void BM_Fp24Sgd(benchmark::State& state) {
+  Fixture f;
+  Fp24Sgd opt;
+  run_opt(state, opt, f);
+}
+BENCHMARK(BM_Fp24Sgd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Reproduces paper Table II: DLRM model characteristics for distributed
+// runs, computed from first principles (Eqs. 1 and 2).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/machine.hpp"
+#include "core/config.hpp"
+
+using namespace dlrm;
+using namespace dlrm::bench;
+
+int main() {
+  banner("Table II: DLRM model characteristics for distributed runs");
+  const DlrmConfig configs[] = {small_config(), large_config(), mlperf_config()};
+
+  row({"parameter", "Small", "Large", "MLPerf", "paper"}, 30);
+  auto prow = [&](const char* name, auto get, const char* paper) {
+    row({name, get(configs[0]), get(configs[1]), get(configs[2]), paper}, 30);
+  };
+
+  prow("Table memory (GB)",
+       [](const DlrmConfig& c) { return fmt(static_cast<double>(c.table_bytes()) / 1e9, 1); },
+       "2 / 384 / 98");
+  prow("Min sockets (96GB | 192GB)",
+       [](const DlrmConfig& c) {
+         return fmt_int(c.min_sockets(96e9)) + " | " + fmt_int(c.min_sockets(192e9));
+       },
+       "1 / 4 / 1*");
+  prow("Max ranks (model parallel)",
+       [](const DlrmConfig& c) { return fmt_int(c.max_ranks()); }, "8 / 64 / 26");
+  prow("Allreduce size (MB, Eq.1)",
+       [](const DlrmConfig& c) {
+         return fmt(static_cast<double>(c.allreduce_elems()) * 4 / (1024.0 * 1024.0), 1);
+       },
+       "9.5 / 1047 / 9.0");
+  prow("Alltoall volume (MB, Eq.2)",
+       [](const DlrmConfig& c) {
+         return fmt(static_cast<double>(c.alltoall_elems(c.global_batch_strong)) * 4 /
+                        (1024.0 * 1024.0),
+                    1);
+       },
+       "15.8 / 1024 / 208");
+
+  std::printf(
+      "\nEq.1: sum over MLP layers of f_in*f_out + f_out (rank independent).\n"
+      "Eq.2: S * GN * E, proportional to the global minibatch.\n"
+      "MLPerf fits one socket only on the 192 GB nodes (the paper's '1*').\n");
+  return 0;
+}

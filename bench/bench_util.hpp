@@ -1,0 +1,53 @@
+// Shared helpers for the figure/table reproduction benches: aligned table
+// printing, repetition timing, and a measured machine peak proxy.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace dlrm::bench {
+
+/// Prints a header banner naming the reproduced paper artifact.
+inline void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Fixed-width row printer: pass column strings.
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_int(long long v) { return std::to_string(v); }
+
+/// Median-of-repetitions timing of fn() in seconds; runs one warmup.
+inline double time_median_sec(const std::function<void()>& fn, int reps = 5) {
+  fn();  // warmup
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const Timer t;
+    fn();
+    times.push_back(t.elapsed_sec());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Measured single-core FMA throughput proxy (FLOP/s) via an in-register
+/// kernel; multiply by core count for a machine peak estimate. Used to
+/// report "fraction of peak" like Fig. 5 without trusting nominal numbers.
+double measured_core_peak_flops();
+
+}  // namespace dlrm::bench

@@ -1,0 +1,75 @@
+// Ad click-through-rate training end to end: the workload DLRM's intro
+// motivates. Trains on the Criteo-Terabyte stand-in (planted logistic
+// teacher, Zipf-skewed categorical features), evaluates ROC-AUC on held-out
+// samples, and compares FP32 against BF16 Split-SGD mixed precision.
+//
+//   $ ./ad_click_training
+#include <cstdio>
+
+#include "core/trainer.hpp"
+
+using namespace dlrm;
+
+namespace {
+
+DlrmConfig ctr_config() {
+  DlrmConfig c;
+  c.name = "ad-ctr";
+  c.minibatch = 512;
+  c.global_batch_strong = 1024;
+  c.local_batch_weak = 512;
+  c.pooling = 1;  // one category per feature, like Criteo
+  c.dim = 32;
+  c.table_rows.assign(26, 5000);  // 26 categorical features
+  c.index_skew = 1.05;
+  c.bottom_mlp = {13, 128, 64, 32};  // 13 dense features, as in Criteo
+  c.top_mlp = {128, 64, 1};
+  c.validate();
+  return c;
+}
+
+double train_and_eval(EmbedPrecision precision, Optimizer& opt,
+                      const Dataset& data, const DlrmConfig& cfg) {
+  ModelOptions options;
+  options.embed_precision = precision;
+  options.update_strategy = UpdateStrategy::kRaceFree;
+  DlrmModel model(cfg, options, /*seed=*/2020);
+  opt.attach(model.mlp_param_slots());
+  Trainer trainer(model, opt, data, {.lr = 0.15f, .batch = cfg.minibatch});
+  trainer.train(/*iters=*/400);
+  return trainer.evaluate(/*first=*/1000000, /*n=*/8192);
+}
+
+}  // namespace
+
+int main() {
+  const DlrmConfig cfg = ctr_config();
+
+  CtrParams params;
+  params.dense_dim = cfg.bottom_mlp.front();
+  params.rows = cfg.table_rows;
+  params.pooling = cfg.pooling;
+  params.index_skew = cfg.index_skew;
+  params.dense_scale = 0.9f;
+  params.sparse_scale = 1.1f;
+  params.seed = 99;
+  SyntheticCtrDataset data(params);
+
+  std::printf("click-log stand-in: 13 dense + 26 categorical features\n");
+  std::printf("Bayes-optimal AUC of the generator: %.4f\n\n",
+              data.teacher_auc(8192));
+
+  SgdFp32 fp32;
+  const double auc_fp32 = train_and_eval(EmbedPrecision::kFp32, fp32, data, cfg);
+  std::printf("FP32 trained AUC:            %.4f\n", auc_fp32);
+
+  SplitSgdBf16 bf16(16);
+  const double auc_bf16 =
+      train_and_eval(EmbedPrecision::kBf16Split, bf16, data, cfg);
+  std::printf("BF16 Split-SGD trained AUC:  %.4f  (|diff| = %.4f)\n", auc_bf16,
+              std::abs(auc_fp32 - auc_bf16));
+  std::printf(
+      "\nSplit-SGD stores the bf16 model + hidden low halves — the same\n"
+      "capacity as FP32, no separate master weights (paper Sect. VII).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Hybrid-parallel distributed training on in-process ranks: embedding
+// tables model-parallel, MLPs data-parallel with overlapped alltoall and
+// DDP allreduce — the paper's Sect. IV strategy end to end.
+//
+//   $ ./distributed_hybrid [ranks=4]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/distributed.hpp"
+#include "core/model.hpp"
+#include "data/loader.hpp"
+#include "stats/metrics.hpp"
+
+using namespace dlrm;
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::int64_t global_batch = 512;
+
+  DlrmConfig cfg;
+  cfg.name = "hybrid-demo";
+  cfg.minibatch = global_batch;
+  cfg.global_batch_strong = global_batch;
+  cfg.local_batch_weak = global_batch / ranks;
+  cfg.pooling = 4;
+  cfg.dim = 32;
+  cfg.table_rows.assign(8, 20000);  // 8 tables spread round-robin over ranks
+  cfg.bottom_mlp = {16, 64, 32};
+  cfg.top_mlp = {128, 64, 1};
+  cfg.validate();
+
+  RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, cfg.pooling, 3);
+
+  std::printf("hybrid-parallel DLRM on %d in-process ranks, GN=%lld\n", ranks,
+              static_cast<long long>(global_batch));
+  std::printf("tables: %lld (model parallel), MLP params: %lld (data parallel)\n\n",
+              static_cast<long long>(cfg.tables()),
+              static_cast<long long>(cfg.allreduce_elems()));
+
+  run_ranks(ranks, /*threads_per_rank=*/2, [&](ThreadComm& comm) {
+    DistributedOptions opts;
+    opts.exchange = ExchangeStrategy::kAlltoall;  // the HPC-native pattern
+    opts.overlap = true;
+    opts.lr = 0.05f;
+    auto backend = QueueBackend::ccl_like(/*workers=*/2);
+    DistributedDlrm model(cfg, opts, comm, backend.get(), global_batch);
+
+    DataLoader loader(data, global_batch, comm.rank(), comm.size(),
+                      model.owned_tables(), LoaderMode::kLocalSlice);
+    HybridBatch hb;
+    Meter loss;
+    for (int iter = 0; iter < 50; ++iter) {
+      loader.next(iter, hb);
+      loss.add(model.train_step(hb));
+      if ((iter + 1) % 10 == 0 && comm.rank() == 0) {
+        std::printf("iter %3d  rank0 mean loss %.4f  (a2a wait %.3f ms, "
+                    "allreduce wait %.3f ms)\n",
+                    iter + 1, loss.mean(),
+                    model.last_alltoall_wait_sec() * 1e3,
+                    model.last_allreduce_wait_sec() * 1e3);
+        loss.clear();
+      }
+    }
+    if (comm.rank() == 0) {
+      std::printf("\nrank 0 owned tables:");
+      for (auto t : model.owned_tables()) std::printf(" %lld", static_cast<long long>(t));
+      std::printf("\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a small DLRM, train it for a few iterations on a
+// synthetic workload, and print the loss curve.
+//
+//   $ ./quickstart
+//
+// Walks through the core public API: DlrmConfig -> DlrmModel -> Optimizer ->
+// Trainer, with a RandomDataset supplying minibatches.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+
+using namespace dlrm;
+
+int main() {
+  // 1. Describe the topology (a shrunk Small config: 4 tables, 64-dim
+  //    embeddings, 2-layer bottom MLP, 3-layer top MLP).
+  DlrmConfig config;
+  config.name = "quickstart";
+  config.minibatch = 256;
+  config.global_batch_strong = 512;
+  config.local_batch_weak = 256;
+  config.pooling = 10;       // lookups per table per sample
+  config.dim = 64;           // embedding dimension E
+  config.table_rows = {50000, 20000, 80000, 10000};
+  config.bottom_mlp = {64, 128, 64};  // input width -> hidden -> E
+  config.top_mlp = {256, 128, 1};
+  config.validate();
+
+  // 2. Instantiate the model. ModelOptions picks the embedding update
+  //    strategy (race-free is the paper's recommendation) and precision.
+  ModelOptions options;
+  options.update_strategy = UpdateStrategy::kRaceFree;
+  options.embed_precision = EmbedPrecision::kFp32;
+  DlrmModel model(config, options, /*seed=*/42);
+
+  // 3. A synthetic workload: uniform indices, Gaussian dense features.
+  RandomDataset data(config.bottom_mlp.front(), config.table_rows,
+                     config.pooling, /*seed=*/7);
+
+  // 4. Dense optimizer for the MLPs (embeddings update sparsely in-place).
+  SgdFp32 sgd;
+  sgd.attach(model.mlp_param_slots());
+
+  // 5. Train.
+  Trainer trainer(model, sgd, data, {.lr = 0.05f, .batch = config.minibatch});
+  std::printf("training a %lld-parameter MLP side + %.1f MB of tables\n",
+              static_cast<long long>(config.allreduce_elems()),
+              static_cast<double>(config.table_bytes()) / 1e6);
+  for (int step = 0; step < 5; ++step) {
+    const double loss = trainer.train(20);
+    std::printf("iter %3lld  mean loss %.4f\n",
+                static_cast<long long>(trainer.iterations_done()), loss);
+  }
+
+  // 6. Profile one iteration to see where time goes (cf. paper Fig. 8).
+  Profiler prof;
+  MiniBatch mb;
+  data.fill(0, config.minibatch, mb);
+  model.train_step(mb, 0.05f, sgd, &prof);
+  std::printf("\nper-op timing of one training iteration:\n%s",
+              prof.report().c_str());
+  return 0;
+}

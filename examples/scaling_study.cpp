@@ -1,0 +1,89 @@
+// Scaling study: measures real hybrid-parallel iteration time across
+// in-process rank counts and exchange strategies on THIS machine, then asks
+// the cluster model what the same configuration would do on the paper's
+// 64-socket OPA cluster.
+//
+//   $ ./scaling_study
+#include <cstdio>
+
+#include "cluster/simulator.hpp"
+#include "common/timer.hpp"
+#include "core/distributed.hpp"
+#include "data/loader.hpp"
+
+using namespace dlrm;
+
+namespace {
+
+DlrmConfig demo_config() {
+  DlrmConfig c;
+  c.name = "scaling-demo";
+  c.minibatch = 1024;
+  c.global_batch_strong = 1024;
+  c.local_batch_weak = 128;
+  c.pooling = 8;
+  c.dim = 32;
+  c.table_rows.assign(8, 50000);
+  c.bottom_mlp = {16, 128, 32};
+  c.top_mlp = {256, 128, 1};
+  c.validate();
+  return c;
+}
+
+double measure_real(const DlrmConfig& cfg, int ranks, ExchangeStrategy strategy) {
+  RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, cfg.pooling, 5);
+  double ms = 0.0;
+  run_ranks(ranks, /*threads_per_rank=*/2, [&](ThreadComm& comm) {
+    DistributedOptions opts;
+    opts.exchange = strategy;
+    opts.overlap = true;
+    auto backend = QueueBackend::ccl_like(1);
+    DistributedDlrm model(cfg, opts, comm, backend.get(), cfg.global_batch_strong);
+    DataLoader loader(data, cfg.global_batch_strong, comm.rank(), comm.size(),
+                      model.owned_tables(), LoaderMode::kLocalSlice);
+    HybridBatch hb;
+    loader.next(0, hb);
+    model.train_step(hb);  // warmup
+    const int iters = 6;
+    const Timer t;
+    for (int i = 0; i < iters; ++i) {
+      loader.next(i, hb);
+      model.train_step(hb);
+    }
+    if (comm.rank() == 0) ms = t.elapsed_ms() / iters;
+  });
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  const DlrmConfig cfg = demo_config();
+
+  std::printf("== real strong scaling on this machine (in-process ranks) ==\n");
+  std::printf("%-8s %-14s %-10s %-8s\n", "ranks", "strategy", "ms/iter", "speedup");
+  const double base = measure_real(cfg, 1, ExchangeStrategy::kAlltoall);
+  std::printf("%-8d %-14s %-10.2f %-8s\n", 1, "-", base, "1.00x");
+  for (int r : {2, 4, 8}) {
+    for (auto s : {ExchangeStrategy::kScatterList, ExchangeStrategy::kAlltoall}) {
+      const double ms = measure_real(cfg, r, s);
+      std::printf("%-8d %-14s %-10.2f %.2fx\n", r, to_string(s), ms, base / ms);
+    }
+  }
+
+  std::printf("\n== projected on the paper's 64-socket CLX/OPA cluster ==\n");
+  const DlrmConfig paper_cfg = large_config();
+  SimOptions o;
+  o.socket = clx_8280();
+  o.topo = Topology::pruned_fat_tree(64);
+  o.backend = SimBackend::kCcl;
+  o.strategy = ExchangeStrategy::kAlltoall;
+  DlrmSimulator sim(paper_cfg, o);
+  std::printf("%-8s %-12s %-12s %-12s\n", "ranks", "compute ms", "comm ms", "total ms");
+  for (int r : {4, 8, 16, 32, 64}) {
+    const auto it = sim.iteration(r, paper_cfg.global_batch_strong);
+    std::printf("%-8d %-12.1f %-12.1f %-12.1f\n", r, it.compute_ms(),
+                it.comm_ms(), it.total_ms());
+  }
+  return 0;
+}

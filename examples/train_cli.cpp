@@ -1,0 +1,166 @@
+// dlrm-train: command-line driver exposing the whole stack.
+//
+//   $ ./train_cli --config=small --scale-rows=64 --scale-batch=8
+//                 --ranks=4 --strategy=alltoall --precision=bf16split
+//                 --iters=50 --lr=0.05 [--blocking] [--profile]
+//
+// Configs: small | large | mlperf (paper Table I), optionally scaled down.
+// With --ranks=1 the single-process model runs; otherwise the
+// hybrid-parallel trainer runs on in-process ranks.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/distributed.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "data/loader.hpp"
+
+using namespace dlrm;
+
+namespace {
+
+struct Args {
+  std::string config = "small";
+  std::int64_t scale_rows = 64;
+  std::int64_t scale_batch = 8;
+  int ranks = 1;
+  std::string strategy = "alltoall";
+  std::string precision = "fp32";
+  std::string update = "racefree";
+  int iters = 20;
+  float lr = 0.05f;
+  bool blocking = false;
+  bool profile = false;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (parse_flag(argv[i], "--config", &v)) a.config = v;
+    else if (parse_flag(argv[i], "--scale-rows", &v)) a.scale_rows = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--scale-batch", &v)) a.scale_batch = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--ranks", &v)) a.ranks = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--strategy", &v)) a.strategy = v;
+    else if (parse_flag(argv[i], "--precision", &v)) a.precision = v;
+    else if (parse_flag(argv[i], "--update", &v)) a.update = v;
+    else if (parse_flag(argv[i], "--iters", &v)) a.iters = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--lr", &v)) a.lr = static_cast<float>(std::atof(v.c_str()));
+    else if (std::strcmp(argv[i], "--blocking") == 0) a.blocking = true;
+    else if (std::strcmp(argv[i], "--profile") == 0) a.profile = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+ExchangeStrategy parse_strategy(const std::string& s) {
+  if (s == "scatterlist") return ExchangeStrategy::kScatterList;
+  if (s == "fusedscatter") return ExchangeStrategy::kFusedScatter;
+  if (s == "alltoall") return ExchangeStrategy::kAlltoall;
+  std::fprintf(stderr, "bad --strategy (scatterlist|fusedscatter|alltoall)\n");
+  std::exit(2);
+}
+
+EmbedPrecision parse_precision(const std::string& s) {
+  if (s == "fp32") return EmbedPrecision::kFp32;
+  if (s == "bf16split") return EmbedPrecision::kBf16Split;
+  if (s == "bf16split8") return EmbedPrecision::kBf16Split8;
+  if (s == "fp16") return EmbedPrecision::kFp16Stochastic;
+  if (s == "fp24") return EmbedPrecision::kFp24;
+  std::fprintf(stderr, "bad --precision (fp32|bf16split|bf16split8|fp16|fp24)\n");
+  std::exit(2);
+}
+
+UpdateStrategy parse_update(const std::string& s) {
+  if (s == "reference") return UpdateStrategy::kReference;
+  if (s == "atomic") return UpdateStrategy::kAtomicXchg;
+  if (s == "rtm") return UpdateStrategy::kRtm;
+  if (s == "racefree") return UpdateStrategy::kRaceFree;
+  std::fprintf(stderr, "bad --update (reference|atomic|rtm|racefree)\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  DlrmConfig cfg = args.config == "small"    ? small_config()
+                   : args.config == "large"  ? large_config()
+                   : args.config == "mlperf" ? mlperf_config()
+                                             : (std::fprintf(stderr, "bad --config\n"),
+                                                std::exit(2), DlrmConfig{});
+  cfg = cfg.scaled_down(args.scale_rows, args.scale_batch);
+  cfg.validate();
+
+  std::printf("dlrm-train: %s  tables=%lld dim=%lld batch=%lld  "
+              "model=%.1f MB  ranks=%d\n",
+              cfg.name.c_str(), static_cast<long long>(cfg.tables()),
+              static_cast<long long>(cfg.dim),
+              static_cast<long long>(cfg.minibatch),
+              static_cast<double>(cfg.table_bytes()) / 1e6, args.ranks);
+
+  RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, cfg.pooling, 1);
+
+  if (args.ranks <= 1) {
+    ModelOptions mo;
+    mo.embed_precision = parse_precision(args.precision);
+    mo.update_strategy = parse_update(args.update);
+    DlrmModel model(cfg, mo, 42);
+    SgdFp32 sgd;
+    sgd.attach(model.mlp_param_slots());
+    Trainer trainer(model, sgd, data, {.lr = args.lr, .batch = cfg.minibatch});
+    Profiler prof;
+    const Timer t;
+    const double loss = trainer.train(args.iters, args.profile ? &prof : nullptr);
+    std::printf("%d iters in %.2f s (%.2f ms/iter), final mean loss %.4f\n",
+                args.iters, t.elapsed_sec(),
+                t.elapsed_ms() / args.iters, loss);
+    if (args.profile) std::printf("%s", prof.report().c_str());
+    return 0;
+  }
+
+  const std::int64_t gn = cfg.minibatch;
+  DLRM_CHECK(gn % args.ranks == 0, "batch must divide by ranks");
+  run_ranks(args.ranks, /*threads_per_rank=*/2, [&](ThreadComm& comm) {
+    DistributedOptions opts;
+    opts.exchange = parse_strategy(args.strategy);
+    opts.embed_precision = parse_precision(args.precision);
+    opts.update_strategy = parse_update(args.update);
+    opts.overlap = !args.blocking;
+    opts.lr = args.lr;
+    auto backend = args.blocking ? nullptr : QueueBackend::ccl_like(2);
+    DistributedDlrm model(cfg, opts, comm, backend.get(), gn);
+    DataLoader loader(data, gn, comm.rank(), comm.size(), model.owned_tables(),
+                      LoaderMode::kLocalSlice);
+    HybridBatch hb;
+    Profiler prof;
+    Meter loss;
+    const Timer t;
+    for (int i = 0; i < args.iters; ++i) {
+      loader.next(i, hb);
+      loss.add(model.train_step(hb, args.profile ? &prof : nullptr));
+    }
+    if (comm.rank() == 0) {
+      std::printf("%d iters in %.2f s (%.2f ms/iter), rank0 mean loss %.4f\n",
+                  args.iters, t.elapsed_sec(), t.elapsed_ms() / args.iters,
+                  loss.mean());
+      if (args.profile) std::printf("%s", prof.report().c_str());
+    }
+  });
+  return 0;
+}

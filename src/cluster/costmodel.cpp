@@ -1,0 +1,99 @@
+#include "cluster/costmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+double KernelModel::gemm_time(double flops, bool flat) const {
+  const double eff = flat ? effs_.gemm_eff_flat : effs_.gemm_eff;
+  return flops / (socket_.peak_flops * eff);
+}
+
+namespace {
+
+double mlp_flops(std::int64_t batch, const std::vector<std::int64_t>& dims) {
+  double flops = 0.0;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    flops += 2.0 * static_cast<double>(batch) * static_cast<double>(dims[i]) *
+             static_cast<double>(dims[i + 1]);
+  }
+  return flops;
+}
+
+}  // namespace
+
+double KernelModel::mlp_fwd_time(std::int64_t batch,
+                                 const std::vector<std::int64_t>& dims,
+                                 bool flat_baseline) const {
+  return gemm_time(mlp_flops(batch, dims), flat_baseline);
+}
+
+double KernelModel::mlp_bwd_time(std::int64_t batch,
+                                 const std::vector<std::int64_t>& dims,
+                                 bool flat_baseline) const {
+  return gemm_time(2.0 * mlp_flops(batch, dims), flat_baseline);
+}
+
+double KernelModel::interaction_time(std::int64_t batch, std::int64_t features,
+                                     std::int64_t dim, bool backward) const {
+  // Batched tiny GEMMs run far below peak: model at 30% of peak.
+  const double flops = 2.0 * static_cast<double>(batch) *
+                       static_cast<double>(features * features) *
+                       static_cast<double>(dim) * (backward ? 2.0 : 1.0);
+  return flops / (socket_.peak_flops * 0.30);
+}
+
+double KernelModel::embedding_fwd_time(std::int64_t tables, std::int64_t batch,
+                                       std::int64_t pooling, std::int64_t dim,
+                                       int cores) const {
+  const double lookups = static_cast<double>(tables * batch * pooling);
+  const double bytes = lookups * static_cast<double>(dim) * 4.0     // row reads
+                       + static_cast<double>(tables * batch * dim) * 4.0;  // output
+  const double bw_time = bytes / (socket_.mem_bw * effs_.emb_bw_frac);
+  const double lat_time = lookups * effs_.row_latency / std::max(1, cores);
+  return std::max(bw_time, lat_time);
+}
+
+double KernelModel::embedding_update_time(UpdateStrategy strategy,
+                                          std::int64_t tables,
+                                          std::int64_t batch,
+                                          std::int64_t pooling,
+                                          std::int64_t dim, bool skewed,
+                                          bool fused, int cores) const {
+  const double lookups = static_cast<double>(tables * batch * pooling);
+  if (strategy == UpdateStrategy::kReference) {
+    // Naive framework kernel: serial per-row dispatch (see header note).
+    return lookups * effs_.reference_row_cost;
+  }
+  // Optimized parallel kernels: read grad + read row + write row; the
+  // unfused variant additionally writes and re-reads the per-lookup grads.
+  const double row_bytes = static_cast<double>(dim) * 4.0;
+  double bytes = lookups * row_bytes * 3.0;
+  if (!fused) bytes += lookups * row_bytes * 2.0;
+  const double bw_time = bytes / (socket_.mem_bw * effs_.emb_bw_frac);
+  const double lat_time = lookups * effs_.row_latency / std::max(1, cores);
+  double t = std::max(bw_time, lat_time);
+  switch (strategy) {
+    case UpdateStrategy::kAtomicXchg:
+    case UpdateStrategy::kRtm:
+      // Repeated hot indices force cache lines to migrate between cores.
+      if (skewed) t *= effs_.contention_penalty;
+      break;
+    case UpdateStrategy::kRaceFree:
+      if (skewed) t *= effs_.racefree_skew_penalty;
+      break;
+    case UpdateStrategy::kReference:
+      break;
+  }
+  return t;
+}
+
+double KernelModel::optimizer_time(std::int64_t params) const {
+  // Read param + read grad + write param.
+  return static_cast<double>(params) * 12.0 / socket_.mem_bw;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,106 @@
+// Kernel- and backend-level cost models feeding the iteration simulator.
+//
+// Calibration policy (DESIGN.md Sect. 4): hardware constants come from the
+// paper (peak FLOPS, bandwidths, link speeds); software efficiencies are
+// either measured by this repo's real kernels (GEMM fraction-of-peak,
+// embedding bandwidth fraction) or taken from the paper's own measurements
+// (the ~5 us/row naive reference kernel implied by Fig. 7, the ~10x hot-row
+// contention penalty of the terabyte dataset).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "cluster/topology.hpp"
+#include "kernels/embedding.hpp"
+
+namespace dlrm {
+
+/// Software efficiency constants. Defaults are the measured/derived values;
+/// every field can be overridden (e.g. with numbers from bench_gemm_micro).
+struct KernelEffs {
+  /// Blocked batch-reduce MLP: fraction of peak (paper Fig. 5: ~72%).
+  double gemm_eff = 0.72;
+  /// Framework large-GEMM baseline fraction of peak (Fig. 5: ~61%).
+  double gemm_eff_flat = 0.61;
+  /// Fraction of STREAM bandwidth reached by embedding kernels.
+  double emb_bw_frac = 0.85;
+  /// Effective per-row random-access cost on huge tables, seconds; DRAM
+  /// latency (~80-300 ns) divided by the memory-level parallelism a core
+  /// sustains (~5-10 outstanding line fills), amortized over cores.
+  double row_latency = 60e-9;
+  /// Naive framework reference EmbeddingBag update: per-looked-up-row cost.
+  /// Derived from the paper's Fig. 7: 4288 ms / (2048*50*8) rows ≈ 5.2 us
+  /// and 272 ms / (2048*1*26) rows ≈ 5.1 us — consistent across configs.
+  double reference_row_cost = 5.2e-6;
+  /// Hot-row cache-line thrashing penalty of atomic/RTM updates on the
+  /// skewed terabyte index stream (paper: "up to 10x slowdown").
+  double contention_penalty = 10.0;
+  /// Mild race-free load-imbalance penalty under skew (hot rows cluster).
+  double racefree_skew_penalty = 1.3;
+  /// Per framework-op dispatch overhead (python/op-dispatch), seconds.
+  double op_overhead = 25e-6;
+  /// Data-loader materialization rate, bytes/s (python loader).
+  double loader_bw = 1.0e9;
+  /// Bandwidth a single unpinned progress thread can drive (MPI backend).
+  double mpi_thread_bw = 6e9;
+  /// Bandwidth per pinned oneCCL worker.
+  double ccl_worker_bw = 8e9;
+  /// Compute slowdown when the unpinned MPI progress thread interferes
+  /// with the compute threads (paper Fig. 10: "almost all compute kernels
+  /// were slowed down due to communication overlap").
+  double mpi_interference = 1.30;
+};
+
+/// Per-socket kernel time estimates.
+class KernelModel {
+ public:
+  KernelModel(SocketSpec socket, KernelEffs effs)
+      : socket_(socket), effs_(effs) {}
+
+  const SocketSpec& socket() const { return socket_; }
+  const KernelEffs& effs() const { return effs_; }
+
+  /// Forward GEMM time of an MLP chain on `batch` rows.
+  double mlp_fwd_time(std::int64_t batch,
+                      const std::vector<std::int64_t>& dims,
+                      bool flat_baseline = false) const;
+  /// Backward (by-data + by-weights) GEMM time: 2x the forward FLOPs.
+  double mlp_bwd_time(std::int64_t batch,
+                      const std::vector<std::int64_t>& dims,
+                      bool flat_baseline = false) const;
+
+  /// Dot-interaction fwd (or 2x for bwd) on `batch` rows.
+  double interaction_time(std::int64_t batch, std::int64_t features,
+                          std::int64_t dim, bool backward) const;
+
+  /// EmbeddingBag forward over `tables` local tables x `batch` bags.
+  double embedding_fwd_time(std::int64_t tables, std::int64_t batch,
+                            std::int64_t pooling, std::int64_t dim,
+                            int cores) const;
+
+  /// Sparse update under the given strategy. `skewed` marks hot-row index
+  /// streams (terabyte-like); `fused` skips the per-lookup grad
+  /// materialization (Sect. III.A fusion, ~1.6x on the update).
+  double embedding_update_time(UpdateStrategy strategy, std::int64_t tables,
+                               std::int64_t batch, std::int64_t pooling,
+                               std::int64_t dim, bool skewed, bool fused,
+                               int cores) const;
+
+  /// Dense optimizer step over `params` elements.
+  double optimizer_time(std::int64_t params) const;
+
+  /// Data loader: time to materialize `bytes`.
+  double loader_time(std::int64_t bytes) const {
+    return static_cast<double>(bytes) / effs_.loader_bw;
+  }
+
+ private:
+  double gemm_time(double flops, bool flat) const;
+
+  SocketSpec socket_;
+  KernelEffs effs_;
+};
+
+}  // namespace dlrm

@@ -1,0 +1,32 @@
+// Socket-level hardware specifications (paper Sect. V).
+//
+// Only constants stated in the paper appear here; the simulator combines
+// them with kernel efficiencies measured by our own benchmarks.
+#pragma once
+
+#include <string>
+
+namespace dlrm {
+
+struct SocketSpec {
+  std::string name;
+  double peak_flops;   // FP32 FLOP/s
+  double mem_bw;       // B/s STREAM-class bandwidth
+  int cores;           // physical cores
+  double mem_bytes;    // DRAM capacity per socket
+};
+
+/// Intel Xeon Platinum 8180 (Skylake), as in the 8-socket Inspur TS860M5:
+/// 28 cores, 4.1 TFLOPS FP32, 12x DDR4-2400 → 100 GB/s, 192 GB/socket.
+inline SocketSpec skx_8180() {
+  return {"SKX-8180", 4.1e12, 100e9, 28, 192e9};
+}
+
+/// Intel Xeon Platinum 8280 (Cascade Lake), as in the 64-socket cluster:
+/// 28 cores, 4.3 TFLOPS FP32, 6x DDR4-2666 → 105 GB/s, 96 GB/socket
+/// (4 of the 32 nodes have 192 GB/socket for large single-socket runs).
+inline SocketSpec clx_8280() {
+  return {"CLX-8280", 4.3e12, 105e9, 28, 96e9};
+}
+
+}  // namespace dlrm

@@ -1,0 +1,200 @@
+#include "cluster/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+const char* to_string(SimBackend b) {
+  return b == SimBackend::kMpi ? "MPI" : "CCL";
+}
+
+DlrmSimulator::DlrmSimulator(DlrmConfig config, SimOptions options)
+    : config_(std::move(config)),
+      options_(std::move(options)),
+      kernel_(options_.socket, options_.effs) {
+  config_.validate();
+}
+
+double DlrmSimulator::driver_bw_factor() const {
+  const double link = options_.topo.injection_bw();
+  if (options_.backend == SimBackend::kMpi) {
+    // One unpinned progress thread drives the fabric.
+    return std::min(1.0, options_.effs.mpi_thread_bw / link);
+  }
+  return std::min(1.0, options_.comm_cores * options_.effs.ccl_worker_bw / link);
+}
+
+std::int64_t DlrmSimulator::tables_per_rank(int ranks) const {
+  return (config_.tables() + ranks - 1) / ranks;  // busiest rank (round robin)
+}
+
+IterBreakdown DlrmSimulator::iteration(int ranks, std::int64_t gn) const {
+  DLRM_CHECK(ranks >= 1 && ranks <= config_.max_ranks(),
+             "rank count exceeds model parallelism limit (one table/rank)");
+  // Rank counts that do not divide the batch (e.g. MLPerf's 26 ranks on
+  // GN=16K) round the local batch up, exactly like a padded run would.
+  const std::int64_t ln = (gn + ranks - 1) / ranks;
+  const std::int64_t s_loc = tables_per_rank(ranks);
+  const int total_cores = options_.socket.cores;
+
+  // --- Compute side (per socket) ------------------------------------------
+  // CCL dedicates comm cores; compute uses the remainder. The MPI progress
+  // thread instead interferes with all compute threads when overlapping.
+  int compute_cores = total_cores;
+  double interference = 1.0;
+  if (ranks > 1 && options_.overlap) {
+    if (options_.backend == SimBackend::kCcl) {
+      compute_cores = total_cores - options_.comm_cores;
+      interference = static_cast<double>(total_cores) / compute_cores;
+    } else {
+      interference = options_.effs.mpi_interference;
+    }
+  }
+
+  IterBreakdown out;
+  const auto& dims_bot = config_.bottom_mlp;
+  const auto dims_top = config_.top_mlp_full();
+
+  const double emb_fwd = kernel_.embedding_fwd_time(
+      s_loc, gn, config_.pooling, config_.dim, compute_cores);
+  const double emb_upd = kernel_.embedding_update_time(
+      options_.update_strategy, s_loc, gn, config_.pooling, config_.dim,
+      options_.skewed_indices, options_.fused_update, compute_cores);
+  const double bot_fwd = kernel_.mlp_fwd_time(ln, dims_bot);
+  const double bot_bwd = kernel_.mlp_bwd_time(ln, dims_bot);
+  const double top_fwd = kernel_.mlp_fwd_time(ln, dims_top);
+  const double top_bwd = kernel_.mlp_bwd_time(ln, dims_top);
+  const double inter =
+      kernel_.interaction_time(ln, config_.tables() + 1, config_.dim, false) +
+      kernel_.interaction_time(ln, config_.tables() + 1, config_.dim, true);
+  const double opt = kernel_.optimizer_time(config_.allreduce_elems());
+  const double overheads = 40.0 * options_.effs.op_overhead;  // ops per iter
+
+  out.emb_fwd_ms = emb_fwd * interference * 1e3;
+  out.emb_upd_ms = emb_upd * interference * 1e3;
+  out.mlp_ms = (bot_fwd + bot_bwd + top_fwd + top_bwd) * interference * 1e3;
+  out.rest_ms = (inter + opt + overheads) * interference * 1e3;
+
+  // Data loader (per iteration, per rank).
+  const std::int64_t bytes_per_sample =
+      config_.bottom_mlp.front() * 4 + 4 + config_.tables() * config_.pooling * 8;
+  const std::int64_t loader_samples = options_.naive_loader ? gn : ln;
+  out.loader_ms = kernel_.loader_time(loader_samples * bytes_per_sample) * 1e3;
+
+  if (ranks == 1) return out;  // no communication
+
+  // --- Communication raw costs --------------------------------------------
+  const double bwf = driver_bw_factor();
+  const Topology& topo = options_.topo;
+  const std::int64_t a2a_bytes = config_.alltoall_elems(gn) * 4;  // Eq. 2
+  const std::int64_t ar_bytes = config_.allreduce_elems() * 4;    // Eq. 1
+  const double o_call = options_.effs.op_overhead;
+
+  double a2a_one_way = 0.0;  // forward (the backward gather costs the same)
+  int a2a_calls = 0;
+  switch (options_.strategy) {
+    case ExchangeStrategy::kScatterList:
+      a2a_calls = static_cast<int>(config_.tables());
+      a2a_one_way = a2a_calls * topo.scatter_time(
+                                    ranks, a2a_bytes / config_.tables(), bwf);
+      break;
+    case ExchangeStrategy::kFusedScatter:
+      a2a_calls = ranks;
+      a2a_one_way = ranks * topo.scatter_time(ranks, a2a_bytes / ranks, bwf);
+      break;
+    case ExchangeStrategy::kAlltoall:
+      a2a_calls = 1;
+      a2a_one_way = topo.alltoall_time(ranks, a2a_bytes, bwf);
+      break;
+  }
+  const double a2a_raw = 2.0 * a2a_one_way;  // fwd exchange + bwd gather
+  const double ar_raw = topo.allreduce_time(ranks, ar_bytes, bwf);
+  out.a2a_raw_ms = a2a_raw * 1e3;
+  out.ar_raw_ms = ar_raw * 1e3;
+
+  // Framework costs: pack/unpack at memory bandwidth + per-call dispatch.
+  const double a2a_local_bytes =
+      4.0 * static_cast<double>(config_.alltoall_elems(gn)) / ranks;
+  const double a2a_frame =
+      2.0 * (2.0 * a2a_local_bytes / options_.socket.mem_bw) +
+      2.0 * a2a_calls * o_call;
+  // Allreduce: pack grads, average, unpack (3 sweeps) + 2 phases dispatch.
+  const double ar_frame = 3.0 * ar_bytes / options_.socket.mem_bw + 2.0 * o_call;
+  out.a2a_framework_ms = a2a_frame * 1e3;
+  out.ar_framework_ms = ar_frame * 1e3;
+
+  // --- Overlap / exposure ---------------------------------------------------
+  if (!options_.overlap) {
+    out.a2a_wait_ms = a2a_raw * 1e3;
+    out.ar_wait_ms = ar_raw * 1e3;
+    return out;
+  }
+
+  // Alltoall can hide only behind the bottom MLP (fwd behind bottom-fwd,
+  // bwd behind bottom-bwd); allreduce behind the rest of the backward pass
+  // plus the embedding update (Sect. VI.D).
+  // Per-layer bucketed allreduce: the top-MLP buckets launch right after the
+  // top backward and hide behind the bottom backward and the embedding
+  // update; the (much smaller) bottom buckets hide behind the update alone.
+  const double a2a_window = (bot_fwd + bot_bwd) * interference;
+  const double ar_window = (bot_bwd + emb_upd) * interference;
+  (void)top_fwd;
+  (void)top_bwd;
+  const double a2a_exposed = std::max(0.0, a2a_raw - a2a_window);
+  const double ar_exposed = std::max(0.0, ar_raw - ar_window);
+
+  if (options_.backend == SimBackend::kMpi) {
+    // In-order completion: the leftover allreduce of iteration k completes
+    // only at the wait for the alltoall of iteration k+1, so its exposed
+    // cost is observed as "Alltoall-Wait" (the paper's Fig. 11 artifact).
+    out.a2a_wait_ms = (a2a_exposed + ar_exposed) * 1e3;
+    out.ar_wait_ms = 0.0;
+  } else {
+    out.a2a_wait_ms = a2a_exposed * 1e3;
+    out.ar_wait_ms = ar_exposed * 1e3;
+  }
+  return out;
+}
+
+double DlrmSimulator::single_socket_ms(UpdateStrategy strategy,
+                                       std::int64_t batch,
+                                       bool optimized_mlp) const {
+  return single_socket_split(strategy, batch, optimized_mlp).total_ms();
+}
+
+DlrmSimulator::SingleSplit DlrmSimulator::single_socket_split(
+    UpdateStrategy strategy, std::int64_t batch, bool optimized_mlp) const {
+  const int cores = options_.socket.cores;
+  const bool flat = !optimized_mlp;
+  SingleSplit split;
+
+  const double emb_fwd = kernel_.embedding_fwd_time(
+      config_.tables(), batch, config_.pooling, config_.dim, cores);
+  // The reference path also runs the unfused backward+update pair.
+  const bool fused = optimized_mlp && options_.fused_update &&
+                     strategy != UpdateStrategy::kReference;
+  const double emb_upd = kernel_.embedding_update_time(
+      strategy, config_.tables(), batch, config_.pooling, config_.dim,
+      options_.skewed_indices, fused, cores);
+  split.emb_ms = (emb_fwd + emb_upd) * 1e3;
+
+  const auto dims_top = config_.top_mlp_full();
+  const double mlp = kernel_.mlp_fwd_time(batch, config_.bottom_mlp, flat) +
+                     kernel_.mlp_bwd_time(batch, config_.bottom_mlp, flat) +
+                     kernel_.mlp_fwd_time(batch, dims_top, flat) +
+                     kernel_.mlp_bwd_time(batch, dims_top, flat);
+  split.mlp_ms = mlp * 1e3;
+
+  const double rest =
+      kernel_.interaction_time(batch, config_.tables() + 1, config_.dim, false) +
+      kernel_.interaction_time(batch, config_.tables() + 1, config_.dim, true) +
+      kernel_.optimizer_time(config_.allreduce_elems()) +
+      40.0 * options_.effs.op_overhead * (optimized_mlp ? 1.0 : 4.0);
+  split.rest_ms = rest * 1e3;
+  return split;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,104 @@
+// Analytic per-iteration DLRM simulator: combines the Table I configs, the
+// socket spec, the fabric model and the kernel cost model into the
+// compute/communication breakdowns of Figs. 7–15.
+//
+// This is the substitute for the hardware we do not have (DESIGN.md Sect. 1):
+// the dataflow itself runs for real in src/core; only the *clock* of the
+// 8-socket UPI node and the 64-socket OPA cluster is modelled here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/costmodel.hpp"
+#include "cluster/machine.hpp"
+#include "cluster/topology.hpp"
+#include "comm/exchange.hpp"
+#include "core/config.hpp"
+
+namespace dlrm {
+
+enum class SimBackend { kMpi, kCcl };
+
+const char* to_string(SimBackend b);
+
+struct SimOptions {
+  SocketSpec socket = clx_8280();
+  Topology topo = Topology::pruned_fat_tree(64);
+  KernelEffs effs{};
+  SimBackend backend = SimBackend::kCcl;
+  ExchangeStrategy strategy = ExchangeStrategy::kAlltoall;
+  bool overlap = true;
+  /// Model the reference loader that reads the full global batch per rank
+  /// (the MLPerf weak-scaling artifact of Fig. 13).
+  bool naive_loader = false;
+  /// Whether the index stream has Criteo-like hot rows (drives contention).
+  bool skewed_indices = false;
+  /// Dedicated communication cores per socket for the CCL backend ("4 EPs").
+  int comm_cores = 4;
+  UpdateStrategy update_strategy = UpdateStrategy::kRaceFree;
+  bool fused_update = true;
+};
+
+/// One simulated training iteration, split the way Figs. 10–15 plot it.
+/// All times in milliseconds; "wait" are exposed (non-overlapped) times.
+struct IterBreakdown {
+  // Compute side.
+  double emb_fwd_ms = 0, emb_upd_ms = 0;
+  double mlp_ms = 0;   // bottom+top fwd+bwd GEMMs
+  double rest_ms = 0;  // interaction, loss, optimizer, op overheads
+  double loader_ms = 0;
+  // Communication, split as in Fig. 11: framework (pack/launch/average) vs
+  // exposed wait, per collective class.
+  double a2a_framework_ms = 0, a2a_wait_ms = 0;
+  double ar_framework_ms = 0, ar_wait_ms = 0;
+  // Raw (un-overlapped) collective costs, for reference.
+  double a2a_raw_ms = 0, ar_raw_ms = 0;
+
+  double compute_ms() const {
+    return emb_fwd_ms + emb_upd_ms + mlp_ms + rest_ms + loader_ms;
+  }
+  double comm_ms() const {
+    return a2a_framework_ms + a2a_wait_ms + ar_framework_ms + ar_wait_ms;
+  }
+  double total_ms() const { return compute_ms() + comm_ms(); }
+};
+
+class DlrmSimulator {
+ public:
+  DlrmSimulator(DlrmConfig config, SimOptions options);
+
+  const DlrmConfig& config() const { return config_; }
+  const SimOptions& options() const { return options_; }
+
+  /// One distributed training iteration on `ranks` sockets with global
+  /// minibatch `gn`.
+  IterBreakdown iteration(int ranks, std::int64_t gn) const;
+
+  /// Single-socket end-to-end time per iteration for Fig. 7: the embedding
+  /// update strategy varies; `optimized_mlp` false additionally degrades the
+  /// MLP to the framework baseline (the "Reference" column).
+  double single_socket_ms(UpdateStrategy strategy, std::int64_t batch,
+                          bool optimized_mlp) const;
+
+  /// Fig. 8 style single-socket split {embeddings, mlp, rest} in ms.
+  struct SingleSplit {
+    double emb_ms = 0, mlp_ms = 0, rest_ms = 0;
+    double total_ms() const { return emb_ms + mlp_ms + rest_ms; }
+  };
+  SingleSplit single_socket_split(UpdateStrategy strategy, std::int64_t batch,
+                                  bool optimized_mlp) const;
+
+ private:
+  /// Effective-bandwidth factor of the async driver for this backend.
+  double driver_bw_factor() const;
+  /// Tables on the busiest rank.
+  std::int64_t tables_per_rank(int ranks) const;
+
+  DlrmConfig config_;
+  SimOptions options_;
+  KernelModel kernel_;
+};
+
+}  // namespace dlrm

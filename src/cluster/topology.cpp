@@ -1,0 +1,196 @@
+#include "cluster/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+namespace {
+
+// Per-link one-direction bandwidth of a UPI link (the paper quotes
+// ~22 GB/s bidirectional per link, ~260 GB/s aggregate over 12 links).
+constexpr double kUpiLinkBwOneDir = 11e9;
+constexpr double kUpiLatency = 0.3e-6;
+
+// Intel OPA: 100 Gb/s per host fabric interface, ~1 us latency.
+constexpr double kOpaNicBw = 12.5e9;
+constexpr double kOpaLatency = 1.0e-6;
+
+// The paper's alltoall on the 8-socket twisted hypercube is "not optimally
+// tuned for the twisted-hypercube connectivity, so links are not utilized
+// optimally"; this factor encodes that observation for the full machine.
+// Calibrated so the 4 -> 8 socket alltoall time stays flat, which is what
+// the paper reports for Fig. 15 ("the cost of alltoall does not decrease
+// from 4 to 8 sockets as expected").
+constexpr double kUpiAlltoallTuning8 = 0.45;
+
+}  // namespace
+
+Topology Topology::twisted_hypercube8() {
+  Topology t;
+  t.name_ = "UPI-twisted-hypercube-8";
+  t.sockets_ = 8;
+  t.latency_ = kUpiLatency;
+  t.is_fat_tree_ = false;
+
+  // Twisted 3-cube: dim0 and dim1 edges as in a cube, vertical edges
+  // twisted on half the face. 3-regular, 12 unique links, diameter 2
+  // (3 neighbours at 1 hop, 4 at 2 hops — exactly Fig. 3).
+  const int edges[12][2] = {{0, 1}, {2, 3}, {4, 5}, {6, 7},   // dim 0
+                            {0, 2}, {1, 3}, {4, 6}, {5, 7},   // dim 1
+                            {0, 4}, {1, 5}, {2, 7}, {3, 6}};  // dim 2 twisted
+  t.unique_links_ = 12;
+  t.injection_bw_ = 3 * kUpiLinkBwOneDir;           // 3 links per socket
+  t.aggregate_bw_ = 12 * 2 * kUpiLinkBwOneDir;      // ≈ 260 GB/s
+
+  // BFS hop matrix.
+  t.hops_.assign(8, std::vector<int>(8, 99));
+  std::vector<std::vector<int>> adj(8);
+  for (const auto& e : edges) {
+    adj[static_cast<std::size_t>(e[0])].push_back(e[1]);
+    adj[static_cast<std::size_t>(e[1])].push_back(e[0]);
+  }
+  for (int s = 0; s < 8; ++s) {
+    t.hops_[static_cast<std::size_t>(s)][static_cast<std::size_t>(s)] = 0;
+    std::vector<int> frontier{s};
+    int depth = 0;
+    while (!frontier.empty()) {
+      ++depth;
+      std::vector<int> next;
+      for (int u : frontier) {
+        for (int v : adj[static_cast<std::size_t>(u)]) {
+          if (t.hops_[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)] > depth) {
+            t.hops_[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)] = depth;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+  return t;
+}
+
+Topology Topology::pruned_fat_tree(int sockets) {
+  DLRM_CHECK(sockets >= 1 && sockets <= 64, "modelled cluster has <= 64 sockets");
+  Topology t;
+  t.name_ = "OPA-pruned-fat-tree-" + std::to_string(sockets);
+  t.sockets_ = sockets;
+  t.latency_ = kOpaLatency;
+  t.is_fat_tree_ = true;
+  t.leaf_size_ = 32;
+  t.pruning_ = 0.5;  // 16 uplinks for 32 downlinks
+  t.injection_bw_ = kOpaNicBw;
+  t.unique_links_ = 16;  // uplinks per leaf
+  t.aggregate_bw_ = 16 * 2 * kOpaNicBw;  // 2 leaves' uplink capacity ≈ 200 GB/s per dir
+  return t;
+}
+
+int Topology::hops(int a, int b) const {
+  DLRM_CHECK(a >= 0 && a < sockets_ && b >= 0 && b < sockets_, "bad socket id");
+  if (a == b) return 0;
+  if (!is_fat_tree_) {
+    return hops_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  }
+  // Same leaf: HFI → leaf switch → HFI. Cross leaf: + root traversal.
+  return (a / leaf_size_ == b / leaf_size_) ? 1 : 3;
+}
+
+double Topology::mean_hops(int ranks) const {
+  DLRM_CHECK(ranks >= 2 && ranks <= sockets_, "bad rank count");
+  double total = 0.0;
+  int pairs = 0;
+  for (int a = 0; a < ranks; ++a) {
+    for (int b = a + 1; b < ranks; ++b) {
+      total += hops(a, b);
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+double Topology::alltoall_rank_bw(int ranks) const {
+  DLRM_CHECK(ranks >= 2 && ranks <= sockets_, "bad rank count");
+  if (is_fat_tree_) {
+    if (ranks <= leaf_size_) return injection_bw_;  // NIC-bound inside a leaf
+    // Cross-leaf share of the traffic contends on the 2:1-pruned uplinks.
+    const double frac_cross =
+        static_cast<double>(leaf_size_) / static_cast<double>(ranks - 1);
+    const double cross_bw =
+        unique_links_ * injection_bw_ / static_cast<double>(leaf_size_);
+    const double inv =
+        (1.0 - frac_cross) / injection_bw_ + frac_cross / std::min(injection_bw_, cross_bw);
+    return 1.0 / inv;
+  }
+  // Hypercube: total traffic inflated by the mean hop count must fit into
+  // the aggregate capacity of the links among the participating sockets.
+  int links_within = 0;
+  for (int a = 0; a < ranks; ++a) {
+    for (int b = a + 1; b < ranks; ++b) {
+      links_within += (hops(a, b) == 1);
+    }
+  }
+  const double agg = links_within * 2 * kUpiLinkBwOneDir;
+  const double diluted = agg / (ranks * mean_hops(ranks));
+  const double tuned = ranks >= sockets_ ? kUpiAlltoallTuning8 : 1.0;
+  return std::min(injection_bw_, diluted) * tuned;
+}
+
+double Topology::allreduce_rank_bw(int ranks) const {
+  DLRM_CHECK(ranks >= 2 && ranks <= sockets_, "bad rank count");
+  if (is_fat_tree_) {
+    // Chunked ring: only two ring hops cross the root; uplinks have ample
+    // headroom for two flows → NIC-bound at any scale.
+    return injection_bw_;
+  }
+  // The twisted hypercube embeds a Hamiltonian ring (0-1-3-2-7-5-4-6) whose
+  // every hop is a direct link: one link direction per rank.
+  return kUpiLinkBwOneDir;
+}
+
+double Topology::allreduce_time(int ranks, std::int64_t bytes,
+                                double bw_factor) const {
+  if (ranks <= 1) return 0.0;
+  const double bw = allreduce_rank_bw(ranks) * bw_factor;
+  const double steps = 2.0 * (ranks - 1);
+  return steps * static_cast<double>(bytes) / ranks / bw + steps * latency_;
+}
+
+double Topology::reduce_scatter_time(int ranks, std::int64_t bytes,
+                                     double bw_factor) const {
+  if (ranks <= 1) return 0.0;
+  const double bw = allreduce_rank_bw(ranks) * bw_factor;
+  const double steps = static_cast<double>(ranks - 1);
+  return steps * static_cast<double>(bytes) / ranks / bw + steps * latency_;
+}
+
+double Topology::allgather_time(int ranks, std::int64_t bytes,
+                                double bw_factor) const {
+  return reduce_scatter_time(ranks, bytes, bw_factor);
+}
+
+double Topology::alltoall_time(int ranks, std::int64_t total_bytes,
+                               double bw_factor) const {
+  if (ranks <= 1) return 0.0;
+  // Each rank injects its share, excluding the self block.
+  const double per_rank =
+      static_cast<double>(total_bytes) / ranks * (ranks - 1) / ranks;
+  const double bw = alltoall_rank_bw(ranks) * bw_factor;
+  return per_rank / bw + (ranks - 1) * latency_;
+}
+
+double Topology::scatter_time(int ranks, std::int64_t bytes_total,
+                              double bw_factor) const {
+  if (ranks <= 1) return 0.0;
+  // The root's injection link serializes the R-1 peer messages; on the
+  // hypercube multi-hop forwarding dilutes the effective rate.
+  double bw = injection_bw_ * bw_factor;
+  if (!is_fat_tree_) bw /= mean_hops(ranks);
+  const double payload =
+      static_cast<double>(bytes_total) * (ranks - 1) / ranks;
+  return payload / bw + (ranks - 1) * latency_;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,92 @@
+// Fabric topologies (paper Figs. 3 and 4) and collective time models.
+//
+// Two fabrics are modelled at the link level:
+//
+//   * Twisted hypercube of 8 sockets over UPI (Fig. 3): 3 point-to-point
+//     links per socket, 12 unique links, ~22 GB/s bidirectional each
+//     (~260 GB/s aggregate). 3 neighbours at 1 hop, 4 at 2 hops.
+//   * Pruned fat-tree over Intel OPA (Fig. 4): 100 Gb/s per-socket HFI at
+//     ~1 us latency; 32 sockets per leaf switch, 16 uplinks per leaf → 2:1
+//     pruning towards the root.
+//
+// Collective models are bandwidth-latency ("Hockney-style") estimates of the
+// algorithms our runtime actually uses (reduce-scatter + allgather
+// allreduce, direct alltoall, root-serialized scatter/gather), with
+// topology-specific effective-bandwidth corrections derived from the link
+// graph (hop dilution on the hypercube, pruning on the fat tree).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlrm {
+
+class Topology {
+ public:
+  /// Fig. 3: 8-socket twisted hypercube over UPI.
+  static Topology twisted_hypercube8();
+
+  /// Fig. 4: `sockets` endpoints on a 2:1-pruned fat tree (leaves of 32).
+  static Topology pruned_fat_tree(int sockets);
+
+  const std::string& name() const { return name_; }
+  int sockets() const { return sockets_; }
+
+  /// Per-endpoint injection bandwidth (one direction), B/s.
+  double injection_bw() const { return injection_bw_; }
+  /// Per-message latency, seconds.
+  double latency() const { return latency_; }
+  /// Number of unique links (UPI) or leaf uplinks (fat tree).
+  int unique_links() const { return unique_links_; }
+  /// Aggregate fabric bandwidth, B/s (the paper quotes 260 GB/s for Fig. 3).
+  double aggregate_bw() const { return aggregate_bw_; }
+
+  /// Hop count between two endpoints (1 or 2 on the hypercube; 1 within a
+  /// leaf, 3 across leaves on the fat tree, counting switch traversals).
+  int hops(int a, int b) const;
+  /// Mean hop count over all distinct pairs of the first `ranks` endpoints.
+  double mean_hops(int ranks) const;
+
+  /// Bandwidth available to one rank of an `ranks`-wide alltoall, B/s.
+  /// Encodes hop dilution (hypercube) and 2:1 pruning (fat tree); also
+  /// captures the paper's observation that the UPI alltoall does not scale
+  /// from 4 to 8 sockets (multi-round twisted-hypercube schedule).
+  double alltoall_rank_bw(int ranks) const;
+
+  /// Bandwidth available per rank to the ring/chunked allreduce.
+  double allreduce_rank_bw(int ranks) const;
+
+  // --- Collective time estimates (seconds) --------------------------------
+
+  /// Reduce-scatter + allgather allreduce of `bytes` per rank.
+  /// `bw_factor` scales effective bandwidth (backend driver limits).
+  double allreduce_time(int ranks, std::int64_t bytes, double bw_factor) const;
+  /// Reduce-scatter phase only (half the allreduce traffic).
+  double reduce_scatter_time(int ranks, std::int64_t bytes, double bw_factor) const;
+  double allgather_time(int ranks, std::int64_t bytes, double bw_factor) const;
+
+  /// Personalized alltoall moving `total_bytes` across all ranks (Eq. 2
+  /// volume in bytes).
+  double alltoall_time(int ranks, std::int64_t total_bytes, double bw_factor) const;
+
+  /// One scatter (or gather) of `bytes_total` payload from/to a single root:
+  /// the root's injection link serializes R-1 messages.
+  double scatter_time(int ranks, std::int64_t bytes_total, double bw_factor) const;
+
+ private:
+  Topology() = default;
+
+  std::string name_;
+  int sockets_ = 0;
+  double injection_bw_ = 0.0;
+  double latency_ = 0.0;
+  int unique_links_ = 0;
+  double aggregate_bw_ = 0.0;
+  bool is_fat_tree_ = false;
+  int leaf_size_ = 0;
+  double pruning_ = 1.0;                 // uplink:downlink ratio (0.5 = 2:1)
+  std::vector<std::vector<int>> hops_;   // hypercube pairwise hop matrix
+};
+
+}  // namespace dlrm

@@ -1,0 +1,117 @@
+#include "comm/backend.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+const char* to_string(CommOpKind k) {
+  switch (k) {
+    case CommOpKind::kAllreduce:
+      return "Allreduce";
+    case CommOpKind::kAlltoall:
+      return "Alltoall";
+    case CommOpKind::kReduceScatter:
+      return "ReduceScatter";
+    case CommOpKind::kAllgather:
+      return "Allgather";
+    case CommOpKind::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+bool CommRequest::done() const {
+  DLRM_CHECK(valid(), "empty request");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->finished;
+}
+
+CommOpKind CommRequest::kind() const {
+  DLRM_CHECK(valid(), "empty request");
+  return state_->kind;
+}
+
+double CommRequest::exec_sec() const {
+  DLRM_CHECK(valid(), "empty request");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->exec_sec;
+}
+
+QueueBackend::QueueBackend(std::string name, int workers,
+                           std::vector<int> pin_cpus)
+    : name_(std::move(name)), workers_(workers) {
+  DLRM_CHECK(workers >= 1, "need at least one worker");
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+    if (!pin_cpus.empty()) {
+      // Pin round-robin over the provided CPU set (oneCCL-style dedicated
+      // comm cores). Failure is non-fatal: behaviour degrades to unpinned.
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<std::size_t>(
+                  pin_cpus[static_cast<std::size_t>(w) % pin_cpus.size()]),
+              &set);
+      (void)pthread_setaffinity_np(threads_.back().native_handle(),
+                                   sizeof(set), &set);
+    }
+  }
+}
+
+QueueBackend::~QueueBackend() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+CommRequest QueueBackend::submit(CommOpKind kind, std::function<void()> fn) {
+  CommRequest req;
+  req.state_ = std::make_shared<CommRequest::State>(kind);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DLRM_CHECK(!shutdown_, "backend is shut down");
+    queue_.emplace_back(req.state_, std::move(fn));
+  }
+  cv_.notify_one();
+  return req;
+}
+
+double QueueBackend::wait(const CommRequest& req) {
+  DLRM_CHECK(req.valid(), "waiting on an empty request");
+  const double start = now_sec();
+  std::unique_lock<std::mutex> lock(req.state_->mu);
+  req.state_->cv.wait(lock, [&] { return req.state_->finished; });
+  return now_sec() - start;
+}
+
+void QueueBackend::worker_loop(int /*wid*/) {
+  for (;;) {
+    std::shared_ptr<CommRequest::State> state;
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      state = std::move(queue_.front().first);
+      fn = std::move(queue_.front().second);
+      queue_.pop_front();
+    }
+    const double start = now_sec();
+    fn();
+    const double elapsed = now_sec() - start;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->exec_sec = elapsed;
+      state->finished = true;
+    }
+    state->cv.notify_all();
+  }
+}
+
+}  // namespace dlrm

@@ -1,0 +1,105 @@
+#include "comm/ddp.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace dlrm {
+
+DdpAllreducer::DdpAllreducer(ThreadComm& comm, QueueBackend* backend,
+                             int buckets)
+    : comm_(comm), backend_(backend), n_buckets_(std::max(1, buckets)) {}
+
+void DdpAllreducer::attach(const std::vector<ParamSlot>& slots) {
+  DLRM_CHECK(buckets_.empty(), "attach() must be called once");
+  total_ = 0;
+  for (const auto& s : slots) total_ += s.size;
+  DLRM_CHECK(total_ > 0, "no parameters to allreduce");
+
+  // Greedy size-balanced assignment of slots to buckets, preserving order
+  // (later layers first is the caller's choice via slot order).
+  const std::int64_t target = (total_ + n_buckets_ - 1) / n_buckets_;
+  buckets_.resize(static_cast<std::size_t>(n_buckets_));
+  std::size_t b = 0;
+  std::int64_t filled = 0;
+  for (const auto& s : slots) {
+    if (filled >= target && b + 1 < buckets_.size()) {
+      ++b;
+      filled = 0;
+    }
+    buckets_[b].slots.push_back(s);
+    filled += s.size;
+  }
+  for (auto& bucket : buckets_) {
+    std::int64_t n = 0;
+    for (const auto& s : bucket.slots) n += s.size;
+    bucket.flat.reshape({std::max<std::int64_t>(n, 1)});
+  }
+}
+
+void DdpAllreducer::start() {
+  DLRM_CHECK(!buckets_.empty(), "attach() first");
+  DLRM_CHECK(!in_flight_, "previous allreduce not finished");
+  framework_sec_ = 0.0;
+  wait_sec_ = 0.0;
+  const Timer frame;
+
+  for (auto& bucket : buckets_) {
+    // Pack slot grads into the flat buffer (framework cost).
+    float* dst = bucket.flat.data();
+    for (const auto& s : bucket.slots) {
+      const float* __restrict__ g = s.grad;
+      for (std::int64_t i = 0; i < s.size; ++i) *dst++ = g[i];
+    }
+    const std::int64_t n = static_cast<std::int64_t>(dst - bucket.flat.data());
+    // Reserve both phases' tickets now (program order across ranks).
+    bucket.rs_seq = comm_.ticket();
+    bucket.ag_seq = comm_.ticket();
+    float* data = bucket.flat.data();
+    if (backend_ != nullptr) {
+      bucket.rs_req = backend_->submit(CommOpKind::kReduceScatter, [this, data, n, seq = bucket.rs_seq] {
+        comm_.reduce_scatter_seq(seq, data, n);
+      });
+      // The allgather reads the chunks the reduce-scatter produces: chain it
+      // on the rs completion so multi-worker backends cannot reorder them.
+      bucket.ag_req = backend_->submit(
+          CommOpKind::kAllgather,
+          [this, data, n, seq = bucket.ag_seq, rs = bucket.rs_req] {
+            backend_->wait(rs);
+            comm_.allgather_chunks_seq(seq, data, n);
+          });
+    } else {
+      const Timer t;
+      comm_.reduce_scatter_seq(bucket.rs_seq, data, n);
+      comm_.allgather_chunks_seq(bucket.ag_seq, data, n);
+      wait_sec_ += t.elapsed_sec();
+    }
+  }
+  framework_sec_ += frame.elapsed_sec() - (backend_ == nullptr ? wait_sec_ : 0.0);
+  in_flight_ = true;
+}
+
+void DdpAllreducer::finish() {
+  DLRM_CHECK(in_flight_, "start() first");
+  if (backend_ != nullptr) {
+    for (auto& bucket : buckets_) {
+      wait_sec_ += backend_->wait(bucket.rs_req);
+      wait_sec_ += backend_->wait(bucket.ag_req);
+    }
+  }
+  const Timer frame;
+  const float inv_r = 1.0f / static_cast<float>(comm_.size());
+  for (auto& bucket : buckets_) {
+    // Average and unpack (framework cost: "gradient averaging").
+    const float* src = bucket.flat.data();
+    for (const auto& s : bucket.slots) {
+      float* __restrict__ g = s.grad;
+      for (std::int64_t i = 0; i < s.size; ++i) g[i] = *src++ * inv_r;
+    }
+  }
+  framework_sec_ += frame.elapsed_sec();
+  in_flight_ = false;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,69 @@
+// Distributed-data-parallel gradient allreduce (paper Sect. IV.A / Fig. 2).
+//
+// The MLPs replicate across ranks; after the backward pass their weight
+// gradients are summed over ranks and averaged. DdpAllreducer:
+//
+//   * packs registered gradient slots into flat bucket buffers ("copy to
+//     flat buffers" — counted as framework time, cf. Fig. 11),
+//   * allreduces buckets either blocking (the paper's instrumentation mode)
+//     or asynchronously via a QueueBackend (reduce-scatter + allgather as
+//     two separately overlappable ops, exactly Fig. 2's schedule),
+//   * averages by 1/R and unpacks back into the slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/backend.hpp"
+#include "comm/thread_comm.hpp"
+#include "common/param_slot.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+
+class DdpAllreducer {
+ public:
+  /// backend == nullptr → blocking collectives on the calling thread.
+  /// `buckets` splits the parameter set into roughly equal flat buffers so
+  /// several allreduces can be in flight (finer overlap granularity).
+  DdpAllreducer(ThreadComm& comm, QueueBackend* backend, int buckets = 1);
+
+  void attach(const std::vector<ParamSlot>& slots);
+
+  std::int64_t total_elems() const { return total_; }
+
+  /// Packs gradients and launches the allreduce of every bucket.
+  void start();
+
+  /// Waits for completion, averages by 1/R, unpacks into the grad slots.
+  void finish();
+
+  /// Convenience: start() + finish().
+  void run() {
+    start();
+    finish();
+  }
+
+  // Instrumentation (reset by start()).
+  double framework_sec() const { return framework_sec_; }
+  double wait_sec() const { return wait_sec_; }
+
+ private:
+  struct Bucket {
+    std::vector<ParamSlot> slots;
+    Tensor<float> flat;
+    CommRequest rs_req, ag_req;  // reduce-scatter / allgather phases
+    std::uint64_t rs_seq = 0, ag_seq = 0;
+  };
+
+  ThreadComm& comm_;
+  QueueBackend* backend_;
+  int n_buckets_;
+  std::vector<Bucket> buckets_;
+  std::int64_t total_ = 0;
+  bool in_flight_ = false;
+  double framework_sec_ = 0.0;
+  double wait_sec_ = 0.0;
+};
+
+}  // namespace dlrm

@@ -1,0 +1,101 @@
+// Embedding-output exchange strategies (paper Sect. IV.B).
+//
+// With hybrid parallelism the embedding tables are model-parallel (each rank
+// owns S/R tables and computes them for the FULL global minibatch GN) while
+// the MLPs are data-parallel (each rank works on its LN = GN/R slice). The
+// interaction op therefore needs a personalized all-to-all to realign the
+// minibatch. The paper evaluates three framework-level realizations:
+//
+//   * kScatterList  — one scatter per table (S collective calls), the
+//                     original DLRM multi-device scheme ported to processes.
+//   * kFusedScatter — outputs of all local tables coalesced into one buffer,
+//                     one scatter per rank (R calls).
+//   * kAlltoall     — a single alltoallv (1 call), the HPC-native pattern.
+//
+// forward() moves table outputs [GN][E] (at the owners) to per-slice tensors
+// [S][LN][E] (at every rank); backward() moves interaction gradients back.
+// All three strategies are bitwise equivalent; they differ in call count and
+// therefore in latency/overlap behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/backend.hpp"
+#include "comm/thread_comm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+
+enum class ExchangeStrategy { kScatterList, kFusedScatter, kAlltoall };
+
+const char* to_string(ExchangeStrategy s);
+
+/// In-flight exchange: wait() must be called before the results are read.
+/// framework_sec: packing/launch time on the caller. wait_sec: time blocked.
+struct ExchangeHandle {
+  std::vector<CommRequest> requests;
+  double framework_sec = 0.0;
+  double wait_sec = 0.0;
+};
+
+class EmbeddingExchange {
+ public:
+  /// `tables` = S (global), `dim` = E, `global_batch` = GN. Table t is owned
+  /// by rank t % R; GN must be divisible by R.
+  EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
+                    ExchangeStrategy strategy, std::int64_t tables,
+                    std::int64_t dim, std::int64_t global_batch);
+
+  std::int64_t local_batch() const { return ln_; }
+  std::int64_t owned_tables() const { return owned_; }
+  ExchangeStrategy strategy() const { return strategy_; }
+
+  /// Global table ids owned by this rank, in increasing order.
+  const std::vector<std::int64_t>& owned_ids() const { return owned_ids_; }
+
+  /// Starts the forward exchange. local_out[k] points to the [GN][E] output
+  /// of the k-th owned table. If no backend was given the call is blocking
+  /// (requests empty, wait time folded into the handle).
+  ExchangeHandle start_forward(const std::vector<const float*>& local_out);
+
+  /// Completes the forward exchange; sliced[t*LN*E ...] receives table t's
+  /// rows for this rank's slice, for all S tables. `sliced` is [S][LN][E].
+  void finish_forward(ExchangeHandle& h, float* sliced);
+
+  /// Starts the backward exchange of dsliced [S][LN][E].
+  ExchangeHandle start_backward(const float* dsliced);
+
+  /// Completes it; grads[k] ([GN][E]) receives the k-th owned table's
+  /// gradient rows gathered from all ranks.
+  void finish_backward(ExchangeHandle& h, const std::vector<float*>& grads);
+
+  /// Total alltoall volume in floats across all ranks (Eq. 2: S * GN * E).
+  std::int64_t total_volume() const { return s_ * gn_ * e_; }
+
+ private:
+  void submit(ExchangeHandle& h, CommOpKind kind, std::function<void()> fn);
+
+  /// Number of tables owned by ranks < p (offset of p's group in buffers
+  /// ordered by owner).
+  std::int64_t prefix_tables(int p) const {
+    std::int64_t n = 0;
+    for (int q = 0; q < p; ++q) n += tables_per_rank_[static_cast<std::size_t>(q)];
+    return n;
+  }
+
+  ThreadComm& comm_;
+  QueueBackend* backend_;  // may be null → blocking mode
+  ExchangeStrategy strategy_;
+  std::int64_t s_, e_, gn_, ln_;
+  std::int64_t owned_ = 0;
+  std::vector<std::int64_t> owned_ids_;
+  std::vector<std::int64_t> tables_per_rank_;
+
+  // Scratch: packed send/recv + alltoallv layout arrays (must outlive ops).
+  Tensor<float> send_, recv_;
+  Tensor<std::int64_t> scounts_, sdispls_, rcounts_, rdispls_;
+};
+
+}  // namespace dlrm

@@ -1,0 +1,218 @@
+#include "comm/thread_comm.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "common/threadpool.hpp"
+
+namespace dlrm {
+
+std::shared_ptr<CommWorld> CommWorld::create(int size) {
+  DLRM_CHECK(size >= 1, "world size must be positive");
+  return std::shared_ptr<CommWorld>(new CommWorld(size));
+}
+
+std::shared_ptr<CommWorld::OpContext> CommWorld::context(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ops_.find(seq);
+  if (it != ops_.end()) return it->second;
+  auto ctx = std::make_shared<OpContext>(size_);
+  ops_.emplace(seq, ctx);
+  return ctx;
+}
+
+void CommWorld::release(std::uint64_t seq,
+                        const std::shared_ptr<OpContext>& ctx) {
+  if (ctx->finished.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.erase(seq);
+  }
+}
+
+namespace {
+
+void copy_floats(float* __restrict__ dst, const float* __restrict__ src,
+                 std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+}  // namespace
+
+void ThreadComm::barrier_seq(std::uint64_t seq) {
+  auto ctx = world_->context(seq);
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::reduce_scatter_seq(std::uint64_t seq, float* data,
+                                    std::int64_t n) {
+  const int R = size();
+  auto ctx = world_->context(seq);
+  ctx->recv[static_cast<std::size_t>(rank_)] = data;
+  ctx->barrier.arrive_and_wait();
+  // Rank r owns chunk r: sum every peer's chunk r into our own buffer.
+  // Peers only write their own chunks, so reads of foreign chunks are safe.
+  const std::int64_t lo = chunk_begin(n, rank_, R);
+  const std::int64_t hi = chunk_begin(n, rank_ + 1, R);
+  float* __restrict__ mine = data;
+  for (int p = 0; p < R; ++p) {
+    if (p == rank_) continue;
+    const float* __restrict__ theirs = ctx->recv[static_cast<std::size_t>(p)];
+    for (std::int64_t i = lo; i < hi; ++i) mine[i] += theirs[i];
+  }
+  ctx->barrier.arrive_and_wait();  // all chunks reduced before anyone reuses buffers
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::allgather_chunks_seq(std::uint64_t seq, float* data,
+                                      std::int64_t n) {
+  const int R = size();
+  auto ctx = world_->context(seq);
+  ctx->recv[static_cast<std::size_t>(rank_)] = data;
+  ctx->barrier.arrive_and_wait();
+  for (int p = 0; p < R; ++p) {
+    if (p == rank_) continue;
+    const std::int64_t lo = chunk_begin(n, p, R);
+    const std::int64_t hi = chunk_begin(n, p + 1, R);
+    copy_floats(data + lo, ctx->recv[static_cast<std::size_t>(p)] + lo, hi - lo);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::allreduce_seq(std::uint64_t seq, float* data, std::int64_t n) {
+  // Materialized as reduce-scatter + allgather, the same two-phase algorithm
+  // the paper overlaps with back-propagation (Sect. IV.A). Two independent
+  // sequence numbers keep the phases distinct ops for async backends.
+  const int R = size();
+  if (R == 1) return;
+  auto ctx = world_->context(seq);
+  ctx->recv[static_cast<std::size_t>(rank_)] = data;
+  ctx->barrier.arrive_and_wait();
+  const std::int64_t lo = chunk_begin(n, rank_, R);
+  const std::int64_t hi = chunk_begin(n, rank_ + 1, R);
+  for (int p = 0; p < R; ++p) {
+    if (p == rank_) continue;
+    const float* __restrict__ theirs = ctx->recv[static_cast<std::size_t>(p)];
+    for (std::int64_t i = lo; i < hi; ++i) data[i] += theirs[i];
+  }
+  ctx->barrier.arrive_and_wait();  // reduce-scatter complete everywhere
+  for (int p = 0; p < R; ++p) {
+    if (p == rank_) continue;
+    const std::int64_t plo = chunk_begin(n, p, R);
+    const std::int64_t phi = chunk_begin(n, p + 1, R);
+    copy_floats(data + plo, ctx->recv[static_cast<std::size_t>(p)] + plo, phi - plo);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::alltoall_seq(std::uint64_t seq, const float* send,
+                              float* recv, std::int64_t per_pair) {
+  const int R = size();
+  auto ctx = world_->context(seq);
+  ctx->send[static_cast<std::size_t>(rank_)] = send;
+  ctx->barrier.arrive_and_wait();
+  for (int p = 0; p < R; ++p) {
+    // Pull peer p's block addressed to us into slot p.
+    copy_floats(recv + p * per_pair,
+                ctx->send[static_cast<std::size_t>(p)] + rank_ * per_pair,
+                per_pair);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::alltoallv_seq(std::uint64_t seq, const float* send,
+                               const std::int64_t* scounts,
+                               const std::int64_t* sdispls, float* recv,
+                               const std::int64_t* rcounts,
+                               const std::int64_t* rdispls) {
+  const int R = size();
+  auto ctx = world_->context(seq);
+  ctx->send[static_cast<std::size_t>(rank_)] = send;
+  ctx->counts[static_cast<std::size_t>(rank_)] = scounts;
+  ctx->displs[static_cast<std::size_t>(rank_)] = sdispls;
+  ctx->barrier.arrive_and_wait();
+  for (int p = 0; p < R; ++p) {
+    const std::int64_t n = rcounts[p];
+    DLRM_DCHECK(n == ctx->counts[static_cast<std::size_t>(p)][rank_],
+                "alltoallv count mismatch");
+    copy_floats(recv + rdispls[p],
+                ctx->send[static_cast<std::size_t>(p)] +
+                    ctx->displs[static_cast<std::size_t>(p)][rank_],
+                n);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::broadcast_seq(std::uint64_t seq, float* data, std::int64_t n,
+                               int root) {
+  auto ctx = world_->context(seq);
+  if (rank_ == root) ctx->send[static_cast<std::size_t>(rank_)] = data;
+  ctx->barrier.arrive_and_wait();
+  if (rank_ != root) {
+    copy_floats(data, ctx->send[static_cast<std::size_t>(root)], n);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::scatter_seq(std::uint64_t seq, const float* send, float* recv,
+                             std::int64_t chunk, int root) {
+  auto ctx = world_->context(seq);
+  if (rank_ == root) {
+    DLRM_CHECK(send != nullptr, "root must provide a send buffer");
+    ctx->send[static_cast<std::size_t>(rank_)] = send;
+  }
+  ctx->barrier.arrive_and_wait();
+  copy_floats(recv, ctx->send[static_cast<std::size_t>(root)] + rank_ * chunk,
+              chunk);
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::gather_seq(std::uint64_t seq, const float* send, float* recv,
+                            std::int64_t chunk, int root) {
+  auto ctx = world_->context(seq);
+  ctx->send[static_cast<std::size_t>(rank_)] = send;
+  ctx->barrier.arrive_and_wait();
+  if (rank_ == root) {
+    DLRM_CHECK(recv != nullptr, "root must provide a recv buffer");
+    for (int p = 0; p < size(); ++p) {
+      copy_floats(recv + p * chunk, ctx->send[static_cast<std::size_t>(p)], chunk);
+    }
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void run_ranks(int ranks, int threads_per_rank,
+               const std::function<void(ThreadComm&)>& body) {
+  auto world = CommWorld::create(ranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        ThreadComm comm(world, r);
+        if (threads_per_rank > 0) {
+          ThreadPool pool(threads_per_rank);
+          PoolScope scope(pool);
+          body(comm);
+        } else {
+          body(comm);
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dlrm

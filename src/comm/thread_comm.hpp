@@ -1,0 +1,175 @@
+// In-process multi-rank communication substrate.
+//
+// The paper runs one MPI rank per CPU socket; we reproduce that topology with
+// one std::thread per rank sharing a CommWorld. Collectives move data through
+// shared memory with the same algorithms a fabric would use:
+//
+//   * allreduce     — reduce-scatter + allgather (exactly the decomposition
+//                     the paper overlaps with the backward GEMMs, Fig. 2)
+//   * alltoall(v)   — the embedding-exchange pattern of Sect. IV.B
+//   * scatter/gather/broadcast/allgather/reduce_scatter — building blocks of
+//                     the ScatterList / FusedScatter strategies
+//
+// Matching: every rank issues the same sequence of collectives (SPMD); the
+// n-th collective on rank a pairs with the n-th on rank b via a per-sequence
+// OpContext. Sequence numbers are reserved in program order (tickets), so
+// asynchronous backends can execute operations out of order without
+// mismatching peers.
+//
+// One-sided semantics: each rank publishes its buffer pointers, a barrier
+// synchronizes, then ranks read peers' memory directly — the shared-memory
+// analogue of the UPI non-temporal store flows described in Sect. V.C.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/log.hpp"
+
+namespace dlrm {
+
+class ThreadComm;
+
+/// Shared state of an R-rank in-process world. Create once, hand one
+/// ThreadComm per rank thread.
+class CommWorld {
+ public:
+  static std::shared_ptr<CommWorld> create(int size);
+
+  int size() const { return size_; }
+
+ private:
+  friend class ThreadComm;
+
+  struct OpContext {
+    explicit OpContext(int ranks)
+        : barrier(ranks),
+          send(static_cast<std::size_t>(ranks), nullptr),
+          recv(static_cast<std::size_t>(ranks), nullptr),
+          counts(static_cast<std::size_t>(ranks), nullptr),
+          displs(static_cast<std::size_t>(ranks), nullptr) {}
+    SpinBarrier barrier;
+    std::vector<const float*> send;
+    std::vector<float*> recv;
+    std::vector<const std::int64_t*> counts;  // alltoallv layouts
+    std::vector<const std::int64_t*> displs;
+    std::atomic<int> finished{0};
+  };
+
+  explicit CommWorld(int size) : size_(size) {}
+
+  /// Finds or creates the context for sequence number `seq`.
+  std::shared_ptr<OpContext> context(std::uint64_t seq);
+  /// Called by each rank when it leaves the op; the last one erases it.
+  void release(std::uint64_t seq, const std::shared_ptr<OpContext>& ctx);
+
+  const int size_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<OpContext>> ops_;
+};
+
+/// Per-rank communicator handle. Blocking collectives reserve their sequence
+/// number internally; asynchronous engines reserve a ticket at enqueue time
+/// (program order) and execute `*_seq` later on a worker thread.
+class ThreadComm {
+ public:
+  ThreadComm(std::shared_ptr<CommWorld> world, int rank)
+      : world_(std::move(world)), rank_(rank) {
+    DLRM_CHECK(rank_ >= 0 && rank_ < world_->size(), "bad rank");
+  }
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+
+  /// Reserves the next collective sequence number. All ranks must reserve
+  /// tickets for the same logical operations in the same program order; the
+  /// n-th ticket on every rank refers to the same collective.
+  std::uint64_t ticket() { return local_seq_++; }
+
+  // --- Blocking collectives (reserve a ticket internally) -----------------
+
+  void barrier() { barrier_seq(ticket()); }
+
+  /// In-place sum-allreduce over all ranks (reduce-scatter + allgather).
+  void allreduce(float* data, std::int64_t n) { allreduce_seq(ticket(), data, n); }
+
+  /// Reduce-scatter: after the call, data[chunk(rank)] holds the global sum
+  /// of that chunk; other chunks are left unspecified. Chunk c spans
+  /// [n*c/R, n*(c+1)/R).
+  void reduce_scatter(float* data, std::int64_t n) { reduce_scatter_seq(ticket(), data, n); }
+
+  /// Allgather of the per-rank chunks written by reduce_scatter.
+  void allgather_chunks(float* data, std::int64_t n) { allgather_chunks_seq(ticket(), data, n); }
+
+  /// Personalized all-to-all with uniform block size: recv[p] gets peer p's
+  /// send block addressed to us. send/recv are [R * per_pair] floats.
+  void alltoall(const float* send, float* recv, std::int64_t per_pair) {
+    alltoall_seq(ticket(), send, recv, per_pair);
+  }
+
+  /// General all-to-all: rank r sends counts[p] floats at displs[p] to peer
+  /// p, and receives into recv at rdispls[p] (rcounts[p] floats). The count
+  /// and displacement arrays must stay alive for the duration of the op.
+  void alltoallv(const float* send, const std::int64_t* scounts,
+                 const std::int64_t* sdispls, float* recv,
+                 const std::int64_t* rcounts, const std::int64_t* rdispls) {
+    alltoallv_seq(ticket(), send, scounts, sdispls, recv, rcounts, rdispls);
+  }
+
+  void broadcast(float* data, std::int64_t n, int root) {
+    broadcast_seq(ticket(), data, n, root);
+  }
+
+  /// Root sends chunk p of `send` ([R*chunk] floats) to each peer's recv
+  /// ([chunk] floats). Non-roots pass send == nullptr.
+  void scatter(const float* send, float* recv, std::int64_t chunk, int root) {
+    scatter_seq(ticket(), send, recv, chunk, root);
+  }
+
+  /// Root receives each peer's send ([chunk] floats) into recv[p*chunk].
+  /// Non-roots pass recv == nullptr.
+  void gather(const float* send, float* recv, std::int64_t chunk, int root) {
+    gather_seq(ticket(), send, recv, chunk, root);
+  }
+
+  // --- Ticketed variants (for asynchronous backends) ----------------------
+
+  void barrier_seq(std::uint64_t seq);
+  void allreduce_seq(std::uint64_t seq, float* data, std::int64_t n);
+  void reduce_scatter_seq(std::uint64_t seq, float* data, std::int64_t n);
+  void allgather_chunks_seq(std::uint64_t seq, float* data, std::int64_t n);
+  void alltoall_seq(std::uint64_t seq, const float* send, float* recv,
+                    std::int64_t per_pair);
+  void alltoallv_seq(std::uint64_t seq, const float* send,
+                     const std::int64_t* scounts, const std::int64_t* sdispls,
+                     float* recv, const std::int64_t* rcounts,
+                     const std::int64_t* rdispls);
+  void broadcast_seq(std::uint64_t seq, float* data, std::int64_t n, int root);
+  void scatter_seq(std::uint64_t seq, const float* send, float* recv,
+                   std::int64_t chunk, int root);
+  void gather_seq(std::uint64_t seq, const float* send, float* recv,
+                  std::int64_t chunk, int root);
+
+ private:
+  static std::int64_t chunk_begin(std::int64_t n, int c, int ranks) {
+    return n * c / ranks;
+  }
+
+  std::shared_ptr<CommWorld> world_;
+  const int rank_;
+  std::uint64_t local_seq_ = 0;
+};
+
+/// Spawns `ranks` threads, each with its own ThreadComm (and, if
+/// `threads_per_rank` > 0, its own ThreadPool installed via PoolScope), runs
+/// `body(comm)` on each, and joins. Exceptions in any rank are rethrown.
+void run_ranks(int ranks, int threads_per_rank,
+               const std::function<void(ThreadComm&)>& body);
+
+}  // namespace dlrm

@@ -1,0 +1,37 @@
+// Cache-line/SIMD aligned heap buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+/// Allocation alignment used for all tensor storage: one 64-byte cache line,
+/// which also satisfies AVX-512 load/store alignment.
+inline constexpr std::size_t kAlignment = 64;
+
+namespace detail {
+struct FreeDeleter {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+}  // namespace detail
+
+/// Allocates `n` elements of T aligned to kAlignment. Zero-size allocations
+/// return an empty pointer.
+template <typename T>
+std::unique_ptr<T[], detail::FreeDeleter> aligned_array(std::size_t n) {
+  if (n == 0) return nullptr;
+  const std::size_t bytes = ((n * sizeof(T) + kAlignment - 1) / kAlignment) * kAlignment;
+  void* p = std::aligned_alloc(kAlignment, bytes);
+  if (p == nullptr) throw std::bad_alloc();
+  return std::unique_ptr<T[], detail::FreeDeleter>(static_cast<T*>(p));
+}
+
+template <typename T>
+using AlignedPtr = std::unique_ptr<T[], detail::FreeDeleter>;
+
+}  // namespace dlrm

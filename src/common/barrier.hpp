@@ -1,0 +1,51 @@
+// Sense-reversing spin barrier for tightly coupled rank/worker threads.
+//
+// Used by the in-process communicator (src/comm) where ranks synchronize many
+// times per training iteration; a futex-based std::barrier adds unwanted
+// latency at these rendezvous points.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace dlrm {
+
+/// Reusable barrier for a fixed set of participants. Spins briefly before
+/// yielding so oversubscribed configurations (more ranks than cores) still
+/// make progress.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants)
+      : participants_(participants), remaining_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all participants have arrived.
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arrival: reset and release the others.
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (++spins > kSpinLimit) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  int participants() const { return participants_; }
+
+ private:
+  static constexpr int kSpinLimit = 4096;
+  const int participants_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace dlrm

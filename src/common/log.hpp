@@ -1,0 +1,51 @@
+// Minimal logging and runtime-check utilities used across the library.
+//
+// We deliberately avoid iostream-heavy logging in hot paths; these helpers are
+// for setup, configuration and error reporting only.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dlrm {
+
+/// Thrown by DLRM_CHECK on contract violations.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DLRM_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dlrm
+
+/// Runtime contract check; throws dlrm::CheckError with location info.
+/// Usage: DLRM_CHECK(n > 0, "minibatch must be positive");
+#define DLRM_CHECK(cond, ...)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dlrm::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                   ::std::string(__VA_ARGS__ ""));         \
+    }                                                                      \
+  } while (0)
+
+/// Check used in debug builds only (hot paths).
+#ifndef NDEBUG
+#define DLRM_DCHECK(cond, ...) DLRM_CHECK(cond, __VA_ARGS__)
+#else
+#define DLRM_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#endif

@@ -1,0 +1,16 @@
+// A registered dense-parameter block shared between layers and optimizers.
+#pragma once
+
+#include <cstdint>
+
+namespace dlrm {
+
+/// Contiguous fp32 parameters with matching gradient storage. Layers expose
+/// these; optimizers consume them; DDP allreduces the grad side.
+struct ParamSlot {
+  float* param = nullptr;
+  float* grad = nullptr;
+  std::int64_t size = 0;
+};
+
+}  // namespace dlrm

@@ -1,0 +1,156 @@
+// Deterministic, fast random number generation for workload synthesis.
+//
+//  * Rng            — xoshiro256** core with splitmix64 seeding.
+//  * ZipfSampler    — Hörmann rejection-inversion sampling of a Zipf(s, M)
+//                     distribution in O(1) per draw; used to synthesize the
+//                     skewed embedding-index streams (hot rows) that make the
+//                     MLPerf/Criteo config contention-heavy (paper Fig. 7/8).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+namespace detail {
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+/// xoshiro256** PRNG. Deterministic across platforms; each consumer owns its
+/// own instance (no shared global state → reproducible parallel workloads).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1234ABCDull) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = detail::splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+  std::uint16_t next_u16() { return static_cast<std::uint16_t>(next_u64() >> 48); }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::int64_t next_index(std::int64_t bound) {
+    DLRM_DCHECK(bound > 0);
+    // 128-bit multiply trick (Lemire); negligible bias for our bounds.
+    return static_cast<std::int64_t>(
+        (static_cast<unsigned __int128>(next_u64()) *
+         static_cast<unsigned __int128>(bound)) >>
+        64);
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Standard normal via Box–Muller (caches the second value).
+  float gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1 = next_float();
+    const float u2 = next_float();
+    if (u1 < 1e-12f) u1 = 1e-12f;
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530717958647692f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+/// O(1) Zipf(s) sampler over {0, ..., n-1} using Hörmann's
+/// rejection-inversion method ("Rejection-inversion to generate variates
+/// from monotone discrete distributions", 1996). Rank 0 is the hottest item.
+class ZipfSampler {
+ public:
+  /// s > 0 is the skew exponent; s ≈ 0 degenerates towards uniform
+  /// (use s = 0 exactly for a uniform sampler fast path).
+  ZipfSampler(std::int64_t n, double s) : n_(n), s_(s) {
+    DLRM_CHECK(n > 0, "ZipfSampler needs a positive universe");
+    DLRM_CHECK(s >= 0.0, "Zipf exponent must be non-negative");
+    if (s_ == 0.0) return;
+    one_minus_s_ = 1.0 - s_;
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    dist_ = h_x1_ - h_n_;
+  }
+
+  std::int64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  std::int64_t operator()(Rng& rng) const {
+    if (s_ == 0.0) return rng.next_index(n_);
+    for (;;) {
+      const double u = h_n_ + rng.next_double() * dist_;
+      const double x = h_inv(u);
+      std::int64_t k = static_cast<std::int64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      // Accept with the exact mass / hat ratio.
+      if (static_cast<double>(k) - x <= kAcceptShift ||
+          u >= h(static_cast<double>(k) + 0.5) - std::exp(-s_ * std::log(k))) {
+        return k - 1;  // 0-based
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-s: (x^(1-s) - 1) / (1 - s); s == 1 handled via log.
+  double h(double x) const {
+    if (s_ == 1.0) return std::log(x);
+    return std::expm1(one_minus_s_ * std::log(x)) / one_minus_s_;
+  }
+  double h_inv(double u) const {
+    if (s_ == 1.0) return std::exp(u);
+    return std::exp(std::log1p(u * one_minus_s_) / one_minus_s_);
+  }
+
+  static constexpr double kAcceptShift = 0.5772156649;  // Hörmann's s-shift
+
+  std::int64_t n_;
+  double s_;
+  double one_minus_s_ = 0.0;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double dist_ = 0.0;
+};
+
+}  // namespace dlrm

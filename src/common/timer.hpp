@@ -1,0 +1,54 @@
+// Wall-clock timing utilities for kernels, benches and the profiler.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dlrm {
+
+/// Monotonic wall-clock timestamp in seconds.
+inline double now_sec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Simple start/elapsed timer.
+class Timer {
+ public:
+  Timer() : start_(now_sec()) {}
+  void reset() { start_ = now_sec(); }
+  double elapsed_sec() const { return now_sec() - start_; }
+  double elapsed_ms() const { return elapsed_sec() * 1e3; }
+
+ private:
+  double start_;
+};
+
+/// Accumulating stopwatch: sums many timed intervals (per-op profiling).
+class Stopwatch {
+ public:
+  void start() { start_ = now_sec(); }
+  void stop() {
+    total_ += now_sec() - start_;
+    ++count_;
+  }
+  void add_sec(double sec) {
+    total_ += sec;
+    ++count_;
+  }
+  void reset() {
+    total_ = 0.0;
+    count_ = 0;
+  }
+  double total_sec() const { return total_; }
+  double total_ms() const { return total_ * 1e3; }
+  std::int64_t count() const { return count_; }
+  double mean_ms() const { return count_ == 0 ? 0.0 : total_ms() / static_cast<double>(count_); }
+
+ private:
+  double start_ = 0.0;
+  double total_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace dlrm

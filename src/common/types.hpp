@@ -1,0 +1,220 @@
+// Low-precision numeric types used by the Split-SGD-BF16 optimizer (paper
+// Sect. VII) and the mixed-precision ablations of Fig. 16.
+//
+// All conversions are bit-accurate software emulations, mirroring the paper's
+// methodology (the BF16 silicon was emulated there as well):
+//   * bf16  — 1 sign, 8 exponent, 7 mantissa bits; aliases the 16 MSBs of fp32.
+//   * fp16  — IEEE754 binary16 (1-5-10), software converted.
+//   * fp24  — the paper's "FP24 (1-8-15)" ablation: fp32 with the mantissa
+//             rounded to 15 explicit bits.
+//
+// Rounding: round-to-nearest-even (RNE) everywhere unless a stochastic
+// rounding helper is requested explicitly.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace dlrm {
+
+// ---------------------------------------------------------------------------
+// bf16
+// ---------------------------------------------------------------------------
+
+/// Converts fp32 -> bf16 bits with round-to-nearest-even.
+inline std::uint16_t f32_to_bf16_rne(float f) {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  if ((x & 0x7FFFFFFFu) > 0x7F800000u) {
+    // NaN: quiet it, keep the sign.
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  }
+  const std::uint32_t lsb = (x >> 16) & 1u;
+  x += 0x7FFFu + lsb;  // RNE bias
+  return static_cast<std::uint16_t>(x >> 16);
+}
+
+/// Converts fp32 -> bf16 bits by plain truncation (keeps the 16 MSBs).
+/// This is the conversion used by Split-SGD: hi|lo must reconstruct the fp32
+/// master weight exactly, so the hi part cannot be rounded.
+inline std::uint16_t f32_to_bf16_trunc(float f) {
+  return static_cast<std::uint16_t>(std::bit_cast<std::uint32_t>(f) >> 16);
+}
+
+/// Converts bf16 bits -> fp32 (exact).
+inline float bf16_to_f32(std::uint16_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits) << 16);
+}
+
+/// 16-bit brain floating point. Trivially copyable POD wrapper.
+struct bf16 {
+  std::uint16_t bits = 0;
+
+  bf16() = default;
+  explicit bf16(float f) : bits(f32_to_bf16_rne(f)) {}
+  static bf16 from_bits(std::uint16_t b) {
+    bf16 v;
+    v.bits = b;
+    return v;
+  }
+  /// Truncating conversion (Split-SGD hi half).
+  static bf16 truncate(float f) { return from_bits(f32_to_bf16_trunc(f)); }
+
+  explicit operator float() const { return bf16_to_f32(bits); }
+};
+
+inline float to_float(bf16 v) { return static_cast<float>(v); }
+
+// ---------------------------------------------------------------------------
+// fp16 (IEEE binary16), software conversion
+// ---------------------------------------------------------------------------
+
+/// Converts fp32 -> fp16 bits with RNE, handling subnormals/overflow.
+inline std::uint16_t f32_to_f16_rne(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  std::uint32_t absx = x & 0x7FFFFFFFu;
+
+  if (absx > 0x7F800000u) return static_cast<std::uint16_t>(sign | 0x7E00u);  // NaN
+  if (absx >= 0x47800000u) return static_cast<std::uint16_t>(sign | 0x7C00u); // Inf/overflow
+
+  if (absx < 0x38800000u) {
+    // Subnormal half (or zero): the result mantissa is
+    // round(value / 2^-24) = M >> (126 - e) with M the 24-bit significand.
+    if (absx < 0x33000000u) return static_cast<std::uint16_t>(sign);  // underflow to 0
+    const int shift = 126 - static_cast<int>(absx >> 23);  // in [14, 24]
+    const std::uint32_t mant = (absx & 0x007FFFFFu) | 0x00800000u;
+    const std::uint32_t rounded = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t half = 1u << (shift - 1);
+    std::uint32_t result = rounded;
+    if (rem > half || (rem == half && (rounded & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normalized: re-bias exponent 127 -> 15, round mantissa 23 -> 10 bits.
+  std::uint32_t v = absx + 0xC8000000u;  // exponent re-bias: subtract (127-15)<<23
+  const std::uint32_t lsb = (v >> 13) & 1u;
+  v += 0x0FFFu + lsb;
+  return static_cast<std::uint16_t>(sign | (v >> 13));
+}
+
+/// Converts fp16 bits -> fp32 (exact).
+inline float f16_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  std::uint32_t mant = h & 0x03FFu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Subnormal: normalize.
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while ((mant & 0x0400u) == 0);
+      out = sign | ((112u - e) << 23) | ((mant & 0x03FFu) << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+/// IEEE binary16. POD wrapper mirroring bf16.
+struct fp16 {
+  std::uint16_t bits = 0;
+
+  fp16() = default;
+  explicit fp16(float f) : bits(f32_to_f16_rne(f)) {}
+  static fp16 from_bits(std::uint16_t b) {
+    fp16 v;
+    v.bits = b;
+    return v;
+  }
+  explicit operator float() const { return f16_to_f32(bits); }
+};
+
+inline float to_float(fp16 v) { return static_cast<float>(v); }
+
+// ---------------------------------------------------------------------------
+// fp24 (1-8-15) — stored widened inside an fp32
+// ---------------------------------------------------------------------------
+
+/// Rounds an fp32 to the FP24 (1-8-15) grid with RNE: the result is an fp32
+/// whose low 8 mantissa bits are zero.
+inline float f32_to_f24_rne(float f) {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  if ((x & 0x7FFFFFFFu) > 0x7F800000u) return f;  // NaN passthrough
+  const std::uint32_t lsb = (x >> 8) & 1u;
+  x += 0x7Fu + lsb;
+  x &= 0xFFFFFF00u;
+  return std::bit_cast<float>(x);
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic rounding (used by the FP16-embedding ablation, paper ref [13])
+// ---------------------------------------------------------------------------
+
+/// fp32 -> bf16 with stochastic rounding driven by 16 random bits.
+inline std::uint16_t f32_to_bf16_stochastic(float f, std::uint16_t random16) {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  if ((x & 0x7FFFFFFFu) > 0x7F800000u) {
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  }
+  x += random16;
+  return static_cast<std::uint16_t>(x >> 16);
+}
+
+/// fp32 -> fp16 with stochastic rounding on the 13 discarded mantissa bits.
+/// Only correct for values in the fp16 normal range; saturates otherwise.
+inline std::uint16_t f32_to_f16_stochastic(float f, std::uint16_t random13) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t absx = x & 0x7FFFFFFFu;
+  if (absx < 0x38800000u || absx >= 0x47800000u) return f32_to_f16_rne(f);
+  std::uint32_t v = absx + 0xC8000000u;
+  v += (random13 & 0x1FFFu);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  return static_cast<std::uint16_t>(sign | (v >> 13));
+}
+
+// ---------------------------------------------------------------------------
+// Split fp32 <-> (hi, lo) 16-bit halves — the core trick of Split-SGD-BF16.
+// ---------------------------------------------------------------------------
+
+/// The two 16-bit halves of an fp32 value. `hi` is a valid bf16 number (the
+/// model weight used in fwd/bwd); `lo` lives in the optimizer state. Their
+/// concatenation is exactly the fp32 master weight, so master weights are
+/// stored implicitly with zero capacity overhead versus fp32.
+struct SplitF32 {
+  std::uint16_t hi = 0;
+  std::uint16_t lo = 0;
+};
+
+inline SplitF32 split_f32(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  return {static_cast<std::uint16_t>(x >> 16),
+          static_cast<std::uint16_t>(x & 0xFFFFu)};
+}
+
+inline float combine_f32(std::uint16_t hi, std::uint16_t lo) {
+  return std::bit_cast<float>((static_cast<std::uint32_t>(hi) << 16) |
+                              static_cast<std::uint32_t>(lo));
+}
+
+/// Variant keeping only `lo_bits` of the low half (paper: 8 extra LSBs are
+/// not enough to train DLRM to state-of-the-art).
+inline float combine_f32_partial(std::uint16_t hi, std::uint16_t lo,
+                                 int lo_bits) {
+  const std::uint16_t mask =
+      lo_bits >= 16 ? 0xFFFFu
+                    : static_cast<std::uint16_t>(~((1u << (16 - lo_bits)) - 1u));
+  return combine_f32(hi, static_cast<std::uint16_t>(lo & mask));
+}
+
+}  // namespace dlrm

@@ -1,0 +1,131 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+std::vector<std::int64_t> DlrmConfig::top_mlp_full() const {
+  std::vector<std::int64_t> full;
+  full.reserve(top_mlp.size() + 1);
+  full.push_back(interaction_out());
+  full.insert(full.end(), top_mlp.begin(), top_mlp.end());
+  return full;
+}
+
+std::int64_t DlrmConfig::table_bytes() const {
+  std::int64_t rows = 0;
+  for (auto m : table_rows) rows += m;
+  return rows * dim * 4;
+}
+
+namespace {
+
+std::int64_t mlp_params(const std::vector<std::int64_t>& dims) {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    total += dims[i] * dims[i + 1] + dims[i + 1];
+  }
+  return total;
+}
+
+}  // namespace
+
+std::int64_t DlrmConfig::allreduce_elems() const {
+  return mlp_params(bottom_mlp) + mlp_params(top_mlp_full());
+}
+
+std::int64_t DlrmConfig::min_sockets(double socket_mem_bytes) const {
+  DLRM_CHECK(socket_mem_bytes > 0, "need positive socket memory");
+  std::int64_t sockets = 1;
+  while (static_cast<double>(table_bytes()) > socket_mem_bytes * static_cast<double>(sockets)) {
+    ++sockets;
+  }
+  return sockets;
+}
+
+DlrmConfig DlrmConfig::scaled_down(std::int64_t row_divisor,
+                                   std::int64_t batch_divisor) const {
+  DLRM_CHECK(row_divisor >= 1 && batch_divisor >= 1, "divisors must be >= 1");
+  DlrmConfig c = *this;
+  c.name = name + "-scaled";
+  for (auto& m : c.table_rows) m = std::max<std::int64_t>(64, m / row_divisor);
+  c.minibatch = std::max<std::int64_t>(64, minibatch / batch_divisor);
+  c.global_batch_strong =
+      std::max<std::int64_t>(128, global_batch_strong / batch_divisor);
+  c.local_batch_weak = std::max<std::int64_t>(64, local_batch_weak / batch_divisor);
+  return c;
+}
+
+void DlrmConfig::validate() const {
+  DLRM_CHECK(!table_rows.empty(), "need at least one embedding table");
+  for (auto m : table_rows) DLRM_CHECK(m > 0, "table rows must be positive");
+  DLRM_CHECK(dim > 0 && pooling > 0, "bad embedding shape");
+  DLRM_CHECK(bottom_mlp.size() >= 2, "bottom MLP needs >= 1 layer");
+  DLRM_CHECK(bottom_mlp.back() == dim,
+             "bottom MLP must end at the embedding dim (interaction width)");
+  DLRM_CHECK(!top_mlp.empty() && top_mlp.back() == 1,
+             "top MLP must end with width 1");
+  DLRM_CHECK(minibatch > 0 && global_batch_strong > 0 && local_batch_weak > 0,
+             "bad batch sizes");
+}
+
+DlrmConfig small_config() {
+  DlrmConfig c;
+  c.name = "Small";
+  c.minibatch = 2048;
+  c.global_batch_strong = 8192;
+  c.local_batch_weak = 1024;
+  c.pooling = 50;
+  c.dim = 64;
+  c.table_rows.assign(8, 1000000);  // S = 8, M = 1e6
+  c.index_skew = 0.0;               // random dataset
+  c.bottom_mlp = {512, 512, 64};    // input 512, 2 layers of size 512 → E
+  c.top_mlp = {1024, 1024, 1024, 1};  // 4 layers of size 1024
+  c.validate();
+  return c;
+}
+
+DlrmConfig large_config() {
+  DlrmConfig c;
+  c.name = "Large";
+  c.minibatch = 2048;  // not runnable on one socket (capacity), kept for ratio
+  c.global_batch_strong = 16384;
+  c.local_batch_weak = 512;
+  c.pooling = 100;
+  c.dim = 256;
+  c.table_rows.assign(64, 6000000);  // S = 64, M = 6e6
+  c.index_skew = 0.0;
+  // 8 bottom layers of size 2048 ending at E = 256.
+  c.bottom_mlp = {2048, 2048, 2048, 2048, 2048, 2048, 2048, 2048, 256};
+  // 16 top layers of size 4096 ending at 1.
+  c.top_mlp.assign(15, 4096);
+  c.top_mlp.push_back(1);
+  c.validate();
+  return c;
+}
+
+DlrmConfig mlperf_config() {
+  DlrmConfig c;
+  c.name = "MLPerf";
+  c.minibatch = 2048;
+  c.global_batch_strong = 16384;
+  c.local_batch_weak = 2048;
+  c.pooling = 1;
+  c.dim = 128;
+  // Criteo Terabyte per-table cardinalities (MLPerf v0.7, capped at 40M).
+  c.table_rows = {39884406, 39043,    17289,    7420,     20263,    3,
+                  7120,     1543,     63,       38532951, 2953546,  403346,
+                  10,       2208,     11938,    155,      4,        976,
+                  14,       39979771, 25641295, 39664984, 585935,   12972,
+                  108,      36};
+  c.index_skew = 1.05;  // Criteo-like head concentration (hot rows)
+  c.bottom_mlp = {13, 512, 256, 128};
+  // See header note: 1024-1024-512-256-1 reproduces Table II's 9.0 MB.
+  c.top_mlp = {1024, 1024, 512, 256, 1};
+  c.validate();
+  return c;
+}
+
+}  // namespace dlrm

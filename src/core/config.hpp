@@ -1,0 +1,89 @@
+// DLRM model configurations (paper Table I) and their derived distributed
+// characteristics (paper Table II, Eqs. 1–2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlrm {
+
+/// A DLRM topology + benchmark parameters.
+struct DlrmConfig {
+  std::string name;
+
+  // Minibatch sizes (Table I).
+  std::int64_t minibatch = 2048;            // single-socket MB
+  std::int64_t global_batch_strong = 8192;  // GN for strong scaling
+  std::int64_t local_batch_weak = 1024;     // LN for weak scaling
+
+  // Embedding side.
+  std::int64_t pooling = 50;               // P, avg lookups per table
+  std::int64_t dim = 64;                   // E
+  std::vector<std::int64_t> table_rows;    // M per table (size S)
+  double index_skew = 0.0;                 // Zipf s of the index stream
+
+  // MLPs: full layer-size chains including input and output widths.
+  // bottom_mlp.back() must equal dim (the interaction feature width).
+  std::vector<std::int64_t> bottom_mlp;
+  // top_mlp lists hidden widths and the final width 1; its input width is
+  // derived from the interaction output.
+  std::vector<std::int64_t> top_mlp;
+
+  // Interaction output padding multiple (0/1 = no padding).
+  std::int64_t interaction_pad = 32;
+
+  std::int64_t tables() const { return static_cast<std::int64_t>(table_rows.size()); }
+
+  /// Interaction output width before padding: E + (S+1)S/2 with S+1 features.
+  std::int64_t interaction_payload() const {
+    const std::int64_t f = tables() + 1;
+    return dim + f * (f - 1) / 2;
+  }
+  std::int64_t interaction_out() const {
+    const std::int64_t pad = interaction_pad <= 1 ? 1 : interaction_pad;
+    return (interaction_payload() + pad - 1) / pad * pad;
+  }
+
+  /// Full top-MLP chain including the derived input width.
+  std::vector<std::int64_t> top_mlp_full() const;
+
+  /// Memory for all embedding tables in bytes (fp32), Table II row 1.
+  std::int64_t table_bytes() const;
+
+  /// Eq. 1: allreduce element count = sum over all MLP layers of
+  /// f_in*f_out + f_out (weights + bias gradients).
+  std::int64_t allreduce_elems() const;
+
+  /// Eq. 2: total alltoall element volume for global minibatch `gn`.
+  std::int64_t alltoall_elems(std::int64_t gn) const { return tables() * gn * dim; }
+
+  /// Maximum ranks for pure model-parallel embeddings: one table per rank.
+  std::int64_t max_ranks() const { return tables(); }
+
+  /// Minimum sockets needed to hold the tables, given per-socket memory.
+  std::int64_t min_sockets(double socket_mem_bytes) const;
+
+  /// Proportionally shrunk copy (rows and batches divided) for running the
+  /// paper-shaped configs on a small test machine; topology is unchanged.
+  DlrmConfig scaled_down(std::int64_t row_divisor,
+                         std::int64_t batch_divisor) const;
+
+  void validate() const;
+};
+
+/// Table I "Small" — the model problem from the DLRM release paper.
+DlrmConfig small_config();
+
+/// Table I "Large" — small scaled up in every aspect for scale-out runs.
+DlrmConfig large_config();
+
+/// Table I "MLPerf" — the MLPerf recommendation benchmark on Criteo
+/// Terabyte. Notes: the paper's Table I lists the top MLP as 512-512-256-1,
+/// but its own Table II reports a 9.0 MB allreduce, which only matches the
+/// MLPerf v0.7 top MLP 1024-1024-512-256-1 — we use the latter so Table II
+/// reproduces. Table rows use the published per-table Criteo Terabyte
+/// cardinalities (max 40M).
+DlrmConfig mlperf_config();
+
+}  // namespace dlrm

@@ -1,0 +1,219 @@
+#include "core/distributed.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/threadpool.hpp"
+#include "kernels/loss.hpp"
+
+namespace dlrm {
+
+namespace {
+
+struct MaybeScope {
+  MaybeScope(Profiler* prof, const char* name)
+      : prof_(prof), name_(name), start_(now_sec()) {}
+  ~MaybeScope() {
+    if (prof_ != nullptr) prof_->add(name_, now_sec() - start_);
+  }
+  Profiler* prof_;
+  const char* name_;
+  double start_;
+};
+
+}  // namespace
+
+DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
+                                 DistributedOptions options, ThreadComm& comm,
+                                 QueueBackend* backend,
+                                 std::int64_t global_batch)
+    : config_(config),
+      options_(options),
+      comm_(comm),
+      backend_(options.overlap ? backend : nullptr),
+      gn_(global_batch),
+      bottom_(config.bottom_mlp, Activation::kRelu, Activation::kRelu,
+              options.blocks),
+      top_(config.top_mlp_full(), Activation::kRelu, Activation::kNone,
+           options.blocks),
+      interaction_(config.tables() + 1, config.dim,
+                   config.interaction_pad <= 1 ? 1 : config.interaction_pad),
+      exchange_(comm, options.overlap ? backend : nullptr, options.exchange,
+                config.tables(), config.dim, global_batch),
+      ddp_(comm, options.overlap ? backend : nullptr, options.ddp_buckets) {
+  config_.validate();
+  ln_ = gn_ / comm_.size();
+
+  // Identical MLP replicas on every rank (same seed stream as DlrmModel).
+  Rng mlp_rng(options_.seed);
+  bottom_.init(mlp_rng);
+  top_.init(mlp_rng);
+  bottom_.set_batch(ln_);
+  top_.set_batch(ln_);
+
+  // Owned embedding tables, initialized with the table-id-keyed seeds so a
+  // single-process model with the same seed holds identical tables.
+  for (std::int64_t t : exchange_.owned_ids()) {
+    tables_.push_back(std::make_unique<EmbeddingTable>(
+        config_.table_rows[static_cast<std::size_t>(t)], config_.dim,
+        options_.embed_precision));
+    Rng trng(options_.seed + 1000003ull * static_cast<std::uint64_t>(t + 1));
+    tables_.back()->init(trng, 1.0f / std::sqrt(static_cast<float>(config_.dim)));
+    emb_out_.emplace_back(std::vector<std::int64_t>{gn_, config_.dim});
+    demb_own_.emplace_back(std::vector<std::int64_t>{gn_, config_.dim});
+  }
+
+  const std::int64_t s = config_.tables();
+  sliced_.reshape({s, ln_, config_.dim});
+  dsliced_.reshape({s, ln_, config_.dim});
+  interact_out_.reshape({ln_, interaction_.out_dim()});
+  dinteract_.reshape({ln_, interaction_.out_dim()});
+  logits_.reshape({ln_});
+  dlogits2d_.reshape({ln_, 1});
+  dz0_.reshape({ln_, config_.dim});
+
+  // DDP over all MLP parameters; top first (they finish backward first).
+  auto slots = top_.param_slots();
+  auto bslots = bottom_.param_slots();
+  slots.insert(slots.end(), bslots.begin(), bslots.end());
+  ddp_.attach(slots);
+  opt_ = std::make_unique<SgdFp32>();
+  opt_->attach(slots);
+}
+
+const Tensor<float>& DistributedDlrm::forward(const HybridBatch& hb,
+                                              Profiler* prof) {
+  DLRM_CHECK(hb.labels.size() == ln_, "hybrid batch local slice mismatch");
+  DLRM_CHECK(static_cast<std::int64_t>(hb.owned_bags.size()) ==
+                 exchange_.owned_tables(),
+             "owned bag count mismatch");
+
+  // Model-parallel embedding forward over the FULL global minibatch.
+  {
+    MaybeScope s(prof, "emb_fwd");
+    for (std::size_t k = 0; k < tables_.size(); ++k) {
+      DLRM_CHECK(hb.owned_bags[k].batch() == gn_,
+                 "owned bags must cover the global batch");
+      tables_[k]->forward(hb.owned_bags[k], emb_out_[k].data());
+    }
+  }
+
+  // Start the alltoall, then overlap it with the bottom MLP forward.
+  std::vector<const float*> outs;
+  for (auto& e : emb_out_) outs.push_back(e.data());
+  ExchangeHandle h = exchange_.start_forward(outs);
+
+  const Tensor<float>* z0;
+  {
+    MaybeScope s(prof, "bottom_mlp_fwd");
+    z0 = &bottom_.forward(hb.dense);
+  }
+
+  {
+    MaybeScope s(prof, "alltoall_fwd_finish");
+    exchange_.finish_forward(h, sliced_.data());
+  }
+  a2a_frame_ = h.framework_sec;
+  a2a_wait_ = h.wait_sec;
+
+  {
+    MaybeScope s(prof, "interaction_fwd");
+    std::vector<const float*> feats;
+    feats.push_back(z0->data());
+    for (std::int64_t t = 0; t < config_.tables(); ++t) {
+      feats.push_back(sliced_.data() + t * ln_ * config_.dim);
+    }
+    interaction_.forward(feats, ln_, interact_out_.data());
+  }
+
+  {
+    MaybeScope s(prof, "top_mlp_fwd");
+    const Tensor<float>& out = top_.forward(interact_out_);
+    for (std::int64_t i = 0; i < ln_; ++i) logits_[i] = out[i];
+  }
+  return logits_;
+}
+
+void DistributedDlrm::backward(const HybridBatch& hb,
+                               const Tensor<float>& dlogits, Profiler* prof) {
+  {
+    MaybeScope s(prof, "top_mlp_bwd");
+    for (std::int64_t i = 0; i < ln_; ++i) dlogits2d_[i] = dlogits[i];
+    const Tensor<float>& di = top_.backward(dlogits2d_);
+    for (std::int64_t i = 0; i < dinteract_.size(); ++i) dinteract_[i] = di[i];
+  }
+
+  {
+    MaybeScope s(prof, "interaction_bwd");
+    std::vector<const float*> feats;
+    std::vector<float*> dfeats;
+    feats.push_back(bottom_.forward_output().data());
+    dfeats.push_back(dz0_.data());
+    for (std::int64_t t = 0; t < config_.tables(); ++t) {
+      feats.push_back(sliced_.data() + t * ln_ * config_.dim);
+      dfeats.push_back(dsliced_.data() + t * ln_ * config_.dim);
+    }
+    interaction_.backward(feats, dinteract_.data(), ln_, dfeats);
+  }
+
+  // Start the gradient alltoall; overlap with bottom MLP backward.
+  ExchangeHandle h = exchange_.start_backward(dsliced_.data());
+
+  {
+    MaybeScope s(prof, "bottom_mlp_bwd");
+    bottom_.backward(dz0_);
+  }
+
+  // All MLP grads are ready: launch the DDP allreduce (overlaps with the
+  // embedding gradient exchange + sparse update below).
+  ddp_.start();
+
+  {
+    MaybeScope s(prof, "alltoall_bwd_finish");
+    std::vector<float*> grads;
+    for (auto& g : demb_own_) grads.push_back(g.data());
+    exchange_.finish_backward(h, grads);
+  }
+  a2a_frame_ += h.framework_sec;
+  a2a_wait_ += h.wait_sec;
+
+  {
+    MaybeScope s(prof, "emb_bwd_upd");
+    // The gathered gradient is d(mean over LOCAL batches); the global model
+    // trains on the mean over GN, so scale by LN/GN = 1/R.
+    const float scale = 1.0f / static_cast<float>(comm_.size());
+    for (std::size_t k = 0; k < tables_.size(); ++k) {
+      float* g = demb_own_[k].data();
+      const std::int64_t total = demb_own_[k].size();
+      parallel_for(0, total, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) g[i] *= scale;
+      });
+      tables_[k]->fused_backward_update(g, hb.owned_bags[k], options_.lr,
+                                        options_.update_strategy);
+    }
+  }
+
+  {
+    MaybeScope s(prof, "allreduce_finish");
+    ddp_.finish();
+  }
+
+  {
+    MaybeScope s(prof, "opt_step");
+    opt_->step(options_.lr);
+  }
+}
+
+double DistributedDlrm::train_step(const HybridBatch& hb, Profiler* prof) {
+  const Tensor<float>& logits = forward(hb, prof);
+  Tensor<float> dlogits({ln_});
+  double loss;
+  {
+    MaybeScope s(prof, "loss");
+    loss = bce_with_logits(logits.data(), hb.labels.data(), ln_, dlogits.data());
+  }
+  backward(hb, dlogits, prof);
+  return loss;
+}
+
+}  // namespace dlrm

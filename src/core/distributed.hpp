@@ -1,0 +1,113 @@
+// Hybrid-parallel distributed DLRM training (paper Sect. IV).
+//
+// Parallelization strategy, matching the paper exactly:
+//   * Embedding tables — MODEL parallel: table t lives entirely on rank
+//     t % R, which computes it for the full global minibatch GN.
+//   * MLPs — DATA parallel: replicated on every rank, each processing its
+//     local slice LN = GN/R; weight gradients are allreduced (DDP).
+//   * The interaction op consumes per-slice features, so a personalized
+//     all-to-all realigns the embedding outputs before it (EmbeddingExchange)
+//     and realigns gradients after it in the backward pass.
+//
+// Overlap schedule (when a QueueBackend is supplied):
+//   fwd : embedding fwd (GN) → start alltoall → bottom MLP fwd (LN, overlaps)
+//         → finish alltoall → interaction → top MLP → loss
+//   bwd : top MLP bwd → interaction bwd → start alltoall(grads) → bottom MLP
+//         bwd (overlaps) → start DDP allreduce → finish alltoall → embedding
+//         update (overlaps allreduce) → finish DDP → optimizer step
+// This realizes "allreduce can be overlapped over the entire backward pass
+// whereas alltoall only with the bottom MLP" (Sect. VI.D).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/backend.hpp"
+#include "comm/ddp.hpp"
+#include "comm/exchange.hpp"
+#include "comm/thread_comm.hpp"
+#include "core/config.hpp"
+#include "data/loader.hpp"
+#include "kernels/embedding.hpp"
+#include "kernels/interaction.hpp"
+#include "kernels/mlp.hpp"
+#include "optim/optimizer.hpp"
+#include "stats/profiler.hpp"
+
+namespace dlrm {
+
+struct DistributedOptions {
+  ExchangeStrategy exchange = ExchangeStrategy::kAlltoall;
+  UpdateStrategy update_strategy = UpdateStrategy::kRaceFree;
+  EmbedPrecision embed_precision = EmbedPrecision::kFp32;
+  /// Blocking communication (the paper's instrumentation mode) when false.
+  bool overlap = true;
+  int ddp_buckets = 2;
+  BlockTargets blocks{};
+  float lr = 0.1f;
+  std::uint64_t seed = 42;
+};
+
+/// One rank's shard of the hybrid-parallel DLRM. Construct one per rank
+/// thread (e.g. inside run_ranks) and drive train_step per iteration.
+class DistributedDlrm {
+ public:
+  /// `backend` may be null → all communication is blocking.
+  DistributedDlrm(const DlrmConfig& config, DistributedOptions options,
+                  ThreadComm& comm, QueueBackend* backend,
+                  std::int64_t global_batch);
+
+  std::int64_t global_batch() const { return gn_; }
+  std::int64_t local_batch() const { return ln_; }
+  const std::vector<std::int64_t>& owned_tables() const {
+    return exchange_.owned_ids();
+  }
+
+  /// One training iteration on a hybrid batch (local dense slice + owned
+  /// tables' global bags). Returns the local mean BCE loss.
+  double train_step(const HybridBatch& hb, Profiler* prof = nullptr);
+
+  /// Forward only; returns local logits [LN] (for evaluation).
+  const Tensor<float>& forward(const HybridBatch& hb, Profiler* prof = nullptr);
+
+  Mlp& bottom_mlp() { return bottom_; }
+  Mlp& top_mlp() { return top_; }
+  /// k-th owned table.
+  EmbeddingTable& owned_table(std::int64_t k) { return *tables_[static_cast<std::size_t>(k)]; }
+
+  /// Comm instrumentation of the last train_step.
+  double last_alltoall_wait_sec() const { return a2a_wait_; }
+  double last_alltoall_framework_sec() const { return a2a_frame_; }
+  double last_allreduce_wait_sec() const { return ddp_.wait_sec(); }
+  double last_allreduce_framework_sec() const { return ddp_.framework_sec(); }
+
+ private:
+  void backward(const HybridBatch& hb, const Tensor<float>& dlogits,
+                Profiler* prof);
+
+  DlrmConfig config_;
+  DistributedOptions options_;
+  ThreadComm& comm_;
+  QueueBackend* backend_;
+  std::int64_t gn_, ln_;
+
+  Mlp bottom_, top_;
+  std::vector<std::unique_ptr<EmbeddingTable>> tables_;  // owned tables only
+  DotInteraction interaction_;
+  EmbeddingExchange exchange_;
+  DdpAllreducer ddp_;
+  std::unique_ptr<SgdFp32> opt_;
+
+  // Activations / gradients (local slice unless noted).
+  std::vector<Tensor<float>> emb_out_;   // per owned table [GN][E]
+  std::vector<Tensor<float>> demb_own_;  // per owned table [GN][E]
+  Tensor<float> sliced_;                 // [S][LN][E]
+  Tensor<float> dsliced_;                // [S][LN][E]
+  Tensor<float> interact_out_, dinteract_;
+  Tensor<float> logits_, dlogits2d_, dz0_;
+
+  double a2a_wait_ = 0.0, a2a_frame_ = 0.0;
+};
+
+}  // namespace dlrm

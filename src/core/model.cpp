@@ -1,0 +1,185 @@
+#include "core/model.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "kernels/loss.hpp"
+
+namespace dlrm {
+
+namespace {
+
+// Profiler helper that is a no-op with a null profiler.
+struct MaybeScope {
+  MaybeScope(Profiler* prof, const char* name)
+      : prof_(prof), name_(name), start_(now_sec()) {}
+  ~MaybeScope() {
+    if (prof_ != nullptr) prof_->add(name_, now_sec() - start_);
+  }
+  Profiler* prof_;
+  const char* name_;
+  double start_;
+};
+
+}  // namespace
+
+DlrmModel::DlrmModel(const DlrmConfig& config, ModelOptions options,
+                     std::uint64_t seed)
+    : config_(config),
+      options_(options),
+      bottom_(config.bottom_mlp, Activation::kRelu, Activation::kRelu,
+              options.blocks),
+      top_(config.top_mlp_full(), Activation::kRelu, Activation::kNone,
+           options.blocks),
+      interaction_(config.tables() + 1, config.dim,
+                   config.interaction_pad <= 1 ? 1 : config.interaction_pad) {
+  config_.validate();
+  Rng mlp_rng(seed);
+  bottom_.init(mlp_rng);
+  top_.init(mlp_rng);
+  tables_.reserve(static_cast<std::size_t>(config_.tables()));
+  for (std::int64_t t = 0; t < config_.tables(); ++t) {
+    tables_.push_back(std::make_unique<EmbeddingTable>(
+        config_.table_rows[static_cast<std::size_t>(t)], config_.dim,
+        options_.embed_precision));
+    // Per-table seed → identical tables in distributed runs regardless of
+    // which rank owns them.
+    Rng trng(seed + 1000003ull * static_cast<std::uint64_t>(t + 1));
+    tables_.back()->init(trng, 1.0f / std::sqrt(static_cast<float>(config_.dim)));
+  }
+  DLRM_CHECK(interaction_.out_dim() == config_.interaction_out(),
+             "interaction width mismatch");
+}
+
+void DlrmModel::set_batch(std::int64_t n) {
+  if (n == n_) return;
+  n_ = n;
+  bottom_.set_batch(n);
+  top_.set_batch(n);
+  emb_out_.clear();
+  demb_.clear();
+  for (std::int64_t t = 0; t < config_.tables(); ++t) {
+    emb_out_.emplace_back(std::vector<std::int64_t>{n, config_.dim});
+    demb_.emplace_back(std::vector<std::int64_t>{n, config_.dim});
+  }
+  interact_out_.reshape({n, interaction_.out_dim()});
+  dinteract_.reshape({n, interaction_.out_dim()});
+  logits_.reshape({n});
+  dlogits2d_.reshape({n, 1});
+  dz0_.reshape({n, config_.dim});
+}
+
+const Tensor<float>& DlrmModel::forward(const MiniBatch& mb, Profiler* prof) {
+  DLRM_CHECK(mb.batch() == n_, "batch mismatch; call set_batch");
+  DLRM_CHECK(static_cast<std::int64_t>(mb.bags.size()) == config_.tables(),
+             "need one bag batch per table");
+
+  {
+    MaybeScope s(prof, "emb_fwd");
+    for (std::int64_t t = 0; t < config_.tables(); ++t) {
+      tables_[static_cast<std::size_t>(t)]->forward(
+          mb.bags[static_cast<std::size_t>(t)],
+          emb_out_[static_cast<std::size_t>(t)].data());
+    }
+  }
+
+  const Tensor<float>* z0;
+  {
+    MaybeScope s(prof, "bottom_mlp_fwd");
+    z0 = &bottom_.forward(mb.dense);
+  }
+
+  {
+    MaybeScope s(prof, "interaction_fwd");
+    std::vector<const float*> feats;
+    feats.reserve(static_cast<std::size_t>(config_.tables() + 1));
+    feats.push_back(z0->data());
+    for (auto& e : emb_out_) feats.push_back(e.data());
+    interaction_.forward(feats, n_, interact_out_.data());
+  }
+
+  {
+    MaybeScope s(prof, "top_mlp_fwd");
+    const Tensor<float>& out = top_.forward(interact_out_);
+    for (std::int64_t i = 0; i < n_; ++i) logits_[i] = out[i];
+  }
+  return logits_;
+}
+
+void DlrmModel::backward(const MiniBatch& mb, const Tensor<float>& dlogits,
+                         float lr, Profiler* prof) {
+  DLRM_CHECK(dlogits.size() == n_, "dlogits shape mismatch");
+
+  {
+    MaybeScope s(prof, "top_mlp_bwd");
+    for (std::int64_t i = 0; i < n_; ++i) dlogits2d_[i] = dlogits[i];
+    const Tensor<float>& di = top_.backward(dlogits2d_);
+    for (std::int64_t i = 0; i < dinteract_.size(); ++i) dinteract_[i] = di[i];
+  }
+
+  {
+    MaybeScope s(prof, "interaction_bwd");
+    std::vector<const float*> feats;
+    std::vector<float*> dfeats;
+    feats.push_back(bottom_.forward_output().data());
+    dfeats.push_back(dz0_.data());
+    for (std::int64_t t = 0; t < config_.tables(); ++t) {
+      feats.push_back(emb_out_[static_cast<std::size_t>(t)].data());
+      dfeats.push_back(demb_[static_cast<std::size_t>(t)].data());
+    }
+    interaction_.backward(feats, dinteract_.data(), n_, dfeats);
+  }
+
+  {
+    MaybeScope s(prof, "bottom_mlp_bwd");
+    bottom_.backward(dz0_);
+  }
+
+  {
+    MaybeScope s(prof, "emb_bwd_upd");
+    for (std::int64_t t = 0; t < config_.tables(); ++t) {
+      auto& table = *tables_[static_cast<std::size_t>(t)];
+      const auto& bags = mb.bags[static_cast<std::size_t>(t)];
+      const float* dy = demb_[static_cast<std::size_t>(t)].data();
+      if (options_.fused_embedding_update) {
+        table.fused_backward_update(dy, bags, lr, options_.update_strategy);
+      } else {
+        table.backward(dy, bags, dlookup_);
+        table.apply_update(dlookup_, bags, lr, options_.update_strategy);
+      }
+    }
+  }
+}
+
+double DlrmModel::train_step(const MiniBatch& mb, float lr, Optimizer& opt,
+                             Profiler* prof) {
+  const Tensor<float>& logits = forward(mb, prof);
+  Tensor<float> dlogits({n_});
+  double loss;
+  {
+    MaybeScope s(prof, "loss");
+    loss = bce_with_logits(logits.data(), mb.labels.data(), n_, dlogits.data());
+  }
+  backward(mb, dlogits, lr, prof);
+  {
+    MaybeScope s(prof, "opt_step");
+    opt.step(lr);
+  }
+  return loss;
+}
+
+std::vector<ParamSlot> DlrmModel::mlp_param_slots() {
+  std::vector<ParamSlot> slots = top_.param_slots();
+  auto bottom = bottom_.param_slots();
+  slots.insert(slots.end(), bottom.begin(), bottom.end());
+  return slots;
+}
+
+std::int64_t DlrmModel::model_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& t : tables_) bytes += t->storage_bytes();
+  bytes += (bottom_.param_count() + top_.param_count()) * 4;
+  return bytes;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,86 @@
+// Single-process DLRM model (paper Sect. II, Fig. 1): bottom MLP + sparse
+// embedding bags + dot interaction + top MLP + BCE loss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/param_slot.hpp"
+#include "core/config.hpp"
+#include "data/dataset.hpp"
+#include "kernels/embedding.hpp"
+#include "kernels/interaction.hpp"
+#include "kernels/mlp.hpp"
+#include "optim/optimizer.hpp"
+#include "stats/profiler.hpp"
+
+namespace dlrm {
+
+/// Knobs independent of the topology (Table I) itself.
+struct ModelOptions {
+  EmbedPrecision embed_precision = EmbedPrecision::kFp32;
+  UpdateStrategy update_strategy = UpdateStrategy::kRaceFree;
+  /// false reproduces the framework's separate backward + update kernels;
+  /// true uses the fused kernel (Sect. III.A, up to 1.6x on updates).
+  bool fused_embedding_update = true;
+  BlockTargets blocks{};
+};
+
+class DlrmModel {
+ public:
+  DlrmModel(const DlrmConfig& config, ModelOptions options, std::uint64_t seed);
+
+  const DlrmConfig& config() const { return config_; }
+  const ModelOptions& options() const { return options_; }
+
+  /// (Re)allocates activation buffers for minibatch n.
+  void set_batch(std::int64_t n);
+  std::int64_t batch() const { return n_; }
+
+  /// Forward pass; returns logits [N]. `mb` must carry all S bag batches.
+  const Tensor<float>& forward(const MiniBatch& mb, Profiler* prof = nullptr);
+
+  /// Backward pass from dlogits [N]; fills MLP weight/bias grads and applies
+  /// the sparse embedding update with learning rate `lr`.
+  void backward(const MiniBatch& mb, const Tensor<float>& dlogits, float lr,
+                Profiler* prof = nullptr);
+
+  /// forward + loss + backward + dense optimizer step. Returns the loss.
+  double train_step(const MiniBatch& mb, float lr, Optimizer& opt,
+                    Profiler* prof = nullptr);
+
+  /// Inference scores (logits) without touching gradients.
+  const Tensor<float>& predict(const MiniBatch& mb) { return forward(mb); }
+
+  Mlp& bottom_mlp() { return bottom_; }
+  Mlp& top_mlp() { return top_; }
+  EmbeddingTable& table(std::int64_t t) { return *tables_[static_cast<std::size_t>(t)]; }
+  std::int64_t tables() const { return static_cast<std::int64_t>(tables_.size()); }
+  const DotInteraction& interaction() const { return interaction_; }
+
+  /// All dense parameter blocks (bottom + top MLP), for optimizers/DDP.
+  std::vector<ParamSlot> mlp_param_slots();
+
+  /// Persistent model bytes (tables + MLP params).
+  std::int64_t model_bytes() const;
+
+ private:
+  DlrmConfig config_;
+  ModelOptions options_;
+  Mlp bottom_, top_;
+  std::vector<std::unique_ptr<EmbeddingTable>> tables_;
+  DotInteraction interaction_;
+
+  std::int64_t n_ = 0;
+  std::vector<Tensor<float>> emb_out_;   // per table [N][E]
+  std::vector<Tensor<float>> demb_;      // per table [N][E]
+  Tensor<float> interact_out_;           // [N][D_int]
+  Tensor<float> dinteract_;              // [N][D_int]
+  Tensor<float> logits_;                 // [N]
+  Tensor<float> dlogits2d_;              // [N][1] staging
+  Tensor<float> dz0_;                    // [N][E]
+  Tensor<float> dlookup_;                // unfused update scratch
+};
+
+}  // namespace dlrm

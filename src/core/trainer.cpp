@@ -1,0 +1,64 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+Trainer::Trainer(DlrmModel& model, Optimizer& opt, const Dataset& data,
+                 TrainerOptions options)
+    : model_(model), opt_(opt), data_(data), options_(options) {
+  DLRM_CHECK(options_.batch > 0, "batch must be positive");
+  model_.set_batch(options_.batch);
+}
+
+double Trainer::train(std::int64_t iters, Profiler* prof) {
+  Meter loss;
+  for (std::int64_t i = 0; i < iters; ++i) {
+    data_.fill(iter_ * options_.batch, options_.batch, scratch_);
+    loss.add(model_.train_step(scratch_, options_.lr, opt_, prof));
+    ++iter_;
+  }
+  return loss.mean();
+}
+
+double Trainer::evaluate(std::int64_t first, std::int64_t n) {
+  AucAccumulator auc;
+  MiniBatch mb;
+  const std::int64_t bs = options_.batch;
+  for (std::int64_t off = 0; off < n; off += bs) {
+    const std::int64_t take = std::min(bs, n - off);
+    // Keep the model batch fixed: evaluate full batches, padding by wrap.
+    data_.fill(first + off, bs, mb);
+    const Tensor<float>& scores = model_.predict(mb);
+    auc.add(scores.data(), mb.labels.data(), take);
+  }
+  return auc.compute();
+}
+
+std::vector<EvalPoint> Trainer::train_with_eval(std::int64_t train_samples,
+                                                std::int64_t eval_samples,
+                                                int eval_points) {
+  DLRM_CHECK(eval_points >= 1, "need at least one eval point");
+  const std::int64_t total_iters =
+      std::max<std::int64_t>(1, train_samples / options_.batch);
+  // Held-out range starts beyond the training stream.
+  const std::int64_t eval_first = (total_iters + 1) * options_.batch;
+
+  std::vector<EvalPoint> points;
+  std::int64_t done = 0;
+  for (int p = 1; p <= eval_points; ++p) {
+    const std::int64_t target = total_iters * p / eval_points;
+    const double loss = train(target - done);
+    done = target;
+    EvalPoint ep;
+    ep.epoch_fraction = static_cast<double>(p) / eval_points;
+    ep.train_loss = loss;
+    ep.auc = evaluate(eval_first, eval_samples);
+    points.push_back(ep);
+  }
+  return points;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,65 @@
+// Single-process training loop with periodic ROC-AUC evaluation —
+// the harness behind the convergence study of Fig. 16.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/dataset.hpp"
+#include "optim/optimizer.hpp"
+#include "stats/metrics.hpp"
+#include "stats/profiler.hpp"
+
+namespace dlrm {
+
+struct TrainerOptions {
+  float lr = 0.1f;
+  std::int64_t batch = 2048;
+  std::uint64_t seed = 42;
+};
+
+/// One point of the Fig. 16 curve: AUC measured after a fraction of the
+/// training stream.
+struct EvalPoint {
+  double epoch_fraction = 0.0;
+  double auc = 0.0;
+  double train_loss = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(DlrmModel& model, Optimizer& opt, const Dataset& data,
+          TrainerOptions options);
+
+  /// Trains on `train_samples` total samples; evaluates ROC-AUC on
+  /// `eval_samples` held-out samples at each of `eval_points` evenly spaced
+  /// checkpoints (e.g. 20 → every 5% of the "epoch", as in Fig. 16).
+  std::vector<EvalPoint> train_with_eval(std::int64_t train_samples,
+                                         std::int64_t eval_samples,
+                                         int eval_points);
+
+  /// Runs `iters` training iterations without evaluation; returns mean loss.
+  double train(std::int64_t iters, Profiler* prof = nullptr);
+
+  /// Adjusts the learning rate (lr-decay schedules, as in MLPerf DLRM).
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+  /// ROC-AUC on samples [first, first+n) of the stream.
+  double evaluate(std::int64_t first, std::int64_t n);
+
+  std::int64_t iterations_done() const { return iter_; }
+
+ private:
+  DlrmModel& model_;
+  Optimizer& opt_;
+  const Dataset& data_;
+  TrainerOptions options_;
+  std::int64_t iter_ = 0;
+  MiniBatch scratch_;
+};
+
+}  // namespace dlrm

@@ -1,0 +1,226 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+void shape_minibatch(const Dataset& data, std::int64_t n, MiniBatch& out) {
+  if (out.dense.size() != n * data.dense_dim()) {
+    out.dense.reshape({n, data.dense_dim()});
+  }
+  if (out.labels.size() != n) out.labels.reshape({n});
+  out.bags.resize(static_cast<std::size_t>(data.tables()));
+  for (auto& b : out.bags) {
+    if (b.indices.size() != n * data.pooling()) {
+      b.indices.reshape({n * data.pooling()});
+      b.offsets.reshape({n + 1});
+      for (std::int64_t i = 0; i <= n; ++i) b.offsets[i] = i * data.pooling();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RandomDataset
+// ---------------------------------------------------------------------------
+
+RandomDataset::RandomDataset(std::int64_t dense_dim,
+                             std::vector<std::int64_t> table_rows,
+                             std::int64_t pooling, std::uint64_t seed)
+    : d_(dense_dim), p_(pooling), rows_(std::move(table_rows)), seed_(seed) {
+  DLRM_CHECK(d_ > 0 && !rows_.empty() && p_ > 0, "bad dataset shape");
+  for (auto m : rows_) DLRM_CHECK(m > 0, "table rows must be positive");
+}
+
+RandomDataset::RandomDataset(std::int64_t dense_dim, std::int64_t tables,
+                             std::int64_t rows_per_table, std::int64_t pooling,
+                             std::uint64_t seed)
+    : RandomDataset(dense_dim,
+                    std::vector<std::int64_t>(static_cast<std::size_t>(tables),
+                                              rows_per_table),
+                    pooling, seed) {}
+
+void RandomDataset::fill(std::int64_t first, std::int64_t n,
+                         MiniBatch& out) const {
+  shape_minibatch(*this, n, out);
+  const std::int64_t s = tables();
+  for (std::int64_t i = 0; i < n; ++i) {
+    Rng rng(seed_ ^ (0x5851F42D4C957F2Dull * static_cast<std::uint64_t>(first + i)));
+    float* dense = out.dense.data() + i * d_;
+    for (std::int64_t j = 0; j < d_; ++j) dense[j] = rng.gaussian();
+    out.labels[i] = rng.next_float() < 0.5f ? 0.0f : 1.0f;
+    for (std::int64_t t = 0; t < s; ++t) {
+      std::int64_t* idx = out.bags[static_cast<std::size_t>(t)].indices.data() + i * p_;
+      for (std::int64_t k = 0; k < p_; ++k) {
+        idx[k] = rng.next_index(rows_[static_cast<std::size_t>(t)]);
+      }
+    }
+  }
+}
+
+void RandomDataset::fill_table_bags(std::int64_t t, std::int64_t first,
+                                    std::int64_t n, BagBatch& out) const {
+  if (out.indices.size() != n * p_) {
+    out.indices.reshape({n * p_});
+    out.offsets.reshape({n + 1});
+    for (std::int64_t i = 0; i <= n; ++i) out.offsets[i] = i * p_;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    Rng rng(seed_ ^ (0x5851F42D4C957F2Dull * static_cast<std::uint64_t>(first + i)));
+    // Reproduce the per-sample stream: skip dense + label + earlier tables.
+    for (std::int64_t j = 0; j < d_; ++j) (void)rng.gaussian();
+    (void)rng.next_float();
+    for (std::int64_t tt = 0; tt < t; ++tt) {
+      for (std::int64_t k = 0; k < p_; ++k) {
+        (void)rng.next_index(rows_[static_cast<std::size_t>(tt)]);
+      }
+    }
+    std::int64_t* idx = out.indices.data() + i * p_;
+    for (std::int64_t k = 0; k < p_; ++k) {
+      idx[k] = rng.next_index(rows_[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticCtrDataset
+// ---------------------------------------------------------------------------
+
+SyntheticCtrDataset::SyntheticCtrDataset(CtrParams params)
+    : params_(std::move(params)) {
+  DLRM_CHECK(!params_.rows.empty(), "need at least one table");
+  DLRM_CHECK(params_.dense_dim > 0 && params_.pooling > 0, "bad shape");
+  zipf_.reserve(params_.rows.size());
+  for (auto m : params_.rows) {
+    DLRM_CHECK(m > 0, "table rows must be positive");
+    zipf_.emplace_back(m, params_.index_skew);
+  }
+  // Teacher dense weights: fixed, unit-normalized direction.
+  Rng rng(params_.seed * 7919 + 13);
+  w_dense_.resize(static_cast<std::size_t>(params_.dense_dim));
+  float norm = 0.0f;
+  for (auto& w : w_dense_) {
+    w = rng.gaussian();
+    norm += w * w;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12f));
+  for (auto& w : w_dense_) w = w / norm * params_.dense_scale;
+}
+
+float SyntheticCtrDataset::row_effect(std::int64_t t, std::int64_t row) const {
+  // Deterministic per-(table,row) effect without storing 200M floats: hash
+  // the pair and map to an approximate standard normal (sum of 4 uniforms).
+  std::uint64_t h = params_.seed ^ (static_cast<std::uint64_t>(t) << 40) ^
+                    static_cast<std::uint64_t>(row) * 0x9E3779B97F4A7C15ull;
+  float sum = 0.0f;
+  for (int i = 0; i < 4; ++i) {
+    sum += static_cast<float>(detail::splitmix64(h) >> 40) * 0x1.0p-24f;
+  }
+  // Irwin–Hall(4): mean 2, var 1/3 → standardize.
+  return (sum - 2.0f) * 1.7320508f;
+}
+
+void SyntheticCtrDataset::gen_sample(std::int64_t idx, float* dense,
+                                     std::int64_t* indices,
+                                     float* label) const {
+  const std::int64_t S = tables();
+  const std::int64_t P = params_.pooling;
+  Rng rng(params_.seed ^
+          (0xD1342543DE82EF95ull * static_cast<std::uint64_t>(idx + 1)));
+  float logit = params_.bias;
+  for (std::int64_t j = 0; j < params_.dense_dim; ++j) {
+    dense[j] = rng.gaussian();
+    logit += dense[j] * w_dense_[static_cast<std::size_t>(j)];
+  }
+  const float snorm =
+      params_.sparse_scale / std::sqrt(static_cast<float>(S * P));
+  for (std::int64_t t = 0; t < S; ++t) {
+    for (std::int64_t k = 0; k < P; ++k) {
+      const std::int64_t row = zipf_[static_cast<std::size_t>(t)](rng);
+      indices[t * P + k] = row;
+      logit += row_effect(t, row) * snorm;
+    }
+  }
+  const float p = 1.0f / (1.0f + std::exp(-logit));
+  *label = rng.next_float() < p ? 1.0f : 0.0f;
+}
+
+void SyntheticCtrDataset::fill(std::int64_t first, std::int64_t n,
+                               MiniBatch& out) const {
+  shape_minibatch(*this, n, out);
+  const std::int64_t S = tables(), P = params_.pooling;
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(S * P));
+  for (std::int64_t i = 0; i < n; ++i) {
+    gen_sample(first + i, out.dense.data() + i * params_.dense_dim, idx.data(),
+               out.labels.data() + i);
+    for (std::int64_t t = 0; t < S; ++t) {
+      std::int64_t* dst = out.bags[static_cast<std::size_t>(t)].indices.data() + i * P;
+      for (std::int64_t k = 0; k < P; ++k) dst[k] = idx[static_cast<std::size_t>(t * P + k)];
+    }
+  }
+}
+
+void SyntheticCtrDataset::fill_table_bags(std::int64_t t, std::int64_t first,
+                                          std::int64_t n, BagBatch& out) const {
+  const std::int64_t P = params_.pooling;
+  if (out.indices.size() != n * P) {
+    out.indices.reshape({n * P});
+    out.offsets.reshape({n + 1});
+    for (std::int64_t i = 0; i <= n; ++i) out.offsets[i] = i * P;
+  }
+  const std::int64_t S = tables();
+  std::vector<float> dense(static_cast<std::size_t>(params_.dense_dim));
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(S * P));
+  float label;
+  for (std::int64_t i = 0; i < n; ++i) {
+    gen_sample(first + i, dense.data(), idx.data(), &label);
+    std::int64_t* dst = out.indices.data() + i * P;
+    for (std::int64_t k = 0; k < P; ++k) dst[k] = idx[static_cast<std::size_t>(t * P + k)];
+  }
+}
+
+double SyntheticCtrDataset::teacher_auc(std::int64_t n) const {
+  // Rank the true logits against the sampled labels (Mann–Whitney U).
+  std::vector<float> dense(static_cast<std::size_t>(params_.dense_dim));
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(tables() * params_.pooling));
+  std::vector<std::pair<float, float>> scored(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    float label;
+    gen_sample(i, dense.data(), idx.data(), &label);
+    // Recompute the logit the generator used.
+    Rng rng(params_.seed ^
+            (0xD1342543DE82EF95ull * static_cast<std::uint64_t>(i + 1)));
+    float logit = params_.bias;
+    for (std::int64_t j = 0; j < params_.dense_dim; ++j) {
+      const float x = rng.gaussian();
+      logit += x * w_dense_[static_cast<std::size_t>(j)];
+    }
+    const float snorm = params_.sparse_scale /
+                        std::sqrt(static_cast<float>(tables() * params_.pooling));
+    for (std::int64_t t = 0; t < tables(); ++t) {
+      for (std::int64_t k = 0; k < params_.pooling; ++k) {
+        const std::int64_t row = zipf_[static_cast<std::size_t>(t)](rng);
+        logit += row_effect(t, row) * snorm;
+      }
+    }
+    scored[static_cast<std::size_t>(i)] = {logit, label};
+  }
+  std::sort(scored.begin(), scored.end());
+  // Rank-sum AUC.
+  double rank_sum = 0.0;
+  std::int64_t positives = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (scored[static_cast<std::size_t>(i)].second > 0.5f) {
+      rank_sum += static_cast<double>(i + 1);
+      ++positives;
+    }
+  }
+  const std::int64_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  return (rank_sum - static_cast<double>(positives) * (positives + 1) / 2.0) /
+         (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace dlrm

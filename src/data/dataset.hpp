@@ -1,0 +1,149 @@
+// Synthetic workload generation (paper Sect. V.D).
+//
+// Two generators:
+//   * RandomDataset       — the paper's "random dataset" used for the Small
+//                           and Large configs: uniform indices, Gaussian
+//                           dense features, Bernoulli(1/2) labels.
+//   * SyntheticCtrDataset — stands in for the Criteo Terabyte click logs of
+//                           the MLPerf config: indices follow a Zipf
+//                           distribution (hot rows → the cache-line
+//                           contention of Fig. 7/8) and labels come from a
+//                           planted logistic teacher so that DLRM training
+//                           can actually reach ROC-AUC ≈ 0.80 (Fig. 16).
+//
+// Every sample is a pure function of (dataset seed, global sample index), so
+// any rank can materialize any slice of any global minibatch independently —
+// this is what lets the optimized loader read only its share while the
+// naive loader reads the full global batch (the weak-scaling artifact of
+// Fig. 13).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/embedding.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+
+/// One minibatch of DLRM input: dense features, labels, and one bag batch
+/// per embedding table.
+struct MiniBatch {
+  Tensor<float> dense;           // [N][D]
+  Tensor<float> labels;          // [N]
+  std::vector<BagBatch> bags;    // S entries, each with N bags
+
+  std::int64_t batch() const { return labels.size(); }
+};
+
+/// Interface: deterministic sample-addressable synthetic dataset.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual std::int64_t dense_dim() const = 0;
+  virtual std::int64_t tables() const = 0;
+  /// Rows of table t.
+  virtual std::int64_t rows(std::int64_t t) const = 0;
+  /// Lookups per bag (pooling factor P).
+  virtual std::int64_t pooling() const = 0;
+
+  /// Fills `out` with samples [first, first + n) of the global stream.
+  /// Deterministic: the same (first, n) always produces the same data.
+  virtual void fill(std::int64_t first, std::int64_t n, MiniBatch& out) const = 0;
+
+  /// Fills only the bag batch of table `t` for samples [first, first + n) —
+  /// what a model-parallel rank needs for a table it owns.
+  virtual void fill_table_bags(std::int64_t t, std::int64_t first,
+                               std::int64_t n, BagBatch& out) const = 0;
+
+  /// Bytes a loader must materialize per sample (dense + label + indices).
+  std::int64_t bytes_per_sample() const {
+    return dense_dim() * 4 + 4 + tables() * pooling() * 8;
+  }
+};
+
+/// Uniform-index dataset (Small / Large configs). Supports heterogeneous
+/// per-table cardinalities (the MLPerf/Criteo table shape).
+class RandomDataset final : public Dataset {
+ public:
+  RandomDataset(std::int64_t dense_dim, std::vector<std::int64_t> table_rows,
+                std::int64_t pooling, std::uint64_t seed);
+  /// Convenience: `tables` tables of uniform `rows_per_table` rows.
+  RandomDataset(std::int64_t dense_dim, std::int64_t tables,
+                std::int64_t rows_per_table, std::int64_t pooling,
+                std::uint64_t seed);
+
+  std::int64_t dense_dim() const override { return d_; }
+  std::int64_t tables() const override {
+    return static_cast<std::int64_t>(rows_.size());
+  }
+  std::int64_t rows(std::int64_t t) const override {
+    return rows_[static_cast<std::size_t>(t)];
+  }
+  std::int64_t pooling() const override { return p_; }
+
+  void fill(std::int64_t first, std::int64_t n, MiniBatch& out) const override;
+  void fill_table_bags(std::int64_t t, std::int64_t first, std::int64_t n,
+                       BagBatch& out) const override;
+
+ private:
+  std::int64_t d_, p_;
+  std::vector<std::int64_t> rows_;
+  std::uint64_t seed_;
+};
+
+/// Parameters of the planted-teacher click-log generator.
+struct CtrParams {
+  std::int64_t dense_dim = 13;
+  std::int64_t tables = 26;
+  std::vector<std::int64_t> rows;  // per-table row counts
+  std::int64_t pooling = 1;
+  double index_skew = 1.05;   // Zipf exponent (Criteo-like head concentration)
+  float dense_scale = 0.6f;   // teacher weight scale for dense features
+  float sparse_scale = 1.4f;  // teacher weight scale for sparse features
+  float bias = -1.1f;         // global logit bias (CTR << 50%)
+  std::uint64_t seed = 2020;
+};
+
+/// Criteo-Terabyte stand-in with a learnable planted signal.
+class SyntheticCtrDataset final : public Dataset {
+ public:
+  explicit SyntheticCtrDataset(CtrParams params);
+
+  std::int64_t dense_dim() const override { return params_.dense_dim; }
+  std::int64_t tables() const override {
+    return static_cast<std::int64_t>(params_.rows.size());
+  }
+  std::int64_t rows(std::int64_t t) const override {
+    return params_.rows[static_cast<std::size_t>(t)];
+  }
+  std::int64_t pooling() const override { return params_.pooling; }
+
+  void fill(std::int64_t first, std::int64_t n, MiniBatch& out) const override;
+  void fill_table_bags(std::int64_t t, std::int64_t first, std::int64_t n,
+                       BagBatch& out) const override;
+
+  /// The teacher's ROC-AUC upper bound estimate over `n` fresh samples
+  /// (Bayes-optimal score = the true logit). Training should approach it.
+  double teacher_auc(std::int64_t n) const;
+
+ private:
+  // Teacher row effect for (table t, row): deterministic hash → N(0,1)-ish.
+  float row_effect(std::int64_t t, std::int64_t row) const;
+  // Generates sample `idx` (indices + dense + logit), appending indices.
+  void gen_sample(std::int64_t idx, float* dense, std::int64_t* indices,
+                  float* label) const;
+
+  CtrParams params_;
+  std::vector<ZipfSampler> zipf_;
+  std::vector<float> w_dense_;
+};
+
+/// Shapes a MiniBatch's tensors for (n samples, dataset layout); reuses
+/// storage when already correctly sized.
+void shape_minibatch(const Dataset& data, std::int64_t n, MiniBatch& out);
+
+}  // namespace dlrm

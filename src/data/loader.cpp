@@ -1,0 +1,87 @@
+#include "data/loader.hpp"
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace dlrm {
+
+DataLoader::DataLoader(const Dataset& data, std::int64_t global_batch,
+                       int rank, int ranks,
+                       std::vector<std::int64_t> owned_tables, LoaderMode mode)
+    : data_(data),
+      gn_(global_batch),
+      rank_(rank),
+      ranks_(ranks),
+      owned_(std::move(owned_tables)),
+      mode_(mode) {
+  DLRM_CHECK(ranks_ >= 1 && rank_ >= 0 && rank_ < ranks_, "bad rank");
+  DLRM_CHECK(gn_ % ranks_ == 0, "global batch must divide by ranks");
+  ln_ = gn_ / ranks_;
+  for (auto t : owned_) {
+    DLRM_CHECK(t >= 0 && t < data_.tables(), "owned table out of range");
+  }
+}
+
+void DataLoader::next(std::int64_t iter, HybridBatch& out) {
+  const Timer timer;
+  const std::int64_t first = iter * gn_;
+  const std::int64_t my_first = first + rank_ * ln_;
+
+  if (out.dense.size() != ln_ * data_.dense_dim()) {
+    out.dense.reshape({ln_, data_.dense_dim()});
+    out.labels.reshape({ln_});
+  }
+  out.owned_bags.resize(owned_.size());
+
+  if (mode_ == LoaderMode::kFullGlobalBatch) {
+    // Reference behaviour: materialize everything, then slice.
+    data_.fill(first, gn_, scratch_);
+    const std::int64_t d = data_.dense_dim();
+    for (std::int64_t i = 0; i < ln_; ++i) {
+      const std::int64_t src = rank_ * ln_ + i;
+      for (std::int64_t j = 0; j < d; ++j) {
+        out.dense[i * d + j] = scratch_.dense[src * d + j];
+      }
+      out.labels[i] = scratch_.labels[src];
+    }
+    const std::int64_t p = data_.pooling();
+    for (std::size_t k = 0; k < owned_.size(); ++k) {
+      const auto& src = scratch_.bags[static_cast<std::size_t>(owned_[k])];
+      auto& dst = out.owned_bags[k];
+      if (dst.indices.size() != gn_ * p) {
+        dst.indices.reshape({gn_ * p});
+        dst.offsets.reshape({gn_ + 1});
+        for (std::int64_t i = 0; i <= gn_; ++i) dst.offsets[i] = i * p;
+      }
+      for (std::int64_t i = 0; i < gn_ * p; ++i) dst.indices[i] = src.indices[i];
+    }
+  } else {
+    // Optimized behaviour: only the local slice + owned tables' global bags.
+    MiniBatch slice;
+    data_.fill(my_first, ln_, slice);
+    const std::int64_t d = data_.dense_dim();
+    for (std::int64_t i = 0; i < ln_ * d; ++i) out.dense[i] = slice.dense[i];
+    for (std::int64_t i = 0; i < ln_; ++i) out.labels[i] = slice.labels[i];
+    for (std::size_t k = 0; k < owned_.size(); ++k) {
+      data_.fill_table_bags(owned_[k], first, gn_, out.owned_bags[k]);
+    }
+  }
+  last_sec_ = timer.elapsed_sec();
+}
+
+void DataLoader::next_full(std::int64_t iter, MiniBatch& out) {
+  const Timer timer;
+  data_.fill(iter * gn_, gn_, out);
+  last_sec_ = timer.elapsed_sec();
+}
+
+std::int64_t DataLoader::bytes_per_iteration() const {
+  if (mode_ == LoaderMode::kFullGlobalBatch) {
+    return gn_ * data_.bytes_per_sample();
+  }
+  // Local dense/labels + owned tables' global index streams.
+  return ln_ * (data_.dense_dim() * 4 + 4) +
+         static_cast<std::int64_t>(owned_.size()) * gn_ * data_.pooling() * 8;
+}
+
+}  // namespace dlrm

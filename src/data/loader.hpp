@@ -1,0 +1,66 @@
+// Minibatch loaders for single-process and hybrid-parallel training.
+//
+// The paper observed that the reference DLRM data loader "always reads the
+// data for the full global minibatch on each rank", making the loader cost
+// grow linearly with the rank count under weak scaling (visible in Fig. 13's
+// MLPerf compute bars). DataLoader reproduces both behaviours:
+//
+//   * kFullGlobalBatch — materializes all GN samples on every rank, then
+//                        slices (the reference behaviour).
+//   * kLocalSlice      — materializes only what the rank consumes: LN dense
+//                        rows + labels, plus the GLOBAL bag batch for the
+//                        tables this rank owns (model parallelism needs the
+//                        whole minibatch for owned tables).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dlrm {
+
+enum class LoaderMode { kFullGlobalBatch, kLocalSlice };
+
+/// Hybrid-parallel minibatch view for one rank: data-parallel slice of dense
+/// features/labels plus model-parallel global bags for owned tables.
+struct HybridBatch {
+  Tensor<float> dense;   // [LN][D]
+  Tensor<float> labels;  // [LN]
+  std::vector<BagBatch> owned_bags;  // one per owned table, each GN bags
+};
+
+class DataLoader {
+ public:
+  /// `owned_tables`: global table ids this rank owns (model parallel).
+  DataLoader(const Dataset& data, std::int64_t global_batch, int rank,
+             int ranks, std::vector<std::int64_t> owned_tables,
+             LoaderMode mode);
+
+  std::int64_t global_batch() const { return gn_; }
+  std::int64_t local_batch() const { return ln_; }
+
+  /// Loads iteration `iter` (samples [iter*GN, (iter+1)*GN) of the stream).
+  void next(std::int64_t iter, HybridBatch& out);
+
+  /// Single-process convenience: the whole global batch as a MiniBatch.
+  void next_full(std::int64_t iter, MiniBatch& out);
+
+  /// Seconds spent in the last next() call (the loader cost the paper saw
+  /// growing under weak scaling in the reference mode).
+  double last_load_sec() const { return last_sec_; }
+
+  /// Bytes materialized per iteration under the current mode.
+  std::int64_t bytes_per_iteration() const;
+
+ private:
+  const Dataset& data_;
+  std::int64_t gn_, ln_;
+  int rank_, ranks_;
+  std::vector<std::int64_t> owned_;
+  LoaderMode mode_;
+  double last_sec_ = 0.0;
+  MiniBatch scratch_;  // full-batch staging for kFullGlobalBatch
+};
+
+}  // namespace dlrm

@@ -1,0 +1,464 @@
+#include "kernels/embedding.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/threadpool.hpp"
+
+namespace dlrm {
+
+void BagBatch::validate(std::int64_t rows) const {
+  DLRM_CHECK(offsets.size() >= 1, "offsets must have N+1 entries");
+  DLRM_CHECK(offsets[0] == 0, "offsets[0] must be 0");
+  for (std::int64_t n = 0; n + 1 < offsets.size(); ++n) {
+    DLRM_CHECK(offsets[n] <= offsets[n + 1], "offsets must be non-decreasing");
+  }
+  DLRM_CHECK(offsets[offsets.size() - 1] == indices.size(),
+             "offsets must cover all indices");
+  for (std::int64_t s = 0; s < indices.size(); ++s) {
+    DLRM_CHECK(indices[s] >= 0 && indices[s] < rows, "index out of range");
+  }
+}
+
+const char* to_string(UpdateStrategy s) {
+  switch (s) {
+    case UpdateStrategy::kReference:
+      return "Reference";
+    case UpdateStrategy::kAtomicXchg:
+      return "AtomicXchg";
+    case UpdateStrategy::kRtm:
+      return "RTM";
+    case UpdateStrategy::kRaceFree:
+      return "RaceFree";
+  }
+  return "?";
+}
+
+const char* to_string(EmbedPrecision p) {
+  switch (p) {
+    case EmbedPrecision::kFp32:
+      return "FP32";
+    case EmbedPrecision::kBf16Split:
+      return "BF16-Split";
+    case EmbedPrecision::kBf16Split8:
+      return "BF16-Split8";
+    case EmbedPrecision::kFp16Stochastic:
+      return "FP16-Stochastic";
+    case EmbedPrecision::kFp24:
+      return "FP24";
+  }
+  return "?";
+}
+
+namespace {
+
+// Striped row locks emulating RTM transactions: acquiring the stripe stands
+// in for the transactional cache-line ownership; the body may use SIMD just
+// like an RTM region (the paper's motivation for RTM over per-element CAS).
+constexpr std::size_t kLockStripes = 4096;
+
+std::atomic_flag& row_lock(std::int64_t row) {
+  static std::atomic_flag stripes[kLockStripes] = {};
+  return stripes[static_cast<std::size_t>(row) & (kLockStripes - 1)];
+}
+
+class StripeGuard {
+ public:
+  explicit StripeGuard(std::int64_t row) : flag_(row_lock(row)) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // spin; transactions are short
+    }
+  }
+  ~StripeGuard() { flag_.clear(std::memory_order_release); }
+  StripeGuard(const StripeGuard&) = delete;
+  StripeGuard& operator=(const StripeGuard&) = delete;
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace
+
+EmbeddingTable::EmbeddingTable(std::int64_t rows, std::int64_t dim,
+                               EmbedPrecision precision)
+    : rows_(rows), dim_(dim), precision_(precision) {
+  DLRM_CHECK(rows > 0 && dim > 0, "table shape must be positive");
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24:
+      w_.reshape({rows, dim});
+      w_.zero();
+      break;
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8:
+      hi_.reshape({rows, dim});
+      lo_.reshape({rows, dim});
+      hi_.fill(0);
+      lo_.fill(0);
+      break;
+    case EmbedPrecision::kFp16Stochastic:
+      hi_.reshape({rows, dim});
+      hi_.fill(0);
+      break;
+  }
+}
+
+void EmbeddingTable::init(Rng& rng, float scale) {
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t e = 0; e < dim_; ++e) {
+      const float v = rng.uniform(-scale, scale);
+      const std::int64_t i = r * dim_ + e;
+      switch (precision_) {
+        case EmbedPrecision::kFp32:
+          w_[i] = v;
+          break;
+        case EmbedPrecision::kFp24:
+          w_[i] = f32_to_f24_rne(v);
+          break;
+        case EmbedPrecision::kBf16Split:
+        case EmbedPrecision::kBf16Split8: {
+          const SplitF32 s = split_f32(v);
+          hi_[i] = s.hi;
+          lo_[i] = precision_ == EmbedPrecision::kBf16Split
+                       ? s.lo
+                       : static_cast<std::uint16_t>(s.lo & 0xFF00u);
+          break;
+        }
+        case EmbedPrecision::kFp16Stochastic:
+          hi_[i] = f32_to_f16_rne(v);
+          break;
+      }
+    }
+  }
+}
+
+void EmbeddingTable::read_row(std::int64_t row, float* out) const {
+  const std::int64_t base = row * dim_;
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24:
+      for (std::int64_t e = 0; e < dim_; ++e) out[e] = w_[base + e];
+      return;
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8:
+      // Model weights are the bf16 hi halves only.
+      for (std::int64_t e = 0; e < dim_; ++e) out[e] = bf16_to_f32(hi_[base + e]);
+      return;
+    case EmbedPrecision::kFp16Stochastic:
+      for (std::int64_t e = 0; e < dim_; ++e) out[e] = f16_to_f32(hi_[base + e]);
+      return;
+  }
+}
+
+void EmbeddingTable::write_row(std::int64_t row, const float* values) {
+  const std::int64_t base = row * dim_;
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+      for (std::int64_t e = 0; e < dim_; ++e) w_[base + e] = values[e];
+      return;
+    case EmbedPrecision::kFp24:
+      for (std::int64_t e = 0; e < dim_; ++e) w_[base + e] = f32_to_f24_rne(values[e]);
+      return;
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        const SplitF32 s = split_f32(values[e]);
+        hi_[base + e] = s.hi;
+        lo_[base + e] = precision_ == EmbedPrecision::kBf16Split
+                            ? s.lo
+                            : static_cast<std::uint16_t>(s.lo & 0xFF00u);
+      }
+      return;
+    case EmbedPrecision::kFp16Stochastic:
+      for (std::int64_t e = 0; e < dim_; ++e) hi_[base + e] = f32_to_f16_rne(values[e]);
+      return;
+  }
+}
+
+void EmbeddingTable::forward(const BagBatch& bags, float* out) const {
+  const std::int64_t n = bags.batch();
+  const std::int64_t* idx = bags.indices.data();
+  const std::int64_t* off = bags.offsets.data();
+  const std::int64_t dim = dim_;
+
+  if (precision_ == EmbedPrecision::kFp32 ||
+      precision_ == EmbedPrecision::kFp24) {
+    const float* w = w_.data();
+    parallel_for_dynamic(0, n, /*grain=*/16, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t b = lo; b < hi; ++b) {
+        float* __restrict__ dst = out + b * dim;
+        for (std::int64_t e = 0; e < dim; ++e) dst[e] = 0.0f;
+        for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
+          const float* __restrict__ src = w + idx[s] * dim;
+          for (std::int64_t e = 0; e < dim; ++e) dst[e] += src[e];
+        }
+      }
+    });
+    return;
+  }
+
+  // Low-precision storage: decode rows on the fly (this *is* the 2x
+  // bandwidth saving: only 16-bit model weights stream from memory).
+  const std::uint16_t* hi = hi_.data();
+  const bool is_f16 = precision_ == EmbedPrecision::kFp16Stochastic;
+  parallel_for_dynamic(0, n, /*grain=*/16, [&](std::int64_t lo, std::int64_t hiend) {
+    for (std::int64_t b = lo; b < hiend; ++b) {
+      float* __restrict__ dst = out + b * dim;
+      for (std::int64_t e = 0; e < dim; ++e) dst[e] = 0.0f;
+      for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
+        const std::uint16_t* __restrict__ src = hi + idx[s] * dim;
+        if (is_f16) {
+          for (std::int64_t e = 0; e < dim; ++e) dst[e] += f16_to_f32(src[e]);
+        } else {
+          for (std::int64_t e = 0; e < dim; ++e) dst[e] += bf16_to_f32(src[e]);
+        }
+      }
+    }
+  });
+}
+
+void EmbeddingTable::backward(const float* dy, const BagBatch& bags,
+                              Tensor<float>& dlookup) const {
+  const std::int64_t n = bags.batch();
+  const std::int64_t* off = bags.offsets.data();
+  const std::int64_t dim = dim_;
+  if (dlookup.size() != bags.lookups() * dim) {
+    dlookup.reshape({bags.lookups(), dim});
+  }
+  float* dl = dlookup.data();
+  parallel_for_dynamic(0, n, /*grain=*/16, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t b = lo; b < hi; ++b) {
+      const float* __restrict__ src = dy + b * dim;
+      for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
+        float* __restrict__ dst = dl + s * dim;
+        for (std::int64_t e = 0; e < dim; ++e) dst[e] = src[e];
+      }
+    }
+  });
+}
+
+void EmbeddingTable::update_row_fp32(std::int64_t row, const float* grad,
+                                     float lr) {
+  float* __restrict__ w = w_.data() + row * dim_;
+  for (std::int64_t e = 0; e < dim_; ++e) w[e] -= lr * grad[e];
+}
+
+void EmbeddingTable::update_row_lowp(std::int64_t row, const float* grad,
+                                     float lr, std::uint64_t salt) {
+  const std::int64_t base = row * dim_;
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+      update_row_fp32(row, grad, lr);
+      return;
+    case EmbedPrecision::kFp24:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        w_[base + e] = f32_to_f24_rne(w_[base + e] - lr * grad[e]);
+      }
+      return;
+    case EmbedPrecision::kBf16Split:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        // Reconstruct the implicit fp32 master weight, update at full
+        // accuracy, re-split. This is the whole Split-SGD trick.
+        float master = combine_f32(hi_[base + e], lo_[base + e]);
+        master -= lr * grad[e];
+        const SplitF32 s = split_f32(master);
+        hi_[base + e] = s.hi;
+        lo_[base + e] = s.lo;
+      }
+      return;
+    case EmbedPrecision::kBf16Split8:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        float master = combine_f32_partial(hi_[base + e], lo_[base + e], 8);
+        master -= lr * grad[e];
+        const SplitF32 s = split_f32(master);
+        hi_[base + e] = s.hi;
+        lo_[base + e] = static_cast<std::uint16_t>(s.lo & 0xFF00u);
+      }
+      return;
+    case EmbedPrecision::kFp16Stochastic: {
+      std::uint64_t state = salt ^ (static_cast<std::uint64_t>(row) << 20);
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        const float updated = f16_to_f32(hi_[base + e]) - lr * grad[e];
+        const std::uint16_t rnd =
+            static_cast<std::uint16_t>(detail::splitmix64(state) >> 48);
+        hi_[base + e] = f32_to_f16_stochastic(updated, rnd);
+      }
+      return;
+    }
+  }
+}
+
+namespace {
+
+// Thread-count and row-range helper for the race-free strategy (Alg 4).
+struct RowRange {
+  std::int64_t begin, end;
+};
+
+RowRange owned_rows(std::int64_t rows, int tid, int nthreads) {
+  return {rows * tid / nthreads, rows * (tid + 1) / nthreads};
+}
+
+}  // namespace
+
+void EmbeddingTable::apply_update(const Tensor<float>& dlookup,
+                                  const BagBatch& bags, float lr,
+                                  UpdateStrategy strategy) {
+  const std::int64_t ns = bags.lookups();
+  DLRM_CHECK(dlookup.size() == ns * dim_, "per-lookup grad shape mismatch");
+  const std::int64_t* idx = bags.indices.data();
+  const float* dl = dlookup.data();
+  const std::int64_t dim = dim_;
+
+  switch (strategy) {
+    case UpdateStrategy::kReference: {
+      // Naive framework kernel: serial, dense full-table gradient that is
+      // allocated, zeroed and applied with a whole-table sweep. O(M*E) work
+      // independent of NS — authentically terrible, kept as the baseline.
+      Tensor<float> dense({rows_, dim_});
+      dense.zero();
+      for (std::int64_t s = 0; s < ns; ++s) {
+        float* __restrict__ dst = dense.data() + idx[s] * dim;
+        const float* __restrict__ src = dl + s * dim;
+        for (std::int64_t e = 0; e < dim; ++e) dst[e] += src[e];
+      }
+      for (std::int64_t r = 0; r < rows_; ++r) {
+        update_row_lowp(r, dense.data() + r * dim, lr, 0x9E3779B9ull);
+      }
+      return;
+    }
+    case UpdateStrategy::kAtomicXchg: {
+      DLRM_CHECK(precision_ == EmbedPrecision::kFp32,
+                 "AtomicXchg requires fp32 storage (32-bit CAS granularity)");
+      float* w = w_.data();
+      parallel_for_dynamic(0, ns, /*grain=*/64, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t s = lo; s < hi; ++s) {
+          float* __restrict__ row = w + idx[s] * dim;
+          const float* __restrict__ g = dl + s * dim;
+          for (std::int64_t e = 0; e < dim; ++e) {
+            atomic_add_float(&row[e], -lr * g[e]);
+          }
+        }
+      });
+      return;
+    }
+    case UpdateStrategy::kRtm: {
+      parallel_for_dynamic(0, ns, /*grain=*/64, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t s = lo; s < hi; ++s) {
+          StripeGuard guard(idx[s]);
+          update_row_lowp(idx[s], dl + s * dim, lr,
+                          0xA5A5A5A5ull + static_cast<std::uint64_t>(s));
+        }
+      });
+      return;
+    }
+    case UpdateStrategy::kRaceFree: {
+      const int nthreads = current_pool().size();
+      parallel_run([&](int tid) {
+        const RowRange range = owned_rows(rows_, tid, nthreads);
+        for (std::int64_t s = 0; s < ns; ++s) {
+          const std::int64_t row = idx[s];
+          if (row >= range.begin && row < range.end) {
+            update_row_lowp(row, dl + s * dim, lr,
+                            0xC3C3C3C3ull + static_cast<std::uint64_t>(s));
+          }
+        }
+      });
+      return;
+    }
+  }
+}
+
+void EmbeddingTable::fused_backward_update(const float* dy,
+                                           const BagBatch& bags, float lr,
+                                           UpdateStrategy strategy) {
+  const std::int64_t n = bags.batch();
+  const std::int64_t* idx = bags.indices.data();
+  const std::int64_t* off = bags.offsets.data();
+  const std::int64_t dim = dim_;
+
+  switch (strategy) {
+    case UpdateStrategy::kReference: {
+      // Fused serial: already skips the dense scratch — this is the
+      // "optimized serial" lower bound, not the naive framework path.
+      for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
+          update_row_lowp(idx[s], dy + b * dim, lr,
+                          0x11111111ull + static_cast<std::uint64_t>(s));
+        }
+      }
+      return;
+    }
+    case UpdateStrategy::kAtomicXchg: {
+      DLRM_CHECK(precision_ == EmbedPrecision::kFp32,
+                 "AtomicXchg requires fp32 storage (32-bit CAS granularity)");
+      float* w = w_.data();
+      parallel_for_dynamic(0, n, /*grain=*/16, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t b = lo; b < hi; ++b) {
+          const float* __restrict__ g = dy + b * dim;
+          for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
+            float* __restrict__ row = w + idx[s] * dim;
+            for (std::int64_t e = 0; e < dim; ++e) {
+              atomic_add_float(&row[e], -lr * g[e]);
+            }
+          }
+        }
+      });
+      return;
+    }
+    case UpdateStrategy::kRtm: {
+      parallel_for_dynamic(0, n, /*grain=*/16, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t b = lo; b < hi; ++b) {
+          for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
+            StripeGuard guard(idx[s]);
+            update_row_lowp(idx[s], dy + b * dim, lr,
+                            0x22222222ull + static_cast<std::uint64_t>(s));
+          }
+        }
+      });
+      return;
+    }
+    case UpdateStrategy::kRaceFree: {
+      const int nthreads = current_pool().size();
+      parallel_run([&](int tid) {
+        const RowRange range = owned_rows(rows_, tid, nthreads);
+        for (std::int64_t b = 0; b < n; ++b) {
+          const float* __restrict__ g = dy + b * dim;
+          for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
+            const std::int64_t row = idx[s];
+            if (row >= range.begin && row < range.end) {
+              update_row_lowp(row, g, lr,
+                              0x33333333ull + static_cast<std::uint64_t>(s));
+            }
+          }
+        }
+      });
+      return;
+    }
+  }
+}
+
+std::int64_t EmbeddingTable::storage_bytes() const {
+  const std::int64_t elems = rows_ * dim_;
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+      return elems * 4;
+    case EmbedPrecision::kBf16Split:
+      return elems * 2 + elems * 2;  // == fp32, master weights implicit
+    case EmbedPrecision::kBf16Split8:
+      return elems * 2 + elems * 1;
+    case EmbedPrecision::kFp16Stochastic:
+      return elems * 2;
+    case EmbedPrecision::kFp24:
+      return elems * 3;  // logically 24-bit; stored widened in fp32 here
+  }
+  return 0;
+}
+
+std::int64_t EmbeddingTable::model_bytes() const {
+  const std::int64_t elems = rows_ * dim_;
+  return precision_ == EmbedPrecision::kFp32 ? elems * 4 : elems * 2;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,140 @@
+// EmbeddingBag lookup, backward and sparse-update kernels
+// (paper Sect. III.A, Algorithms 1–4).
+//
+// The update pass is the kernel that dominated the unoptimized DLRM (99% of
+// runtime) and the one with interesting parallelization trade-offs:
+//
+//   * kReference  — the naive "functionality-first" framework kernel: serial,
+//                   materializes a dense gradient the size of the full table
+//                   and sweeps the whole table to apply it. This is the 110x
+//                   denominator of the paper.
+//   * kAtomicXchg — parallel over lookups; float atomic-add via CAS loop.
+//   * kRtm        — parallel over lookups; row-granular transactional section
+//                   (striped-lock software emulation of Intel RTM: same
+//                   cache-line-ownership behaviour, SIMD body allowed).
+//   * kRaceFree   — Algorithm 4: rows statically partitioned across threads,
+//                   every thread scans all indices and updates only its own
+//                   rows. Race-free, deterministic, locality friendly; the
+//                   winner under heavy index reuse (MLPerf/Criteo).
+//
+// backward() materializes per-lookup gradients dL[NS][E] (Algorithm 2) and
+// apply_update() consumes them (Algorithm 3/4). fused_backward_update() is
+// the fusion the paper measured at up to 1.6x for embedding updates.
+//
+// Precision modes (paper Sect. VII): fp32; BF16 Split-SGD (hi/lo 16-bit
+// halves, implicit fp32 master weights); Split-SGD with only 8 low bits
+// (shown insufficient in the paper); fp16 with stochastic rounding (ref
+// [13]; fails to reach SOTA in the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+
+/// Multi-hot lookup batch for one table: bag n reads rows
+/// indices[offsets[n] .. offsets[n+1]).
+struct BagBatch {
+  Tensor<std::int64_t> indices;  // [NS] row ids
+  Tensor<std::int64_t> offsets;  // [N+1], offsets[0] == 0
+
+  std::int64_t batch() const { return offsets.size() - 1; }
+  std::int64_t lookups() const { return indices.size(); }
+
+  /// Validates internal consistency against a table with `rows` rows.
+  void validate(std::int64_t rows) const;
+};
+
+enum class UpdateStrategy { kReference, kAtomicXchg, kRtm, kRaceFree };
+
+enum class EmbedPrecision {
+  kFp32,
+  kBf16Split,      // Split-SGD-BF16: hi is the bf16 model weight, lo hidden LSBs
+  kBf16Split8,     // only 8 extra LSBs retained (paper: not enough)
+  kFp16Stochastic, // fp16 weights, stochastic-rounded updates (ref [13])
+  kFp24            // FP24 (1-8-15) weights, RNE-rounded updates (Fig. 16)
+};
+
+const char* to_string(UpdateStrategy s);
+const char* to_string(EmbedPrecision p);
+
+/// One embedding table W[M][E] with pluggable update strategy and storage
+/// precision.
+class EmbeddingTable {
+ public:
+  EmbeddingTable(std::int64_t rows, std::int64_t dim,
+                 EmbedPrecision precision = EmbedPrecision::kFp32);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t dim() const { return dim_; }
+  EmbedPrecision precision() const { return precision_; }
+
+  /// Initializes rows U(-scale, scale).
+  void init(Rng& rng, float scale);
+
+  /// Algorithm 1: out[n][:] = sum over bag n of W[idx][:]. out is [N][E].
+  void forward(const BagBatch& bags, float* out) const;
+
+  /// Algorithm 2: expands dY[N][E] into per-lookup gradients dL[NS][E].
+  void backward(const float* dy, const BagBatch& bags,
+                Tensor<float>& dlookup) const;
+
+  /// Algorithm 3/4: W[I[s]] -= lr * dL[s] under the chosen strategy.
+  void apply_update(const Tensor<float>& dlookup, const BagBatch& bags,
+                    float lr, UpdateStrategy strategy);
+
+  /// Fused Algorithm 2+3: W[I[s]] -= lr * dY[bag(s)] without materializing
+  /// dL. Up to 1.6x faster than backward()+apply_update().
+  void fused_backward_update(const float* dy, const BagBatch& bags, float lr,
+                             UpdateStrategy strategy);
+
+  /// Reads one row into an fp32 buffer (decoding low-precision storage).
+  void read_row(std::int64_t row, float* out) const;
+
+  /// Writes one row from fp32 (encoding into the storage precision).
+  void write_row(std::int64_t row, const float* values);
+
+  /// Bytes of persistent storage (model + optimizer state). Split-SGD is the
+  /// point of comparison: bf16 model + 16-bit optimizer state == fp32 bytes,
+  /// while fp16-with-master-weights would be 3x the fp16 model size.
+  std::int64_t storage_bytes() const;
+
+  /// Bytes of *model* storage touched by forward/backward (the 2x bandwidth
+  /// saving of Split-SGD shows up here).
+  std::int64_t model_bytes() const;
+
+ private:
+  template <typename UpdateRow>
+  void update_dispatch(const BagBatch& bags, UpdateStrategy strategy,
+                       const UpdateRow& touch_row);
+
+  void update_row_fp32(std::int64_t row, const float* grad, float lr);
+  void update_row_lowp(std::int64_t row, const float* grad, float lr,
+                       std::uint64_t salt);
+
+  std::int64_t rows_, dim_;
+  EmbedPrecision precision_;
+
+  Tensor<float> w_;                // kFp32
+  Tensor<std::uint16_t> hi_;       // bf16 bits / fp16 bits
+  Tensor<std::uint16_t> lo_;       // Split-SGD low halves
+};
+
+/// Float atomic add via 32-bit CAS loop (strategy kAtomicXchg).
+inline void atomic_add_float(float* addr, float value) {
+  auto* word = reinterpret_cast<std::uint32_t*>(addr);
+  std::uint32_t expected = __atomic_load_n(word, __ATOMIC_RELAXED);
+  for (;;) {
+    const float updated = std::bit_cast<float>(expected) + value;
+    const std::uint32_t desired = std::bit_cast<std::uint32_t>(updated);
+    if (__atomic_compare_exchange_n(word, &expected, desired, /*weak=*/true,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED)) {
+      return;
+    }
+  }
+}
+
+}  // namespace dlrm

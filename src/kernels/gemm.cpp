@@ -1,0 +1,163 @@
+#include "kernels/gemm.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/threadpool.hpp"
+
+namespace dlrm {
+
+namespace {
+
+// Fixed-width inner kernel: the accumulator row tile acc[NB] stays in vector
+// registers for the full K x count reduction (GCC/Clang auto-vectorize the
+// j-loops with FMA under -O3 -march=native).
+template <int NB>
+void brgemm_fixed(const float* const* a, const float* const* b, float* c,
+                  int count, int m, int k, bool accumulate) {
+  for (int im = 0; im < m; ++im) {
+    float acc[NB];
+    float* __restrict__ crow = c + static_cast<std::int64_t>(im) * NB;
+    if (accumulate) {
+      for (int j = 0; j < NB; ++j) acc[j] = crow[j];
+    } else {
+      for (int j = 0; j < NB; ++j) acc[j] = 0.0f;
+    }
+    for (int i = 0; i < count; ++i) {
+      const float* __restrict__ arow = a[i] + static_cast<std::int64_t>(im) * k;
+      const float* __restrict__ bmat = b[i];
+      for (int ik = 0; ik < k; ++ik) {
+        const float av = arow[ik];
+        const float* __restrict__ brow = bmat + static_cast<std::int64_t>(ik) * NB;
+        for (int j = 0; j < NB; ++j) acc[j] += av * brow[j];
+      }
+    }
+    for (int j = 0; j < NB; ++j) crow[j] = acc[j];
+  }
+}
+
+// Generic runtime-width fallback for odd tile widths (e.g. bk = 1 on the
+// final top-MLP layer, bc = 13 on the MLPerf bottom MLP input).
+void brgemm_generic(const float* const* a, const float* const* b, float* c,
+                    int count, int m, int k, int n, bool accumulate) {
+  for (int im = 0; im < m; ++im) {
+    float* __restrict__ crow = c + static_cast<std::int64_t>(im) * n;
+    if (!accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (int i = 0; i < count; ++i) {
+      const float* __restrict__ arow = a[i] + static_cast<std::int64_t>(im) * k;
+      const float* __restrict__ bmat = b[i];
+      for (int ik = 0; ik < k; ++ik) {
+        const float av = arow[ik];
+        const float* __restrict__ brow = bmat + static_cast<std::int64_t>(ik) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void batchreduce_gemm(const float* const* a, const float* const* b, float* c,
+                      int count, int m, int k, int n, bool accumulate) {
+  switch (n) {
+    case 16:
+      brgemm_fixed<16>(a, b, c, count, m, k, accumulate);
+      return;
+    case 32:
+      brgemm_fixed<32>(a, b, c, count, m, k, accumulate);
+      return;
+    case 64:
+      brgemm_fixed<64>(a, b, c, count, m, k, accumulate);
+      return;
+    default:
+      brgemm_generic(a, b, c, count, m, k, n, accumulate);
+  }
+}
+
+void batchreduce_gemm_strided(const float* const* a, const float* const* b,
+                              float* c, int count, int m, int k, int n,
+                              std::int64_t lda, std::int64_t ldb,
+                              std::int64_t ldc, bool accumulate) {
+  for (int im = 0; im < m; ++im) {
+    float* __restrict__ crow = c + im * ldc;
+    if (!accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (int i = 0; i < count; ++i) {
+      const float* __restrict__ arow = a[i] + im * lda;
+      const float* __restrict__ bmat = b[i];
+      for (int ik = 0; ik < k; ++ik) {
+        const float av = arow[ik];
+        const float* __restrict__ brow = bmat + ik * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void batchreduce_gemm_at(const float* const* a, const float* const* b,
+                         float* c, int count, int m, int k, int n,
+                         bool accumulate) {
+  // A_i stored [K][M]; we read column im as a strided vector. The k-loop
+  // remains the reduction; B rows stream exactly as in the plain kernel.
+  for (int im = 0; im < m; ++im) {
+    float* __restrict__ crow = c + static_cast<std::int64_t>(im) * n;
+    if (!accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (int i = 0; i < count; ++i) {
+      const float* __restrict__ acol = a[i] + im;  // stride m
+      const float* __restrict__ bmat = b[i];
+      for (int ik = 0; ik < k; ++ik) {
+        const float av = acol[static_cast<std::int64_t>(ik) * m];
+        const float* __restrict__ brow = bmat + static_cast<std::int64_t>(ik) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_reference(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, float alpha, float beta) {
+  for (std::int64_t im = 0; im < m; ++im) {
+    float* crow = c + im * n;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    const float* arow = a + im * k;
+    for (std::int64_t ik = 0; ik < k; ++ik) {
+      const float av = alpha * arow[ik];
+      const float* brow = b + ik * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_flat_parallel(const float* a, const float* b, float* c,
+                        std::int64_t m, std::int64_t k, std::int64_t n,
+                        bool accumulate) {
+  // Parallel over rows of C; each thread performs rank-1 style updates on its
+  // row range. No packing: B is streamed from memory for every row block,
+  // which is exactly the locality deficit of "one large GEMM" on flat
+  // tensors that Fig. 5 quantifies.
+  parallel_for(0, m, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t im = lo; im < hi; ++im) {
+      float* __restrict__ crow = c + im * n;
+      if (!accumulate) {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+      }
+      const float* __restrict__ arow = a + im * k;
+      for (std::int64_t ik = 0; ik < k; ++ik) {
+        const float av = arow[ik];
+        const float* __restrict__ brow = b + ik * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+}  // namespace dlrm

@@ -1,0 +1,50 @@
+// Batch-reduce GEMM microkernel (paper Sect. III.B, ref [20]).
+//
+// The batch-reduce GEMM is the single building block of all three MLP
+// training passes: it multiplies a *batch* of small A_i/B_i tile pairs and
+// reduces the products into one C tile:
+//
+//     C[M][N] (+)= sum_i  A_i[M][K] * B_i[K][N]     (row-major tiles)
+//
+// Keeping C resident in registers/L1 across the whole reduction is what makes
+// the blocked MLP reach a high fraction of peak even for small minibatches.
+// The paper JITs these kernels (libxsmm); we reach the same structure with
+// compile-time specializations for the common tile widths.
+#pragma once
+
+#include <cstdint>
+
+namespace dlrm {
+
+/// C[M][N] (+)= sum_{i<count} A_i[M][K_i] * B_i[K_i][N].
+/// All tiles row-major and contiguous; `accumulate == false` zeroes C first.
+/// K is uniform across the batch (lda == K, ldb == N).
+void batchreduce_gemm(const float* const* a, const float* const* b, float* c,
+                      int count, int m, int k, int n, bool accumulate);
+
+/// Strided variant used on *unpacked* (flat) tensors: row strides may exceed
+/// the tile extents. This is the kernel behind the "large GEMM on flat
+/// layout" baseline of Fig. 5 — identical arithmetic, worse locality.
+void batchreduce_gemm_strided(const float* const* a, const float* const* b,
+                              float* c, int count, int m, int k, int n,
+                              std::int64_t lda, std::int64_t ldb,
+                              std::int64_t ldc, bool accumulate);
+
+/// Reference single-call GEMM: C[M][N] = alpha * A[M][K] * B[K][N] + beta * C.
+/// Used for correctness checks and for the naive baselines.
+void gemm_reference(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t n, float alpha, float beta);
+
+/// Threaded flat GEMM (parallel over row blocks of C, no packing): the
+/// stand-in for a framework's multi-threaded MKL call on flat tensors.
+void gemm_flat_parallel(const float* a, const float* b, float* c,
+                        std::int64_t m, std::int64_t k, std::int64_t n,
+                        bool accumulate);
+
+/// C[M][N] (+)= A^T[M][K] * B[K][N] where A is stored as [K][M] row-major.
+/// Used by the backward-by-weights pass (activations transposed on the fly).
+void batchreduce_gemm_at(const float* const* a, const float* const* b,
+                         float* c, int count, int m, int k, int n,
+                         bool accumulate);
+
+}  // namespace dlrm

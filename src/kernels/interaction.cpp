@@ -1,0 +1,140 @@
+#include "kernels/interaction.hpp"
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/threadpool.hpp"
+
+namespace dlrm {
+
+namespace {
+
+std::int64_t round_up(std::int64_t v, std::int64_t multiple) {
+  if (multiple <= 1) return v;
+  return (v + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+DotInteraction::DotInteraction(std::int64_t features, std::int64_t dim,
+                               std::int64_t pad_multiple)
+    : f_(features), e_(dim), out_dim_(round_up(e_ + f_ * (f_ - 1) / 2, pad_multiple)) {
+  DLRM_CHECK(features >= 1 && dim >= 1, "bad interaction shape");
+}
+
+void DotInteraction::forward(const std::vector<const float*>& feats,
+                             std::int64_t batch, float* out) const {
+  DLRM_CHECK(static_cast<std::int64_t>(feats.size()) == f_,
+             "feature count mismatch");
+  const std::int64_t f = f_, e = e_, od = out_dim_;
+
+  parallel_for_dynamic(0, batch, /*grain=*/32, [&](std::int64_t lo, std::int64_t hi) {
+    // Thread-local scratch: Z[F][E] gathered rows and P's lower triangle.
+    std::vector<float> z(static_cast<std::size_t>(f * e));
+    for (std::int64_t n = lo; n < hi; ++n) {
+      for (std::int64_t i = 0; i < f; ++i) {
+        const float* src = feats[static_cast<std::size_t>(i)] + n * e;
+        for (std::int64_t k = 0; k < e; ++k) z[static_cast<std::size_t>(i * e + k)] = src[k];
+      }
+      float* row = out + n * od;
+      // Dense feature payload first.
+      for (std::int64_t k = 0; k < e; ++k) row[k] = z[static_cast<std::size_t>(k)];
+      // Strictly-lower triangle of Z Z^T.
+      std::int64_t w = e;
+      for (std::int64_t i = 1; i < f; ++i) {
+        const float* zi = z.data() + i * e;
+        for (std::int64_t j = 0; j < i; ++j) {
+          const float* zj = z.data() + j * e;
+          float dot = 0.0f;
+          for (std::int64_t k = 0; k < e; ++k) dot += zi[k] * zj[k];
+          row[w++] = dot;
+        }
+      }
+      for (; w < od; ++w) row[w] = 0.0f;  // padding
+    }
+  });
+}
+
+void DotInteraction::backward(const std::vector<const float*>& feats,
+                              const float* dout, std::int64_t batch,
+                              const std::vector<float*>& dfeats) const {
+  DLRM_CHECK(static_cast<std::int64_t>(feats.size()) == f_ &&
+                 static_cast<std::int64_t>(dfeats.size()) == f_,
+             "feature count mismatch");
+  const std::int64_t f = f_, e = e_, od = out_dim_;
+
+  parallel_for_dynamic(0, batch, /*grain=*/32, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> z(static_cast<std::size_t>(f * e));
+    std::vector<float> dz(static_cast<std::size_t>(f * e));
+    for (std::int64_t n = lo; n < hi; ++n) {
+      for (std::int64_t i = 0; i < f; ++i) {
+        const float* src = feats[static_cast<std::size_t>(i)] + n * e;
+        for (std::int64_t k = 0; k < e; ++k) z[static_cast<std::size_t>(i * e + k)] = src[k];
+      }
+      const float* drow = dout + n * od;
+      for (auto& v : dz) v = 0.0f;
+      // dZ = (dP + dP^T) Z with dP the strictly-lower-triangular payload:
+      // each scalar g = d(z_i . z_j) contributes g*z_j to dz_i and g*z_i to dz_j.
+      std::int64_t w = e;
+      for (std::int64_t i = 1; i < f; ++i) {
+        float* dzi = dz.data() + i * e;
+        const float* zi = z.data() + i * e;
+        for (std::int64_t j = 0; j < i; ++j) {
+          const float g = drow[w++];
+          float* dzj = dz.data() + j * e;
+          const float* zj = z.data() + j * e;
+          for (std::int64_t k = 0; k < e; ++k) {
+            dzi[k] += g * zj[k];
+            dzj[k] += g * zi[k];
+          }
+        }
+      }
+      // Dense payload gradient flows straight into feature 0.
+      for (std::int64_t k = 0; k < e; ++k) dz[static_cast<std::size_t>(k)] += drow[k];
+      for (std::int64_t i = 0; i < f; ++i) {
+        float* dst = dfeats[static_cast<std::size_t>(i)] + n * e;
+        for (std::int64_t k = 0; k < e; ++k) dst[k] = dz[static_cast<std::size_t>(i * e + k)];
+      }
+    }
+  });
+}
+
+ConcatInteraction::ConcatInteraction(std::int64_t features, std::int64_t dim,
+                                     std::int64_t pad_multiple)
+    : f_(features), e_(dim), out_dim_(round_up(features * dim, pad_multiple)) {
+  DLRM_CHECK(features >= 1 && dim >= 1, "bad interaction shape");
+}
+
+void ConcatInteraction::forward(const std::vector<const float*>& feats,
+                                std::int64_t batch, float* out) const {
+  DLRM_CHECK(static_cast<std::int64_t>(feats.size()) == f_,
+             "feature count mismatch");
+  const std::int64_t f = f_, e = e_, od = out_dim_;
+  parallel_for_dynamic(0, batch, /*grain=*/64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t n = lo; n < hi; ++n) {
+      float* row = out + n * od;
+      std::int64_t w = 0;
+      for (std::int64_t i = 0; i < f; ++i) {
+        const float* src = feats[static_cast<std::size_t>(i)] + n * e;
+        for (std::int64_t k = 0; k < e; ++k) row[w++] = src[k];
+      }
+      for (; w < od; ++w) row[w] = 0.0f;
+    }
+  });
+}
+
+void ConcatInteraction::backward(const float* dout, std::int64_t batch,
+                                 const std::vector<float*>& dfeats) const {
+  const std::int64_t f = f_, e = e_, od = out_dim_;
+  parallel_for_dynamic(0, batch, /*grain=*/64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t n = lo; n < hi; ++n) {
+      const float* row = dout + n * od;
+      for (std::int64_t i = 0; i < f; ++i) {
+        float* dst = dfeats[static_cast<std::size_t>(i)] + n * e;
+        for (std::int64_t k = 0; k < e; ++k) dst[k] = row[i * e + k];
+      }
+    }
+  });
+}
+
+}  // namespace dlrm

@@ -1,0 +1,63 @@
+// Interaction ops combining the bottom-MLP output with the embedding-table
+// outputs (paper Sect. II).
+//
+// DotInteraction is DLRM's default: per sample, stack the F = S+1 feature
+// vectors into Z[F][E], form the self dot-product P = Z Z^T (a batched small
+// GEMM), and emit the strictly-lower triangle of P concatenated with the
+// dense feature. The output is optionally zero-padded to a multiple of 32 so
+// the first top-MLP layer gets an efficient blocking factor (e.g. MLPerf's
+// 479-wide interaction output becomes 480).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+
+/// Self dot-product interaction (batched GEMM kernel).
+class DotInteraction {
+ public:
+  /// `features` = S+1 (bottom MLP output + S embedding outputs), each of
+  /// width `dim`. If `pad_multiple` > 1 the output width is rounded up.
+  DotInteraction(std::int64_t features, std::int64_t dim,
+                 std::int64_t pad_multiple = 32);
+
+  std::int64_t features() const { return f_; }
+  std::int64_t dim() const { return e_; }
+  /// Unpadded payload width: E + F*(F-1)/2.
+  std::int64_t payload_dim() const { return e_ + f_ * (f_ - 1) / 2; }
+  std::int64_t out_dim() const { return out_dim_; }
+
+  /// feats[i] points to a [batch][dim] matrix; out is [batch][out_dim()].
+  /// feats[0] is the dense (bottom MLP) feature copied to the front.
+  void forward(const std::vector<const float*>& feats, std::int64_t batch,
+               float* out) const;
+
+  /// dout: [batch][out_dim()]; dfeats[i]: [batch][dim] (overwritten).
+  void backward(const std::vector<const float*>& feats, const float* dout,
+                std::int64_t batch, const std::vector<float*>& dfeats) const;
+
+ private:
+  std::int64_t f_, e_, out_dim_;
+};
+
+/// Trivial concat interaction (the paper mentions it as the simple option).
+class ConcatInteraction {
+ public:
+  ConcatInteraction(std::int64_t features, std::int64_t dim,
+                    std::int64_t pad_multiple = 32);
+
+  std::int64_t out_dim() const { return out_dim_; }
+
+  void forward(const std::vector<const float*>& feats, std::int64_t batch,
+               float* out) const;
+  void backward(const float* dout, std::int64_t batch,
+                const std::vector<float*>& dfeats) const;
+
+ private:
+  std::int64_t f_, e_, out_dim_;
+};
+
+}  // namespace dlrm

@@ -1,0 +1,36 @@
+// Binary cross-entropy loss with logits (DLRM's click/no-click objective).
+//
+// The paper does not analyze the loss (negligible cost); we implement the
+// numerically stable formulation and its gradient for completeness.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+/// Mean BCE-with-logits over a batch:
+///   loss_n = max(x,0) - x*y + log(1 + exp(-|x|))
+/// Also fills dlogits[n] = (sigmoid(x_n) - y_n) / N (gradient of the mean).
+inline double bce_with_logits(const float* logits, const float* labels,
+                              std::int64_t n, float* dlogits) {
+  DLRM_CHECK(n > 0, "empty batch");
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float x = logits[i];
+    const float y = labels[i];
+    const float ax = x >= 0.0f ? x : -x;
+    total += static_cast<double>((x > 0.0f ? x : 0.0f) - x * y +
+                                 std::log1p(std::exp(-ax)));
+    if (dlogits != nullptr) {
+      const float sig = 1.0f / (1.0f + std::exp(-x));
+      dlogits[i] = (sig - y) * inv_n;
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace dlrm

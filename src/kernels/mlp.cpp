@@ -1,0 +1,408 @@
+#include "kernels/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/threadpool.hpp"
+#include "kernels/gemm.hpp"
+
+namespace dlrm {
+
+std::int64_t pick_block(std::int64_t dim, std::int64_t target) {
+  DLRM_CHECK(dim > 0, "dimension must be positive");
+  for (std::int64_t b = std::min(dim, target); b > 1; --b) {
+    if (dim % b == 0) return b;
+  }
+  return 1;
+}
+
+namespace {
+
+inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+void apply_activation(Activation act, float* p, std::int64_t n) {
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      for (std::int64_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+      return;
+    case Activation::kSigmoid:
+      for (std::int64_t i = 0; i < n; ++i) p[i] = sigmoidf(p[i]);
+      return;
+  }
+}
+
+// dz = dy * act'(y), where y is the post-activation value.
+void apply_activation_grad_buf(Activation act, const float* y, float* dy,
+                               std::int64_t n) {
+  switch (act) {
+    case Activation::kNone:
+      return;
+    case Activation::kRelu:
+      for (std::int64_t i = 0; i < n; ++i) dy[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+      return;
+    case Activation::kSigmoid:
+      for (std::int64_t i = 0; i < n; ++i) dy[i] *= y[i] * (1.0f - y[i]);
+      return;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FullyConnected
+// ---------------------------------------------------------------------------
+
+FullyConnected::FullyConnected(std::int64_t c, std::int64_t k, Activation act,
+                               BlockTargets targets)
+    : c_(c),
+      k_(k),
+      act_(act),
+      bc_(pick_block(c, targets.bc)),
+      bk_(pick_block(k, targets.bk)),
+      w_(k, c, bk_, bc_),
+      dw_(k, c, bk_, bc_),
+      bias_({k}),
+      dbias_({k}),
+      wt_(c, k, bc_, bk_) {
+  w_.raw().zero();
+  dw_.raw().zero();
+  bias_.zero();
+  dbias_.zero();
+}
+
+void FullyConnected::init(Rng& rng) {
+  // He initialization on the flat view, then pack.
+  Tensor<float> flat({k_, c_});
+  fill_gaussian(flat, rng, std::sqrt(2.0f / static_cast<float>(c_)));
+  w_.pack_from(flat.data());
+  bias_.zero();
+  wt_valid_ = false;
+}
+
+void FullyConnected::forward(const BlockedActivations& x,
+                             BlockedActivations& y) const {
+  DLRM_CHECK(x.c() == c_ && y.c() == k_ && x.n() == y.n(),
+             "FullyConnected::forward shape mismatch");
+  DLRM_CHECK(x.bc() == bc_ && y.bc() == bk_ && x.bn() == y.bn(),
+             "FullyConnected::forward blocking mismatch");
+  wt_valid_ = false;  // weights may have been updated since last backward
+
+  const std::int64_t nb = x.nb(), kb = w_.kb(), cb = w_.cb();
+  const std::int64_t bn = x.bn();
+  const float* bias = bias_.data();
+  const Activation act = act_;
+
+  parallel_for(0, kb * nb, [&, bn](std::int64_t lo, std::int64_t hi) {
+    std::vector<const float*> aptrs(static_cast<std::size_t>(cb));
+    std::vector<const float*> bptrs(static_cast<std::size_t>(cb));
+    for (std::int64_t idx = lo; idx < hi; ++idx) {
+      const std::int64_t ikb = idx / nb;
+      const std::int64_t inb = idx % nb;
+      for (std::int64_t icb = 0; icb < cb; ++icb) {
+        aptrs[static_cast<std::size_t>(icb)] = x.block(icb, inb);
+        bptrs[static_cast<std::size_t>(icb)] = w_.block(ikb, icb);
+      }
+      float* out = const_cast<float*>(y.block(ikb, inb));
+      batchreduce_gemm(aptrs.data(), bptrs.data(), out,
+                       static_cast<int>(cb), static_cast<int>(bn),
+                       static_cast<int>(bc_), static_cast<int>(bk_),
+                       /*accumulate=*/false);
+      // Bias + activation while the tile is hot in cache.
+      const float* brow = bias + ikb * bk_;
+      for (std::int64_t in = 0; in < bn; ++in) {
+        float* row = out + in * bk_;
+        for (std::int64_t j = 0; j < bk_; ++j) row[j] += brow[j];
+      }
+      apply_activation(act, out, bn * bk_);
+    }
+  });
+}
+
+void FullyConnected::apply_activation_grad(const BlockedActivations& y,
+                                           BlockedActivations& dy) const {
+  if (act_ == Activation::kNone) return;
+  const std::int64_t total = y.raw().size();
+  const float* yp = y.raw().data();
+  float* dp = dy.raw().data();
+  parallel_for(0, total, [&](std::int64_t lo, std::int64_t hi) {
+    apply_activation_grad_buf(act_, yp + lo, dp + lo, hi - lo);
+  });
+}
+
+void FullyConnected::backward_data(const BlockedActivations& dy,
+                                   BlockedActivations& dx) const {
+  // Pack W^T lazily: WT[Cb][Kb][bk][bc] from W[Kb][Cb][bc][bk].
+  if (!wt_valid_) {
+    const std::int64_t kb = w_.kb(), cb = w_.cb();
+    parallel_for(0, cb * kb, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t idx = lo; idx < hi; ++idx) {
+        const std::int64_t icb = idx / kb;
+        const std::int64_t ikb = idx % kb;
+        const float* src = w_.block(ikb, icb);  // [bc][bk]
+        float* dst = wt_.block(icb, ikb);       // [bk][bc]
+        for (std::int64_t ic = 0; ic < bc_; ++ic) {
+          for (std::int64_t ik = 0; ik < bk_; ++ik) {
+            dst[ik * bc_ + ic] = src[ic * bk_ + ik];
+          }
+        }
+      }
+    });
+    wt_valid_ = true;
+  }
+
+  const std::int64_t nb = dy.nb(), kb = w_.kb(), cb = w_.cb();
+  const std::int64_t bn = dy.bn();
+  parallel_for(0, cb * nb, [&, bn](std::int64_t lo, std::int64_t hi) {
+    std::vector<const float*> aptrs(static_cast<std::size_t>(kb));
+    std::vector<const float*> bptrs(static_cast<std::size_t>(kb));
+    for (std::int64_t idx = lo; idx < hi; ++idx) {
+      const std::int64_t icb = idx / nb;
+      const std::int64_t inb = idx % nb;
+      for (std::int64_t ikb = 0; ikb < kb; ++ikb) {
+        aptrs[static_cast<std::size_t>(ikb)] = dy.block(ikb, inb);
+        bptrs[static_cast<std::size_t>(ikb)] = wt_.block(icb, ikb);
+      }
+      float* out = const_cast<float*>(dx.block(icb, inb));
+      batchreduce_gemm(aptrs.data(), bptrs.data(), out,
+                       static_cast<int>(kb), static_cast<int>(bn),
+                       static_cast<int>(bk_), static_cast<int>(bc_),
+                       /*accumulate=*/false);
+    }
+  });
+}
+
+void FullyConnected::backward_weights(const BlockedActivations& x,
+                                      const BlockedActivations& dy) {
+  const std::int64_t nb = x.nb(), kb = w_.kb(), cb = w_.cb();
+  const std::int64_t bn = x.bn();
+
+  // dW block (ikb, icb) [bc][bk] = sum_inb X.block(icb,inb)^T * dY.block(ikb,inb).
+  parallel_for(0, kb * cb, [&, bn](std::int64_t lo, std::int64_t hi) {
+    std::vector<const float*> aptrs(static_cast<std::size_t>(nb));
+    std::vector<const float*> bptrs(static_cast<std::size_t>(nb));
+    for (std::int64_t idx = lo; idx < hi; ++idx) {
+      const std::int64_t ikb = idx / cb;
+      const std::int64_t icb = idx % cb;
+      for (std::int64_t inb = 0; inb < nb; ++inb) {
+        aptrs[static_cast<std::size_t>(inb)] = x.block(icb, inb);
+        bptrs[static_cast<std::size_t>(inb)] = dy.block(ikb, inb);
+      }
+      batchreduce_gemm_at(aptrs.data(), bptrs.data(), dw_.block(ikb, icb),
+                          static_cast<int>(nb), static_cast<int>(bc_),
+                          static_cast<int>(bn), static_cast<int>(bk_),
+                          /*accumulate=*/false);
+    }
+  });
+
+  // Bias gradient: db[k] = sum_n dy[n][k]; parallel over K blocks.
+  float* db = dbias_.data();
+  parallel_for(0, kb, [&, bn](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t ikb = lo; ikb < hi; ++ikb) {
+      float* dbrow = db + ikb * bk_;
+      for (std::int64_t j = 0; j < bk_; ++j) dbrow[j] = 0.0f;
+      for (std::int64_t inb = 0; inb < nb; ++inb) {
+        const float* tile = dy.block(ikb, inb);
+        for (std::int64_t in = 0; in < bn; ++in) {
+          const float* row = tile + in * bk_;
+          for (std::int64_t j = 0; j < bk_; ++j) dbrow[j] += row[j];
+        }
+      }
+    }
+  });
+}
+
+void FullyConnected::backward(const BlockedActivations& x,
+                              const BlockedActivations& y,
+                              BlockedActivations& dy, BlockedActivations& dx) {
+  apply_activation_grad(y, dy);
+  backward_weights(x, dy);
+  backward_data(dy, dx);
+}
+
+// ---------------------------------------------------------------------------
+// Mlp
+// ---------------------------------------------------------------------------
+
+Mlp::Mlp(std::vector<std::int64_t> dims, Activation hidden_act,
+         Activation final_act, BlockTargets targets)
+    : dims_(std::move(dims)), targets_(targets) {
+  DLRM_CHECK(dims_.size() >= 2, "Mlp needs at least one layer");
+  for (std::size_t i = 0; i + 1 < dims_.size(); ++i) {
+    const Activation act =
+        (i + 2 == dims_.size()) ? final_act : hidden_act;
+    layers_.emplace_back(dims_[i], dims_[i + 1], act, targets_);
+  }
+}
+
+void Mlp::init(Rng& rng) {
+  for (auto& l : layers_) l.init(rng);
+}
+
+void Mlp::set_batch(std::int64_t n) {
+  if (n == n_) return;
+  n_ = n;
+  const std::int64_t bn = pick_block(n, targets_.bn);
+  acts_.clear();
+  dacts_.clear();
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const std::int64_t width = dims_[i];
+    const std::int64_t blk =
+        (i == 0) ? layers_.front().bc()
+                 : layers_[i - 1].bk();  // boundary width block
+    acts_.emplace_back(n, width, bn, blk);
+    dacts_.emplace_back(n, width, bn, blk);
+  }
+  out_flat_.reshape({n, dims_.back()});
+  dx_flat_.reshape({n, dims_.front()});
+}
+
+const Tensor<float>& Mlp::forward(const Tensor<float>& x_flat) {
+  DLRM_CHECK(n_ > 0, "call set_batch first");
+  DLRM_CHECK(x_flat.size() == n_ * dims_.front(), "input size mismatch");
+  acts_.front().pack_from(x_flat.data());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].forward(acts_[i], acts_[i + 1]);
+  }
+  acts_.back().unpack_to(out_flat_.data());
+  return out_flat_;
+}
+
+const Tensor<float>& Mlp::backward(const Tensor<float>& dy_flat) {
+  DLRM_CHECK(dy_flat.size() == n_ * dims_.back(), "grad size mismatch");
+  dacts_.back().pack_from(dy_flat.data());
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    layers_[i].backward(acts_[i], acts_[i + 1], dacts_[i + 1], dacts_[i]);
+  }
+  dacts_.front().unpack_to(dx_flat_.data());
+  return dx_flat_;
+}
+
+std::int64_t Mlp::param_count() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.param_count();
+  return total;
+}
+
+std::vector<ParamSlot> Mlp::param_slots() {
+  std::vector<ParamSlot> slots;
+  for (auto& l : layers_) {
+    slots.push_back({l.weights().raw().data(), l.weight_grads().raw().data(),
+                     l.weights().raw().size()});
+    slots.push_back({l.bias().data(), l.bias_grads().data(), l.bias().size()});
+  }
+  return slots;
+}
+
+// ---------------------------------------------------------------------------
+// MlpFlat baseline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// C[M][N] += A^T * B with A stored [K][M]: flat BWD-by-weights GEMM.
+void gemm_flat_at_parallel(const float* a, const float* b, float* c,
+                           std::int64_t m, std::int64_t k, std::int64_t n) {
+  parallel_for(0, m, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t im = lo; im < hi; ++im) {
+      float* __restrict__ crow = c + im * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+      for (std::int64_t ik = 0; ik < k; ++ik) {
+        const float av = a[ik * m + im];
+        const float* __restrict__ brow = b + ik * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+}  // namespace
+
+MlpFlat::MlpFlat(std::vector<std::int64_t> dims, Activation hidden_act,
+                 Activation final_act)
+    : dims_(std::move(dims)) {
+  DLRM_CHECK(dims_.size() >= 2, "MlpFlat needs at least one layer");
+  const std::size_t layers = dims_.size() - 1;
+  for (std::size_t i = 0; i < layers; ++i) {
+    acts_fn_.push_back(i + 1 == layers ? final_act : hidden_act);
+    w_ck_.emplace_back(std::vector<std::int64_t>{dims_[i], dims_[i + 1]});
+    w_kc_.emplace_back(std::vector<std::int64_t>{dims_[i + 1], dims_[i]});
+    dw_ck_.emplace_back(std::vector<std::int64_t>{dims_[i], dims_[i + 1]});
+    bias_.emplace_back(std::vector<std::int64_t>{dims_[i + 1]});
+    dbias_.emplace_back(std::vector<std::int64_t>{dims_[i + 1]});
+    bias_.back().zero();
+  }
+}
+
+void MlpFlat::init(Rng& rng) {
+  for (std::size_t i = 0; i < w_ck_.size(); ++i) {
+    const std::int64_t c = dims_[i], k = dims_[i + 1];
+    // Draw in [K][C] order so that the same seed produces exactly the same
+    // weights as Mlp::init (needed by the equivalence tests and Fig. 5).
+    fill_gaussian(w_kc_[i], rng, std::sqrt(2.0f / static_cast<float>(c)));
+    for (std::int64_t ik = 0; ik < k; ++ik) {
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        w_ck_[i][ic * k + ik] = w_kc_[i][ik * c + ic];
+      }
+    }
+    bias_[i].zero();
+  }
+}
+
+void MlpFlat::set_batch(std::int64_t n) {
+  if (n == n_) return;
+  n_ = n;
+  zs_.clear();
+  dzs_.clear();
+  for (auto d : dims_) {
+    zs_.emplace_back(std::vector<std::int64_t>{n, d});
+    dzs_.emplace_back(std::vector<std::int64_t>{n, d});
+  }
+}
+
+const Tensor<float>& MlpFlat::forward(const Tensor<float>& x_flat) {
+  DLRM_CHECK(n_ > 0, "call set_batch first");
+  for (std::int64_t i = 0; i < x_flat.size(); ++i) zs_[0][i] = x_flat[i];
+  for (std::size_t l = 0; l < w_ck_.size(); ++l) {
+    const std::int64_t c = dims_[l], k = dims_[l + 1];
+    gemm_flat_parallel(zs_[l].data(), w_ck_[l].data(), zs_[l + 1].data(), n_,
+                       c, k, /*accumulate=*/false);
+    float* z = zs_[l + 1].data();
+    const float* bias = bias_[l].data();
+    parallel_for(0, n_, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t in = lo; in < hi; ++in) {
+        float* row = z + in * k;
+        for (std::int64_t j = 0; j < k; ++j) row[j] += bias[j];
+        apply_activation(acts_fn_[l], row, k);
+      }
+    });
+  }
+  return zs_.back();
+}
+
+const Tensor<float>& MlpFlat::backward(const Tensor<float>& dy_flat) {
+  for (std::int64_t i = 0; i < dy_flat.size(); ++i) dzs_.back()[i] = dy_flat[i];
+  for (std::size_t l = w_ck_.size(); l-- > 0;) {
+    const std::int64_t c = dims_[l], k = dims_[l + 1];
+    float* dz = dzs_[l + 1].data();
+    const float* z = zs_[l + 1].data();
+    parallel_for(0, n_ * k, [&](std::int64_t lo, std::int64_t hi) {
+      apply_activation_grad_buf(acts_fn_[l], z + lo, dz + lo, hi - lo);
+    });
+    // dW[C][K] = X^T dY ; db = colsum(dY)
+    gemm_flat_at_parallel(zs_[l].data(), dz, dw_ck_[l].data(), c, n_, k);
+    float* db = dbias_[l].data();
+    for (std::int64_t j = 0; j < k; ++j) db[j] = 0.0f;
+    for (std::int64_t in = 0; in < n_; ++in) {
+      const float* row = dz + in * k;
+      for (std::int64_t j = 0; j < k; ++j) db[j] += row[j];
+    }
+    // dX[N][C] = dY * W[K][C]
+    gemm_flat_parallel(dz, w_kc_[l].data(), dzs_[l].data(), n_, k, c,
+                       /*accumulate=*/false);
+  }
+  return dzs_.front();
+}
+
+}  // namespace dlrm

@@ -1,0 +1,171 @@
+// Fully connected layers and MLP stacks (paper Sect. III.B, Algorithm 5).
+//
+// Two implementations are provided:
+//   * FullyConnected / Mlp — the paper's blocked-layout implementation built
+//     on the batch-reduce GEMM microkernel. Weights live in [Kb][Cb][bc][bk],
+//     activations in [Cb][Nb][bn][bc]; all three training passes (FWD,
+//     BWD-by-data, BWD-by-weights) are tile-parallel.
+//   * MlpFlat — the "one large multi-threaded GEMM per layer on flat
+//     tensors" baseline (what a framework's MKL path does); used by the
+//     Fig. 5 comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/param_slot.hpp"
+#include "common/rng.hpp"
+#include "tensor/blocked.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+
+enum class Activation { kNone, kRelu, kSigmoid };
+
+/// Largest divisor of `dim` that is <= `target` (>= 1). Used to select legal
+/// blocking factors for arbitrary layer sizes (e.g. the 13-wide MLPerf
+/// bottom-MLP input or the width-1 top-MLP output).
+std::int64_t pick_block(std::int64_t dim, std::int64_t target);
+
+/// Default blocking targets; chosen so tiles fit registers/L1 comfortably.
+struct BlockTargets {
+  std::int64_t bn = 32;
+  std::int64_t bc = 64;
+  std::int64_t bk = 64;
+};
+
+/// One fully connected layer y = act(W x + bias) on blocked tensors.
+class FullyConnected {
+ public:
+  FullyConnected(std::int64_t c, std::int64_t k, Activation act,
+                 BlockTargets targets = {});
+
+  std::int64_t in_features() const { return c_; }
+  std::int64_t out_features() const { return k_; }
+  Activation activation() const { return act_; }
+
+  /// Initializes weights N(0, sqrt(2/C)) and zero bias.
+  void init(Rng& rng);
+
+  /// y[Kb][Nb][bn][bk] = act(W * x + bias). x: [Cb][Nb][bn][bc].
+  /// The activation output is also retained internally for the backward pass.
+  void forward(const BlockedActivations& x, BlockedActivations& y) const;
+
+  /// Computes dx from dy (BWD-by-data) and dW, db (BWD-by-weights).
+  /// `dy` is the gradient w.r.t. the *post-activation* output and is
+  /// modified in place (multiplied by act'(y)).
+  /// `y` must be the tensor produced by the matching forward call.
+  void backward(const BlockedActivations& x, const BlockedActivations& y,
+                BlockedActivations& dy, BlockedActivations& dx);
+
+  /// BWD-by-weights only (dy already pre-multiplied by act').
+  void backward_weights(const BlockedActivations& x,
+                        const BlockedActivations& dy);
+
+  /// BWD-by-data only (dy already pre-multiplied by act').
+  void backward_data(const BlockedActivations& dy, BlockedActivations& dx) const;
+
+  /// Applies act'(y) to dy in place (the first step of backward()).
+  void apply_activation_grad(const BlockedActivations& y,
+                             BlockedActivations& dy) const;
+
+  BlockedWeights& weights() { return w_; }
+  const BlockedWeights& weights() const { return w_; }
+  BlockedWeights& weight_grads() { return dw_; }
+  Tensor<float>& bias() { return bias_; }
+  Tensor<float>& bias_grads() { return dbias_; }
+
+  std::int64_t bc() const { return bc_; }
+  std::int64_t bk() const { return bk_; }
+
+  /// Number of parameters (weights + bias) — the layer's allreduce size
+  /// contribution (Eq. 1 of the paper).
+  std::int64_t param_count() const { return c_ * k_ + k_; }
+
+ private:
+  std::int64_t c_, k_;
+  Activation act_;
+  std::int64_t bc_, bk_;
+  BlockedWeights w_;
+  BlockedWeights dw_;
+  Tensor<float> bias_;
+  Tensor<float> dbias_;
+  mutable BlockedWeights wt_;  // transposed weights for BWD-by-data
+  mutable bool wt_valid_ = false;
+};
+
+/// A stack of fully connected layers with uniform hidden activation and a
+/// configurable final activation.
+class Mlp {
+ public:
+  /// dims = [input, hidden..., output]; at least one layer.
+  Mlp(std::vector<std::int64_t> dims, Activation hidden_act,
+      Activation final_act, BlockTargets targets = {});
+
+  void init(Rng& rng);
+
+  /// (Re)allocates activation buffers for minibatch n.
+  void set_batch(std::int64_t n);
+
+  std::int64_t batch() const { return n_; }
+  std::int64_t in_features() const { return dims_.front(); }
+  std::int64_t out_features() const { return dims_.back(); }
+  std::size_t layer_count() const { return layers_.size(); }
+  FullyConnected& layer(std::size_t i) { return layers_[i]; }
+  const FullyConnected& layer(std::size_t i) const { return layers_[i]; }
+
+  /// Forward through all layers. x_flat: [N][input]. Output view is flat
+  /// [N][output], unpacked into an internal buffer.
+  const Tensor<float>& forward(const Tensor<float>& x_flat);
+
+  /// Backward through all layers; fills weight/bias grads of every layer and
+  /// returns the gradient w.r.t. the input, flat [N][input].
+  const Tensor<float>& backward(const Tensor<float>& dy_flat);
+
+  /// Flat output of the most recent forward() call.
+  const Tensor<float>& forward_output() const { return out_flat_; }
+
+  /// Sum over layers of (C*K + K) — the DDP allreduce element count (Eq. 1).
+  std::int64_t param_count() const;
+
+  /// Flat list of {param, grad} blocks for the optimizer / DDP allreduce.
+  std::vector<ParamSlot> param_slots();
+
+ private:
+  std::vector<std::int64_t> dims_;
+  BlockTargets targets_;
+  std::vector<FullyConnected> layers_;
+  std::int64_t n_ = 0;
+
+  std::vector<BlockedActivations> acts_;   // acts_[0] = packed input
+  std::vector<BlockedActivations> dacts_;  // gradient buffers per boundary
+  Tensor<float> out_flat_;
+  Tensor<float> dx_flat_;
+};
+
+/// Baseline: flat-layout MLP computing one large threaded GEMM per pass per
+/// layer (no packing, no tiling). Numerically identical to Mlp.
+class MlpFlat {
+ public:
+  MlpFlat(std::vector<std::int64_t> dims, Activation hidden_act,
+          Activation final_act);
+
+  void init(Rng& rng);
+  void set_batch(std::int64_t n);
+
+  const Tensor<float>& forward(const Tensor<float>& x_flat);
+  const Tensor<float>& backward(const Tensor<float>& dy_flat);
+
+  std::int64_t out_features() const { return dims_.back(); }
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<Activation> acts_fn_;
+  std::int64_t n_ = 0;
+  // Per layer: weights stored both as [C][K] (fwd) and [K][C] (bwd-data).
+  std::vector<Tensor<float>> w_ck_, w_kc_, bias_, dw_ck_, dbias_;
+  std::vector<Tensor<float>> zs_;  // per-boundary activations, flat
+  std::vector<Tensor<float>> dzs_;
+};
+
+}  // namespace dlrm

@@ -1,0 +1,164 @@
+#include "optim/optimizer.hpp"
+
+#include "common/log.hpp"
+#include "common/threadpool.hpp"
+
+namespace dlrm {
+
+// ---------------------------------------------------------------------------
+// SgdFp32
+// ---------------------------------------------------------------------------
+
+void SgdFp32::attach(const std::vector<ParamSlot>& slots) {
+  DLRM_CHECK(slots_.empty(), "attach() must be called once");
+  slots_ = slots;
+}
+
+void SgdFp32::step(float lr) {
+  for (auto& s : slots_) {
+    float* __restrict__ p = s.param;
+    const float* __restrict__ g = s.grad;
+    parallel_for(0, s.size, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) p[i] -= lr * g[i];
+    });
+  }
+}
+
+std::int64_t SgdFp32::state_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& s : slots_) n += s.size;
+  return n * 4;  // params only, no extra state
+}
+
+// ---------------------------------------------------------------------------
+// SplitSgdBf16
+// ---------------------------------------------------------------------------
+
+SplitSgdBf16::SplitSgdBf16(int lo_bits) : lo_bits_(lo_bits) {
+  DLRM_CHECK(lo_bits >= 0 && lo_bits <= 16, "lo_bits in [0,16]");
+}
+
+std::string SplitSgdBf16::name() const {
+  return lo_bits_ == 16 ? "Split-SGD-BF16"
+                        : "Split-SGD-BF16/" + std::to_string(lo_bits_);
+}
+
+void SplitSgdBf16::attach(const std::vector<ParamSlot>& slots) {
+  DLRM_CHECK(slots_.empty(), "attach() must be called once");
+  slots_ = slots;
+  const std::uint16_t mask =
+      lo_bits_ >= 16
+          ? 0xFFFFu
+          : static_cast<std::uint16_t>(~((1u << (16 - lo_bits_)) - 1u));
+  for (auto& s : slots_) {
+    lo_.emplace_back(std::vector<std::int64_t>{s.size});
+    auto& lo = lo_.back();
+    for (std::int64_t i = 0; i < s.size; ++i) {
+      // Split the incoming fp32 master: the param keeps the bf16 hi half
+      // (low 16 bits zeroed — kernels now see bf16 weights), the low half
+      // moves into optimizer state.
+      const SplitF32 sp = split_f32(s.param[i]);
+      s.param[i] = bf16_to_f32(sp.hi);
+      lo[i] = static_cast<std::uint16_t>(sp.lo & mask);
+    }
+  }
+}
+
+void SplitSgdBf16::step(float lr) {
+  const std::uint16_t mask =
+      lo_bits_ >= 16
+          ? 0xFFFFu
+          : static_cast<std::uint16_t>(~((1u << (16 - lo_bits_)) - 1u));
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    float* __restrict__ p = slots_[k].param;
+    const float* __restrict__ g = slots_[k].grad;
+    std::uint16_t* __restrict__ lo = lo_[k].data();
+    parallel_for(0, slots_[k].size, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        // Reassemble the exact fp32 master, update at full accuracy, re-split.
+        float master = combine_f32(f32_to_bf16_trunc(p[i]), lo[i]);
+        master -= lr * g[i];
+        const SplitF32 sp = split_f32(master);
+        p[i] = bf16_to_f32(sp.hi);
+        lo[i] = static_cast<std::uint16_t>(sp.lo & mask);
+      }
+    });
+  }
+}
+
+std::int64_t SplitSgdBf16::state_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& s : slots_) n += s.size;
+  // bf16 model half + lo half: identical total capacity to plain fp32.
+  return n * 2 + n * ((lo_bits_ + 7) / 8);
+}
+
+// ---------------------------------------------------------------------------
+// Fp24Sgd
+// ---------------------------------------------------------------------------
+
+void Fp24Sgd::attach(const std::vector<ParamSlot>& slots) {
+  DLRM_CHECK(slots_.empty(), "attach() must be called once");
+  slots_ = slots;
+  for (auto& s : slots_) {
+    for (std::int64_t i = 0; i < s.size; ++i) s.param[i] = f32_to_f24_rne(s.param[i]);
+  }
+}
+
+void Fp24Sgd::step(float lr) {
+  for (auto& s : slots_) {
+    float* __restrict__ p = s.param;
+    const float* __restrict__ g = s.grad;
+    parallel_for(0, s.size, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        p[i] = f32_to_f24_rne(p[i] - lr * g[i]);
+      }
+    });
+  }
+}
+
+std::int64_t Fp24Sgd::state_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& s : slots_) n += s.size;
+  return n * 3;
+}
+
+// ---------------------------------------------------------------------------
+// Fp16MasterSgd
+// ---------------------------------------------------------------------------
+
+void Fp16MasterSgd::attach(const std::vector<ParamSlot>& slots) {
+  DLRM_CHECK(slots_.empty(), "attach() must be called once");
+  slots_ = slots;
+  for (auto& s : slots_) {
+    master_.emplace_back(std::vector<std::int64_t>{s.size});
+    auto& m = master_.back();
+    for (std::int64_t i = 0; i < s.size; ++i) {
+      m[i] = s.param[i];  // fp32 master copy
+      s.param[i] = f16_to_f32(f32_to_f16_rne(s.param[i]));  // fp16 model view
+    }
+  }
+}
+
+void Fp16MasterSgd::step(float lr) {
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    float* __restrict__ p = slots_[k].param;
+    const float* __restrict__ g = slots_[k].grad;
+    float* __restrict__ m = master_[k].data();
+    parallel_for(0, slots_[k].size, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        m[i] -= lr * g[i];
+        p[i] = f16_to_f32(f32_to_f16_rne(m[i]));
+      }
+    });
+  }
+}
+
+std::int64_t Fp16MasterSgd::state_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& s : slots_) n += s.size;
+  // fp16 model + fp32 master: the 3x overhead relative to an fp16 model.
+  return n * 2 + n * 4;
+}
+
+}  // namespace dlrm

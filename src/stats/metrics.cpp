@@ -1,0 +1,58 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dlrm {
+
+double roc_auc(const float* scores, const float* labels, std::int64_t n) {
+  if (n <= 0) return 0.5;
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double rank_sum_pos = 0.0;
+  std::int64_t positives = 0;
+  std::int64_t i = 0;
+  while (i < n) {
+    // Tie group [i, j): average rank for all members.
+    std::int64_t j = i;
+    while (j < n && scores[order[static_cast<std::size_t>(j)]] ==
+                        scores[order[static_cast<std::size_t>(i)]]) {
+      ++j;
+    }
+    const double avg_rank = static_cast<double>(i + j + 1) / 2.0;  // 1-based
+    for (std::int64_t k = i; k < j; ++k) {
+      if (labels[order[static_cast<std::size_t>(k)]] > 0.5f) {
+        rank_sum_pos += avg_rank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const std::int64_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  return (rank_sum_pos -
+          static_cast<double>(positives) * (positives + 1) / 2.0) /
+         (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+void AucAccumulator::add(const float* scores, const float* labels,
+                         std::int64_t n) {
+  scores_.insert(scores_.end(), scores, scores + n);
+  labels_.insert(labels_.end(), labels, labels + n);
+}
+
+void AucAccumulator::clear() {
+  scores_.clear();
+  labels_.clear();
+}
+
+double AucAccumulator::compute() const {
+  return roc_auc(scores_.data(), labels_.data(),
+                 static_cast<std::int64_t>(scores_.size()));
+}
+
+}  // namespace dlrm

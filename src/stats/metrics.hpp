@@ -1,0 +1,47 @@
+// Evaluation metrics: ROC-AUC (the paper's Fig. 16 metric) and loss meters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dlrm {
+
+/// ROC-AUC via the rank-sum (Mann–Whitney U) formulation with proper tie
+/// handling (tied scores receive their average rank). Returns 0.5 when one
+/// class is absent.
+double roc_auc(const float* scores, const float* labels, std::int64_t n);
+
+/// Streaming AUC accumulator: collect (score, label) pairs batch by batch,
+/// then compute once.
+class AucAccumulator {
+ public:
+  void add(const float* scores, const float* labels, std::int64_t n);
+  void clear();
+  std::int64_t count() const { return static_cast<std::int64_t>(scores_.size()); }
+  double compute() const;
+
+ private:
+  std::vector<float> scores_;
+  std::vector<float> labels_;
+};
+
+/// Running average of a scalar (training loss).
+class Meter {
+ public:
+  void add(double value) {
+    sum_ += value;
+    ++count_;
+  }
+  void clear() {
+    sum_ = 0.0;
+    count_ = 0;
+  }
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace dlrm

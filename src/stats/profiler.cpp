@@ -1,0 +1,30 @@
+#include "stats/profiler.hpp"
+
+#include <cstdio>
+
+namespace dlrm {
+
+double Profiler::total_sec_prefix(const std::string& prefix) const {
+  double total = 0.0;
+  for (const auto& [name, sw] : counters_) {
+    if (name.rfind(prefix, 0) == 0) total += sw.total_sec();
+  }
+  return total;
+}
+
+std::string Profiler::report() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %10s %12s %12s\n", "op", "calls",
+                "total ms", "mean ms");
+  out += line;
+  for (const auto& [name, sw] : counters_) {
+    std::snprintf(line, sizeof(line), "%-32s %10lld %12.3f %12.4f\n",
+                  name.c_str(), static_cast<long long>(sw.count()),
+                  sw.total_ms(), sw.mean_ms());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dlrm

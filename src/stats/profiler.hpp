@@ -1,0 +1,63 @@
+// Per-operation wall-clock profiler.
+//
+// Mirrors the instrumentation the paper added to PyTorch: per-op timers plus
+// the communication split into "framework" (packing, launching, averaging)
+// and "wait" (blocked on the backend) components shown in Figs. 10–14.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/timer.hpp"
+
+namespace dlrm {
+
+class Profiler {
+ public:
+  /// Adds `sec` to the named counter.
+  void add(const std::string& name, double sec) { counters_[name].add_sec(sec); }
+
+  /// RAII scope timer: Profiler::Scope s(prof, "embedding_fwd");
+  class Scope {
+   public:
+    Scope(Profiler& prof, std::string name)
+        : prof_(prof), name_(std::move(name)), start_(now_sec()) {}
+    ~Scope() { prof_.add(name_, now_sec() - start_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Profiler& prof_;
+    std::string name_;
+    double start_;
+  };
+
+  double total_sec(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second.total_sec();
+  }
+  double mean_ms(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second.mean_ms();
+  }
+  std::int64_t count(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.count();
+  }
+
+  /// Sum of all counters whose name starts with `prefix`.
+  double total_sec_prefix(const std::string& prefix) const;
+
+  void reset() { counters_.clear(); }
+
+  /// Formats an aligned table: name, calls, total ms, mean ms.
+  std::string report() const;
+
+  const std::map<std::string, Stopwatch>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, Stopwatch> counters_;
+};
+
+}  // namespace dlrm

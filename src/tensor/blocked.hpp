@@ -1,0 +1,163 @@
+// Blocked 4-D tensor layouts for the fully connected layers (paper Sect.
+// III.B).
+//
+// Flat activations X[N][C] are packed as  Xb[Cb][Nb][bn][bc]
+// Flat weights     W[K][C] are packed as  Wb[Kb][Cb][bc][bk]
+// Flat outputs     Y[N][K] are packed as  Yb[Kb][Nb][bn][bk]
+//
+// The activation format [Cb][Nb][bn][bc] is the paper's deviation from prior
+// work: it makes the backward-by-weights pass (where activations play the
+// role of weights) as cache-friendly as the forward pass.
+#pragma once
+
+#include <cstdint>
+
+#include "common/log.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+
+/// Describes the blocking of a [rows][cols] matrix into 4-D tiles.
+struct Blocking {
+  std::int64_t rows = 0;  // e.g. N (activations) or K (weights)
+  std::int64_t cols = 0;  // e.g. C
+  std::int64_t row_block = 0;  // bn or bk
+  std::int64_t col_block = 0;  // bc
+
+  std::int64_t row_blocks() const { return rows / row_block; }
+  std::int64_t col_blocks() const { return cols / col_block; }
+
+  void validate() const {
+    DLRM_CHECK(rows > 0 && cols > 0 && row_block > 0 && col_block > 0);
+    DLRM_CHECK(rows % row_block == 0, "row dim must be divisible by block");
+    DLRM_CHECK(cols % col_block == 0, "col dim must be divisible by block");
+  }
+};
+
+/// Activation tensor in [Cb][Nb][bn][bc] layout.
+class BlockedActivations {
+ public:
+  BlockedActivations() = default;
+  BlockedActivations(std::int64_t n, std::int64_t c, std::int64_t bn,
+                     std::int64_t bc)
+      : b_{n, c, bn, bc} {
+    b_.validate();
+    data_.reshape({b_.col_blocks(), b_.row_blocks(), bn, bc});
+  }
+
+  std::int64_t n() const { return b_.rows; }
+  std::int64_t c() const { return b_.cols; }
+  std::int64_t bn() const { return b_.row_block; }
+  std::int64_t bc() const { return b_.col_block; }
+  std::int64_t nb() const { return b_.row_blocks(); }
+  std::int64_t cb() const { return b_.col_blocks(); }
+
+  float* block(std::int64_t icb, std::int64_t inb) {
+    return data_.data() + ((icb * nb() + inb) * bn()) * bc();
+  }
+  const float* block(std::int64_t icb, std::int64_t inb) const {
+    return data_.data() + ((icb * nb() + inb) * bn()) * bc();
+  }
+
+  Tensor<float>& raw() { return data_; }
+  const Tensor<float>& raw() const { return data_; }
+
+  /// Packs a flat row-major [N][C] matrix into this blocked tensor.
+  void pack_from(const float* flat) {
+    for (std::int64_t icb = 0; icb < cb(); ++icb) {
+      for (std::int64_t inb = 0; inb < nb(); ++inb) {
+        float* dst = block(icb, inb);
+        for (std::int64_t in = 0; in < bn(); ++in) {
+          const float* src = flat + (inb * bn() + in) * c() + icb * bc();
+          for (std::int64_t ic = 0; ic < bc(); ++ic) {
+            dst[in * bc() + ic] = src[ic];
+          }
+        }
+      }
+    }
+  }
+
+  /// Unpacks into a flat row-major [N][C] matrix.
+  void unpack_to(float* flat) const {
+    for (std::int64_t icb = 0; icb < cb(); ++icb) {
+      for (std::int64_t inb = 0; inb < nb(); ++inb) {
+        const float* src = block(icb, inb);
+        for (std::int64_t in = 0; in < bn(); ++in) {
+          float* dst = flat + (inb * bn() + in) * c() + icb * bc();
+          for (std::int64_t ic = 0; ic < bc(); ++ic) {
+            dst[ic] = src[in * bc() + ic];
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  Blocking b_;
+  Tensor<float> data_;
+};
+
+/// Weight tensor in [Kb][Cb][bc][bk] layout.
+class BlockedWeights {
+ public:
+  BlockedWeights() = default;
+  BlockedWeights(std::int64_t k, std::int64_t c, std::int64_t bk,
+                 std::int64_t bc)
+      : b_{k, c, bk, bc} {
+    b_.validate();
+    data_.reshape({b_.row_blocks(), b_.col_blocks(), bc, bk});
+  }
+
+  std::int64_t k() const { return b_.rows; }
+  std::int64_t c() const { return b_.cols; }
+  std::int64_t bk() const { return b_.row_block; }
+  std::int64_t bc() const { return b_.col_block; }
+  std::int64_t kb() const { return b_.row_blocks(); }
+  std::int64_t cb() const { return b_.col_blocks(); }
+
+  float* block(std::int64_t ikb, std::int64_t icb) {
+    return data_.data() + ((ikb * cb() + icb) * bc()) * bk();
+  }
+  const float* block(std::int64_t ikb, std::int64_t icb) const {
+    return data_.data() + ((ikb * cb() + icb) * bc()) * bk();
+  }
+
+  Tensor<float>& raw() { return data_; }
+  const Tensor<float>& raw() const { return data_; }
+
+  /// Packs a flat row-major [K][C] weight matrix into [Kb][Cb][bc][bk].
+  void pack_from(const float* flat) {
+    for (std::int64_t ikb = 0; ikb < kb(); ++ikb) {
+      for (std::int64_t icb = 0; icb < cb(); ++icb) {
+        float* dst = block(ikb, icb);
+        for (std::int64_t ic = 0; ic < bc(); ++ic) {
+          for (std::int64_t ik = 0; ik < bk(); ++ik) {
+            dst[ic * bk() + ik] =
+                flat[(ikb * bk() + ik) * c() + icb * bc() + ic];
+          }
+        }
+      }
+    }
+  }
+
+  /// Unpacks into a flat row-major [K][C] matrix.
+  void unpack_to(float* flat) const {
+    for (std::int64_t ikb = 0; ikb < kb(); ++ikb) {
+      for (std::int64_t icb = 0; icb < cb(); ++icb) {
+        const float* src = block(ikb, icb);
+        for (std::int64_t ic = 0; ic < bc(); ++ic) {
+          for (std::int64_t ik = 0; ik < bk(); ++ik) {
+            flat[(ikb * bk() + ik) * c() + icb * bc() + ic] =
+                src[ic * bk() + ik];
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  Blocking b_;
+  Tensor<float> data_;
+};
+
+}  // namespace dlrm

@@ -1,0 +1,123 @@
+// Dense row-major tensors with cache-line aligned storage.
+//
+// This is intentionally a small, fast container — not an expression library.
+// Kernels operate on raw pointers obtained from these tensors; shapes are
+// validated at the API boundary with DLRM_CHECK.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace dlrm {
+
+/// Owning, row-major, aligned dense tensor of up to 4 dimensions.
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::int64_t> shape) { reshape(std::move(shape)); }
+
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  /// Reallocates to a new shape; contents are uninitialized.
+  void reshape(std::vector<std::int64_t> shape) {
+    DLRM_CHECK(!shape.empty() && shape.size() <= 4, "rank must be 1..4");
+    std::int64_t n = 1;
+    for (auto d : shape) {
+      DLRM_CHECK(d >= 0, "negative dimension");
+      n *= d;
+    }
+    shape_ = std::move(shape);
+    size_ = n;
+    data_ = aligned_array<T>(static_cast<std::size_t>(n));
+  }
+
+  std::int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(int i) const {
+    DLRM_DCHECK(i >= 0 && i < static_cast<int>(shape_.size()));
+    return shape_[static_cast<std::size_t>(i)];
+  }
+  int rank() const { return static_cast<int>(shape_.size()); }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+
+  T& operator[](std::int64_t i) {
+    DLRM_DCHECK(i >= 0 && i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::int64_t i) const {
+    DLRM_DCHECK(i >= 0 && i < size_);
+    return data_[i];
+  }
+
+  /// 2-D accessor (rank-2 tensors).
+  T& at(std::int64_t i, std::int64_t j) {
+    DLRM_DCHECK(rank() == 2);
+    return data_[i * shape_[1] + j];
+  }
+  const T& at(std::int64_t i, std::int64_t j) const {
+    DLRM_DCHECK(rank() == 2);
+    return data_[i * shape_[1] + j];
+  }
+
+  void fill(T value) {
+    for (std::int64_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+  void zero() { fill(T{}); }
+
+  /// Deep copy (Tensor is move-only by default to avoid silent copies).
+  Tensor clone() const {
+    Tensor out(shape_);
+    for (std::int64_t i = 0; i < size_; ++i) out.data_[i] = data_[i];
+    return out;
+  }
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::int64_t size_ = 0;
+  AlignedPtr<T> data_;
+};
+
+/// Fills a float tensor with U(-scale, scale) values.
+inline void fill_uniform(Tensor<float>& t, Rng& rng, float scale) {
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.uniform(-scale, scale);
+  }
+}
+
+/// Fills a float tensor with N(0, stddev) values (MLP weight init).
+inline void fill_gaussian(Tensor<float>& t, Rng& rng, float stddev) {
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.gaussian() * stddev;
+  }
+}
+
+/// Max |a - b| over two equally sized tensors (test/validation helper).
+inline float max_abs_diff(const Tensor<float>& a, const Tensor<float>& b) {
+  DLRM_CHECK(a.size() == b.size(), "size mismatch");
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace dlrm

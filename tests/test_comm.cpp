@@ -1,0 +1,203 @@
+// Tests for the in-process rank world and its collectives.
+#include "comm/thread_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+namespace {
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesTest, AllreduceSumsAcrossRanks) {
+  const int R = GetParam();
+  const std::int64_t n = 1037;  // odd size exercises uneven chunking
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    std::vector<float> data(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      data[static_cast<std::size_t>(i)] =
+          static_cast<float>(i % 13) + comm.rank();
+    }
+    comm.allreduce(data.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float expect = static_cast<float>((i % 13)) * R +
+                           static_cast<float>(R * (R - 1)) / 2.0f;
+      ASSERT_FLOAT_EQ(data[static_cast<std::size_t>(i)], expect)
+          << "rank " << comm.rank() << " i " << i;
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ReduceScatterThenAllgatherEqualsAllreduce) {
+  const int R = GetParam();
+  const std::int64_t n = 640;
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    std::vector<float> a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(n));
+    Rng rng(static_cast<std::uint64_t>(comm.rank()) + 7);
+    for (std::int64_t i = 0; i < n; ++i) {
+      a[static_cast<std::size_t>(i)] = rng.uniform(-1.0f, 1.0f);
+      b[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)];
+    }
+    comm.allreduce(a.data(), n);
+    comm.reduce_scatter(b.data(), n);
+    comm.allgather_chunks(b.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-5f);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AlltoallExchangesBlocks) {
+  const int R = GetParam();
+  const std::int64_t per = 17;
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    std::vector<float> send(static_cast<std::size_t>(R * per));
+    std::vector<float> recv(static_cast<std::size_t>(R * per));
+    // send block p carries value 100*rank + p.
+    for (int p = 0; p < R; ++p) {
+      for (std::int64_t i = 0; i < per; ++i) {
+        send[static_cast<std::size_t>(p * per + i)] =
+            static_cast<float>(100 * comm.rank() + p);
+      }
+    }
+    comm.alltoall(send.data(), recv.data(), per);
+    for (int p = 0; p < R; ++p) {
+      for (std::int64_t i = 0; i < per; ++i) {
+        ASSERT_FLOAT_EQ(recv[static_cast<std::size_t>(p * per + i)],
+                        static_cast<float>(100 * p + comm.rank()));
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AlltoallvWithUnevenCounts) {
+  const int R = GetParam();
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    // Rank r sends (p+1) floats to peer p, tagged r*1000 + p.
+    std::vector<std::int64_t> scounts(static_cast<std::size_t>(R)),
+        sdispls(static_cast<std::size_t>(R)), rcounts(static_cast<std::size_t>(R)),
+        rdispls(static_cast<std::size_t>(R));
+    std::int64_t stotal = 0;
+    for (int p = 0; p < R; ++p) {
+      scounts[static_cast<std::size_t>(p)] = p + 1;
+      sdispls[static_cast<std::size_t>(p)] = stotal;
+      stotal += p + 1;
+    }
+    std::int64_t rtotal = 0;
+    for (int p = 0; p < R; ++p) {
+      rcounts[static_cast<std::size_t>(p)] = comm.rank() + 1;
+      rdispls[static_cast<std::size_t>(p)] = rtotal;
+      rtotal += comm.rank() + 1;
+    }
+    std::vector<float> send(static_cast<std::size_t>(stotal));
+    std::vector<float> recv(static_cast<std::size_t>(rtotal));
+    for (int p = 0; p < R; ++p) {
+      for (std::int64_t i = 0; i < scounts[static_cast<std::size_t>(p)]; ++i) {
+        send[static_cast<std::size_t>(sdispls[static_cast<std::size_t>(p)] + i)] =
+            static_cast<float>(comm.rank() * 1000 + p);
+      }
+    }
+    comm.alltoallv(send.data(), scounts.data(), sdispls.data(), recv.data(),
+                   rcounts.data(), rdispls.data());
+    for (int p = 0; p < R; ++p) {
+      for (std::int64_t i = 0; i < rcounts[static_cast<std::size_t>(p)]; ++i) {
+        ASSERT_FLOAT_EQ(
+            recv[static_cast<std::size_t>(rdispls[static_cast<std::size_t>(p)] + i)],
+            static_cast<float>(p * 1000 + comm.rank()));
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesTest, BroadcastFromEveryRoot) {
+  const int R = GetParam();
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    for (int root = 0; root < R; ++root) {
+      std::vector<float> data(64, comm.rank() == root ? 42.0f + root : -1.0f);
+      comm.broadcast(data.data(), 64, root);
+      for (float v : data) ASSERT_FLOAT_EQ(v, 42.0f + root);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ScatterGatherRoundTrip) {
+  const int R = GetParam();
+  const std::int64_t chunk = 23;
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    for (int root = 0; root < R; ++root) {
+      std::vector<float> send;
+      if (comm.rank() == root) {
+        send.resize(static_cast<std::size_t>(R * chunk));
+        for (std::int64_t i = 0; i < R * chunk; ++i) {
+          send[static_cast<std::size_t>(i)] = static_cast<float>(i) + root;
+        }
+      }
+      std::vector<float> mine(static_cast<std::size_t>(chunk));
+      comm.scatter(comm.rank() == root ? send.data() : nullptr, mine.data(),
+                   chunk, root);
+      for (std::int64_t i = 0; i < chunk; ++i) {
+        ASSERT_FLOAT_EQ(mine[static_cast<std::size_t>(i)],
+                        static_cast<float>(comm.rank() * chunk + i) + root);
+      }
+      // Gather back and verify at root.
+      std::vector<float> gathered;
+      if (comm.rank() == root) gathered.resize(static_cast<std::size_t>(R * chunk));
+      comm.gather(mine.data(), comm.rank() == root ? gathered.data() : nullptr,
+                  chunk, root);
+      if (comm.rank() == root) {
+        for (std::int64_t i = 0; i < R * chunk; ++i) {
+          ASSERT_FLOAT_EQ(gathered[static_cast<std::size_t>(i)],
+                          static_cast<float>(i) + root);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ManySequentialCollectivesStress) {
+  const int R = GetParam();
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    std::vector<float> data(128);
+    for (int iter = 0; iter < 200; ++iter) {
+      for (auto& v : data) v = 1.0f;
+      comm.allreduce(data.data(), 128);
+      ASSERT_FLOAT_EQ(data[0], static_cast<float>(R));
+      comm.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(CommWorld, RankValidation) {
+  auto world = CommWorld::create(2);
+  EXPECT_THROW(ThreadComm(world, 2), CheckError);
+  EXPECT_THROW(ThreadComm(world, -1), CheckError);
+  EXPECT_THROW(CommWorld::create(0), CheckError);
+}
+
+TEST(RunRanks, PropagatesExceptions) {
+  EXPECT_THROW(run_ranks(2, 0,
+                         [](ThreadComm& comm) {
+                           comm.barrier();
+                           if (comm.rank() == 0) throw std::runtime_error("boom");
+                         }),
+               std::runtime_error);
+}
+
+TEST(RunRanks, InstallsPerRankPools) {
+  run_ranks(3, 2, [](ThreadComm&) {
+    EXPECT_EQ(current_pool().size(), 2);
+  });
+}
+
+}  // namespace
+}  // namespace dlrm

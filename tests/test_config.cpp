@@ -1,0 +1,118 @@
+// Tests for the Table I configs and their Table II derived characteristics.
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+namespace {
+
+TEST(Configs, SmallMatchesTableI) {
+  const DlrmConfig c = small_config();
+  EXPECT_EQ(c.minibatch, 2048);
+  EXPECT_EQ(c.global_batch_strong, 8192);
+  EXPECT_EQ(c.local_batch_weak, 1024);
+  EXPECT_EQ(c.pooling, 50);
+  EXPECT_EQ(c.tables(), 8);
+  EXPECT_EQ(c.dim, 64);
+  EXPECT_EQ(c.table_rows[0], 1000000);
+  EXPECT_EQ(c.bottom_mlp.front(), 512);
+  EXPECT_EQ(c.bottom_mlp.back(), 64);
+  EXPECT_EQ(c.top_mlp.back(), 1);
+}
+
+TEST(Configs, SmallTableIIValues) {
+  const DlrmConfig c = small_config();
+  // Memory for tables: 8 * 1e6 * 64 * 4 B ≈ 2 GB.
+  EXPECT_EQ(c.table_bytes(), 8LL * 1000000 * 64 * 4);
+  // Allreduce size ≈ 9.5 MB (paper Table II).
+  const double mb = static_cast<double>(c.allreduce_elems()) * 4 / (1024.0 * 1024.0);
+  EXPECT_NEAR(mb, 9.5, 0.3);
+  // Alltoall volume for GN=8K ≈ 16 MiB (paper: 15.8 MB).
+  const double a2a =
+      static_cast<double>(c.alltoall_elems(8192)) * 4 / (1024.0 * 1024.0);
+  EXPECT_NEAR(a2a, 16.0, 0.5);
+  EXPECT_EQ(c.max_ranks(), 8);
+}
+
+TEST(Configs, LargeTableIIValues) {
+  const DlrmConfig c = large_config();
+  EXPECT_EQ(c.tables(), 64);
+  EXPECT_EQ(c.dim, 256);
+  // Tables: 64 * 6e6 * 256 * 4 B ≈ 384 GiB.
+  const double gib = static_cast<double>(c.table_bytes()) / (1024.0 * 1024.0 * 1024.0);
+  EXPECT_NEAR(gib, 366.0, 10.0);  // paper rounds to 384 GB
+  // Allreduce ≈ 1047 MB.
+  const double mb = static_cast<double>(c.allreduce_elems()) * 4 / (1024.0 * 1024.0);
+  EXPECT_NEAR(mb, 1047.0, 60.0);
+  // Alltoall for GN=16K = 64*16384*256*4 B = 1 GiB.
+  const double a2a =
+      static_cast<double>(c.alltoall_elems(16384)) * 4 / (1024.0 * 1024.0);
+  EXPECT_NEAR(a2a, 1024.0, 1.0);
+  EXPECT_EQ(c.max_ranks(), 64);
+  // Needs at least 4 sockets at 96 GiB usable per socket (paper: min 4).
+  EXPECT_EQ(c.min_sockets(96.0 * 1024 * 1024 * 1024), 4);
+}
+
+TEST(Configs, MlperfTableIIValues) {
+  const DlrmConfig c = mlperf_config();
+  EXPECT_EQ(c.tables(), 26);
+  EXPECT_EQ(c.dim, 128);
+  EXPECT_EQ(c.pooling, 1);
+  // Tables ≈ 98 GB (paper Table II; decimal GB).
+  const double gb = static_cast<double>(c.table_bytes()) / 1e9;
+  EXPECT_NEAR(gb, 98.0, 3.0);
+  // Allreduce ≈ 9.0 MB — only reproduced by the 1024-1024-512-256-1 top MLP
+  // (see the header note about the paper's Table I/II inconsistency).
+  const double mb = static_cast<double>(c.allreduce_elems()) * 4 / (1024.0 * 1024.0);
+  EXPECT_NEAR(mb, 9.0, 0.3);
+  // Alltoall for GN=16K ≈ 208 MiB.
+  const double a2a =
+      static_cast<double>(c.alltoall_elems(16384)) * 4 / (1024.0 * 1024.0);
+  EXPECT_NEAR(a2a, 208.0, 8.0);
+  EXPECT_EQ(c.max_ranks(), 26);
+  // Fits one socket only with the 192 GB memory configuration (paper: "1*");
+  // the standard 96 GB/socket nodes cannot hold the 96 GB of tables.
+  EXPECT_EQ(c.min_sockets(192e9), 1);
+  EXPECT_GT(c.min_sockets(96e9), 1);
+}
+
+TEST(Configs, InteractionWidths) {
+  // Small: 9 features of 64 → 64 + 36 = 100 → padded 128.
+  const DlrmConfig s = small_config();
+  EXPECT_EQ(s.interaction_payload(), 100);
+  EXPECT_EQ(s.interaction_out(), 128);
+  // MLPerf: 27 features of 128 → 479 → padded 480.
+  const DlrmConfig m = mlperf_config();
+  EXPECT_EQ(m.interaction_payload(), 479);
+  EXPECT_EQ(m.interaction_out(), 480);
+  // Top MLP input is the interaction output.
+  EXPECT_EQ(m.top_mlp_full().front(), 480);
+}
+
+TEST(Configs, ScaledDownPreservesTopology) {
+  const DlrmConfig c = mlperf_config().scaled_down(1000, 8);
+  EXPECT_EQ(c.tables(), 26);
+  EXPECT_EQ(c.dim, 128);
+  EXPECT_EQ(c.bottom_mlp, mlperf_config().bottom_mlp);
+  EXPECT_LT(c.table_bytes(), mlperf_config().table_bytes());
+  EXPECT_EQ(c.minibatch, 2048 / 8);
+  // Tiny tables are clamped to at least 64 rows.
+  for (auto m : c.table_rows) EXPECT_GE(m, 64);
+}
+
+TEST(Configs, ValidateCatchesMistakes) {
+  DlrmConfig c = small_config();
+  c.bottom_mlp.back() = 32;  // != dim
+  EXPECT_THROW(c.validate(), CheckError);
+  c = small_config();
+  c.top_mlp.back() = 2;
+  EXPECT_THROW(c.validate(), CheckError);
+  c = small_config();
+  c.table_rows.clear();
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -1,0 +1,145 @@
+// Tests for the synthetic datasets and their determinism/addressability
+// guarantees (any rank can regenerate any slice).
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dlrm {
+namespace {
+
+TEST(RandomDataset, ShapesAndBounds) {
+  RandomDataset data(16, 4, 100, 5, 1);
+  MiniBatch mb;
+  data.fill(0, 32, mb);
+  EXPECT_EQ(mb.batch(), 32);
+  EXPECT_EQ(mb.dense.size(), 32 * 16);
+  ASSERT_EQ(mb.bags.size(), 4u);
+  for (const auto& b : mb.bags) {
+    EXPECT_EQ(b.batch(), 32);
+    EXPECT_EQ(b.lookups(), 32 * 5);
+    EXPECT_NO_THROW(b.validate(100));
+  }
+  for (std::int64_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(mb.labels[i] == 0.0f || mb.labels[i] == 1.0f);
+  }
+}
+
+TEST(RandomDataset, DeterministicAndAddressable) {
+  RandomDataset data(8, 3, 50, 4, 7);
+  MiniBatch a, b;
+  data.fill(100, 16, a);
+  data.fill(100, 16, b);
+  EXPECT_EQ(max_abs_diff(a.dense, b.dense), 0.0f);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::int64_t i = 0; i < a.bags[t].lookups(); ++i) {
+      ASSERT_EQ(a.bags[t].indices[i], b.bags[t].indices[i]);
+    }
+  }
+  // A shifted window reproduces overlapping samples exactly.
+  MiniBatch c;
+  data.fill(108, 16, c);
+  for (std::int64_t i = 0; i < 8 * 8; ++i) {
+    ASSERT_EQ(c.dense[i], a.dense[(8 + i / 8) * 8 + i % 8]);
+  }
+}
+
+TEST(RandomDataset, TableBagsMatchFullGeneration) {
+  // fill_table_bags must reproduce exactly the indices of fill() — the
+  // contract that lets model-parallel ranks skip materializing everything.
+  RandomDataset data(8, 5, 77, 3, 13);
+  MiniBatch full;
+  data.fill(40, 24, full);
+  for (std::int64_t t = 0; t < 5; ++t) {
+    BagBatch bags;
+    data.fill_table_bags(t, 40, 24, bags);
+    ASSERT_EQ(bags.lookups(), full.bags[static_cast<std::size_t>(t)].lookups());
+    for (std::int64_t i = 0; i < bags.lookups(); ++i) {
+      ASSERT_EQ(bags.indices[i], full.bags[static_cast<std::size_t>(t)].indices[i])
+          << "table " << t << " lookup " << i;
+    }
+  }
+}
+
+CtrParams small_ctr() {
+  CtrParams p;
+  p.dense_dim = 8;
+  p.tables = 4;
+  p.rows = {1000, 500, 2000, 100};
+  p.pooling = 2;
+  p.seed = 11;
+  return p;
+}
+
+TEST(SyntheticCtr, ShapesAndDeterminism) {
+  SyntheticCtrDataset data(small_ctr());
+  EXPECT_EQ(data.tables(), 4);
+  EXPECT_EQ(data.rows(2), 2000);
+  MiniBatch a, b;
+  data.fill(5, 20, a);
+  data.fill(5, 20, b);
+  EXPECT_EQ(max_abs_diff(a.dense, b.dense), 0.0f);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_NO_THROW(a.bags[t].validate(data.rows(static_cast<std::int64_t>(t))));
+  }
+}
+
+TEST(SyntheticCtr, TableBagsMatchFullGeneration) {
+  SyntheticCtrDataset data(small_ctr());
+  MiniBatch full;
+  data.fill(0, 32, full);
+  for (std::int64_t t = 0; t < 4; ++t) {
+    BagBatch bags;
+    data.fill_table_bags(t, 0, 32, bags);
+    for (std::int64_t i = 0; i < bags.lookups(); ++i) {
+      ASSERT_EQ(bags.indices[i], full.bags[static_cast<std::size_t>(t)].indices[i]);
+    }
+  }
+}
+
+TEST(SyntheticCtr, LabelsCorrelateWithPlantedSignal) {
+  // The teacher must produce a clearly learnable signal: its own AUC
+  // (Bayes bound) should be well above chance.
+  SyntheticCtrDataset data(small_ctr());
+  const double auc = data.teacher_auc(20000);
+  EXPECT_GT(auc, 0.70);
+  EXPECT_LT(auc, 0.98);
+}
+
+TEST(SyntheticCtr, IndicesAreSkewed) {
+  // Zipf indices: the top 1% of rows should take a disproportionate share.
+  CtrParams p = small_ctr();
+  p.index_skew = 1.05;
+  SyntheticCtrDataset data(p);
+  MiniBatch mb;
+  data.fill(0, 4096, mb);
+  std::int64_t head = 0, total = 0;
+  for (std::int64_t i = 0; i < mb.bags[0].lookups(); ++i) {
+    head += mb.bags[0].indices[i] < 10;  // top 1% of 1000 rows
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.15);
+}
+
+TEST(SyntheticCtr, CtrIsRealistic) {
+  // With the default negative bias the positive rate sits well below 50%.
+  SyntheticCtrDataset data(small_ctr());
+  MiniBatch mb;
+  data.fill(0, 8192, mb);
+  double pos = 0;
+  for (std::int64_t i = 0; i < mb.batch(); ++i) pos += mb.labels[i];
+  const double rate = pos / static_cast<double>(mb.batch());
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.45);
+}
+
+TEST(Dataset, BytesPerSample) {
+  RandomDataset data(13, 26, 100, 1, 3);
+  // 13 dense f32 + label + 26 * 1 int64 indices.
+  EXPECT_EQ(data.bytes_per_sample(), 13 * 4 + 4 + 26 * 8);
+}
+
+}  // namespace
+}  // namespace dlrm

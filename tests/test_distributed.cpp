@@ -1,0 +1,198 @@
+// The key integration test of the hybrid-parallel substrate: an R-rank
+// distributed DLRM must match the single-process model step for step
+// (model-parallel embeddings + data-parallel MLPs + alltoall + DDP ≡ one
+// big-batch model).
+#include "core/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/model.hpp"
+#include "data/loader.hpp"
+#include "stats/metrics.hpp"
+
+namespace dlrm {
+namespace {
+
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "tiny";
+  c.minibatch = 32;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {300, 200, 250, 150, 220, 180};  // S = 6
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.validate();
+  return c;
+}
+
+// Runs `iters` single-process training steps on global batches and returns
+// the logits of a final forward pass plus a probe row of table 0.
+struct SingleResult {
+  Tensor<float> logits;
+  std::vector<float> probe_row;
+};
+
+SingleResult run_single(const DlrmConfig& c, const RandomDataset& data,
+                        std::int64_t gn, int iters, std::uint64_t seed) {
+  DlrmModel model(c, {}, seed);
+  model.set_batch(gn);
+  SgdFp32 opt;
+  opt.attach(model.mlp_param_slots());
+  MiniBatch mb;
+  for (int i = 0; i < iters; ++i) {
+    data.fill(i * gn, gn, mb);
+    model.train_step(mb, 0.05f, opt);
+  }
+  data.fill(0, gn, mb);
+  SingleResult out{model.forward(mb).clone(), {}};
+  out.probe_row.resize(static_cast<std::size_t>(c.dim));
+  model.table(0).read_row(7, out.probe_row.data());
+  return out;
+}
+
+using DistCase = std::tuple<int, ExchangeStrategy, bool>;  // ranks, strategy, overlap
+
+class DistributedEquivalenceTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributedEquivalenceTest, MatchesSingleProcess) {
+  const auto [R, strategy, overlap] = GetParam();
+  const DlrmConfig c = tiny_config();
+  const std::int64_t GN = 64;
+  const int iters = 4;
+  const std::uint64_t seed = 77;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const DlrmConfig& cc = c;
+
+  const SingleResult ref = run_single(cc, data, GN, iters, seed);
+
+  Tensor<float> dist_logits({GN});
+  std::vector<float> dist_probe(static_cast<std::size_t>(c.dim));
+  run_ranks(R, 2, [&, strategy = strategy, overlap = overlap](ThreadComm& comm) {
+    DistributedOptions opts;
+    opts.exchange = strategy;
+    opts.overlap = overlap;
+    opts.lr = 0.05f;
+    opts.seed = seed;
+    auto backend = overlap ? QueueBackend::ccl_like(2) : nullptr;
+    DistributedDlrm model(cc, opts, comm, backend.get(), GN);
+
+    DataLoader loader(data, GN, comm.rank(), comm.size(), model.owned_tables(),
+                      LoaderMode::kLocalSlice);
+    HybridBatch hb;
+    for (int i = 0; i < iters; ++i) {
+      loader.next(i, hb);
+      model.train_step(hb);
+    }
+    loader.next(0, hb);
+    const Tensor<float>& logits = model.forward(hb);
+    const std::int64_t ln = model.local_batch();
+    for (std::int64_t i = 0; i < ln; ++i) {
+      dist_logits[comm.rank() * ln + i] = logits[i];
+    }
+    if (comm.rank() == 0) {
+      // Table 0 is owned by rank 0 under round-robin.
+      model.owned_table(0).read_row(7, dist_probe.data());
+    }
+  });
+
+  EXPECT_LE(max_abs_diff(ref.logits, dist_logits), 2e-3f);
+  for (std::int64_t e = 0; e < c.dim; ++e) {
+    EXPECT_NEAR(ref.probe_row[static_cast<std::size_t>(e)],
+                dist_probe[static_cast<std::size_t>(e)], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DistributedEquivalenceTest,
+    ::testing::Values(DistCase{2, ExchangeStrategy::kAlltoall, false},
+                      DistCase{2, ExchangeStrategy::kAlltoall, true},
+                      DistCase{2, ExchangeStrategy::kScatterList, false},
+                      DistCase{2, ExchangeStrategy::kFusedScatter, false},
+                      DistCase{4, ExchangeStrategy::kAlltoall, true},
+                      DistCase{4, ExchangeStrategy::kFusedScatter, true}),
+    [](const ::testing::TestParamInfo<DistCase>& tpi) {
+      return "R" + std::to_string(std::get<0>(tpi.param)) + "_" +
+             std::string(to_string(std::get<1>(tpi.param))) +
+             (std::get<2>(tpi.param) ? "_overlap" : "_blocking");
+    });
+
+TEST(DistributedDlrm, LossDecreasesAcrossRanks) {
+  const DlrmConfig c = tiny_config();
+  const std::int64_t GN = 64;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 19);
+  const DlrmConfig& cc = c;
+
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    DistributedOptions opts;
+    opts.lr = 0.05f;
+    auto backend = QueueBackend::mpi_like();
+    DistributedDlrm model(cc, opts, comm, backend.get(), GN);
+    DataLoader loader(data, GN, comm.rank(), comm.size(), model.owned_tables(),
+                      LoaderMode::kLocalSlice);
+    HybridBatch hb;
+    loader.next(0, hb);
+    const double first = model.train_step(hb);
+    double last = first;
+    for (int i = 0; i < 60; ++i) last = model.train_step(hb);  // overfit
+    EXPECT_LT(last, first * 0.8) << "rank " << comm.rank();
+  });
+}
+
+TEST(DistributedDlrm, CommInstrumentationPopulated) {
+  const DlrmConfig c = tiny_config();
+  const DlrmConfig& cc = c;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 23);
+  run_ranks(2, 1, [&](ThreadComm& comm) {
+    DistributedOptions opts;
+    opts.overlap = false;  // blocking instrumentation mode
+    DistributedDlrm model(cc, opts, comm, nullptr, 64);
+    DataLoader loader(data, 64, comm.rank(), comm.size(), model.owned_tables(),
+                      LoaderMode::kLocalSlice);
+    HybridBatch hb;
+    loader.next(0, hb);
+    Profiler prof;
+    model.train_step(hb, &prof);
+    EXPECT_GT(prof.count("emb_fwd"), 0);
+    EXPECT_GT(prof.count("alltoall_fwd_finish"), 0);
+    EXPECT_GT(prof.count("allreduce_finish"), 0);
+    EXPECT_GE(model.last_alltoall_wait_sec() +
+                  model.last_alltoall_framework_sec(), 0.0);
+  });
+}
+
+TEST(DistributedDlrm, SingleRankDegeneratesToLocalModel) {
+  // R=1: no communication, model must behave exactly like DlrmModel.
+  const DlrmConfig c = tiny_config();
+  const DlrmConfig& cc = c;
+  const std::int64_t GN = 32;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 29);
+  const SingleResult ref = run_single(cc, data, GN, 2, 31);
+
+  run_ranks(1, 2, [&](ThreadComm& comm) {
+    DistributedOptions opts;
+    opts.lr = 0.05f;
+    opts.seed = 31;
+    DistributedDlrm model(cc, opts, comm, nullptr, GN);
+    DataLoader loader(data, GN, 0, 1, model.owned_tables(),
+                      LoaderMode::kLocalSlice);
+    HybridBatch hb;
+    for (int i = 0; i < 2; ++i) {
+      loader.next(i, hb);
+      model.train_step(hb);
+    }
+    loader.next(0, hb);
+    const Tensor<float>& logits = model.forward(hb);
+    for (std::int64_t i = 0; i < GN; ++i) {
+      ASSERT_NEAR(logits[i], ref.logits[i], 1e-4f);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dlrm

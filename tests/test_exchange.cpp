@@ -1,0 +1,196 @@
+// Tests for the embedding-output exchange strategies: all three must be
+// numerically identical and correctly route table slices between owners and
+// batch slices (hybrid parallelism realignment, paper Sect. IV.B).
+#include "comm/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+namespace {
+
+// Deterministic marker for (table, global row, element).
+float marker(std::int64_t t, std::int64_t row, std::int64_t e) {
+  return static_cast<float>(t * 100000 + row * 100 + e);
+}
+
+// (ranks, tables, dim, global batch, strategy)
+using ExCase = std::tuple<int, std::int64_t, std::int64_t, std::int64_t, ExchangeStrategy>;
+
+class ExchangeTest : public ::testing::TestWithParam<ExCase> {};
+
+TEST_P(ExchangeTest, ForwardRoutesTableSlices) {
+  const auto [R, S, E, GN, strategy] = GetParam();
+  run_ranks(R, 0, [&, S = S, E = E, GN = GN, strategy = strategy](ThreadComm& comm) {
+    EmbeddingExchange ex(comm, nullptr, strategy, S, E, GN);
+    const std::int64_t LN = ex.local_batch();
+
+    // Each owned table's [GN][E] output carries its marker values.
+    std::vector<Tensor<float>> outs;
+    std::vector<const float*> ptrs;
+    for (std::int64_t t : ex.owned_ids()) {
+      outs.emplace_back(std::vector<std::int64_t>{GN, E});
+      for (std::int64_t r = 0; r < GN; ++r) {
+        for (std::int64_t e = 0; e < E; ++e) {
+          outs.back()[r * E + e] = marker(t, r, e);
+        }
+      }
+      ptrs.push_back(outs.back().data());
+    }
+
+    Tensor<float> sliced({S, LN, E});
+    auto h = ex.start_forward(ptrs);
+    ex.finish_forward(h, sliced.data());
+
+    // Every rank must now see, for every table, its own batch slice.
+    for (std::int64_t t = 0; t < S; ++t) {
+      for (std::int64_t r = 0; r < LN; ++r) {
+        for (std::int64_t e = 0; e < E; ++e) {
+          ASSERT_EQ(sliced[(t * LN + r) * E + e],
+                    marker(t, comm.rank() * LN + r, e))
+              << "rank " << comm.rank() << " t " << t << " r " << r;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(ExchangeTest, BackwardRoutesGradientsToOwners) {
+  const auto [R, S, E, GN, strategy] = GetParam();
+  run_ranks(R, 0, [&, S = S, E = E, GN = GN, strategy = strategy](ThreadComm& comm) {
+    EmbeddingExchange ex(comm, nullptr, strategy, S, E, GN);
+    const std::int64_t LN = ex.local_batch();
+
+    // Gradient for table t, my slice row r: marker with the global row id.
+    Tensor<float> dsliced({S, LN, E});
+    for (std::int64_t t = 0; t < S; ++t) {
+      for (std::int64_t r = 0; r < LN; ++r) {
+        for (std::int64_t e = 0; e < E; ++e) {
+          dsliced[(t * LN + r) * E + e] = marker(t, comm.rank() * LN + r, e);
+        }
+      }
+    }
+
+    std::vector<Tensor<float>> grads;
+    std::vector<float*> gptrs;
+    for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+      grads.emplace_back(std::vector<std::int64_t>{GN, E});
+      grads.back().fill(-1.0f);
+      gptrs.push_back(grads.back().data());
+    }
+
+    auto h = ex.start_backward(dsliced.data());
+    ex.finish_backward(h, gptrs);
+
+    for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+      const std::int64_t t = ex.owned_ids()[static_cast<std::size_t>(k)];
+      for (std::int64_t r = 0; r < GN; ++r) {
+        for (std::int64_t e = 0; e < E; ++e) {
+          ASSERT_EQ(grads[static_cast<std::size_t>(k)][r * E + e], marker(t, r, e))
+              << "rank " << comm.rank() << " table " << t << " row " << r;
+        }
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExchangeTest,
+    ::testing::Values(
+        // Even table distribution.
+        ExCase{2, 8, 4, 16, ExchangeStrategy::kScatterList},
+        ExCase{2, 8, 4, 16, ExchangeStrategy::kFusedScatter},
+        ExCase{2, 8, 4, 16, ExchangeStrategy::kAlltoall},
+        ExCase{4, 8, 8, 32, ExchangeStrategy::kAlltoall},
+        // Uneven: 26 tables over 4 ranks (the MLPerf shape).
+        ExCase{4, 26, 4, 16, ExchangeStrategy::kScatterList},
+        ExCase{4, 26, 4, 16, ExchangeStrategy::kFusedScatter},
+        ExCase{4, 26, 4, 16, ExchangeStrategy::kAlltoall},
+        // One table per rank (max model parallelism of the Small config).
+        ExCase{8, 8, 2, 16, ExchangeStrategy::kAlltoall}),
+    [](const ::testing::TestParamInfo<ExCase>& tpi) {
+      return std::string(to_string(std::get<4>(tpi.param))) + "_R" +
+             std::to_string(std::get<0>(tpi.param)) + "_S" +
+             std::to_string(std::get<1>(tpi.param)) + "_E" +
+             std::to_string(std::get<2>(tpi.param)) + "_GN" +
+             std::to_string(std::get<3>(tpi.param));
+    });
+
+TEST(ExchangeStrategies, AllThreeBitwiseIdentical) {
+  const int R = 4;
+  const std::int64_t S = 10, E = 8, GN = 32;
+  // Collect per-strategy results and compare outside the rank scope.
+  std::vector<Tensor<float>> results(3);
+  for (int si = 0; si < 3; ++si) {
+    const auto strategy = static_cast<ExchangeStrategy>(si);
+    Tensor<float>& result = results[static_cast<std::size_t>(si)];
+    result.reshape({R, S, GN / R, E});
+    run_ranks(R, 0, [&](ThreadComm& comm) {
+      EmbeddingExchange ex(comm, nullptr, strategy, S, E, GN);
+      std::vector<Tensor<float>> outs;
+      std::vector<const float*> ptrs;
+      Rng rng(static_cast<std::uint64_t>(comm.rank()) * 31 + 5);
+      for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+        outs.emplace_back(std::vector<std::int64_t>{GN, E});
+        // Seed by table id so content is strategy-independent.
+        Rng trng(static_cast<std::uint64_t>(ex.owned_ids()[static_cast<std::size_t>(k)]));
+        fill_uniform(outs.back(), trng, 1.0f);
+        ptrs.push_back(outs.back().data());
+      }
+      const std::int64_t LN = ex.local_batch();
+      auto h = ex.start_forward(ptrs);
+      ex.finish_forward(h, result.data() + comm.rank() * S * LN * E);
+    });
+  }
+  EXPECT_EQ(max_abs_diff(results[0], results[1]), 0.0f);
+  EXPECT_EQ(max_abs_diff(results[0], results[2]), 0.0f);
+}
+
+TEST(Exchange, AsyncBackendMatchesBlocking) {
+  const int R = 4;
+  const std::int64_t S = 8, E = 16, GN = 32;
+  Tensor<float> blocking({R, S, GN / R, E}), async({R, S, GN / R, E});
+  for (int use_async = 0; use_async < 2; ++use_async) {
+    Tensor<float>& result = use_async ? async : blocking;
+    run_ranks(R, 0, [&](ThreadComm& comm) {
+      auto backend = use_async ? QueueBackend::ccl_like(2) : nullptr;
+      EmbeddingExchange ex(comm, backend.get(), ExchangeStrategy::kAlltoall, S,
+                           E, GN);
+      std::vector<Tensor<float>> outs;
+      std::vector<const float*> ptrs;
+      for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+        outs.emplace_back(std::vector<std::int64_t>{GN, E});
+        Rng trng(static_cast<std::uint64_t>(ex.owned_ids()[static_cast<std::size_t>(k)]) + 99);
+        fill_uniform(outs.back(), trng, 1.0f);
+        ptrs.push_back(outs.back().data());
+      }
+      const std::int64_t LN = ex.local_batch();
+      auto h = ex.start_forward(ptrs);
+      ex.finish_forward(h, result.data() + comm.rank() * S * LN * E);
+    });
+  }
+  EXPECT_EQ(max_abs_diff(blocking, async), 0.0f);
+}
+
+TEST(Exchange, VolumeMatchesEq2) {
+  // Eq. 2: SZ_alltoall = S * N * E (global volume in elements).
+  run_ranks(2, 0, [](ThreadComm& comm) {
+    EmbeddingExchange ex(comm, nullptr, ExchangeStrategy::kAlltoall, 8, 64, 128);
+    EXPECT_EQ(ex.total_volume(), 8 * 128 * 64);
+  });
+}
+
+TEST(Exchange, RejectsIndivisibleBatch) {
+  run_ranks(3, 0, [](ThreadComm& comm) {
+    EXPECT_THROW(EmbeddingExchange(comm, nullptr, ExchangeStrategy::kAlltoall,
+                                   6, 4, 16),  // 16 % 3 != 0
+                 CheckError);
+  });
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -1,0 +1,166 @@
+// Correctness tests for the batch-reduce GEMM microkernels against the
+// scalar reference.
+#include "kernels/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+namespace {
+
+// (count, m, k, n)
+using BrgemmShape = std::tuple<int, int, int, int>;
+
+class BatchReduceGemmTest : public ::testing::TestWithParam<BrgemmShape> {};
+
+TEST_P(BatchReduceGemmTest, MatchesReference) {
+  const auto [count, m, k, n] = GetParam();
+  Rng rng(count * 1000 + m + k + n);
+
+  std::vector<Tensor<float>> as, bs;
+  std::vector<const float*> aptrs, bptrs;
+  for (int i = 0; i < count; ++i) {
+    as.emplace_back(std::vector<std::int64_t>{m, k});
+    bs.emplace_back(std::vector<std::int64_t>{k, n});
+    fill_uniform(as.back(), rng, 1.0f);
+    fill_uniform(bs.back(), rng, 1.0f);
+    aptrs.push_back(as.back().data());
+    bptrs.push_back(bs.back().data());
+  }
+
+  Tensor<float> c({m, n}), ref({m, n});
+  c.fill(0.5f);
+  ref.fill(0.5f);
+
+  batchreduce_gemm(aptrs.data(), bptrs.data(), c.data(), count, m, k, n,
+                   /*accumulate=*/true);
+  for (int i = 0; i < count; ++i) {
+    gemm_reference(aptrs[static_cast<std::size_t>(i)],
+                   bptrs[static_cast<std::size_t>(i)], ref.data(), m, k, n,
+                   1.0f, 1.0f);
+  }
+  EXPECT_LE(max_abs_diff(c, ref), 1e-4f);
+}
+
+TEST_P(BatchReduceGemmTest, NonAccumulateOverwrites) {
+  const auto [count, m, k, n] = GetParam();
+  Rng rng(7);
+  std::vector<Tensor<float>> as, bs;
+  std::vector<const float*> aptrs, bptrs;
+  for (int i = 0; i < count; ++i) {
+    as.emplace_back(std::vector<std::int64_t>{m, k});
+    bs.emplace_back(std::vector<std::int64_t>{k, n});
+    fill_uniform(as.back(), rng, 1.0f);
+    fill_uniform(bs.back(), rng, 1.0f);
+    aptrs.push_back(as.back().data());
+    bptrs.push_back(bs.back().data());
+  }
+  Tensor<float> c({m, n}), ref({m, n});
+  c.fill(123.0f);  // garbage that must be ignored
+  ref.zero();
+  batchreduce_gemm(aptrs.data(), bptrs.data(), c.data(), count, m, k, n,
+                   /*accumulate=*/false);
+  for (int i = 0; i < count; ++i) {
+    gemm_reference(aptrs[static_cast<std::size_t>(i)],
+                   bptrs[static_cast<std::size_t>(i)], ref.data(), m, k, n,
+                   1.0f, 1.0f);
+  }
+  EXPECT_LE(max_abs_diff(c, ref), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BatchReduceGemmTest,
+    ::testing::Values(
+        // Specialized widths n = 16/32/64 plus generic widths.
+        BrgemmShape{1, 4, 8, 16}, BrgemmShape{4, 32, 64, 16},
+        BrgemmShape{2, 16, 32, 32}, BrgemmShape{8, 32, 64, 64},
+        BrgemmShape{3, 5, 7, 9}, BrgemmShape{2, 1, 13, 1},
+        BrgemmShape{16, 48, 64, 64}, BrgemmShape{1, 1, 1, 1},
+        BrgemmShape{5, 24, 13, 37}));
+
+TEST(BatchReduceGemmAt, MatchesReferenceWithTransposedA) {
+  Rng rng(99);
+  const int count = 3, m = 16, k = 24, n = 32;
+  // A_i stored [k][m] (transposed), reference uses A^T.
+  std::vector<Tensor<float>> as, bs;
+  std::vector<const float*> aptrs, bptrs;
+  for (int i = 0; i < count; ++i) {
+    as.emplace_back(std::vector<std::int64_t>{k, m});
+    bs.emplace_back(std::vector<std::int64_t>{k, n});
+    fill_uniform(as.back(), rng, 1.0f);
+    fill_uniform(bs.back(), rng, 1.0f);
+    aptrs.push_back(as.back().data());
+    bptrs.push_back(bs.back().data());
+  }
+  Tensor<float> c({m, n});
+  batchreduce_gemm_at(aptrs.data(), bptrs.data(), c.data(), count, m, k, n,
+                      /*accumulate=*/false);
+  // Reference: transpose A then multiply.
+  Tensor<float> ref({m, n});
+  ref.zero();
+  for (int i = 0; i < count; ++i) {
+    Tensor<float> at({m, k});
+    for (int im = 0; im < m; ++im) {
+      for (int ik = 0; ik < k; ++ik) {
+        at[im * k + ik] = as[static_cast<std::size_t>(i)][ik * m + im];
+      }
+    }
+    gemm_reference(at.data(), bptrs[static_cast<std::size_t>(i)], ref.data(),
+                   m, k, n, 1.0f, 1.0f);
+  }
+  EXPECT_LE(max_abs_diff(c, ref), 1e-4f);
+}
+
+TEST(BatchReduceGemmStrided, HandlesLeadingDimensions) {
+  Rng rng(3);
+  const int m = 8, k = 12, n = 16;
+  const std::int64_t lda = 20, ldb = 24, ldc = 18;
+  Tensor<float> a({m, lda}), b({k, ldb}), c({m, ldc});
+  fill_uniform(a, rng, 1.0f);
+  fill_uniform(b, rng, 1.0f);
+  c.fill(-7.0f);
+
+  const float* ap = a.data();
+  const float* bp = b.data();
+  batchreduce_gemm_strided(&ap, &bp, c.data(), 1, m, k, n, lda, ldb, ldc,
+                           /*accumulate=*/false);
+
+  for (int im = 0; im < m; ++im) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int ik = 0; ik < k; ++ik) acc += a[im * lda + ik] * b[ik * ldb + j];
+      ASSERT_NEAR(c[im * ldc + j], acc, 1e-4f);
+    }
+    // Padding beyond n stays untouched.
+    for (std::int64_t j = n; j < ldc; ++j) ASSERT_EQ(c[im * ldc + j], -7.0f);
+  }
+}
+
+TEST(GemmFlatParallel, MatchesReferenceLargeShape) {
+  Rng rng(4);
+  const std::int64_t m = 129, k = 65, n = 77;
+  Tensor<float> a({m, k}), b({k, n}), c({m, n}), ref({m, n});
+  fill_uniform(a, rng, 1.0f);
+  fill_uniform(b, rng, 1.0f);
+  gemm_flat_parallel(a.data(), b.data(), c.data(), m, k, n, false);
+  gemm_reference(a.data(), b.data(), ref.data(), m, k, n, 1.0f, 0.0f);
+  EXPECT_LE(max_abs_diff(c, ref), 1e-3f);
+}
+
+TEST(GemmReference, AlphaBeta) {
+  Tensor<float> a({2, 2}), b({2, 2}), c({2, 2});
+  a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+  b[0] = 1; b[1] = 0; b[2] = 0; b[3] = 1;  // identity
+  c.fill(10.0f);
+  gemm_reference(a.data(), b.data(), c.data(), 2, 2, 2, 2.0f, 0.5f);
+  EXPECT_FLOAT_EQ(c[0], 2 * 1 + 5);
+  EXPECT_FLOAT_EQ(c[3], 2 * 4 + 5);
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -1,0 +1,161 @@
+// Tests for the dot-product and concat interaction ops.
+#include "kernels/interaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+namespace {
+
+struct Feats {
+  std::vector<Tensor<float>> storage;
+  std::vector<const float*> ptrs;
+  std::vector<Tensor<float>> grad_storage;
+  std::vector<float*> grad_ptrs;
+};
+
+Feats make_feats(std::int64_t f, std::int64_t n, std::int64_t e, std::uint64_t seed) {
+  Feats out;
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < f; ++i) {
+    out.storage.emplace_back(std::vector<std::int64_t>{n, e});
+    fill_uniform(out.storage.back(), rng, 1.0f);
+    out.ptrs.push_back(out.storage.back().data());
+    out.grad_storage.emplace_back(std::vector<std::int64_t>{n, e});
+    out.grad_storage.back().zero();
+    out.grad_ptrs.push_back(out.grad_storage.back().data());
+  }
+  return out;
+}
+
+TEST(DotInteraction, OutputDims) {
+  // MLPerf shape: 27 features of width 128 → 128 + 27*26/2 = 479, padded 480.
+  DotInteraction op(27, 128, 32);
+  EXPECT_EQ(op.payload_dim(), 479);
+  EXPECT_EQ(op.out_dim(), 480);
+  // Small config: 9 features of width 64 → 64 + 36 = 100, padded 128.
+  DotInteraction small(9, 64, 32);
+  EXPECT_EQ(small.payload_dim(), 100);
+  EXPECT_EQ(small.out_dim(), 128);
+  // No padding requested.
+  DotInteraction nopad(9, 64, 1);
+  EXPECT_EQ(nopad.out_dim(), 100);
+}
+
+TEST(DotInteraction, ForwardMatchesNaive) {
+  const std::int64_t f = 5, n = 8, e = 12;
+  DotInteraction op(f, e, 1);
+  Feats feats = make_feats(f, n, e, 3);
+
+  Tensor<float> out({n, op.out_dim()});
+  op.forward(feats.ptrs, n, out.data());
+
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* row = out.data() + s * op.out_dim();
+    // Dense payload.
+    for (std::int64_t k = 0; k < e; ++k) {
+      ASSERT_EQ(row[k], feats.storage[0][s * e + k]);
+    }
+    // Pairwise dots, strictly lower triangle, row-major over (i, j<i).
+    std::int64_t w = e;
+    for (std::int64_t i = 1; i < f; ++i) {
+      for (std::int64_t j = 0; j < i; ++j) {
+        float dot = 0.0f;
+        for (std::int64_t k = 0; k < e; ++k) {
+          dot += feats.storage[static_cast<std::size_t>(i)][s * e + k] *
+                 feats.storage[static_cast<std::size_t>(j)][s * e + k];
+        }
+        ASSERT_NEAR(row[w++], dot, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(DotInteraction, PaddingIsZero) {
+  const std::int64_t f = 3, n = 4, e = 8;
+  DotInteraction op(f, e, 32);  // payload 11 → padded 32
+  Feats feats = make_feats(f, n, e, 4);
+  Tensor<float> out({n, op.out_dim()});
+  out.fill(5.0f);
+  op.forward(feats.ptrs, n, out.data());
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t w = op.payload_dim(); w < op.out_dim(); ++w) {
+      ASSERT_EQ(out[s * op.out_dim() + w], 0.0f);
+    }
+  }
+}
+
+TEST(DotInteraction, BackwardMatchesNumericalGradient) {
+  const std::int64_t f = 4, n = 3, e = 6;
+  DotInteraction op(f, e, 32);
+  Feats feats = make_feats(f, n, e, 7);
+
+  Tensor<float> coeff({n, op.out_dim()});
+  Rng rng(8);
+  fill_uniform(coeff, rng, 1.0f);
+
+  auto loss_of = [&]() {
+    Tensor<float> out({n, op.out_dim()});
+    op.forward(feats.ptrs, n, out.data());
+    double l = 0.0;
+    for (std::int64_t i = 0; i < out.size(); ++i) l += out[i] * coeff[i];
+    return l;
+  };
+
+  op.backward(feats.ptrs, coeff.data(), n, feats.grad_ptrs);
+
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < f; ++i) {
+    auto& t = feats.storage[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < t.size(); j += 3) {
+      const float saved = t[j];
+      t[j] = saved + static_cast<float>(eps);
+      const double lp = loss_of();
+      t[j] = saved - static_cast<float>(eps);
+      const double lm = loss_of();
+      t[j] = saved;
+      const double num = (lp - lm) / (2 * eps);
+      ASSERT_NEAR(num, feats.grad_storage[static_cast<std::size_t>(i)][j], 5e-2)
+          << "feat " << i << " elem " << j;
+    }
+  }
+}
+
+TEST(ConcatInteraction, RoundTrip) {
+  const std::int64_t f = 4, n = 6, e = 10;
+  ConcatInteraction op(f, e, 32);
+  EXPECT_EQ(op.out_dim(), 64);  // 40 padded to 64
+  Feats feats = make_feats(f, n, e, 9);
+
+  Tensor<float> out({n, op.out_dim()});
+  op.forward(feats.ptrs, n, out.data());
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t i = 0; i < f; ++i) {
+      for (std::int64_t k = 0; k < e; ++k) {
+        ASSERT_EQ(out[s * op.out_dim() + i * e + k],
+                  feats.storage[static_cast<std::size_t>(i)][s * e + k]);
+      }
+    }
+  }
+
+  // Backward is the exact adjoint of forward: a pure split.
+  Tensor<float> dout({n, op.out_dim()});
+  Rng rng(10);
+  fill_uniform(dout, rng, 1.0f);
+  op.backward(dout.data(), n, feats.grad_ptrs);
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t i = 0; i < f; ++i) {
+      for (std::int64_t k = 0; k < e; ++k) {
+        ASSERT_EQ(feats.grad_storage[static_cast<std::size_t>(i)][s * e + k],
+                  dout[s * op.out_dim() + i * e + k]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -1,0 +1,78 @@
+// Tests for BCE-with-logits loss.
+#include "kernels/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+namespace {
+
+TEST(BceLoss, KnownValues) {
+  // x = 0 → loss = log(2) regardless of label.
+  const float x0 = 0.0f, y1 = 1.0f;
+  float dl = 0.0f;
+  EXPECT_NEAR(bce_with_logits(&x0, &y1, 1, &dl), std::log(2.0), 1e-6);
+  EXPECT_NEAR(dl, 0.5f - 1.0f, 1e-6f);
+
+  // Confident correct prediction → tiny loss.
+  const float xc = 10.0f;
+  EXPECT_LT(bce_with_logits(&xc, &y1, 1, nullptr), 1e-4);
+  // Confident wrong prediction → ~|x| loss.
+  const float y0 = 0.0f;
+  EXPECT_NEAR(bce_with_logits(&xc, &y0, 1, nullptr), 10.0, 1e-3);
+}
+
+TEST(BceLoss, StableForExtremeLogits) {
+  const float big = 500.0f, y = 1.0f;
+  float dl;
+  const double l = bce_with_logits(&big, &y, 1, &dl);
+  EXPECT_TRUE(std::isfinite(l));
+  const float nbig = -500.0f;
+  const double l2 = bce_with_logits(&nbig, &y, 1, &dl);
+  EXPECT_TRUE(std::isfinite(l2));
+  EXPECT_NEAR(l2, 500.0, 1e-3);
+}
+
+TEST(BceLoss, GradientMatchesFiniteDifference) {
+  Rng rng(5);
+  const std::int64_t n = 16;
+  Tensor<float> x({n}), y({n}), dx({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-3.0f, 3.0f);
+    y[i] = rng.next_float() < 0.5f ? 0.0f : 1.0f;
+  }
+  bce_with_logits(x.data(), y.data(), n, dx.data());
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(eps);
+    const double lp = bce_with_logits(x.data(), y.data(), n, nullptr);
+    x[i] = saved - static_cast<float>(eps);
+    const double lm = bce_with_logits(x.data(), y.data(), n, nullptr);
+    x[i] = saved;
+    EXPECT_NEAR((lp - lm) / (2 * eps), dx[i], 1e-4);
+  }
+}
+
+TEST(BceLoss, MeanSemantics) {
+  // Doubling the batch with identical samples keeps the loss, halves grads.
+  const float x = 1.3f, y = 1.0f;
+  float d1;
+  const double l1 = bce_with_logits(&x, &y, 1, &d1);
+  float xs[2] = {x, x}, ys[2] = {y, y}, ds[2];
+  const double l2 = bce_with_logits(xs, ys, 2, ds);
+  EXPECT_NEAR(l1, l2, 1e-7);
+  EXPECT_NEAR(ds[0], d1 / 2, 1e-7);
+}
+
+TEST(BceLoss, EmptyBatchThrows) {
+  const float x = 0.0f, y = 0.0f;
+  EXPECT_THROW(bce_with_logits(&x, &y, 0, nullptr), CheckError);
+}
+
+}  // namespace
+}  // namespace dlrm

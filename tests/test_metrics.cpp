@@ -1,0 +1,128 @@
+// Tests for ROC-AUC and meters.
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/profiler.hpp"
+
+namespace dlrm {
+namespace {
+
+TEST(RocAuc, PerfectSeparation) {
+  const float scores[] = {0.1f, 0.2f, 0.8f, 0.9f};
+  const float labels[] = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels, 4), 1.0);
+}
+
+TEST(RocAuc, PerfectInversion) {
+  const float scores[] = {0.9f, 0.8f, 0.2f, 0.1f};
+  const float labels[] = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels, 4), 0.0);
+}
+
+TEST(RocAuc, RandomScoresNearHalf) {
+  Rng rng(3);
+  const std::int64_t n = 20000;
+  std::vector<float> scores(static_cast<std::size_t>(n)), labels(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    scores[static_cast<std::size_t>(i)] = rng.next_float();
+    labels[static_cast<std::size_t>(i)] = rng.next_float() < 0.3f ? 1.0f : 0.0f;
+  }
+  EXPECT_NEAR(roc_auc(scores.data(), labels.data(), n), 0.5, 0.02);
+}
+
+TEST(RocAuc, TiesGetAverageRank) {
+  // All scores equal → AUC must be exactly 0.5 under average-rank ties.
+  const float scores[] = {1.0f, 1.0f, 1.0f, 1.0f};
+  const float labels[] = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels, 4), 0.5);
+}
+
+TEST(RocAuc, KnownSmallCase) {
+  // scores: pos {3, 1}, neg {2}. Pairs: (3>2)=1, (1<2)=0 → AUC = 0.5.
+  const float scores[] = {3.0f, 1.0f, 2.0f};
+  const float labels[] = {1, 1, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels, 3), 0.5);
+}
+
+TEST(RocAuc, DegenerateClassesReturnHalf) {
+  const float scores[] = {0.3f, 0.7f};
+  const float ones[] = {1, 1};
+  const float zeros[] = {0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, ones, 2), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc(scores, zeros, 2), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc(scores, ones, 0), 0.5);
+}
+
+TEST(RocAuc, InvariantUnderMonotoneTransform) {
+  Rng rng(4);
+  const std::int64_t n = 500;
+  std::vector<float> s(static_cast<std::size_t>(n)), s2(static_cast<std::size_t>(n)),
+      l(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    s[static_cast<std::size_t>(i)] = rng.uniform(-2.0f, 2.0f);
+    s2[static_cast<std::size_t>(i)] = 3.0f * s[static_cast<std::size_t>(i)] + 7.0f;
+    l[static_cast<std::size_t>(i)] = rng.next_float() < 0.4f ? 1.0f : 0.0f;
+  }
+  EXPECT_DOUBLE_EQ(roc_auc(s.data(), l.data(), n), roc_auc(s2.data(), l.data(), n));
+}
+
+TEST(AucAccumulator, MatchesSingleShot) {
+  Rng rng(5);
+  const std::int64_t n = 1000;
+  std::vector<float> s(static_cast<std::size_t>(n)), l(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    s[static_cast<std::size_t>(i)] = rng.next_float();
+    l[static_cast<std::size_t>(i)] = rng.next_float() < 0.5f ? 1.0f : 0.0f;
+  }
+  AucAccumulator acc;
+  acc.add(s.data(), l.data(), 300);
+  acc.add(s.data() + 300, l.data() + 300, 700);
+  EXPECT_DOUBLE_EQ(acc.compute(), roc_auc(s.data(), l.data(), n));
+  EXPECT_EQ(acc.count(), n);
+  acc.clear();
+  EXPECT_EQ(acc.count(), 0);
+}
+
+TEST(Meter, MeanAndClear) {
+  Meter m;
+  EXPECT_EQ(m.mean(), 0.0);
+  m.add(1.0);
+  m.add(2.0);
+  m.add(6.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  m.clear();
+  EXPECT_EQ(m.count(), 0);
+}
+
+TEST(Profiler, CountersAndPrefixSums) {
+  Profiler prof;
+  prof.add("emb_fwd", 0.5);
+  prof.add("emb_bwd", 0.25);
+  prof.add("mlp_fwd", 1.0);
+  EXPECT_DOUBLE_EQ(prof.total_sec("emb_fwd"), 0.5);
+  EXPECT_DOUBLE_EQ(prof.total_sec_prefix("emb_"), 0.75);
+  EXPECT_EQ(prof.count("mlp_fwd"), 1);
+  EXPECT_EQ(prof.count("missing"), 0);
+  const std::string report = prof.report();
+  EXPECT_NE(report.find("emb_fwd"), std::string::npos);
+  prof.reset();
+  EXPECT_DOUBLE_EQ(prof.total_sec_prefix(""), 0.0);
+}
+
+TEST(Profiler, ScopeTimesBlocks) {
+  Profiler prof;
+  {
+    Profiler::Scope s(prof, "work");
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + i;
+  }
+  EXPECT_GT(prof.total_sec("work"), 0.0);
+  EXPECT_EQ(prof.count("work"), 1);
+}
+
+}  // namespace
+}  // namespace dlrm

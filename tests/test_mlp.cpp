@@ -1,0 +1,243 @@
+// Tests for the blocked fully connected layers and MLP stacks: correctness
+// against flat/naive computation and numerical gradient checks.
+#include "kernels/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/gemm.hpp"
+
+namespace dlrm {
+namespace {
+
+TEST(PickBlock, ReturnsLargestDivisorAtMostTarget) {
+  EXPECT_EQ(pick_block(1024, 64), 64);
+  EXPECT_EQ(pick_block(1024, 48), 32);  // 48 does not divide 1024
+  EXPECT_EQ(pick_block(13, 64), 13);
+  EXPECT_EQ(pick_block(13, 8), 1);  // 13 prime, target below it
+  EXPECT_EQ(pick_block(1, 64), 1);
+  EXPECT_EQ(pick_block(1008, 32), 28);
+  EXPECT_EQ(pick_block(479, 32), 1);  // prime
+}
+
+TEST(PickBlock, PropertySweep) {
+  for (std::int64_t dim = 1; dim <= 300; ++dim) {
+    for (std::int64_t target : {1, 2, 7, 16, 64}) {
+      const std::int64_t b = pick_block(dim, target);
+      ASSERT_GE(b, 1);
+      ASSERT_LE(b, std::min(dim, target));
+      ASSERT_EQ(dim % b, 0) << dim << " " << target;
+      // Maximality: no larger divisor <= target.
+      for (std::int64_t d = b + 1; d <= std::min(dim, target); ++d) {
+        ASSERT_NE(dim % d, 0) << dim << " " << target << " " << d;
+      }
+    }
+  }
+}
+
+// Naive flat forward: y = act(x W^T + bias), W flat [K][C].
+void naive_forward(const float* x, const float* w, const float* bias,
+                   float* y, std::int64_t n, std::int64_t c, std::int64_t k,
+                   Activation act) {
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ik = 0; ik < k; ++ik) {
+      float acc = bias[ik];
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        acc += x[in * c + ic] * w[ik * c + ic];
+      }
+      if (act == Activation::kRelu) acc = acc > 0 ? acc : 0;
+      if (act == Activation::kSigmoid) acc = 1.0f / (1.0f + std::exp(-acc));
+      y[in * k + ik] = acc;
+    }
+  }
+}
+
+using FcShape = std::tuple<std::int64_t, std::int64_t, std::int64_t>;  // n, c, k
+
+class FullyConnectedTest : public ::testing::TestWithParam<FcShape> {};
+
+TEST_P(FullyConnectedTest, ForwardMatchesNaive) {
+  const auto [n, c, k] = GetParam();
+  Rng rng(n + c + k);
+  FullyConnected fc(c, k, Activation::kRelu);
+  fc.init(rng);
+
+  Tensor<float> w_flat({k, c});
+  fc.weights().unpack_to(w_flat.data());
+  Tensor<float> x({n, c});
+  fill_uniform(x, rng, 1.0f);
+
+  const std::int64_t bn = pick_block(n, 32);
+  BlockedActivations xb(n, c, bn, fc.bc());
+  BlockedActivations yb(n, k, bn, fc.bk());
+  xb.pack_from(x.data());
+  fc.forward(xb, yb);
+  Tensor<float> y({n, k});
+  yb.unpack_to(y.data());
+
+  Tensor<float> ref({n, k});
+  naive_forward(x.data(), w_flat.data(), fc.bias().data(), ref.data(), n, c, k,
+                Activation::kRelu);
+  EXPECT_LE(max_abs_diff(y, ref), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FullyConnectedTest,
+    ::testing::Values(FcShape{16, 16, 16}, FcShape{64, 128, 64},
+                      FcShape{32, 13, 64}, FcShape{48, 100, 1},
+                      FcShape{128, 256, 128}, FcShape{10, 5, 3}));
+
+// Finite-difference gradient check on a small MLP: perturb every weight and
+// input, compare numerical and analytical gradients of a scalar loss.
+TEST(MlpGradientCheck, WeightsBiasAndInput) {
+  const std::int64_t n = 4, c = 6, h = 5, o = 3;
+  Rng rng(1234);
+  Mlp mlp({c, h, o}, Activation::kRelu, Activation::kNone);
+  mlp.init(rng);
+  mlp.set_batch(n);
+
+  Tensor<float> x({n, c});
+  fill_uniform(x, rng, 1.0f);
+  // Random linear loss L = sum(out * coeff) so dL/dout = coeff.
+  Tensor<float> coeff({n, o});
+  fill_uniform(coeff, rng, 1.0f);
+
+  auto loss_of = [&]() {
+    const Tensor<float>& out = mlp.forward(x);
+    double l = 0.0;
+    for (std::int64_t i = 0; i < out.size(); ++i) l += out[i] * coeff[i];
+    return l;
+  };
+
+  // Analytical gradients.
+  loss_of();
+  const Tensor<float>& dx = mlp.backward(coeff);
+
+  const double eps = 1e-3;
+  // Check input gradient.
+  for (std::int64_t i = 0; i < x.size(); i += 5) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(eps);
+    const double lp = loss_of();
+    x[i] = saved - static_cast<float>(eps);
+    const double lm = loss_of();
+    x[i] = saved;
+    const double num = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(num, dx[i], 5e-2) << "input " << i;
+  }
+
+  // Check weight gradients of each layer (sampled).
+  loss_of();
+  mlp.backward(coeff);
+  for (std::size_t l = 0; l < mlp.layer_count(); ++l) {
+    auto& layer = mlp.layer(l);
+    float* wp = layer.weights().raw().data();
+    const float* gp = layer.weight_grads().raw().data();
+    const std::int64_t sz = layer.weights().raw().size();
+    for (std::int64_t i = 0; i < sz; i += 7) {
+      const float saved = wp[i];
+      wp[i] = saved + static_cast<float>(eps);
+      const double lp = loss_of();
+      wp[i] = saved - static_cast<float>(eps);
+      const double lm = loss_of();
+      wp[i] = saved;
+      const double num = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(num, gp[i], 5e-2) << "layer " << l << " w " << i;
+    }
+    // Bias gradients.
+    float* bp = layer.bias().data();
+    const float* dbp = layer.bias_grads().data();
+    for (std::int64_t i = 0; i < layer.bias().size(); ++i) {
+      const float saved = bp[i];
+      bp[i] = saved + static_cast<float>(eps);
+      const double lp = loss_of();
+      bp[i] = saved - static_cast<float>(eps);
+      const double lm = loss_of();
+      bp[i] = saved;
+      const double num = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(num, dbp[i], 5e-2) << "layer " << l << " b " << i;
+    }
+  }
+}
+
+TEST(MlpVsFlat, IdenticalResultsSameInit) {
+  // The blocked implementation and the flat baseline must agree bit-tightly
+  // (same arithmetic, different order → small tolerance).
+  const std::int64_t n = 32;
+  std::vector<std::int64_t> dims{24, 48, 16, 8};
+  Rng rng1(77), rng2(77);
+
+  Mlp mlp(dims, Activation::kRelu, Activation::kSigmoid);
+  mlp.init(rng1);
+  mlp.set_batch(n);
+  MlpFlat flat(dims, Activation::kRelu, Activation::kSigmoid);
+  flat.init(rng2);
+  flat.set_batch(n);
+
+  Tensor<float> x({n, dims.front()});
+  Rng rngx(5);
+  fill_uniform(x, rngx, 1.0f);
+
+  const Tensor<float>& y1 = mlp.forward(x);
+  const Tensor<float>& y2 = flat.forward(x);
+  EXPECT_LE(max_abs_diff(y1, y2), 1e-4f);
+
+  Tensor<float> dy({n, dims.back()});
+  Rng rngg(6);
+  fill_uniform(dy, rngg, 1.0f);
+  const Tensor<float>& dx1 = mlp.backward(dy);
+  const Tensor<float>& dx2 = flat.backward(dy);
+  EXPECT_LE(max_abs_diff(dx1, dx2), 1e-4f);
+}
+
+TEST(Mlp, ParamCountMatchesEq1) {
+  // Eq. 1 of the paper: sum over layers of f_in*f_out + f_out.
+  Mlp mlp({512, 512, 64}, Activation::kRelu, Activation::kRelu);
+  EXPECT_EQ(mlp.param_count(), 512 * 512 + 512 + 512 * 64 + 64);
+}
+
+TEST(Mlp, ParamSlotsCoverAllParams) {
+  Mlp mlp({8, 16, 4}, Activation::kRelu, Activation::kNone);
+  auto slots = mlp.param_slots();
+  std::int64_t total = 0;
+  for (const auto& s : slots) {
+    EXPECT_NE(s.param, nullptr);
+    EXPECT_NE(s.grad, nullptr);
+    total += s.size;
+  }
+  EXPECT_EQ(total, mlp.param_count());
+}
+
+TEST(Mlp, BatchResizeWorks) {
+  Rng rng(9);
+  Mlp mlp({16, 32, 8}, Activation::kRelu, Activation::kNone);
+  mlp.init(rng);
+  for (std::int64_t n : {16, 64, 16, 32}) {
+    mlp.set_batch(n);
+    Tensor<float> x({n, 16});
+    fill_uniform(x, rng, 1.0f);
+    const Tensor<float>& y = mlp.forward(x);
+    EXPECT_EQ(y.size(), n * 8);
+  }
+}
+
+TEST(Mlp, SigmoidOutputInUnitInterval) {
+  Rng rng(10);
+  Mlp mlp({8, 8, 1}, Activation::kRelu, Activation::kSigmoid);
+  mlp.init(rng);
+  mlp.set_batch(16);
+  Tensor<float> x({16, 8});
+  fill_uniform(x, rng, 3.0f);
+  const Tensor<float>& y = mlp.forward(x);
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_GT(y[i], 0.0f);
+    EXPECT_LT(y[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace dlrm

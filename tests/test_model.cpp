@@ -1,0 +1,211 @@
+// End-to-end tests of the single-process DLRM model: shape plumbing,
+// gradient checks through the full net, learning on a planted signal, and
+// equivalence across embedding update strategies.
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/loss.hpp"
+
+namespace dlrm {
+namespace {
+
+// A tiny config that exercises every component quickly.
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "tiny";
+  c.minibatch = 32;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 32;
+  c.pooling = 3;
+  c.dim = 16;
+  c.table_rows = {200, 150, 300, 120};
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.interaction_pad = 32;
+  c.validate();
+  return c;
+}
+
+RandomDataset tiny_data(const DlrmConfig& c, std::uint64_t seed = 5) {
+  return RandomDataset(c.bottom_mlp.front(), c.table_rows, c.pooling, seed);
+}
+
+TEST(DlrmModel, ForwardShapesAndFiniteness) {
+  const DlrmConfig c = tiny_config();
+  DlrmModel model(c, {}, 1);
+  model.set_batch(32);
+  RandomDataset data = tiny_data(c);
+  MiniBatch mb;
+  data.fill(0, 32, mb);
+  const Tensor<float>& logits = model.forward(mb);
+  EXPECT_EQ(logits.size(), 32);
+  for (std::int64_t i = 0; i < 32; ++i) EXPECT_TRUE(std::isfinite(logits[i]));
+}
+
+TEST(DlrmModel, TrainStepReducesLossOnFixedBatch) {
+  const DlrmConfig c = tiny_config();
+  DlrmModel model(c, {}, 2);
+  model.set_batch(32);
+  RandomDataset data = tiny_data(c);
+  MiniBatch mb;
+  data.fill(0, 32, mb);
+
+  SgdFp32 opt;
+  opt.attach(model.mlp_param_slots());
+  const double first = model.train_step(mb, 0.05f, opt);
+  double last = first;
+  for (int i = 0; i < 30; ++i) last = model.train_step(mb, 0.05f, opt);
+  EXPECT_LT(last, first * 0.7) << "model failed to overfit a fixed batch";
+}
+
+TEST(DlrmModel, GradientCheckThroughWholeNetwork) {
+  const DlrmConfig c = tiny_config();
+  DlrmModel model(c, {}, 3);
+  const std::int64_t n = 8;
+  model.set_batch(n);
+  RandomDataset data = tiny_data(c);
+  MiniBatch mb;
+  data.fill(0, n, mb);
+
+  auto loss_of = [&]() {
+    const Tensor<float>& logits = model.forward(mb);
+    return bce_with_logits(logits.data(), mb.labels.data(), n, nullptr);
+  };
+
+  // Analytical MLP gradients with lr=0 (no embedding mutation).
+  const Tensor<float>& logits = model.forward(mb);
+  Tensor<float> dlogits({n});
+  bce_with_logits(logits.data(), mb.labels.data(), n, dlogits.data());
+  model.backward(mb, dlogits, /*lr=*/0.0f);
+
+  const double eps = 1e-2;
+  for (auto& slot : model.mlp_param_slots()) {
+    for (std::int64_t i = 0; i < slot.size; i += std::max<std::int64_t>(1, slot.size / 7)) {
+      const float saved = slot.param[i];
+      slot.param[i] = saved + static_cast<float>(eps);
+      const double lp = loss_of();
+      slot.param[i] = saved - static_cast<float>(eps);
+      const double lm = loss_of();
+      slot.param[i] = saved;
+      const double num = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(num, slot.grad[i], 2e-3) << "param elem " << i;
+    }
+  }
+}
+
+TEST(DlrmModel, EmbeddingGradientFlowsToTables) {
+  // Training with lr > 0 must move looked-up embedding rows.
+  const DlrmConfig c = tiny_config();
+  DlrmModel model(c, {}, 4);
+  model.set_batch(16);
+  RandomDataset data = tiny_data(c);
+  MiniBatch mb;
+  data.fill(0, 16, mb);
+
+  std::vector<float> before(static_cast<std::size_t>(c.dim));
+  std::vector<float> after(static_cast<std::size_t>(c.dim));
+  const std::int64_t probe_row = mb.bags[0].indices[0];
+  model.table(0).read_row(probe_row, before.data());
+
+  SgdFp32 opt;
+  opt.attach(model.mlp_param_slots());
+  model.train_step(mb, 0.1f, opt);
+  model.table(0).read_row(probe_row, after.data());
+
+  float moved = 0.0f;
+  for (std::int64_t e = 0; e < c.dim; ++e) {
+    moved += std::fabs(after[static_cast<std::size_t>(e)] - before[static_cast<std::size_t>(e)]);
+  }
+  EXPECT_GT(moved, 0.0f);
+}
+
+TEST(DlrmModel, UpdateStrategiesAgree) {
+  // One training step under each strategy produces (nearly) the same model.
+  const DlrmConfig c = tiny_config();
+  RandomDataset data = tiny_data(c);
+  MiniBatch mb;
+  data.fill(0, 32, mb);
+
+  auto logits_after_step = [&](UpdateStrategy strategy, bool fused) {
+    ModelOptions mo;
+    mo.update_strategy = strategy;
+    mo.fused_embedding_update = fused;
+    DlrmModel model(c, mo, 7);
+    model.set_batch(32);
+    SgdFp32 opt;
+    opt.attach(model.mlp_param_slots());
+    model.train_step(mb, 0.05f, opt);
+    return model.forward(mb).clone();
+  };
+
+  const Tensor<float> ref = logits_after_step(UpdateStrategy::kReference, false);
+  for (UpdateStrategy s : {UpdateStrategy::kAtomicXchg, UpdateStrategy::kRtm,
+                           UpdateStrategy::kRaceFree}) {
+    for (bool fused : {false, true}) {
+      const Tensor<float> got = logits_after_step(s, fused);
+      EXPECT_LE(max_abs_diff(ref, got), 1e-3f)
+          << to_string(s) << " fused=" << fused;
+    }
+  }
+}
+
+TEST(DlrmModel, SplitPrecisionTracksFp32) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data = tiny_data(c);
+  MiniBatch mb;
+  data.fill(0, 32, mb);
+
+  ModelOptions fp32_opts;
+  DlrmModel fp32_model(c, fp32_opts, 8);
+  ModelOptions split_opts;
+  split_opts.embed_precision = EmbedPrecision::kBf16Split;
+  DlrmModel split_model(c, split_opts, 8);
+  fp32_model.set_batch(32);
+  split_model.set_batch(32);
+
+  SgdFp32 o1, o2;
+  o1.attach(fp32_model.mlp_param_slots());
+  o2.attach(split_model.mlp_param_slots());
+  double l1 = 0, l2 = 0;
+  for (int i = 0; i < 5; ++i) {
+    data.fill(i * 32, 32, mb);
+    l1 = fp32_model.train_step(mb, 0.05f, o1);
+    l2 = split_model.train_step(mb, 0.05f, o2);
+  }
+  // bf16 model weights round the forward, but the trajectories must stay
+  // close (the Fig. 16 claim: same convergence to ~1e-3).
+  EXPECT_NEAR(l1, l2, 0.05);
+}
+
+TEST(DlrmModel, ModelBytesAccounting) {
+  const DlrmConfig c = tiny_config();
+  DlrmModel model(c, {}, 9);
+  std::int64_t table_elems = 0;
+  for (auto m : c.table_rows) table_elems += m * c.dim;
+  EXPECT_GE(model.model_bytes(), table_elems * 4);
+}
+
+TEST(DlrmModel, ProfilerSeesAllPhases) {
+  const DlrmConfig c = tiny_config();
+  DlrmModel model(c, {}, 10);
+  model.set_batch(32);
+  RandomDataset data = tiny_data(c);
+  MiniBatch mb;
+  data.fill(0, 32, mb);
+  SgdFp32 opt;
+  opt.attach(model.mlp_param_slots());
+  Profiler prof;
+  model.train_step(mb, 0.05f, opt, &prof);
+  for (const char* key : {"emb_fwd", "bottom_mlp_fwd", "interaction_fwd",
+                          "top_mlp_fwd", "loss", "top_mlp_bwd",
+                          "interaction_bwd", "bottom_mlp_bwd", "emb_bwd_upd",
+                          "opt_step"}) {
+    EXPECT_EQ(prof.count(key), 1) << key;
+  }
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -1,0 +1,216 @@
+// Tests for the dense optimizers, in particular the Split-SGD-BF16 bit
+// exactness property (paper Sect. VII).
+#include "optim/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dlrm {
+namespace {
+
+struct Params {
+  Tensor<float> p, g;
+  explicit Params(std::int64_t n) : p({n}), g({n}) {}
+  ParamSlot slot() { return {p.data(), g.data(), p.size()}; }
+};
+
+TEST(SgdFp32, BasicStep) {
+  Params x(4);
+  x.p.fill(1.0f);
+  x.g.fill(0.5f);
+  SgdFp32 opt;
+  opt.attach({x.slot()});
+  opt.step(0.1f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.p[i], 0.95f);
+}
+
+TEST(SplitSgd, MasterTrajectoryBitExactVsFp32) {
+  // Run fp32 SGD and Split-SGD with identical gradient streams; the hidden
+  // split master must equal the fp32 weights bit for bit at every step.
+  const std::int64_t n = 257;
+  Rng rng(1);
+  Params ref(n), split(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = rng.uniform(-2.0f, 2.0f);
+    ref.p[i] = v;
+    split.p[i] = v;
+  }
+  SgdFp32 ref_opt;
+  ref_opt.attach({ref.slot()});
+  SplitSgdBf16 split_opt(16);
+  split_opt.attach({split.slot()});
+
+  for (int iter = 0; iter < 100; ++iter) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float g = rng.uniform(-0.1f, 0.1f);
+      ref.g[i] = g;
+      split.g[i] = g;
+    }
+    ref_opt.step(0.01f);
+    split_opt.step(0.01f);
+    // The split param is the bf16 truncation of the fp32 master.
+    for (std::int64_t i = 0; i < n; i += 17) {
+      EXPECT_EQ(split.p[i], bf16_to_f32(f32_to_bf16_trunc(ref.p[i])))
+          << "iter " << iter << " i " << i;
+    }
+  }
+}
+
+TEST(SplitSgd, ParamsAlwaysOnBf16Grid) {
+  const std::int64_t n = 64;
+  Rng rng(2);
+  Params x(n);
+  for (std::int64_t i = 0; i < n; ++i) x.p[i] = rng.uniform(-1.0f, 1.0f);
+  SplitSgdBf16 opt;
+  opt.attach({x.slot()});
+  for (int iter = 0; iter < 20; ++iter) {
+    for (std::int64_t i = 0; i < n; ++i) x.g[i] = rng.uniform(-1.0f, 1.0f);
+    opt.step(0.05f);
+    for (std::int64_t i = 0; i < n; ++i) {
+      // Low 16 bits must be zero: kernels see a pure bf16 weight.
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(x.p[i]) & 0xFFFFu, 0u);
+    }
+  }
+}
+
+TEST(SplitSgd, TinyUpdatesAccumulateUnlikePlainBf16) {
+  // A gradient too small to move a bf16 value must still accumulate in the
+  // hidden low bits and eventually flip the visible weight — the core reason
+  // Split-SGD converges where naive bf16 SGD stalls.
+  Params x(1);
+  x.p[0] = 1.0f;
+  SplitSgdBf16 opt;
+  opt.attach({x.slot()});
+  x.g[0] = 1e-4f;  // step of 1e-6 << bf16 ulp at 1.0 (≈0.0078)
+  bool moved = false;
+  for (int iter = 0; iter < 20000 && !moved; ++iter) {
+    opt.step(0.01f);
+    moved = x.p[0] != 1.0f;
+  }
+  EXPECT_TRUE(moved);
+  // Naive bf16 rounding of each step would never move:
+  float naive = 1.0f;
+  for (int iter = 0; iter < 1000; ++iter) {
+    naive = bf16_to_f32(f32_to_bf16_rne(naive - 0.01f * 1e-4f));
+  }
+  EXPECT_EQ(naive, 1.0f);
+}
+
+TEST(SplitSgd, EightLowBitsDriftFromFp32) {
+  const std::int64_t n = 128;
+  Rng rng(3);
+  Params ref(n), s8(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = rng.uniform(-1.0f, 1.0f);
+    ref.p[i] = v;
+    s8.p[i] = v;
+  }
+  SgdFp32 ref_opt;
+  ref_opt.attach({ref.slot()});
+  SplitSgdBf16 s8_opt(8);
+  s8_opt.attach({s8.slot()});
+  for (int iter = 0; iter < 500; ++iter) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float g = rng.uniform(-0.01f, 0.01f);
+      ref.g[i] = g;
+      s8.g[i] = g;
+    }
+    ref_opt.step(0.01f);
+    s8_opt.step(0.01f);
+  }
+  double drift = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    drift += std::fabs(ref.p[i] - s8.p[i]);
+  }
+  EXPECT_GT(drift, 0.0);
+}
+
+TEST(Fp24Sgd, WeightsStayOnFp24Grid) {
+  const std::int64_t n = 32;
+  Rng rng(4);
+  Params x(n);
+  for (std::int64_t i = 0; i < n; ++i) x.p[i] = rng.uniform(-3.0f, 3.0f);
+  Fp24Sgd opt;
+  opt.attach({x.slot()});
+  for (int iter = 0; iter < 10; ++iter) {
+    for (std::int64_t i = 0; i < n; ++i) x.g[i] = rng.uniform(-1.0f, 1.0f);
+    opt.step(0.02f);
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(x.p[i]) & 0xFFu, 0u);
+    }
+  }
+}
+
+TEST(Fp16MasterSgd, ViewIsF16OfMaster) {
+  const std::int64_t n = 16;
+  Rng rng(5);
+  Params ref(n), mixed(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = rng.uniform(-1.0f, 1.0f);
+    ref.p[i] = v;
+    mixed.p[i] = v;
+  }
+  SgdFp32 ref_opt;
+  ref_opt.attach({ref.slot()});
+  Fp16MasterSgd opt;
+  opt.attach({mixed.slot()});
+  for (int iter = 0; iter < 50; ++iter) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float g = rng.uniform(-0.1f, 0.1f);
+      ref.g[i] = g;
+      mixed.g[i] = g;
+    }
+    ref_opt.step(0.01f);
+    opt.step(0.01f);
+    // The master tracks fp32 exactly, the visible params are its f16 view.
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(mixed.p[i], f16_to_f32(f32_to_f16_rne(ref.p[i])));
+    }
+  }
+}
+
+TEST(StateBytes, CapacityAccounting) {
+  // Sect. VII: Split-SGD == fp32 capacity; fp16+master == 3x fp16 model.
+  const std::int64_t n = 1000;
+  Params a(n), b(n), c(n), d(n);
+  SgdFp32 sgd;
+  sgd.attach({a.slot()});
+  SplitSgdBf16 split;
+  split.attach({b.slot()});
+  Fp16MasterSgd f16m;
+  f16m.attach({c.slot()});
+  Fp24Sgd f24;
+  f24.attach({d.slot()});
+  EXPECT_EQ(sgd.state_bytes(), n * 4);
+  EXPECT_EQ(split.state_bytes(), n * 4);  // the headline: zero overhead
+  EXPECT_EQ(f16m.state_bytes(), n * 6);   // 3x the fp16 model size
+  EXPECT_EQ(f24.state_bytes(), n * 3);
+}
+
+TEST(Optimizers, AttachTwiceThrows) {
+  Params x(4);
+  SgdFp32 opt;
+  opt.attach({x.slot()});
+  EXPECT_THROW(opt.attach({x.slot()}), CheckError);
+}
+
+TEST(Optimizers, MultipleSlots) {
+  Params a(8), b(16);
+  a.p.fill(1.0f);
+  b.p.fill(2.0f);
+  a.g.fill(1.0f);
+  b.g.fill(1.0f);
+  SgdFp32 opt;
+  opt.attach({a.slot(), b.slot()});
+  opt.step(0.5f);
+  EXPECT_FLOAT_EQ(a.p[0], 0.5f);
+  EXPECT_FLOAT_EQ(b.p[15], 1.5f);
+}
+
+}  // namespace
+}  // namespace dlrm

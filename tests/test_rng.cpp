@@ -1,0 +1,115 @@
+// Tests for the PRNG and the Zipf sampler used to synthesize skewed
+// embedding-index streams.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dlrm {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformDoublesInRange) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, NextIndexBoundsAndCoverage) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = rng.next_index(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(Zipf, UniformWhenSZero) {
+  Rng rng(8);
+  ZipfSampler zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[static_cast<std::size_t>(zipf(rng))];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(Zipf, InBounds) {
+  Rng rng(9);
+  for (double s : {0.5, 0.9, 1.0, 1.2, 2.0}) {
+    ZipfSampler zipf(1000, s);
+    for (int i = 0; i < 20000; ++i) {
+      const auto v = zipf(rng);
+      ASSERT_GE(v, 0) << "s=" << s;
+      ASSERT_LT(v, 1000) << "s=" << s;
+    }
+  }
+}
+
+TEST(Zipf, FrequenciesFollowPowerLaw) {
+  // Empirical frequency of rank k should be ~ k^-s: check the ratio between
+  // rank 1 and rank 10 within loose statistical bounds.
+  Rng rng(10);
+  const double s = 1.0;
+  ZipfSampler zipf(10000, s);
+  std::vector<int> counts(10000, 0);
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(zipf(rng))];
+  // count(0)/count(9) ≈ (10/1)^s = 10
+  ASSERT_GT(counts[9], 0);
+  const double ratio = static_cast<double>(counts[0]) / counts[9];
+  EXPECT_NEAR(ratio, 10.0, 2.0);
+  // Monotone head: the first few ranks strictly dominate the tail.
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[100], counts[5000]);
+}
+
+TEST(Zipf, HigherSkewConcentratesMass) {
+  Rng rng(11);
+  auto head_mass = [&](double s) {
+    ZipfSampler zipf(100000, s);
+    int head = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) head += (zipf(rng) < 100);
+    return static_cast<double>(head) / n;
+  };
+  const double m_low = head_mass(0.6);
+  const double m_high = head_mass(1.4);
+  EXPECT_GT(m_high, m_low + 0.2);
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -1,0 +1,159 @@
+// Tests for the tensor container and the blocked MLP layouts.
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/blocked.hpp"
+
+namespace dlrm {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor<float> t({3, 4});
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+}
+
+TEST(Tensor, FillAndIndex) {
+  Tensor<float> t({2, 3});
+  t.fill(1.5f);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 1.5f);
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t[5], 9.0f);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor<float> t({4});
+  t.fill(2.0f);
+  Tensor<float> c = t.clone();
+  c[0] = -1.0f;
+  EXPECT_EQ(t[0], 2.0f);
+  EXPECT_EQ(c[0], -1.0f);
+}
+
+TEST(Tensor, AlignedStorage) {
+  Tensor<float> t({17});
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % kAlignment, 0u);
+  Tensor<std::int64_t> u({3, 5});
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u.data()) % kAlignment, 0u);
+}
+
+TEST(Tensor, IntTensor) {
+  Tensor<std::int64_t> t({5});
+  t.fill(-3);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], -3);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor<float> a({3}), b({3});
+  a.fill(1.0f);
+  b.fill(1.0f);
+  b[2] = 1.25f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.25f);
+}
+
+TEST(Tensor, BadShapeThrows) {
+  EXPECT_THROW(Tensor<float>({-1, 2}), CheckError);
+  EXPECT_THROW(Tensor<float>(std::vector<std::int64_t>{}), CheckError);
+}
+
+// --- Blocked layouts ---------------------------------------------------------
+
+using BlockedShape = std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
+
+class BlockedActivationsTest : public ::testing::TestWithParam<BlockedShape> {};
+
+TEST_P(BlockedActivationsTest, PackUnpackRoundTrip) {
+  const auto [n, c, bn, bc] = GetParam();
+  Rng rng(n * 1000 + c);
+  Tensor<float> flat({n, c});
+  fill_uniform(flat, rng, 2.0f);
+
+  BlockedActivations blocked(n, c, bn, bc);
+  blocked.pack_from(flat.data());
+  Tensor<float> back({n, c});
+  blocked.unpack_to(back.data());
+  EXPECT_EQ(max_abs_diff(flat, back), 0.0f);
+}
+
+TEST_P(BlockedActivationsTest, BlockContentsMatchFlat) {
+  const auto [n, c, bn, bc] = GetParam();
+  Rng rng(42);
+  Tensor<float> flat({n, c});
+  fill_uniform(flat, rng, 1.0f);
+  BlockedActivations blocked(n, c, bn, bc);
+  blocked.pack_from(flat.data());
+  // Element (in, ic) of block (icb, inb) equals flat[inb*bn+in][icb*bc+ic].
+  for (std::int64_t icb = 0; icb < blocked.cb(); ++icb) {
+    for (std::int64_t inb = 0; inb < blocked.nb(); ++inb) {
+      const float* blk = blocked.block(icb, inb);
+      for (std::int64_t in = 0; in < bn; ++in) {
+        for (std::int64_t ic = 0; ic < bc; ++ic) {
+          ASSERT_EQ(blk[in * bc + ic], flat.at(inb * bn + in, icb * bc + ic));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedActivationsTest,
+    ::testing::Values(BlockedShape{8, 8, 2, 4}, BlockedShape{32, 64, 8, 16},
+                      BlockedShape{64, 128, 32, 64}, BlockedShape{6, 10, 3, 5},
+                      BlockedShape{128, 13, 16, 13}, BlockedShape{2, 2, 1, 1},
+                      BlockedShape{48, 1, 16, 1}));
+
+class BlockedWeightsTest : public ::testing::TestWithParam<BlockedShape> {};
+
+TEST_P(BlockedWeightsTest, PackUnpackRoundTrip) {
+  const auto [k, c, bk, bc] = GetParam();
+  Rng rng(k * 31 + c);
+  Tensor<float> flat({k, c});
+  fill_uniform(flat, rng, 2.0f);
+
+  BlockedWeights blocked(k, c, bk, bc);
+  blocked.pack_from(flat.data());
+  Tensor<float> back({k, c});
+  blocked.unpack_to(back.data());
+  EXPECT_EQ(max_abs_diff(flat, back), 0.0f);
+}
+
+TEST_P(BlockedWeightsTest, BlockContentsMatchFlat) {
+  const auto [k, c, bk, bc] = GetParam();
+  Rng rng(17);
+  Tensor<float> flat({k, c});
+  fill_uniform(flat, rng, 1.0f);
+  BlockedWeights blocked(k, c, bk, bc);
+  blocked.pack_from(flat.data());
+  // Element (ic, ik) of block (ikb, icb) equals flat[ikb*bk+ik][icb*bc+ic].
+  for (std::int64_t ikb = 0; ikb < blocked.kb(); ++ikb) {
+    for (std::int64_t icb = 0; icb < blocked.cb(); ++icb) {
+      const float* blk = blocked.block(ikb, icb);
+      for (std::int64_t ic = 0; ic < bc; ++ic) {
+        for (std::int64_t ik = 0; ik < bk; ++ik) {
+          ASSERT_EQ(blk[ic * bk + ik], flat.at(ikb * bk + ik, icb * bc + ic));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedWeightsTest,
+    ::testing::Values(BlockedShape{8, 8, 2, 4}, BlockedShape{64, 32, 16, 8},
+                      BlockedShape{128, 64, 64, 32}, BlockedShape{10, 6, 5, 3},
+                      BlockedShape{1, 16, 1, 16}, BlockedShape{512, 13, 64, 13}));
+
+TEST(Blocking, ValidateRejectsNonDivisible) {
+  Blocking b{10, 10, 3, 5};
+  EXPECT_THROW(b.validate(), CheckError);
+  Blocking ok{10, 10, 5, 5};
+  EXPECT_NO_THROW(ok.validate());
+}
+
+}  // namespace
+}  // namespace dlrm

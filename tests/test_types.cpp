@@ -1,0 +1,201 @@
+// Unit and property tests for the low-precision numeric types
+// (bf16 / fp16 / fp24 / Split-SGD splitting).
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace dlrm {
+namespace {
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  // Values exactly representable in bf16 survive a round trip bit-for-bit.
+  const float values[] = {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -0.25f, 128.0f, 1.5f};
+  for (float v : values) {
+    EXPECT_EQ(v, bf16_to_f32(f32_to_bf16_rne(v))) << v;
+    EXPECT_EQ(v, bf16_to_f32(f32_to_bf16_trunc(v))) << v;
+  }
+}
+
+TEST(Bf16, RneRoundsToNearest) {
+  // 1.0 + 2^-8 is exactly halfway between bf16 neighbours 1.0 and 1.0078125;
+  // RNE must choose the even mantissa (1.0).
+  const float halfway = 1.0f + 0x1.0p-8f;
+  EXPECT_EQ(1.0f, bf16_to_f32(f32_to_bf16_rne(halfway)));
+  // Slightly above halfway rounds up.
+  const float above = 1.0f + 0x1.1p-8f;
+  EXPECT_EQ(1.0f + 0x1.0p-7f, bf16_to_f32(f32_to_bf16_rne(above)));
+  // Truncation always rounds towards zero.
+  EXPECT_EQ(1.0f, bf16_to_f32(f32_to_bf16_trunc(above)));
+}
+
+TEST(Bf16, RelativeErrorBound) {
+  // bf16 has 8 mantissa bits including the implicit one: relative error of
+  // RNE conversion is at most 2^-8 for normal values.
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const float v = rng.uniform(-1e6f, 1e6f);
+    if (std::fabs(v) < 1e-30f) continue;
+    const float r = bf16_to_f32(f32_to_bf16_rne(v));
+    EXPECT_LE(std::fabs(r - v) / std::fabs(v), 0x1.0p-8f) << v;
+  }
+}
+
+TEST(Bf16, NanAndInfHandled) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isnan(bf16_to_f32(f32_to_bf16_rne(nan))));
+  EXPECT_EQ(inf, bf16_to_f32(f32_to_bf16_rne(inf)));
+  EXPECT_EQ(-inf, bf16_to_f32(f32_to_bf16_rne(-inf)));
+}
+
+TEST(Fp16, KnownValues) {
+  EXPECT_EQ(f32_to_f16_rne(0.0f), 0x0000u);
+  EXPECT_EQ(f32_to_f16_rne(1.0f), 0x3C00u);
+  EXPECT_EQ(f32_to_f16_rne(-2.0f), 0xC000u);
+  EXPECT_EQ(f32_to_f16_rne(65504.0f), 0x7BFFu);  // max finite half
+  EXPECT_EQ(f32_to_f16_rne(65536.0f), 0x7C00u);  // overflow -> inf
+  EXPECT_EQ(f16_to_f32(0x3C00u), 1.0f);
+  EXPECT_EQ(f16_to_f32(0x7C00u), std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(std::isnan(f16_to_f32(0x7E00u)));
+}
+
+TEST(Fp16, SubnormalsRoundTrip) {
+  // Smallest positive subnormal half is 2^-24.
+  EXPECT_EQ(f32_to_f16_rne(0x1.0p-24f), 0x0001u);
+  EXPECT_EQ(f16_to_f32(0x0001u), 0x1.0p-24f);
+  // Largest subnormal.
+  EXPECT_EQ(f16_to_f32(0x03FFu), 0x1.FF8p-15f);
+  EXPECT_EQ(f32_to_f16_rne(0x1.FF8p-15f), 0x03FFu);
+  // Values below half the smallest subnormal underflow to zero.
+  EXPECT_EQ(f32_to_f16_rne(0x1.0p-26f), 0x0000u);
+}
+
+TEST(Fp16, RoundTripThroughAllBitPatterns) {
+  // Every finite fp16 value converts to fp32 and back to the same bits.
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const std::uint16_t h = static_cast<std::uint16_t>(bits);
+    const std::uint16_t exp = (h >> 10) & 0x1Fu;
+    if (exp == 0x1Fu) continue;  // inf/NaN
+    EXPECT_EQ(f32_to_f16_rne(f16_to_f32(h)), h) << std::hex << bits;
+  }
+}
+
+TEST(Fp16, RelativeErrorBound) {
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const float v = rng.uniform(-1000.0f, 1000.0f);
+    if (std::fabs(v) < 1e-3f) continue;
+    const float r = f16_to_f32(f32_to_f16_rne(v));
+    EXPECT_LE(std::fabs(r - v) / std::fabs(v), 0x1.0p-11f) << v;
+  }
+}
+
+TEST(Fp24, GridHasLow8BitsZero) {
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const float v = rng.uniform(-1e4f, 1e4f);
+    const float r = f32_to_f24_rne(v);
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(r) & 0xFFu, 0u) << v;
+    if (std::fabs(v) > 1e-6f) {
+      EXPECT_LE(std::fabs(r - v) / std::fabs(v), 0x1.0p-16f) << v;
+    }
+  }
+}
+
+TEST(Fp24, IdempotentOnGrid) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = f32_to_f24_rne(rng.uniform(-10.0f, 10.0f));
+    EXPECT_EQ(v, f32_to_f24_rne(v));
+  }
+}
+
+TEST(Split, ExactReconstruction) {
+  // Core Split-SGD invariant: hi|lo is the original fp32, bitwise.
+  Rng rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    const float v = std::bit_cast<float>(rng.next_u32());
+    if (std::isnan(v)) continue;
+    const SplitF32 s = split_f32(v);
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(combine_f32(s.hi, s.lo)),
+              std::bit_cast<std::uint32_t>(v));
+    // The hi half interpreted as bf16 equals the truncated conversion.
+    EXPECT_EQ(s.hi, f32_to_bf16_trunc(v));
+  }
+}
+
+TEST(Split, PartialLowBitsMasksCorrectly) {
+  const float v = 1.2345678f;
+  const SplitF32 s = split_f32(v);
+  // 16 bits keeps everything.
+  EXPECT_EQ(combine_f32_partial(s.hi, s.lo, 16), v);
+  // 0 bits reduces to the truncated bf16 value.
+  EXPECT_EQ(combine_f32_partial(s.hi, s.lo, 0), bf16_to_f32(s.hi));
+  // 8 bits: closer to v than 0 bits, no further than 16 bits.
+  const float p8 = combine_f32_partial(s.hi, s.lo, 8);
+  EXPECT_LE(std::fabs(p8 - v), std::fabs(bf16_to_f32(s.hi) - v));
+}
+
+TEST(StochasticRounding, Bf16MeanIsUnbiased) {
+  // Averaged over many random roundings, the stochastic bf16 value of x
+  // should approach x (unbiasedness) — the key property that lets tiny
+  // gradient updates accumulate instead of being lost to truncation.
+  Rng rng(99);
+  const float x = 1.0f + 0x1.8p-9f;  // strictly between two bf16 neighbours
+  double sum = 0.0;
+  const int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += bf16_to_f32(f32_to_bf16_stochastic(x, rng.next_u16()));
+  }
+  const double mean = sum / kTrials;
+  EXPECT_NEAR(mean, x, 2e-5);
+}
+
+TEST(StochasticRounding, RoundsToNeighbours) {
+  Rng rng(100);
+  const float x = 2.7182818f;
+  const float lo = bf16_to_f32(f32_to_bf16_trunc(x));
+  const float hi = std::bit_cast<float>(
+      ((static_cast<std::uint32_t>(f32_to_bf16_trunc(x)) + 1) << 16));
+  for (int i = 0; i < 1000; ++i) {
+    const float r = bf16_to_f32(f32_to_bf16_stochastic(x, rng.next_u16()));
+    EXPECT_TRUE(r == lo || r == hi) << r;
+  }
+}
+
+TEST(StochasticRounding, Fp16ExactValuesStable) {
+  // Values already on the fp16 grid are never perturbed.
+  Rng rng(101);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = f16_to_f32(f32_to_f16_rne(rng.uniform(-100.f, 100.f)));
+    EXPECT_EQ(f32_to_f16_stochastic(v, rng.next_u16()), f32_to_f16_rne(v));
+  }
+}
+
+// Parameterized sweep: conversions are monotone non-decreasing on positives.
+class MonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityTest, ConversionsAreMonotone) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    float a = rng.uniform(0.0f, 1e5f);
+    float b = rng.uniform(0.0f, 1e5f);
+    if (a > b) std::swap(a, b);
+    EXPECT_LE(bf16_to_f32(f32_to_bf16_rne(a)), bf16_to_f32(f32_to_bf16_rne(b)));
+    EXPECT_LE(f32_to_f24_rne(a), f32_to_f24_rne(b));
+    if (b < 60000.0f) {
+      EXPECT_LE(f16_to_f32(f32_to_f16_rne(a)), f16_to_f32(f32_to_f16_rne(b)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dlrm
