@@ -2,9 +2,12 @@
 //
 // Compares the blocked batch-reduce implementation ("this work") against the
 // flat large-GEMM baseline ("framework/MKL-style") for all three passes
-// (FWD, BWD overall) at N=1024, C=K in {1024, 2048, 4096}, 5 layers.
-// Absolute GFLOPS depend on this machine; the *ratio* blocked/flat and the
-// fraction of the measured FMA peak are the reproduced quantities.
+// (FWD, BWD overall) at N=1024, C=K in {1024, 2048, 4096}, 5 layers, and
+// sweeps the blocked implementation over fp32 vs bf16 (paper Sect. III.C:
+// bf16 tiles with fp32 accumulation — on real AVX512-BF16 silicon the bf16
+// path doubles FMA throughput; in this software emulation the reproduced
+// quantity is correctness of the sweep plumbing plus the halved tensor
+// footprint). One BENCH_JSON row is emitted per (width, pass, impl) config.
 #include <cstdio>
 #include <thread>
 
@@ -38,7 +41,7 @@ int main() {
       measured_core_peak_flops() * threads / 1e9;  // machine proxy, GFLOPS
   std::printf("threads=%d, measured FMA peak proxy: %.0f GFLOPS\n", threads, peak);
 
-  row({"C=K", "pass", "impl", "GFLOPS", "%peak"}, 12);
+  row({"C=K", "pass", "impl", "GFLOPS", "%peak"}, 14);
   for (std::int64_t width : {1024, 2048, 4096}) {
     // 5-layer MLP as in the paper's standalone kernel study.
     std::vector<std::int64_t> dims(6, width);
@@ -47,6 +50,11 @@ int main() {
     Mlp blocked(dims, Activation::kRelu, Activation::kRelu);
     blocked.init(rng);
     blocked.set_batch(n);
+    Mlp blocked16(dims, Activation::kRelu, Activation::kRelu, {},
+                  Precision::kBf16);
+    Rng rng16(width);
+    blocked16.init(rng16);
+    blocked16.set_batch(n);
     MlpFlat flat(dims, Activation::kRelu, Activation::kRelu);
     Rng rng2(width);
     flat.init(rng2);
@@ -59,19 +67,34 @@ int main() {
 
     const double fwd_blocked = time_median_sec([&] { blocked.forward(x); });
     const double bwd_blocked = time_median_sec([&] { blocked.backward(dy); });
+    const double fwd_bf16 = time_median_sec([&] { blocked16.forward(x); });
+    const double bwd_bf16 = time_median_sec([&] { blocked16.backward(dy); });
     const double fwd_flat = time_median_sec([&] { flat.forward(x); });
     const double bwd_flat = time_median_sec([&] { flat.backward(dy); });
 
     auto emit = [&](const char* pass, const char* impl, double sec, double mult) {
       const double gf = mlp_gflops(n, dims, sec, mult);
-      row({fmt_int(width), pass, impl, fmt(gf, 0), fmt(gf / peak * 100, 0) + "%"}, 12);
+      row({fmt_int(width), pass, impl, fmt(gf, 0), fmt(gf / peak * 100, 0) + "%"}, 14);
+      JsonRow("fig5_mlp")
+          .add("width", width)
+          .add("batch", n)
+          .add("pass", pass)
+          .add("impl", impl)
+          .add("sec", sec)
+          .add("gflops", gf)
+          .add("pct_peak", gf / peak * 100.0)
+          .emit();
     };
-    emit("FWD", "this-work", fwd_blocked, 1.0);
+    emit("FWD", "blocked-fp32", fwd_blocked, 1.0);
+    emit("FWD", "blocked-bf16", fwd_bf16, 1.0);
     emit("FWD", "flat-GEMM", fwd_flat, 1.0);
-    emit("BWD", "this-work", bwd_blocked, 2.0);  // bwd_d + bwd_w
+    emit("BWD", "blocked-fp32", bwd_blocked, 2.0);  // bwd_d + bwd_w
+    emit("BWD", "blocked-bf16", bwd_bf16, 2.0);
     emit("BWD", "flat-GEMM", bwd_flat, 2.0);
-    std::printf("  speedup blocked/flat: FWD %.2fx, BWD %.2fx\n",
-                fwd_flat / fwd_blocked, bwd_flat / bwd_blocked);
+    std::printf("  speedup blocked-fp32/flat: FWD %.2fx, BWD %.2fx; "
+                "bf16/fp32: FWD %.2fx, BWD %.2fx\n",
+                fwd_flat / fwd_blocked, bwd_flat / bwd_blocked,
+                fwd_blocked / fwd_bf16, bwd_blocked / bwd_bf16);
   }
   std::printf(
       "\nExpected shape (paper): blocked implementation ~72%% of peak vs\n"

@@ -1,10 +1,14 @@
 // Micro-benchmark (google-benchmark): Split-SGD-BF16 vs plain FP32 SGD vs
 // FP16-with-master-weights — update throughput and the capacity accounting
-// of paper Sect. VII.
+// of paper Sect. VII. Before the google-benchmark run, a BENCH_JSON row is
+// emitted per optimizer config (fp32 / bf16-split sweep) so future PRs can
+// track the precision-performance trajectory.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "optim/optimizer.hpp"
 
@@ -67,6 +71,43 @@ void BM_Fp24Sgd(benchmark::State& state) {
 }
 BENCHMARK(BM_Fp24Sgd)->Unit(benchmark::kMillisecond);
 
+// One JSON trajectory row per optimizer configuration: median step time,
+// update throughput, and the Sect. VII capacity accounting.
+void emit_json_rows() {
+  struct Config {
+    const char* precision;
+    std::unique_ptr<Optimizer> opt;
+  };
+  Config configs[] = {
+      {"fp32", std::make_unique<SgdFp32>()},
+      {"bf16", std::make_unique<SplitSgdBf16>(16)},
+      {"bf16-lo8", std::make_unique<SplitSgdBf16>(8)},
+      {"fp16-master", std::make_unique<Fp16MasterSgd>()},
+      {"fp24", std::make_unique<Fp24Sgd>()},
+  };
+  for (auto& cfg : configs) {
+    Fixture f;
+    cfg.opt->attach(f.slots());
+    const double sec =
+        dlrm::bench::time_median_sec([&] { cfg.opt->step(0.01f); });
+    dlrm::bench::JsonRow("split_sgd_micro")
+        .add("precision", cfg.precision)
+        .add("optimizer", cfg.opt->name())
+        .add("params", kParams)
+        .add("sec_per_step", sec)
+        .add("params_per_sec", static_cast<double>(kParams) / sec)
+        .add("state_bytes", cfg.opt->state_bytes())
+        .emit();
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_json_rows();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

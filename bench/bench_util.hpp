@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -49,5 +50,54 @@ inline double time_median_sec(const std::function<void()>& fn, int reps = 5) {
 /// kernel; multiply by core count for a machine peak estimate. Used to
 /// report "fraction of peak" like Fig. 5 without trusting nominal numbers.
 double measured_core_peak_flops();
+
+/// One machine-consumable result line: benches emit a compact JSON object
+/// per configuration so successive PRs can track precision/performance
+/// trajectories by grepping "^BENCH_JSON".
+///
+///   JsonRow("fig5_mlp").add("width", 1024).add("impl", "blocked-bf16")
+///       .add("gflops", 123.4).emit();
+/// → BENCH_JSON {"bench":"fig5_mlp","width":1024,"impl":"blocked-bf16",...}
+class JsonRow {
+ public:
+  explicit JsonRow(const std::string& bench) { add("bench", bench); }
+
+  JsonRow& add(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\":\"" + value + "\"");
+    return *this;
+  }
+  JsonRow& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  JsonRow& add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.push_back("\"" + key + "\":" + buf);
+    return *this;
+  }
+  JsonRow& add(const std::string& key, long long value) {
+    fields_.push_back("\"" + key + "\":" + std::to_string(value));
+    return *this;
+  }
+  JsonRow& add(const std::string& key, std::int64_t value) {
+    return add(key, static_cast<long long>(value));
+  }
+  JsonRow& add(const std::string& key, int value) {
+    return add(key, static_cast<long long>(value));
+  }
+
+  void emit() const {
+    std::string line = "BENCH_JSON {";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) line += ",";
+      line += fields_[i];
+    }
+    line += "}";
+    std::printf("%s\n", line.c_str());
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
 
 }  // namespace dlrm::bench

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify in Release, then an ASan/UBSan Debug pass
+# over the unit tests (benches off, portable codegen, smoke runs excluded to
+# keep the sanitizer pass bounded).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==== Release build + full ctest (tier-1 verify) ===="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "==== Debug + ASan/UBSan unit-test pass ===="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DDLRM_SANITIZE=ON \
+  -DDLRM_BUILD_BENCH=OFF \
+  -DDLRM_NATIVE_ARCH=OFF
+cmake --build build-asan -j "${JOBS}"
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-asan -E 'train_cli' --output-on-failure \
+        -j "${JOBS}" --timeout 900
+
+echo "CI OK"

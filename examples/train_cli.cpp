@@ -1,12 +1,23 @@
 // dlrm-train: command-line driver exposing the whole stack.
 //
 //   $ ./train_cli --config=small --scale-rows=64 --scale-batch=8
-//                 --ranks=4 --strategy=alltoall --precision=bf16split
+//                 --ranks=4 --strategy=alltoall --precision=bf16
 //                 --iters=50 --lr=0.05 [--blocking] [--profile]
 //
 // Configs: small | large | mlperf (paper Table I), optionally scaled down.
 // With --ranks=1 the single-process model runs; otherwise the
 // hybrid-parallel trainer runs on in-process ranks.
+//
+// --precision selects the end-to-end data path:
+//   fp32       — everything fp32 (default).
+//   bf16       — the paper's BF16 mode: bf16 MLP tensors/GEMMs with fp32
+//                accumulation, Split-SGD master weights for MLPs and
+//                embeddings, and 2-byte gradient/exchange payloads in
+//                distributed runs.
+//   bf16split | bf16split8 | fp16 | fp24 — embedding-table-only precision
+//                ablations (Fig. 16); the MLP stack stays fp32.
+// --check-loss-decreases exits nonzero unless the mean loss of the last
+// quarter of iterations is below that of the first quarter (CI smoke).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +44,7 @@ struct Args {
   float lr = 0.05f;
   bool blocking = false;
   bool profile = false;
+  bool check_loss = false;
 };
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -59,6 +71,7 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--lr", &v)) a.lr = static_cast<float>(std::atof(v.c_str()));
     else if (std::strcmp(argv[i], "--blocking") == 0) a.blocking = true;
     else if (std::strcmp(argv[i], "--profile") == 0) a.profile = true;
+    else if (std::strcmp(argv[i], "--check-loss-decreases") == 0) a.check_loss = true;
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -75,13 +88,15 @@ ExchangeStrategy parse_strategy(const std::string& s) {
   std::exit(2);
 }
 
-EmbedPrecision parse_precision(const std::string& s) {
+EmbedPrecision parse_embed_precision(const std::string& s) {
   if (s == "fp32") return EmbedPrecision::kFp32;
+  if (s == "bf16") return EmbedPrecision::kBf16Split;  // full bf16 data path
   if (s == "bf16split") return EmbedPrecision::kBf16Split;
   if (s == "bf16split8") return EmbedPrecision::kBf16Split8;
   if (s == "fp16") return EmbedPrecision::kFp16Stochastic;
   if (s == "fp24") return EmbedPrecision::kFp24;
-  std::fprintf(stderr, "bad --precision (fp32|bf16split|bf16split8|fp16|fp24)\n");
+  std::fprintf(stderr,
+               "bad --precision (fp32|bf16|bf16split|bf16split8|fp16|fp24)\n");
   std::exit(2);
 }
 
@@ -105,41 +120,72 @@ int main(int argc, char** argv) {
                                              : (std::fprintf(stderr, "bad --config\n"),
                                                 std::exit(2), DlrmConfig{});
   cfg = cfg.scaled_down(args.scale_rows, args.scale_batch);
+  // --precision=bf16 turns on the end-to-end bf16 MLP data path; the other
+  // values are embedding-only ablations on top of an fp32 MLP stack.
+  cfg.mlp_precision =
+      args.precision == "bf16" ? Precision::kBf16 : Precision::kFp32;
   cfg.validate();
 
   std::printf("dlrm-train: %s  tables=%lld dim=%lld batch=%lld  "
-              "model=%.1f MB  ranks=%d\n",
+              "model=%.1f MB  ranks=%d  mlp=%s\n",
               cfg.name.c_str(), static_cast<long long>(cfg.tables()),
               static_cast<long long>(cfg.dim),
               static_cast<long long>(cfg.minibatch),
-              static_cast<double>(cfg.table_bytes()) / 1e6, args.ranks);
+              static_cast<double>(cfg.table_bytes()) / 1e6, args.ranks,
+              to_string(cfg.mlp_precision));
 
   RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, cfg.pooling, 1);
 
+  // Loss-decrease check bookkeeping: compare the first and last quarters.
+  if (args.check_loss && args.iters < 8) {
+    std::fprintf(stderr, "--check-loss-decreases needs --iters >= 8\n");
+    return 2;
+  }
+  const int quarter = args.iters / 4;
+
   if (args.ranks <= 1) {
     ModelOptions mo;
-    mo.embed_precision = parse_precision(args.precision);
+    mo.embed_precision = parse_embed_precision(args.precision);
     mo.update_strategy = parse_update(args.update);
     DlrmModel model(cfg, mo, 42);
-    SgdFp32 sgd;
-    sgd.attach(model.mlp_param_slots());
-    Trainer trainer(model, sgd, data, {.lr = args.lr, .batch = cfg.minibatch});
+    // The trainer owns the optimizer matched to the MLP precision
+    // (SGD-FP32 or Split-SGD-BF16).
+    Trainer trainer(model, data, {.lr = args.lr, .batch = cfg.minibatch});
     Profiler prof;
+    Profiler* prof_ptr = args.profile ? &prof : nullptr;
     const Timer t;
-    const double loss = trainer.train(args.iters, args.profile ? &prof : nullptr);
-    std::printf("%d iters in %.2f s (%.2f ms/iter), final mean loss %.4f\n",
-                args.iters, t.elapsed_sec(),
-                t.elapsed_ms() / args.iters, loss);
+    double first_loss = 0.0, last_loss = 0.0, loss = 0.0;
+    if (args.check_loss && quarter > 0) {
+      first_loss = trainer.train(quarter, prof_ptr);
+      trainer.train(args.iters - 2 * quarter, prof_ptr);
+      last_loss = trainer.train(quarter, prof_ptr);
+      loss = last_loss;
+    } else {
+      loss = trainer.train(args.iters, prof_ptr);
+    }
+    std::printf("%d iters in %.2f s (%.2f ms/iter), final mean loss %.4f "
+                "(optimizer %s)\n",
+                args.iters, t.elapsed_sec(), t.elapsed_ms() / args.iters, loss,
+                trainer.optimizer().name().c_str());
     if (args.profile) std::printf("%s", prof.report().c_str());
+    if (args.check_loss && quarter > 0) {
+      std::printf("loss check: first-quarter %.4f -> last-quarter %.4f\n",
+                  first_loss, last_loss);
+      if (!(last_loss < first_loss)) {
+        std::fprintf(stderr, "FAIL: loss did not decrease\n");
+        return 1;
+      }
+    }
     return 0;
   }
 
   const std::int64_t gn = cfg.minibatch;
   DLRM_CHECK(gn % args.ranks == 0, "batch must divide by ranks");
+  int exit_code = 0;
   run_ranks(args.ranks, /*threads_per_rank=*/2, [&](ThreadComm& comm) {
     DistributedOptions opts;
     opts.exchange = parse_strategy(args.strategy);
-    opts.embed_precision = parse_precision(args.precision);
+    opts.embed_precision = parse_embed_precision(args.precision);
     opts.update_strategy = parse_update(args.update);
     opts.overlap = !args.blocking;
     opts.lr = args.lr;
@@ -149,18 +195,29 @@ int main(int argc, char** argv) {
                       LoaderMode::kLocalSlice);
     HybridBatch hb;
     Profiler prof;
-    Meter loss;
+    Meter loss, first, last;
     const Timer t;
     for (int i = 0; i < args.iters; ++i) {
       loader.next(i, hb);
-      loss.add(model.train_step(hb, args.profile ? &prof : nullptr));
+      const double l = model.train_step(hb, args.profile ? &prof : nullptr);
+      loss.add(l);
+      if (quarter > 0 && i < quarter) first.add(l);
+      if (quarter > 0 && i >= args.iters - quarter) last.add(l);
     }
     if (comm.rank() == 0) {
       std::printf("%d iters in %.2f s (%.2f ms/iter), rank0 mean loss %.4f\n",
                   args.iters, t.elapsed_sec(), t.elapsed_ms() / args.iters,
                   loss.mean());
       if (args.profile) std::printf("%s", prof.report().c_str());
+      if (args.check_loss && quarter > 0) {
+        std::printf("loss check: first-quarter %.4f -> last-quarter %.4f\n",
+                    first.mean(), last.mean());
+        if (!(last.mean() < first.mean())) {
+          std::fprintf(stderr, "FAIL: loss did not decrease\n");
+          exit_code = 1;
+        }
+      }
     }
   });
-  return 0;
+  return exit_code;
 }

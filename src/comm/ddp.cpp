@@ -8,8 +8,11 @@
 namespace dlrm {
 
 DdpAllreducer::DdpAllreducer(ThreadComm& comm, QueueBackend* backend,
-                             int buckets)
-    : comm_(comm), backend_(backend), n_buckets_(std::max(1, buckets)) {}
+                             int buckets, Precision wire)
+    : comm_(comm),
+      backend_(backend),
+      n_buckets_(std::max(1, buckets)),
+      wire_(wire) {}
 
 void DdpAllreducer::attach(const std::vector<ParamSlot>& slots) {
   DLRM_CHECK(buckets_.empty(), "attach() must be called once");
@@ -34,7 +37,11 @@ void DdpAllreducer::attach(const std::vector<ParamSlot>& slots) {
   for (auto& bucket : buckets_) {
     std::int64_t n = 0;
     for (const auto& s : bucket.slots) n += s.size;
-    bucket.flat.reshape({std::max<std::int64_t>(n, 1)});
+    if (wire_ == Precision::kBf16) {
+      bucket.flat16.reshape({std::max<std::int64_t>(n, 1)});
+    } else {
+      bucket.flat.reshape({std::max<std::int64_t>(n, 1)});
+    }
   }
 }
 
@@ -46,33 +53,66 @@ void DdpAllreducer::start() {
   const Timer frame;
 
   for (auto& bucket : buckets_) {
-    // Pack slot grads into the flat buffer (framework cost).
-    float* dst = bucket.flat.data();
-    for (const auto& s : bucket.slots) {
-      const float* __restrict__ g = s.grad;
-      for (std::int64_t i = 0; i < s.size; ++i) *dst++ = g[i];
+    // Pack slot grads into the flat wire buffer (framework cost). In bf16
+    // mode this is the fp32 -> bf16 RNE down-convert; the reduction itself
+    // re-accumulates in fp32 inside the collective.
+    std::int64_t n = 0;
+    if (wire_ == Precision::kBf16) {
+      std::uint16_t* dst = bucket.flat16.data();
+      for (const auto& s : bucket.slots) {
+        const float* __restrict__ g = s.grad;
+        for (std::int64_t i = 0; i < s.size; ++i) *dst++ = f32_to_bf16_rne(g[i]);
+      }
+      n = static_cast<std::int64_t>(dst - bucket.flat16.data());
+    } else {
+      float* dst = bucket.flat.data();
+      for (const auto& s : bucket.slots) {
+        const float* __restrict__ g = s.grad;
+        for (std::int64_t i = 0; i < s.size; ++i) *dst++ = g[i];
+      }
+      n = static_cast<std::int64_t>(dst - bucket.flat.data());
     }
-    const std::int64_t n = static_cast<std::int64_t>(dst - bucket.flat.data());
     // Reserve both phases' tickets now (program order across ranks).
     bucket.rs_seq = comm_.ticket();
     bucket.ag_seq = comm_.ticket();
-    float* data = bucket.flat.data();
     if (backend_ != nullptr) {
-      bucket.rs_req = backend_->submit(CommOpKind::kReduceScatter, [this, data, n, seq = bucket.rs_seq] {
-        comm_.reduce_scatter_seq(seq, data, n);
-      });
-      // The allgather reads the chunks the reduce-scatter produces: chain it
-      // on the rs completion so multi-worker backends cannot reorder them.
-      bucket.ag_req = backend_->submit(
-          CommOpKind::kAllgather,
-          [this, data, n, seq = bucket.ag_seq, rs = bucket.rs_req] {
-            backend_->wait(rs);
-            comm_.allgather_chunks_seq(seq, data, n);
-          });
+      if (wire_ == Precision::kBf16) {
+        std::uint16_t* data = bucket.flat16.data();
+        bucket.rs_req = backend_->submit(
+            CommOpKind::kReduceScatter, [this, data, n, seq = bucket.rs_seq] {
+              comm_.reduce_scatter_bf16_seq(seq, data, n);
+            });
+        bucket.ag_req = backend_->submit(
+            CommOpKind::kAllgather,
+            [this, data, n, seq = bucket.ag_seq, rs = bucket.rs_req] {
+              backend_->wait(rs);
+              comm_.allgather_chunks_bf16_seq(seq, data, n);
+            });
+      } else {
+        float* data = bucket.flat.data();
+        bucket.rs_req = backend_->submit(
+            CommOpKind::kReduceScatter, [this, data, n, seq = bucket.rs_seq] {
+              comm_.reduce_scatter_seq(seq, data, n);
+            });
+        // The allgather reads the chunks the reduce-scatter produces: chain
+        // it on the rs completion so multi-worker backends cannot reorder
+        // them.
+        bucket.ag_req = backend_->submit(
+            CommOpKind::kAllgather,
+            [this, data, n, seq = bucket.ag_seq, rs = bucket.rs_req] {
+              backend_->wait(rs);
+              comm_.allgather_chunks_seq(seq, data, n);
+            });
+      }
     } else {
       const Timer t;
-      comm_.reduce_scatter_seq(bucket.rs_seq, data, n);
-      comm_.allgather_chunks_seq(bucket.ag_seq, data, n);
+      if (wire_ == Precision::kBf16) {
+        comm_.reduce_scatter_bf16_seq(bucket.rs_seq, bucket.flat16.data(), n);
+        comm_.allgather_chunks_bf16_seq(bucket.ag_seq, bucket.flat16.data(), n);
+      } else {
+        comm_.reduce_scatter_seq(bucket.rs_seq, bucket.flat.data(), n);
+        comm_.allgather_chunks_seq(bucket.ag_seq, bucket.flat.data(), n);
+      }
       wait_sec_ += t.elapsed_sec();
     }
   }
@@ -91,11 +131,20 @@ void DdpAllreducer::finish() {
   const Timer frame;
   const float inv_r = 1.0f / static_cast<float>(comm_.size());
   for (auto& bucket : buckets_) {
-    // Average and unpack (framework cost: "gradient averaging").
-    const float* src = bucket.flat.data();
-    for (const auto& s : bucket.slots) {
-      float* __restrict__ g = s.grad;
-      for (std::int64_t i = 0; i < s.size; ++i) g[i] = *src++ * inv_r;
+    // Average and unpack (framework cost: "gradient averaging"). The grad
+    // slots are fp32 in both wire modes; bf16 payloads widen exactly.
+    if (wire_ == Precision::kBf16) {
+      const std::uint16_t* src = bucket.flat16.data();
+      for (const auto& s : bucket.slots) {
+        float* __restrict__ g = s.grad;
+        for (std::int64_t i = 0; i < s.size; ++i) g[i] = bf16_to_f32(*src++) * inv_r;
+      }
+    } else {
+      const float* src = bucket.flat.data();
+      for (const auto& s : bucket.slots) {
+        float* __restrict__ g = s.grad;
+        for (std::int64_t i = 0; i < s.size; ++i) g[i] = *src++ * inv_r;
+      }
     }
   }
   framework_sec_ += frame.elapsed_sec();

@@ -17,6 +17,7 @@
 #include "comm/backend.hpp"
 #include "comm/thread_comm.hpp"
 #include "common/param_slot.hpp"
+#include "common/types.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dlrm {
@@ -26,7 +27,13 @@ class DdpAllreducer {
   /// backend == nullptr → blocking collectives on the calling thread.
   /// `buckets` splits the parameter set into roughly equal flat buffers so
   /// several allreduces can be in flight (finer overlap granularity).
-  DdpAllreducer(ThreadComm& comm, QueueBackend* backend, int buckets = 1);
+  /// `wire` selects the gradient payload: kBf16 packs to 2-byte bf16 (RNE),
+  /// reduces with fp32 accumulation, and halves the allreduce volume — the
+  /// paper's end-to-end BF16 communication mode. Grad slots stay fp32.
+  DdpAllreducer(ThreadComm& comm, QueueBackend* backend, int buckets = 1,
+                Precision wire = Precision::kFp32);
+
+  Precision wire_precision() const { return wire_; }
 
   void attach(const std::vector<ParamSlot>& slots);
 
@@ -52,6 +59,7 @@ class DdpAllreducer {
   struct Bucket {
     std::vector<ParamSlot> slots;
     Tensor<float> flat;
+    Tensor<std::uint16_t> flat16;  // bf16 wire buffer (bf16 mode only)
     CommRequest rs_req, ag_req;  // reduce-scatter / allgather phases
     std::uint64_t rs_seq = 0, ag_seq = 0;
   };
@@ -59,6 +67,7 @@ class DdpAllreducer {
   ThreadComm& comm_;
   QueueBackend* backend_;
   int n_buckets_;
+  Precision wire_;
   std::vector<Bucket> buckets_;
   std::int64_t total_ = 0;
   bool in_flight_ = false;

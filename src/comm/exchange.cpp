@@ -22,10 +22,12 @@ const char* to_string(ExchangeStrategy s) {
 EmbeddingExchange::EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
                                      ExchangeStrategy strategy,
                                      std::int64_t tables, std::int64_t dim,
-                                     std::int64_t global_batch)
+                                     std::int64_t global_batch,
+                                     Precision payload)
     : comm_(comm),
       backend_(backend),
       strategy_(strategy),
+      payload_(payload),
       s_(tables),
       e_(dim),
       gn_(global_batch) {
@@ -52,8 +54,13 @@ EmbeddingExchange::EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
       std::max({s_ * ln_, max_owned * static_cast<std::int64_t>(R) * ln_,
                 owned_ * gn_}) *
       e_;
-  send_.reshape({send_elems + 1});
-  recv_.reshape({recv_elems + 1});
+  if (payload_ == Precision::kBf16) {
+    send16_.reshape({send_elems + 1});
+    recv16_.reshape({recv_elems + 1});
+  } else {
+    send_.reshape({send_elems + 1});
+    recv_.reshape({recv_elems + 1});
+  }
   scounts_.reshape({R});
   sdispls_.reshape({R});
   rcounts_.reshape({R});
@@ -80,63 +87,104 @@ ExchangeHandle EmbeddingExchange::start_forward(
   ExchangeHandle h;
   const Timer frame;
 
+  const bool wire16 = payload_ == Precision::kBf16;
   switch (strategy_) {
     case ExchangeStrategy::kScatterList: {
       // One scatter per global table; the owner's [GN][E] output is already
-      // ordered by batch slice, so no packing is required.
+      // ordered by batch slice, so no packing is required in fp32 mode. In
+      // bf16 mode owners down-convert their outputs into the u16 send
+      // scratch first (one [GN][E] region per owned table).
+      if (wire16) {
+        for (std::int64_t k = 0; k < owned_; ++k) {
+          const float* src = local_out[static_cast<std::size_t>(k)];
+          std::uint16_t* dst = send16_.data() + k * gn_ * e_;
+          for (std::int64_t i = 0; i < gn_ * e_; ++i) dst[i] = f32_to_bf16_rne(src[i]);
+        }
+      }
       for (std::int64_t t = 0; t < s_; ++t) {
         const int root = static_cast<int>(t % R);
-        const float* src = nullptr;
+        std::int64_t k = 0;
         if (root == comm_.rank()) {
-          std::int64_t k = 0;
           while (owned_ids_[static_cast<std::size_t>(k)] != t) ++k;
-          src = local_out[static_cast<std::size_t>(k)];
         }
-        float* dst = recv_.data() + t * slice;
         const std::uint64_t seq = comm_.ticket();
-        submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
-          comm_.scatter_seq(seq, src, dst, slice, root);
-        });
+        if (wire16) {
+          const std::uint16_t* src =
+              root == comm_.rank() ? send16_.data() + k * gn_ * e_ : nullptr;
+          std::uint16_t* dst = recv16_.data() + t * slice;
+          submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
+            comm_.scatter_bf16_seq(seq, src, dst, slice, root);
+          });
+        } else {
+          const float* src =
+              root == comm_.rank() ? local_out[static_cast<std::size_t>(k)] : nullptr;
+          float* dst = recv_.data() + t * slice;
+          submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
+            comm_.scatter_seq(seq, src, dst, slice, root);
+          });
+        }
       }
       break;
     }
     case ExchangeStrategy::kFusedScatter: {
       // Coalesce all owned tables into one buffer ordered [peer][table] and
-      // issue a single scatter per root rank.
-      float* pack = send_.data();
-      for (int p = 0; p < R; ++p) {
-        for (std::int64_t k = 0; k < owned_; ++k) {
-          const float* src = local_out[static_cast<std::size_t>(k)] + p * slice;
-          for (std::int64_t i = 0; i < slice; ++i) *pack++ = src[i];
+      // issue a single scatter per root rank. Received blocks land in a
+      // contiguous region ordered by root and are unpacked in finish.
+      if (wire16) {
+        std::uint16_t* pack = send16_.data();
+        for (int p = 0; p < R; ++p) {
+          for (std::int64_t k = 0; k < owned_; ++k) {
+            const float* src = local_out[static_cast<std::size_t>(k)] + p * slice;
+            for (std::int64_t i = 0; i < slice; ++i) *pack++ = f32_to_bf16_rne(src[i]);
+          }
+        }
+      } else {
+        float* pack = send_.data();
+        for (int p = 0; p < R; ++p) {
+          for (std::int64_t k = 0; k < owned_; ++k) {
+            const float* src = local_out[static_cast<std::size_t>(k)] + p * slice;
+            for (std::int64_t i = 0; i < slice; ++i) *pack++ = src[i];
+          }
         }
       }
       for (int root = 0; root < R; ++root) {
         const std::int64_t chunk =
             tables_per_rank_[static_cast<std::size_t>(root)] * slice;
-        // Received block is unpacked to [S][LN][E] in finish_forward; land
-        // it at a per-root staging offset inside recv_ scratch? Roots own
-        // disjoint table sets, so we stage at the first owned table's slot
-        // and unpack later. To keep it simple we receive into a contiguous
-        // region ordered by root, then unpack.
-        float* dst = recv_.data() + prefix_tables(root) * slice;
-        const float* src = root == comm_.rank() ? send_.data() : nullptr;
         const std::uint64_t seq = comm_.ticket();
-        submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
-          comm_.scatter_seq(seq, src, dst, chunk, root);
-        });
+        if (wire16) {
+          std::uint16_t* dst = recv16_.data() + prefix_tables(root) * slice;
+          const std::uint16_t* src =
+              root == comm_.rank() ? send16_.data() : nullptr;
+          submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
+            comm_.scatter_bf16_seq(seq, src, dst, chunk, root);
+          });
+        } else {
+          float* dst = recv_.data() + prefix_tables(root) * slice;
+          const float* src = root == comm_.rank() ? send_.data() : nullptr;
+          submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
+            comm_.scatter_seq(seq, src, dst, chunk, root);
+          });
+        }
       }
       break;
     }
     case ExchangeStrategy::kAlltoall: {
       // Single alltoallv: block for peer p = my owned tables' rows of p's
       // slice, concatenated.
-      float* pack = send_.data();
+      std::int64_t packed = 0;
       for (int p = 0; p < R; ++p) {
         scounts_[p] = owned_ * slice;
-        sdispls_[p] = static_cast<std::int64_t>(pack - send_.data());
+        sdispls_[p] = packed;
         for (std::int64_t k = 0; k < owned_; ++k) {
           const float* src = local_out[static_cast<std::size_t>(k)] + p * slice;
-          for (std::int64_t i = 0; i < slice; ++i) *pack++ = src[i];
+          if (wire16) {
+            std::uint16_t* dst = send16_.data() + packed;
+            for (std::int64_t i = 0; i < slice; ++i) dst[i] = f32_to_bf16_rne(src[i]);
+          } else {
+            float* dst = send_.data() + packed;
+            for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+          }
+          packed += slice;
         }
       }
       std::int64_t disp = 0;
@@ -146,10 +194,18 @@ ExchangeHandle EmbeddingExchange::start_forward(
         disp += rcounts_[p];
       }
       const std::uint64_t seq = comm_.ticket();
-      submit(h, CommOpKind::kAlltoall, [this, seq] {
-        comm_.alltoallv_seq(seq, send_.data(), scounts_.data(), sdispls_.data(),
-                            recv_.data(), rcounts_.data(), rdispls_.data());
-      });
+      if (wire16) {
+        submit(h, CommOpKind::kAlltoall, [this, seq] {
+          comm_.alltoallv_bf16_seq(seq, send16_.data(), scounts_.data(),
+                                   sdispls_.data(), recv16_.data(),
+                                   rcounts_.data(), rdispls_.data());
+        });
+      } else {
+        submit(h, CommOpKind::kAlltoall, [this, seq] {
+          comm_.alltoallv_seq(seq, send_.data(), scounts_.data(), sdispls_.data(),
+                              recv_.data(), rcounts_.data(), rdispls_.data());
+        });
+      }
       break;
     }
   }
@@ -164,19 +220,30 @@ void EmbeddingExchange::finish_forward(ExchangeHandle& h, float* sliced) {
   const Timer frame;
   const int R = comm_.size();
   const std::int64_t slice = ln_ * e_;
+  const bool wire16 = payload_ == Precision::kBf16;
   if (strategy_ == ExchangeStrategy::kScatterList) {
-    // Data already landed at recv_[t * slice]; copy out (cheap, same layout).
-    for (std::int64_t i = 0; i < s_ * slice; ++i) sliced[i] = recv_[i];
+    // Data already landed at recv[t * slice]; copy out (widening in bf16
+    // mode, same layout either way).
+    if (wire16) {
+      for (std::int64_t i = 0; i < s_ * slice; ++i) sliced[i] = bf16_to_f32(recv16_[i]);
+    } else {
+      for (std::int64_t i = 0; i < s_ * slice; ++i) sliced[i] = recv_[i];
+    }
   } else {
-    // recv_ is grouped by owner rank: for root p, its tables p, p+R, p+2R...
+    // recv is grouped by owner rank: for root p, its tables p, p+R, p+2R...
     // appear consecutively. Scatter them into global table order.
     for (int p = 0; p < R; ++p) {
       const std::int64_t base = prefix_tables(p) * slice;
       std::int64_t k = 0;
       for (std::int64_t t = p; t < s_; t += R, ++k) {
-        const float* src = recv_.data() + base + k * slice;
         float* dst = sliced + t * slice;
-        for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+        if (wire16) {
+          const std::uint16_t* src = recv16_.data() + base + k * slice;
+          for (std::int64_t i = 0; i < slice; ++i) dst[i] = bf16_to_f32(src[i]);
+        } else {
+          const float* src = recv_.data() + base + k * slice;
+          for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+        }
       }
     }
   }
@@ -189,58 +256,95 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
   ExchangeHandle h;
   const Timer frame;
 
+  const bool wire16 = payload_ == Precision::kBf16;
   switch (strategy_) {
     case ExchangeStrategy::kScatterList: {
       // One gather per table: the owner collects every rank's slice grads.
+      // bf16 mode stages the whole dsliced tensor as bf16 in send scratch.
+      if (wire16) {
+        std::uint16_t* pack = send16_.data();
+        for (std::int64_t i = 0; i < s_ * slice; ++i) pack[i] = f32_to_bf16_rne(dsliced[i]);
+      }
       for (std::int64_t t = 0; t < s_; ++t) {
         const int root = static_cast<int>(t % R);
-        const float* src = dsliced + t * slice;
-        float* dst = nullptr;
+        std::int64_t k = 0;
         if (root == comm_.rank()) {
-          std::int64_t k = 0;
           while (owned_ids_[static_cast<std::size_t>(k)] != t) ++k;
-          dst = recv_.data() + k * gn_ * e_;
         }
         const std::uint64_t seq = comm_.ticket();
-        submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
-          comm_.gather_seq(seq, src, dst, slice, root);
-        });
+        if (wire16) {
+          const std::uint16_t* src = send16_.data() + t * slice;
+          std::uint16_t* dst =
+              root == comm_.rank() ? recv16_.data() + k * gn_ * e_ : nullptr;
+          submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
+            comm_.gather_bf16_seq(seq, src, dst, slice, root);
+          });
+        } else {
+          const float* src = dsliced + t * slice;
+          float* dst =
+              root == comm_.rank() ? recv_.data() + k * gn_ * e_ : nullptr;
+          submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
+            comm_.gather_seq(seq, src, dst, slice, root);
+          });
+        }
       }
       break;
     }
     case ExchangeStrategy::kFusedScatter: {
       // Pack grads grouped by owner rank, one gather per root.
-      float* pack = send_.data();
       std::vector<std::int64_t> displs(static_cast<std::size_t>(R));
+      std::int64_t packed = 0;
       for (int p = 0; p < R; ++p) {
-        displs[static_cast<std::size_t>(p)] =
-            static_cast<std::int64_t>(pack - send_.data());
+        displs[static_cast<std::size_t>(p)] = packed;
         for (std::int64_t t = p; t < s_; t += R) {
           const float* src = dsliced + t * slice;
-          for (std::int64_t i = 0; i < slice; ++i) *pack++ = src[i];
+          if (wire16) {
+            std::uint16_t* dst = send16_.data() + packed;
+            for (std::int64_t i = 0; i < slice; ++i) dst[i] = f32_to_bf16_rne(src[i]);
+          } else {
+            float* dst = send_.data() + packed;
+            for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+          }
+          packed += slice;
         }
       }
       for (int root = 0; root < R; ++root) {
         const std::int64_t chunk =
             tables_per_rank_[static_cast<std::size_t>(root)] * slice;
-        const float* src = send_.data() + displs[static_cast<std::size_t>(root)];
-        float* dst = root == comm_.rank() ? recv_.data() : nullptr;
         const std::uint64_t seq = comm_.ticket();
-        submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
-          comm_.gather_seq(seq, src, dst, chunk, root);
-        });
+        if (wire16) {
+          const std::uint16_t* src =
+              send16_.data() + displs[static_cast<std::size_t>(root)];
+          std::uint16_t* dst = root == comm_.rank() ? recv16_.data() : nullptr;
+          submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
+            comm_.gather_bf16_seq(seq, src, dst, chunk, root);
+          });
+        } else {
+          const float* src = send_.data() + displs[static_cast<std::size_t>(root)];
+          float* dst = root == comm_.rank() ? recv_.data() : nullptr;
+          submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
+            comm_.gather_seq(seq, src, dst, chunk, root);
+          });
+        }
       }
       break;
     }
     case ExchangeStrategy::kAlltoall: {
       // Reverse alltoallv: send to peer p its tables' grads from my slice.
-      float* pack = send_.data();
+      std::int64_t packed = 0;
       for (int p = 0; p < R; ++p) {
         scounts_[p] = tables_per_rank_[static_cast<std::size_t>(p)] * slice;
-        sdispls_[p] = static_cast<std::int64_t>(pack - send_.data());
+        sdispls_[p] = packed;
         for (std::int64_t t = p; t < s_; t += R) {
           const float* src = dsliced + t * slice;
-          for (std::int64_t i = 0; i < slice; ++i) *pack++ = src[i];
+          if (wire16) {
+            std::uint16_t* dst = send16_.data() + packed;
+            for (std::int64_t i = 0; i < slice; ++i) dst[i] = f32_to_bf16_rne(src[i]);
+          } else {
+            float* dst = send_.data() + packed;
+            for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+          }
+          packed += slice;
         }
       }
       for (int p = 0; p < R; ++p) {
@@ -248,10 +352,18 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
         rdispls_[p] = static_cast<std::int64_t>(p) * owned_ * slice;
       }
       const std::uint64_t seq = comm_.ticket();
-      submit(h, CommOpKind::kAlltoall, [this, seq] {
-        comm_.alltoallv_seq(seq, send_.data(), scounts_.data(), sdispls_.data(),
-                            recv_.data(), rcounts_.data(), rdispls_.data());
-      });
+      if (wire16) {
+        submit(h, CommOpKind::kAlltoall, [this, seq] {
+          comm_.alltoallv_bf16_seq(seq, send16_.data(), scounts_.data(),
+                                   sdispls_.data(), recv16_.data(),
+                                   rcounts_.data(), rdispls_.data());
+        });
+      } else {
+        submit(h, CommOpKind::kAlltoall, [this, seq] {
+          comm_.alltoallv_seq(seq, send_.data(), scounts_.data(), sdispls_.data(),
+                              recv_.data(), rcounts_.data(), rdispls_.data());
+        });
+      }
       break;
     }
   }
@@ -269,25 +381,36 @@ void EmbeddingExchange::finish_backward(ExchangeHandle& h,
   const Timer frame;
   const int R = comm_.size();
   const std::int64_t slice = ln_ * e_;
+  const bool wire16 = payload_ == Precision::kBf16;
 
   switch (strategy_) {
     case ExchangeStrategy::kScatterList: {
-      // Gathered directly into recv_[k * GN * E] in slice order.
+      // Gathered directly into recv[k * GN * E] in slice order.
       for (std::int64_t k = 0; k < owned_; ++k) {
-        const float* src = recv_.data() + k * gn_ * e_;
         float* dst = grads[static_cast<std::size_t>(k)];
-        for (std::int64_t i = 0; i < gn_ * e_; ++i) dst[i] = src[i];
+        if (wire16) {
+          const std::uint16_t* src = recv16_.data() + k * gn_ * e_;
+          for (std::int64_t i = 0; i < gn_ * e_; ++i) dst[i] = bf16_to_f32(src[i]);
+        } else {
+          const float* src = recv_.data() + k * gn_ * e_;
+          for (std::int64_t i = 0; i < gn_ * e_; ++i) dst[i] = src[i];
+        }
       }
       break;
     }
     case ExchangeStrategy::kFusedScatter:
     case ExchangeStrategy::kAlltoall: {
-      // recv_ holds [peer][owned table][LN][E]: transpose to per-table [GN][E].
+      // recv holds [peer][owned table][LN][E]: transpose to per-table [GN][E].
       for (int p = 0; p < R; ++p) {
         for (std::int64_t k = 0; k < owned_; ++k) {
-          const float* src = recv_.data() + (p * owned_ + k) * slice;
           float* dst = grads[static_cast<std::size_t>(k)] + p * slice;
-          for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+          if (wire16) {
+            const std::uint16_t* src = recv16_.data() + (p * owned_ + k) * slice;
+            for (std::int64_t i = 0; i < slice; ++i) dst[i] = bf16_to_f32(src[i]);
+          } else {
+            const float* src = recv_.data() + (p * owned_ + k) * slice;
+            for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+          }
         }
       }
       break;

@@ -24,6 +24,7 @@
 
 #include "comm/backend.hpp"
 #include "comm/thread_comm.hpp"
+#include "common/types.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dlrm {
@@ -43,14 +44,19 @@ struct ExchangeHandle {
 class EmbeddingExchange {
  public:
   /// `tables` = S (global), `dim` = E, `global_batch` = GN. Table t is owned
-  /// by rank t % R; GN must be divisible by R.
+  /// by rank t % R; GN must be divisible by R. `payload` selects the wire
+  /// format: kBf16 converts embedding rows / gradients to bf16 (RNE) before
+  /// the exchange and widens after it, halving the alltoall volume (Eq. 2)
+  /// — available for all three strategies.
   EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
                     ExchangeStrategy strategy, std::int64_t tables,
-                    std::int64_t dim, std::int64_t global_batch);
+                    std::int64_t dim, std::int64_t global_batch,
+                    Precision payload = Precision::kFp32);
 
   std::int64_t local_batch() const { return ln_; }
   std::int64_t owned_tables() const { return owned_; }
   ExchangeStrategy strategy() const { return strategy_; }
+  Precision payload_precision() const { return payload_; }
 
   /// Global table ids owned by this rank, in increasing order.
   const std::vector<std::int64_t>& owned_ids() const { return owned_ids_; }
@@ -88,13 +94,16 @@ class EmbeddingExchange {
   ThreadComm& comm_;
   QueueBackend* backend_;  // may be null → blocking mode
   ExchangeStrategy strategy_;
+  Precision payload_;
   std::int64_t s_, e_, gn_, ln_;
   std::int64_t owned_ = 0;
   std::vector<std::int64_t> owned_ids_;
   std::vector<std::int64_t> tables_per_rank_;
 
   // Scratch: packed send/recv + alltoallv layout arrays (must outlive ops).
+  // The u16 pair replaces the fp32 pair when the payload is bf16.
   Tensor<float> send_, recv_;
+  Tensor<std::uint16_t> send16_, recv16_;
   Tensor<std::int64_t> scounts_, sdispls_, rcounts_, rdispls_;
 };
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/threadpool.hpp"
+#include "common/types.hpp"
 
 namespace dlrm {
 
@@ -33,6 +34,11 @@ namespace {
 
 void copy_floats(float* __restrict__ dst, const float* __restrict__ src,
                  std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+void copy_u16(std::uint16_t* __restrict__ dst,
+              const std::uint16_t* __restrict__ src, std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
 }
 
@@ -102,6 +108,103 @@ void ThreadComm::allreduce_seq(std::uint64_t seq, float* data, std::int64_t n) {
     const std::int64_t plo = chunk_begin(n, p, R);
     const std::int64_t phi = chunk_begin(n, p + 1, R);
     copy_floats(data + plo, ctx->recv[static_cast<std::size_t>(p)] + plo, phi - plo);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::reduce_scatter_bf16_seq(std::uint64_t seq,
+                                         std::uint16_t* data, std::int64_t n) {
+  const int R = size();
+  auto ctx = world_->context(seq);
+  ctx->recv16[static_cast<std::size_t>(rank_)] = data;
+  ctx->barrier.arrive_and_wait();
+  // Rank r owns chunk r: decode every rank's chunk r, sum in fp32, round
+  // once. Peers only write their own chunks, so foreign reads are safe.
+  const std::int64_t lo = chunk_begin(n, rank_, R);
+  const std::int64_t hi = chunk_begin(n, rank_ + 1, R);
+  for (std::int64_t i = lo; i < hi; ++i) {
+    float acc = bf16_to_f32(data[i]);
+    for (int p = 0; p < R; ++p) {
+      if (p == rank_) continue;
+      acc += bf16_to_f32(ctx->recv16[static_cast<std::size_t>(p)][i]);
+    }
+    data[i] = f32_to_bf16_rne(acc);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::allgather_chunks_bf16_seq(std::uint64_t seq,
+                                           std::uint16_t* data,
+                                           std::int64_t n) {
+  const int R = size();
+  auto ctx = world_->context(seq);
+  ctx->recv16[static_cast<std::size_t>(rank_)] = data;
+  ctx->barrier.arrive_and_wait();
+  for (int p = 0; p < R; ++p) {
+    if (p == rank_) continue;
+    const std::int64_t lo = chunk_begin(n, p, R);
+    const std::int64_t hi = chunk_begin(n, p + 1, R);
+    copy_u16(data + lo, ctx->recv16[static_cast<std::size_t>(p)] + lo, hi - lo);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::alltoallv_bf16_seq(std::uint64_t seq,
+                                    const std::uint16_t* send,
+                                    const std::int64_t* scounts,
+                                    const std::int64_t* sdispls,
+                                    std::uint16_t* recv,
+                                    const std::int64_t* rcounts,
+                                    const std::int64_t* rdispls) {
+  const int R = size();
+  auto ctx = world_->context(seq);
+  ctx->send16[static_cast<std::size_t>(rank_)] = send;
+  ctx->counts[static_cast<std::size_t>(rank_)] = scounts;
+  ctx->displs[static_cast<std::size_t>(rank_)] = sdispls;
+  ctx->barrier.arrive_and_wait();
+  for (int p = 0; p < R; ++p) {
+    const std::int64_t n = rcounts[p];
+    DLRM_DCHECK(n == ctx->counts[static_cast<std::size_t>(p)][rank_],
+                "alltoallv count mismatch");
+    copy_u16(recv + rdispls[p],
+             ctx->send16[static_cast<std::size_t>(p)] +
+                 ctx->displs[static_cast<std::size_t>(p)][rank_],
+             n);
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::scatter_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                                  std::uint16_t* recv, std::int64_t chunk,
+                                  int root) {
+  auto ctx = world_->context(seq);
+  if (rank_ == root) {
+    DLRM_CHECK(send != nullptr, "root must provide a send buffer");
+    ctx->send16[static_cast<std::size_t>(rank_)] = send;
+  }
+  ctx->barrier.arrive_and_wait();
+  copy_u16(recv, ctx->send16[static_cast<std::size_t>(root)] + rank_ * chunk,
+           chunk);
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::gather_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                                 std::uint16_t* recv, std::int64_t chunk,
+                                 int root) {
+  auto ctx = world_->context(seq);
+  ctx->send16[static_cast<std::size_t>(rank_)] = send;
+  ctx->barrier.arrive_and_wait();
+  if (rank_ == root) {
+    DLRM_CHECK(recv != nullptr, "root must provide a recv buffer");
+    for (int p = 0; p < size(); ++p) {
+      copy_u16(recv + p * chunk, ctx->send16[static_cast<std::size_t>(p)],
+               chunk);
+    }
   }
   ctx->barrier.arrive_and_wait();
   world_->release(seq, ctx);

@@ -52,11 +52,15 @@ class CommWorld {
         : barrier(ranks),
           send(static_cast<std::size_t>(ranks), nullptr),
           recv(static_cast<std::size_t>(ranks), nullptr),
+          send16(static_cast<std::size_t>(ranks), nullptr),
+          recv16(static_cast<std::size_t>(ranks), nullptr),
           counts(static_cast<std::size_t>(ranks), nullptr),
           displs(static_cast<std::size_t>(ranks), nullptr) {}
     SpinBarrier barrier;
     std::vector<const float*> send;
     std::vector<float*> recv;
+    std::vector<const std::uint16_t*> send16;  // bf16-payload collectives
+    std::vector<std::uint16_t*> recv16;
     std::vector<const std::int64_t*> counts;  // alltoallv layouts
     std::vector<const std::int64_t*> displs;
     std::atomic<int> finished{0};
@@ -137,6 +141,33 @@ class ThreadComm {
   void gather(const float* send, float* recv, std::int64_t chunk, int root) {
     gather_seq(ticket(), send, recv, chunk, root);
   }
+
+  // --- bf16-payload collectives (paper Sect. III.C / VII) -----------------
+  //
+  // Buffers hold raw bf16 bits. Reductions decode to fp32, accumulate in
+  // fp32 across all ranks and round once (RNE) — the 2-byte wire format the
+  // paper uses for gradient allreduce and embedding exchange in BF16 mode.
+  // Pure-movement collectives copy the 2-byte payload unchanged.
+
+  void allreduce_bf16(std::uint16_t* data, std::int64_t n) {
+    const std::uint64_t rs = ticket(), ag = ticket();
+    reduce_scatter_bf16_seq(rs, data, n);
+    allgather_chunks_bf16_seq(ag, data, n);
+  }
+
+  void reduce_scatter_bf16_seq(std::uint64_t seq, std::uint16_t* data,
+                               std::int64_t n);
+  void allgather_chunks_bf16_seq(std::uint64_t seq, std::uint16_t* data,
+                                 std::int64_t n);
+  void alltoallv_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                          const std::int64_t* scounts,
+                          const std::int64_t* sdispls, std::uint16_t* recv,
+                          const std::int64_t* rcounts,
+                          const std::int64_t* rdispls);
+  void scatter_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                        std::uint16_t* recv, std::int64_t chunk, int root);
+  void gather_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                       std::uint16_t* recv, std::int64_t chunk, int root);
 
   // --- Ticketed variants (for asynchronous backends) ----------------------
 

@@ -19,16 +19,33 @@
 
 namespace dlrm {
 
+/// Storage/compute precision of the dense MLP data path (paper Sect. III.B–C):
+/// kBf16 runs FWD / BWD-data / BWD-weights on bf16 activations and weights
+/// with fp32 accumulators, fp32 bias/loss, and Split-SGD master weights.
+enum class Precision { kFp32, kBf16 };
+
+inline const char* to_string(Precision p) {
+  return p == Precision::kBf16 ? "bf16" : "fp32";
+}
+
 // ---------------------------------------------------------------------------
 // bf16
 // ---------------------------------------------------------------------------
 
 /// Converts fp32 -> bf16 bits with round-to-nearest-even.
+///
+/// Edge cases: ±inf and ±0 convert exactly; values whose rounding overflows
+/// the exponent become ±inf (standard RNE); fp32 subnormals round onto the
+/// bf16 subnormal grid (the bias add carries into the exponent field
+/// correctly); NaNs keep sign and the top 7 payload bits, and the quiet bit
+/// is forced only when the truncated payload would be all-zero (which would
+/// otherwise alias ±inf) — so every bf16 NaN payload round-trips bit-exactly.
 inline std::uint16_t f32_to_bf16_rne(float f) {
   std::uint32_t x = std::bit_cast<std::uint32_t>(f);
   if ((x & 0x7FFFFFFFu) > 0x7F800000u) {
-    // NaN: quiet it, keep the sign.
-    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+    std::uint16_t r = static_cast<std::uint16_t>(x >> 16);
+    if ((r & 0x007Fu) == 0) r |= 0x0040u;  // keep it a NaN, not an inf
+    return r;
   }
   const std::uint32_t lsb = (x >> 16) & 1u;
   x += 0x7FFFu + lsb;  // RNE bias
@@ -65,6 +82,18 @@ struct bf16 {
 };
 
 inline float to_float(bf16 v) { return static_cast<float>(v); }
+
+/// Bulk fp32 -> bf16 (RNE) conversion; the inner loop auto-vectorizes.
+inline void f32_to_bf16_n(const float* __restrict__ src, bf16* __restrict__ dst,
+                          std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = bf16(src[i]);
+}
+
+/// Bulk bf16 -> fp32 (exact widening) conversion.
+inline void bf16_to_f32_n(const bf16* __restrict__ src, float* __restrict__ dst,
+                          std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = bf16_to_f32(src[i].bits);
+}
 
 // ---------------------------------------------------------------------------
 // fp16 (IEEE binary16), software conversion
@@ -165,7 +194,10 @@ inline float f32_to_f24_rne(float f) {
 inline std::uint16_t f32_to_bf16_stochastic(float f, std::uint16_t random16) {
   std::uint32_t x = std::bit_cast<std::uint32_t>(f);
   if ((x & 0x7FFFFFFFu) > 0x7F800000u) {
-    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+    // Same NaN policy as the RNE conversion: preserve payload when possible.
+    std::uint16_t r = static_cast<std::uint16_t>(x >> 16);
+    if ((r & 0x007Fu) == 0) r |= 0x0040u;
+    return r;
   }
   x += random16;
   return static_cast<std::uint16_t>(x >> 16);

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace dlrm {
 
 /// A DLRM topology + benchmark parameters.
@@ -33,6 +35,11 @@ struct DlrmConfig {
   // Interaction output padding multiple (0/1 = no padding).
   std::int64_t interaction_pad = 32;
 
+  // MLP data-path precision (paper Sect. III.C / Fig. 16): bf16 runs the
+  // whole dense stack — blocked tensors, batch-reduce GEMMs, gradient wire
+  // format — in bf16 with fp32 accumulation and Split-SGD master weights.
+  Precision mlp_precision = Precision::kFp32;
+
   std::int64_t tables() const { return static_cast<std::int64_t>(table_rows.size()); }
 
   /// Interaction output width before padding: E + (S+1)S/2 with S+1 features.
@@ -54,6 +61,12 @@ struct DlrmConfig {
   /// Eq. 1: allreduce element count = sum over all MLP layers of
   /// f_in*f_out + f_out (weights + bias gradients).
   std::int64_t allreduce_elems() const;
+
+  /// Allreduce wire volume in bytes for a given gradient payload precision:
+  /// bf16 payloads (2 bytes/elem) halve the Table II volumes.
+  std::int64_t allreduce_bytes(Precision wire) const {
+    return allreduce_elems() * (wire == Precision::kBf16 ? 2 : 4);
+  }
 
   /// Eq. 2: total alltoall element volume for global minibatch `gn`.
   std::int64_t alltoall_elems(std::int64_t gn) const { return tables() * gn * dim; }

@@ -33,14 +33,20 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
       backend_(options.overlap ? backend : nullptr),
       gn_(global_batch),
       bottom_(config.bottom_mlp, Activation::kRelu, Activation::kRelu,
-              options.blocks),
+              options.blocks, config.mlp_precision),
       top_(config.top_mlp_full(), Activation::kRelu, Activation::kNone,
-           options.blocks),
+           options.blocks, config.mlp_precision),
       interaction_(config.tables() + 1, config.dim,
                    config.interaction_pad <= 1 ? 1 : config.interaction_pad),
       exchange_(comm, options.overlap ? backend : nullptr, options.exchange,
-                config.tables(), config.dim, global_batch),
-      ddp_(comm, options.overlap ? backend : nullptr, options.ddp_buckets) {
+                config.tables(), config.dim, global_batch,
+                options.bf16_wire && config.mlp_precision == Precision::kBf16
+                    ? Precision::kBf16
+                    : Precision::kFp32),
+      ddp_(comm, options.overlap ? backend : nullptr, options.ddp_buckets,
+           options.bf16_wire && config.mlp_precision == Precision::kBf16
+               ? Precision::kBf16
+               : Precision::kFp32) {
   config_.validate();
   ln_ = gn_ / comm_.size();
 
@@ -77,7 +83,9 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
   auto bslots = bottom_.param_slots();
   slots.insert(slots.end(), bslots.begin(), bslots.end());
   ddp_.attach(slots);
-  opt_ = std::make_unique<SgdFp32>();
+  // The dense optimizer matches the MLP precision: Split-SGD keeps the bf16
+  // working weights + hidden low halves bit-identical to an fp32 master.
+  opt_ = make_dense_optimizer(config_.mlp_precision);
   opt_->attach(slots);
 }
 

@@ -47,6 +47,10 @@ struct DistributedOptions {
   BlockTargets blocks{};
   float lr = 0.1f;
   std::uint64_t seed = 42;
+  /// When the config's MLP precision is bf16, also move gradients and
+  /// exchanged embedding rows as 2-byte bf16 payloads (half the wire volume
+  /// of Eqs. 1–2). Set false to ablate: bf16 compute with fp32 comm.
+  bool bf16_wire = true;
 };
 
 /// One rank's shard of the hybrid-parallel DLRM. Construct one per rank
@@ -97,7 +101,7 @@ class DistributedDlrm {
   DotInteraction interaction_;
   EmbeddingExchange exchange_;
   DdpAllreducer ddp_;
-  std::unique_ptr<SgdFp32> opt_;
+  std::unique_ptr<Optimizer> opt_;  // matches config.mlp_precision
 
   // Activations / gradients (local slice unless noted).
   std::vector<Tensor<float>> emb_out_;   // per owned table [GN][E]

@@ -28,9 +28,9 @@ DlrmModel::DlrmModel(const DlrmConfig& config, ModelOptions options,
     : config_(config),
       options_(options),
       bottom_(config.bottom_mlp, Activation::kRelu, Activation::kRelu,
-              options.blocks),
+              options.blocks, config.mlp_precision),
       top_(config.top_mlp_full(), Activation::kRelu, Activation::kNone,
-           options.blocks),
+           options.blocks, config.mlp_precision),
       interaction_(config.tables() + 1, config.dim,
                    config.interaction_pad <= 1 ? 1 : config.interaction_pad) {
   config_.validate();

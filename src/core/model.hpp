@@ -17,7 +17,9 @@
 
 namespace dlrm {
 
-/// Knobs independent of the topology (Table I) itself.
+/// Knobs independent of the topology (Table I) itself. The MLP data-path
+/// precision is part of DlrmConfig (`mlp_precision`), mirroring how the
+/// paper treats precision as a property of the training configuration.
 struct ModelOptions {
   EmbedPrecision embed_precision = EmbedPrecision::kFp32;
   UpdateStrategy update_strategy = UpdateStrategy::kRaceFree;

@@ -13,6 +13,17 @@ Trainer::Trainer(DlrmModel& model, Optimizer& opt, const Dataset& data,
   model_.set_batch(options_.batch);
 }
 
+Trainer::Trainer(DlrmModel& model, const Dataset& data, TrainerOptions options)
+    : model_(model),
+      owned_opt_(make_dense_optimizer(model.config().mlp_precision)),
+      opt_(*owned_opt_),
+      data_(data),
+      options_(options) {
+  DLRM_CHECK(options_.batch > 0, "batch must be positive");
+  owned_opt_->attach(model_.mlp_param_slots());
+  model_.set_batch(options_.batch);
+}
+
 double Trainer::train(std::int64_t iters, Profiler* prof) {
   Meter loss;
   for (std::int64_t i = 0; i < iters; ++i) {

@@ -34,6 +34,13 @@ class Trainer {
   Trainer(DlrmModel& model, Optimizer& opt, const Dataset& data,
           TrainerOptions options);
 
+  /// Convenience: builds and owns the dense optimizer matching the model's
+  /// MLP precision (fp32 -> SGD-FP32, bf16 -> Split-SGD-BF16) and attaches
+  /// it to the model's MLP parameter slots.
+  Trainer(DlrmModel& model, const Dataset& data, TrainerOptions options);
+
+  const Optimizer& optimizer() const { return opt_; }
+
   /// Trains on `train_samples` total samples; evaluates ROC-AUC on
   /// `eval_samples` held-out samples at each of `eval_points` evenly spaced
   /// checkpoints (e.g. 20 → every 5% of the "epoch", as in Fig. 16).
@@ -55,6 +62,7 @@ class Trainer {
 
  private:
   DlrmModel& model_;
+  std::unique_ptr<Optimizer> owned_opt_;  // only set by the owning ctor
   Optimizer& opt_;
   const Dataset& data_;
   TrainerOptions options_;

@@ -57,6 +57,77 @@ void brgemm_generic(const float* const* a, const float* const* b, float* c,
   }
 }
 
+// bf16 fixed-width inner kernel: fp32 accumulator tile acc[NB] stays in
+// vector registers across the K x count reduction; each step consumes a VNNI
+// pair of B rows, emulating vdpbf16ps (bf16 products, fp32 accumulate).
+template <int NB>
+void brgemm_bf16_fixed(const bf16* const* a, const bf16* const* b, float* c,
+                       int count, int m, int k, bool accumulate) {
+  const int kp = k / 2;
+  for (int im = 0; im < m; ++im) {
+    float acc[NB];
+    float* __restrict__ crow = c + static_cast<std::int64_t>(im) * NB;
+    if (accumulate) {
+      for (int j = 0; j < NB; ++j) acc[j] = crow[j];
+    } else {
+      for (int j = 0; j < NB; ++j) acc[j] = 0.0f;
+    }
+    for (int i = 0; i < count; ++i) {
+      const bf16* __restrict__ arow = a[i] + static_cast<std::int64_t>(im) * k;
+      const bf16* __restrict__ bmat = b[i];
+      for (int p = 0; p < kp; ++p) {
+        const float a0 = to_float(arow[2 * p]);
+        const float a1 = to_float(arow[2 * p + 1]);
+        const bf16* __restrict__ bpair =
+            bmat + static_cast<std::int64_t>(p) * NB * 2;
+        for (int j = 0; j < NB; ++j) {
+          acc[j] += a0 * to_float(bpair[2 * j]) + a1 * to_float(bpair[2 * j + 1]);
+        }
+      }
+      if (k & 1) {
+        // Tail reduction element: the B pad lane holds +0, so only the first
+        // lane of the last pair contributes.
+        const float a0 = to_float(arow[k - 1]);
+        const bf16* __restrict__ bpair =
+            bmat + static_cast<std::int64_t>(kp) * NB * 2;
+        for (int j = 0; j < NB; ++j) acc[j] += a0 * to_float(bpair[2 * j]);
+      }
+    }
+    for (int j = 0; j < NB; ++j) crow[j] = acc[j];
+  }
+}
+
+// Generic runtime-width bf16 fallback for odd tile widths.
+void brgemm_bf16_generic(const bf16* const* a, const bf16* const* b, float* c,
+                         int count, int m, int k, int n, bool accumulate) {
+  const int kp = k / 2;
+  for (int im = 0; im < m; ++im) {
+    float* __restrict__ crow = c + static_cast<std::int64_t>(im) * n;
+    if (!accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (int i = 0; i < count; ++i) {
+      const bf16* __restrict__ arow = a[i] + static_cast<std::int64_t>(im) * k;
+      const bf16* __restrict__ bmat = b[i];
+      for (int p = 0; p < kp; ++p) {
+        const float a0 = to_float(arow[2 * p]);
+        const float a1 = to_float(arow[2 * p + 1]);
+        const bf16* __restrict__ bpair =
+            bmat + static_cast<std::int64_t>(p) * n * 2;
+        for (int j = 0; j < n; ++j) {
+          crow[j] += a0 * to_float(bpair[2 * j]) + a1 * to_float(bpair[2 * j + 1]);
+        }
+      }
+      if (k & 1) {
+        const float a0 = to_float(arow[k - 1]);
+        const bf16* __restrict__ bpair =
+            bmat + static_cast<std::int64_t>(kp) * n * 2;
+        for (int j = 0; j < n; ++j) crow[j] += a0 * to_float(bpair[2 * j]);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void batchreduce_gemm(const float* const* a, const float* const* b, float* c,
@@ -114,6 +185,47 @@ void batchreduce_gemm_at(const float* const* a, const float* const* b,
         const float av = acol[static_cast<std::int64_t>(ik) * m];
         const float* __restrict__ brow = bmat + static_cast<std::int64_t>(ik) * n;
         for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void batchreduce_gemm_bf16(const bf16* const* a, const bf16* const* b,
+                           float* c, int count, int m, int k, int n,
+                           bool accumulate) {
+  switch (n) {
+    case 16:
+      brgemm_bf16_fixed<16>(a, b, c, count, m, k, accumulate);
+      return;
+    case 32:
+      brgemm_bf16_fixed<32>(a, b, c, count, m, k, accumulate);
+      return;
+    case 64:
+      brgemm_bf16_fixed<64>(a, b, c, count, m, k, accumulate);
+      return;
+    default:
+      brgemm_bf16_generic(a, b, c, count, m, k, n, accumulate);
+  }
+}
+
+void batchreduce_gemm_bf16_at(const bf16* const* a, const bf16* const* b,
+                              float* c, int count, int m, int k, int n,
+                              bool accumulate) {
+  // A_i stored [K][M] bf16; column im is a strided read. B_i is a plain
+  // [K][N] bf16 activation-gradient tile (produced per iteration, so not
+  // worth VNNI-reformatting); all products accumulate in fp32.
+  for (int im = 0; im < m; ++im) {
+    float* __restrict__ crow = c + static_cast<std::int64_t>(im) * n;
+    if (!accumulate) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (int i = 0; i < count; ++i) {
+      const bf16* __restrict__ acol = a[i] + im;  // stride m
+      const bf16* __restrict__ bmat = b[i];
+      for (int ik = 0; ik < k; ++ik) {
+        const float av = to_float(acol[static_cast<std::int64_t>(ik) * m]);
+        const bf16* __restrict__ brow = bmat + static_cast<std::int64_t>(ik) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * to_float(brow[j]);
       }
     }
   }

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "common/types.hpp"
+
 namespace dlrm {
 
 /// C[M][N] (+)= sum_{i<count} A_i[M][K_i] * B_i[K_i][N].
@@ -46,5 +48,27 @@ void gemm_flat_parallel(const float* a, const float* b, float* c,
 void batchreduce_gemm_at(const float* const* a, const float* const* b,
                          float* c, int count, int m, int k, int n,
                          bool accumulate);
+
+// ---------------------------------------------------------------------------
+// bf16 batch-reduce GEMM (paper Sect. III.C): bf16 A/B tiles, fp32
+// accumulators. The B tiles carry the VNNI pairing [ceil(K/2)][N][2] — two
+// consecutive reduction elements adjacent in memory — so each inner step is
+// the scalar emulation of an AVX512-BF16 vdpbf16ps: acc += a0*b0 + a1*b1
+// with products and sums in fp32. Odd K is zero-padded on the B side and
+// tail-handled on the A side.
+// ---------------------------------------------------------------------------
+
+/// C[M][N] (+)= sum_{i<count} A_i[M][K] * B_i[K][N] with A_i row-major bf16
+/// tiles and B_i VNNI-paired bf16 tiles ([ceil(K/2)][N][2]). C stays fp32.
+void batchreduce_gemm_bf16(const bf16* const* a, const bf16* const* b,
+                           float* c, int count, int m, int k, int n,
+                           bool accumulate);
+
+/// C[M][N] (+)= A^T[M][K] * B[K][N] with A_i stored [K][M] row-major bf16
+/// (activations read transposed on the fly, backward-by-weights) and B_i
+/// plain row-major bf16 [K][N]. C stays fp32.
+void batchreduce_gemm_bf16_at(const bf16* const* a, const bf16* const* b,
+                              float* c, int count, int m, int k, int n,
+                              bool accumulate);
 
 }  // namespace dlrm

@@ -55,10 +55,11 @@ void apply_activation_grad_buf(Activation act, const float* y, float* dy,
 // ---------------------------------------------------------------------------
 
 FullyConnected::FullyConnected(std::int64_t c, std::int64_t k, Activation act,
-                               BlockTargets targets)
+                               BlockTargets targets, Precision precision)
     : c_(c),
       k_(k),
       act_(act),
+      prec_(precision),
       bc_(pick_block(c, targets.bc)),
       bk_(pick_block(k, targets.bk)),
       w_(k, c, bk_, bc_),
@@ -70,6 +71,10 @@ FullyConnected::FullyConnected(std::int64_t c, std::int64_t k, Activation act,
   dw_.raw().zero();
   bias_.zero();
   dbias_.zero();
+  if (prec_ == Precision::kBf16) {
+    wv_ = VnniWeights(k, c, bk_, bc_);
+    wtv_ = VnniWeights(c, k, bc_, bk_);
+  }
 }
 
 void FullyConnected::init(Rng& rng) {
@@ -79,6 +84,7 @@ void FullyConnected::init(Rng& rng) {
   w_.pack_from(flat.data());
   bias_.zero();
   wt_valid_ = false;
+  wtv_valid_ = false;
 }
 
 void FullyConnected::forward(const BlockedActivations& x,
@@ -222,17 +228,171 @@ void FullyConnected::backward(const BlockedActivations& x,
 }
 
 // ---------------------------------------------------------------------------
+// FullyConnected — bf16 data path (paper Sect. III.C)
+// ---------------------------------------------------------------------------
+
+void FullyConnected::forward(const BlockedActivationsBf16& x,
+                             BlockedActivationsBf16& y) const {
+  DLRM_CHECK(prec_ == Precision::kBf16, "layer not built in bf16 mode");
+  DLRM_CHECK(x.c() == c_ && y.c() == k_ && x.n() == y.n(),
+             "FullyConnected::forward shape mismatch");
+  DLRM_CHECK(x.bc() == bc_ && y.bc() == bk_ && x.bn() == y.bn(),
+             "FullyConnected::forward blocking mismatch");
+  // Refresh the bf16 VNNI mirror of w_ (lossless under Split-SGD, RNE
+  // otherwise) on every forward, mirroring the fp32 path's invalidation
+  // policy: weights may have been stepped or overwritten since the last
+  // call, and the tile-parallel repack is O(K*C) against the pass's
+  // O(N*K*C). W^T is rebuilt lazily by backward_data.
+  wv_.pack_from(w_);
+  wtv_valid_ = false;
+  wt_valid_ = false;
+
+  const std::int64_t nb = x.nb(), kb = w_.kb(), cb = w_.cb();
+  const std::int64_t bn = x.bn();
+  const float* bias = bias_.data();
+  const Activation act = act_;
+
+  parallel_for(0, kb * nb, [&, bn](std::int64_t lo, std::int64_t hi) {
+    std::vector<const bf16*> aptrs(static_cast<std::size_t>(cb));
+    std::vector<const bf16*> bptrs(static_cast<std::size_t>(cb));
+    std::vector<float> tile(static_cast<std::size_t>(bn * bk_));
+    for (std::int64_t idx = lo; idx < hi; ++idx) {
+      const std::int64_t ikb = idx / nb;
+      const std::int64_t inb = idx % nb;
+      for (std::int64_t icb = 0; icb < cb; ++icb) {
+        aptrs[static_cast<std::size_t>(icb)] = x.block(icb, inb);
+        bptrs[static_cast<std::size_t>(icb)] = wv_.block(ikb, icb);
+      }
+      batchreduce_gemm_bf16(aptrs.data(), bptrs.data(), tile.data(),
+                            static_cast<int>(cb), static_cast<int>(bn),
+                            static_cast<int>(bc_), static_cast<int>(bk_),
+                            /*accumulate=*/false);
+      // Bias + activation in fp32 while the tile is hot, then one RNE
+      // down-convert into the bf16 activation tensor.
+      const float* brow = bias + ikb * bk_;
+      for (std::int64_t in = 0; in < bn; ++in) {
+        float* row = tile.data() + in * bk_;
+        for (std::int64_t j = 0; j < bk_; ++j) row[j] += brow[j];
+      }
+      apply_activation(act, tile.data(), bn * bk_);
+      f32_to_bf16_n(tile.data(), const_cast<bf16*>(y.block(ikb, inb)),
+                    bn * bk_);
+    }
+  });
+}
+
+void FullyConnected::apply_activation_grad(const BlockedActivationsBf16& y,
+                                           BlockedActivationsBf16& dy) const {
+  if (act_ == Activation::kNone) return;
+  const std::int64_t total = y.raw().size();
+  const bf16* yp = y.raw().data();
+  bf16* dp = dy.raw().data();
+  const Activation act = act_;
+  parallel_for(0, total, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float yv = to_float(yp[i]);
+      if (act == Activation::kRelu) {
+        if (yv <= 0.0f) dp[i] = bf16();
+      } else {  // sigmoid
+        dp[i] = bf16(to_float(dp[i]) * yv * (1.0f - yv));
+      }
+    }
+  });
+}
+
+void FullyConnected::backward_data(const BlockedActivationsBf16& dy,
+                                   BlockedActivationsBf16& dx) const {
+  DLRM_CHECK(prec_ == Precision::kBf16, "layer not built in bf16 mode");
+  if (!wtv_valid_) {
+    wtv_.pack_transposed_from(w_);
+    wtv_valid_ = true;
+  }
+
+  const std::int64_t nb = dy.nb(), kb = w_.kb(), cb = w_.cb();
+  const std::int64_t bn = dy.bn();
+  parallel_for(0, cb * nb, [&, bn](std::int64_t lo, std::int64_t hi) {
+    std::vector<const bf16*> aptrs(static_cast<std::size_t>(kb));
+    std::vector<const bf16*> bptrs(static_cast<std::size_t>(kb));
+    std::vector<float> tile(static_cast<std::size_t>(bn * bc_));
+    for (std::int64_t idx = lo; idx < hi; ++idx) {
+      const std::int64_t icb = idx / nb;
+      const std::int64_t inb = idx % nb;
+      for (std::int64_t ikb = 0; ikb < kb; ++ikb) {
+        aptrs[static_cast<std::size_t>(ikb)] = dy.block(ikb, inb);
+        bptrs[static_cast<std::size_t>(ikb)] = wtv_.block(icb, ikb);
+      }
+      batchreduce_gemm_bf16(aptrs.data(), bptrs.data(), tile.data(),
+                            static_cast<int>(kb), static_cast<int>(bn),
+                            static_cast<int>(bk_), static_cast<int>(bc_),
+                            /*accumulate=*/false);
+      f32_to_bf16_n(tile.data(), const_cast<bf16*>(dx.block(icb, inb)),
+                    bn * bc_);
+    }
+  });
+}
+
+void FullyConnected::backward_weights(const BlockedActivationsBf16& x,
+                                      const BlockedActivationsBf16& dy) {
+  DLRM_CHECK(prec_ == Precision::kBf16, "layer not built in bf16 mode");
+  const std::int64_t nb = x.nb(), kb = w_.kb(), cb = w_.cb();
+  const std::int64_t bn = x.bn();
+
+  // dW stays fp32: it feeds ParamSlot, DDP and the split-SGD update.
+  parallel_for(0, kb * cb, [&, bn](std::int64_t lo, std::int64_t hi) {
+    std::vector<const bf16*> aptrs(static_cast<std::size_t>(nb));
+    std::vector<const bf16*> bptrs(static_cast<std::size_t>(nb));
+    for (std::int64_t idx = lo; idx < hi; ++idx) {
+      const std::int64_t ikb = idx / cb;
+      const std::int64_t icb = idx % cb;
+      for (std::int64_t inb = 0; inb < nb; ++inb) {
+        aptrs[static_cast<std::size_t>(inb)] = x.block(icb, inb);
+        bptrs[static_cast<std::size_t>(inb)] = dy.block(ikb, inb);
+      }
+      batchreduce_gemm_bf16_at(aptrs.data(), bptrs.data(), dw_.block(ikb, icb),
+                               static_cast<int>(nb), static_cast<int>(bc_),
+                               static_cast<int>(bn), static_cast<int>(bk_),
+                               /*accumulate=*/false);
+    }
+  });
+
+  // Bias gradient in fp32: db[k] = sum_n dy[n][k].
+  float* db = dbias_.data();
+  parallel_for(0, kb, [&, bn](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t ikb = lo; ikb < hi; ++ikb) {
+      float* dbrow = db + ikb * bk_;
+      for (std::int64_t j = 0; j < bk_; ++j) dbrow[j] = 0.0f;
+      for (std::int64_t inb = 0; inb < nb; ++inb) {
+        const bf16* tile = dy.block(ikb, inb);
+        for (std::int64_t in = 0; in < bn; ++in) {
+          const bf16* row = tile + in * bk_;
+          for (std::int64_t j = 0; j < bk_; ++j) dbrow[j] += to_float(row[j]);
+        }
+      }
+    }
+  });
+}
+
+void FullyConnected::backward(const BlockedActivationsBf16& x,
+                              const BlockedActivationsBf16& y,
+                              BlockedActivationsBf16& dy,
+                              BlockedActivationsBf16& dx) {
+  apply_activation_grad(y, dy);
+  backward_weights(x, dy);
+  backward_data(dy, dx);
+}
+
+// ---------------------------------------------------------------------------
 // Mlp
 // ---------------------------------------------------------------------------
 
 Mlp::Mlp(std::vector<std::int64_t> dims, Activation hidden_act,
-         Activation final_act, BlockTargets targets)
-    : dims_(std::move(dims)), targets_(targets) {
+         Activation final_act, BlockTargets targets, Precision precision)
+    : dims_(std::move(dims)), targets_(targets), prec_(precision) {
   DLRM_CHECK(dims_.size() >= 2, "Mlp needs at least one layer");
   for (std::size_t i = 0; i + 1 < dims_.size(); ++i) {
     const Activation act =
         (i + 2 == dims_.size()) ? final_act : hidden_act;
-    layers_.emplace_back(dims_[i], dims_[i + 1], act, targets_);
+    layers_.emplace_back(dims_[i], dims_[i + 1], act, targets_, prec_);
   }
 }
 
@@ -246,13 +406,20 @@ void Mlp::set_batch(std::int64_t n) {
   const std::int64_t bn = pick_block(n, targets_.bn);
   acts_.clear();
   dacts_.clear();
+  acts16_.clear();
+  dacts16_.clear();
   for (std::size_t i = 0; i < dims_.size(); ++i) {
     const std::int64_t width = dims_[i];
     const std::int64_t blk =
         (i == 0) ? layers_.front().bc()
                  : layers_[i - 1].bk();  // boundary width block
-    acts_.emplace_back(n, width, bn, blk);
-    dacts_.emplace_back(n, width, bn, blk);
+    if (prec_ == Precision::kBf16) {
+      acts16_.emplace_back(n, width, bn, blk);
+      dacts16_.emplace_back(n, width, bn, blk);
+    } else {
+      acts_.emplace_back(n, width, bn, blk);
+      dacts_.emplace_back(n, width, bn, blk);
+    }
   }
   out_flat_.reshape({n, dims_.back()});
   dx_flat_.reshape({n, dims_.front()});
@@ -261,6 +428,14 @@ void Mlp::set_batch(std::int64_t n) {
 const Tensor<float>& Mlp::forward(const Tensor<float>& x_flat) {
   DLRM_CHECK(n_ > 0, "call set_batch first");
   DLRM_CHECK(x_flat.size() == n_ * dims_.front(), "input size mismatch");
+  if (prec_ == Precision::kBf16) {
+    acts16_.front().pack_from(x_flat.data());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      layers_[i].forward(acts16_[i], acts16_[i + 1]);
+    }
+    acts16_.back().unpack_to(out_flat_.data());
+    return out_flat_;
+  }
   acts_.front().pack_from(x_flat.data());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     layers_[i].forward(acts_[i], acts_[i + 1]);
@@ -271,6 +446,15 @@ const Tensor<float>& Mlp::forward(const Tensor<float>& x_flat) {
 
 const Tensor<float>& Mlp::backward(const Tensor<float>& dy_flat) {
   DLRM_CHECK(dy_flat.size() == n_ * dims_.back(), "grad size mismatch");
+  if (prec_ == Precision::kBf16) {
+    dacts16_.back().pack_from(dy_flat.data());
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+      layers_[i].backward(acts16_[i], acts16_[i + 1], dacts16_[i + 1],
+                          dacts16_[i]);
+    }
+    dacts16_.front().unpack_to(dx_flat_.data());
+    return dx_flat_;
+  }
   dacts_.back().pack_from(dy_flat.data());
   for (std::size_t i = layers_.size(); i-- > 0;) {
     layers_[i].backward(acts_[i], acts_[i + 1], dacts_[i + 1], dacts_[i]);

@@ -35,14 +35,24 @@ struct BlockTargets {
 };
 
 /// One fully connected layer y = act(W x + bias) on blocked tensors.
+///
+/// The canonical weights always live in fp32 blocked storage (w_), which is
+/// what ParamSlot exposes to optimizers and DDP. In bf16 mode the compute
+/// path reads bf16 mirrors instead: a VNNI-paired copy of W refreshed from
+/// w_ at every forward (after the optimizer step; under Split-SGD w_ sits on
+/// the bf16 grid so the repack is lossless), and a lazily refreshed VNNI
+/// W^T for the backward-by-data pass. Activations flow through bf16 with
+/// fp32 accumulators; bias and all gradients stay fp32 (paper Sect. III.C).
 class FullyConnected {
  public:
   FullyConnected(std::int64_t c, std::int64_t k, Activation act,
-                 BlockTargets targets = {});
+                 BlockTargets targets = {},
+                 Precision precision = Precision::kFp32);
 
   std::int64_t in_features() const { return c_; }
   std::int64_t out_features() const { return k_; }
   Activation activation() const { return act_; }
+  Precision precision() const { return prec_; }
 
   /// Initializes weights N(0, sqrt(2/C)) and zero bias.
   void init(Rng& rng);
@@ -69,6 +79,18 @@ class FullyConnected {
   void apply_activation_grad(const BlockedActivations& y,
                              BlockedActivations& dy) const;
 
+  // bf16 data path (legal only when precision() == kBf16): bf16 activation
+  // tiles in and out, fp32 accumulation inside the tiles, fp32 dW/db.
+  void forward(const BlockedActivationsBf16& x, BlockedActivationsBf16& y) const;
+  void backward(const BlockedActivationsBf16& x, const BlockedActivationsBf16& y,
+                BlockedActivationsBf16& dy, BlockedActivationsBf16& dx);
+  void backward_weights(const BlockedActivationsBf16& x,
+                        const BlockedActivationsBf16& dy);
+  void backward_data(const BlockedActivationsBf16& dy,
+                     BlockedActivationsBf16& dx) const;
+  void apply_activation_grad(const BlockedActivationsBf16& y,
+                             BlockedActivationsBf16& dy) const;
+
   BlockedWeights& weights() { return w_; }
   const BlockedWeights& weights() const { return w_; }
   BlockedWeights& weight_grads() { return dw_; }
@@ -85,22 +107,34 @@ class FullyConnected {
  private:
   std::int64_t c_, k_;
   Activation act_;
+  Precision prec_;
   std::int64_t bc_, bk_;
   BlockedWeights w_;
   BlockedWeights dw_;
   Tensor<float> bias_;
   Tensor<float> dbias_;
-  mutable BlockedWeights wt_;  // transposed weights for BWD-by-data
+  mutable BlockedWeights wt_;  // transposed weights for BWD-by-data (fp32)
   mutable bool wt_valid_ = false;
+  // bf16 mirrors of w_ (allocated only in bf16 mode): wv_ is repacked on
+  // every forward (same freshness policy as the fp32 wt_ cache), wtv_
+  // lazily between forward and the next backward_data.
+  mutable VnniWeights wv_;   // VNNI-paired W for FWD
+  mutable VnniWeights wtv_;  // VNNI-paired W^T for BWD-by-data
+  mutable bool wtv_valid_ = false;
 };
 
 /// A stack of fully connected layers with uniform hidden activation and a
 /// configurable final activation.
 class Mlp {
  public:
-  /// dims = [input, hidden..., output]; at least one layer.
+  /// dims = [input, hidden..., output]; at least one layer. `precision`
+  /// selects the storage/compute type of the whole stack's data path; the
+  /// flat fp32 forward/backward interfaces are unchanged either way.
   Mlp(std::vector<std::int64_t> dims, Activation hidden_act,
-      Activation final_act, BlockTargets targets = {});
+      Activation final_act, BlockTargets targets = {},
+      Precision precision = Precision::kFp32);
+
+  Precision precision() const { return prec_; }
 
   void init(Rng& rng);
 
@@ -134,11 +168,14 @@ class Mlp {
  private:
   std::vector<std::int64_t> dims_;
   BlockTargets targets_;
+  Precision prec_ = Precision::kFp32;
   std::vector<FullyConnected> layers_;
   std::int64_t n_ = 0;
 
-  std::vector<BlockedActivations> acts_;   // acts_[0] = packed input
+  std::vector<BlockedActivations> acts_;   // acts_[0] = packed input (fp32)
   std::vector<BlockedActivations> dacts_;  // gradient buffers per boundary
+  std::vector<BlockedActivationsBf16> acts16_;   // bf16-mode activations
+  std::vector<BlockedActivationsBf16> dacts16_;  // bf16-mode gradients
   Tensor<float> out_flat_;
   Tensor<float> dx_flat_;
 };

@@ -93,6 +93,11 @@ std::int64_t SplitSgdBf16::state_bytes() const {
   return n * 2 + n * ((lo_bits_ + 7) / 8);
 }
 
+std::unique_ptr<Optimizer> make_dense_optimizer(Precision precision) {
+  if (precision == Precision::kBf16) return std::make_unique<SplitSgdBf16>(16);
+  return std::make_unique<SgdFp32>();
+}
+
 // ---------------------------------------------------------------------------
 // Fp24Sgd
 // ---------------------------------------------------------------------------

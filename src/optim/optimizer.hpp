@@ -92,6 +92,11 @@ class Fp24Sgd final : public Optimizer {
   std::vector<ParamSlot> slots_;
 };
 
+/// Builds the dense optimizer matching an MLP data-path precision: plain
+/// fp32 SGD for kFp32, Split-SGD (full 16 low bits) for kBf16 — the pairing
+/// the paper uses for its end-to-end BF16 runs (Sect. VII).
+std::unique_ptr<Optimizer> make_dense_optimizer(Precision precision);
+
 class Fp16MasterSgd final : public Optimizer {
  public:
   void attach(const std::vector<ParamSlot>& slots) override;

@@ -1,5 +1,5 @@
 // Blocked 4-D tensor layouts for the fully connected layers (paper Sect.
-// III.B).
+// III.B), generic over the storage type (fp32 or bf16).
 //
 // Flat activations X[N][C] are packed as  Xb[Cb][Nb][bn][bc]
 // Flat weights     W[K][C] are packed as  Wb[Kb][Cb][bc][bk]
@@ -8,14 +8,45 @@
 // The activation format [Cb][Nb][bn][bc] is the paper's deviation from prior
 // work: it makes the backward-by-weights pass (where activations play the
 // role of weights) as cache-friendly as the forward pass.
+//
+// The bf16 instantiations store 2-byte elements; pack_from/unpack_to always
+// speak fp32 at the boundary and convert with RNE on the way in (exact
+// widening on the way out), so the flat interfaces of Mlp are precision
+// agnostic. For bf16 weights the paper additionally requires the VNNI pairing
+// [bc/2][bk][2] so dot-product instructions consume two reduction elements at
+// once; VnniWeights packs that layout (from fp32 blocked weights, which in
+// Split-SGD training already live on the bf16 grid, making the conversion
+// lossless).
 #pragma once
 
 #include <cstdint>
 
 #include "common/log.hpp"
+#include "common/threadpool.hpp"
+#include "common/types.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dlrm {
+
+namespace detail {
+
+/// Storage conversion for blocked tensors: fp32 at the flat boundary.
+template <typename T>
+struct Convert;
+
+template <>
+struct Convert<float> {
+  static float store(float v) { return v; }
+  static float load(float v) { return v; }
+};
+
+template <>
+struct Convert<bf16> {
+  static bf16 store(float v) { return bf16(v); }  // RNE
+  static float load(bf16 v) { return bf16_to_f32(v.bits); }
+};
+
+}  // namespace detail
 
 /// Describes the blocking of a [rows][cols] matrix into 4-D tiles.
 struct Blocking {
@@ -34,12 +65,13 @@ struct Blocking {
   }
 };
 
-/// Activation tensor in [Cb][Nb][bn][bc] layout.
-class BlockedActivations {
+/// Activation tensor in [Cb][Nb][bn][bc] layout; T is float or bf16.
+template <typename T>
+class BlockedActivationsT {
  public:
-  BlockedActivations() = default;
-  BlockedActivations(std::int64_t n, std::int64_t c, std::int64_t bn,
-                     std::int64_t bc)
+  BlockedActivationsT() = default;
+  BlockedActivationsT(std::int64_t n, std::int64_t c, std::int64_t bn,
+                      std::int64_t bc)
       : b_{n, c, bn, bc} {
     b_.validate();
     data_.reshape({b_.col_blocks(), b_.row_blocks(), bn, bc});
@@ -52,40 +84,41 @@ class BlockedActivations {
   std::int64_t nb() const { return b_.row_blocks(); }
   std::int64_t cb() const { return b_.col_blocks(); }
 
-  float* block(std::int64_t icb, std::int64_t inb) {
+  T* block(std::int64_t icb, std::int64_t inb) {
     return data_.data() + ((icb * nb() + inb) * bn()) * bc();
   }
-  const float* block(std::int64_t icb, std::int64_t inb) const {
+  const T* block(std::int64_t icb, std::int64_t inb) const {
     return data_.data() + ((icb * nb() + inb) * bn()) * bc();
   }
 
-  Tensor<float>& raw() { return data_; }
-  const Tensor<float>& raw() const { return data_; }
+  Tensor<T>& raw() { return data_; }
+  const Tensor<T>& raw() const { return data_; }
 
-  /// Packs a flat row-major [N][C] matrix into this blocked tensor.
+  /// Packs a flat row-major [N][C] fp32 matrix into this blocked tensor,
+  /// converting to the storage type (RNE for bf16).
   void pack_from(const float* flat) {
     for (std::int64_t icb = 0; icb < cb(); ++icb) {
       for (std::int64_t inb = 0; inb < nb(); ++inb) {
-        float* dst = block(icb, inb);
+        T* dst = block(icb, inb);
         for (std::int64_t in = 0; in < bn(); ++in) {
           const float* src = flat + (inb * bn() + in) * c() + icb * bc();
           for (std::int64_t ic = 0; ic < bc(); ++ic) {
-            dst[in * bc() + ic] = src[ic];
+            dst[in * bc() + ic] = detail::Convert<T>::store(src[ic]);
           }
         }
       }
     }
   }
 
-  /// Unpacks into a flat row-major [N][C] matrix.
+  /// Unpacks into a flat row-major [N][C] fp32 matrix (exact for bf16).
   void unpack_to(float* flat) const {
     for (std::int64_t icb = 0; icb < cb(); ++icb) {
       for (std::int64_t inb = 0; inb < nb(); ++inb) {
-        const float* src = block(icb, inb);
+        const T* src = block(icb, inb);
         for (std::int64_t in = 0; in < bn(); ++in) {
           float* dst = flat + (inb * bn() + in) * c() + icb * bc();
           for (std::int64_t ic = 0; ic < bc(); ++ic) {
-            dst[ic] = src[in * bc() + ic];
+            dst[ic] = detail::Convert<T>::load(src[in * bc() + ic]);
           }
         }
       }
@@ -94,15 +127,19 @@ class BlockedActivations {
 
  private:
   Blocking b_;
-  Tensor<float> data_;
+  Tensor<T> data_;
 };
 
-/// Weight tensor in [Kb][Cb][bc][bk] layout.
-class BlockedWeights {
+using BlockedActivations = BlockedActivationsT<float>;
+using BlockedActivationsBf16 = BlockedActivationsT<bf16>;
+
+/// Weight tensor in [Kb][Cb][bc][bk] layout; T is float or bf16.
+template <typename T>
+class BlockedWeightsT {
  public:
-  BlockedWeights() = default;
-  BlockedWeights(std::int64_t k, std::int64_t c, std::int64_t bk,
-                 std::int64_t bc)
+  BlockedWeightsT() = default;
+  BlockedWeightsT(std::int64_t k, std::int64_t c, std::int64_t bk,
+                  std::int64_t bc)
       : b_{k, c, bk, bc} {
     b_.validate();
     data_.reshape({b_.row_blocks(), b_.col_blocks(), bc, bk});
@@ -115,40 +152,40 @@ class BlockedWeights {
   std::int64_t kb() const { return b_.row_blocks(); }
   std::int64_t cb() const { return b_.col_blocks(); }
 
-  float* block(std::int64_t ikb, std::int64_t icb) {
+  T* block(std::int64_t ikb, std::int64_t icb) {
     return data_.data() + ((ikb * cb() + icb) * bc()) * bk();
   }
-  const float* block(std::int64_t ikb, std::int64_t icb) const {
+  const T* block(std::int64_t ikb, std::int64_t icb) const {
     return data_.data() + ((ikb * cb() + icb) * bc()) * bk();
   }
 
-  Tensor<float>& raw() { return data_; }
-  const Tensor<float>& raw() const { return data_; }
+  Tensor<T>& raw() { return data_; }
+  const Tensor<T>& raw() const { return data_; }
 
-  /// Packs a flat row-major [K][C] weight matrix into [Kb][Cb][bc][bk].
+  /// Packs a flat row-major [K][C] fp32 weight matrix into [Kb][Cb][bc][bk].
   void pack_from(const float* flat) {
     for (std::int64_t ikb = 0; ikb < kb(); ++ikb) {
       for (std::int64_t icb = 0; icb < cb(); ++icb) {
-        float* dst = block(ikb, icb);
+        T* dst = block(ikb, icb);
         for (std::int64_t ic = 0; ic < bc(); ++ic) {
           for (std::int64_t ik = 0; ik < bk(); ++ik) {
-            dst[ic * bk() + ik] =
-                flat[(ikb * bk() + ik) * c() + icb * bc() + ic];
+            dst[ic * bk() + ik] = detail::Convert<T>::store(
+                flat[(ikb * bk() + ik) * c() + icb * bc() + ic]);
           }
         }
       }
     }
   }
 
-  /// Unpacks into a flat row-major [K][C] matrix.
+  /// Unpacks into a flat row-major [K][C] fp32 matrix.
   void unpack_to(float* flat) const {
     for (std::int64_t ikb = 0; ikb < kb(); ++ikb) {
       for (std::int64_t icb = 0; icb < cb(); ++icb) {
-        const float* src = block(ikb, icb);
+        const T* src = block(ikb, icb);
         for (std::int64_t ic = 0; ic < bc(); ++ic) {
           for (std::int64_t ik = 0; ik < bk(); ++ik) {
             flat[(ikb * bk() + ik) * c() + icb * bc() + ic] =
-                src[ic * bk() + ik];
+                detail::Convert<T>::load(src[ic * bk() + ik]);
           }
         }
       }
@@ -157,7 +194,103 @@ class BlockedWeights {
 
  private:
   Blocking b_;
-  Tensor<float> data_;
+  Tensor<T> data_;
+};
+
+using BlockedWeights = BlockedWeightsT<float>;
+using BlockedWeightsBf16 = BlockedWeightsT<bf16>;
+
+/// bf16 weights in the VNNI-paired layout the paper's bf16 kernels consume:
+/// tile (ikb, icb) holds the logical [bc][bk] sub-matrix stored as
+/// [ceil(bc/2)][bk][2] — two consecutive reduction elements sit adjacent so a
+/// dot-product instruction (AVX512-BF16 vdpbf16ps) reads one [bk][2] row pair
+/// per step. Odd reduction blocks are zero-padded.
+///
+/// The same class also serves the backward-by-data pass: constructed with
+/// (rows=C, cols=K, row_block=bc, col_block=bk) and filled via
+/// pack_transposed_from, it holds W^T with the bk dimension paired.
+class VnniWeights {
+ public:
+  VnniWeights() = default;
+  VnniWeights(std::int64_t k, std::int64_t c, std::int64_t bk, std::int64_t bc)
+      : b_{k, c, bk, bc}, pairs_((bc + 1) / 2) {
+    b_.validate();
+    data_.reshape({b_.row_blocks(), b_.col_blocks(), pairs_, bk * 2});
+    data_.zero();  // odd-bc padding lanes must read as +0
+  }
+
+  std::int64_t k() const { return b_.rows; }
+  std::int64_t c() const { return b_.cols; }
+  std::int64_t bk() const { return b_.row_block; }
+  std::int64_t bc() const { return b_.col_block; }
+  std::int64_t kb() const { return b_.row_blocks(); }
+  std::int64_t cb() const { return b_.col_blocks(); }
+  std::int64_t pairs() const { return pairs_; }
+
+  bf16* block(std::int64_t ikb, std::int64_t icb) {
+    return data_.data() + ((ikb * cb() + icb) * pairs_) * bk() * 2;
+  }
+  const bf16* block(std::int64_t ikb, std::int64_t icb) const {
+    return data_.data() + ((ikb * cb() + icb) * pairs_) * bk() * 2;
+  }
+
+  /// Repacks fp32 blocked weights [Kb][Cb][bc][bk] into VNNI pairs (RNE;
+  /// lossless when the source already lives on the bf16 grid, as under
+  /// Split-SGD). Shapes and blocking must match.
+  void pack_from(const BlockedWeights& w) {
+    DLRM_CHECK(w.k() == k() && w.c() == c() && w.bk() == bk() && w.bc() == bc(),
+               "VnniWeights::pack_from shape mismatch");
+    // Runs on the critical path of every bf16 forward: tile-parallel.
+    parallel_for(0, kb() * cb(), [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t idx = lo; idx < hi; ++idx) {
+        const std::int64_t ikb = idx / cb();
+        const std::int64_t icb = idx % cb();
+        const float* src = w.block(ikb, icb);  // [bc][bk]
+        bf16* dst = block(ikb, icb);           // [pairs][bk][2]
+        for (std::int64_t p = 0; p < pairs_; ++p) {
+          const std::int64_t c0 = 2 * p, c1 = 2 * p + 1;
+          for (std::int64_t ik = 0; ik < bk(); ++ik) {
+            dst[(p * bk() + ik) * 2 + 0] = bf16(src[c0 * bk() + ik]);
+            dst[(p * bk() + ik) * 2 + 1] =
+                c1 < bc() ? bf16(src[c1 * bk() + ik]) : bf16();
+          }
+        }
+      }
+    });
+  }
+
+  /// Fills this VNNI tensor with W^T from fp32 blocked weights stored
+  /// [Kb][Cb][bc][bk]: this object must be shaped (rows=C, cols=K,
+  /// row_block=bc, col_block=bk); the reduction (paired) dimension is bk.
+  void pack_transposed_from(const BlockedWeights& w) {
+    DLRM_CHECK(w.k() == c() && w.c() == k() && w.bk() == bc() && w.bc() == bk(),
+               "VnniWeights::pack_transposed_from shape mismatch");
+    // Our tile (icb', ikb') holds logical WT[bk'][bc'] with bk' = w.bc and
+    // reduction block w.bk: read w.block(ikb', icb') [w.bc][w.bk] transposed.
+    parallel_for(0, kb() * cb(), [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t idx = lo; idx < hi; ++idx) {
+        const std::int64_t irb = idx / cb();   // C block of WT
+        const std::int64_t icb2 = idx % cb();  // K block
+        const float* src = w.block(icb2, irb);  // [w.bc = our bk][w.bk = our bc]
+        bf16* dst = block(irb, icb2);           // [pairs of our bc][our bk][2]
+        for (std::int64_t p = 0; p < pairs_; ++p) {
+          const std::int64_t r0 = 2 * p, r1 = 2 * p + 1;
+          for (std::int64_t j = 0; j < bk(); ++j) {
+            // WT tile element [reduction r][output j] = src[j * w.bk() + r]
+            // (note: this object's bc() equals w.bk()).
+            dst[(p * bk() + j) * 2 + 0] = bf16(src[j * bc() + r0]);
+            dst[(p * bk() + j) * 2 + 1] =
+                r1 < bc() ? bf16(src[j * bc() + r1]) : bf16();
+          }
+        }
+      }
+    });
+  }
+
+ private:
+  Blocking b_;
+  std::int64_t pairs_ = 0;
+  Tensor<bf16> data_;
 };
 
 }  // namespace dlrm

@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/types.hpp"
 #include "common/threadpool.hpp"
 #include "tensor/tensor.hpp"
 
@@ -170,6 +172,51 @@ TEST_P(CollectivesTest, ManySequentialCollectivesStress) {
       comm.allreduce(data.data(), 128);
       ASSERT_FLOAT_EQ(data[0], static_cast<float>(R));
       comm.barrier();
+    }
+  });
+}
+
+TEST_P(CollectivesTest, Bf16AllreduceSumsWithFp32Accumulation) {
+  const int R = GetParam();
+  const std::int64_t n = 1037;  // odd size exercises uneven chunking
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    // Small integers are exact in bf16 and so are their sums (< 256): the
+    // bf16 allreduce must be exact here, proving fp32 accumulation (naive
+    // pairwise bf16 adds would round intermediate sums for R > 2).
+    std::vector<std::uint16_t> data(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      data[static_cast<std::size_t>(i)] =
+          f32_to_bf16_rne(static_cast<float>(i % 13 + comm.rank()));
+    }
+    comm.allreduce_bf16(data.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float expect = static_cast<float>((i % 13)) * R +
+                           static_cast<float>(R * (R - 1)) / 2.0f;
+      ASSERT_EQ(bf16_to_f32(data[static_cast<std::size_t>(i)]), expect)
+          << "rank " << comm.rank() << " i " << i;
+    }
+  });
+}
+
+TEST_P(CollectivesTest, Bf16AllreduceWithinRoundingOfFp32) {
+  const int R = GetParam();
+  const std::int64_t n = 512;
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    std::vector<float> ref(static_cast<std::size_t>(n));
+    std::vector<std::uint16_t> low(static_cast<std::size_t>(n));
+    Rng rng(static_cast<std::uint64_t>(comm.rank()) + 31);
+    for (std::int64_t i = 0; i < n; ++i) {
+      // Use bf16-exact inputs so the only rounding is the final one.
+      const float v = bf16_to_f32(f32_to_bf16_rne(rng.uniform(-1.0f, 1.0f)));
+      ref[static_cast<std::size_t>(i)] = v;
+      low[static_cast<std::size_t>(i)] = f32_to_bf16_rne(v);
+    }
+    comm.allreduce(ref.data(), n);
+    comm.allreduce_bf16(low.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float r = ref[static_cast<std::size_t>(i)];
+      const float l = bf16_to_f32(low[static_cast<std::size_t>(i)]);
+      ASSERT_NEAR(l, r, std::max(1e-6f, std::fabs(r) * 0x1.0p-8f)) << i;
     }
   });
 }

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -53,6 +54,83 @@ TEST_P(DdpTest, AveragesGradientsAcrossRanks) {
 INSTANTIATE_TEST_SUITE_P(Cases, DdpTest,
                          ::testing::Combine(::testing::Values(1, 2, 4),
                                             ::testing::Values(1, 3)));
+
+class DdpBf16Test : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DdpBf16Test, Bf16WireAveragesWithinRounding) {
+  // bf16 wire format: grads are RNE-rounded to bf16 before the reduce, the
+  // reduction accumulates in fp32, and the averaged result widens exactly.
+  // One rounding on pack + one on the reduced chunk bounds the relative
+  // error by ~2 * 2^-8.
+  const auto [R, buckets] = GetParam();
+  run_ranks(R, 0, [&, buckets = buckets](ThreadComm& comm) {
+    FakeParams fp({100, 37, 256, 5});
+    for (auto& g : fp.grads) {
+      for (std::int64_t i = 0; i < g.size(); ++i) {
+        g[i] = static_cast<float>(comm.rank()) + static_cast<float>(i % 7);
+      }
+    }
+    DdpAllreducer ddp(comm, nullptr, buckets, Precision::kBf16);
+    EXPECT_EQ(ddp.wire_precision(), Precision::kBf16);
+    ddp.attach(fp.slots);
+    ddp.run();
+    const float base = static_cast<float>(R - 1) / 2.0f;
+    for (auto& g : fp.grads) {
+      for (std::int64_t i = 0; i < g.size(); ++i) {
+        const float expect = base + static_cast<float>(i % 7);
+        ASSERT_NEAR(g[i], expect, std::max(1e-6f, 2.0f * expect * 0x1.0p-8f));
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, DdpBf16Test,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3)));
+
+TEST(DdpBf16, ExactlyRepresentableGradsReduceExactly) {
+  // Small integer grads are exact in bf16 and their sums stay exact: the
+  // bf16 wire must then reproduce the fp32 result bit for bit.
+  run_ranks(4, 0, [](ThreadComm& comm) {
+    FakeParams fp({64});
+    for (std::int64_t i = 0; i < 64; ++i) {
+      fp.grads[0][i] = static_cast<float>((comm.rank() + i) % 8);
+    }
+    DdpAllreducer ddp(comm, nullptr, 2, Precision::kBf16);
+    ddp.attach(fp.slots);
+    ddp.run();
+    for (std::int64_t i = 0; i < 64; ++i) {
+      float expect = 0.0f;
+      for (int r = 0; r < 4; ++r) expect += static_cast<float>((r + i) % 8);
+      ASSERT_FLOAT_EQ(fp.grads[0][i], expect / 4.0f);
+    }
+  });
+}
+
+TEST(DdpBf16, AsyncMatchesBlocking) {
+  const int R = 4;
+  Tensor<float> blocking({R, 393}), async_result({R, 393});
+  for (int use_async = 0; use_async < 2; ++use_async) {
+    Tensor<float>& out = use_async ? async_result : blocking;
+    run_ranks(R, 0, [&](ThreadComm& comm) {
+      FakeParams fp({393});
+      Rng rng(static_cast<std::uint64_t>(comm.rank()) + 1);
+      for (std::int64_t i = 0; i < 393; ++i) {
+        fp.grads[0][i] = rng.uniform(-1.0f, 1.0f);
+      }
+      auto backend = use_async ? QueueBackend::ccl_like(2) : nullptr;
+      DdpAllreducer ddp(comm, backend.get(), 2, Precision::kBf16);
+      ddp.attach(fp.slots);
+      ddp.start();
+      ddp.finish();
+      for (std::int64_t i = 0; i < 393; ++i) {
+        out[comm.rank() * 393 + i] = fp.grads[0][i];
+      }
+    });
+  }
+  // Deterministic rounding → identical results regardless of overlap.
+  EXPECT_LE(max_abs_diff(blocking, async_result), 0.0f);
+}
 
 TEST(Ddp, AsyncMatchesBlocking) {
   const int R = 4;

@@ -120,6 +120,84 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<3>(tpi.param));
     });
 
+// bf16 payload: pure-movement collectives must deliver exactly the RNE
+// rounding of what the fp32 exchange delivers, element for element, in both
+// directions — for every strategy and table distribution.
+class ExchangeBf16Test : public ::testing::TestWithParam<ExCase> {};
+
+TEST_P(ExchangeBf16Test, PayloadMatchesRoundedFp32) {
+  const auto [R, S, E, GN, strategy] = GetParam();
+  Tensor<float> fwd_ref({R, S, GN / R, E}), fwd16({R, S, GN / R, E});
+  // grads: worst-case owned tables per rank is ceil(S/R).
+  const std::int64_t max_owned = (S + R - 1) / R;
+  Tensor<float> bwd_ref({R, max_owned, GN, E}), bwd16({R, max_owned, GN, E});
+  bwd_ref.zero();
+  bwd16.zero();
+
+  for (int pass = 0; pass < 2; ++pass) {
+    const Precision payload = pass == 0 ? Precision::kFp32 : Precision::kBf16;
+    Tensor<float>& fwd_out = pass == 0 ? fwd_ref : fwd16;
+    Tensor<float>& bwd_out = pass == 0 ? bwd_ref : bwd16;
+    run_ranks(R, 0, [&, S = S, E = E, GN = GN, strategy = strategy](ThreadComm& comm) {
+      EmbeddingExchange ex(comm, nullptr, strategy, S, E, GN, payload);
+      EXPECT_EQ(ex.payload_precision(), payload);
+      const std::int64_t LN = ex.local_batch();
+
+      std::vector<Tensor<float>> outs;
+      std::vector<const float*> ptrs;
+      for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+        outs.emplace_back(std::vector<std::int64_t>{GN, E});
+        Rng trng(static_cast<std::uint64_t>(
+            ex.owned_ids()[static_cast<std::size_t>(k)]));
+        fill_uniform(outs.back(), trng, 1.0f);
+        ptrs.push_back(outs.back().data());
+      }
+      auto h = ex.start_forward(ptrs);
+      ex.finish_forward(h, fwd_out.data() + comm.rank() * S * LN * E);
+
+      Tensor<float> dsliced({S, LN, E});
+      Rng drng(static_cast<std::uint64_t>(comm.rank()) + 123);
+      fill_uniform(dsliced, drng, 1.0f);
+      std::vector<Tensor<float>> grads;
+      std::vector<float*> gptrs;
+      for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+        grads.emplace_back(std::vector<std::int64_t>{GN, E});
+        gptrs.push_back(grads.back().data());
+      }
+      auto hb = ex.start_backward(dsliced.data());
+      ex.finish_backward(hb, gptrs);
+      for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+        float* dst = bwd_out.data() + (comm.rank() * max_owned + k) * GN * E;
+        for (std::int64_t i = 0; i < GN * E; ++i) dst[i] = grads[static_cast<std::size_t>(k)][i];
+      }
+    });
+  }
+
+  for (std::int64_t i = 0; i < fwd_ref.size(); ++i) {
+    ASSERT_EQ(fwd16[i], bf16_to_f32(f32_to_bf16_rne(fwd_ref[i]))) << "fwd " << i;
+  }
+  for (std::int64_t i = 0; i < bwd_ref.size(); ++i) {
+    ASSERT_EQ(bwd16[i], bwd_ref[i] == 0.0f
+                            ? 0.0f
+                            : bf16_to_f32(f32_to_bf16_rne(bwd_ref[i])))
+        << "bwd " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExchangeBf16Test,
+    ::testing::Values(ExCase{2, 8, 4, 16, ExchangeStrategy::kScatterList},
+                      ExCase{2, 8, 4, 16, ExchangeStrategy::kFusedScatter},
+                      ExCase{2, 8, 4, 16, ExchangeStrategy::kAlltoall},
+                      ExCase{4, 26, 4, 16, ExchangeStrategy::kScatterList},
+                      ExCase{4, 26, 4, 16, ExchangeStrategy::kFusedScatter},
+                      ExCase{4, 26, 4, 16, ExchangeStrategy::kAlltoall}),
+    [](const ::testing::TestParamInfo<ExCase>& tpi) {
+      return std::string(to_string(std::get<4>(tpi.param))) + "_R" +
+             std::to_string(std::get<0>(tpi.param)) + "_S" +
+             std::to_string(std::get<1>(tpi.param));
+    });
+
 TEST(ExchangeStrategies, AllThreeBitwiseIdentical) {
   const int R = 4;
   const std::int64_t S = 10, E = 8, GN = 32;

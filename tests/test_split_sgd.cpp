@@ -1,0 +1,170 @@
+// Long-horizon Split-SGD-BF16 validation (paper Sect. VII):
+//   * hi/lo recombination bit-exact against an fp32 master copy over 10k
+//     SGD steps, and
+//   * a convergence smoke test: bf16 MLP + Split-SGD reaches the same loss
+//     as the fp32 stack within tolerance on a tiny synthetic dataset.
+#include "optim/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "kernels/loss.hpp"
+#include "kernels/mlp.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlrm {
+namespace {
+
+TEST(SplitSgd10k, RecombinationBitExactVsFp32MasterOver10kSteps) {
+  // An explicit fp32 master trajectory and the Split-SGD hi|lo trajectory
+  // must agree bit for bit for 10'000 steps: the visible bf16 weight is
+  // always the truncation of the master, and the hidden low half carries the
+  // remaining mantissa exactly.
+  const std::int64_t n = 513;
+  Rng rng(2024);
+  Tensor<float> master({n});            // explicit fp32 master
+  Tensor<float> split_p({n}), g({n});   // Split-SGD visible params + grads
+  for (std::int64_t i = 0; i < n; ++i) {
+    master[i] = rng.uniform(-2.0f, 2.0f);
+    split_p[i] = master[i];
+  }
+  SplitSgdBf16 opt(16);
+  opt.attach({{split_p.data(), g.data(), n}});
+
+  const float lr = 0.013f;
+  for (int iter = 0; iter < 10000; ++iter) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      // Mix magnitudes so some updates are far below the bf16 ulp.
+      g[i] = rng.uniform(-1.0f, 1.0f) * ((i % 3 == 0) ? 1e-4f : 1.0f);
+    }
+    opt.step(lr);
+    for (std::int64_t i = 0; i < n; ++i) master[i] -= lr * g[i];
+    // Spot-check a stride each step; full check every 1000 steps.
+    const std::int64_t stride = (iter % 1000 == 999) ? 1 : 61;
+    for (std::int64_t i = 0; i < n; i += stride) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(split_p[i]),
+                std::bit_cast<std::uint32_t>(
+                    bf16_to_f32(f32_to_bf16_trunc(master[i]))))
+          << "iter " << iter << " i " << i;
+    }
+  }
+}
+
+// Tiny synthetic binary-classification set: labels from a random teacher
+// MLP, so the task is learnable and the loss floor is well below the 0.693
+// chance level.
+struct SyntheticTask {
+  std::int64_t n = 256, in = 16;
+  Tensor<float> x{{256, 16}};
+  Tensor<float> y{{256}};
+
+  SyntheticTask() {
+    Rng rng(99);
+    fill_uniform(x, rng, 1.0f);
+    Mlp teacher({in, 8, 1}, Activation::kRelu, Activation::kNone);
+    Rng trng(7);
+    teacher.init(trng);
+    teacher.set_batch(n);
+    const Tensor<float>& logits = teacher.forward(x);
+    for (std::int64_t i = 0; i < n; ++i) y[i] = logits[i] > 0.0f ? 1.0f : 0.0f;
+  }
+};
+
+double train_epochs(Mlp& mlp, Optimizer& opt, const SyntheticTask& task,
+                    int iters) {
+  mlp.set_batch(task.n);
+  opt.attach(mlp.param_slots());
+  Tensor<float> dlogits({task.n, 1});
+  double loss = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    const Tensor<float>& logits = mlp.forward(task.x);
+    loss = bce_with_logits(logits.data(), task.y.data(), task.n, dlogits.data());
+    mlp.backward(dlogits);
+    opt.step(0.5f);
+  }
+  return loss;
+}
+
+TEST(SplitSgdConvergence, Bf16MatchesFp32LossOnSyntheticTask) {
+  SyntheticTask task;
+  const std::vector<std::int64_t> dims{16, 32, 1};
+  const int iters = 300;
+
+  Rng rng1(42), rng2(42);
+  Mlp fp32_mlp(dims, Activation::kRelu, Activation::kNone);
+  fp32_mlp.init(rng1);
+  SgdFp32 fp32_opt;
+  const double fp32_loss = train_epochs(fp32_mlp, fp32_opt, task, iters);
+
+  Mlp bf16_mlp(dims, Activation::kRelu, Activation::kNone, {},
+               Precision::kBf16);
+  bf16_mlp.init(rng2);
+  SplitSgdBf16 split_opt(16);
+  const double bf16_loss = train_epochs(bf16_mlp, split_opt, task, iters);
+
+  // Both must have learned (well under chance-level 0.693)...
+  EXPECT_LT(fp32_loss, 0.35);
+  EXPECT_LT(bf16_loss, 0.35);
+  // ...and the bf16+Split-SGD loss must track the fp32 loss.
+  EXPECT_NEAR(bf16_loss, fp32_loss, 0.1);
+}
+
+TEST(SplitSgdConvergence, PlainBf16RoundingStallsWhereSplitSgdLearns) {
+  // The negative control from the paper: rounding the weights to bf16 after
+  // every update (no hidden low bits) loses small updates and converges
+  // measurably worse than Split-SGD on the same task and schedule.
+  SyntheticTask task;
+  const std::vector<std::int64_t> dims{16, 32, 1};
+  const int iters = 300;
+  const float lr = 0.02f;  // small steps make truncation losses visible
+
+  Rng rng1(42), rng2(42);
+  Mlp split_mlp(dims, Activation::kRelu, Activation::kNone, {},
+                Precision::kBf16);
+  split_mlp.init(rng1);
+  split_mlp.set_batch(task.n);
+  SplitSgdBf16 split_opt(16);
+  auto split_slots = split_mlp.param_slots();
+  split_opt.attach(split_slots);
+
+  Mlp naive_mlp(dims, Activation::kRelu, Activation::kNone, {},
+                Precision::kBf16);
+  naive_mlp.init(rng2);
+  naive_mlp.set_batch(task.n);
+  auto naive_slots = naive_mlp.param_slots();
+  // Snap the naive params to the bf16 grid to match Split-SGD's start.
+  for (auto& s : naive_slots) {
+    for (std::int64_t i = 0; i < s.size; ++i) {
+      s.param[i] = bf16_to_f32(f32_to_bf16_rne(s.param[i]));
+    }
+  }
+
+  Tensor<float> dlogits({task.n, 1});
+  double split_loss = 0.0, naive_loss = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    const Tensor<float>& ls = split_mlp.forward(task.x);
+    split_loss = bce_with_logits(ls.data(), task.y.data(), task.n, dlogits.data());
+    split_mlp.backward(dlogits);
+    split_opt.step(lr);
+
+    const Tensor<float>& ln = naive_mlp.forward(task.x);
+    naive_loss = bce_with_logits(ln.data(), task.y.data(), task.n, dlogits.data());
+    naive_mlp.backward(dlogits);
+    for (auto& s : naive_slots) {
+      for (std::int64_t i = 0; i < s.size; ++i) {
+        s.param[i] = bf16_to_f32(f32_to_bf16_rne(s.param[i] - lr * s.grad[i]));
+      }
+    }
+  }
+  // Split-SGD must end at least as good as naive bf16 rounding; typically
+  // clearly better because sub-ulp updates accumulate in the low halves.
+  EXPECT_LE(split_loss, naive_loss + 1e-6);
+}
+
+}  // namespace
+}  // namespace dlrm

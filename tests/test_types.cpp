@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -52,6 +53,81 @@ TEST(Bf16, NanAndInfHandled) {
   EXPECT_TRUE(std::isnan(bf16_to_f32(f32_to_bf16_rne(nan))));
   EXPECT_EQ(inf, bf16_to_f32(f32_to_bf16_rne(inf)));
   EXPECT_EQ(-inf, bf16_to_f32(f32_to_bf16_rne(-inf)));
+}
+
+TEST(Bf16, ExhaustiveRoundTripAllBitPatterns) {
+  // Every bf16 bit pattern — normals, subnormals, ±0, ±inf, and every NaN
+  // payload — widens to fp32 and converts back to the identical bits, for
+  // both the RNE and the truncating conversion.
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const std::uint16_t h = static_cast<std::uint16_t>(bits);
+    EXPECT_EQ(f32_to_bf16_rne(bf16_to_f32(h)), h) << std::hex << bits;
+    EXPECT_EQ(f32_to_bf16_trunc(bf16_to_f32(h)), h) << std::hex << bits;
+  }
+}
+
+TEST(Bf16, NanPayloadHandling) {
+  // Payload in the top 7 mantissa bits survives the conversion.
+  const float payload_nan = std::bit_cast<float>(0x7FA50000u);
+  EXPECT_EQ(f32_to_bf16_rne(payload_nan), 0x7FA5u);
+  EXPECT_EQ(f32_to_bf16_stochastic(payload_nan, 0xFFFFu), 0x7FA5u);
+  // Sign of the NaN is preserved.
+  const float neg_nan = std::bit_cast<float>(0xFFA50000u);
+  EXPECT_EQ(f32_to_bf16_rne(neg_nan), 0xFFA5u);
+  // A NaN whose payload lives only in the discarded low bits must be quieted
+  // (0x7F80 would read back as +inf).
+  const float low_nan = std::bit_cast<float>(0x7F800001u);
+  EXPECT_EQ(f32_to_bf16_rne(low_nan), 0x7FC0u);
+  EXPECT_TRUE(std::isnan(bf16_to_f32(f32_to_bf16_rne(low_nan))));
+  const float neg_low_nan = std::bit_cast<float>(0xFF800001u);
+  EXPECT_EQ(f32_to_bf16_rne(neg_low_nan), 0xFFC0u);
+}
+
+TEST(Bf16, InfinityAndOverflow) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(f32_to_bf16_rne(inf), 0x7F80u);
+  EXPECT_EQ(f32_to_bf16_rne(-inf), 0xFF80u);
+  // The largest finite fp32 overflows the bf16 exponent under RNE -> ±inf.
+  const float max_f32 = std::numeric_limits<float>::max();
+  EXPECT_EQ(f32_to_bf16_rne(max_f32), 0x7F80u);
+  EXPECT_EQ(f32_to_bf16_rne(-max_f32), 0xFF80u);
+  // The largest bf16-representable value stays finite.
+  const float max_bf16 = bf16_to_f32(0x7F7Fu);
+  EXPECT_EQ(f32_to_bf16_rne(max_bf16), 0x7F7Fu);
+}
+
+TEST(Bf16, SubnormalsRoundCorrectly) {
+  // Smallest positive bf16 subnormal is 2^-133 (mantissa ulp at the minimum
+  // exponent); fp32 values round onto that grid like any other.
+  const float min_sub = bf16_to_f32(0x0001u);
+  EXPECT_EQ(f32_to_bf16_rne(min_sub), 0x0001u);
+  // Halfway between 0 and the smallest subnormal: RNE ties to even (zero).
+  EXPECT_EQ(f32_to_bf16_rne(min_sub * 0.5f), 0x0000u);
+  // Just above halfway rounds up to the subnormal.
+  EXPECT_EQ(f32_to_bf16_rne(min_sub * 0.75f), 0x0001u);
+  // Signed zero is preserved exactly.
+  EXPECT_EQ(f32_to_bf16_rne(-0.0f), 0x8000u);
+  EXPECT_EQ(f32_to_bf16_rne(0.0f), 0x0000u);
+  // Largest fp32 subnormal rounds to the bf16 subnormal/normal boundary.
+  const float big_sub = std::bit_cast<float>(0x007FFFFFu);
+  const float r = bf16_to_f32(f32_to_bf16_rne(big_sub));
+  EXPECT_NEAR(r / big_sub, 1.0, 0x1.0p-7);
+}
+
+TEST(Bf16, BulkConvertersMatchScalar) {
+  Rng rng(21);
+  const std::int64_t n = 1000;
+  std::vector<float> src(static_cast<std::size_t>(n));
+  for (auto& v : src) v = rng.uniform(-1e3f, 1e3f);
+  std::vector<bf16> mid(static_cast<std::size_t>(n));
+  std::vector<float> back(static_cast<std::size_t>(n));
+  f32_to_bf16_n(src.data(), mid.data(), n);
+  bf16_to_f32_n(mid.data(), back.data(), n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(mid[static_cast<std::size_t>(i)].bits, f32_to_bf16_rne(src[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(back[static_cast<std::size_t>(i)],
+              bf16_to_f32(f32_to_bf16_rne(src[static_cast<std::size_t>(i)])));
+  }
 }
 
 TEST(Fp16, KnownValues) {
