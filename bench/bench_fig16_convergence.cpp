@@ -62,23 +62,11 @@ std::vector<EvalPoint> run_variant(const DlrmConfig& cfg, const Dataset& data,
   // MLPerf-style decay: late-training updates become tiny — exactly the
   // regime where FP24 truncates gradient progress away while Split-SGD's
   // exact fp32 master keeps accumulating it.
-  const std::int64_t iters = train_samples / cfg.minibatch;
-  std::vector<EvalPoint> out;
-  std::int64_t done = 0;
-  for (int p = 1; p <= points; ++p) {
-    const double frac = static_cast<double>(p) / points;
-    trainer.set_lr(static_cast<float>(0.20 * std::pow(1.0 - 0.97 * frac, 1.5) +
-                                      0.0005));
-    const std::int64_t target = iters * p / points;
-    const double loss = trainer.train(target - done);
-    done = target;
-    EvalPoint ep;
-    ep.epoch_fraction = frac;
-    ep.train_loss = loss;
-    ep.auc = trainer.evaluate((iters + 1) * cfg.minibatch, 16384);
-    out.push_back(ep);
-  }
-  return out;
+  const LrSchedule schedule = [](double frac) {
+    return static_cast<float>(0.20 * std::pow(1.0 - 0.97 * frac, 1.5) + 0.0005);
+  };
+  return trainer.train_with_eval(train_samples, /*eval_samples=*/16384, points,
+                                 schedule);
 }
 
 }  // namespace
@@ -138,6 +126,15 @@ int main() {
       cells.push_back(fmt(r.points[static_cast<std::size_t>(p)].auc, 4));
     }
     row(cells, 20);
+  }
+
+  for (const auto& r : runs) {
+    JsonRow("fig16_convergence")
+        .add("variant", r.name)
+        .add("final_auc", r.points.back().auc)
+        .add("final_train_loss", r.points.back().train_loss)
+        .add("eval_points", static_cast<int>(r.points.size()))
+        .emit();
   }
 
   const double fp32 = runs[0].points.back().auc;

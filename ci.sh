@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify in Release, then an ASan/UBSan Debug pass
 # over the unit tests (benches off, portable codegen, smoke runs excluded to
-# keep the sanitizer pass bounded).
+# keep the sanitizer pass bounded), then a ThreadSanitizer pass over the
+# concurrency-heavy suites (prefetch pipeline, in-process collectives, DDP,
+# embedding exchange).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,5 +24,19 @@ cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan -E 'train_cli' --output-on-failure \
         -j "${JOBS}" --timeout 900
+
+echo "==== Debug + TSan concurrency pass (prefetch/comm/ddp/exchange) ===="
+TSAN_SUITES='test_prefetch|test_comm|test_ddp|test_exchange'
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DDLRM_SANITIZE=thread \
+  -DDLRM_BUILD_BENCH=OFF \
+  -DDLRM_BUILD_EXAMPLES=OFF \
+  -DDLRM_NATIVE_ARCH=OFF
+cmake --build build-tsan -j "${JOBS}" \
+  --target test_prefetch test_comm test_ddp test_exchange
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan -R "${TSAN_SUITES}" --output-on-failure \
+        -j "${JOBS}" --timeout 1800
 
 echo "CI OK"

@@ -8,8 +8,7 @@
 
 #include "cluster/simulator.hpp"
 #include "common/timer.hpp"
-#include "core/distributed.hpp"
-#include "data/loader.hpp"
+#include "core/dist_trainer.hpp"
 
 using namespace dlrm;
 
@@ -34,22 +33,16 @@ double measure_real(const DlrmConfig& cfg, int ranks, ExchangeStrategy strategy)
   RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, cfg.pooling, 5);
   double ms = 0.0;
   run_ranks(ranks, /*threads_per_rank=*/2, [&](ThreadComm& comm) {
-    DistributedOptions opts;
-    opts.exchange = strategy;
-    opts.overlap = true;
+    DistributedTrainerOptions opts;
+    opts.global_batch = cfg.global_batch_strong;
+    opts.dist.exchange = strategy;
+    opts.dist.overlap = true;
     auto backend = QueueBackend::ccl_like(1);
-    DistributedDlrm model(cfg, opts, comm, backend.get(), cfg.global_batch_strong);
-    DataLoader loader(data, cfg.global_batch_strong, comm.rank(), comm.size(),
-                      model.owned_tables(), LoaderMode::kLocalSlice);
-    HybridBatch hb;
-    loader.next(0, hb);
-    model.train_step(hb);  // warmup
+    DistributedTrainer trainer(cfg, data, comm, backend.get(), opts);
+    trainer.train(1);  // warmup
     const int iters = 6;
     const Timer t;
-    for (int i = 0; i < iters; ++i) {
-      loader.next(i, hb);
-      model.train_step(hb);
-    }
+    trainer.train(iters);
     if (comm.rank() == 0) ms = t.elapsed_ms() / iters;
   });
   return ms;

@@ -3,10 +3,13 @@
 //   $ ./train_cli --config=small --scale-rows=64 --scale-batch=8
 //                 --ranks=4 --strategy=alltoall --precision=bf16
 //                 --iters=50 --lr=0.05 [--blocking] [--profile]
+//                 [--loader=sliced|naive] [--no-prefetch] [--prefetch-depth=N]
 //
 // Configs: small | large | mlperf (paper Table I), optionally scaled down.
-// With --ranks=1 the single-process model runs; otherwise the
-// hybrid-parallel trainer runs on in-process ranks.
+// With --ranks=1 the single-process model runs; otherwise DistributedTrainer
+// drives the hybrid-parallel loop on in-process ranks, with the data
+// pipeline prefetching batches behind compute (disable with --no-prefetch;
+// --loader=naive reproduces the reference full-global-batch loader).
 //
 // --precision selects the end-to-end data path:
 //   fp32       — everything fp32 (default).
@@ -23,10 +26,9 @@
 #include <cstring>
 #include <string>
 
-#include "core/distributed.hpp"
+#include "core/dist_trainer.hpp"
 #include "core/model.hpp"
 #include "core/trainer.hpp"
-#include "data/loader.hpp"
 
 using namespace dlrm;
 
@@ -42,6 +44,9 @@ struct Args {
   std::string update = "racefree";
   int iters = 20;
   float lr = 0.05f;
+  std::string loader = "sliced";
+  bool prefetch = true;
+  int prefetch_depth = 2;
   bool blocking = false;
   bool profile = false;
   bool check_loss = false;
@@ -69,6 +74,9 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--update", &v)) a.update = v;
     else if (parse_flag(argv[i], "--iters", &v)) a.iters = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--lr", &v)) a.lr = static_cast<float>(std::atof(v.c_str()));
+    else if (parse_flag(argv[i], "--loader", &v)) a.loader = v;
+    else if (parse_flag(argv[i], "--prefetch-depth", &v)) a.prefetch_depth = std::atoi(v.c_str());
+    else if (std::strcmp(argv[i], "--no-prefetch") == 0) a.prefetch = false;
     else if (std::strcmp(argv[i], "--blocking") == 0) a.blocking = true;
     else if (std::strcmp(argv[i], "--profile") == 0) a.profile = true;
     else if (std::strcmp(argv[i], "--check-loss-decreases") == 0) a.check_loss = true;
@@ -76,6 +84,10 @@ Args parse(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
     }
+  }
+  if (a.prefetch_depth < 1) {
+    std::fprintf(stderr, "bad --prefetch-depth (must be >= 1)\n");
+    std::exit(2);
   }
   return a;
 }
@@ -106,6 +118,13 @@ UpdateStrategy parse_update(const std::string& s) {
   if (s == "rtm") return UpdateStrategy::kRtm;
   if (s == "racefree") return UpdateStrategy::kRaceFree;
   std::fprintf(stderr, "bad --update (reference|atomic|rtm|racefree)\n");
+  std::exit(2);
+}
+
+LoaderMode parse_loader(const std::string& s) {
+  if (s == "sliced") return LoaderMode::kLocalSlice;
+  if (s == "naive") return LoaderMode::kFullGlobalBatch;
+  std::fprintf(stderr, "bad --loader (sliced|naive)\n");
   std::exit(2);
 }
 
@@ -182,37 +201,48 @@ int main(int argc, char** argv) {
   const std::int64_t gn = cfg.minibatch;
   DLRM_CHECK(gn % args.ranks == 0, "batch must divide by ranks");
   int exit_code = 0;
+  // Parse every enum flag before spawning rank threads (parse errors exit).
+  DistributedTrainerOptions topts;
+  topts.lr = args.lr;
+  topts.global_batch = gn;
+  topts.loader_mode = parse_loader(args.loader);
+  topts.prefetch = args.prefetch;
+  topts.prefetch_depth = args.prefetch_depth;
+  topts.dist.exchange = parse_strategy(args.strategy);
+  topts.dist.embed_precision = parse_embed_precision(args.precision);
+  topts.dist.update_strategy = parse_update(args.update);
+  topts.dist.overlap = !args.blocking;
   run_ranks(args.ranks, /*threads_per_rank=*/2, [&](ThreadComm& comm) {
-    DistributedOptions opts;
-    opts.exchange = parse_strategy(args.strategy);
-    opts.embed_precision = parse_embed_precision(args.precision);
-    opts.update_strategy = parse_update(args.update);
-    opts.overlap = !args.blocking;
-    opts.lr = args.lr;
     auto backend = args.blocking ? nullptr : QueueBackend::ccl_like(2);
-    DistributedDlrm model(cfg, opts, comm, backend.get(), gn);
-    DataLoader loader(data, gn, comm.rank(), comm.size(), model.owned_tables(),
-                      LoaderMode::kLocalSlice);
-    HybridBatch hb;
+    DistributedTrainer trainer(cfg, data, comm, backend.get(), topts);
     Profiler prof;
-    Meter loss, first, last;
+    Profiler* prof_ptr = args.profile ? &prof : nullptr;
     const Timer t;
-    for (int i = 0; i < args.iters; ++i) {
-      loader.next(i, hb);
-      const double l = model.train_step(hb, args.profile ? &prof : nullptr);
-      loss.add(l);
-      if (quarter > 0 && i < quarter) first.add(l);
-      if (quarter > 0 && i >= args.iters - quarter) last.add(l);
+    double first_loss = 0.0, last_loss = 0.0, loss = 0.0;
+    if (args.check_loss && quarter > 0) {
+      first_loss = trainer.train(quarter, prof_ptr);
+      const double mid = trainer.train(args.iters - 2 * quarter, prof_ptr);
+      last_loss = trainer.train(quarter, prof_ptr);
+      loss = (first_loss * quarter + mid * (args.iters - 2 * quarter) +
+              last_loss * quarter) /
+             args.iters;
+    } else {
+      loss = trainer.train(args.iters, prof_ptr);
     }
     if (comm.rank() == 0) {
-      std::printf("%d iters in %.2f s (%.2f ms/iter), rank0 mean loss %.4f\n",
+      std::printf("%d iters in %.2f s (%.2f ms/iter), global mean loss %.4f\n",
                   args.iters, t.elapsed_sec(), t.elapsed_ms() / args.iters,
-                  loss.mean());
+                  loss);
+      std::printf("loader: %s, prefetch %s(depth %d): exposed %.2f ms, "
+                  "hidden %.2f ms\n",
+                  args.loader.c_str(), args.prefetch ? "on" : "off",
+                  args.prefetch_depth, trainer.loader_exposed_sec() * 1e3,
+                  trainer.loader_hidden_sec() * 1e3);
       if (args.profile) std::printf("%s", prof.report().c_str());
       if (args.check_loss && quarter > 0) {
         std::printf("loss check: first-quarter %.4f -> last-quarter %.4f\n",
-                    first.mean(), last.mean());
-        if (!(last.mean() < first.mean())) {
+                    first_loss, last_loss);
+        if (!(last_loss < first_loss)) {
           std::fprintf(stderr, "FAIL: loss did not decrease\n");
           exit_code = 1;
         }

@@ -1,0 +1,103 @@
+#include "core/dist_trainer.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+namespace {
+
+DistributedOptions merge_options(const DistributedTrainerOptions& o) {
+  DistributedOptions d = o.dist;
+  d.lr = o.lr;
+  d.seed = o.seed;
+  return d;
+}
+
+}  // namespace
+
+DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
+                                       const Dataset& data, ThreadComm& comm,
+                                       QueueBackend* backend,
+                                       DistributedTrainerOptions options)
+    : comm_(comm),
+      options_(options),
+      model_(config, merge_options(options), comm, backend,
+             options.global_batch),
+      loader_(data, options.global_batch, comm.rank(), comm.size(),
+              model_.owned_tables(), options.loader_mode),
+      prefetch_(loader_,
+                {.enabled = options.prefetch, .depth = options.prefetch_depth}) {
+  DLRM_CHECK(options_.global_batch > 0, "global batch must be positive");
+}
+
+double DistributedTrainer::allreduce_mean(double local) {
+  // Equal LN slices: the mean over ranks of local mean losses is the global
+  // mean over GN.
+  float buf = static_cast<float>(local);
+  comm_.allreduce(&buf, 1);
+  return static_cast<double>(buf) / comm_.size();
+}
+
+double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
+  Meter local_loss;
+  for (std::int64_t i = 0; i < iters; ++i) {
+    const HybridBatch& hb = prefetch_.next(iter_);
+    const double exposed = prefetch_.last_wait_sec();
+    const double hidden =
+        std::max(0.0, prefetch_.last_load_sec() - exposed);
+    loader_exposed_ += exposed;
+    loader_hidden_ += hidden;
+    if (prof != nullptr) {
+      prof->add("loader_exposed", exposed);
+      prof->add("loader_hidden", hidden);
+    }
+    local_loss.add(model_.train_step(hb, prof));
+    ++iter_;
+  }
+  if (iters <= 0) return 0.0;
+  // One scalar allreduce per call, not per iteration: allreduce is linear
+  // and the LN slices are equal, so the mean of local means equals the
+  // global mean over all GN·iters samples.
+  return allreduce_mean(local_loss.mean());
+}
+
+double DistributedTrainer::evaluate(std::int64_t first, std::int64_t n) {
+  const std::int64_t gn = model_.global_batch();
+  const std::int64_t ln = model_.local_batch();
+  DLRM_CHECK(first % gn == 0,
+             "eval range must start on a global-batch boundary");
+  if (eval_scores_.size() != gn) {
+    eval_scores_.reshape({gn});
+    eval_labels_.reshape({gn});
+  }
+  AucAccumulator auc;
+  for (std::int64_t off = 0; off < n; off += gn) {
+    // Keep the model batch fixed: score full batches, padding by wrap (same
+    // convention as Trainer::evaluate), but only count the first `take`.
+    const std::int64_t take = std::min(gn, n - off);
+    const HybridBatch& hb = prefetch_.next((first + off) / gn);
+    const Tensor<float>& logits = model_.forward(hb);
+    const std::int64_t base = comm_.rank() * ln;
+    for (std::int64_t i = 0; i < ln; ++i) {
+      eval_scores_[base + i] = logits[i];
+      eval_labels_[base + i] = hb.labels[i];
+    }
+    comm_.allgather_chunks(eval_scores_.data(), gn);
+    comm_.allgather_chunks(eval_labels_.data(), gn);
+    auc.add(eval_scores_.data(), eval_labels_.data(), take);
+  }
+  return auc.compute();
+}
+
+std::vector<EvalPoint> DistributedTrainer::train_with_eval(
+    std::int64_t train_samples, std::int64_t eval_samples, int eval_points,
+    const LrSchedule& lr_schedule) {
+  // SPMD: all ranks iterate the same checkpoint targets in lockstep.
+  return detail::train_with_eval_loop(*this, model_.global_batch(),
+                                      train_samples, eval_samples, eval_points,
+                                      lr_schedule);
+}
+
+}  // namespace dlrm

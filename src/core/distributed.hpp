@@ -75,6 +75,11 @@ class DistributedDlrm {
   /// Forward only; returns local logits [LN] (for evaluation).
   const Tensor<float>& forward(const HybridBatch& hb, Profiler* prof = nullptr);
 
+  /// Adjusts the learning rate (lr-decay schedules; applies to the sparse
+  /// embedding update and the dense optimizer step alike).
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
   Mlp& bottom_mlp() { return bottom_; }
   Mlp& top_mlp() { return top_; }
   /// k-th owned table.

@@ -50,26 +50,10 @@ double Trainer::evaluate(std::int64_t first, std::int64_t n) {
 
 std::vector<EvalPoint> Trainer::train_with_eval(std::int64_t train_samples,
                                                 std::int64_t eval_samples,
-                                                int eval_points) {
-  DLRM_CHECK(eval_points >= 1, "need at least one eval point");
-  const std::int64_t total_iters =
-      std::max<std::int64_t>(1, train_samples / options_.batch);
-  // Held-out range starts beyond the training stream.
-  const std::int64_t eval_first = (total_iters + 1) * options_.batch;
-
-  std::vector<EvalPoint> points;
-  std::int64_t done = 0;
-  for (int p = 1; p <= eval_points; ++p) {
-    const std::int64_t target = total_iters * p / eval_points;
-    const double loss = train(target - done);
-    done = target;
-    EvalPoint ep;
-    ep.epoch_fraction = static_cast<double>(p) / eval_points;
-    ep.train_loss = loss;
-    ep.auc = evaluate(eval_first, eval_samples);
-    points.push_back(ep);
-  }
-  return points;
+                                                int eval_points,
+                                                const LrSchedule& lr_schedule) {
+  return detail::train_with_eval_loop(*this, options_.batch, train_samples,
+                                      eval_samples, eval_points, lr_schedule);
 }
 
 }  // namespace dlrm

@@ -2,11 +2,13 @@
 // the harness behind the convergence study of Fig. 16.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/log.hpp"
 #include "core/model.hpp"
 #include "data/dataset.hpp"
 #include "optim/optimizer.hpp"
@@ -29,6 +31,53 @@ struct EvalPoint {
   double train_loss = 0.0;
 };
 
+/// Optional learning-rate schedule for train_with_eval: called with the
+/// epoch fraction about to be trained towards; the returned lr applies to
+/// that interval (MLPerf-style decay, as used by the Fig. 16 bench).
+using LrSchedule = std::function<float(double epoch_fraction)>;
+
+namespace detail {
+
+/// The train_with_eval loop shared by Trainer and DistributedTrainer —
+/// both must report identical checkpoint semantics (interval targets,
+/// empty-interval merging, schedule timing, held-out eval range) or their
+/// convergence curves silently diverge. `trainer` needs train(iters),
+/// evaluate(first, n), and set_lr(lr).
+template <typename TrainerT>
+std::vector<EvalPoint> train_with_eval_loop(TrainerT& trainer,
+                                            std::int64_t batch,
+                                            std::int64_t train_samples,
+                                            std::int64_t eval_samples,
+                                            int eval_points,
+                                            const LrSchedule& lr_schedule) {
+  DLRM_CHECK(eval_points >= 1, "need at least one eval point");
+  const std::int64_t total_iters =
+      std::max<std::int64_t>(1, train_samples / batch);
+  // Held-out range starts beyond the training stream.
+  const std::int64_t eval_first = (total_iters + 1) * batch;
+
+  std::vector<EvalPoint> points;
+  std::int64_t done = 0;
+  for (int p = 1; p <= eval_points; ++p) {
+    const std::int64_t target = total_iters * p / eval_points;
+    // When eval_points exceeds the iteration count, some intervals contain
+    // zero iterations; training nothing and averaging an empty Meter would
+    // report loss 0.0. Merge such checkpoints into the next non-empty one.
+    if (target == done) continue;
+    const double frac = static_cast<double>(p) / eval_points;
+    if (lr_schedule) trainer.set_lr(lr_schedule(frac));
+    EvalPoint ep;
+    ep.epoch_fraction = frac;
+    ep.train_loss = trainer.train(target - done);
+    done = target;
+    ep.auc = trainer.evaluate(eval_first, eval_samples);
+    points.push_back(ep);
+  }
+  return points;
+}
+
+}  // namespace detail
+
 class Trainer {
  public:
   Trainer(DlrmModel& model, Optimizer& opt, const Dataset& data,
@@ -42,11 +91,16 @@ class Trainer {
   const Optimizer& optimizer() const { return opt_; }
 
   /// Trains on `train_samples` total samples; evaluates ROC-AUC on
-  /// `eval_samples` held-out samples at each of `eval_points` evenly spaced
+  /// `eval_samples` held-out samples at up to `eval_points` evenly spaced
   /// checkpoints (e.g. 20 → every 5% of the "epoch", as in Fig. 16).
+  /// Checkpoints whose interval contains zero whole iterations are merged
+  /// into the next one (so eval_points > total iterations never reports a
+  /// bogus 0.0 loss from an empty interval). If `lr_schedule` is set, the
+  /// lr for each interval is lr_schedule(interval end epoch fraction).
   std::vector<EvalPoint> train_with_eval(std::int64_t train_samples,
                                          std::int64_t eval_samples,
-                                         int eval_points);
+                                         int eval_points,
+                                         const LrSchedule& lr_schedule = {});
 
   /// Runs `iters` training iterations without evaluation; returns mean loss.
   double train(std::int64_t iters, Profiler* prof = nullptr);

@@ -1,0 +1,108 @@
+// Asynchronous double-buffered data pipeline over DataLoader.
+//
+// The paper's Fig. 13 shows the reference loader's cost growing with rank
+// count because it is paid synchronously inside every step. PrefetchLoader
+// moves DataLoader::next() onto a background producer thread with a bounded
+// ring of pre-materialized HybridBatches, so iteration i+1's data loads while
+// iteration i computes. The consumer only blocks when the producer has fallen
+// behind — that blocked time is the *exposed* loader cost; the rest is hidden
+// under compute.
+//
+// Determinism: batches are produced by the same DataLoader::next(iter) calls
+// in the same order as the synchronous path, and every sample is a pure
+// function of (dataset seed, global index), so prefetch on/off yields
+// bit-identical batches. Non-sequential access (e.g. switching between the
+// training and evaluation streams) flushes the pipeline and restarts the
+// producer at the requested iteration.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/loader.hpp"
+
+namespace dlrm {
+
+struct PrefetchOptions {
+  /// false = synchronous passthrough (DataLoader::next inline, no thread).
+  bool enabled = true;
+  /// Pipeline depth N: how many batches the producer may run ahead of the
+  /// consumer (bounded-queue backpressure). 1 = classic double buffering.
+  int depth = 2;
+};
+
+class PrefetchLoader {
+ public:
+  /// Wraps `loader`. While enabled, the producer thread is the only caller
+  /// of loader.next(); the loader must outlive this object.
+  PrefetchLoader(DataLoader& loader, PrefetchOptions options);
+  ~PrefetchLoader();
+
+  PrefetchLoader(const PrefetchLoader&) = delete;
+  PrefetchLoader& operator=(const PrefetchLoader&) = delete;
+
+  /// Returns the batch for iteration `iter` (samples [iter*GN, (iter+1)*GN)
+  /// of the stream). The reference stays valid until the next call. Calling
+  /// with iter != previous+1 reseeks the pipeline (flush + restart).
+  const HybridBatch& next(std::int64_t iter);
+
+  bool enabled() const { return options_.enabled; }
+  int depth() const { return options_.depth; }
+
+  /// Seconds the last next() spent blocked waiting on the producer — the
+  /// loader cost still *exposed* to the training step.
+  double last_wait_sec() const { return last_wait_sec_; }
+  /// Seconds the producer spent materializing the last returned batch
+  /// (its full DataLoader cost, whether hidden or exposed).
+  double last_load_sec() const { return last_load_sec_; }
+
+  /// Cumulative accounting across all next() calls.
+  double total_wait_sec() const { return total_wait_sec_; }
+  double total_load_sec() const { return total_load_sec_; }
+
+  /// Batches fully materialized by the producer so far (includes batches
+  /// prefetched ahead and batches discarded by a reseek).
+  std::int64_t batches_loaded() const;
+
+ private:
+  struct Slot {
+    HybridBatch batch;
+    std::int64_t iter = -1;
+    std::uint64_t epoch = 0;
+    double load_sec = 0.0;
+  };
+
+  void producer_loop();
+  const HybridBatch& sync_next(std::int64_t iter);
+
+  DataLoader& loader_;
+  PrefetchOptions options_;
+
+  // Pipeline state (guarded by mu_). Slots cycle: free -> loading -> ready
+  // -> checked out (returned to the consumer) -> free.
+  mutable std::mutex mu_;
+  std::condition_variable cv_producer_;  // free slot available / stop / seek
+  std::condition_variable cv_consumer_;  // ready slot available
+  std::vector<Slot> slots_;
+  std::deque<int> free_;   // slot indices the producer may fill
+  std::deque<int> ready_;  // filled slots in iteration order
+  int checked_out_ = -1;   // slot currently lent to the consumer
+  std::int64_t produce_iter_ = 0;  // next iteration the producer will load
+  std::uint64_t epoch_ = 0;        // bumped on reseek; stale loads discarded
+  std::int64_t loaded_ = 0;
+  bool stop_ = false;
+  std::thread producer_;
+
+  // Consumer-side accounting (consumer thread only).
+  std::int64_t expect_iter_ = 0;
+  double last_wait_sec_ = 0.0, last_load_sec_ = 0.0;
+  double total_wait_sec_ = 0.0, total_load_sec_ = 0.0;
+
+  HybridBatch sync_batch_;  // passthrough staging when disabled
+};
+
+}  // namespace dlrm

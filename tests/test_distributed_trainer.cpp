@@ -1,0 +1,260 @@
+// End-to-end tests for DistributedTrainer: the paper's hybrid-parallelism
+// correctness claim (R-rank training ≡ one big-batch single-process model)
+// checked at the training-loop level — per-iteration GLOBAL mean loss parity
+// against the single-process Trainer on the same GN stream, in fp32 and
+// bf16 — plus prefetch on/off determinism and distributed evaluation.
+#include "core/dist_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace dlrm {
+namespace {
+
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "tiny";
+  c.minibatch = 64;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {300, 200, 250, 150, 220, 180};  // S = 6
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.validate();
+  return c;
+}
+
+// Per-iteration losses of the single-process reference on global batches.
+std::vector<double> single_process_losses(const DlrmConfig& c,
+                                          const Dataset& data,
+                                          std::int64_t gn, int iters,
+                                          std::uint64_t seed, float lr) {
+  DlrmModel model(c, {}, seed);
+  // The owning ctor matches the dense optimizer to c.mlp_precision, exactly
+  // like DistributedDlrm does internally.
+  Trainer trainer(model, data, {.lr = lr, .batch = gn, .seed = seed});
+  std::vector<double> out;
+  for (int i = 0; i < iters; ++i) out.push_back(trainer.train(1));
+  return out;
+}
+
+using ParityCase = std::tuple<int, Precision>;  // ranks, mlp precision
+
+class DistributedTrainerParityTest
+    : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(DistributedTrainerParityTest, GlobalLossMatchesSingleProcess) {
+  const auto [R, precision] = GetParam();
+  DlrmConfig c = tiny_config();
+  c.mlp_precision = precision;
+  const std::int64_t GN = 64;
+  const int iters = 6;
+  const std::uint64_t seed = 77;
+  const float lr = 0.05f;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  const std::vector<double> ref =
+      single_process_losses(c, data, GN, iters, seed, lr);
+
+  std::vector<double> dist(static_cast<std::size_t>(iters), 0.0);
+  const DlrmConfig& cc = c;
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = lr;
+    opts.global_batch = GN;
+    opts.seed = seed;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    for (int i = 0; i < iters; ++i) {
+      const double loss = trainer.train(1);  // global mean, allreduced
+      if (comm.rank() == 0) dist[static_cast<std::size_t>(i)] = loss;
+    }
+    EXPECT_EQ(trainer.iterations_done(), iters);
+  });
+
+  // fp32: differences come only from reduction order (DDP averaging,
+  // sliced interaction). bf16: the distributed path additionally rounds
+  // the gradient/exchange wire payloads to bf16, which the single-process
+  // model does not, so the drift per step is one bf16 ulp scale.
+  const double tol = precision == Precision::kBf16 ? 2e-2 : 3e-3;
+  for (int i = 0; i < iters; ++i) {
+    EXPECT_NEAR(dist[static_cast<std::size_t>(i)],
+                ref[static_cast<std::size_t>(i)], tol)
+        << "iteration " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DistributedTrainerParityTest,
+    ::testing::Values(ParityCase{1, Precision::kFp32},
+                      ParityCase{2, Precision::kFp32},
+                      ParityCase{4, Precision::kFp32},
+                      ParityCase{1, Precision::kBf16},
+                      ParityCase{2, Precision::kBf16},
+                      ParityCase{4, Precision::kBf16}),
+    [](const ::testing::TestParamInfo<ParityCase>& tpi) {
+      return "R" + std::to_string(std::get<0>(tpi.param)) + "_" +
+             std::string(to_string(std::get<1>(tpi.param)));
+    });
+
+// The prefetch pipeline must not change training at all: same seeds, same
+// batches, bit-identical loss sequence whether batches are materialized
+// synchronously inside the step or ahead of it on the producer thread.
+TEST(DistributedTrainer, PrefetchOnOffIdenticalLossSequences) {
+  const DlrmConfig c = tiny_config();
+  const DlrmConfig& cc = c;
+  const std::int64_t GN = 64;
+  const int iters = 5;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  auto run = [&](bool prefetch, int depth) {
+    std::vector<double> losses(static_cast<std::size_t>(iters), 0.0);
+    run_ranks(2, 2, [&](ThreadComm& comm) {
+      DistributedTrainerOptions opts;
+      opts.lr = 0.05f;
+      opts.global_batch = GN;
+      opts.prefetch = prefetch;
+      opts.prefetch_depth = depth;
+      auto backend = QueueBackend::ccl_like(2);
+      DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+      for (int i = 0; i < iters; ++i) {
+        const double loss = trainer.train(1);
+        if (comm.rank() == 0) losses[static_cast<std::size_t>(i)] = loss;
+      }
+    });
+    return losses;
+  };
+
+  const std::vector<double> off = run(false, 1);
+  for (int depth = 1; depth <= 4; ++depth) {
+    const std::vector<double> on = run(true, depth);
+    for (int i = 0; i < iters; ++i) {
+      EXPECT_EQ(on[static_cast<std::size_t>(i)],
+                off[static_cast<std::size_t>(i)])
+          << "depth " << depth << " iteration " << i;
+    }
+  }
+}
+
+SyntheticCtrDataset ctr_tiny_data() {
+  CtrParams p;
+  p.dense_dim = 8;
+  p.rows = {2000, 1000, 3000, 500};
+  p.pooling = 1;
+  p.index_skew = 1.2;
+  p.dense_scale = 1.2f;
+  p.sparse_scale = 0.9f;
+  p.seed = 99;
+  return SyntheticCtrDataset(p);
+}
+
+DlrmConfig ctr_tiny_config() {
+  DlrmConfig c;
+  c.name = "ctr-tiny";
+  c.minibatch = 128;
+  c.global_batch_strong = 128;
+  c.local_batch_weak = 64;
+  c.pooling = 1;
+  c.dim = 16;
+  c.table_rows = {2000, 1000, 3000, 500};
+  c.bottom_mlp = {8, 32, 16};
+  c.top_mlp = {32, 1};
+  c.validate();
+  return c;
+}
+
+TEST(DistributedTrainer, EvaluateIsIdenticalAcrossRanksAndImproves) {
+  const DlrmConfig c = ctr_tiny_config();
+  const DlrmConfig& cc = c;
+  const SyntheticCtrDataset data = ctr_tiny_data();
+  const std::int64_t GN = 128;
+  const std::int64_t eval_first = GN * 2000;  // held out beyond training
+  std::vector<double> before(2), after(2);
+
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = 0.1f;
+    opts.global_batch = GN;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    before[static_cast<std::size_t>(comm.rank())] =
+        trainer.evaluate(eval_first, 2048);
+    trainer.train(150);
+    after[static_cast<std::size_t>(comm.rank())] =
+        trainer.evaluate(eval_first, 2048);
+  });
+
+  // Every rank gathers the same global logits -> the same AUC, exactly.
+  EXPECT_EQ(before[0], before[1]);
+  EXPECT_EQ(after[0], after[1]);
+  EXPECT_NEAR(before[0], 0.5, 0.06);  // untrained ≈ chance
+  EXPECT_GT(after[0], 0.62) << "distributed training failed to beat chance";
+}
+
+TEST(DistributedTrainer, TrainWithEvalMergesEmptyIntervalsAndAppliesSchedule) {
+  const DlrmConfig c = ctr_tiny_config();
+  const DlrmConfig& cc = c;
+  const SyntheticCtrDataset data = ctr_tiny_data();
+  const std::int64_t GN = 128;
+
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = 0.1f;
+    opts.global_batch = GN;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    // 2 total iterations but 8 requested checkpoints: empty intervals must
+    // be merged, never reported as loss-0.0 points.
+    const LrSchedule schedule = [](double frac) {
+      return static_cast<float>(0.1 * (1.0 - 0.5 * frac));
+    };
+    const auto points =
+        trainer.train_with_eval(GN * 2, /*eval_samples=*/512,
+                                /*eval_points=*/8, schedule);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].epoch_fraction, 0.5);
+    EXPECT_DOUBLE_EQ(points[1].epoch_fraction, 1.0);
+    for (const auto& p : points) {
+      EXPECT_GT(p.train_loss, 0.0);
+      EXPECT_GT(p.auc, 0.0);
+    }
+    // The schedule's final value must have been applied.
+    EXPECT_FLOAT_EQ(trainer.lr(), 0.05f);
+  });
+}
+
+TEST(DistributedTrainer, ReferenceLoaderModeTrainsIdentically) {
+  // kFullGlobalBatch materializes more bytes but must produce the same
+  // batches, hence the same losses, as kLocalSlice.
+  const DlrmConfig c = tiny_config();
+  const DlrmConfig& cc = c;
+  const std::int64_t GN = 64;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  auto run = [&](LoaderMode mode) {
+    double loss = 0.0;
+    run_ranks(2, 2, [&](ThreadComm& comm) {
+      DistributedTrainerOptions opts;
+      opts.lr = 0.05f;
+      opts.global_batch = GN;
+      opts.loader_mode = mode;
+      auto backend = QueueBackend::ccl_like(2);
+      DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+      const double l = trainer.train(4);
+      if (comm.rank() == 0) loss = l;
+    });
+    return loss;
+  };
+
+  EXPECT_EQ(run(LoaderMode::kLocalSlice), run(LoaderMode::kFullGlobalBatch));
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -7,6 +7,22 @@
 namespace dlrm {
 namespace {
 
+void expect_equal_hybrid(const HybridBatch& a, const HybridBatch& b) {
+  EXPECT_EQ(max_abs_diff(a.dense, b.dense), 0.0f);
+  EXPECT_EQ(max_abs_diff(a.labels, b.labels), 0.0f);
+  ASSERT_EQ(a.owned_bags.size(), b.owned_bags.size());
+  for (std::size_t k = 0; k < a.owned_bags.size(); ++k) {
+    ASSERT_EQ(a.owned_bags[k].batch(), b.owned_bags[k].batch());
+    ASSERT_EQ(a.owned_bags[k].lookups(), b.owned_bags[k].lookups());
+    for (std::int64_t i = 0; i < a.owned_bags[k].lookups(); ++i) {
+      ASSERT_EQ(a.owned_bags[k].indices[i], b.owned_bags[k].indices[i]);
+    }
+    for (std::int64_t i = 0; i <= a.owned_bags[k].batch(); ++i) {
+      ASSERT_EQ(a.owned_bags[k].offsets[i], b.owned_bags[k].offsets[i]);
+    }
+  }
+}
+
 TEST(DataLoader, LocalSliceMatchesFullGlobalBatch) {
   RandomDataset data(8, 6, 200, 3, 5);
   const std::int64_t GN = 24;
@@ -55,6 +71,39 @@ TEST(DataLoader, SliceContentsMatchGlobalStream) {
   ASSERT_EQ(hb.owned_bags[0].batch(), GN);
   for (std::int64_t i = 0; i < hb.owned_bags[0].lookups(); ++i) {
     ASSERT_EQ(hb.owned_bags[0].indices[i], global.bags[1].indices[i]);
+  }
+}
+
+// The two loader modes must be observationally identical for EVERY rank
+// geometry — the optimized kLocalSlice path only changes WHAT is
+// materialized, never the contents — and its per-iteration byte footprint
+// must be strictly smaller as soon as the work is actually spread (R > 1).
+// At R = 1 both modes materialize the whole global batch, so the footprints
+// coincide.
+TEST(DataLoader, ModeEquivalenceForEveryRankGeometry) {
+  RandomDataset data(8, 6, 200, 3, 41);
+  const std::int64_t GN = 24;  // divides by every R below
+  for (int R : {1, 2, 3, 4}) {
+    for (int rank = 0; rank < R; ++rank) {
+      SCOPED_TRACE("ranks " + std::to_string(R) + " rank " +
+                   std::to_string(rank));
+      std::vector<std::int64_t> owned;
+      for (std::int64_t t = rank; t < 6; t += R) owned.push_back(t);
+
+      DataLoader naive(data, GN, rank, R, owned, LoaderMode::kFullGlobalBatch);
+      DataLoader opt(data, GN, rank, R, owned, LoaderMode::kLocalSlice);
+      HybridBatch a, b;
+      for (std::int64_t iter : {0, 3}) {
+        naive.next(iter, a);
+        opt.next(iter, b);
+        expect_equal_hybrid(a, b);
+      }
+      if (R > 1) {
+        EXPECT_LT(opt.bytes_per_iteration(), naive.bytes_per_iteration());
+      } else {
+        EXPECT_EQ(opt.bytes_per_iteration(), naive.bytes_per_iteration());
+      }
+    }
   }
 }
 

@@ -74,6 +74,51 @@ TEST(Trainer, EvalPointsAreOrderedAndImprove) {
   EXPECT_GT(points.back().auc, 0.60);
 }
 
+// Regression: eval_points > total iterations used to run train(0) on the
+// empty intervals and report their mean over an empty Meter — a bogus 0.0
+// train_loss. Empty intervals are now merged into the next checkpoint.
+TEST(Trainer, TrainWithEvalMergesEmptyIntervals) {
+  const DlrmConfig c = ctr_tiny_config();
+  SyntheticCtrDataset data = ctr_tiny_data(c);
+  DlrmModel model(c, {}, 24);
+  SgdFp32 opt;
+  opt.attach(model.mlp_param_slots());
+  Trainer trainer(model, opt, data, {.lr = 0.05f, .batch = 128, .seed = 24});
+
+  // 2 total iterations, 8 requested checkpoints -> only 2 materialize.
+  auto points = trainer.train_with_eval(/*train_samples=*/128 * 2,
+                                        /*eval_samples=*/512,
+                                        /*eval_points=*/8);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].epoch_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(points[1].epoch_fraction, 1.0);
+  for (const auto& p : points) {
+    EXPECT_GT(p.train_loss, 0.0) << "empty interval reported as loss 0.0";
+  }
+  EXPECT_EQ(trainer.iterations_done(), 2);
+}
+
+TEST(Trainer, TrainWithEvalAppliesLrSchedule) {
+  const DlrmConfig c = ctr_tiny_config();
+  SyntheticCtrDataset data = ctr_tiny_data(c);
+  DlrmModel model(c, {}, 25);
+  SgdFp32 opt;
+  opt.attach(model.mlp_param_slots());
+  Trainer trainer(model, opt, data, {.lr = 0.2f, .batch = 128, .seed = 25});
+
+  std::vector<double> seen;
+  auto points = trainer.train_with_eval(
+      128 * 4, 512, 2, [&](double frac) {
+        seen.push_back(frac);
+        return static_cast<float>(0.2 * (1.0 - frac));
+      });
+  ASSERT_EQ(points.size(), 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.5);
+  EXPECT_DOUBLE_EQ(seen[1], 1.0);
+  EXPECT_FLOAT_EQ(trainer.lr(), 0.0f);  // schedule's final value sticks
+}
+
 TEST(Trainer, IterationCounterAdvances) {
   const DlrmConfig c = ctr_tiny_config();
   SyntheticCtrDataset data = ctr_tiny_data(c);
