@@ -47,5 +47,8 @@ int main() {
       "allreduce cost shows up under Alltoall-Wait (in-order completion);\n"
       "MLPerf transitions from alltoall-bound to allreduce-bound as ranks\n"
       "grow; pre/post framework costs are backend independent.\n");
+  // Placement quality under strong scaling: per-rank embedding-time
+  // imbalance of the three sharding policies on a skewed table set.
+  run_sharding_imbalance("fig11_comm_split", /*weak=*/false);
   return 0;
 }

@@ -47,5 +47,8 @@ int main() {
       "\nExpected shape (paper): under weak scaling the alltoall volume per\n"
       "rank stays constant while allreduce cost grows with R, so the MLPerf\n"
       "comm cost first falls (to ~8R) then rises again.\n");
+  // Placement quality under weak scaling (GN grows with R): per-rank
+  // embedding-time imbalance of the three sharding policies.
+  run_sharding_imbalance("fig14_weak_comm_split", /*weak=*/true);
   return 0;
 }

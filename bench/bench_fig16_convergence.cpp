@@ -59,12 +59,12 @@ std::vector<EvalPoint> run_variant(const DlrmConfig& cfg, const Dataset& data,
   opt.attach(model.mlp_param_slots());
   Trainer trainer(model, opt, data,
                   {.lr = 0.20f, .batch = cfg.minibatch, .seed = 1234});
-  // MLPerf-style decay: late-training updates become tiny — exactly the
-  // regime where FP24 truncates gradient progress away while Split-SGD's
-  // exact fp32 master keeps accumulating it.
-  const LrSchedule schedule = [](double frac) {
-    return static_cast<float>(0.20 * std::pow(1.0 - 0.97 * frac, 1.5) + 0.0005);
-  };
+  // MLPerf-style polynomial decay: late-training updates become tiny —
+  // exactly the regime where FP24 truncates gradient progress away while
+  // Split-SGD's exact fp32 master keeps accumulating it. (0.20 * (1 -
+  // 0.97*frac)^1.5 + 0.0005, now a first-class schedule object.)
+  const LrSchedule schedule =
+      LrSchedule::poly_decay(0.20f, 0.0005f, /*power=*/1.5, /*span=*/0.97);
   return trainer.train_with_eval(train_samples, /*eval_samples=*/16384, points,
                                  schedule);
 }

@@ -1,5 +1,9 @@
 #include "bench_util.hpp"
 
+#include <vector>
+
+#include "core/dist_trainer.hpp"
+
 namespace dlrm::bench {
 
 namespace {
@@ -24,6 +28,95 @@ double fma_kernel(std::int64_t iters) {
 }
 
 }  // namespace
+
+void run_sharding_imbalance(const std::string& bench_name, bool weak) {
+  std::printf("\n-- sharding placement quality (real mini-run, %s scaling) --\n",
+              weak ? "weak" : "strong");
+  row({"policy", "ranks", "emb-max(ms)", "emb-mean(ms)", "imb", "max-rows"},
+      13);
+
+  // One hot table with 8x the rows and 8x the lookups of the rest — the
+  // production skew round-robin placement cannot balance, and a table too
+  // large for one rank's even share (the row-split planner caps it).
+  DlrmConfig cfg;
+  cfg.name = "sharding-imbalance";
+  cfg.pooling = 2;
+  cfg.dim = 16;
+  cfg.table_rows.assign(8, 3000);
+  cfg.table_rows[0] = 24000;
+  cfg.bottom_mlp = {8, 32, 16};
+  cfg.top_mlp = {32, 1};
+  cfg.validate();
+  std::vector<std::int64_t> poolings(cfg.table_rows.size(), cfg.pooling);
+  poolings[0] = cfg.pooling * 8;
+  RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, poolings, 7);
+
+  std::int64_t biggest = 0;
+  for (auto m : cfg.table_rows) biggest = std::max(biggest, m);
+
+  const int iters = 8;
+  for (int R : {2, 4}) {
+    const std::int64_t gn = weak ? 128 * R : 256;
+    for (ShardingPolicy policy :
+         {ShardingPolicy::kRoundRobin, ShardingPolicy::kGreedyBalanced,
+          ShardingPolicy::kRowSplit}) {
+      double first_loss = 0.0, last_loss = 0.0;
+      double emb_max = 0.0, emb_mean = 0.0;
+      double cost_imb = 0.0;
+      std::int64_t max_rows = 0, num_shards = 0;
+      run_ranks(R, /*threads_per_rank=*/2, [&](ThreadComm& comm) {
+        DistributedTrainerOptions opts;
+        opts.lr = 0.05f;
+        opts.global_batch = gn;
+        opts.sharding.policy = policy;
+        auto backend = QueueBackend::ccl_like(2);
+        DistributedTrainer trainer(cfg, data, comm, backend.get(), opts);
+        const double f = trainer.train(iters / 2);
+        const double l = trainer.train(iters - iters / 2);
+        const auto imb = trainer.embedding_imbalance();
+        if (comm.rank() == 0) {
+          first_loss = f;
+          last_loss = l;
+          emb_max = imb.max_sec;
+          emb_mean = imb.mean_sec;
+          const ShardingPlan& plan = trainer.model().plan();
+          cost_imb = plan.cost_imbalance();
+          num_shards = plan.num_shards();
+          for (int r = 0; r < R; ++r) {
+            max_rows = std::max(max_rows, plan.rank_rows(r));
+          }
+        }
+      });
+      row({to_string(policy), fmt_int(R), fmt(emb_max * 1e3, 2),
+           fmt(emb_mean * 1e3, 2),
+           fmt(emb_mean > 0 ? emb_max / emb_mean : 1.0, 2),
+           fmt_int(max_rows)},
+          13);
+      JsonRow(bench_name)
+          .add("section", "sharding_imbalance")
+          .add("scaling", weak ? "weak" : "strong")
+          .add("policy", to_string(policy))
+          .add("ranks", R)
+          .add("global_batch", gn)
+          .add("iters", iters)
+          .add("num_shards", num_shards)
+          .add("emb_max_ms", emb_max * 1e3)
+          .add("emb_mean_ms", emb_mean * 1e3)
+          .add("emb_imbalance", emb_mean > 0 ? emb_max / emb_mean : 1.0)
+          .add("plan_cost_imbalance", cost_imb)
+          .add("max_rank_rows", max_rows)
+          .add("biggest_table_rows", biggest)
+          .add("first_loss", first_loss)
+          .add("last_loss", last_loss)
+          .emit();
+    }
+  }
+  std::printf(
+      "Expected shape: round-robin pins the 8x table's work to one rank\n"
+      "(emb-max >> emb-mean); GreedyBalanced packs against it; RowSplit\n"
+      "additionally caps max-rows below the biggest table (%lld rows).\n",
+      static_cast<long long>(biggest));
+}
 
 double measured_core_peak_flops() {
   static double cached = [] {

@@ -51,6 +51,15 @@ inline double time_median_sec(const std::function<void()>& fn, int reps = 5) {
 /// report "fraction of peak" like Fig. 5 without trusting nominal numbers.
 double measured_core_peak_flops();
 
+/// Real mini-run comparing the sharding policies on a skewed table set (one
+/// table 8x the rows and lookups of the rest): trains a few iterations per
+/// (policy, rank count) on in-process ranks and emits one BENCH_JSON row
+/// each with the per-rank embedding-time max/mean (placement quality), the
+/// planner's modelled cost imbalance, per-rank row footprints, and the
+/// first/last losses (convergence check). `weak` scales GN with the rank
+/// count (Fig. 14 geometry) instead of holding it fixed (Fig. 11).
+void run_sharding_imbalance(const std::string& bench_name, bool weak);
+
 /// One machine-consumable result line: benches emit a compact JSON object
 /// per configuration so successive PRs can track precision/performance
 /// trajectories by grepping "^BENCH_JSON".

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify in Release, then an ASan/UBSan Debug pass
-# over the unit tests (benches off, portable codegen, smoke runs excluded to
-# keep the sanitizer pass bounded), then a ThreadSanitizer pass over the
-# concurrency-heavy suites (prefetch pipeline, in-process collectives, DDP,
-# embedding exchange).
+# over the tier1-labelled unit tests (benches off, portable codegen, the
+# "slow" label — smoke runs and long multi-rank convergence suites — is
+# excluded to keep the sanitizer pass bounded on the 1-CPU container), then
+# a ThreadSanitizer pass over the concurrency-heavy suites (prefetch
+# pipeline, in-process collectives, DDP, embedding exchange, and the
+# sharded-geometry training suites).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,11 +24,11 @@ cmake -B build-asan -S . \
   -DDLRM_NATIVE_ARCH=OFF
 cmake --build build-asan -j "${JOBS}"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-asan -E 'train_cli' --output-on-failure \
+  ctest --test-dir build-asan -L tier1 --output-on-failure \
         -j "${JOBS}" --timeout 900
 
-echo "==== Debug + TSan concurrency pass (prefetch/comm/ddp/exchange) ===="
-TSAN_SUITES='test_prefetch|test_comm|test_ddp|test_exchange'
+echo "==== Debug + TSan concurrency pass (prefetch/comm/ddp/exchange/sharding) ===="
+TSAN_SUITES='test_prefetch|test_comm|test_ddp|test_exchange|test_sharding'
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDLRM_SANITIZE=thread \
@@ -34,7 +36,7 @@ cmake -B build-tsan -S . \
   -DDLRM_BUILD_EXAMPLES=OFF \
   -DDLRM_NATIVE_ARCH=OFF
 cmake --build build-tsan -j "${JOBS}" \
-  --target test_prefetch test_comm test_ddp test_exchange
+  --target test_prefetch test_comm test_ddp test_exchange test_sharding
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan -R "${TSAN_SUITES}" --output-on-failure \
         -j "${JOBS}" --timeout 1800

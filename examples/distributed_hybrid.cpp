@@ -1,11 +1,14 @@
 // Hybrid-parallel distributed training on in-process ranks: embedding
-// tables model-parallel, MLPs data-parallel with overlapped alltoall and
-// DDP allreduce — the paper's Sect. IV strategy end to end, driven by
-// DistributedTrainer with the prefetching data pipeline.
+// tables model-parallel under a pluggable ShardingPlan, MLPs data-parallel
+// with overlapped alltoall and DDP allreduce — the paper's Sect. IV
+// strategy end to end, driven by DistributedTrainer with the prefetching
+// data pipeline. The demo table set is skewed (one 8x hot table) so the
+// cost-balanced and row-split plans have something to fix.
 //
-//   $ ./distributed_hybrid [ranks=4]
+//   $ ./distributed_hybrid [ranks=4] [round_robin|balanced|row_split]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/dist_trainer.hpp"
 
@@ -13,6 +16,17 @@ using namespace dlrm;
 
 int main(int argc, char** argv) {
   const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  ShardingPolicy policy = ShardingPolicy::kRoundRobin;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "balanced") == 0) {
+      policy = ShardingPolicy::kGreedyBalanced;
+    } else if (std::strcmp(argv[2], "row_split") == 0) {
+      policy = ShardingPolicy::kRowSplit;
+    } else if (std::strcmp(argv[2], "round_robin") != 0) {
+      std::fprintf(stderr, "bad policy: %s\n", argv[2]);
+      return 2;
+    }
+  }
   const std::int64_t global_batch = 512;
 
   DlrmConfig cfg;
@@ -22,15 +36,20 @@ int main(int argc, char** argv) {
   cfg.local_batch_weak = global_batch / ranks;
   cfg.pooling = 4;
   cfg.dim = 32;
-  cfg.table_rows.assign(8, 20000);  // 8 tables spread round-robin over ranks
+  cfg.table_rows.assign(8, 20000);
+  cfg.table_rows[0] = 160000;  // hot table: 8x the rows of the rest
   cfg.bottom_mlp = {16, 64, 32};
   cfg.top_mlp = {128, 64, 1};
   cfg.validate();
 
-  RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, cfg.pooling, 3);
+  // 8x the lookups on the hot table as well (production-style skew).
+  std::vector<std::int64_t> poolings(cfg.table_rows.size(), cfg.pooling);
+  poolings[0] = cfg.pooling * 8;
+  RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, poolings, 3);
 
-  std::printf("hybrid-parallel DLRM on %d in-process ranks, GN=%lld\n", ranks,
-              static_cast<long long>(global_batch));
+  std::printf("hybrid-parallel DLRM on %d in-process ranks, GN=%lld, "
+              "sharding=%s\n", ranks, static_cast<long long>(global_batch),
+              to_string(policy));
   std::printf("tables: %lld (model parallel), MLP params: %lld (data parallel)\n\n",
               static_cast<long long>(cfg.tables()),
               static_cast<long long>(cfg.allreduce_elems()));
@@ -39,11 +58,15 @@ int main(int argc, char** argv) {
     DistributedTrainerOptions opts;
     opts.lr = 0.05f;
     opts.global_batch = global_batch;
+    opts.sharding.policy = policy;
     opts.dist.exchange = ExchangeStrategy::kAlltoall;  // the HPC-native pattern
     opts.dist.overlap = true;
     auto backend = QueueBackend::ccl_like(/*workers=*/2);
     DistributedTrainer trainer(cfg, data, comm, backend.get(), opts);
 
+    if (comm.rank() == 0) {
+      std::printf("%s\n", trainer.model().plan().describe().c_str());
+    }
     for (int chunk = 0; chunk < 5; ++chunk) {
       const double loss = trainer.train(10);  // global mean, same on all ranks
       if (comm.rank() == 0) {
@@ -54,15 +77,21 @@ int main(int argc, char** argv) {
                     trainer.model().last_allreduce_wait_sec() * 1e3);
       }
     }
+    const auto imb = trainer.embedding_imbalance();
     if (comm.rank() == 0) {
-      std::printf("\nloader cost: %.2f ms exposed, %.2f ms hidden behind "
+      std::printf("\nembedding time: max rank %.2f ms / mean %.2f ms "
+                  "(imbalance %.2fx)\n",
+                  imb.max_sec * 1e3, imb.mean_sec * 1e3, imb.ratio());
+      std::printf("loader cost: %.2f ms exposed, %.2f ms hidden behind "
                   "compute (prefetch depth %d)\n",
                   trainer.loader_exposed_sec() * 1e3,
                   trainer.loader_hidden_sec() * 1e3,
                   trainer.prefetch().depth());
-      std::printf("rank 0 owned tables:");
-      for (auto t : trainer.model().owned_tables()) {
-        std::printf(" %lld", static_cast<long long>(t));
+      std::printf("rank 0 shards:");
+      for (const auto& sh : trainer.model().owned_shards()) {
+        std::printf(" t%lld[%lld:%lld)", static_cast<long long>(sh.table),
+                    static_cast<long long>(sh.row_begin),
+                    static_cast<long long>(sh.row_end));
       }
       std::printf("\n");
     }

@@ -4,12 +4,21 @@
 //                 --ranks=4 --strategy=alltoall --precision=bf16
 //                 --iters=50 --lr=0.05 [--blocking] [--profile]
 //                 [--loader=sliced|naive] [--no-prefetch] [--prefetch-depth=N]
+//                 [--sharding=round_robin|balanced|row_split]
+//                 [--row-split-threshold=N] [--lr-schedule=SPEC]
 //
 // Configs: small | large | mlperf (paper Table I), optionally scaled down.
 // With --ranks=1 the single-process model runs; otherwise DistributedTrainer
 // drives the hybrid-parallel loop on in-process ranks, with the data
 // pipeline prefetching batches behind compute (disable with --no-prefetch;
 // --loader=naive reproduces the reference full-global-batch loader).
+// --sharding picks the embedding-table placement: round_robin (the paper's
+// t % R layout), balanced (cost-model LPT packing), or row_split (big
+// tables split into row-range shards; threshold via --row-split-threshold,
+// default = ceil(total rows / ranks)). The alltoall strategy also accepts
+// rank counts that do not divide the batch (uneven local slices).
+// --lr-schedule applies a first-class LrSchedule over the run, e.g.
+// "step:0.5:0.25", "warmup:0.1", "poly" (see optim/lr_schedule.hpp).
 //
 // --precision selects the end-to-end data path:
 //   fp32       — everything fp32 (default).
@@ -21,6 +30,7 @@
 //                ablations (Fig. 16); the MLP stack stays fp32.
 // --check-loss-decreases exits nonzero unless the mean loss of the last
 // quarter of iterations is below that of the first quarter (CI smoke).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +55,9 @@ struct Args {
   int iters = 20;
   float lr = 0.05f;
   std::string loader = "sliced";
+  std::string sharding = "round_robin";
+  std::int64_t row_split_threshold = 0;
+  std::string lr_schedule;
   bool prefetch = true;
   int prefetch_depth = 2;
   bool blocking = false;
@@ -75,6 +88,9 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--iters", &v)) a.iters = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--lr", &v)) a.lr = static_cast<float>(std::atof(v.c_str()));
     else if (parse_flag(argv[i], "--loader", &v)) a.loader = v;
+    else if (parse_flag(argv[i], "--sharding", &v)) a.sharding = v;
+    else if (parse_flag(argv[i], "--row-split-threshold", &v)) a.row_split_threshold = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--lr-schedule", &v)) a.lr_schedule = v;
     else if (parse_flag(argv[i], "--prefetch-depth", &v)) a.prefetch_depth = std::atoi(v.c_str());
     else if (std::strcmp(argv[i], "--no-prefetch") == 0) a.prefetch = false;
     else if (std::strcmp(argv[i], "--blocking") == 0) a.blocking = true;
@@ -128,6 +144,35 @@ LoaderMode parse_loader(const std::string& s) {
   std::exit(2);
 }
 
+ShardingPolicy parse_sharding(const std::string& s) {
+  if (s == "round_robin") return ShardingPolicy::kRoundRobin;
+  if (s == "balanced") return ShardingPolicy::kGreedyBalanced;
+  if (s == "row_split") return ShardingPolicy::kRowSplit;
+  std::fprintf(stderr, "bad --sharding (round_robin|balanced|row_split)\n");
+  std::exit(2);
+}
+
+/// Trains `iters` iterations through any trainer with train/set_lr,
+/// applying the schedule (when set) at eight evenly spaced boundaries.
+/// Returns the iteration-weighted mean loss.
+template <typename TrainerT>
+double train_scheduled(TrainerT& trainer, int iters, const LrSchedule& sched,
+                       Profiler* prof) {
+  if (!sched || iters <= 0) return trainer.train(iters, prof);
+  const int segments = std::min(iters, 8);
+  double weighted = 0.0;
+  int done = 0;
+  for (int seg = 1; seg <= segments; ++seg) {
+    const int target = iters * seg / segments;
+    if (target == done) continue;
+    const double frac = static_cast<double>(seg) / segments;
+    trainer.set_lr(sched(frac));
+    weighted += trainer.train(target - done, prof) * (target - done);
+    done = target;
+  }
+  return weighted / iters;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,6 +207,12 @@ int main(int argc, char** argv) {
   }
   const int quarter = args.iters / 4;
 
+  LrSchedule schedule;
+  if (!parse_lr_schedule(args.lr_schedule, args.lr, &schedule)) {
+    std::fprintf(stderr, "bad --lr-schedule (none|constant|step|warmup|poly)\n");
+    return 2;
+  }
+
   if (args.ranks <= 1) {
     ModelOptions mo;
     mo.embed_precision = parse_embed_precision(args.precision);
@@ -176,11 +227,13 @@ int main(int argc, char** argv) {
     double first_loss = 0.0, last_loss = 0.0, loss = 0.0;
     if (args.check_loss && quarter > 0) {
       first_loss = trainer.train(quarter, prof_ptr);
+      if (schedule) trainer.set_lr(schedule(0.5));
       trainer.train(args.iters - 2 * quarter, prof_ptr);
+      if (schedule) trainer.set_lr(schedule(1.0));
       last_loss = trainer.train(quarter, prof_ptr);
       loss = last_loss;
     } else {
-      loss = trainer.train(args.iters, prof_ptr);
+      loss = train_scheduled(trainer, args.iters, schedule, prof_ptr);
     }
     std::printf("%d iters in %.2f s (%.2f ms/iter), final mean loss %.4f "
                 "(optimizer %s)\n",
@@ -199,7 +252,9 @@ int main(int argc, char** argv) {
   }
 
   const std::int64_t gn = cfg.minibatch;
-  DLRM_CHECK(gn % args.ranks == 0, "batch must divide by ranks");
+  // Uneven local slices (GN % R != 0) need the alltoallv exchange path.
+  DLRM_CHECK(gn % args.ranks == 0 || args.strategy == "alltoall",
+             "GN % ranks != 0 needs --strategy=alltoall");
   int exit_code = 0;
   // Parse every enum flag before spawning rank threads (parse errors exit).
   DistributedTrainerOptions topts;
@@ -208,6 +263,8 @@ int main(int argc, char** argv) {
   topts.loader_mode = parse_loader(args.loader);
   topts.prefetch = args.prefetch;
   topts.prefetch_depth = args.prefetch_depth;
+  topts.sharding.policy = parse_sharding(args.sharding);
+  topts.sharding.row_split_threshold = args.row_split_threshold;
   topts.dist.exchange = parse_strategy(args.strategy);
   topts.dist.embed_precision = parse_embed_precision(args.precision);
   topts.dist.update_strategy = parse_update(args.update);
@@ -221,18 +278,25 @@ int main(int argc, char** argv) {
     double first_loss = 0.0, last_loss = 0.0, loss = 0.0;
     if (args.check_loss && quarter > 0) {
       first_loss = trainer.train(quarter, prof_ptr);
+      if (schedule) trainer.set_lr(schedule(0.5));
       const double mid = trainer.train(args.iters - 2 * quarter, prof_ptr);
+      if (schedule) trainer.set_lr(schedule(1.0));
       last_loss = trainer.train(quarter, prof_ptr);
       loss = (first_loss * quarter + mid * (args.iters - 2 * quarter) +
               last_loss * quarter) /
              args.iters;
     } else {
-      loss = trainer.train(args.iters, prof_ptr);
+      loss = train_scheduled(trainer, args.iters, schedule, prof_ptr);
     }
+    const auto imb = trainer.embedding_imbalance();
     if (comm.rank() == 0) {
       std::printf("%d iters in %.2f s (%.2f ms/iter), global mean loss %.4f\n",
                   args.iters, t.elapsed_sec(), t.elapsed_ms() / args.iters,
                   loss);
+      std::printf("%s", trainer.model().plan().describe().c_str());
+      std::printf("embedding time: max rank %.2f ms / mean %.2f ms "
+                  "(imbalance %.2fx)\n",
+                  imb.max_sec * 1e3, imb.mean_sec * 1e3, imb.ratio());
       std::printf("loader: %s, prefetch %s(depth %d): exposed %.2f ms, "
                   "hidden %.2f ms\n",
                   args.loader.c_str(), args.prefetch ? "on" : "off",

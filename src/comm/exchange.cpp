@@ -21,39 +21,58 @@ const char* to_string(ExchangeStrategy s) {
 
 EmbeddingExchange::EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
                                      ExchangeStrategy strategy,
-                                     std::int64_t tables, std::int64_t dim,
+                                     ShardingPlan plan, std::int64_t dim,
                                      std::int64_t global_batch,
                                      Precision payload)
     : comm_(comm),
       backend_(backend),
       strategy_(strategy),
       payload_(payload),
-      s_(tables),
+      plan_(std::move(plan)),
+      s_(plan_.tables()),
       e_(dim),
       gn_(global_batch) {
   const int R = comm_.size();
-  DLRM_CHECK(gn_ % R == 0, "global batch must divide by rank count");
-  DLRM_CHECK(s_ >= R, "need at least one table per rank (pure model parallelism)");
-  ln_ = gn_ / R;
-  tables_per_rank_.resize(static_cast<std::size_t>(R), 0);
-  for (std::int64_t t = 0; t < s_; ++t) {
-    const int owner = static_cast<int>(t % R);
-    ++tables_per_rank_[static_cast<std::size_t>(owner)];
-    if (owner == comm_.rank()) owned_ids_.push_back(t);
+  DLRM_CHECK(plan_.ranks() == R, "plan rank count must match the communicator");
+  DLRM_CHECK(gn_ >= R, "global batch must cover all ranks");
+  if (strategy_ != ExchangeStrategy::kAlltoall) {
+    // scatter/gather move one uniform chunk per peer; only the alltoallv
+    // path supports uneven slices.
+    DLRM_CHECK(gn_ % R == 0,
+               "scatter-based exchange strategies need GN divisible by R");
+  }
+  ln_ = slice_len(comm_.rank());
+
+  const std::int64_t num_shards = plan_.num_shards();
+  shards_per_rank_.resize(static_cast<std::size_t>(R), 0);
+  shard_owner_.resize(static_cast<std::size_t>(num_shards), 0);
+  shard_slot_.resize(static_cast<std::size_t>(num_shards), 0);
+  for (int p = 0; p < R; ++p) {
+    const auto& owned = plan_.shards_of_rank(p);
+    DLRM_CHECK(!owned.empty(), "every rank needs at least one shard");
+    shards_per_rank_[static_cast<std::size_t>(p)] =
+        static_cast<std::int64_t>(owned.size());
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      shard_owner_[static_cast<std::size_t>(owned[k])] = p;
+      shard_slot_[static_cast<std::size_t>(owned[k])] =
+          static_cast<std::int64_t>(k);
+    }
+  }
+  for (std::int64_t sid : plan_.shards_of_rank(comm_.rank())) {
+    owned_ids_.push_back(plan_.shard(sid).table);
   }
   owned_ = static_cast<std::int64_t>(owned_ids_.size());
 
-  // Worst-case scratch across forward and backward for all strategies. With
-  // uneven table distribution (e.g. S=26, R=4) the per-owner-grouped layouts
-  // can exceed both S*LN and owned*GN, so take the max of all shapes used.
-  std::int64_t max_owned = 0;
-  for (auto c : tables_per_rank_) max_owned = std::max(max_owned, c);
+  // Worst-case scratch across forward and backward for all strategies. The
+  // owner-grouped layouts hold one slice block per shard; ScatterList's
+  // backward staging holds the whole [S][LN][E] gradient; gathers hold one
+  // [GN][E] region per owned shard.
+  std::int64_t max_ln = 0;
+  for (int p = 0; p < R; ++p) max_ln = std::max(max_ln, slice_len(p));
   const std::int64_t send_elems =
-      std::max(owned_ * gn_, s_ * ln_) * e_;
+      std::max(owned_ * gn_, num_shards * max_ln) * e_;
   const std::int64_t recv_elems =
-      std::max({s_ * ln_, max_owned * static_cast<std::int64_t>(R) * ln_,
-                owned_ * gn_}) *
-      e_;
+      std::max(num_shards * max_ln, owned_ * gn_) * e_;
   if (payload_ == Precision::kBf16) {
     send16_.reshape({send_elems + 1});
     recv16_.reshape({recv_elems + 1});
@@ -66,6 +85,18 @@ EmbeddingExchange::EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
   rcounts_.reshape({R});
   rdispls_.reshape({R});
 }
+
+EmbeddingExchange::EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
+                                     ExchangeStrategy strategy,
+                                     std::int64_t tables, std::int64_t dim,
+                                     std::int64_t global_batch,
+                                     Precision payload)
+    : EmbeddingExchange(
+          comm, backend, strategy,
+          ShardingPlan::round_robin(
+              std::vector<std::int64_t>(static_cast<std::size_t>(tables), 1),
+              comm.size()),
+          dim, global_batch, payload) {}
 
 void EmbeddingExchange::submit(ExchangeHandle& h, CommOpKind kind,
                                std::function<void()> fn) {
@@ -81,7 +112,7 @@ void EmbeddingExchange::submit(ExchangeHandle& h, CommOpKind kind,
 ExchangeHandle EmbeddingExchange::start_forward(
     const std::vector<const float*>& local_out) {
   DLRM_CHECK(static_cast<std::int64_t>(local_out.size()) == owned_,
-             "one [GN][E] buffer per owned table");
+             "one [GN][E] buffer per owned shard");
   const int R = comm_.size();
   const std::int64_t slice = ln_ * e_;
   ExchangeHandle h;
@@ -90,10 +121,10 @@ ExchangeHandle EmbeddingExchange::start_forward(
   const bool wire16 = payload_ == Precision::kBf16;
   switch (strategy_) {
     case ExchangeStrategy::kScatterList: {
-      // One scatter per global table; the owner's [GN][E] output is already
-      // ordered by batch slice, so no packing is required in fp32 mode. In
-      // bf16 mode owners down-convert their outputs into the u16 send
-      // scratch first (one [GN][E] region per owned table).
+      // One scatter per shard; the owner's [GN][E] output is already ordered
+      // by batch slice, so no packing is required in fp32 mode. In bf16 mode
+      // owners down-convert their outputs into the u16 send scratch first
+      // (one [GN][E] region per owned shard).
       if (wire16) {
         for (std::int64_t k = 0; k < owned_; ++k) {
           const float* src = local_out[static_cast<std::size_t>(k)];
@@ -101,24 +132,21 @@ ExchangeHandle EmbeddingExchange::start_forward(
           for (std::int64_t i = 0; i < gn_ * e_; ++i) dst[i] = f32_to_bf16_rne(src[i]);
         }
       }
-      for (std::int64_t t = 0; t < s_; ++t) {
-        const int root = static_cast<int>(t % R);
-        std::int64_t k = 0;
-        if (root == comm_.rank()) {
-          while (owned_ids_[static_cast<std::size_t>(k)] != t) ++k;
-        }
+      for (std::int64_t sid = 0; sid < plan_.num_shards(); ++sid) {
+        const int root = shard_owner_[static_cast<std::size_t>(sid)];
+        const std::int64_t k = shard_slot_[static_cast<std::size_t>(sid)];
         const std::uint64_t seq = comm_.ticket();
         if (wire16) {
           const std::uint16_t* src =
               root == comm_.rank() ? send16_.data() + k * gn_ * e_ : nullptr;
-          std::uint16_t* dst = recv16_.data() + t * slice;
+          std::uint16_t* dst = recv16_.data() + sid * slice;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
             comm_.scatter_bf16_seq(seq, src, dst, slice, root);
           });
         } else {
           const float* src =
               root == comm_.rank() ? local_out[static_cast<std::size_t>(k)] : nullptr;
-          float* dst = recv_.data() + t * slice;
+          float* dst = recv_.data() + sid * slice;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
             comm_.scatter_seq(seq, src, dst, slice, root);
           });
@@ -127,7 +155,7 @@ ExchangeHandle EmbeddingExchange::start_forward(
       break;
     }
     case ExchangeStrategy::kFusedScatter: {
-      // Coalesce all owned tables into one buffer ordered [peer][table] and
+      // Coalesce all owned shards into one buffer ordered [peer][shard] and
       // issue a single scatter per root rank. Received blocks land in a
       // contiguous region ordered by root and are unpacked in finish.
       if (wire16) {
@@ -149,17 +177,17 @@ ExchangeHandle EmbeddingExchange::start_forward(
       }
       for (int root = 0; root < R; ++root) {
         const std::int64_t chunk =
-            tables_per_rank_[static_cast<std::size_t>(root)] * slice;
+            shards_per_rank_[static_cast<std::size_t>(root)] * slice;
         const std::uint64_t seq = comm_.ticket();
         if (wire16) {
-          std::uint16_t* dst = recv16_.data() + prefix_tables(root) * slice;
+          std::uint16_t* dst = recv16_.data() + prefix_shards(root) * slice;
           const std::uint16_t* src =
               root == comm_.rank() ? send16_.data() : nullptr;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
             comm_.scatter_bf16_seq(seq, src, dst, chunk, root);
           });
         } else {
-          float* dst = recv_.data() + prefix_tables(root) * slice;
+          float* dst = recv_.data() + prefix_shards(root) * slice;
           const float* src = root == comm_.rank() ? send_.data() : nullptr;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
             comm_.scatter_seq(seq, src, dst, chunk, root);
@@ -169,27 +197,30 @@ ExchangeHandle EmbeddingExchange::start_forward(
       break;
     }
     case ExchangeStrategy::kAlltoall: {
-      // Single alltoallv: block for peer p = my owned tables' rows of p's
-      // slice, concatenated.
+      // Single alltoallv: block for peer p = my owned shards' rows of p's
+      // slice, concatenated. Slices follow the chunk convention, so this
+      // path handles GN % R != 0.
       std::int64_t packed = 0;
       for (int p = 0; p < R; ++p) {
-        scounts_[p] = owned_ * slice;
+        const std::int64_t pbegin = slice_begin(p) * e_;
+        const std::int64_t pslice = slice_len(p) * e_;
+        scounts_[p] = owned_ * pslice;
         sdispls_[p] = packed;
         for (std::int64_t k = 0; k < owned_; ++k) {
-          const float* src = local_out[static_cast<std::size_t>(k)] + p * slice;
+          const float* src = local_out[static_cast<std::size_t>(k)] + pbegin;
           if (wire16) {
             std::uint16_t* dst = send16_.data() + packed;
-            for (std::int64_t i = 0; i < slice; ++i) dst[i] = f32_to_bf16_rne(src[i]);
+            for (std::int64_t i = 0; i < pslice; ++i) dst[i] = f32_to_bf16_rne(src[i]);
           } else {
             float* dst = send_.data() + packed;
-            for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+            for (std::int64_t i = 0; i < pslice; ++i) dst[i] = src[i];
           }
-          packed += slice;
+          packed += pslice;
         }
       }
       std::int64_t disp = 0;
       for (int p = 0; p < R; ++p) {
-        rcounts_[p] = tables_per_rank_[static_cast<std::size_t>(p)] * slice;
+        rcounts_[p] = shards_per_rank_[static_cast<std::size_t>(p)] * slice;
         rdispls_[p] = disp;
         disp += rcounts_[p];
       }
@@ -218,33 +249,36 @@ void EmbeddingExchange::finish_forward(ExchangeHandle& h, float* sliced) {
     for (auto& r : h.requests) h.wait_sec += backend_->wait(r);
   }
   const Timer frame;
-  const int R = comm_.size();
   const std::int64_t slice = ln_ * e_;
   const bool wire16 = payload_ == Precision::kBf16;
-  if (strategy_ == ExchangeStrategy::kScatterList) {
-    // Data already landed at recv[t * slice]; copy out (widening in bf16
-    // mode, same layout either way).
-    if (wire16) {
-      for (std::int64_t i = 0; i < s_ * slice; ++i) sliced[i] = bf16_to_f32(recv16_[i]);
-    } else {
-      for (std::int64_t i = 0; i < s_ * slice; ++i) sliced[i] = recv_[i];
-    }
-  } else {
-    // recv is grouped by owner rank: for root p, its tables p, p+R, p+2R...
-    // appear consecutively. Scatter them into global table order.
-    for (int p = 0; p < R; ++p) {
-      const std::int64_t base = prefix_tables(p) * slice;
-      std::int64_t k = 0;
-      for (std::int64_t t = p; t < s_; t += R, ++k) {
-        float* dst = sliced + t * slice;
-        if (wire16) {
-          const std::uint16_t* src = recv16_.data() + base + k * slice;
+
+  // Both landing layouts hold one my-slice block per shard: ScatterList at
+  // recv[sid * slice], the owner-grouped strategies at grouped_recv_offset.
+  // Per table, the first shard's block initializes sliced[t] and any further
+  // shards (row splits) accumulate their partial bag sums — in row order, so
+  // the reduction is deterministic.
+  const bool by_sid = strategy_ == ExchangeStrategy::kScatterList;
+  for (std::int64_t t = 0; t < s_; ++t) {
+    float* dst = sliced + t * slice;
+    bool first = true;
+    for (std::int64_t sid : plan_.shards_of_table(t)) {
+      const std::int64_t off = by_sid ? sid * slice : grouped_recv_offset(sid);
+      if (wire16) {
+        const std::uint16_t* src = recv16_.data() + off;
+        if (first) {
           for (std::int64_t i = 0; i < slice; ++i) dst[i] = bf16_to_f32(src[i]);
         } else {
-          const float* src = recv_.data() + base + k * slice;
+          for (std::int64_t i = 0; i < slice; ++i) dst[i] += bf16_to_f32(src[i]);
+        }
+      } else {
+        const float* src = recv_.data() + off;
+        if (first) {
           for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+        } else {
+          for (std::int64_t i = 0; i < slice; ++i) dst[i] += src[i];
         }
       }
+      first = false;
     }
   }
   h.framework_sec += frame.elapsed_sec();
@@ -259,18 +293,17 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
   const bool wire16 = payload_ == Precision::kBf16;
   switch (strategy_) {
     case ExchangeStrategy::kScatterList: {
-      // One gather per table: the owner collects every rank's slice grads.
-      // bf16 mode stages the whole dsliced tensor as bf16 in send scratch.
+      // One gather per shard: the owner collects every rank's slice grads
+      // for the shard's table (split tables replicate their gradient to each
+      // shard owner). bf16 mode stages the whole dsliced tensor as bf16.
       if (wire16) {
         std::uint16_t* pack = send16_.data();
         for (std::int64_t i = 0; i < s_ * slice; ++i) pack[i] = f32_to_bf16_rne(dsliced[i]);
       }
-      for (std::int64_t t = 0; t < s_; ++t) {
-        const int root = static_cast<int>(t % R);
-        std::int64_t k = 0;
-        if (root == comm_.rank()) {
-          while (owned_ids_[static_cast<std::size_t>(k)] != t) ++k;
-        }
+      for (std::int64_t sid = 0; sid < plan_.num_shards(); ++sid) {
+        const int root = shard_owner_[static_cast<std::size_t>(sid)];
+        const std::int64_t k = shard_slot_[static_cast<std::size_t>(sid)];
+        const std::int64_t t = plan_.shard(sid).table;
         const std::uint64_t seq = comm_.ticket();
         if (wire16) {
           const std::uint16_t* src = send16_.data() + t * slice;
@@ -296,8 +329,8 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
       std::int64_t packed = 0;
       for (int p = 0; p < R; ++p) {
         displs[static_cast<std::size_t>(p)] = packed;
-        for (std::int64_t t = p; t < s_; t += R) {
-          const float* src = dsliced + t * slice;
+        for (std::int64_t sid : plan_.shards_of_rank(p)) {
+          const float* src = dsliced + plan_.shard(sid).table * slice;
           if (wire16) {
             std::uint16_t* dst = send16_.data() + packed;
             for (std::int64_t i = 0; i < slice; ++i) dst[i] = f32_to_bf16_rne(src[i]);
@@ -310,7 +343,7 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
       }
       for (int root = 0; root < R; ++root) {
         const std::int64_t chunk =
-            tables_per_rank_[static_cast<std::size_t>(root)] * slice;
+            shards_per_rank_[static_cast<std::size_t>(root)] * slice;
         const std::uint64_t seq = comm_.ticket();
         if (wire16) {
           const std::uint16_t* src =
@@ -330,13 +363,14 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
       break;
     }
     case ExchangeStrategy::kAlltoall: {
-      // Reverse alltoallv: send to peer p its tables' grads from my slice.
+      // Reverse alltoallv: send to peer p its shards' tables' grads from my
+      // slice; receive my shards' grads as per-peer slice blocks.
       std::int64_t packed = 0;
       for (int p = 0; p < R; ++p) {
-        scounts_[p] = tables_per_rank_[static_cast<std::size_t>(p)] * slice;
+        scounts_[p] = shards_per_rank_[static_cast<std::size_t>(p)] * slice;
         sdispls_[p] = packed;
-        for (std::int64_t t = p; t < s_; t += R) {
-          const float* src = dsliced + t * slice;
+        for (std::int64_t sid : plan_.shards_of_rank(p)) {
+          const float* src = dsliced + plan_.shard(sid).table * slice;
           if (wire16) {
             std::uint16_t* dst = send16_.data() + packed;
             for (std::int64_t i = 0; i < slice; ++i) dst[i] = f32_to_bf16_rne(src[i]);
@@ -348,8 +382,8 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
         }
       }
       for (int p = 0; p < R; ++p) {
-        rcounts_[p] = owned_ * slice;
-        rdispls_[p] = static_cast<std::int64_t>(p) * owned_ * slice;
+        rcounts_[p] = owned_ * slice_len(p) * e_;
+        rdispls_[p] = owned_ * slice_begin(p) * e_;
       }
       const std::uint64_t seq = comm_.ticket();
       if (wire16) {
@@ -374,13 +408,12 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
 void EmbeddingExchange::finish_backward(ExchangeHandle& h,
                                         const std::vector<float*>& grads) {
   DLRM_CHECK(static_cast<std::int64_t>(grads.size()) == owned_,
-             "one [GN][E] grad buffer per owned table");
+             "one [GN][E] grad buffer per owned shard");
   if (backend_ != nullptr) {
     for (auto& r : h.requests) h.wait_sec += backend_->wait(r);
   }
   const Timer frame;
   const int R = comm_.size();
-  const std::int64_t slice = ln_ * e_;
   const bool wire16 = payload_ == Precision::kBf16;
 
   switch (strategy_) {
@@ -400,16 +433,20 @@ void EmbeddingExchange::finish_backward(ExchangeHandle& h,
     }
     case ExchangeStrategy::kFusedScatter:
     case ExchangeStrategy::kAlltoall: {
-      // recv holds [peer][owned table][LN][E]: transpose to per-table [GN][E].
+      // recv holds [peer][owned shard][LN_p][E]: transpose to per-shard
+      // [GN][E].
       for (int p = 0; p < R; ++p) {
+        const std::int64_t pbegin = slice_begin(p) * e_;
+        const std::int64_t pslice = slice_len(p) * e_;
+        const std::int64_t base = owned_ * pbegin;
         for (std::int64_t k = 0; k < owned_; ++k) {
-          float* dst = grads[static_cast<std::size_t>(k)] + p * slice;
+          float* dst = grads[static_cast<std::size_t>(k)] + pbegin;
           if (wire16) {
-            const std::uint16_t* src = recv16_.data() + (p * owned_ + k) * slice;
-            for (std::int64_t i = 0; i < slice; ++i) dst[i] = bf16_to_f32(src[i]);
+            const std::uint16_t* src = recv16_.data() + base + k * pslice;
+            for (std::int64_t i = 0; i < pslice; ++i) dst[i] = bf16_to_f32(src[i]);
           } else {
-            const float* src = recv_.data() + (p * owned_ + k) * slice;
-            for (std::int64_t i = 0; i < slice; ++i) dst[i] = src[i];
+            const float* src = recv_.data() + base + k * pslice;
+            for (std::int64_t i = 0; i < pslice; ++i) dst[i] = src[i];
           }
         }
       }

@@ -1,30 +1,43 @@
-// Embedding-output exchange strategies (paper Sect. IV.B).
+// Embedding-output exchange strategies (paper Sect. IV.B), generalized to
+// arbitrary sharding plans.
 //
 // With hybrid parallelism the embedding tables are model-parallel (each rank
-// owns S/R tables and computes them for the FULL global minibatch GN) while
-// the MLPs are data-parallel (each rank works on its LN = GN/R slice). The
+// owns a set of shards and computes them for the FULL global minibatch GN)
+// while the MLPs are data-parallel (each rank works on its LN slice). The
 // interaction op therefore needs a personalized all-to-all to realign the
 // minibatch. The paper evaluates three framework-level realizations:
 //
-//   * kScatterList  — one scatter per table (S collective calls), the
-//                     original DLRM multi-device scheme ported to processes.
-//   * kFusedScatter — outputs of all local tables coalesced into one buffer,
+//   * kScatterList  — one scatter per shard, the original DLRM multi-device
+//                     scheme ported to processes.
+//   * kFusedScatter — outputs of all local shards coalesced into one buffer,
 //                     one scatter per rank (R calls).
 //   * kAlltoall     — a single alltoallv (1 call), the HPC-native pattern.
 //
-// forward() moves table outputs [GN][E] (at the owners) to per-slice tensors
-// [S][LN][E] (at every rank); backward() moves interaction gradients back.
-// All three strategies are bitwise equivalent; they differ in call count and
-// therefore in latency/overlap behaviour.
+// Placement comes from a ShardingPlan: round-robin full tables (the paper's
+// layout), cost-balanced full tables, or row-split shards. For row-split
+// plans each shard owner sends a *partial* bag sum over its row range and
+// finish_forward() reduces the partials per table; the backward exchange
+// replicates each table's slice gradients to every owner of one of its
+// shards. Slice lengths follow the chunk convention LN_p = GN*(p+1)/R -
+// GN*p/R, so GN need not divide by R (kAlltoall only; the scatter-based
+// strategies keep the uniform-slice requirement of their collectives).
+//
+// forward() moves shard outputs [GN][E] (at the owners) to per-table slice
+// tensors [S][LN][E] (at every rank); backward() moves interaction gradients
+// back. All strategies are bitwise equivalent for single-shard-per-table
+// plans; they differ in call count and therefore in latency/overlap.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "comm/backend.hpp"
 #include "comm/thread_comm.hpp"
+#include "common/partition.hpp"
 #include "common/types.hpp"
+#include "core/sharding.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dlrm {
@@ -43,62 +56,101 @@ struct ExchangeHandle {
 
 class EmbeddingExchange {
  public:
-  /// `tables` = S (global), `dim` = E, `global_batch` = GN. Table t is owned
-  /// by rank t % R; GN must be divisible by R. `payload` selects the wire
-  /// format: kBf16 converts embedding rows / gradients to bf16 (RNE) before
-  /// the exchange and widens after it, halving the alltoall volume (Eq. 2)
-  /// — available for all three strategies.
+  /// `plan` fixes shard → rank placement (row extents only matter to the
+  /// partial-sum reduction of split tables; the wire layout depends on the
+  /// shard *structure*). `dim` = E, `global_batch` = GN. `payload` selects
+  /// the wire format: kBf16 converts embedding rows / gradients to bf16
+  /// (RNE) before the exchange and widens after it, halving the alltoall
+  /// volume (Eq. 2) — available for all three strategies.
+  EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
+                    ExchangeStrategy strategy, ShardingPlan plan,
+                    std::int64_t dim, std::int64_t global_batch,
+                    Precision payload = Precision::kFp32);
+
+  /// Historical convenience: round-robin placement of `tables` full tables
+  /// (table t owned by rank t % R).
   EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
                     ExchangeStrategy strategy, std::int64_t tables,
                     std::int64_t dim, std::int64_t global_batch,
                     Precision payload = Precision::kFp32);
 
   std::int64_t local_batch() const { return ln_; }
+  /// Number of shards owned by this rank.
   std::int64_t owned_tables() const { return owned_; }
   ExchangeStrategy strategy() const { return strategy_; }
   Precision payload_precision() const { return payload_; }
+  const ShardingPlan& plan() const { return plan_; }
 
-  /// Global table ids owned by this rank, in increasing order.
+  /// Table ids of this rank's shards, in canonical shard order (increasing;
+  /// a table id repeats if the rank owns several of its row shards).
   const std::vector<std::int64_t>& owned_ids() const { return owned_ids_; }
+  /// Canonical shard indices owned by this rank, in increasing order.
+  const std::vector<std::int64_t>& owned_shard_ids() const {
+    return plan_.shards_of_rank(comm_.rank());
+  }
 
   /// Starts the forward exchange. local_out[k] points to the [GN][E] output
-  /// of the k-th owned table. If no backend was given the call is blocking
-  /// (requests empty, wait time folded into the handle).
+  /// of the k-th owned shard (a partial bag sum for row-split shards). If no
+  /// backend was given the call is blocking (requests empty, wait time
+  /// folded into the handle).
   ExchangeHandle start_forward(const std::vector<const float*>& local_out);
 
   /// Completes the forward exchange; sliced[t*LN*E ...] receives table t's
-  /// rows for this rank's slice, for all S tables. `sliced` is [S][LN][E].
+  /// rows for this rank's slice, for all S tables — summing the partial
+  /// outputs of split tables' shards. `sliced` is [S][LN][E].
   void finish_forward(ExchangeHandle& h, float* sliced);
 
-  /// Starts the backward exchange of dsliced [S][LN][E].
+  /// Starts the backward exchange of dsliced [S][LN][E]. Split tables'
+  /// gradients are replicated to every shard owner.
   ExchangeHandle start_backward(const float* dsliced);
 
-  /// Completes it; grads[k] ([GN][E]) receives the k-th owned table's
+  /// Completes it; grads[k] ([GN][E]) receives the k-th owned shard's
   /// gradient rows gathered from all ranks.
   void finish_backward(ExchangeHandle& h, const std::vector<float*>& grads);
 
-  /// Total alltoall volume in floats across all ranks (Eq. 2: S * GN * E).
-  std::int64_t total_volume() const { return s_ * gn_ * e_; }
+  /// Total forward exchange volume in floats across all ranks (Eq. 2 with
+  /// shard replication: num_shards * GN * E; == S * GN * E unsplit).
+  std::int64_t total_volume() const { return plan_.num_shards() * gn_ * e_; }
 
  private:
   void submit(ExchangeHandle& h, CommOpKind kind, std::function<void()> fn);
 
-  /// Number of tables owned by ranks < p (offset of p's group in buffers
+  /// Number of shards owned by ranks < p (offset of p's group in buffers
   /// ordered by owner).
-  std::int64_t prefix_tables(int p) const {
+  std::int64_t prefix_shards(int p) const {
     std::int64_t n = 0;
-    for (int q = 0; q < p; ++q) n += tables_per_rank_[static_cast<std::size_t>(q)];
+    for (int q = 0; q < p; ++q) n += shards_per_rank_[static_cast<std::size_t>(q)];
     return n;
+  }
+
+  /// Slice boundary of rank p in the global batch (chunk convention, so
+  /// finish_forward's slices line up with ThreadComm's allgather_chunks).
+  std::int64_t slice_begin(int p) const {
+    return chunk_begin(gn_, p, comm_.size());
+  }
+  std::int64_t slice_len(int p) const {
+    return chunk_size(gn_, p, comm_.size());
+  }
+
+  /// Element offset of shard `sid`'s block in the owner-grouped recv layout
+  /// used by kFusedScatter/kAlltoall forward (uniform slices only).
+  std::int64_t grouped_recv_offset(std::int64_t sid) const {
+    return (prefix_shards(shard_owner_[static_cast<std::size_t>(sid)]) +
+            shard_slot_[static_cast<std::size_t>(sid)]) *
+           ln_ * e_;
   }
 
   ThreadComm& comm_;
   QueueBackend* backend_;  // may be null → blocking mode
   ExchangeStrategy strategy_;
   Precision payload_;
+  ShardingPlan plan_;
   std::int64_t s_, e_, gn_, ln_;
   std::int64_t owned_ = 0;
-  std::vector<std::int64_t> owned_ids_;
-  std::vector<std::int64_t> tables_per_rank_;
+  std::vector<std::int64_t> owned_ids_;        // table per owned shard
+  std::vector<std::int64_t> shards_per_rank_;  // owned-shard counts
+  std::vector<int> shard_owner_;               // canonical shard id → rank
+  std::vector<std::int64_t> shard_slot_;       // canonical id → slot in owner
 
   // Scratch: packed send/recv + alltoallv layout arrays (must outlive ops).
   // The u16 pair replaces the fp32 pair when the payload is bf16.

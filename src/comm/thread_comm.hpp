@@ -31,6 +31,7 @@
 
 #include "common/barrier.hpp"
 #include "common/log.hpp"
+#include "common/partition.hpp"
 
 namespace dlrm {
 
@@ -188,9 +189,8 @@ class ThreadComm {
                   std::int64_t chunk, int root);
 
  private:
-  static std::int64_t chunk_begin(std::int64_t n, int c, int ranks) {
-    return n * c / ranks;
-  }
+  // Chunked collectives split buffers with the repo-wide chunk convention
+  // (common/partition.hpp) — the free chunk_begin() is used directly.
 
   std::shared_ptr<CommWorld> world_;
   const int rank_;

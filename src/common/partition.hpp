@@ -1,0 +1,25 @@
+// The repo-wide chunk convention for splitting n items over R parts.
+//
+// Part c spans [n*c/R, n*(c+1)/R): contiguous, exhaustive, sizes differing
+// by at most one. ThreadComm's reduce_scatter/allgather_chunks, the
+// embedding exchange's batch slices, the data loader's local batches, and
+// distributed evaluation all MUST use this same boundary formula — a gather
+// reassembles its peers' slices correctly only because every layer splits
+// identically.
+#pragma once
+
+#include <cstdint>
+
+namespace dlrm {
+
+/// First element of part `part` when splitting `n` items into `parts`.
+inline std::int64_t chunk_begin(std::int64_t n, int part, int parts) {
+  return n * part / parts;
+}
+
+/// Size of part `part` (n*(part+1)/parts - n*part/parts).
+inline std::int64_t chunk_size(std::int64_t n, int part, int parts) {
+  return chunk_begin(n, part + 1, parts) - chunk_begin(n, part, parts);
+}
+
+}  // namespace dlrm

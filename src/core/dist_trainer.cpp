@@ -24,20 +24,49 @@ DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
     : comm_(comm),
       options_(options),
       model_(config, merge_options(options), comm, backend,
-             options.global_batch),
+             options.global_batch,
+             make_sharding_plan(options.sharding, config.table_rows,
+                                config.dim, options.global_batch, comm.size(),
+                                &data)),
       loader_(data, options.global_batch, comm.rank(), comm.size(),
-              model_.owned_tables(), options.loader_mode),
+              model_.plan(), options.loader_mode),
       prefetch_(loader_,
                 {.enabled = options.prefetch, .depth = options.prefetch_depth}) {
   DLRM_CHECK(options_.global_batch > 0, "global batch must be positive");
 }
 
 double DistributedTrainer::allreduce_mean(double local) {
-  // Equal LN slices: the mean over ranks of local mean losses is the global
-  // mean over GN.
-  float buf = static_cast<float>(local);
+  const int R = comm_.size();
+  const std::int64_t gn = model_.global_batch();
+  const std::int64_t ln = model_.local_batch();
+  if (ln * R == gn) {
+    // Equal LN slices: the mean over ranks of local mean losses is the
+    // global mean over GN (kept as-is so even geometries stay bit-exact
+    // with the historical reduction).
+    float buf = static_cast<float>(local);
+    comm_.allreduce(&buf, 1);
+    return static_cast<double>(buf) / comm_.size();
+  }
+  // Uneven slices: weight each rank's mean by its actual LN.
+  float buf = static_cast<float>(local * static_cast<double>(ln));
   comm_.allreduce(&buf, 1);
-  return static_cast<double>(buf) / comm_.size();
+  return static_cast<double>(buf) / static_cast<double>(gn);
+}
+
+DistributedTrainer::EmbImbalance DistributedTrainer::embedding_imbalance() {
+  const int R = comm_.size();
+  // allgather_chunks with n == R places one float per rank.
+  std::vector<float> per_rank(static_cast<std::size_t>(R), 0.0f);
+  per_rank[static_cast<std::size_t>(comm_.rank())] =
+      static_cast<float>(model_.embedding_sec());
+  comm_.allgather_chunks(per_rank.data(), R);
+  EmbImbalance out;
+  for (float v : per_rank) {
+    out.max_sec = std::max(out.max_sec, static_cast<double>(v));
+    out.mean_sec += static_cast<double>(v);
+  }
+  out.mean_sec /= R;
+  return out;
 }
 
 double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
@@ -57,9 +86,16 @@ double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
     ++iter_;
   }
   if (iters <= 0) return 0.0;
+  // Placement-quality accounting: the per-rank embedding-time spread the
+  // ShardingPlan controls (one R-float allgather per train() call).
+  const EmbImbalance imb = embedding_imbalance();
+  if (prof != nullptr) {
+    prof->add("emb_rank_max", imb.max_sec - prof->total_sec("emb_rank_max"));
+    prof->add("emb_rank_mean", imb.mean_sec - prof->total_sec("emb_rank_mean"));
+  }
   // One scalar allreduce per call, not per iteration: allreduce is linear
-  // and the LN slices are equal, so the mean of local means equals the
-  // global mean over all GN·iters samples.
+  // and (LN-weighted when uneven) the mean of local means equals the global
+  // mean over all GN·iters samples.
   return allreduce_mean(local_loss.mean());
 }
 
@@ -79,7 +115,9 @@ double DistributedTrainer::evaluate(std::int64_t first, std::int64_t n) {
     const std::int64_t take = std::min(gn, n - off);
     const HybridBatch& hb = prefetch_.next((first + off) / gn);
     const Tensor<float>& logits = model_.forward(hb);
-    const std::int64_t base = comm_.rank() * ln;
+    // Chunk convention: matches allgather_chunks' slice boundaries, so the
+    // gathered [GN] tensors are densely ordered even when GN % R != 0.
+    const std::int64_t base = chunk_begin(gn, comm_.rank(), comm_.size());
     for (std::int64_t i = 0; i < ln; ++i) {
       eval_scores_[base + i] = logits[i];
       eval_labels_[base + i] = hb.labels[i];

@@ -36,6 +36,10 @@ struct DistributedTrainerOptions {
   /// the loader runs synchronously inside the step, fully exposed.
   bool prefetch = true;
   int prefetch_depth = 2;
+  /// Embedding-table placement: round-robin (the paper's t % R layout),
+  /// cost-balanced, or row-split. The cost-driven planners measure lookup
+  /// statistics from the dataset, so every rank derives the same plan.
+  ShardingOptions sharding{};
   /// Exchange/overlap/precision knobs; its lr and seed fields are
   /// overridden by the ones above.
   DistributedOptions dist{};
@@ -87,6 +91,20 @@ class DistributedTrainer {
   /// "loader_exposed"/"loader_hidden" counters.
   double loader_exposed_sec() const { return loader_exposed_; }
   double loader_hidden_sec() const { return loader_hidden_; }
+
+  /// Per-rank embedding-time spread so far — the placement quality a
+  /// ShardingPlan controls: max and mean over ranks of
+  /// DistributedDlrm::embedding_sec(). SPMD (allgathers one float per
+  /// rank); every rank returns the same values. Also threaded into the
+  /// Profiler as "emb_rank_max"/"emb_rank_mean" when one is passed to
+  /// train().
+  struct EmbImbalance {
+    double max_sec = 0.0;
+    double mean_sec = 0.0;
+    /// max/mean, 1.0 = perfectly balanced.
+    double ratio() const { return mean_sec > 0.0 ? max_sec / mean_sec : 1.0; }
+  };
+  EmbImbalance embedding_imbalance();
 
  private:
   double allreduce_mean(double local);

@@ -21,12 +21,22 @@ struct MaybeScope {
   double start_;
 };
 
+ShardingPlan resolve_plan(ShardingPlan plan, const DlrmConfig& config,
+                          int ranks) {
+  if (plan.empty()) {
+    return ShardingPlan::round_robin(config.table_rows, ranks);
+  }
+  DLRM_CHECK(plan.tables() == config.tables(),
+             "sharding plan table count must match the config");
+  return plan;
+}
+
 }  // namespace
 
 DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
                                  DistributedOptions options, ThreadComm& comm,
                                  QueueBackend* backend,
-                                 std::int64_t global_batch)
+                                 std::int64_t global_batch, ShardingPlan plan)
     : config_(config),
       options_(options),
       comm_(comm),
@@ -39,7 +49,8 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
       interaction_(config.tables() + 1, config.dim,
                    config.interaction_pad <= 1 ? 1 : config.interaction_pad),
       exchange_(comm, options.overlap ? backend : nullptr, options.exchange,
-                config.tables(), config.dim, global_batch,
+                resolve_plan(std::move(plan), config, comm.size()), config.dim,
+                global_batch,
                 options.bf16_wire && config.mlp_precision == Precision::kBf16
                     ? Precision::kBf16
                     : Precision::kFp32),
@@ -48,7 +59,7 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
                ? Precision::kBf16
                : Precision::kFp32) {
   config_.validate();
-  ln_ = gn_ / comm_.size();
+  ln_ = exchange_.local_batch();
 
   // Identical MLP replicas on every rank (same seed stream as DlrmModel).
   Rng mlp_rng(options_.seed);
@@ -57,14 +68,18 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
   bottom_.set_batch(ln_);
   top_.set_batch(ln_);
 
-  // Owned embedding tables, initialized with the table-id-keyed seeds so a
-  // single-process model with the same seed holds identical tables.
-  for (std::int64_t t : exchange_.owned_ids()) {
+  // Owned shards' table storage, initialized with the table-id-keyed seeds
+  // so a single-process model with the same seed holds identical rows: a
+  // shard view replays the full table's draw stream and keeps its range.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(config_.dim));
+  for (std::int64_t sid : exchange_.owned_shard_ids()) {
+    const Shard& sh = exchange_.plan().shard(sid);
+    const std::int64_t t = sh.table;
     tables_.push_back(std::make_unique<EmbeddingTable>(
-        config_.table_rows[static_cast<std::size_t>(t)], config_.dim,
-        options_.embed_precision));
+        sh.rows(), config_.dim, options_.embed_precision, sh.row_begin,
+        config_.table_rows[static_cast<std::size_t>(t)]));
     Rng trng(options_.seed + 1000003ull * static_cast<std::uint64_t>(t + 1));
-    tables_.back()->init(trng, 1.0f / std::sqrt(static_cast<float>(config_.dim)));
+    tables_.back()->init(trng, scale);
     emb_out_.emplace_back(std::vector<std::int64_t>{gn_, config_.dim});
     demb_own_.emplace_back(std::vector<std::int64_t>{gn_, config_.dim});
   }
@@ -89,6 +104,14 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
   opt_->attach(slots);
 }
 
+std::vector<Shard> DistributedDlrm::owned_shards() const {
+  std::vector<Shard> out;
+  for (std::int64_t sid : exchange_.owned_shard_ids()) {
+    out.push_back(exchange_.plan().shard(sid));
+  }
+  return out;
+}
+
 const Tensor<float>& DistributedDlrm::forward(const HybridBatch& hb,
                                               Profiler* prof) {
   DLRM_CHECK(hb.labels.size() == ln_, "hybrid batch local slice mismatch");
@@ -96,14 +119,17 @@ const Tensor<float>& DistributedDlrm::forward(const HybridBatch& hb,
                  exchange_.owned_tables(),
              "owned bag count mismatch");
 
-  // Model-parallel embedding forward over the FULL global minibatch.
+  // Model-parallel embedding forward over the FULL global minibatch (a
+  // partial bag sum per row-split shard, reduced in finish_forward).
   {
     MaybeScope s(prof, "emb_fwd");
+    const Timer t;
     for (std::size_t k = 0; k < tables_.size(); ++k) {
       DLRM_CHECK(hb.owned_bags[k].batch() == gn_,
                  "owned bags must cover the global batch");
       tables_[k]->forward(hb.owned_bags[k], emb_out_[k].data());
     }
+    emb_sec_ += t.elapsed_sec();
   }
 
   // Start the alltoall, then overlap it with the bottom MLP forward.
@@ -187,8 +213,11 @@ void DistributedDlrm::backward(const HybridBatch& hb,
 
   {
     MaybeScope s(prof, "emb_bwd_upd");
+    const Timer t;
     // The gathered gradient is d(mean over LOCAL batches); the global model
-    // trains on the mean over GN, so scale by LN/GN = 1/R.
+    // trains on the mean over GN. Even slices pre-scaled their dlogits by 1
+    // (LN*R == GN), so 1/R completes the average; uneven slices pre-scaled
+    // by LN_p*R/GN (see train_step), which the same 1/R completes.
     const float scale = 1.0f / static_cast<float>(comm_.size());
     for (std::size_t k = 0; k < tables_.size(); ++k) {
       float* g = demb_own_[k].data();
@@ -199,6 +228,7 @@ void DistributedDlrm::backward(const HybridBatch& hb,
       tables_[k]->fused_backward_update(g, hb.owned_bags[k], options_.lr,
                                         options_.update_strategy);
     }
+    emb_sec_ += t.elapsed_sec();
   }
 
   {
@@ -219,6 +249,16 @@ double DistributedDlrm::train_step(const HybridBatch& hb, Profiler* prof) {
   {
     MaybeScope s(prof, "loss");
     loss = bce_with_logits(logits.data(), hb.labels.data(), ln_, dlogits.data());
+  }
+  // Uneven slices: the DDP allreduce and the 1/R embedding scale both
+  // average *per-rank* gradients, which equals the global-batch mean only
+  // when all LN are equal. Re-weight this rank's loss gradient by
+  // LN*R/GN so mean-of-ranks reproduces the mean over GN exactly. The
+  // factor is 1 for even slices — skipped, keeping that path bit-identical.
+  const std::int64_t R = comm_.size();
+  if (ln_ * R != gn_) {
+    const float w = static_cast<float>(ln_ * R) / static_cast<float>(gn_);
+    for (std::int64_t i = 0; i < ln_; ++i) dlogits[i] *= w;
   }
   backward(hb, dlogits, prof);
   return loss;

@@ -1,10 +1,13 @@
 // Hybrid-parallel distributed DLRM training (paper Sect. IV).
 //
-// Parallelization strategy, matching the paper exactly:
-//   * Embedding tables — MODEL parallel: table t lives entirely on rank
-//     t % R, which computes it for the full global minibatch GN.
+// Parallelization strategy, generalizing the paper:
+//   * Embedding tables — MODEL parallel under a pluggable ShardingPlan:
+//     round-robin full tables (the paper's t % R layout), cost-balanced
+//     full tables, or row-split shards. Each owned shard is computed for
+//     the full global minibatch GN (partial bag sums for row splits).
 //   * MLPs — DATA parallel: replicated on every rank, each processing its
-//     local slice LN = GN/R; weight gradients are allreduced (DDP).
+//     local slice LN (chunk convention; GN need not divide by R); weight
+//     gradients are allreduced (DDP).
 //   * The interaction op consumes per-slice features, so a personalized
 //     all-to-all realigns the embedding outputs before it (EmbeddingExchange)
 //     and realigns gradients after it in the backward pass.
@@ -28,6 +31,7 @@
 #include "comm/exchange.hpp"
 #include "comm/thread_comm.hpp"
 #include "core/config.hpp"
+#include "core/sharding.hpp"
 #include "data/loader.hpp"
 #include "kernels/embedding.hpp"
 #include "kernels/interaction.hpp"
@@ -57,19 +61,25 @@ struct DistributedOptions {
 /// thread (e.g. inside run_ranks) and drive train_step per iteration.
 class DistributedDlrm {
  public:
-  /// `backend` may be null → all communication is blocking.
+  /// `backend` may be null → all communication is blocking. `plan` places
+  /// the embedding tables; an empty plan selects round-robin (the
+  /// historical layout). All ranks must construct with the same plan.
   DistributedDlrm(const DlrmConfig& config, DistributedOptions options,
                   ThreadComm& comm, QueueBackend* backend,
-                  std::int64_t global_batch);
+                  std::int64_t global_batch, ShardingPlan plan = {});
 
   std::int64_t global_batch() const { return gn_; }
   std::int64_t local_batch() const { return ln_; }
+  const ShardingPlan& plan() const { return exchange_.plan(); }
+  /// Table ids of this rank's shards (one entry per owned shard).
   const std::vector<std::int64_t>& owned_tables() const {
     return exchange_.owned_ids();
   }
+  /// The shards this rank owns, in canonical order.
+  std::vector<Shard> owned_shards() const;
 
   /// One training iteration on a hybrid batch (local dense slice + owned
-  /// tables' global bags). Returns the local mean BCE loss.
+  /// shards' global bags). Returns the local mean BCE loss.
   double train_step(const HybridBatch& hb, Profiler* prof = nullptr);
 
   /// Forward only; returns local logits [LN] (for evaluation).
@@ -82,7 +92,7 @@ class DistributedDlrm {
 
   Mlp& bottom_mlp() { return bottom_; }
   Mlp& top_mlp() { return top_; }
-  /// k-th owned table.
+  /// k-th owned shard's table storage.
   EmbeddingTable& owned_table(std::int64_t k) { return *tables_[static_cast<std::size_t>(k)]; }
 
   /// Comm instrumentation of the last train_step.
@@ -90,6 +100,11 @@ class DistributedDlrm {
   double last_alltoall_framework_sec() const { return a2a_frame_; }
   double last_allreduce_wait_sec() const { return ddp_.wait_sec(); }
   double last_allreduce_framework_sec() const { return ddp_.framework_sec(); }
+
+  /// Cumulative wall time this rank spent in embedding kernels (forward +
+  /// fused backward/update) across all steps — the model-parallel work a
+  /// ShardingPlan balances. Always measured (independent of the Profiler).
+  double embedding_sec() const { return emb_sec_; }
 
  private:
   void backward(const HybridBatch& hb, const Tensor<float>& dlogits,
@@ -102,21 +117,22 @@ class DistributedDlrm {
   std::int64_t gn_, ln_;
 
   Mlp bottom_, top_;
-  std::vector<std::unique_ptr<EmbeddingTable>> tables_;  // owned tables only
+  std::vector<std::unique_ptr<EmbeddingTable>> tables_;  // owned shards only
   DotInteraction interaction_;
   EmbeddingExchange exchange_;
   DdpAllreducer ddp_;
   std::unique_ptr<Optimizer> opt_;  // matches config.mlp_precision
 
   // Activations / gradients (local slice unless noted).
-  std::vector<Tensor<float>> emb_out_;   // per owned table [GN][E]
-  std::vector<Tensor<float>> demb_own_;  // per owned table [GN][E]
+  std::vector<Tensor<float>> emb_out_;   // per owned shard [GN][E]
+  std::vector<Tensor<float>> demb_own_;  // per owned shard [GN][E]
   Tensor<float> sliced_;                 // [S][LN][E]
   Tensor<float> dsliced_;                // [S][LN][E]
   Tensor<float> interact_out_, dinteract_;
   Tensor<float> logits_, dlogits2d_, dz0_;
 
   double a2a_wait_ = 0.0, a2a_frame_ = 0.0;
+  double emb_sec_ = 0.0;
 };
 
 }  // namespace dlrm

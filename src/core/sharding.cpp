@@ -1,0 +1,293 @@
+#include "core/sharding.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "cluster/machine.hpp"
+#include "common/log.hpp"
+#include "data/dataset.hpp"
+
+namespace dlrm {
+
+const char* to_string(ShardingPolicy p) {
+  switch (p) {
+    case ShardingPolicy::kRoundRobin:
+      return "RoundRobin";
+    case ShardingPolicy::kGreedyBalanced:
+      return "GreedyBalanced";
+    case ShardingPolicy::kRowSplit:
+      return "RowSplit";
+  }
+  return "?";
+}
+
+ShardingPlan::ShardingPlan(ShardingPolicy policy, std::int64_t tables,
+                           int ranks, std::vector<Shard> shards)
+    : policy_(policy), tables_(tables), ranks_(ranks), shards_(std::move(shards)) {
+  // Canonical order: by (table, row_begin). The exchange, loaders and tests
+  // all index shards by this order, so it must be a total order.
+  std::sort(shards_.begin(), shards_.end(), [](const Shard& a, const Shard& b) {
+    return a.table != b.table ? a.table < b.table : a.row_begin < b.row_begin;
+  });
+  by_rank_.assign(static_cast<std::size_t>(ranks_), {});
+  by_table_.assign(static_cast<std::size_t>(tables_), {});
+  for (std::int64_t s = 0; s < num_shards(); ++s) {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    DLRM_CHECK(sh.rank >= 0 && sh.rank < ranks_, "shard rank out of range");
+    DLRM_CHECK(sh.table >= 0 && sh.table < tables_, "shard table out of range");
+    DLRM_CHECK(sh.row_begin >= 0 && sh.row_begin < sh.row_end,
+               "shard row range must be non-empty");
+    by_rank_[static_cast<std::size_t>(sh.rank)].push_back(s);
+    by_table_[static_cast<std::size_t>(sh.table)].push_back(s);
+  }
+  for (std::int64_t t = 0; t < tables_; ++t) {
+    const auto& ss = by_table_[static_cast<std::size_t>(t)];
+    DLRM_CHECK(!ss.empty(), "every table needs at least one shard");
+    if (ss.size() > 1) split_tables_ = true;
+    // Row ranges must tile the table contiguously from row 0.
+    std::int64_t next = 0;
+    for (std::int64_t s : ss) {
+      DLRM_CHECK(shards_[static_cast<std::size_t>(s)].row_begin == next,
+                 "shard row ranges must tile the table");
+      next = shards_[static_cast<std::size_t>(s)].row_end;
+    }
+  }
+}
+
+ShardingPlan ShardingPlan::round_robin(
+    const std::vector<std::int64_t>& table_rows, int ranks) {
+  DLRM_CHECK(ranks >= 1, "need at least one rank");
+  std::vector<Shard> shards;
+  for (std::size_t t = 0; t < table_rows.size(); ++t) {
+    Shard sh;
+    sh.table = static_cast<std::int64_t>(t);
+    sh.row_begin = 0;
+    sh.row_end = table_rows[t];
+    sh.rank = static_cast<int>(t % static_cast<std::size_t>(ranks));
+    sh.cost = static_cast<double>(table_rows[t]);
+    shards.push_back(sh);
+  }
+  return ShardingPlan(ShardingPolicy::kRoundRobin,
+                      static_cast<std::int64_t>(table_rows.size()), ranks,
+                      std::move(shards));
+}
+
+namespace {
+
+/// LPT: assign shards (already costed) to the least-loaded rank, processing
+/// in descending cost order. Deterministic tie-breaks: earlier canonical
+/// shard first, lower rank id first.
+void lpt_assign(std::vector<Shard>& shards, int ranks) {
+  std::vector<std::size_t> order(shards.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return shards[a].cost > shards[b].cost;
+  });
+  std::vector<double> load(static_cast<std::size_t>(ranks), 0.0);
+  for (std::size_t i : order) {
+    int best = 0;
+    for (int r = 1; r < ranks; ++r) {
+      if (load[static_cast<std::size_t>(r)] < load[static_cast<std::size_t>(best)]) {
+        best = r;
+      }
+    }
+    shards[i].rank = best;
+    load[static_cast<std::size_t>(best)] += shards[i].cost;
+  }
+}
+
+std::vector<double> checked_costs(const std::vector<std::int64_t>& table_rows,
+                                  const std::vector<double>& costs) {
+  DLRM_CHECK(costs.size() == table_rows.size(),
+             "need one cost estimate per table");
+  // Zero/negative costs would break LPT's ordering; clamp to a tiny epsilon
+  // so every shard still contributes to its rank's load.
+  std::vector<double> c = costs;
+  for (auto& v : c) v = std::max(v, 1e-12);
+  return c;
+}
+
+}  // namespace
+
+ShardingPlan ShardingPlan::greedy_balanced(
+    const std::vector<std::int64_t>& table_rows, int ranks,
+    const std::vector<double>& costs) {
+  DLRM_CHECK(ranks >= 1, "need at least one rank");
+  const std::vector<double> c = checked_costs(table_rows, costs);
+  std::vector<Shard> shards;
+  for (std::size_t t = 0; t < table_rows.size(); ++t) {
+    Shard sh;
+    sh.table = static_cast<std::int64_t>(t);
+    sh.row_begin = 0;
+    sh.row_end = table_rows[t];
+    sh.cost = c[t];
+    shards.push_back(sh);
+  }
+  lpt_assign(shards, ranks);
+  return ShardingPlan(ShardingPolicy::kGreedyBalanced,
+                      static_cast<std::int64_t>(table_rows.size()), ranks,
+                      std::move(shards));
+}
+
+ShardingPlan ShardingPlan::row_split(const std::vector<std::int64_t>& table_rows,
+                                     int ranks,
+                                     const std::vector<double>& costs,
+                                     std::int64_t row_threshold) {
+  DLRM_CHECK(ranks >= 1, "need at least one rank");
+  const std::vector<double> c = checked_costs(table_rows, costs);
+  if (row_threshold <= 0) {
+    std::int64_t total = 0;
+    for (auto m : table_rows) total += m;
+    row_threshold = (total + ranks - 1) / ranks;
+  }
+  std::vector<Shard> shards;
+  for (std::size_t t = 0; t < table_rows.size(); ++t) {
+    const std::int64_t rows = table_rows[t];
+    std::int64_t pieces = 1;
+    if (rows > row_threshold) {
+      pieces = std::min<std::int64_t>((rows + row_threshold - 1) / row_threshold,
+                                      ranks);
+    }
+    for (std::int64_t k = 0; k < pieces; ++k) {
+      Shard sh;
+      sh.table = static_cast<std::int64_t>(t);
+      sh.row_begin = rows * k / pieces;
+      sh.row_end = rows * (k + 1) / pieces;
+      // Uniform-index approximation: a shard sees lookups in proportion to
+      // its row share. (Zipf streams concentrate on the head shard; the
+      // greedy packing still bounds the error by the whole-table cost.)
+      sh.cost = c[t] * static_cast<double>(sh.rows()) / static_cast<double>(rows);
+      shards.push_back(sh);
+    }
+  }
+  lpt_assign(shards, ranks);
+  return ShardingPlan(ShardingPolicy::kRowSplit,
+                      static_cast<std::int64_t>(table_rows.size()), ranks,
+                      std::move(shards));
+}
+
+ShardingPlan ShardingPlan::custom(std::int64_t tables, int ranks,
+                                  std::vector<Shard> shards,
+                                  ShardingPolicy label) {
+  return ShardingPlan(label, tables, ranks, std::move(shards));
+}
+
+std::int64_t ShardingPlan::rank_rows(int r) const {
+  std::int64_t rows = 0;
+  for (std::int64_t s : shards_of_rank(r)) {
+    rows += shards_[static_cast<std::size_t>(s)].rows();
+  }
+  return rows;
+}
+
+double ShardingPlan::rank_cost(int r) const {
+  double cost = 0.0;
+  for (std::int64_t s : shards_of_rank(r)) {
+    cost += shards_[static_cast<std::size_t>(s)].cost;
+  }
+  return cost;
+}
+
+double ShardingPlan::cost_imbalance() const {
+  double max = 0.0, sum = 0.0;
+  for (int r = 0; r < ranks_; ++r) {
+    const double c = rank_cost(r);
+    max = std::max(max, c);
+    sum += c;
+  }
+  const double mean = sum / std::max(ranks_, 1);
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
+std::string ShardingPlan::describe() const {
+  std::string out = std::string(to_string(policy_)) + " plan: " +
+                    std::to_string(num_shards()) + " shards of " +
+                    std::to_string(tables_) + " tables on " +
+                    std::to_string(ranks_) + " ranks\n";
+  char buf[160];
+  for (int r = 0; r < ranks_; ++r) {
+    std::snprintf(buf, sizeof(buf), "  rank %d: cost %.3g, rows %lld, shards", r,
+                  rank_cost(r), static_cast<long long>(rank_rows(r)));
+    out += buf;
+    for (std::int64_t s : shards_of_rank(r)) {
+      const Shard& sh = shards_[static_cast<std::size_t>(s)];
+      if (sh.rows() == 0) continue;
+      std::snprintf(buf, sizeof(buf), " t%lld[%lld:%lld)",
+                    static_cast<long long>(sh.table),
+                    static_cast<long long>(sh.row_begin),
+                    static_cast<long long>(sh.row_end));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<double> measure_table_lookups(const Dataset& data,
+                                          std::int64_t samples) {
+  DLRM_CHECK(samples > 0, "need a positive sample count");
+  const std::int64_t s = data.tables();
+  std::vector<double> lookups(static_cast<std::size_t>(s), 0.0);
+  // One fill() pass materializes every table's bag stream at once —
+  // per-table fill_table_bags would replay the whole sample RNG stream S
+  // times (O(S^2) draws), and this runs on every rank at construction.
+  MiniBatch batch;
+  data.fill(0, samples, batch);
+  for (std::int64_t t = 0; t < s; ++t) {
+    lookups[static_cast<std::size_t>(t)] =
+        static_cast<double>(batch.bags[static_cast<std::size_t>(t)].lookups()) /
+        static_cast<double>(samples);
+  }
+  return lookups;
+}
+
+std::vector<double> estimate_table_costs(
+    const KernelModel& kernel, const std::vector<std::int64_t>& table_rows,
+    const std::vector<double>& lookups_per_sample, std::int64_t dim,
+    std::int64_t global_batch) {
+  DLRM_CHECK(lookups_per_sample.size() == table_rows.size(),
+             "need one lookup statistic per table");
+  const int cores = kernel.socket().cores;
+  std::vector<double> costs(table_rows.size(), 0.0);
+  for (std::size_t t = 0; t < table_rows.size(); ++t) {
+    // The cost model takes an integer pooling factor; scale its unit-pooling
+    // estimate by the measured (fractional) lookup rate instead so skewed
+    // lookup streams separate tables with equal row counts.
+    const double rate = std::max(lookups_per_sample[t], 0.0);
+    const double fwd =
+        kernel.embedding_fwd_time(1, global_batch, 1, dim, cores) * rate;
+    const double upd =
+        kernel.embedding_update_time(UpdateStrategy::kRaceFree, 1, global_batch,
+                                     1, dim, /*skewed=*/false, /*fused=*/true,
+                                     cores) *
+        rate;
+    costs[t] = fwd + upd;
+  }
+  return costs;
+}
+
+ShardingPlan make_sharding_plan(const ShardingOptions& options,
+                                const std::vector<std::int64_t>& table_rows,
+                                std::int64_t dim, std::int64_t global_batch,
+                                int ranks, const Dataset* data) {
+  if (options.policy == ShardingPolicy::kRoundRobin) {
+    return ShardingPlan::round_robin(table_rows, ranks);
+  }
+  std::vector<double> lookups;
+  if (data != nullptr) {
+    lookups = measure_table_lookups(*data, options.stat_samples);
+  } else {
+    lookups.assign(table_rows.size(), 1.0);
+  }
+  const KernelModel kernel(clx_8280(), KernelEffs{});
+  const std::vector<double> costs =
+      estimate_table_costs(kernel, table_rows, lookups, dim, global_batch);
+  if (options.policy == ShardingPolicy::kGreedyBalanced) {
+    return ShardingPlan::greedy_balanced(table_rows, ranks, costs);
+  }
+  return ShardingPlan::row_split(table_rows, ranks, costs,
+                                 options.row_split_threshold);
+}
+
+}  // namespace dlrm

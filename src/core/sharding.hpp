@@ -1,0 +1,162 @@
+// Pluggable embedding-table sharding (paper Sect. IV, generalized).
+//
+// The paper's hybrid parallelism assigns table t to rank t % R — fine when
+// tables are uniform, but production DLRM table sets are heavily skewed
+// (Gupta et al.): one hot table can serialize every iteration on its owner
+// while the other ranks idle, and a single giant table cannot exceed one
+// rank's memory. A ShardingPlan decouples placement from table order:
+//
+//   * kRoundRobin     — table t → rank t % R, one full-table shard per
+//                       table. Bit-compatible with the historical layout.
+//   * kGreedyBalanced — LPT bin-packing of full-table shards onto ranks by
+//                       a per-table cost estimate (cluster/costmodel kernel
+//                       times fed with measured dataset lookup statistics).
+//   * kRowSplit       — tables above a row threshold are split into
+//                       row-range shards placed on multiple ranks; bag
+//                       indices are rewritten to shard-local rows and the
+//                       forward path partial-sum-reduces the shard outputs.
+//
+// A plan is a pure function of (policy, table shapes, costs, rank count), so
+// every rank computes the identical plan independently — no coordination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/costmodel.hpp"
+
+namespace dlrm {
+
+class Dataset;
+
+enum class ShardingPolicy { kRoundRobin, kGreedyBalanced, kRowSplit };
+
+const char* to_string(ShardingPolicy p);
+
+/// One (table, row-range) slice assigned to a rank. Full-table shards have
+/// row_begin == 0 and row_end == rows(table).
+struct Shard {
+  std::int64_t table = 0;
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;  // exclusive
+  int rank = 0;
+  double cost = 0.0;  // planner's cost estimate (seconds/iteration)
+
+  std::int64_t rows() const { return row_end - row_begin; }
+};
+
+/// Immutable placement of every table's rows onto ranks. Shards are kept in
+/// canonical order — sorted by (table, row_begin) — and referenced by their
+/// canonical index everywhere (exchange layouts, loaders, tests).
+class ShardingPlan {
+ public:
+  ShardingPlan() = default;
+
+  /// table t → rank t % R, one shard per table (the historical layout).
+  static ShardingPlan round_robin(const std::vector<std::int64_t>& table_rows,
+                                  int ranks);
+
+  /// Longest-processing-time bin packing of full-table shards: tables sorted
+  /// by descending cost, each assigned to the least-loaded rank. `costs` has
+  /// one entry per table (see estimate_table_costs); ties break towards the
+  /// lower table id / rank id so the plan is deterministic.
+  static ShardingPlan greedy_balanced(
+      const std::vector<std::int64_t>& table_rows, int ranks,
+      const std::vector<double>& costs);
+
+  /// Tables with more than `row_threshold` rows are split into even
+  /// row-range shards (at most `ranks` of them), then all shards are
+  /// LPT-packed like greedy_balanced with cost proportional to the row
+  /// fraction. `row_threshold` <= 0 selects ceil(total_rows / ranks).
+  static ShardingPlan row_split(const std::vector<std::int64_t>& table_rows,
+                                int ranks, const std::vector<double>& costs,
+                                std::int64_t row_threshold);
+
+  /// Arbitrary placement (tests, external tuners). Every table's shards
+  /// must tile its rows contiguously from row 0; `label` is only reported.
+  static ShardingPlan custom(std::int64_t tables, int ranks,
+                             std::vector<Shard> shards,
+                             ShardingPolicy label = ShardingPolicy::kRowSplit);
+
+  bool empty() const { return shards_.empty(); }
+  ShardingPolicy policy() const { return policy_; }
+  int ranks() const { return ranks_; }
+  std::int64_t tables() const { return tables_; }
+  std::int64_t num_shards() const {
+    return static_cast<std::int64_t>(shards_.size());
+  }
+
+  /// All shards in canonical (table, row_begin) order.
+  const std::vector<Shard>& shards() const { return shards_; }
+  const Shard& shard(std::int64_t s) const {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  /// Canonical shard indices owned by rank r, in increasing order.
+  const std::vector<std::int64_t>& shards_of_rank(int r) const {
+    return by_rank_[static_cast<std::size_t>(r)];
+  }
+  /// Canonical shard indices of table t, in increasing row order.
+  const std::vector<std::int64_t>& shards_of_table(std::int64_t t) const {
+    return by_table_[static_cast<std::size_t>(t)];
+  }
+
+  /// True when some table is split across more than one shard.
+  bool has_split_tables() const { return split_tables_; }
+
+  /// Rows resident on rank r (memory footprint driver).
+  std::int64_t rank_rows(int r) const;
+  /// Planner cost estimate summed over rank r's shards.
+  double rank_cost(int r) const;
+  /// max over ranks of rank_cost / mean over ranks (1.0 = perfectly even).
+  double cost_imbalance() const;
+
+  /// One line per rank: owned shards and their cost share.
+  std::string describe() const;
+
+ private:
+  ShardingPlan(ShardingPolicy policy, std::int64_t tables, int ranks,
+               std::vector<Shard> shards);
+
+  ShardingPolicy policy_ = ShardingPolicy::kRoundRobin;
+  std::int64_t tables_ = 0;
+  int ranks_ = 0;
+  bool split_tables_ = false;
+  std::vector<Shard> shards_;
+  std::vector<std::vector<std::int64_t>> by_rank_;
+  std::vector<std::vector<std::int64_t>> by_table_;
+};
+
+/// Mean lookups per sample for every table, measured by materializing
+/// `samples` samples of the dataset's bag stream (deterministic, so every
+/// rank computes identical statistics).
+std::vector<double> measure_table_lookups(const Dataset& data,
+                                          std::int64_t samples);
+
+/// Per-table cost estimate in seconds per iteration of `global_batch`
+/// samples: cost-model embedding forward + fused race-free update for the
+/// table's measured lookup rate. This is what the LPT planners pack.
+std::vector<double> estimate_table_costs(
+    const KernelModel& kernel, const std::vector<std::int64_t>& table_rows,
+    const std::vector<double>& lookups_per_sample, std::int64_t dim,
+    std::int64_t global_batch);
+
+struct ShardingOptions {
+  ShardingPolicy policy = ShardingPolicy::kRoundRobin;
+  /// kRowSplit: split tables above this many rows (<= 0 = ceil(total/R)).
+  std::int64_t row_split_threshold = 0;
+  /// Samples of the dataset bag stream used for lookup statistics.
+  std::int64_t stat_samples = 512;
+};
+
+/// Builds the plan every rank agrees on: round-robin ignores costs; the
+/// cost-driven planners combine the cluster cost model with lookup
+/// statistics measured from `data` (pass nullptr to fall back to uniform
+/// per-table lookups). The KernelModel defaults to the paper's CLX-8280.
+ShardingPlan make_sharding_plan(const ShardingOptions& options,
+                                const std::vector<std::int64_t>& table_rows,
+                                std::int64_t dim, std::int64_t global_batch,
+                                int ranks, const Dataset* data);
+
+}  // namespace dlrm

@@ -11,6 +11,7 @@
 #include "common/log.hpp"
 #include "core/model.hpp"
 #include "data/dataset.hpp"
+#include "optim/lr_schedule.hpp"
 #include "optim/optimizer.hpp"
 #include "stats/metrics.hpp"
 #include "stats/profiler.hpp"
@@ -31,10 +32,10 @@ struct EvalPoint {
   double train_loss = 0.0;
 };
 
-/// Optional learning-rate schedule for train_with_eval: called with the
-/// epoch fraction about to be trained towards; the returned lr applies to
-/// that interval (MLPerf-style decay, as used by the Fig. 16 bench).
-using LrSchedule = std::function<float(double epoch_fraction)>;
+// The learning-rate schedule passed to train_with_eval lives in
+// optim/lr_schedule.hpp: called with the epoch fraction about to be trained
+// towards; the returned lr applies to that interval (MLPerf-style decay, as
+// used by the Fig. 16 bench).
 
 namespace detail {
 

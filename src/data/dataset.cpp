@@ -13,11 +13,13 @@ void shape_minibatch(const Dataset& data, std::int64_t n, MiniBatch& out) {
   }
   if (out.labels.size() != n) out.labels.reshape({n});
   out.bags.resize(static_cast<std::size_t>(data.tables()));
-  for (auto& b : out.bags) {
-    if (b.indices.size() != n * data.pooling()) {
-      b.indices.reshape({n * data.pooling()});
+  for (std::int64_t t = 0; t < data.tables(); ++t) {
+    auto& b = out.bags[static_cast<std::size_t>(t)];
+    const std::int64_t p = data.pooling(t);
+    if (b.indices.size() != n * p) {
+      b.indices.reshape({n * p});
       b.offsets.reshape({n + 1});
-      for (std::int64_t i = 0; i <= n; ++i) b.offsets[i] = i * data.pooling();
+      for (std::int64_t i = 0; i <= n; ++i) b.offsets[i] = i * p;
     }
   }
 }
@@ -29,9 +31,27 @@ void shape_minibatch(const Dataset& data, std::int64_t n, MiniBatch& out) {
 RandomDataset::RandomDataset(std::int64_t dense_dim,
                              std::vector<std::int64_t> table_rows,
                              std::int64_t pooling, std::uint64_t seed)
-    : d_(dense_dim), p_(pooling), rows_(std::move(table_rows)), seed_(seed) {
-  DLRM_CHECK(d_ > 0 && !rows_.empty() && p_ > 0, "bad dataset shape");
+    : RandomDataset(dense_dim, std::move(table_rows),
+                    std::vector<std::int64_t>(), seed) {
+  DLRM_CHECK(pooling > 0, "bad dataset shape");
+  p_ = pooling;
+  pool_.assign(rows_.size(), pooling);
+}
+
+RandomDataset::RandomDataset(std::int64_t dense_dim,
+                             std::vector<std::int64_t> table_rows,
+                             std::vector<std::int64_t> poolings,
+                             std::uint64_t seed)
+    : d_(dense_dim), p_(1), rows_(std::move(table_rows)),
+      pool_(std::move(poolings)), seed_(seed) {
+  DLRM_CHECK(d_ > 0 && !rows_.empty(), "bad dataset shape");
   for (auto m : rows_) DLRM_CHECK(m > 0, "table rows must be positive");
+  if (pool_.empty()) pool_.assign(rows_.size(), 1);  // delegating ctor fills in
+  DLRM_CHECK(pool_.size() == rows_.size(), "need one pooling factor per table");
+  for (auto p : pool_) {
+    DLRM_CHECK(p > 0, "pooling factors must be positive");
+    p_ = std::max(p_, p);
+  }
 }
 
 RandomDataset::RandomDataset(std::int64_t dense_dim, std::int64_t tables,
@@ -52,8 +72,9 @@ void RandomDataset::fill(std::int64_t first, std::int64_t n,
     for (std::int64_t j = 0; j < d_; ++j) dense[j] = rng.gaussian();
     out.labels[i] = rng.next_float() < 0.5f ? 0.0f : 1.0f;
     for (std::int64_t t = 0; t < s; ++t) {
-      std::int64_t* idx = out.bags[static_cast<std::size_t>(t)].indices.data() + i * p_;
-      for (std::int64_t k = 0; k < p_; ++k) {
+      const std::int64_t p = pool_[static_cast<std::size_t>(t)];
+      std::int64_t* idx = out.bags[static_cast<std::size_t>(t)].indices.data() + i * p;
+      for (std::int64_t k = 0; k < p; ++k) {
         idx[k] = rng.next_index(rows_[static_cast<std::size_t>(t)]);
       }
     }
@@ -62,10 +83,11 @@ void RandomDataset::fill(std::int64_t first, std::int64_t n,
 
 void RandomDataset::fill_table_bags(std::int64_t t, std::int64_t first,
                                     std::int64_t n, BagBatch& out) const {
-  if (out.indices.size() != n * p_) {
-    out.indices.reshape({n * p_});
+  const std::int64_t p = pool_[static_cast<std::size_t>(t)];
+  if (out.indices.size() != n * p) {
+    out.indices.reshape({n * p});
     out.offsets.reshape({n + 1});
-    for (std::int64_t i = 0; i <= n; ++i) out.offsets[i] = i * p_;
+    for (std::int64_t i = 0; i <= n; ++i) out.offsets[i] = i * p;
   }
   for (std::int64_t i = 0; i < n; ++i) {
     Rng rng(seed_ ^ (0x5851F42D4C957F2Dull * static_cast<std::uint64_t>(first + i)));
@@ -73,12 +95,12 @@ void RandomDataset::fill_table_bags(std::int64_t t, std::int64_t first,
     for (std::int64_t j = 0; j < d_; ++j) (void)rng.gaussian();
     (void)rng.next_float();
     for (std::int64_t tt = 0; tt < t; ++tt) {
-      for (std::int64_t k = 0; k < p_; ++k) {
+      for (std::int64_t k = 0; k < pool_[static_cast<std::size_t>(tt)]; ++k) {
         (void)rng.next_index(rows_[static_cast<std::size_t>(tt)]);
       }
     }
-    std::int64_t* idx = out.indices.data() + i * p_;
-    for (std::int64_t k = 0; k < p_; ++k) {
+    std::int64_t* idx = out.indices.data() + i * p;
+    for (std::int64_t k = 0; k < p; ++k) {
       idx[k] = rng.next_index(rows_[static_cast<std::size_t>(t)]);
     }
   }

@@ -47,8 +47,14 @@ class Dataset {
   virtual std::int64_t tables() const = 0;
   /// Rows of table t.
   virtual std::int64_t rows(std::int64_t t) const = 0;
-  /// Lookups per bag (pooling factor P).
+  /// Lookups per bag (nominal / maximum pooling factor P).
   virtual std::int64_t pooling() const = 0;
+  /// Lookups per bag of table t (heterogeneous pooling: hot tables can be
+  /// looked up more often per sample — the production skew of Gupta et al.).
+  virtual std::int64_t pooling(std::int64_t t) const {
+    (void)t;
+    return pooling();
+  }
 
   /// Fills `out` with samples [first, first + n) of the global stream.
   /// Deterministic: the same (first, n) always produces the same data.
@@ -61,7 +67,9 @@ class Dataset {
 
   /// Bytes a loader must materialize per sample (dense + label + indices).
   std::int64_t bytes_per_sample() const {
-    return dense_dim() * 4 + 4 + tables() * pooling() * 8;
+    std::int64_t lookups = 0;
+    for (std::int64_t t = 0; t < tables(); ++t) lookups += pooling(t);
+    return dense_dim() * 4 + 4 + lookups * 8;
   }
 };
 
@@ -71,6 +79,9 @@ class RandomDataset final : public Dataset {
  public:
   RandomDataset(std::int64_t dense_dim, std::vector<std::int64_t> table_rows,
                 std::int64_t pooling, std::uint64_t seed);
+  /// Heterogeneous pooling: one lookup count per table.
+  RandomDataset(std::int64_t dense_dim, std::vector<std::int64_t> table_rows,
+                std::vector<std::int64_t> poolings, std::uint64_t seed);
   /// Convenience: `tables` tables of uniform `rows_per_table` rows.
   RandomDataset(std::int64_t dense_dim, std::int64_t tables,
                 std::int64_t rows_per_table, std::int64_t pooling,
@@ -84,14 +95,18 @@ class RandomDataset final : public Dataset {
     return rows_[static_cast<std::size_t>(t)];
   }
   std::int64_t pooling() const override { return p_; }
+  std::int64_t pooling(std::int64_t t) const override {
+    return pool_[static_cast<std::size_t>(t)];
+  }
 
   void fill(std::int64_t first, std::int64_t n, MiniBatch& out) const override;
   void fill_table_bags(std::int64_t t, std::int64_t first, std::int64_t n,
                        BagBatch& out) const override;
 
  private:
-  std::int64_t d_, p_;
+  std::int64_t d_, p_;  // p_ = max per-table pooling (nominal)
   std::vector<std::int64_t> rows_;
+  std::vector<std::int64_t> pool_;  // per-table pooling factors
   std::uint64_t seed_;
 };
 
@@ -120,6 +135,7 @@ class SyntheticCtrDataset final : public Dataset {
   std::int64_t rows(std::int64_t t) const override {
     return params_.rows[static_cast<std::size_t>(t)];
   }
+  using Dataset::pooling;
   std::int64_t pooling() const override { return params_.pooling; }
 
   void fill(std::int64_t first, std::int64_t n, MiniBatch& out) const override;

@@ -1,31 +1,103 @@
 #include "data/loader.hpp"
 
 #include "common/log.hpp"
+#include "common/partition.hpp"
 #include "common/timer.hpp"
 
 namespace dlrm {
 
-DataLoader::DataLoader(const Dataset& data, std::int64_t global_batch,
-                       int rank, int ranks,
-                       std::vector<std::int64_t> owned_tables, LoaderMode mode)
+void rewrite_bags_to_shard(const BagBatch& full, std::int64_t row_begin,
+                           std::int64_t row_end, BagBatch& out) {
+  const std::int64_t n = full.batch();
+  if (out.offsets.size() != n + 1) out.offsets.reshape({n + 1});
+  // Count pass so the index tensor is sized exactly. The kept count varies
+  // per batch, so this reallocates most iterations — deliberate: BagBatch's
+  // lookups() == indices.size() invariant requires exact sizing, and one
+  // small allocation is noise next to materializing the batch (and runs on
+  // the prefetch thread anyway).
+  std::int64_t kept = 0;
+  for (std::int64_t s = 0; s < full.indices.size(); ++s) {
+    if (full.indices[s] >= row_begin && full.indices[s] < row_end) ++kept;
+  }
+  if (out.indices.size() != kept) out.indices.reshape({kept});
+  std::int64_t w = 0;
+  out.offsets[0] = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t s = full.offsets[b]; s < full.offsets[b + 1]; ++s) {
+      const std::int64_t row = full.indices[s];
+      if (row >= row_begin && row < row_end) out.indices[w++] = row - row_begin;
+    }
+    out.offsets[b + 1] = w;
+  }
+}
+
+namespace {
+
+std::vector<Shard> full_table_shards(const Dataset& data,
+                                     const std::vector<std::int64_t>& tables,
+                                     int rank) {
+  std::vector<Shard> shards;
+  for (std::int64_t t : tables) {
+    DLRM_CHECK(t >= 0 && t < data.tables(), "owned table out of range");
+    Shard sh;
+    sh.table = t;
+    sh.row_begin = 0;
+    sh.row_end = data.rows(t);
+    sh.rank = rank;
+    shards.push_back(sh);
+  }
+  return shards;
+}
+
+std::vector<Shard> rank_shards(const ShardingPlan& plan, int rank) {
+  std::vector<Shard> shards;
+  for (std::int64_t sid : plan.shards_of_rank(rank)) {
+    shards.push_back(plan.shard(sid));
+  }
+  return shards;
+}
+
+}  // namespace
+
+DataLoader::DataLoader(ShardListTag, const Dataset& data,
+                       std::int64_t global_batch, int rank, int ranks,
+                       std::vector<Shard> owned_shards, LoaderMode mode)
     : data_(data),
       gn_(global_batch),
       rank_(rank),
       ranks_(ranks),
-      owned_(std::move(owned_tables)),
+      owned_(std::move(owned_shards)),
       mode_(mode) {
   DLRM_CHECK(ranks_ >= 1 && rank_ >= 0 && rank_ < ranks_, "bad rank");
-  DLRM_CHECK(gn_ % ranks_ == 0, "global batch must divide by ranks");
-  ln_ = gn_ / ranks_;
-  for (auto t : owned_) {
-    DLRM_CHECK(t >= 0 && t < data_.tables(), "owned table out of range");
+  DLRM_CHECK(gn_ >= ranks_, "global batch must cover all ranks");
+  first_local_ = chunk_begin(gn_, rank_, ranks_);
+  ln_ = chunk_size(gn_, rank_, ranks_);
+  for (const auto& sh : owned_) {
+    DLRM_CHECK(sh.table >= 0 && sh.table < data_.tables(),
+               "owned table out of range");
+    DLRM_CHECK(sh.row_begin >= 0 && sh.row_begin < sh.row_end &&
+                   sh.row_end <= data_.rows(sh.table),
+               "shard row range outside the table");
   }
 }
+
+DataLoader::DataLoader(const Dataset& data, std::int64_t global_batch,
+                       int rank, int ranks, const ShardingPlan& plan,
+                       LoaderMode mode)
+    : DataLoader(ShardListTag{}, data, global_batch, rank, ranks,
+                 rank_shards(plan, rank), mode) {}
+
+DataLoader::DataLoader(const Dataset& data, std::int64_t global_batch,
+                       int rank, int ranks,
+                       const std::vector<std::int64_t>& owned_tables,
+                       LoaderMode mode)
+    : DataLoader(ShardListTag{}, data, global_batch, rank, ranks,
+                 full_table_shards(data, owned_tables, rank), mode) {}
 
 void DataLoader::next(std::int64_t iter, HybridBatch& out) {
   const Timer timer;
   const std::int64_t first = iter * gn_;
-  const std::int64_t my_first = first + rank_ * ln_;
+  const std::int64_t my_first = first + first_local_;
 
   if (out.dense.size() != ln_ * data_.dense_dim()) {
     out.dense.reshape({ln_, data_.dense_dim()});
@@ -38,32 +110,45 @@ void DataLoader::next(std::int64_t iter, HybridBatch& out) {
     data_.fill(first, gn_, scratch_);
     const std::int64_t d = data_.dense_dim();
     for (std::int64_t i = 0; i < ln_; ++i) {
-      const std::int64_t src = rank_ * ln_ + i;
+      const std::int64_t src = first_local_ + i;
       for (std::int64_t j = 0; j < d; ++j) {
         out.dense[i * d + j] = scratch_.dense[src * d + j];
       }
       out.labels[i] = scratch_.labels[src];
     }
-    const std::int64_t p = data_.pooling();
     for (std::size_t k = 0; k < owned_.size(); ++k) {
-      const auto& src = scratch_.bags[static_cast<std::size_t>(owned_[k])];
+      const Shard& sh = owned_[k];
+      const auto& src = scratch_.bags[static_cast<std::size_t>(sh.table)];
       auto& dst = out.owned_bags[k];
-      if (dst.indices.size() != gn_ * p) {
-        dst.indices.reshape({gn_ * p});
-        dst.offsets.reshape({gn_ + 1});
-        for (std::int64_t i = 0; i <= gn_; ++i) dst.offsets[i] = i * p;
+      if (sh.row_begin != 0 || sh.row_end != data_.rows(sh.table)) {
+        rewrite_bags_to_shard(src, sh.row_begin, sh.row_end, dst);
+        continue;
       }
-      for (std::int64_t i = 0; i < gn_ * p; ++i) dst.indices[i] = src.indices[i];
+      if (dst.indices.size() != src.indices.size()) {
+        dst.indices.reshape({src.indices.size()});
+        dst.offsets.reshape({gn_ + 1});
+      }
+      for (std::int64_t i = 0; i <= gn_; ++i) dst.offsets[i] = src.offsets[i];
+      for (std::int64_t i = 0; i < src.indices.size(); ++i) {
+        dst.indices[i] = src.indices[i];
+      }
     }
   } else {
-    // Optimized behaviour: only the local slice + owned tables' global bags.
+    // Optimized behaviour: only the local slice + owned shards' global bags.
     MiniBatch slice;
     data_.fill(my_first, ln_, slice);
     const std::int64_t d = data_.dense_dim();
     for (std::int64_t i = 0; i < ln_ * d; ++i) out.dense[i] = slice.dense[i];
     for (std::int64_t i = 0; i < ln_; ++i) out.labels[i] = slice.labels[i];
     for (std::size_t k = 0; k < owned_.size(); ++k) {
-      data_.fill_table_bags(owned_[k], first, gn_, out.owned_bags[k]);
+      const Shard& sh = owned_[k];
+      if (sh.row_begin == 0 && sh.row_end == data_.rows(sh.table)) {
+        data_.fill_table_bags(sh.table, first, gn_, out.owned_bags[k]);
+      } else {
+        data_.fill_table_bags(sh.table, first, gn_, bag_scratch_);
+        rewrite_bags_to_shard(bag_scratch_, sh.row_begin, sh.row_end,
+                              out.owned_bags[k]);
+      }
     }
   }
   last_sec_ = timer.elapsed_sec();
@@ -79,9 +164,13 @@ std::int64_t DataLoader::bytes_per_iteration() const {
   if (mode_ == LoaderMode::kFullGlobalBatch) {
     return gn_ * data_.bytes_per_sample();
   }
-  // Local dense/labels + owned tables' global index streams.
-  return ln_ * (data_.dense_dim() * 4 + 4) +
-         static_cast<std::int64_t>(owned_.size()) * gn_ * data_.pooling() * 8;
+  // Local dense/labels + owned shards' global index streams (a row-split
+  // shard still materializes its table's whole stream before the rewrite).
+  std::int64_t bytes = ln_ * (data_.dense_dim() * 4 + 4);
+  for (const auto& sh : owned_) {
+    bytes += gn_ * data_.pooling(sh.table) * 8;
+  }
+  return bytes;
 }
 
 }  // namespace dlrm

@@ -9,13 +9,23 @@
 //                        slices (the reference behaviour).
 //   * kLocalSlice      — materializes only what the rank consumes: LN dense
 //                        rows + labels, plus the GLOBAL bag batch for the
-//                        tables this rank owns (model parallelism needs the
-//                        whole minibatch for owned tables).
+//                        shards this rank owns (model parallelism needs the
+//                        whole minibatch for owned shards).
+//
+// Ownership is expressed as shards (table, row-range) from a ShardingPlan:
+// full-table shards stream their table's bags unchanged; row-split shards
+// get the bags *rewritten to shard-local rows* (indices outside the shard's
+// row range dropped, the rest shifted by -row_begin) so the shard owner can
+// compute its partial bag sums with an ordinary EmbeddingTable.
+//
+// GN need not divide by the rank count: local slices follow the chunk
+// convention LN_r = GN*(r+1)/R - GN*r/R (matching ThreadComm's allgather).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/sharding.hpp"
 #include "data/dataset.hpp"
 
 namespace dlrm {
@@ -23,22 +33,35 @@ namespace dlrm {
 enum class LoaderMode { kFullGlobalBatch, kLocalSlice };
 
 /// Hybrid-parallel minibatch view for one rank: data-parallel slice of dense
-/// features/labels plus model-parallel global bags for owned tables.
+/// features/labels plus model-parallel global bags for owned shards.
 struct HybridBatch {
   Tensor<float> dense;   // [LN][D]
   Tensor<float> labels;  // [LN]
-  std::vector<BagBatch> owned_bags;  // one per owned table, each GN bags
+  /// One per owned shard, each GN bags; indices are shard-local rows.
+  std::vector<BagBatch> owned_bags;
 };
+
+/// Rewrites `full` (bags over a whole table) to shard-local bags: keeps only
+/// indices in [row_begin, row_end), shifted by -row_begin; offsets shrink
+/// accordingly (bags may become empty). A full-range shard is a plain copy.
+void rewrite_bags_to_shard(const BagBatch& full, std::int64_t row_begin,
+                           std::int64_t row_end, BagBatch& out);
 
 class DataLoader {
  public:
-  /// `owned_tables`: global table ids this rank owns (model parallel).
+  /// Loads what rank `rank` of `plan` consumes: its LN slice plus global
+  /// bags (rewritten to shard-local rows) for each shard it owns.
   DataLoader(const Dataset& data, std::int64_t global_batch, int rank,
-             int ranks, std::vector<std::int64_t> owned_tables,
+             int ranks, const ShardingPlan& plan, LoaderMode mode);
+
+  /// Historical convenience: full-table ownership by table id.
+  DataLoader(const Dataset& data, std::int64_t global_batch, int rank,
+             int ranks, const std::vector<std::int64_t>& owned_tables,
              LoaderMode mode);
 
   std::int64_t global_batch() const { return gn_; }
   std::int64_t local_batch() const { return ln_; }
+  const std::vector<Shard>& owned_shards() const { return owned_; }
 
   /// Loads iteration `iter` (samples [iter*GN, (iter+1)*GN) of the stream).
   void next(std::int64_t iter, HybridBatch& out);
@@ -54,13 +77,19 @@ class DataLoader {
   std::int64_t bytes_per_iteration() const;
 
  private:
+  struct ShardListTag {};
+  DataLoader(ShardListTag, const Dataset& data, std::int64_t global_batch,
+             int rank, int ranks, std::vector<Shard> owned_shards,
+             LoaderMode mode);
+
   const Dataset& data_;
-  std::int64_t gn_, ln_;
+  std::int64_t gn_, ln_, first_local_;  // local slice [first_local_, +ln_)
   int rank_, ranks_;
-  std::vector<std::int64_t> owned_;
+  std::vector<Shard> owned_;
   LoaderMode mode_;
   double last_sec_ = 0.0;
-  MiniBatch scratch_;  // full-batch staging for kFullGlobalBatch
+  MiniBatch scratch_;   // full-batch staging for kFullGlobalBatch
+  BagBatch bag_scratch_;  // whole-table staging for row-split shards
 };
 
 }  // namespace dlrm

@@ -82,8 +82,17 @@ class StripeGuard {
 
 EmbeddingTable::EmbeddingTable(std::int64_t rows, std::int64_t dim,
                                EmbedPrecision precision)
-    : rows_(rows), dim_(dim), precision_(precision) {
+    : EmbeddingTable(rows, dim, precision, /*row_begin=*/0,
+                     /*global_rows=*/rows) {}
+
+EmbeddingTable::EmbeddingTable(std::int64_t rows, std::int64_t dim,
+                               EmbedPrecision precision,
+                               std::int64_t row_begin, std::int64_t global_rows)
+    : rows_(rows), dim_(dim), precision_(precision), row_begin_(row_begin),
+      global_rows_(global_rows) {
   DLRM_CHECK(rows > 0 && dim > 0, "table shape must be positive");
+  DLRM_CHECK(row_begin_ >= 0 && row_begin_ + rows_ <= global_rows_,
+             "shard row range must lie inside the logical table");
   switch (precision_) {
     case EmbedPrecision::kFp32:
     case EmbedPrecision::kFp24:
@@ -105,6 +114,11 @@ EmbeddingTable::EmbeddingTable(std::int64_t rows, std::int64_t dim,
 }
 
 void EmbeddingTable::init(Rng& rng, float scale) {
+  // Shard views consume the logical table's draw stream up to row_begin so
+  // stored rows are bit-identical to the same rows of an unsharded table.
+  for (std::int64_t skip = 0; skip < row_begin_ * dim_; ++skip) {
+    (void)rng.uniform(-scale, scale);
+  }
   for (std::int64_t r = 0; r < rows_; ++r) {
     for (std::int64_t e = 0; e < dim_; ++e) {
       const float v = rng.uniform(-scale, scale);

@@ -62,17 +62,32 @@ const char* to_string(UpdateStrategy s);
 const char* to_string(EmbedPrecision p);
 
 /// One embedding table W[M][E] with pluggable update strategy and storage
-/// precision.
+/// precision. A table can also be a row-range *shard view* of a larger
+/// logical table (model-parallel row splitting): it stores only rows
+/// [row_begin, row_begin + rows) of a [global_rows][E] table, is addressed
+/// with shard-local row ids, and init() draws exactly the values the
+/// corresponding rows of the full table would receive.
 class EmbeddingTable {
  public:
   EmbeddingTable(std::int64_t rows, std::int64_t dim,
                  EmbedPrecision precision = EmbedPrecision::kFp32);
 
+  /// Row-range shard view: rows [row_begin, row_begin + rows) of a logical
+  /// [global_rows][dim] table.
+  EmbeddingTable(std::int64_t rows, std::int64_t dim, EmbedPrecision precision,
+                 std::int64_t row_begin, std::int64_t global_rows);
+
   std::int64_t rows() const { return rows_; }
   std::int64_t dim() const { return dim_; }
   EmbedPrecision precision() const { return precision_; }
+  /// First global row of this shard (0 for a full table).
+  std::int64_t row_begin() const { return row_begin_; }
+  /// Rows of the logical table this shard belongs to (== rows() when full).
+  std::int64_t global_rows() const { return global_rows_; }
 
-  /// Initializes rows U(-scale, scale).
+  /// Initializes rows U(-scale, scale). For a shard view, `rng` is the full
+  /// table's generator: the leading global rows are drawn and discarded so
+  /// the stored rows match the full table bit-for-bit.
   void init(Rng& rng, float scale);
 
   /// Algorithm 1: out[n][:] = sum over bag n of W[idx][:]. out is [N][E].
@@ -117,6 +132,7 @@ class EmbeddingTable {
 
   std::int64_t rows_, dim_;
   EmbedPrecision precision_;
+  std::int64_t row_begin_ = 0, global_rows_ = 0;
 
   Tensor<float> w_;                // kFp32
   Tensor<std::uint16_t> hi_;       // bf16 bits / fp16 bits

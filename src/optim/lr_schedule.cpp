@@ -1,0 +1,95 @@
+#include "optim/lr_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+LrSchedule LrSchedule::constant(float lr) {
+  return LrSchedule([lr](double) { return lr; }, "constant");
+}
+
+LrSchedule LrSchedule::step_decay(float base, float factor, double interval) {
+  DLRM_CHECK(interval > 0.0, "step interval must be positive");
+  return LrSchedule(
+      [base, factor, interval](double frac) {
+        // Callers pass the END of the interval about to be trained, so the
+        // interval (0, interval] must still see the base lr: count the
+        // boundaries strictly BELOW frac (ceil - 1, not floor).
+        const double steps =
+            std::max(std::ceil(frac / interval) - 1.0, 0.0);
+        return static_cast<float>(base * std::pow(factor, steps));
+      },
+      "step");
+}
+
+LrSchedule LrSchedule::warmup_linear(float peak, double warmup, float end_lr) {
+  DLRM_CHECK(warmup >= 0.0 && warmup < 1.0, "warmup fraction must be in [0,1)");
+  return LrSchedule(
+      [peak, warmup, end_lr](double frac) {
+        if (frac < warmup) {
+          return static_cast<float>(peak * frac / warmup);
+        }
+        const double t = (frac - warmup) / (1.0 - warmup);
+        return static_cast<float>(peak + (end_lr - peak) * std::min(t, 1.0));
+      },
+      "warmup");
+}
+
+LrSchedule LrSchedule::poly_decay(float base, float floor_lr, double power,
+                                  double span) {
+  return LrSchedule(
+      [base, floor_lr, power, span](double frac) {
+        const double x = std::max(1.0 - span * frac, 0.0);
+        return static_cast<float>(base * std::pow(x, power) + floor_lr);
+      },
+      "poly");
+}
+
+bool parse_lr_schedule(const std::string& spec, float base_lr,
+                       LrSchedule* out) {
+  // Split "name:arg1:arg2" on colons.
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t next = spec.find(':', pos);
+    if (next == std::string::npos) {
+      parts.push_back(spec.substr(pos));
+      break;
+    }
+    parts.push_back(spec.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  auto arg = [&](std::size_t i, double fallback) {
+    return parts.size() > i && !parts[i].empty()
+               ? std::atof(parts[i].c_str())
+               : fallback;
+  };
+
+  const std::string& name = parts[0];
+  if (name.empty() || name == "none") {
+    *out = LrSchedule();
+  } else if (name == "constant") {
+    *out = LrSchedule::constant(base_lr);
+  } else if (name == "step") {
+    *out = LrSchedule::step_decay(base_lr, static_cast<float>(arg(1, 0.5)),
+                                  arg(2, 0.25));
+  } else if (name == "warmup") {
+    *out = LrSchedule::warmup_linear(
+        base_lr, arg(1, 0.1),
+        static_cast<float>(arg(2, static_cast<double>(base_lr) / 100.0)));
+  } else if (name == "poly") {
+    *out = LrSchedule::poly_decay(base_lr,
+                                  static_cast<float>(base_lr) / 400.0f,
+                                  arg(1, 2.0), arg(2, 0.97));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,75 @@
+// First-class learning-rate schedules.
+//
+// A schedule maps the epoch fraction about to be trained towards to the
+// learning rate for that interval (the convention of train_with_eval and
+// the Fig. 16 convergence bench). Schedules are small value types with
+// named factories, so drivers can be configured from the command line and
+// benches/tests can print what they ran — replacing the ad-hoc lambda
+// plumbing the Fig. 16 bench and train_cli used to carry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace dlrm {
+
+class LrSchedule {
+ public:
+  /// Empty schedule: callers keep their current lr (`if (sched)` gates).
+  LrSchedule() = default;
+
+  /// Implicit wrap of any float(double) callable ("custom" schedule) — the
+  /// escape hatch that keeps lambda call sites working.
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<float, F, double> &&
+                !std::is_same_v<std::decay_t<F>, LrSchedule>>>
+  LrSchedule(F fn) : fn_(std::move(fn)), name_("custom") {}
+
+  /// lr(frac) = lr.
+  static LrSchedule constant(float lr);
+
+  /// Step decay: halves (by `factor`) at every interval boundary crossed
+  /// before `frac`. Since callers pass the END of the interval about to be
+  /// trained, step_decay(0.1, 0.5, 0.25) trains the first quarter of the
+  /// epoch at 0.1, the second at 0.05, and so on.
+  static LrSchedule step_decay(float base, float factor, double interval);
+
+  /// Linear warmup to `peak` over [0, warmup], then linear decay to
+  /// `end_lr` at frac = 1 (the MLPerf DLRM ramp shape).
+  static LrSchedule warmup_linear(float peak, double warmup, float end_lr);
+
+  /// Polynomial decay towards a floor: lr(frac) = floor_lr +
+  /// base * (1 - span*frac)^power — the Fig. 16 late-training shape whose
+  /// shrinking updates expose low-precision master-weight stalls.
+  static LrSchedule poly_decay(float base, float floor_lr, double power,
+                               double span = 1.0);
+
+  explicit operator bool() const { return static_cast<bool>(fn_); }
+
+  float operator()(double epoch_fraction) const { return fn_(epoch_fraction); }
+
+  /// Schedule family for logs/BENCH_JSON ("none" when empty).
+  const std::string& name() const { return name_; }
+
+ private:
+  LrSchedule(std::function<float(double)> fn, std::string name)
+      : fn_(std::move(fn)), name_(std::move(name)) {}
+
+  std::function<float(double)> fn_;
+  std::string name_ = "none";
+};
+
+/// Parses a CLI spec into a schedule. Accepted forms (numbers optional,
+/// shown with defaults relative to `base_lr`):
+///   "none"                      — empty schedule
+///   "constant"                  — constant(base_lr)
+///   "step[:factor[:interval]]"  — step_decay(base_lr, 0.5, 0.25)
+///   "warmup[:frac[:end]]"       — warmup_linear(base_lr, 0.1, base_lr/100)
+///   "poly[:power[:span]]"       — poly_decay(base_lr, base_lr/400, 2, 0.97)
+/// Returns false on an unrecognized spec.
+bool parse_lr_schedule(const std::string& spec, float base_lr, LrSchedule* out);
+
+}  // namespace dlrm

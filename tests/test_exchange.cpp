@@ -262,11 +262,88 @@ TEST(Exchange, VolumeMatchesEq2) {
   });
 }
 
-TEST(Exchange, RejectsIndivisibleBatch) {
+// GN % R != 0: the alltoallv path carries uneven chunk-convention slices;
+// the scatter-based strategies (uniform collective chunks) still reject.
+TEST(Exchange, IndivisibleBatchNeedsAlltoall) {
   run_ranks(3, 0, [](ThreadComm& comm) {
-    EXPECT_THROW(EmbeddingExchange(comm, nullptr, ExchangeStrategy::kAlltoall,
-                                   6, 4, 16),  // 16 % 3 != 0
+    const std::int64_t GN = 16;  // 16 % 3 != 0
+    EXPECT_THROW(EmbeddingExchange(comm, nullptr,
+                                   ExchangeStrategy::kScatterList, 6, 4, GN),
                  CheckError);
+    EXPECT_THROW(EmbeddingExchange(comm, nullptr,
+                                   ExchangeStrategy::kFusedScatter, 6, 4, GN),
+                 CheckError);
+    EmbeddingExchange ex(comm, nullptr, ExchangeStrategy::kAlltoall, 6, 4, GN);
+    EXPECT_EQ(ex.local_batch(),
+              GN * (comm.rank() + 1) / 3 - GN * comm.rank() / 3);
+  });
+}
+
+// Uneven slices round-trip: forward delivers each rank its chunk of every
+// table's [GN][E] output; backward returns each owner the full [GN][E]
+// gradient reassembled from the uneven slices.
+TEST(Exchange, UnevenSlicesRoundTrip) {
+  const std::int64_t S = 5, E = 3, GN = 10;
+  const int R = 3;
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    EmbeddingExchange ex(comm, nullptr, ExchangeStrategy::kAlltoall, S, E, GN);
+    const std::int64_t ln = ex.local_batch();
+    const std::int64_t base = GN * comm.rank() / R;
+
+    // Owner fills table t's output with value(t, sample, e).
+    auto value = [](std::int64_t t, std::int64_t n, std::int64_t e) {
+      return static_cast<float>(1000 * t + 10 * n + e);
+    };
+    std::vector<Tensor<float>> outs;
+    std::vector<const float*> ptrs;
+    for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+      const std::int64_t t = ex.owned_ids()[static_cast<std::size_t>(k)];
+      outs.emplace_back(std::vector<std::int64_t>{GN, E});
+      for (std::int64_t n = 0; n < GN; ++n) {
+        for (std::int64_t e = 0; e < E; ++e) {
+          outs.back()[n * E + e] = value(t, n, e);
+        }
+      }
+    }
+    for (auto& o : outs) ptrs.push_back(o.data());
+
+    Tensor<float> sliced({S, ln, E});
+    auto h = ex.start_forward(ptrs);
+    ex.finish_forward(h, sliced.data());
+    for (std::int64_t t = 0; t < S; ++t) {
+      for (std::int64_t i = 0; i < ln; ++i) {
+        for (std::int64_t e = 0; e < E; ++e) {
+          ASSERT_EQ(sliced[(t * ln + i) * E + e], value(t, base + i, e));
+        }
+      }
+    }
+
+    // Backward: dsliced = value + 0.5 → owners get full [GN][E] grads.
+    Tensor<float> dsliced({S, ln, E});
+    for (std::int64_t t = 0; t < S; ++t) {
+      for (std::int64_t i = 0; i < ln; ++i) {
+        for (std::int64_t e = 0; e < E; ++e) {
+          dsliced[(t * ln + i) * E + e] = value(t, base + i, e) + 0.5f;
+        }
+      }
+    }
+    std::vector<Tensor<float>> grads;
+    std::vector<float*> gptrs;
+    for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+      grads.emplace_back(std::vector<std::int64_t>{GN, E});
+    }
+    for (auto& g : grads) gptrs.push_back(g.data());
+    auto hb = ex.start_backward(dsliced.data());
+    ex.finish_backward(hb, gptrs);
+    for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+      const std::int64_t t = ex.owned_ids()[static_cast<std::size_t>(k)];
+      for (std::int64_t n = 0; n < GN; ++n) {
+        for (std::int64_t e = 0; e < E; ++e) {
+          ASSERT_EQ(grads[static_cast<std::size_t>(k)][n * E + e],
+                    value(t, n, e) + 0.5f);
+        }
+      }
+    }
   });
 }
 

@@ -133,12 +133,41 @@ TEST(DataLoader, SuccessiveIterationsAdvanceTheStream) {
 
 TEST(DataLoader, RejectsBadGeometry) {
   RandomDataset data(4, 2, 50, 2, 22);
-  EXPECT_THROW(DataLoader(data, 10, 0, 3, {0}, LoaderMode::kLocalSlice),
-               CheckError);  // 10 % 3 != 0
+  EXPECT_THROW(DataLoader(data, 2, 0, 3, {0}, LoaderMode::kLocalSlice),
+               CheckError);  // GN < ranks
   EXPECT_THROW(DataLoader(data, 9, 3, 3, {0}, LoaderMode::kLocalSlice),
                CheckError);  // rank out of range
   EXPECT_THROW(DataLoader(data, 9, 0, 3, {5}, LoaderMode::kLocalSlice),
                CheckError);  // owned table out of range
+}
+
+// GN % R != 0 is supported: local slices follow the chunk convention
+// LN_r = GN*(r+1)/R - GN*r/R, tile the global batch exactly, and both
+// loader modes still agree sample for sample.
+TEST(DataLoader, UnevenGeometryTilesTheGlobalBatch) {
+  RandomDataset data(4, 2, 100, 2, 22);
+  const std::int64_t GN = 10;
+  const int R = 3;
+  MiniBatch global;
+  data.fill(0, GN, global);
+  std::int64_t covered = 0;
+  for (int rank = 0; rank < R; ++rank) {
+    SCOPED_TRACE("rank " + std::to_string(rank));
+    DataLoader naive(data, GN, rank, R, {0, 1}, LoaderMode::kFullGlobalBatch);
+    DataLoader opt(data, GN, rank, R, {0, 1}, LoaderMode::kLocalSlice);
+    EXPECT_EQ(opt.local_batch(), GN * (rank + 1) / R - GN * rank / R);
+    HybridBatch a, b;
+    naive.next(0, a);
+    opt.next(0, b);
+    expect_equal_hybrid(a, b);
+    // The slice really is the chunk of the global stream.
+    const std::int64_t base = GN * rank / R;
+    for (std::int64_t i = 0; i < opt.local_batch(); ++i) {
+      ASSERT_EQ(b.labels[i], global.labels[base + i]);
+    }
+    covered += opt.local_batch();
+  }
+  EXPECT_EQ(covered, GN);
 }
 
 TEST(DataLoader, NextFullMatchesDatasetFill) {

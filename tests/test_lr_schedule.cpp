@@ -1,0 +1,92 @@
+// Tests for the first-class learning-rate schedule objects.
+#include "optim/lr_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dlrm {
+namespace {
+
+TEST(LrSchedule, EmptyIsFalsy) {
+  LrSchedule s;
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.name(), "none");
+}
+
+TEST(LrSchedule, ConstantReturnsTheSameLrEverywhere) {
+  const LrSchedule s = LrSchedule::constant(0.25f);
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.name(), "constant");
+  for (double f : {0.0, 0.3, 0.99, 1.0}) EXPECT_FLOAT_EQ(s(f), 0.25f);
+}
+
+TEST(LrSchedule, StepDecayHalvesAtIntervals) {
+  // frac is the END of the interval being trained: the first quarter
+  // (frac ≤ 0.25) must still run at the base lr.
+  const LrSchedule s = LrSchedule::step_decay(0.8f, 0.5f, 0.25);
+  EXPECT_FLOAT_EQ(s(0.0), 0.8f);
+  EXPECT_FLOAT_EQ(s(0.2), 0.8f);
+  EXPECT_FLOAT_EQ(s(0.25), 0.8f);   // exact end of the first interval
+  EXPECT_FLOAT_EQ(s(0.26), 0.4f);   // one step
+  EXPECT_FLOAT_EQ(s(0.5), 0.4f);
+  EXPECT_FLOAT_EQ(s(0.55), 0.2f);   // two steps
+  EXPECT_FLOAT_EQ(s(0.80), 0.1f);   // three steps
+  EXPECT_FLOAT_EQ(s(1.0), 0.1f);    // four intervals → three boundaries
+}
+
+TEST(LrSchedule, WarmupLinearRampsThenDecays) {
+  const LrSchedule s = LrSchedule::warmup_linear(1.0f, 0.2, 0.0f);
+  EXPECT_FLOAT_EQ(s(0.0), 0.0f);
+  EXPECT_FLOAT_EQ(s(0.1), 0.5f);   // halfway up the ramp
+  EXPECT_FLOAT_EQ(s(0.2), 1.0f);   // peak
+  EXPECT_FLOAT_EQ(s(0.6), 0.5f);   // halfway down
+  EXPECT_FLOAT_EQ(s(1.0), 0.0f);
+}
+
+TEST(LrSchedule, PolyDecayMatchesTheFig16Shape) {
+  // The Fig. 16 bench schedule: 0.20 * (1 - 0.97 frac)^1.5 + 0.0005.
+  const LrSchedule s = LrSchedule::poly_decay(0.20f, 0.0005f, 1.5, 0.97);
+  for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const float expected =
+        static_cast<float>(0.20 * std::pow(1.0 - 0.97 * f, 1.5) + 0.0005);
+    EXPECT_FLOAT_EQ(s(f), expected) << "frac " << f;
+  }
+  EXPECT_EQ(s.name(), "poly");
+}
+
+TEST(LrSchedule, WrapsLambdasImplicitly) {
+  const LrSchedule s = [](double frac) {
+    return static_cast<float>(0.1 * (1.0 - frac));
+  };
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.name(), "custom");
+  EXPECT_FLOAT_EQ(s(0.5), 0.05f);
+}
+
+TEST(LrSchedule, ParseRecognizesAllFamilies) {
+  LrSchedule s;
+  ASSERT_TRUE(parse_lr_schedule("", 0.1f, &s));
+  EXPECT_FALSE(static_cast<bool>(s));
+  ASSERT_TRUE(parse_lr_schedule("none", 0.1f, &s));
+  EXPECT_FALSE(static_cast<bool>(s));
+
+  ASSERT_TRUE(parse_lr_schedule("constant", 0.1f, &s));
+  EXPECT_FLOAT_EQ(s(0.7), 0.1f);
+
+  ASSERT_TRUE(parse_lr_schedule("step", 0.1f, &s));
+  EXPECT_FLOAT_EQ(s(0.3), 0.05f);  // default: halve every quarter
+  ASSERT_TRUE(parse_lr_schedule("step:0.1:0.5", 0.1f, &s));
+  EXPECT_FLOAT_EQ(s(0.6), 0.01f);
+
+  ASSERT_TRUE(parse_lr_schedule("warmup:0.5:0", 0.2f, &s));
+  EXPECT_FLOAT_EQ(s(0.25), 0.1f);
+
+  ASSERT_TRUE(parse_lr_schedule("poly:1:1", 0.4f, &s));
+  EXPECT_FLOAT_EQ(s(0.5), 0.2f + 0.4f / 400.0f);
+
+  EXPECT_FALSE(parse_lr_schedule("bogus", 0.1f, &s));
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -1,0 +1,480 @@
+// Sharding-plan tests: planner placement properties, row-range shard-view
+// equivalence against unsharded tables, bit-parity of the kRoundRobin plan
+// with the pre-refactor (hard-coded t % R) trainer, cost-driven plan parity
+// with single-process training, and uneven local batches (GN % R != 0).
+#include "core/sharding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dist_trainer.hpp"
+#include "core/model.hpp"
+
+namespace dlrm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Planner unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ShardingPlan, RoundRobinMatchesModuloPlacement) {
+  const std::vector<std::int64_t> rows{300, 200, 250, 150, 220, 180};
+  const ShardingPlan plan = ShardingPlan::round_robin(rows, 4);
+  ASSERT_EQ(plan.num_shards(), 6);
+  EXPECT_FALSE(plan.has_split_tables());
+  for (std::int64_t t = 0; t < 6; ++t) {
+    const Shard& sh = plan.shard(t);  // canonical order == table order here
+    EXPECT_EQ(sh.table, t);
+    EXPECT_EQ(sh.rank, static_cast<int>(t % 4));
+    EXPECT_EQ(sh.row_begin, 0);
+    EXPECT_EQ(sh.row_end, rows[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(ShardingPlan, GreedyBalancedIsolatesTheHotTable) {
+  // One table 8x the cost of the rest: LPT must give its rank nothing else,
+  // and must beat round-robin's modelled imbalance.
+  const std::vector<std::int64_t> rows(8, 1000);
+  std::vector<double> costs(8, 1.0);
+  costs[0] = 8.0;
+  const ShardingPlan greedy = ShardingPlan::greedy_balanced(rows, 4, costs);
+  ASSERT_EQ(greedy.num_shards(), 8);
+  const int hot_rank = greedy.shard(0).rank;
+  EXPECT_EQ(greedy.shards_of_rank(hot_rank).size(), 1u);
+
+  // Round-robin with the same costs puts table 4 on the hot rank too.
+  ShardingPlan rr = ShardingPlan::round_robin(rows, 4);
+  double rr_max = 0.0;
+  for (int r = 0; r < 4; ++r) {
+    double load = 0.0;
+    for (std::int64_t sid : rr.shards_of_rank(r)) {
+      load += costs[static_cast<std::size_t>(rr.shard(sid).table)];
+    }
+    rr_max = std::max(rr_max, load);
+  }
+  double greedy_max = 0.0;
+  for (int r = 0; r < 4; ++r) greedy_max = std::max(greedy_max, greedy.rank_cost(r));
+  EXPECT_LT(greedy_max, rr_max);
+  // The hot table alone bounds LPT's makespan: nothing else shares its rank.
+  EXPECT_DOUBLE_EQ(greedy_max, 8.0);
+}
+
+TEST(ShardingPlan, GreedyBalancedIsDeterministic) {
+  const std::vector<std::int64_t> rows{100, 200, 300, 400, 500};
+  const std::vector<double> costs{3.0, 1.0, 4.0, 1.0, 5.0};
+  const ShardingPlan a = ShardingPlan::greedy_balanced(rows, 3, costs);
+  const ShardingPlan b = ShardingPlan::greedy_balanced(rows, 3, costs);
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  for (std::int64_t s = 0; s < a.num_shards(); ++s) {
+    EXPECT_EQ(a.shard(s).rank, b.shard(s).rank);
+  }
+}
+
+TEST(ShardingPlan, RowSplitCapsRankRowsBelowTheBiggestTable) {
+  // 16000-row table in a 30000-row set on 4 ranks: the auto threshold
+  // (ceil(total/R) = 7500) splits it into 3 shards, so no rank has to hold
+  // the whole table — the "table larger than one rank's share" unlock.
+  std::vector<std::int64_t> rows(8, 2000);
+  rows[0] = 16000;
+  std::vector<double> costs(8, 1.0);
+  costs[0] = 8.0;
+  const ShardingPlan plan = ShardingPlan::row_split(rows, 4, costs, 0);
+  EXPECT_TRUE(plan.has_split_tables());
+  const auto& splits = plan.shards_of_table(0);
+  EXPECT_GE(splits.size(), 2u);
+  // Shards tile table 0.
+  std::int64_t next = 0;
+  for (std::int64_t sid : splits) {
+    EXPECT_EQ(plan.shard(sid).row_begin, next);
+    next = plan.shard(sid).row_end;
+  }
+  EXPECT_EQ(next, 16000);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_LT(plan.rank_rows(r), 16000) << "rank " << r;
+  }
+}
+
+TEST(ShardingPlan, RowSplitRespectsExplicitThreshold) {
+  std::vector<std::int64_t> rows{10000, 1000};
+  std::vector<double> costs{10.0, 1.0};
+  const ShardingPlan plan = ShardingPlan::row_split(rows, 2, costs, 5000);
+  EXPECT_EQ(plan.shards_of_table(0).size(), 2u);   // 10000 / 5000
+  EXPECT_EQ(plan.shards_of_table(1).size(), 1u);   // below threshold
+}
+
+TEST(ShardingPlan, CustomRejectsNonTilingShards) {
+  std::vector<Shard> shards;
+  shards.push_back({.table = 0, .row_begin = 0, .row_end = 50, .rank = 0});
+  shards.push_back({.table = 0, .row_begin = 60, .row_end = 100, .rank = 1});
+  EXPECT_THROW(ShardingPlan::custom(1, 2, shards), CheckError);
+}
+
+TEST(Sharding, MeasureTableLookupsSeesPerTablePooling) {
+  std::vector<std::int64_t> rows(4, 1000);
+  std::vector<std::int64_t> poolings{8, 1, 2, 1};
+  RandomDataset data(4, rows, poolings, 5);
+  const std::vector<double> lookups = measure_table_lookups(data, 64);
+  ASSERT_EQ(lookups.size(), 4u);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(lookups[t], static_cast<double>(poolings[t]));
+  }
+  const KernelModel kernel(clx_8280(), KernelEffs{});
+  const auto costs = estimate_table_costs(kernel, rows, lookups, 16, 256);
+  EXPECT_GT(costs[0], 3.0 * costs[1]);  // 8x lookups → much costlier table
+}
+
+// ---------------------------------------------------------------------------
+// Row-range shard views of EmbeddingTable
+// ---------------------------------------------------------------------------
+
+TEST(ShardView, InitMatchesTheFullTableRows) {
+  const std::int64_t M = 100, E = 8;
+  EmbeddingTable full(M, E);
+  Rng r1(123);
+  full.init(r1, 0.5f);
+
+  EmbeddingTable shard(60, E, EmbedPrecision::kFp32, /*row_begin=*/40,
+                       /*global_rows=*/M);
+  Rng r2(123);
+  shard.init(r2, 0.5f);
+
+  std::vector<float> a(E), b(E);
+  for (std::int64_t row = 0; row < 60; ++row) {
+    full.read_row(40 + row, a.data());
+    shard.read_row(row, b.data());
+    for (std::int64_t e = 0; e < E; ++e) {
+      ASSERT_EQ(a[static_cast<std::size_t>(e)], b[static_cast<std::size_t>(e)])
+          << "row " << row;
+    }
+  }
+}
+
+TEST(ShardView, RowSplitForwardAndUpdateMatchUnshardedTable) {
+  const std::int64_t M = 64, E = 4, N = 32;
+  const std::int64_t split = 24;  // shards [0,24) and [24,64)
+
+  EmbeddingTable full(M, E);
+  Rng rf(9);
+  full.init(rf, 0.3f);
+  EmbeddingTable lo(split, E, EmbedPrecision::kFp32, 0, M);
+  EmbeddingTable hi(M - split, E, EmbedPrecision::kFp32, split, M);
+  Rng rl(9), rh(9);
+  lo.init(rl, 0.3f);
+  hi.init(rh, 0.3f);
+
+  // Random multi-hot bags over the full table.
+  BagBatch bags;
+  const std::int64_t P = 3;
+  bags.indices.reshape({N * P});
+  bags.offsets.reshape({N + 1});
+  Rng ri(31);
+  for (std::int64_t i = 0; i <= N; ++i) bags.offsets[i] = i * P;
+  for (std::int64_t s = 0; s < N * P; ++s) bags.indices[s] = ri.next_index(M);
+
+  BagBatch lo_bags, hi_bags;
+  rewrite_bags_to_shard(bags, 0, split, lo_bags);
+  rewrite_bags_to_shard(bags, split, M, hi_bags);
+  EXPECT_EQ(lo_bags.lookups() + hi_bags.lookups(), bags.lookups());
+
+  // Forward: partial sums of the shards reduce to the full bag sums.
+  Tensor<float> out_full({N, E}), out_lo({N, E}), out_hi({N, E});
+  full.forward(bags, out_full.data());
+  lo.forward(lo_bags, out_lo.data());
+  hi.forward(hi_bags, out_hi.data());
+  for (std::int64_t i = 0; i < N * E; ++i) {
+    EXPECT_NEAR(out_lo[i] + out_hi[i], out_full[i], 1e-5f) << "elem " << i;
+  }
+
+  // Fused backward/update: each row receives the same update sequence in
+  // the same order on the shard as on the full table → bit-exact rows.
+  Tensor<float> dy({N, E});
+  Rng rd(77);
+  for (std::int64_t i = 0; i < N * E; ++i) dy[i] = rd.uniform(-1.0f, 1.0f);
+  full.fused_backward_update(dy.data(), bags, 0.1f, UpdateStrategy::kRaceFree);
+  lo.fused_backward_update(dy.data(), lo_bags, 0.1f, UpdateStrategy::kRaceFree);
+  hi.fused_backward_update(dy.data(), hi_bags, 0.1f, UpdateStrategy::kRaceFree);
+
+  std::vector<float> a(E), b(E);
+  for (std::int64_t row = 0; row < M; ++row) {
+    full.read_row(row, a.data());
+    if (row < split) {
+      lo.read_row(row, b.data());
+    } else {
+      hi.read_row(row - split, b.data());
+    }
+    for (std::int64_t e = 0; e < E; ++e) {
+      ASSERT_EQ(a[static_cast<std::size_t>(e)], b[static_cast<std::size_t>(e)])
+          << "row " << row;
+    }
+  }
+}
+
+TEST(Sharding, RewriteBagsHandlesEmptyBags) {
+  BagBatch bags;
+  bags.indices.reshape({4});
+  bags.offsets.reshape({4});  // 3 bags: {5}, {}, {90, 7, 5}
+  bags.offsets[0] = 0;
+  bags.offsets[1] = 1;
+  bags.offsets[2] = 1;
+  bags.offsets[3] = 4;
+  bags.indices[0] = 5;
+  bags.indices[1] = 90;
+  bags.indices[2] = 7;
+  bags.indices[3] = 5;
+  BagBatch out;
+  rewrite_bags_to_shard(bags, 0, 10, out);
+  ASSERT_EQ(out.batch(), 3);
+  EXPECT_EQ(out.lookups(), 3);
+  EXPECT_EQ(out.offsets[1], 1);  // {5}
+  EXPECT_EQ(out.offsets[2], 1);  // {}
+  EXPECT_EQ(out.offsets[3], 3);  // {7, 5}
+  EXPECT_EQ(out.indices[0], 5);
+  EXPECT_EQ(out.indices[1], 7);
+  EXPECT_EQ(out.indices[2], 5);
+  out.validate(10);
+
+  rewrite_bags_to_shard(bags, 10, 100, out);
+  ASSERT_EQ(out.batch(), 3);
+  EXPECT_EQ(out.lookups(), 1);
+  EXPECT_EQ(out.indices[0], 80);  // 90 shifted by -10
+  out.validate(90);
+}
+
+// ---------------------------------------------------------------------------
+// Training-loop parity
+// ---------------------------------------------------------------------------
+
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "tiny";
+  c.minibatch = 64;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {300, 200, 250, 150, 220, 180};  // S = 6
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.validate();
+  return c;
+}
+
+std::vector<double> distributed_losses(const DlrmConfig& c, const Dataset& data,
+                                       std::int64_t gn, int R, int iters,
+                                       DistributedTrainerOptions opts) {
+  std::vector<double> losses(static_cast<std::size_t>(iters), 0.0);
+  const DlrmConfig& cc = c;
+  opts.global_batch = gn;
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    for (int i = 0; i < iters; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) losses[static_cast<std::size_t>(i)] = loss;
+    }
+  });
+  return losses;
+}
+
+std::vector<double> single_process_losses(const DlrmConfig& c,
+                                          const Dataset& data, std::int64_t gn,
+                                          int iters, std::uint64_t seed,
+                                          float lr) {
+  DlrmModel model(c, {}, seed);
+  Trainer trainer(model, data, {.lr = lr, .batch = gn, .seed = seed});
+  std::vector<double> out;
+  for (int i = 0; i < iters; ++i) out.push_back(trainer.train(1));
+  return out;
+}
+
+// Golden per-step global losses captured from the PRE-refactor trainer
+// (hard-coded table t → rank t % R placement) at commit 935a61a, with the
+// exact same config/dataset/options as below: tiny_config, RandomDataset
+// seed 11, GN=64, lr=0.05, seed=77, default DistributedTrainerOptions,
+// ccl_like(2) backend, run_ranks(R, 2). The kRoundRobin ShardingPlan must
+// reproduce them bit-for-bit. Floating-point note: captured with the tier-1
+// build flags (-O3 -march=native); unoptimized/sanitizer builds may contract
+// differently, so the bitwise comparison is gated on __OPTIMIZE__.
+struct GoldenCase {
+  Precision precision;
+  int ranks;
+  double losses[8];
+};
+
+const GoldenCase kGolden[] = {
+    {Precision::kFp32, 1, {0x1.a3f2ecp-1, 0x1.a7d156p-1, 0x1.7a20a2p-1, 0x1.731b32p-1, 0x1.74caacp-1, 0x1.80f42ap-1, 0x1.780c9ep-1, 0x1.65a926p-1}},
+    {Precision::kFp32, 2, {0x1.a3f2ecp-1, 0x1.a7d154p-1, 0x1.7a20a2p-1, 0x1.731b34p-1, 0x1.74caacp-1, 0x1.80f42ap-1, 0x1.780cap-1, 0x1.65a928p-1}},
+    {Precision::kFp32, 4, {0x1.a3f2ecp-1, 0x1.a7d154p-1, 0x1.7a20a4p-1, 0x1.731b32p-1, 0x1.74caaep-1, 0x1.80f42ap-1, 0x1.780cap-1, 0x1.65a926p-1}},
+    {Precision::kBf16, 1, {0x1.a2498p-1, 0x1.a66772p-1, 0x1.79a0ep-1, 0x1.72ea26p-1, 0x1.74949cp-1, 0x1.80e686p-1, 0x1.77c144p-1, 0x1.65f3bap-1}},
+    {Precision::kBf16, 2, {0x1.a2498p-1, 0x1.a669ecp-1, 0x1.79abdcp-1, 0x1.72d0e8p-1, 0x1.748d7cp-1, 0x1.80ddbp-1, 0x1.77c6f8p-1, 0x1.65edd4p-1}},
+    {Precision::kBf16, 4, {0x1.a2498p-1, 0x1.a66a6ep-1, 0x1.79abd4p-1, 0x1.72e706p-1, 0x1.74932ap-1, 0x1.80ee1ep-1, 0x1.77cdd8p-1, 0x1.65e51ep-1}},
+};
+
+TEST(ShardingParity, RoundRobinReproducesPreRefactorLossesBitExactly) {
+  for (const GoldenCase& g : kGolden) {
+    SCOPED_TRACE(std::string(to_string(g.precision)) + " R" +
+                 std::to_string(g.ranks));
+    DlrmConfig c = tiny_config();
+    c.mlp_precision = g.precision;
+    RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+    DistributedTrainerOptions opts;
+    opts.lr = 0.05f;
+    opts.seed = 77;
+    const std::vector<double> losses =
+        distributed_losses(c, data, 64, g.ranks, 8, opts);
+    for (int i = 0; i < 8; ++i) {
+#ifdef __OPTIMIZE__
+      EXPECT_EQ(losses[static_cast<std::size_t>(i)], g.losses[i])
+          << "iteration " << i;
+#else
+      // Debug/sanitizer builds: same arithmetic, different FP contraction —
+      // the sequence must still match to float-level precision.
+      EXPECT_NEAR(losses[static_cast<std::size_t>(i)], g.losses[i], 1e-5)
+          << "iteration " << i;
+#endif
+    }
+  }
+}
+
+using PlanParityCase = std::tuple<ShardingPolicy, Precision>;
+
+class ShardingPlanParityTest
+    : public ::testing::TestWithParam<PlanParityCase> {};
+
+// Cost-driven plans move tables (and split rows) but must train the same
+// model: per-iteration global losses match the single-process reference on
+// the same GN stream to reduction-order tolerance.
+TEST_P(ShardingPlanParityTest, MatchesSingleProcessOnSkewedTables) {
+  const auto [policy, precision] = GetParam();
+  DlrmConfig c = tiny_config();
+  // Skew: one table 8x the rows, with a split-friendly shape.
+  c.table_rows = {1600, 200, 250, 150, 220, 180};
+  c.mlp_precision = precision;
+  const std::int64_t GN = 64;
+  const int iters = 6;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  const std::vector<double> ref =
+      single_process_losses(c, data, GN, iters, 77, 0.05f);
+
+  for (int R : {2, 4}) {
+    SCOPED_TRACE("R" + std::to_string(R));
+    DistributedTrainerOptions opts;
+    opts.lr = 0.05f;
+    opts.seed = 77;
+    opts.sharding.policy = policy;
+    opts.sharding.row_split_threshold = 600;  // force splits of table 0
+    const std::vector<double> dist =
+        distributed_losses(c, data, GN, R, iters, opts);
+    const double tol = precision == Precision::kBf16 ? 2e-2 : 3e-3;
+    for (int i = 0; i < iters; ++i) {
+      EXPECT_NEAR(dist[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(i)], tol)
+          << "iteration " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ShardingPlanParityTest,
+    ::testing::Values(
+        PlanParityCase{ShardingPolicy::kGreedyBalanced, Precision::kFp32},
+        PlanParityCase{ShardingPolicy::kRowSplit, Precision::kFp32},
+        PlanParityCase{ShardingPolicy::kGreedyBalanced, Precision::kBf16},
+        PlanParityCase{ShardingPolicy::kRowSplit, Precision::kBf16}),
+    [](const ::testing::TestParamInfo<PlanParityCase>& tpi) {
+      return std::string(to_string(std::get<0>(tpi.param))) + "_" +
+             std::string(to_string(std::get<1>(tpi.param)));
+    });
+
+// Row-split plans actually split here: verify the plan the trainer built,
+// and that a rank-local shard is smaller than the table it serves.
+TEST(ShardingParity, RowSplitTrainsATableBiggerThanAnyRankShare) {
+  DlrmConfig c = tiny_config();
+  c.table_rows = {1600, 200, 250, 150, 220, 180};
+  const DlrmConfig& cc = c;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  run_ranks(4, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = 0.05f;
+    opts.global_batch = 64;
+    opts.sharding.policy = ShardingPolicy::kRowSplit;
+    opts.sharding.row_split_threshold = 600;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    const ShardingPlan& plan = trainer.model().plan();
+    EXPECT_TRUE(plan.has_split_tables());
+    EXPECT_GE(plan.shards_of_table(0).size(), 2u);
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_LT(plan.rank_rows(r), 1600) << "rank " << r;
+    }
+    // Convergence itself is covered by the parity suite (losses match the
+    // single-process reference step for step); here assert the split run
+    // trains sanely near the BCE floor of this label-noise dataset.
+    const double first = trainer.train(4);
+    const double last = trainer.train(4);
+    EXPECT_LT(first, 1.0);
+    EXPECT_LT(last, 0.75);
+    // Placement accounting is SPMD-consistent and positive.
+    const auto imb = trainer.embedding_imbalance();
+    EXPECT_GT(imb.mean_sec, 0.0);
+    EXPECT_GE(imb.max_sec, imb.mean_sec);
+  });
+}
+
+// Uneven local batches: GN % R != 0 trains correctly (weighted global mean
+// still matches the single-process reference) and evaluation allgathers the
+// uneven slices into identical AUC on every rank.
+TEST(ShardingParity, UnevenLocalBatchesMatchSingleProcess) {
+  DlrmConfig c = tiny_config();
+  const std::int64_t GN = 100;  // 100 % 3 != 0
+  const int R = 3;
+  const int iters = 6;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  const std::vector<double> ref =
+      single_process_losses(c, data, GN, iters, 77, 0.05f);
+  DistributedTrainerOptions opts;
+  opts.lr = 0.05f;
+  opts.seed = 77;
+  const std::vector<double> dist =
+      distributed_losses(c, data, GN, R, iters, opts);
+  for (int i = 0; i < iters; ++i) {
+    EXPECT_NEAR(dist[static_cast<std::size_t>(i)],
+                ref[static_cast<std::size_t>(i)], 3e-3)
+        << "iteration " << i;
+  }
+}
+
+TEST(ShardingParity, UnevenEvaluateIsIdenticalAcrossRanks) {
+  DlrmConfig c = tiny_config();
+  const DlrmConfig& cc = c;
+  const std::int64_t GN = 100;
+  const int R = 3;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  std::vector<double> auc(static_cast<std::size_t>(R), 0.0);
+
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = 0.05f;
+    opts.global_batch = GN;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    EXPECT_EQ(trainer.local_batch(),
+              GN * (comm.rank() + 1) / R - GN * comm.rank() / R);
+    trainer.train(3);
+    auc[static_cast<std::size_t>(comm.rank())] = trainer.evaluate(GN * 50, 300);
+  });
+  EXPECT_EQ(auc[0], auc[1]);
+  EXPECT_EQ(auc[1], auc[2]);
+  EXPECT_GT(auc[0], 0.0);
+}
+
+}  // namespace
+}  // namespace dlrm
