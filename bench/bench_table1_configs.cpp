@@ -1,8 +1,15 @@
-// Reproduces paper Table I: the three DLRM model specifications.
+// Reproduces paper Table I: the three DLRM model specifications, plus a
+// measured checkpoint save/restore cost for the (scaled-down) Table I
+// models — the snapshot I/O a week-long Criteo run pays for fault
+// tolerance.
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_util.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "core/config.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
 
 using namespace dlrm;
 using namespace dlrm::bench;
@@ -16,6 +23,43 @@ std::string mlp_str(const std::vector<std::int64_t>& dims) {
     s += std::to_string(dims[i]);
   }
   return s;
+}
+
+/// Save+restore wall time and on-disk volume of a full training snapshot
+/// for one Table I config (scaled down to bench size).
+void bench_checkpoint_io(const DlrmConfig& full, const char* name) {
+  const DlrmConfig cfg = full.scaled_down(/*row_divisor=*/64,
+                                          /*batch_divisor=*/8);
+  RandomDataset data(cfg.bottom_mlp.front(), cfg.table_rows, cfg.pooling, 1);
+  DlrmModel model(cfg, {}, 42);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = cfg.minibatch});
+  trainer.train(2);  // snapshot a real mid-training state
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dlrm_bench_ckpt").string() +
+      "_" + name;
+  std::filesystem::remove_all(dir);
+
+  const double save_sec =
+      time_median_sec([&] { trainer.save_checkpoint(dir); }, 3);
+  std::int64_t bytes = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    bytes += static_cast<std::int64_t>(e.file_size());
+  }
+  const double restore_sec = time_median_sec(
+      [&] { (void)trainer.resume_from(dir); }, 3);
+  std::filesystem::remove_all(dir);
+
+  std::printf("checkpoint [%s/64]: %.1f MB, save %.1f ms, restore %.1f ms\n",
+              name, static_cast<double>(bytes) / 1e6, save_sec * 1e3,
+              restore_sec * 1e3);
+  JsonRow("checkpoint_io")
+      .add("config", name)
+      .add("row_divisor", 64)
+      .add("bytes", bytes)
+      .add("save_sec", save_sec)
+      .add("restore_sec", restore_sec)
+      .emit();
 }
 
 }  // namespace
@@ -51,5 +95,8 @@ int main() {
       "\nNote: the MLPerf top MLP is 1024-1024-512-256-1 (MLPerf v0.7), which\n"
       "reproduces the paper's own Table II allreduce size of 9.0 MB; the\n"
       "512-512-256-1 printed in the paper's Table I is inconsistent with it.\n");
+
+  banner("Checkpoint I/O: full-snapshot save/restore cost (rows / 64)");
+  bench_checkpoint_io(small_config(), "small");
   return 0;
 }

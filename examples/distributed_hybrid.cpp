@@ -5,7 +5,11 @@
 // data pipeline. The demo table set is skewed (one 8x hot table) so the
 // cost-balanced and row-split plans have something to fix.
 //
-//   $ ./distributed_hybrid [ranks=4] [round_robin|balanced|row_split]
+// With a checkpoint directory, the run resumes from any snapshot found
+// there (even one written with a different rank count or sharding policy)
+// and snapshots every 10 iterations — kill it mid-run and start it again.
+//
+//   $ ./distributed_hybrid [ranks=4] [round_robin|balanced|row_split] [ckpt_dir]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +20,7 @@ using namespace dlrm;
 
 int main(int argc, char** argv) {
   const int ranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const char* ckpt_dir = argc > 3 ? argv[3] : nullptr;
   ShardingPolicy policy = ShardingPolicy::kRoundRobin;
   if (argc > 2) {
     if (std::strcmp(argv[2], "balanced") == 0) {
@@ -64,6 +69,14 @@ int main(int argc, char** argv) {
     auto backend = QueueBackend::ccl_like(/*workers=*/2);
     DistributedTrainer trainer(cfg, data, comm, backend.get(), opts);
 
+    if (ckpt_dir != nullptr) {
+      const bool resumed = trainer.resume_from(ckpt_dir);
+      trainer.set_checkpointing(ckpt_dir, /*save_every=*/10);
+      if (comm.rank() == 0 && resumed) {
+        std::printf("resumed from %s at step %lld\n", ckpt_dir,
+                    static_cast<long long>(trainer.iterations_done()));
+      }
+    }
     if (comm.rank() == 0) {
       std::printf("%s\n", trainer.model().plan().describe().c_str());
     }

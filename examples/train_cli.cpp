@@ -6,6 +6,8 @@
 //                 [--loader=sliced|naive] [--no-prefetch] [--prefetch-depth=N]
 //                 [--sharding=round_robin|balanced|row_split]
 //                 [--row-split-threshold=N] [--lr-schedule=SPEC]
+//                 [--checkpoint-dir=DIR] [--save-every=N] [--resume]
+//                 [--print-step-losses]
 //
 // Configs: small | large | mlperf (paper Table I), optionally scaled down.
 // With --ranks=1 the single-process model runs; otherwise DistributedTrainer
@@ -28,6 +30,13 @@
 //                distributed runs.
 //   bf16split | bf16split8 | fp16 | fp24 — embedding-table-only precision
 //                ablations (Fig. 16); the MLP stack stays fp32.
+// Checkpointing (src/ckpt): --checkpoint-dir enables snapshots into DIR,
+// written every --save-every iterations (and at eval points); --resume
+// restores the snapshot in DIR first and continues until --iters total
+// iterations. The snapshot geometry is free: a run may resume a checkpoint
+// saved with a different --ranks / --sharding. --print-step-losses drives
+// the loop one iteration at a time and prints "STEP_LOSS <iter> <loss>"
+// lines (the resume-parity smoke diffs them; bypasses --lr-schedule).
 // --check-loss-decreases exits nonzero unless the mean loss of the last
 // quarter of iterations is below that of the first quarter (CI smoke).
 #include <algorithm>
@@ -58,6 +67,10 @@ struct Args {
   std::string sharding = "round_robin";
   std::int64_t row_split_threshold = 0;
   std::string lr_schedule;
+  std::string checkpoint_dir;
+  std::int64_t save_every = 0;
+  bool resume = false;
+  bool print_step_losses = false;
   bool prefetch = true;
   int prefetch_depth = 2;
   bool blocking = false;
@@ -91,6 +104,10 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--sharding", &v)) a.sharding = v;
     else if (parse_flag(argv[i], "--row-split-threshold", &v)) a.row_split_threshold = std::atoll(v.c_str());
     else if (parse_flag(argv[i], "--lr-schedule", &v)) a.lr_schedule = v;
+    else if (parse_flag(argv[i], "--checkpoint-dir", &v)) a.checkpoint_dir = v;
+    else if (parse_flag(argv[i], "--save-every", &v)) a.save_every = std::atoll(v.c_str());
+    else if (std::strcmp(argv[i], "--resume") == 0) a.resume = true;
+    else if (std::strcmp(argv[i], "--print-step-losses") == 0) a.print_step_losses = true;
     else if (parse_flag(argv[i], "--prefetch-depth", &v)) a.prefetch_depth = std::atoi(v.c_str());
     else if (std::strcmp(argv[i], "--no-prefetch") == 0) a.prefetch = false;
     else if (std::strcmp(argv[i], "--blocking") == 0) a.blocking = true;
@@ -103,6 +120,20 @@ Args parse(int argc, char** argv) {
   }
   if (a.prefetch_depth < 1) {
     std::fprintf(stderr, "bad --prefetch-depth (must be >= 1)\n");
+    std::exit(2);
+  }
+  if (a.resume && a.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint-dir\n");
+    std::exit(2);
+  }
+  if (a.resume && a.check_loss) {
+    // The quarter-comparison is defined over one uninterrupted run; a
+    // resumed continuation has no meaningful "first quarter".
+    std::fprintf(stderr, "--resume and --check-loss-decreases conflict\n");
+    std::exit(2);
+  }
+  if (a.save_every < 0) {
+    std::fprintf(stderr, "bad --save-every (must be >= 0)\n");
     std::exit(2);
   }
   return a;
@@ -152,25 +183,89 @@ ShardingPolicy parse_sharding(const std::string& s) {
   std::exit(2);
 }
 
-/// Trains `iters` iterations through any trainer with train/set_lr,
-/// applying the schedule (when set) at eight evenly spaced boundaries.
-/// Returns the iteration-weighted mean loss.
+/// Checkpoint plumbing + the training drive shared by the single-process
+/// and distributed paths: restore when --resume asked for it, enable
+/// periodic snapshots, then train up to `args.iters` TOTAL iterations
+/// (a resumed run only trains the remainder). With --print-step-losses the
+/// loop runs one iteration at a time emitting "STEP_LOSS <iter> <loss>"
+/// lines (printed by rank 0 only in distributed runs). Returns the mean
+/// loss over the iterations this invocation trained; `*trained` receives
+/// that iteration count (less than --iters after a resume).
 template <typename TrainerT>
-double train_scheduled(TrainerT& trainer, int iters, const LrSchedule& sched,
+double drive_training(TrainerT& trainer, const Args& args,
+                      const LrSchedule& sched, Profiler* prof, bool printer,
+                      std::int64_t* trained);
+
+/// Trains from iteration `start` (the trainer's current position — nonzero
+/// after a resume) to `total`, applying the schedule (when set) at eight
+/// boundaries spaced over the WHOLE [0, total] run, so a resumed run picks
+/// the schedule up at its restored fraction instead of replaying it over
+/// the remainder. Returns the iteration-weighted mean loss of the
+/// iterations this invocation trained.
+template <typename TrainerT>
+double train_scheduled(TrainerT& trainer, std::int64_t start,
+                       std::int64_t total, const LrSchedule& sched,
                        Profiler* prof) {
-  if (!sched || iters <= 0) return trainer.train(iters, prof);
-  const int segments = std::min(iters, 8);
+  const std::int64_t iters = total - start;
+  if (!sched || iters <= 0) return trainer.train(std::max<std::int64_t>(iters, 0), prof);
+  const int segments = static_cast<int>(std::min<std::int64_t>(total, 8));
   double weighted = 0.0;
-  int done = 0;
+  std::int64_t done = start;
   for (int seg = 1; seg <= segments; ++seg) {
-    const int target = iters * seg / segments;
-    if (target == done) continue;
+    const std::int64_t target = total * seg / segments;
+    if (target <= done) continue;
     const double frac = static_cast<double>(seg) / segments;
     trainer.set_lr(sched(frac));
-    weighted += trainer.train(target - done, prof) * (target - done);
+    weighted += trainer.train(target - done, prof) * static_cast<double>(target - done);
     done = target;
   }
-  return weighted / iters;
+  return weighted / static_cast<double>(iters);
+}
+
+/// Applies --checkpoint-dir/--save-every/--resume to any trainer (both the
+/// plain and the --check-loss-decreases paths go through this).
+template <typename TrainerT>
+void setup_checkpointing(TrainerT& trainer, const Args& args, bool printer) {
+  if (args.checkpoint_dir.empty()) return;
+  if (args.resume) {
+    if (trainer.resume_from(args.checkpoint_dir)) {
+      if (printer) {
+        std::printf("resumed from %s at step %lld\n",
+                    args.checkpoint_dir.c_str(),
+                    static_cast<long long>(trainer.iterations_done()));
+      }
+    } else if (printer) {
+      std::printf("no checkpoint in %s; starting fresh\n",
+                  args.checkpoint_dir.c_str());
+    }
+  }
+  trainer.set_checkpointing(args.checkpoint_dir, args.save_every);
+}
+
+template <typename TrainerT>
+double drive_training(TrainerT& trainer, const Args& args,
+                      const LrSchedule& sched, Profiler* prof, bool printer,
+                      std::int64_t* trained) {
+  setup_checkpointing(trainer, args, printer);
+  const std::int64_t start =
+      std::min<std::int64_t>(trainer.iterations_done(), args.iters);
+  const std::int64_t remaining = args.iters - start;
+  *trained = remaining;  // what THIS invocation runs (less after a resume)
+  if (!args.print_step_losses) {
+    return train_scheduled(trainer, start, args.iters, sched, prof);
+  }
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < remaining; ++i) {
+    const double loss = trainer.train(1, prof);
+    sum += loss;
+    if (printer) {
+      // %.17g: two bit-identical runs print identical lines, so the resume
+      // smoke can literally diff them.
+      std::printf("STEP_LOSS %lld %.17g\n",
+                  static_cast<long long>(trainer.iterations_done()), loss);
+    }
+  }
+  return remaining > 0 ? sum / static_cast<double>(remaining) : 0.0;
 }
 
 }  // namespace
@@ -225,7 +320,9 @@ int main(int argc, char** argv) {
     Profiler* prof_ptr = args.profile ? &prof : nullptr;
     const Timer t;
     double first_loss = 0.0, last_loss = 0.0, loss = 0.0;
+    std::int64_t trained = args.iters;
     if (args.check_loss && quarter > 0) {
+      setup_checkpointing(trainer, args, true);
       first_loss = trainer.train(quarter, prof_ptr);
       if (schedule) trainer.set_lr(schedule(0.5));
       trainer.train(args.iters - 2 * quarter, prof_ptr);
@@ -233,12 +330,13 @@ int main(int argc, char** argv) {
       last_loss = trainer.train(quarter, prof_ptr);
       loss = last_loss;
     } else {
-      loss = train_scheduled(trainer, args.iters, schedule, prof_ptr);
+      loss = drive_training(trainer, args, schedule, prof_ptr, true, &trained);
     }
-    std::printf("%d iters in %.2f s (%.2f ms/iter), final mean loss %.4f "
+    std::printf("%lld iters in %.2f s (%.2f ms/iter), final mean loss %.4f "
                 "(optimizer %s)\n",
-                args.iters, t.elapsed_sec(), t.elapsed_ms() / args.iters, loss,
-                trainer.optimizer().name().c_str());
+                static_cast<long long>(trained), t.elapsed_sec(),
+                t.elapsed_ms() / static_cast<double>(std::max<std::int64_t>(trained, 1)),
+                loss, trainer.optimizer().name().c_str());
     if (args.profile) std::printf("%s", prof.report().c_str());
     if (args.check_loss && quarter > 0) {
       std::printf("loss check: first-quarter %.4f -> last-quarter %.4f\n",
@@ -276,7 +374,9 @@ int main(int argc, char** argv) {
     Profiler* prof_ptr = args.profile ? &prof : nullptr;
     const Timer t;
     double first_loss = 0.0, last_loss = 0.0, loss = 0.0;
+    std::int64_t trained = args.iters;
     if (args.check_loss && quarter > 0) {
+      setup_checkpointing(trainer, args, comm.rank() == 0);
       first_loss = trainer.train(quarter, prof_ptr);
       if (schedule) trainer.set_lr(schedule(0.5));
       const double mid = trainer.train(args.iters - 2 * quarter, prof_ptr);
@@ -286,12 +386,15 @@ int main(int argc, char** argv) {
               last_loss * quarter) /
              args.iters;
     } else {
-      loss = train_scheduled(trainer, args.iters, schedule, prof_ptr);
+      loss = drive_training(trainer, args, schedule, prof_ptr,
+                            comm.rank() == 0, &trained);
     }
     const auto imb = trainer.embedding_imbalance();
     if (comm.rank() == 0) {
-      std::printf("%d iters in %.2f s (%.2f ms/iter), global mean loss %.4f\n",
-                  args.iters, t.elapsed_sec(), t.elapsed_ms() / args.iters,
+      std::printf("%lld iters in %.2f s (%.2f ms/iter), global mean loss %.4f\n",
+                  static_cast<long long>(trained), t.elapsed_sec(),
+                  t.elapsed_ms() /
+                      static_cast<double>(std::max<std::int64_t>(trained, 1)),
                   loss);
       std::printf("%s", trainer.model().plan().describe().c_str());
       std::printf("embedding time: max rank %.2f ms / mean %.2f ms "

@@ -1,0 +1,426 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dlrm::ckpt {
+
+namespace {
+
+std::string shard_tag(std::int64_t table, std::int64_t row_begin) {
+  return "shard:t" + std::to_string(table) + ":r" + std::to_string(row_begin);
+}
+
+std::string dims_str(const std::vector<std::int64_t>& v) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(v[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.dlrmckpt";
+}
+
+std::string rank_file_path(const std::string& dir, int rank,
+                           std::int64_t step) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/rank-%05d-s%lld.dlrmckpt", rank,
+                static_cast<long long>(step));
+  return dir + buf;
+}
+
+// ---------------------------------------------------------------------------
+// ModelConfigKey
+// ---------------------------------------------------------------------------
+
+ModelConfigKey ModelConfigKey::from(const DlrmConfig& config,
+                                    EmbedPrecision embed_precision,
+                                    std::int64_t global_batch) {
+  ModelConfigKey k;
+  k.dim = config.dim;
+  k.table_rows = config.table_rows;
+  k.bottom_mlp = config.bottom_mlp;
+  k.top_mlp = config.top_mlp;
+  k.interaction_pad = config.interaction_pad;
+  k.global_batch = global_batch;
+  k.mlp_precision = static_cast<std::uint32_t>(config.mlp_precision);
+  k.embed_precision = static_cast<std::uint32_t>(embed_precision);
+  return k;
+}
+
+void ModelConfigKey::serialize(ByteWriter& w) const {
+  w.i64(dim);
+  w.vec_i64(table_rows);
+  w.vec_i64(bottom_mlp);
+  w.vec_i64(top_mlp);
+  w.i64(interaction_pad);
+  w.i64(global_batch);
+  w.u32(mlp_precision);
+  w.u32(embed_precision);
+}
+
+ModelConfigKey ModelConfigKey::deserialize(ByteReader& r) {
+  ModelConfigKey k;
+  k.dim = r.i64();
+  k.table_rows = r.vec_i64();
+  k.bottom_mlp = r.vec_i64();
+  k.top_mlp = r.vec_i64();
+  k.interaction_pad = r.i64();
+  k.global_batch = r.i64();
+  k.mlp_precision = r.u32();
+  k.embed_precision = r.u32();
+  return k;
+}
+
+std::string ModelConfigKey::mismatch(const ModelConfigKey& other) const {
+  if (table_rows != other.table_rows) {
+    return "embedding table rows differ: saved " + dims_str(table_rows) +
+           ", restoring " + dims_str(other.table_rows);
+  }
+  if (dim != other.dim) {
+    return "embedding dim differs: saved " + std::to_string(dim) +
+           ", restoring " + std::to_string(other.dim);
+  }
+  if (bottom_mlp != other.bottom_mlp) {
+    return "bottom MLP differs: saved " + dims_str(bottom_mlp) +
+           ", restoring " + dims_str(other.bottom_mlp);
+  }
+  if (top_mlp != other.top_mlp) {
+    return "top MLP differs: saved " + dims_str(top_mlp) + ", restoring " +
+           dims_str(other.top_mlp);
+  }
+  if (interaction_pad != other.interaction_pad) {
+    return "interaction padding differs: saved " +
+           std::to_string(interaction_pad) + ", restoring " +
+           std::to_string(other.interaction_pad);
+  }
+  if (global_batch != other.global_batch) {
+    return "global batch differs: saved " + std::to_string(global_batch) +
+           ", restoring " + std::to_string(other.global_batch) +
+           " (the data-stream position would shift)";
+  }
+  if (mlp_precision != other.mlp_precision) {
+    return "MLP precision differs: saved " +
+           std::string(to_string(static_cast<Precision>(mlp_precision))) +
+           ", restoring " +
+           std::string(to_string(static_cast<Precision>(other.mlp_precision)));
+  }
+  if (embed_precision != other.embed_precision) {
+    return "embedding precision differs: saved " +
+           std::string(
+               to_string(static_cast<EmbedPrecision>(embed_precision))) +
+           ", restoring " +
+           std::string(
+               to_string(static_cast<EmbedPrecision>(other.embed_precision)));
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// ShardingPlan serialization
+// ---------------------------------------------------------------------------
+
+void write_plan(ByteWriter& w, const ShardingPlan& plan) {
+  w.u32(static_cast<std::uint32_t>(plan.policy()));
+  w.i64(plan.tables());
+  w.u32(static_cast<std::uint32_t>(plan.ranks()));
+  w.u32(static_cast<std::uint32_t>(plan.num_shards()));
+  for (const Shard& sh : plan.shards()) {
+    w.i64(sh.table);
+    w.i64(sh.row_begin);
+    w.i64(sh.row_end);
+    w.u32(static_cast<std::uint32_t>(sh.rank));
+    w.f64(sh.cost);
+  }
+}
+
+ShardingPlan read_plan(ByteReader& r) {
+  const auto policy = static_cast<ShardingPolicy>(r.u32());
+  const std::int64_t tables = r.i64();
+  const int ranks = static_cast<int>(r.u32());
+  const std::uint32_t n = r.u32();
+  std::vector<Shard> shards(n);
+  for (auto& sh : shards) {
+    sh.table = r.i64();
+    sh.row_begin = r.i64();
+    sh.row_end = r.i64();
+    sh.rank = static_cast<int>(r.u32());
+    sh.cost = r.f64();
+  }
+  return ShardingPlan::custom(tables, ranks, std::move(shards), policy);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter
+// ---------------------------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(std::string dir, int rank,
+                                   std::int64_t step)
+    : dir_(std::move(dir)), rank_(rank), step_(step) {
+  std::filesystem::create_directories(dir_);
+}
+
+void CheckpointWriter::write_shards(
+    const std::vector<Shard>& shards,
+    const std::vector<EmbeddingTable*>& tables) {
+  DLRM_CHECK(shards.size() == tables.size(),
+             "need one table per owned shard");
+  FileWriter file(rank_file_path(dir_, rank_, step_));
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    const Shard& sh = shards[k];
+    EmbeddingTable& t = *tables[k];
+    DLRM_CHECK(t.rows() == sh.rows(), "shard/table row-count mismatch");
+    ByteWriter payload;
+    payload.i64(step_);
+    payload.i64(sh.table);
+    payload.i64(sh.row_begin);
+    payload.i64(sh.row_end);
+    payload.i64(t.dim());
+    payload.u32(static_cast<std::uint32_t>(t.precision()));
+    const std::int64_t row_bytes = t.checkpoint_row_bytes();
+    payload.i64(row_bytes);
+    std::vector<unsigned char> rows(
+        static_cast<std::size_t>(sh.rows() * row_bytes));
+    t.export_rows(0, sh.rows(), rows.data());
+    payload.bytes(rows.data(), rows.size());
+    file.section(shard_tag(sh.table, sh.row_begin), payload);
+  }
+  file.finish();
+  bytes_ += file.bytes_written();
+}
+
+void CheckpointWriter::remove_stale_shards() {
+  // Compare filenames, not full paths: dir_ may carry a trailing slash or
+  // other non-canonical spelling that directory_iterator normalizes away.
+  const std::string keep = std::filesystem::path(
+      rank_file_path(dir_, rank_, step_)).filename().string();
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "rank-%05d-s", rank_);
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && name != keep) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+void CheckpointWriter::write_manifest(const ModelConfigKey& key,
+                                      const TrainerState& state,
+                                      const ShardingPlan& plan, Mlp& bottom,
+                                      Mlp& top, const Optimizer& opt) {
+  DLRM_CHECK(state.step == step_,
+             "manifest step must match the writer's snapshot step");
+  FileWriter file(manifest_path(dir_));
+
+  ByteWriter meta;
+  meta.i64(state.step);
+  meta.f32(state.lr);
+  key.serialize(meta);
+  file.section("meta", meta);
+
+  ByteWriter planw;
+  write_plan(planw, plan);
+  file.section("plan", planw);
+
+  // Dense MLP weights in canonical flat fp32 form. Under bf16/Split-SGD the
+  // blocked fp32 storage already sits on the bf16 grid, so the unpack is
+  // exact; the hidden low halves travel in the optimizer section.
+  ByteWriter dense;
+  Mlp* mlps[2] = {&bottom, &top};
+  std::vector<float> flat;
+  for (Mlp* mlp : mlps) {
+    dense.u32(static_cast<std::uint32_t>(mlp->layer_count()));
+    for (std::size_t l = 0; l < mlp->layer_count(); ++l) {
+      FullyConnected& layer = mlp->layer(l);
+      const std::int64_t k = layer.out_features(), c = layer.in_features();
+      dense.i64(k);
+      dense.i64(c);
+      flat.resize(static_cast<std::size_t>(k * c));
+      layer.weights().unpack_to(flat.data());
+      dense.bytes(flat.data(), flat.size() * sizeof(float));
+      dense.bytes(layer.bias().data(), static_cast<std::size_t>(k) * 4);
+    }
+  }
+  file.section("dense", dense);
+
+  ByteWriter optw;
+  optw.str(opt.name());
+  const std::int64_t opt_bytes = opt.checkpoint_bytes();
+  optw.u64(static_cast<std::uint64_t>(opt_bytes));
+  std::vector<unsigned char> opt_state(static_cast<std::size_t>(opt_bytes));
+  if (opt_bytes > 0) opt.save_state(opt_state.data());
+  optw.bytes(opt_state.data(), opt_state.size());
+  file.section("opt", optw);
+
+  ByteWriter rng;
+  rng.u32(static_cast<std::uint32_t>(state.rng_streams.size()));
+  for (const RngState& st : state.rng_streams) {
+    for (int i = 0; i < 4; ++i) rng.u64(st.s[i]);
+    rng.f32(st.cached);
+    rng.u8(st.has_cached ? 1 : 0);
+  }
+  file.section("rng", rng);
+
+  file.finish();
+  bytes_ += file.bytes_written();
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointReader
+// ---------------------------------------------------------------------------
+
+bool CheckpointReader::exists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(manifest_path(dir), ec);
+}
+
+CheckpointReader::CheckpointReader(std::string dir)
+    : dir_(std::move(dir)), manifest_(manifest_path(dir_)) {
+  ByteReader meta = manifest_.open("meta");
+  state_.step = meta.i64();
+  state_.lr = meta.f32();
+  key_ = ModelConfigKey::deserialize(meta);
+
+  ByteReader planr = manifest_.open("plan");
+  plan_ = read_plan(planr);
+
+  ByteReader rng = manifest_.open("rng");
+  const std::uint32_t streams = rng.u32();
+  state_.rng_streams.resize(streams);
+  for (auto& st : state_.rng_streams) {
+    for (int i = 0; i < 4; ++i) st.s[i] = rng.u64();
+    st.cached = rng.f32();
+    st.has_cached = rng.u8() != 0;
+  }
+}
+
+void CheckpointReader::check_model(const ModelConfigKey& key) const {
+  const std::string diff = key_.mismatch(key);
+  if (!diff.empty()) {
+    throw CheckError("checkpoint '" + dir_ +
+                     "' does not match this run's model: " + diff);
+  }
+}
+
+void CheckpointReader::check_optimizer(const Optimizer& opt) const {
+  ByteReader r = manifest_.open("opt");
+  const std::string saved = r.str();
+  if (saved != opt.name()) {
+    throw CheckError("checkpoint '" + dir_ + "' holds " + saved +
+                     " optimizer state; this run uses " + opt.name());
+  }
+}
+
+void CheckpointReader::load_dense(Mlp& bottom, Mlp& top) const {
+  ByteReader r = manifest_.open("dense");
+  Mlp* mlps[2] = {&bottom, &top};
+  std::vector<float> flat;
+  for (Mlp* mlp : mlps) {
+    const std::uint32_t layers = r.u32();
+    if (layers != mlp->layer_count()) {
+      throw CheckError("checkpoint '" + dir_ + "' has " +
+                       std::to_string(layers) + " MLP layers where this run "
+                       "has " + std::to_string(mlp->layer_count()));
+    }
+    for (std::size_t l = 0; l < layers; ++l) {
+      FullyConnected& layer = mlp->layer(l);
+      const std::int64_t k = r.i64(), c = r.i64();
+      if (k != layer.out_features() || c != layer.in_features()) {
+        throw CheckError("checkpoint '" + dir_ + "' MLP layer " +
+                         std::to_string(l) + " is " + std::to_string(k) + "x" +
+                         std::to_string(c) + "; this run's layer is " +
+                         std::to_string(layer.out_features()) + "x" +
+                         std::to_string(layer.in_features()));
+      }
+      flat.resize(static_cast<std::size_t>(k * c));
+      r.bytes(flat.data(), flat.size() * sizeof(float));
+      layer.weights().pack_from(flat.data());
+      r.bytes(layer.bias().data(), static_cast<std::size_t>(k) * 4);
+    }
+  }
+}
+
+void CheckpointReader::load_optimizer(Optimizer& opt) const {
+  // Single open (= single CRC pass over the lo-half state); the name check
+  // is inlined rather than delegated to check_optimizer.
+  ByteReader r = manifest_.open("opt");
+  const std::string saved = r.str();
+  if (saved != opt.name()) {
+    throw CheckError("checkpoint '" + dir_ + "' holds " + saved +
+                     " optimizer state; this run uses " + opt.name());
+  }
+  const std::int64_t bytes = static_cast<std::int64_t>(r.u64());
+  const unsigned char* state =
+      bytes > 0 ? r.raw(static_cast<std::size_t>(bytes)) : nullptr;
+  opt.load_state(state, bytes);
+}
+
+const FileReader& CheckpointReader::rank_file(int rank) {
+  auto it = rank_files_.find(rank);
+  if (it == rank_files_.end()) {
+    it = rank_files_
+             .emplace(rank, std::make_unique<FileReader>(rank_file_path(
+                                dir_, rank, state_.step)))
+             .first;
+  }
+  return *it->second;
+}
+
+void CheckpointReader::load_shard_rows(const Shard& target,
+                                       EmbeddingTable& table) {
+  DLRM_CHECK(table.rows() == target.rows(),
+             "target shard/table row-count mismatch");
+  if (target.table >= plan_.tables()) {
+    throw CheckError("checkpoint '" + dir_ + "' has no table " +
+                     std::to_string(target.table));
+  }
+  std::int64_t covered = 0;
+  for (std::int64_t sid : plan_.shards_of_table(target.table)) {
+    const Shard& saved = plan_.shard(sid);
+    const std::int64_t lo = std::max(saved.row_begin, target.row_begin);
+    const std::int64_t hi = std::min(saved.row_end, target.row_end);
+    if (hi <= lo) continue;
+
+    ByteReader r =
+        rank_file(saved.rank).open(shard_tag(saved.table, saved.row_begin));
+    const std::int64_t s_step = r.i64();
+    const std::int64_t s_table = r.i64();
+    const std::int64_t s_begin = r.i64();
+    const std::int64_t s_end = r.i64();
+    const std::int64_t s_dim = r.i64();
+    const auto s_prec = static_cast<EmbedPrecision>(r.u32());
+    const std::int64_t row_bytes = r.i64();
+    // Belt and braces against hand-assembled directories: the shard must
+    // belong to the same snapshot the manifest committed.
+    DLRM_CHECK(s_step == state_.step,
+               "shard section step does not match the manifest (torn or "
+               "mixed snapshot)");
+    DLRM_CHECK(s_table == saved.table && s_begin == saved.row_begin &&
+                   s_end == saved.row_end,
+               "shard section does not match the saved plan");
+    if (s_dim != table.dim() || s_prec != table.precision() ||
+        row_bytes != table.checkpoint_row_bytes()) {
+      throw CheckError(
+          "checkpoint '" + dir_ + "' shard of table " +
+          std::to_string(s_table) + " was saved as dim " +
+          std::to_string(s_dim) + " " + to_string(s_prec) +
+          "; this run's table is dim " + std::to_string(table.dim()) + " " +
+          to_string(table.precision()));
+    }
+    r.skip(static_cast<std::size_t>((lo - s_begin) * row_bytes));
+    const unsigned char* rows =
+        r.raw(static_cast<std::size_t>((hi - lo) * row_bytes));
+    table.import_rows(lo - target.row_begin, hi - lo, rows);
+    covered += hi - lo;
+  }
+  DLRM_CHECK(covered == target.rows(),
+             "saved shards do not cover the requested row range");
+}
+
+}  // namespace dlrm::ckpt

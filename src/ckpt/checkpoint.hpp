@@ -1,0 +1,186 @@
+// Sharded checkpoint/restore of the full DLRM training state.
+//
+// Layout of a snapshot directory (one snapshot per directory):
+//
+//   <dir>/manifest.dlrmckpt   — written by rank 0: format version, model
+//                               fingerprint, trainer state (step, lr, RNG
+//                               streams), the saved ShardingPlan, the dense
+//                               MLP weights in canonical flat fp32 form
+//                               (unpacked from the blocked/VNNI layouts) and
+//                               the dense optimizer's extra state (Split-SGD
+//                               low halves).
+//   <dir>/rank-NNNNN-sK.dlrmckpt — one per saved rank (K = snapshot step):
+//                               the embedding rows (and implicit sparse
+//                               optimizer state) of every shard that rank
+//                               owned, one section per shard, rows in the
+//                               canonical per-precision encoding of
+//                               EmbeddingTable::export_rows. The step
+//                               suffix makes in-place overwrites safe: a
+//                               new save never touches the committed
+//                               snapshot's files (see CheckpointWriter).
+//
+// Every rank writes only its own shard file — there is no gather through
+// rank 0, so checkpoint volume per rank stays constant under weak scaling.
+//
+// Restore is geometry-free: the reader maps saved (table, row-range) shards
+// onto the *restoring* plan's shards, reading whatever row spans each new
+// shard needs from whichever saved rank files hold them. An R=4 row-split
+// checkpoint therefore restores bit-exactly into an R=2 round-robin run, a
+// single-process run, or any other plan over the same logical tables.
+//
+// All sections are CRC32-protected; truncated files, flipped bytes, format
+// version changes, and model/plan mismatches fail with actionable errors
+// (see ckpt/format.hpp for the container details).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "core/sharding.hpp"
+#include "kernels/embedding.hpp"
+#include "kernels/mlp.hpp"
+#include "optim/optimizer.hpp"
+
+namespace dlrm::ckpt {
+
+/// Everything about the model geometry that must match between the saving
+/// and the restoring run (sharding geometry explicitly excluded — that is
+/// the axis restore is allowed to change).
+struct ModelConfigKey {
+  std::int64_t dim = 0;
+  std::vector<std::int64_t> table_rows;
+  std::vector<std::int64_t> bottom_mlp;
+  std::vector<std::int64_t> top_mlp;
+  std::int64_t interaction_pad = 0;
+  std::int64_t global_batch = 0;
+  std::uint32_t mlp_precision = 0;    // Precision
+  std::uint32_t embed_precision = 0;  // EmbedPrecision
+
+  static ModelConfigKey from(const DlrmConfig& config,
+                             EmbedPrecision embed_precision,
+                             std::int64_t global_batch);
+
+  void serialize(ByteWriter& w) const;
+  static ModelConfigKey deserialize(ByteReader& r);
+
+  /// Empty string when compatible; otherwise a human-readable description
+  /// of the first mismatching field ("saved X, restoring Y").
+  std::string mismatch(const ModelConfigKey& other) const;
+};
+
+/// Trainer-level state stored alongside the model.
+struct TrainerState {
+  std::int64_t step = 0;
+  float lr = 0.0f;
+  /// Any live RNG streams the training loop owns (saved/restored verbatim;
+  /// the synthetic datasets are stateless so trainers currently register
+  /// none, but the format carries them for stateful loops).
+  std::vector<RngState> rng_streams;
+};
+
+void write_plan(ByteWriter& w, const ShardingPlan& plan);
+ShardingPlan read_plan(ByteReader& r);
+
+/// Writes one rank's share of a snapshot. Every rank calls write_shards();
+/// rank 0 additionally calls write_manifest() *after* all ranks' shard
+/// files are on disk (the manifest's rename is the snapshot commit point).
+///
+/// Overwrite safety: rank files are step-suffixed (rank-NNNNN-sK), so a
+/// periodic save overwriting a directory in place never touches the
+/// previous snapshot's files — a kill anywhere before the manifest rename
+/// leaves the old (manifest, rank files) pair fully intact, and a kill
+/// after it leaves the new pair intact. remove_stale_shards() garbage-
+/// collects the superseded rank files once the new manifest is committed;
+/// as a second line of defense every shard section records its step, which
+/// the reader cross-checks against the manifest.
+class CheckpointWriter {
+ public:
+  /// `step` is the trainer iteration the snapshot captures (names the rank
+  /// files and stamps every shard section).
+  CheckpointWriter(std::string dir, int rank, std::int64_t step);
+
+  /// One section per owned shard; `tables[k]` holds the rows of `shards[k]`.
+  void write_shards(const std::vector<Shard>& shards,
+                    const std::vector<EmbeddingTable*>& tables);
+
+  /// Rank 0 only: model fingerprint, trainer state, plan, canonical dense
+  /// MLP weights and dense-optimizer state. `state.step` must equal the
+  /// writer's step.
+  void write_manifest(const ModelConfigKey& key, const TrainerState& state,
+                      const ShardingPlan& plan, Mlp& bottom, Mlp& top,
+                      const Optimizer& opt);
+
+  /// Deletes this rank's shard files from superseded snapshots (call after
+  /// the new manifest is committed on every rank).
+  void remove_stale_shards();
+
+  std::int64_t bytes_written() const { return bytes_; }
+
+ private:
+  std::string dir_;
+  int rank_;
+  std::int64_t step_;
+  std::int64_t bytes_ = 0;
+};
+
+/// Reads a snapshot and restores it into a run of any shard geometry.
+class CheckpointReader {
+ public:
+  /// Opens and validates the manifest. Throws CheckError on any structural
+  /// problem; use exists() first to treat "no checkpoint" as a fresh start.
+  explicit CheckpointReader(std::string dir);
+
+  /// True when `dir` holds a committed snapshot (manifest present).
+  static bool exists(const std::string& dir);
+
+  std::int64_t step() const { return state_.step; }
+  float lr() const { return state_.lr; }
+  const std::vector<RngState>& rng_streams() const {
+    return state_.rng_streams;
+  }
+  const ShardingPlan& saved_plan() const { return plan_; }
+  const ModelConfigKey& saved_key() const { return key_; }
+
+  /// Throws CheckError describing the first mismatch when the snapshot was
+  /// saved from a different model geometry.
+  void check_model(const ModelConfigKey& key) const;
+
+  /// Throws CheckError when the snapshot's dense optimizer state does not
+  /// belong to `opt` (different optimizer kind).
+  void check_optimizer(const Optimizer& opt) const;
+
+  /// Restores the canonical flat weights into the blocked layers.
+  void load_dense(Mlp& bottom, Mlp& top) const;
+
+  /// Restores the dense optimizer's extra state (call check_optimizer or
+  /// check_model first; the state is layout-tied).
+  void load_optimizer(Optimizer& opt) const;
+
+  /// Fills `table` (holding rows [target.row_begin, target.row_end) of
+  /// logical table target.table) from the saved shards covering that range,
+  /// wherever they live in the saved geometry.
+  void load_shard_rows(const Shard& target, EmbeddingTable& table);
+
+ private:
+  const FileReader& rank_file(int rank);
+
+  std::string dir_;
+  FileReader manifest_;
+  ModelConfigKey key_;
+  TrainerState state_;
+  ShardingPlan plan_;
+  std::map<int, std::unique_ptr<FileReader>> rank_files_;
+};
+
+std::string manifest_path(const std::string& dir);
+/// Shard file of `rank` for the snapshot taken at `step`.
+std::string rank_file_path(const std::string& dir, int rank,
+                           std::int64_t step);
+
+}  // namespace dlrm::ckpt

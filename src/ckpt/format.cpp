@@ -1,0 +1,174 @@
+#include "ckpt/format.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dlrm::ckpt {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+[[noreturn]] void fail(const std::string& msg) { throw CheckError(msg); }
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// FileWriter
+// ---------------------------------------------------------------------------
+
+FileWriter::FileWriter(std::string path) : path_(std::move(path)) {
+  std::FILE* f = std::fopen((path_ + ".tmp").c_str(), "wb");
+  if (f == nullptr) {
+    fail("cannot create checkpoint file '" + path_ + ".tmp'");
+  }
+  file_ = f;
+  ByteWriter header;
+  header.bytes(kMagic, sizeof(kMagic));
+  header.u32(kFormatVersion);
+  header.u32(0);  // reserved
+  if (std::fwrite(header.data().data(), 1, header.data().size(), f) !=
+      header.data().size()) {
+    fail("short write to checkpoint file '" + path_ + ".tmp'");
+  }
+  bytes_ = static_cast<std::int64_t>(header.data().size());
+}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    std::remove((path_ + ".tmp").c_str());  // discard unfinished snapshot
+  }
+}
+
+void FileWriter::section(const std::string& tag, const ByteWriter& payload) {
+  DLRM_CHECK(!finished_, "section() after finish()");
+  // Frame header and payload go out as two writes — no copy of the payload
+  // (embedding shard sections are the bulk of a snapshot).
+  ByteWriter header;
+  header.str(tag);
+  header.u64(payload.data().size());
+  header.u32(crc32(payload.data().data(), payload.data().size()));
+  auto* f = static_cast<std::FILE*>(file_);
+  if (std::fwrite(header.data().data(), 1, header.data().size(), f) !=
+          header.data().size() ||
+      std::fwrite(payload.data().data(), 1, payload.data().size(), f) !=
+          payload.data().size()) {
+    fail("short write to checkpoint file '" + path_ + ".tmp'");
+  }
+  bytes_ += static_cast<std::int64_t>(header.data().size() +
+                                      payload.data().size());
+}
+
+void FileWriter::finish() {
+  DLRM_CHECK(!finished_, "finish() called twice");
+  auto* f = static_cast<std::FILE*>(file_);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  file_ = nullptr;
+  if (!flushed ||
+      std::rename((path_ + ".tmp").c_str(), path_.c_str()) != 0) {
+    std::remove((path_ + ".tmp").c_str());
+    fail("cannot finalize checkpoint file '" + path_ + "'");
+  }
+  finished_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// FileReader
+// ---------------------------------------------------------------------------
+
+FileReader::FileReader(const std::string& path) : path_(path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail("cannot open checkpoint file '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  data_.resize(static_cast<std::size_t>(size < 0 ? 0 : size));
+  const std::size_t got = data_.empty()
+                              ? 0
+                              : std::fread(data_.data(), 1, data_.size(), f);
+  std::fclose(f);
+  if (got != data_.size()) {
+    fail("cannot read checkpoint file '" + path + "'");
+  }
+
+  if (data_.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(data_.data(), kMagic, sizeof(kMagic)) != 0) {
+    fail("'" + path + "' is not a DLRM checkpoint (bad magic)");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, data_.data() + sizeof(kMagic), 4);
+  if (version != kFormatVersion) {
+    fail("checkpoint '" + path + "' has format version " +
+         std::to_string(version) + "; this build reads version " +
+         std::to_string(kFormatVersion));
+  }
+
+  // Walk the section framing. Any section extending past EOF means the file
+  // was cut short (e.g. a kill mid-copy).
+  ByteReader r(data_.data(), data_.size(), path);
+  r.skip(sizeof(kMagic) + 8);
+  while (r.remaining() > 0) {
+    Section s;
+    try {
+      s.tag = r.str();
+      s.size = static_cast<std::size_t>(r.u64());
+      s.crc = r.u32();
+      s.offset = data_.size() - r.remaining();
+      r.skip(s.size);
+    } catch (const CheckError&) {
+      fail("checkpoint file '" + path + "' is truncated");
+    }
+    sections_.push_back(std::move(s));
+  }
+}
+
+bool FileReader::has(const std::string& tag) const {
+  for (const auto& s : sections_) {
+    if (s.tag == tag) return true;
+  }
+  return false;
+}
+
+ByteReader FileReader::open(const std::string& tag) const {
+  for (const auto& s : sections_) {
+    if (s.tag != tag) continue;
+    if (crc32(data_.data() + s.offset, s.size) != s.crc) {
+      fail("checkpoint section '" + tag + "' in '" + path_ +
+           "' is corrupt (CRC mismatch)");
+    }
+    return ByteReader(data_.data() + s.offset, s.size, tag);
+  }
+  fail("checkpoint file '" + path_ + "' has no section '" + tag + "'");
+}
+
+std::vector<std::string> FileReader::tags() const {
+  std::vector<std::string> out;
+  for (const auto& s : sections_) out.push_back(s.tag);
+  return out;
+}
+
+}  // namespace dlrm::ckpt

@@ -1,0 +1,182 @@
+// Low-level container format for sharded training snapshots.
+//
+// A checkpoint file is a sequence of named, CRC32-checksummed sections
+// behind a fixed header:
+//
+//   header  := magic "DLRMCKPT" (8 bytes) | u32 version | u32 reserved
+//   section := u32 tag_len | tag bytes | u64 payload_len | u32 crc32 | payload
+//
+// Everything is little-endian native-width POD (the repo targets x86). The
+// reader validates structure eagerly (bad magic, unsupported version, and a
+// file that ends mid-section all fail at open with actionable messages) but
+// defers CRC validation to section access, so one flipped byte poisons only
+// the section it lives in. Writers stage into "<path>.tmp" and rename on
+// finish(), so a crash mid-write never leaves a plausible-looking file.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace dlrm::ckpt {
+
+inline constexpr char kMagic[8] = {'D', 'L', 'R', 'M', 'C', 'K', 'P', 'T'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `n` bytes.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+/// Append-only payload builder for one section.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { pod(v); }
+  void u64(std::uint64_t v) { pod(v); }
+  void i64(std::int64_t v) { pod(v); }
+  void f32(float v) { pod(v); }
+  void f64(double v) { pod(v); }
+  void bytes(const void* p, std::size_t n) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + n);
+    if (n > 0) std::memcpy(buf_.data() + off, p, n);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  }
+  void vec_i64(const std::vector<std::int64_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    bytes(v.data(), v.size() * sizeof(std::int64_t));
+  }
+
+  const std::vector<unsigned char>& data() const { return buf_; }
+
+ private:
+  template <typename T>
+  void pod(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(T));
+  }
+
+  std::vector<unsigned char> buf_;
+};
+
+/// Bounds-checked sequential reader over one section's payload.
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, std::size_t size, std::string what)
+      : p_(data), n_(size), what_(std::move(what)) {}
+
+  std::uint8_t u8() { return pod<std::uint8_t>(); }
+  std::uint32_t u32() { return pod<std::uint32_t>(); }
+  std::uint64_t u64() { return pod<std::uint64_t>(); }
+  std::int64_t i64() { return pod<std::int64_t>(); }
+  float f32() { return pod<float>(); }
+  double f64() { return pod<double>(); }
+  void bytes(void* out, std::size_t n) {
+    need(n);
+    if (n > 0) std::memcpy(out, p_ + off_, n);
+    off_ += n;
+  }
+  /// Zero-copy view of the next n bytes.
+  const unsigned char* raw(std::size_t n) {
+    need(n);
+    const unsigned char* p = p_ + off_;
+    off_ += n;
+    return p;
+  }
+  void skip(std::size_t n) { need(n), off_ += n; }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(p_ + off_), len);
+    off_ += len;
+    return s;
+  }
+  std::vector<std::int64_t> vec_i64() {
+    const std::uint32_t len = u32();
+    std::vector<std::int64_t> v(len);
+    bytes(v.data(), static_cast<std::size_t>(len) * sizeof(std::int64_t));
+    return v;
+  }
+
+  std::size_t remaining() const { return n_ - off_; }
+
+ private:
+  template <typename T>
+  T pod() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, p_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) {
+    // n may come from a corrupt 64-bit length field: compare without the
+    // overflowable off_ + n.
+    if (n > n_ - off_) {
+      throw CheckError("checkpoint section '" + what_ +
+                       "' is shorter than its declared contents (corrupt or "
+                       "written by an incompatible version)");
+    }
+  }
+
+  const unsigned char* p_;
+  std::size_t n_, off_ = 0;
+  std::string what_;
+};
+
+/// Writes a checkpoint file section by section; finish() atomically moves
+/// the staged "<path>.tmp" into place. The destructor discards an
+/// unfinished file.
+class FileWriter {
+ public:
+  explicit FileWriter(std::string path);
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  void section(const std::string& tag, const ByteWriter& payload);
+  void finish();
+
+  std::int64_t bytes_written() const { return bytes_; }
+
+ private:
+  std::string path_;
+  void* file_ = nullptr;  // FILE*
+  std::int64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// Loads a checkpoint file, validates the header and section framing, and
+/// serves CRC-checked section payloads by tag.
+class FileReader {
+ public:
+  /// Throws CheckError on missing file, bad magic, version mismatch, or a
+  /// file truncated mid-section.
+  explicit FileReader(const std::string& path);
+
+  bool has(const std::string& tag) const;
+  /// CRC-validates the section and returns a reader over its payload.
+  /// Throws CheckError naming the section on checksum mismatch.
+  ByteReader open(const std::string& tag) const;
+  std::vector<std::string> tags() const;
+
+ private:
+  struct Section {
+    std::string tag;
+    std::size_t offset = 0;  // payload offset into data_
+    std::size_t size = 0;
+    std::uint32_t crc = 0;
+  };
+
+  std::string path_;
+  std::vector<unsigned char> data_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace dlrm::ckpt

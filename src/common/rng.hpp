@@ -23,6 +23,16 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
 }
 }  // namespace detail
 
+/// Complete serialized state of an Rng: the xoshiro words plus the
+/// Box–Muller cache, so a restored stream continues bit-identically even
+/// when saved between the two halves of a gaussian() pair. POD on purpose —
+/// checkpoints store it as a fixed-width record.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  float cached = 0.0f;
+  bool has_cached = false;
+};
+
 /// xoshiro256** PRNG. Deterministic across platforms; each consumer owns its
 /// own instance (no shared global state → reproducible parallel workloads).
 class Rng {
@@ -30,6 +40,23 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x1234ABCDull) {
     std::uint64_t sm = seed;
     for (auto& s : s_) s = detail::splitmix64(sm);
+  }
+
+  /// Snapshot of the full generator state (checkpoint/restore).
+  RngState state() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached = cached_;
+    st.has_cached = has_cached_;
+    return st;
+  }
+
+  /// Restores a snapshot; the continuation is bit-identical to the stream
+  /// the snapshot was taken from.
+  void set_state(const RngState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_ = st.cached;
+    has_cached_ = st.has_cached;
   }
 
   std::uint64_t next_u64() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/log.hpp"
 
 namespace dlrm {
@@ -84,6 +85,9 @@ double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
     }
     local_loss.add(model_.train_step(hb, prof));
     ++iter_;
+    if (ckpt_every_ > 0 && iter_ % ckpt_every_ == 0) {
+      save_checkpoint(ckpt_dir_);  // SPMD: every rank hits the same boundary
+    }
   }
   if (iters <= 0) return 0.0;
   // Placement-quality accounting: the per-rank embedding-time spread the
@@ -127,6 +131,60 @@ double DistributedTrainer::evaluate(std::int64_t first, std::int64_t n) {
     auc.add(eval_scores_.data(), eval_labels_.data(), take);
   }
   return auc.compute();
+}
+
+void DistributedTrainer::set_checkpointing(std::string dir,
+                                           std::int64_t save_every) {
+  DLRM_CHECK(!dir.empty(), "checkpoint directory must not be empty");
+  ckpt_dir_ = std::move(dir);
+  ckpt_every_ = save_every;
+}
+
+void DistributedTrainer::save_checkpoint(const std::string& dir) {
+  ckpt::CheckpointWriter writer(dir, comm_.rank(), iter_);
+  const std::vector<Shard> shards = model_.owned_shards();
+  std::vector<EmbeddingTable*> tables;
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    tables.push_back(&model_.owned_table(static_cast<std::int64_t>(k)));
+  }
+  writer.write_shards(shards, tables);
+  // The manifest's rename is the commit point, so it must land after every
+  // rank's step-suffixed shard file is on disk; a kill anywhere in between
+  // leaves the PREVIOUS snapshot's (manifest, rank files) pair untouched.
+  comm_.barrier();
+  if (comm_.rank() == 0) {
+    const auto key = ckpt::ModelConfigKey::from(
+        model_.config(), options_.dist.embed_precision, model_.global_batch());
+    ckpt::TrainerState state;
+    state.step = iter_;
+    state.lr = options_.lr;
+    writer.write_manifest(key, state, model_.plan(), model_.bottom_mlp(),
+                          model_.top_mlp(), model_.dense_optimizer());
+  }
+  comm_.barrier();
+  writer.remove_stale_shards();  // manifest committed: GC superseded files
+}
+
+bool DistributedTrainer::resume_from(const std::string& dir) {
+  // Same filesystem on every rank: the existence check is SPMD-consistent.
+  if (!ckpt::CheckpointReader::exists(dir)) return false;
+  ckpt::CheckpointReader reader(dir);
+  reader.check_model(ckpt::ModelConfigKey::from(
+      model_.config(), options_.dist.embed_precision, model_.global_batch()));
+  // Dense replicas: every rank loads the same manifest bytes, so the
+  // replicated MLP/optimizer state stays bit-identical across ranks.
+  reader.load_dense(model_.bottom_mlp(), model_.top_mlp());
+  reader.load_optimizer(model_.dense_optimizer());
+  // Embedding shards: map the saved geometry onto this run's plan.
+  const std::vector<Shard> shards = model_.owned_shards();
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    reader.load_shard_rows(shards[k],
+                           model_.owned_table(static_cast<std::int64_t>(k)));
+  }
+  iter_ = reader.step();
+  set_lr(reader.lr());
+  comm_.barrier();  // no rank trains ahead while others still read
+  return true;
 }
 
 std::vector<EvalPoint> DistributedTrainer::train_with_eval(

@@ -80,6 +80,29 @@ class DistributedTrainer {
   std::int64_t global_batch() const { return model_.global_batch(); }
   std::int64_t local_batch() const { return model_.local_batch(); }
 
+  // Checkpoint/restore (src/ckpt). SPMD like every collective-bearing
+  // method: all ranks call with the same arguments at the same iteration.
+  // Each rank writes its own shard file (no gather through rank 0; rank 0
+  // also writes the manifest with the replicated dense state), and restore
+  // maps the *saved* plan's shards onto this run's plan — the saved rank
+  // count and sharding policy may differ from the current ones.
+
+  /// Periodic snapshots into `dir` every `save_every` train() iterations
+  /// (0 = only at eval points and explicit calls).
+  void set_checkpointing(std::string dir, std::int64_t save_every = 0);
+
+  /// Writes a full snapshot now (SPMD; returns once the snapshot is
+  /// committed on every rank).
+  void save_checkpoint(const std::string& dir);
+
+  /// Restores a snapshot of any geometry; false when none exists in `dir`.
+  bool resume_from(const std::string& dir);
+
+  /// Hook for train_with_eval_loop; no-op unless checkpointing is enabled.
+  void checkpoint_at_eval() {
+    if (!ckpt_dir_.empty()) save_checkpoint(ckpt_dir_);
+  }
+
   DistributedDlrm& model() { return model_; }
   DataLoader& loader() { return loader_; }
   const PrefetchLoader& prefetch() const { return prefetch_; }
@@ -117,6 +140,8 @@ class DistributedTrainer {
   std::int64_t iter_ = 0;
   double loader_exposed_ = 0.0, loader_hidden_ = 0.0;
   Tensor<float> eval_scores_, eval_labels_;  // [GN] allgather staging
+  std::string ckpt_dir_;
+  std::int64_t ckpt_every_ = 0;
 };
 
 }  // namespace dlrm

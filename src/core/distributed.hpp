@@ -70,6 +70,8 @@ class DistributedDlrm {
 
   std::int64_t global_batch() const { return gn_; }
   std::int64_t local_batch() const { return ln_; }
+  const DlrmConfig& config() const { return config_; }
+  const DistributedOptions& options() const { return options_; }
   const ShardingPlan& plan() const { return exchange_.plan(); }
   /// Table ids of this rank's shards (one entry per owned shard).
   const std::vector<std::int64_t>& owned_tables() const {
@@ -94,6 +96,9 @@ class DistributedDlrm {
   Mlp& top_mlp() { return top_; }
   /// k-th owned shard's table storage.
   EmbeddingTable& owned_table(std::int64_t k) { return *tables_[static_cast<std::size_t>(k)]; }
+  /// The rank's dense optimizer (replicated state — rank 0's copy is what a
+  /// checkpoint records).
+  Optimizer& dense_optimizer() { return *opt_; }
 
   /// Comm instrumentation of the last train_step.
   double last_alltoall_wait_sec() const { return a2a_wait_; }

@@ -130,12 +130,42 @@ ShardingPlan ShardingPlan::greedy_balanced(
                       std::move(shards));
 }
 
-ShardingPlan ShardingPlan::row_split(const std::vector<std::int64_t>& table_rows,
-                                     int ranks,
-                                     const std::vector<double>& costs,
-                                     std::int64_t row_threshold) {
+namespace {
+
+/// Fraction of a table's measured lookups that land in [row_begin, row_end),
+/// from an even-bucket histogram; buckets straddling a shard boundary
+/// contribute pro-rata. Returns a negative value when the histogram carries
+/// no information (empty or all-zero), signalling the uniform fallback.
+double histogram_fraction(const std::vector<double>& hist, std::int64_t rows,
+                          std::int64_t row_begin, std::int64_t row_end) {
+  if (hist.empty()) return -1.0;
+  double total = 0.0;
+  for (double h : hist) total += h;
+  if (total <= 0.0) return -1.0;
+  const std::int64_t b = static_cast<std::int64_t>(hist.size());
+  double mass = 0.0;
+  for (std::int64_t i = 0; i < b; ++i) {
+    const std::int64_t lo = rows * i / b, hi = rows * (i + 1) / b;
+    if (hi <= lo) continue;
+    const std::int64_t olo = std::max(lo, row_begin);
+    const std::int64_t ohi = std::min(hi, row_end);
+    if (ohi <= olo) continue;
+    mass += hist[static_cast<std::size_t>(i)] * static_cast<double>(ohi - olo) /
+            static_cast<double>(hi - lo);
+  }
+  return mass / total;
+}
+
+}  // namespace
+
+ShardingPlan ShardingPlan::row_split(
+    const std::vector<std::int64_t>& table_rows, int ranks,
+    const std::vector<double>& costs, std::int64_t row_threshold,
+    const std::vector<std::vector<double>>* row_hists) {
   DLRM_CHECK(ranks >= 1, "need at least one rank");
   const std::vector<double> c = checked_costs(table_rows, costs);
+  DLRM_CHECK(row_hists == nullptr || row_hists->size() == table_rows.size(),
+             "need one row histogram per table");
   if (row_threshold <= 0) {
     std::int64_t total = 0;
     for (auto m : table_rows) total += m;
@@ -154,10 +184,19 @@ ShardingPlan ShardingPlan::row_split(const std::vector<std::int64_t>& table_rows
       sh.table = static_cast<std::int64_t>(t);
       sh.row_begin = rows * k / pieces;
       sh.row_end = rows * (k + 1) / pieces;
-      // Uniform-index approximation: a shard sees lookups in proportion to
-      // its row share. (Zipf streams concentrate on the head shard; the
-      // greedy packing still bounds the error by the whole-table cost.)
-      sh.cost = c[t] * static_cast<double>(sh.rows()) / static_cast<double>(rows);
+      // Measured costing: the shard's share of the table's lookups, from
+      // the per-row-range histogram (a Zipf head shard is worth far more
+      // than its row fraction). Uniform row-share fallback when no
+      // histogram was measured.
+      double frac = -1.0;
+      if (row_hists != nullptr) {
+        frac = histogram_fraction((*row_hists)[t], rows, sh.row_begin,
+                                  sh.row_end);
+      }
+      if (frac < 0.0) {
+        frac = static_cast<double>(sh.rows()) / static_cast<double>(rows);
+      }
+      sh.cost = c[t] * frac;
       shards.push_back(sh);
     }
   }
@@ -224,22 +263,37 @@ std::string ShardingPlan::describe() const {
   return out;
 }
 
-std::vector<double> measure_table_lookups(const Dataset& data,
-                                          std::int64_t samples) {
+LookupStats measure_lookup_stats(const Dataset& data, std::int64_t samples,
+                                 std::int64_t buckets) {
   DLRM_CHECK(samples > 0, "need a positive sample count");
+  DLRM_CHECK(buckets >= 1, "need at least one histogram bucket");
   const std::int64_t s = data.tables();
-  std::vector<double> lookups(static_cast<std::size_t>(s), 0.0);
+  LookupStats stats;
+  stats.lookups_per_sample.assign(static_cast<std::size_t>(s), 0.0);
+  stats.row_histograms.assign(static_cast<std::size_t>(s), {});
   // One fill() pass materializes every table's bag stream at once —
   // per-table fill_table_bags would replay the whole sample RNG stream S
   // times (O(S^2) draws), and this runs on every rank at construction.
   MiniBatch batch;
   data.fill(0, samples, batch);
   for (std::int64_t t = 0; t < s; ++t) {
-    lookups[static_cast<std::size_t>(t)] =
-        static_cast<double>(batch.bags[static_cast<std::size_t>(t)].lookups()) /
-        static_cast<double>(samples);
+    const BagBatch& bags = batch.bags[static_cast<std::size_t>(t)];
+    stats.lookups_per_sample[static_cast<std::size_t>(t)] =
+        static_cast<double>(bags.lookups()) / static_cast<double>(samples);
+    const std::int64_t rows = data.rows(t);
+    const std::int64_t b = std::min(buckets, rows);
+    auto& hist = stats.row_histograms[static_cast<std::size_t>(t)];
+    hist.assign(static_cast<std::size_t>(b), 0.0);
+    for (std::int64_t i = 0; i < bags.lookups(); ++i) {
+      hist[static_cast<std::size_t>(bags.indices[i] * b / rows)] += 1.0;
+    }
   }
-  return lookups;
+  return stats;
+}
+
+std::vector<double> measure_table_lookups(const Dataset& data,
+                                          std::int64_t samples) {
+  return measure_lookup_stats(data, samples, 1).lookups_per_sample;
 }
 
 std::vector<double> estimate_table_costs(
@@ -274,20 +328,28 @@ ShardingPlan make_sharding_plan(const ShardingOptions& options,
   if (options.policy == ShardingPolicy::kRoundRobin) {
     return ShardingPlan::round_robin(table_rows, ranks);
   }
-  std::vector<double> lookups;
+  // Row-split plans additionally need the per-row-range histograms; the
+  // whole-table planner only uses per-table lookup rates (buckets = 1 keeps
+  // the shared measurement pass cheap).
+  const bool split = options.policy == ShardingPolicy::kRowSplit;
+  LookupStats stats;
   if (data != nullptr) {
-    lookups = measure_table_lookups(*data, options.stat_samples);
+    stats = measure_lookup_stats(*data, options.stat_samples,
+                                 split ? options.hist_buckets : 1);
   } else {
-    lookups.assign(table_rows.size(), 1.0);
+    stats.lookups_per_sample.assign(table_rows.size(), 1.0);
+    stats.row_histograms.assign(table_rows.size(), {});
   }
   const KernelModel kernel(clx_8280(), KernelEffs{});
-  const std::vector<double> costs =
-      estimate_table_costs(kernel, table_rows, lookups, dim, global_batch);
+  const std::vector<double> costs = estimate_table_costs(
+      kernel, table_rows, stats.lookups_per_sample, dim, global_batch);
   if (options.policy == ShardingPolicy::kGreedyBalanced) {
     return ShardingPlan::greedy_balanced(table_rows, ranks, costs);
   }
   return ShardingPlan::row_split(table_rows, ranks, costs,
-                                 options.row_split_threshold);
+                                 options.row_split_threshold,
+                                 data != nullptr ? &stats.row_histograms
+                                                 : nullptr);
 }
 
 }  // namespace dlrm

@@ -67,11 +67,17 @@ class ShardingPlan {
 
   /// Tables with more than `row_threshold` rows are split into even
   /// row-range shards (at most `ranks` of them), then all shards are
-  /// LPT-packed like greedy_balanced with cost proportional to the row
-  /// fraction. `row_threshold` <= 0 selects ceil(total_rows / ranks).
-  static ShardingPlan row_split(const std::vector<std::int64_t>& table_rows,
-                                int ranks, const std::vector<double>& costs,
-                                std::int64_t row_threshold);
+  /// LPT-packed like greedy_balanced. `row_threshold` <= 0 selects
+  /// ceil(total_rows / ranks). Without `row_hists` a shard's cost is the
+  /// table cost times its *row* fraction (uniform-index assumption); with
+  /// them it is the table cost times the shard's measured *lookup* fraction
+  /// (bucket masses apportioned pro-rata at shard boundaries), so a Zipf
+  /// head shard is costed at its real weight instead of its row share —
+  /// one entry per table, see measure_lookup_stats().
+  static ShardingPlan row_split(
+      const std::vector<std::int64_t>& table_rows, int ranks,
+      const std::vector<double>& costs, std::int64_t row_threshold,
+      const std::vector<std::vector<double>>* row_hists = nullptr);
 
   /// Arbitrary placement (tests, external tuners). Every table's shards
   /// must tile its rows contiguously from row 0; `label` is only reported.
@@ -128,6 +134,26 @@ class ShardingPlan {
   std::vector<std::vector<std::int64_t>> by_table_;
 };
 
+/// Measured lookup statistics of a dataset's bag stream — what the
+/// cost-driven planners consume. Everything is computed from one
+/// deterministic materialization pass, so every rank derives the identical
+/// plan without coordination.
+struct LookupStats {
+  /// Mean lookups per sample, one entry per table.
+  std::vector<double> lookups_per_sample;
+  /// Per-table lookup-count histogram over even row-range buckets (bucket b
+  /// of B covers rows [M*b/B, M*(b+1)/B)). Zipf streams concentrate mass in
+  /// the head buckets — exactly what the uniform row-fraction costing of
+  /// row-split shards used to miss.
+  std::vector<std::vector<double>> row_histograms;
+};
+
+/// Materializes `samples` samples of the bag stream once and measures both
+/// per-table lookup rates and per-row-range histograms (`buckets` buckets
+/// per table, clamped to the table's row count).
+LookupStats measure_lookup_stats(const Dataset& data, std::int64_t samples,
+                                 std::int64_t buckets);
+
 /// Mean lookups per sample for every table, measured by materializing
 /// `samples` samples of the dataset's bag stream (deterministic, so every
 /// rank computes identical statistics).
@@ -148,6 +174,8 @@ struct ShardingOptions {
   std::int64_t row_split_threshold = 0;
   /// Samples of the dataset bag stream used for lookup statistics.
   std::int64_t stat_samples = 512;
+  /// Row-range buckets per table for the kRowSplit lookup histograms.
+  std::int64_t hist_buckets = 64;
 };
 
 /// Builds the plan every rank agrees on: round-robin ignores costs; the

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/log.hpp"
 
 namespace dlrm {
+
+namespace {
+
+/// The single-process "geometry": every table is one full shard on rank 0,
+/// which is how a Trainer snapshot interoperates with sharded ones.
+ShardingPlan single_process_plan(const DlrmConfig& config) {
+  return ShardingPlan::round_robin(config.table_rows, /*ranks=*/1);
+}
+
+}  // namespace
 
 Trainer::Trainer(DlrmModel& model, Optimizer& opt, const Dataset& data,
                  TrainerOptions options)
@@ -30,8 +41,53 @@ double Trainer::train(std::int64_t iters, Profiler* prof) {
     data_.fill(iter_ * options_.batch, options_.batch, scratch_);
     loss.add(model_.train_step(scratch_, options_.lr, opt_, prof));
     ++iter_;
+    if (ckpt_every_ > 0 && iter_ % ckpt_every_ == 0) {
+      save_checkpoint(ckpt_dir_);
+    }
   }
   return loss.mean();
+}
+
+void Trainer::set_checkpointing(std::string dir, std::int64_t save_every) {
+  DLRM_CHECK(!dir.empty(), "checkpoint directory must not be empty");
+  ckpt_dir_ = std::move(dir);
+  ckpt_every_ = save_every;
+}
+
+void Trainer::save_checkpoint(const std::string& dir) {
+  ckpt::CheckpointWriter writer(dir, /*rank=*/0, iter_);
+  const ShardingPlan plan = single_process_plan(model_.config());
+  std::vector<EmbeddingTable*> tables;
+  for (std::int64_t t = 0; t < model_.tables(); ++t) {
+    tables.push_back(&model_.table(t));
+  }
+  // Canonical shard order == table order: round_robin emits one full-table
+  // shard per table, sorted by table id.
+  writer.write_shards(plan.shards(), tables);
+  const auto key = ckpt::ModelConfigKey::from(
+      model_.config(), model_.options().embed_precision, options_.batch);
+  ckpt::TrainerState state;
+  state.step = iter_;
+  state.lr = options_.lr;
+  writer.write_manifest(key, state, plan, model_.bottom_mlp(),
+                        model_.top_mlp(), opt_);
+  writer.remove_stale_shards();  // manifest committed: GC superseded files
+}
+
+bool Trainer::resume_from(const std::string& dir) {
+  if (!ckpt::CheckpointReader::exists(dir)) return false;
+  ckpt::CheckpointReader reader(dir);
+  reader.check_model(ckpt::ModelConfigKey::from(
+      model_.config(), model_.options().embed_precision, options_.batch));
+  reader.load_dense(model_.bottom_mlp(), model_.top_mlp());
+  reader.load_optimizer(opt_);
+  const ShardingPlan plan = single_process_plan(model_.config());
+  for (std::int64_t t = 0; t < model_.tables(); ++t) {
+    reader.load_shard_rows(plan.shard(t), model_.table(t));
+  }
+  iter_ = reader.step();
+  options_.lr = reader.lr();
+  return true;
 }
 
 double Trainer::evaluate(std::int64_t first, std::int64_t n) {

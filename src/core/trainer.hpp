@@ -43,7 +43,8 @@ namespace detail {
 /// both must report identical checkpoint semantics (interval targets,
 /// empty-interval merging, schedule timing, held-out eval range) or their
 /// convergence curves silently diverge. `trainer` needs train(iters),
-/// evaluate(first, n), and set_lr(lr).
+/// evaluate(first, n), set_lr(lr), and checkpoint_at_eval() (a snapshot
+/// after every eval point when checkpointing is enabled).
 template <typename TrainerT>
 std::vector<EvalPoint> train_with_eval_loop(TrainerT& trainer,
                                             std::int64_t batch,
@@ -73,6 +74,9 @@ std::vector<EvalPoint> train_with_eval_loop(TrainerT& trainer,
     done = target;
     ep.auc = trainer.evaluate(eval_first, eval_samples);
     points.push_back(ep);
+    // Snapshot at the eval point: week-long runs resume from the last
+    // measured point of the convergence curve.
+    trainer.checkpoint_at_eval();
   }
   return points;
 }
@@ -115,6 +119,30 @@ class Trainer {
 
   std::int64_t iterations_done() const { return iter_; }
 
+  // Checkpoint/restore (src/ckpt): the full training state — dense MLP
+  // weights, optimizer state, embedding rows, step and lr — snapshots into
+  // a directory and resumes bit-exactly. Single-process checkpoints use a
+  // trivial one-rank plan, so they interoperate with DistributedTrainer
+  // snapshots of any geometry (cross-geometry resharding on load).
+
+  /// Enables periodic snapshots into `dir`: every `save_every` iterations
+  /// of train() (0 = only at eval points and explicit calls), plus after
+  /// every eval point of train_with_eval.
+  void set_checkpointing(std::string dir, std::int64_t save_every = 0);
+
+  /// Writes a full snapshot into `dir` now (overwrites a prior snapshot).
+  void save_checkpoint(const std::string& dir);
+
+  /// Restores the snapshot in `dir` (any saved geometry); returns false
+  /// when no snapshot exists there (fresh start). Throws CheckError when a
+  /// snapshot exists but is corrupt or belongs to a different model.
+  bool resume_from(const std::string& dir);
+
+  /// Hook for train_with_eval_loop; no-op unless checkpointing is enabled.
+  void checkpoint_at_eval() {
+    if (!ckpt_dir_.empty()) save_checkpoint(ckpt_dir_);
+  }
+
  private:
   DlrmModel& model_;
   std::unique_ptr<Optimizer> owned_opt_;  // only set by the owning ctor
@@ -123,6 +151,8 @@ class Trainer {
   TrainerOptions options_;
   std::int64_t iter_ = 0;
   MiniBatch scratch_;
+  std::string ckpt_dir_;
+  std::int64_t ckpt_every_ = 0;
 };
 
 }  // namespace dlrm

@@ -1,6 +1,7 @@
 #include "kernels/embedding.hpp"
 
 #include <atomic>
+#include <cstring>
 #include <vector>
 
 #include "common/log.hpp"
@@ -144,6 +145,78 @@ void EmbeddingTable::init(Rng& rng, float scale) {
           break;
       }
     }
+  }
+}
+
+std::int64_t EmbeddingTable::checkpoint_row_bytes() const {
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24:
+      return dim_ * 4;  // fp24 is stored widened in fp32; copy it verbatim
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8:
+      return dim_ * 4;  // bf16 hi half + hidden lo half per element
+    case EmbedPrecision::kFp16Stochastic:
+      return dim_ * 2;
+  }
+  return 0;
+}
+
+void EmbeddingTable::export_rows(std::int64_t first, std::int64_t n,
+                                 unsigned char* out) const {
+  DLRM_CHECK(first >= 0 && n >= 0 && first + n <= rows_,
+             "export_rows range outside the shard");
+  const std::int64_t elems = n * dim_;
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24:
+      std::memcpy(out, w_.data() + first * dim_,
+                  static_cast<std::size_t>(elems) * 4);
+      return;
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8:
+      // Per row: hi[dim] then lo[dim] — both halves, so the implicit fp32
+      // master weight survives the round trip bit-for-bit.
+      for (std::int64_t r = 0; r < n; ++r) {
+        unsigned char* dst = out + r * checkpoint_row_bytes();
+        const std::int64_t base = (first + r) * dim_;
+        std::memcpy(dst, hi_.data() + base, static_cast<std::size_t>(dim_) * 2);
+        std::memcpy(dst + dim_ * 2, lo_.data() + base,
+                    static_cast<std::size_t>(dim_) * 2);
+      }
+      return;
+    case EmbedPrecision::kFp16Stochastic:
+      std::memcpy(out, hi_.data() + first * dim_,
+                  static_cast<std::size_t>(elems) * 2);
+      return;
+  }
+}
+
+void EmbeddingTable::import_rows(std::int64_t first, std::int64_t n,
+                                 const unsigned char* in) {
+  DLRM_CHECK(first >= 0 && n >= 0 && first + n <= rows_,
+             "import_rows range outside the shard");
+  const std::int64_t elems = n * dim_;
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24:
+      std::memcpy(w_.data() + first * dim_, in,
+                  static_cast<std::size_t>(elems) * 4);
+      return;
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8:
+      for (std::int64_t r = 0; r < n; ++r) {
+        const unsigned char* src = in + r * checkpoint_row_bytes();
+        const std::int64_t base = (first + r) * dim_;
+        std::memcpy(hi_.data() + base, src, static_cast<std::size_t>(dim_) * 2);
+        std::memcpy(lo_.data() + base, src + dim_ * 2,
+                    static_cast<std::size_t>(dim_) * 2);
+      }
+      return;
+    case EmbedPrecision::kFp16Stochastic:
+      std::memcpy(hi_.data() + first * dim_, in,
+                  static_cast<std::size_t>(elems) * 2);
+      return;
   }
 }
 

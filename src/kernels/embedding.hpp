@@ -106,6 +106,24 @@ class EmbeddingTable {
   void fused_backward_update(const float* dy, const BagBatch& bags, float lr,
                              UpdateStrategy strategy);
 
+  /// Bytes of the canonical checkpoint encoding of one row: the *complete*
+  /// storage state (model weight + hidden Split-SGD low halves), so an
+  /// export/import round trip is bit-exact for every precision. The
+  /// encoding depends only on (precision, dim) — never on how the logical
+  /// table is sharded — so a checkpoint row written by one shard geometry
+  /// can be imported by any other.
+  std::int64_t checkpoint_row_bytes() const;
+
+  /// Serializes rows [first, first + n) (shard-local ids) into `out`
+  /// (n * checkpoint_row_bytes() bytes, rows consecutive).
+  void export_rows(std::int64_t first, std::int64_t n,
+                   unsigned char* out) const;
+
+  /// Restores rows [first, first + n) from an export_rows payload produced
+  /// by a table of the same precision and dim (any shard geometry).
+  void import_rows(std::int64_t first, std::int64_t n,
+                   const unsigned char* in);
+
   /// Reads one row into an fp32 buffer (decoding low-precision storage).
   void read_row(std::int64_t row, float* out) const;
 

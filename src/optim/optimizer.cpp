@@ -1,5 +1,7 @@
 #include "optim/optimizer.hpp"
 
+#include <cstring>
+
 #include "common/log.hpp"
 #include "common/threadpool.hpp"
 
@@ -93,6 +95,29 @@ std::int64_t SplitSgdBf16::state_bytes() const {
   return n * 2 + n * ((lo_bits_ + 7) / 8);
 }
 
+std::int64_t SplitSgdBf16::checkpoint_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& s : slots_) n += s.size;
+  return n * 2;  // one uint16 lo half per element, slots concatenated
+}
+
+void SplitSgdBf16::save_state(unsigned char* out) const {
+  for (const auto& lo : lo_) {
+    std::memcpy(out, lo.data(), static_cast<std::size_t>(lo.size()) * 2);
+    out += lo.size() * 2;
+  }
+}
+
+void SplitSgdBf16::load_state(const unsigned char* in, std::int64_t bytes) {
+  DLRM_CHECK(bytes == checkpoint_bytes(),
+             "Split-SGD checkpoint state size mismatch (different MLP "
+             "geometry or blocking?)");
+  for (auto& lo : lo_) {
+    std::memcpy(lo.data(), in, static_cast<std::size_t>(lo.size()) * 2);
+    in += lo.size() * 2;
+  }
+}
+
 std::unique_ptr<Optimizer> make_dense_optimizer(Precision precision) {
   if (precision == Precision::kBf16) return std::make_unique<SplitSgdBf16>(16);
   return std::make_unique<SgdFp32>();
@@ -164,6 +189,28 @@ std::int64_t Fp16MasterSgd::state_bytes() const {
   for (const auto& s : slots_) n += s.size;
   // fp16 model + fp32 master: the 3x overhead relative to an fp16 model.
   return n * 2 + n * 4;
+}
+
+std::int64_t Fp16MasterSgd::checkpoint_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& s : slots_) n += s.size;
+  return n * 4;  // the fp32 master copies, slots concatenated
+}
+
+void Fp16MasterSgd::save_state(unsigned char* out) const {
+  for (const auto& m : master_) {
+    std::memcpy(out, m.data(), static_cast<std::size_t>(m.size()) * 4);
+    out += m.size() * 4;
+  }
+}
+
+void Fp16MasterSgd::load_state(const unsigned char* in, std::int64_t bytes) {
+  DLRM_CHECK(bytes == checkpoint_bytes(),
+             "fp16-master checkpoint state size mismatch");
+  for (auto& m : master_) {
+    std::memcpy(m.data(), in, static_cast<std::size_t>(m.size()) * 4);
+    in += m.size() * 4;
+  }
 }
 
 }  // namespace dlrm

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/param_slot.hpp"
 #include "common/types.hpp"
 #include "tensor/tensor.hpp"
@@ -50,6 +51,24 @@ class Optimizer {
   /// Persistent bytes for params + optimizer state (capacity accounting of
   /// Sect. VII: Split-SGD == fp32; fp16-with-master == 3x fp16 model size).
   virtual std::int64_t state_bytes() const = 0;
+
+  // Checkpointing: the optimizer state *beyond* the registered params (the
+  // params themselves travel through the dense-weights checkpoint section).
+  // Split-SGD's hidden low halves are the canonical example — without them a
+  // restored run would continue from rounded bf16 weights instead of the
+  // exact fp32 masters. The payload is opaque and layout-tied: it restores
+  // only into an optimizer attached to identically shaped slots.
+
+  /// Bytes of extra optimizer state to checkpoint (0 for stateless SGD).
+  virtual std::int64_t checkpoint_bytes() const { return 0; }
+  /// Serializes checkpoint_bytes() bytes of state into `out`.
+  virtual void save_state(unsigned char* out) const { (void)out; }
+  /// Restores state saved by save_state() on an identically attached
+  /// optimizer; `bytes` must equal checkpoint_bytes().
+  virtual void load_state(const unsigned char* in, std::int64_t bytes) {
+    (void)in;
+    DLRM_CHECK(bytes == 0, "optimizer has no checkpoint state to load");
+  }
 };
 
 class SgdFp32 final : public Optimizer {
@@ -74,6 +93,12 @@ class SplitSgdBf16 final : public Optimizer {
   void step(float lr) override;
   std::string name() const override;
   std::int64_t state_bytes() const override;
+
+  /// Checkpoints the hidden low halves (the part of the fp32 master that is
+  /// not visible in the bf16 params).
+  std::int64_t checkpoint_bytes() const override;
+  void save_state(unsigned char* out) const override;
+  void load_state(const unsigned char* in, std::int64_t bytes) override;
 
  private:
   int lo_bits_;
@@ -103,6 +128,11 @@ class Fp16MasterSgd final : public Optimizer {
   void step(float lr) override;
   std::string name() const override { return "SGD-FP16-Master"; }
   std::int64_t state_bytes() const override;
+
+  /// Checkpoints the explicit fp32 master copy.
+  std::int64_t checkpoint_bytes() const override;
+  void save_state(unsigned char* out) const override;
+  void load_state(const unsigned char* in, std::int64_t bytes) override;
 
  private:
   std::vector<ParamSlot> slots_;

@@ -1,0 +1,239 @@
+// Resume-parity matrix for the sharded checkpoint subsystem (slow label):
+//
+//  * Same-geometry bit-exactness: for R ∈ {1, 2, 4} × {fp32, bf16} ×
+//    {round_robin, greedy_balanced, row_split}, training 3 steps, saving,
+//    and continuing in a FRESH trainer must reproduce the per-step global
+//    losses of the uninterrupted run bit-for-bit (both runs execute in this
+//    process with identical arithmetic, so exact double equality is the
+//    correct assertion in every build mode).
+//
+//  * Cross-geometry restore: an R=4 row-split snapshot restores into an
+//    R=2 round-robin run and a single-process run. The reassembled state is
+//    compared BIT-EXACTLY against the canonical state (resharding must be a
+//    pure copy); the post-restore loss trajectory is compared against the
+//    uninterrupted R=2 run to reduction-order tolerance — different rank
+//    counts sum gradients in different orders, which is exactly the
+//    couple-of-ULPs drift the PR-3 golden tables document across R.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/dist_trainer.hpp"
+#include "core/model.hpp"
+
+namespace dlrm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string test_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("dlrm_resume_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// Split-friendly skewed table set (same shape as the sharding parity
+// suites): table 0 is 8x the rest so row_split actually splits it.
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "resume-tiny";
+  c.minibatch = 64;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {1600, 200, 250, 150, 220, 180};
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.validate();
+  return c;
+}
+
+DistributedTrainerOptions make_options(Precision precision,
+                                       ShardingPolicy policy) {
+  DistributedTrainerOptions opts;
+  opts.lr = 0.05f;
+  opts.global_batch = 64;
+  opts.seed = 77;
+  opts.sharding.policy = policy;
+  opts.sharding.row_split_threshold = 600;
+  opts.dist.embed_precision = precision == Precision::kBf16
+                                  ? EmbedPrecision::kBf16Split
+                                  : EmbedPrecision::kFp32;
+  return opts;
+}
+
+constexpr int kSaveStep = 3;
+constexpr int kPostSteps = 3;
+
+using ResumeCase = std::tuple<int, Precision, ShardingPolicy>;
+
+class CheckpointResumeParityTest : public ::testing::TestWithParam<ResumeCase> {
+};
+
+TEST_P(CheckpointResumeParityTest, ResumedRunIsBitExact) {
+  const auto [R, precision, policy] = GetParam();
+  DlrmConfig c = tiny_config();
+  c.mlp_precision = precision;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const DistributedTrainerOptions opts = make_options(precision, policy);
+  const std::string dir =
+      test_dir(std::to_string(R) + "_" + to_string(precision) + "_" +
+               to_string(policy));
+
+  // Uninterrupted run; snapshots at step kSaveStep and keeps going.
+  std::vector<double> want(kPostSteps, 0.0);
+  const DlrmConfig& cc = c;
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    for (int i = 0; i < kSaveStep; ++i) (void)trainer.train(1);
+    trainer.save_checkpoint(dir);
+    for (int i = 0; i < kPostSteps; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) want[static_cast<std::size_t>(i)] = loss;
+    }
+  });
+
+  // Fresh trainers restore the snapshot and must continue identically.
+  std::vector<double> got(kPostSteps, 0.0);
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    ASSERT_TRUE(trainer.resume_from(dir));
+    EXPECT_EQ(trainer.iterations_done(), kSaveStep);
+    for (int i = 0; i < kPostSteps; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) got[static_cast<std::size_t>(i)] = loss;
+    }
+  });
+
+  for (int i = 0; i < kPostSteps; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)],
+              want[static_cast<std::size_t>(i)])
+        << "post-restore step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CheckpointResumeParityTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(Precision::kFp32, Precision::kBf16),
+                       ::testing::Values(ShardingPolicy::kRoundRobin,
+                                         ShardingPolicy::kGreedyBalanced,
+                                         ShardingPolicy::kRowSplit)),
+    [](const ::testing::TestParamInfo<ResumeCase>& info) {
+      return "R" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::string(to_string(std::get<1>(info.param))) + "_" +
+             std::string(to_string(std::get<2>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Cross-geometry restore: R=4 row-split snapshot → R=2 round-robin and R=1.
+// ---------------------------------------------------------------------------
+
+/// Canonical byte image of every logical table: each owned shard exported
+/// into its global row range. Disjoint ranges — ranks write without locks.
+std::vector<std::vector<unsigned char>> table_images(const DlrmConfig& c) {
+  std::vector<std::vector<unsigned char>> images;
+  for (std::int64_t rows : c.table_rows) {
+    images.emplace_back(static_cast<std::size_t>(rows * c.dim * 4));
+  }
+  return images;
+}
+
+void export_owned_shards(DistributedDlrm& model,
+                         std::vector<std::vector<unsigned char>>& images) {
+  const std::vector<Shard> shards = model.owned_shards();
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    EmbeddingTable& t = model.owned_table(static_cast<std::int64_t>(k));
+    const Shard& sh = shards[k];
+    t.export_rows(0, sh.rows(),
+                  images[static_cast<std::size_t>(sh.table)].data() +
+                      sh.row_begin * t.checkpoint_row_bytes());
+  }
+}
+
+TEST(CheckpointCrossGeometry, RowSplit4RestoresIntoRoundRobin2AndSingle) {
+  DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const std::string dir = test_dir("cross_geometry");
+  const DlrmConfig& cc = c;
+
+  // Writer: R=4 row-split, 3 steps, snapshot.
+  run_ranks(4, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(),
+                               make_options(Precision::kFp32,
+                                            ShardingPolicy::kRowSplit));
+    for (int i = 0; i < kSaveStep; ++i) (void)trainer.train(1);
+    trainer.save_checkpoint(dir);
+  });
+  EXPECT_EQ(ckpt::CheckpointReader(dir).saved_plan().ranks(), 4);
+  EXPECT_TRUE(ckpt::CheckpointReader(dir).saved_plan().has_split_tables());
+
+  // Uninterrupted R=2 round-robin reference trajectory.
+  std::vector<double> straight(kSaveStep + kPostSteps, 0.0);
+  const DistributedTrainerOptions r2opts =
+      make_options(Precision::kFp32, ShardingPolicy::kRoundRobin);
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), r2opts);
+    for (std::size_t i = 0; i < straight.size(); ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) straight[i] = loss;
+    }
+  });
+
+  // Cross-geometry restore into R=2 round-robin: reassembled state exported
+  // for the bit-exact check, then the trajectory continues.
+  auto restored2 = table_images(c);
+  std::vector<double> resumed(kPostSteps, 0.0);
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), r2opts);
+    ASSERT_TRUE(trainer.resume_from(dir));
+    EXPECT_EQ(trainer.iterations_done(), kSaveStep);
+    export_owned_shards(trainer.model(), restored2);
+    for (int i = 0; i < kPostSteps; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) resumed[static_cast<std::size_t>(i)] = loss;
+    }
+  });
+
+  // Same snapshot into a single-process trainer: the canonical assembly.
+  auto restored1 = table_images(c);
+  {
+    DlrmModel model(c, {}, 42);
+    Trainer trainer(model, data, {.lr = 0.05f, .batch = c.minibatch});
+    ASSERT_TRUE(trainer.resume_from(dir));
+    for (std::int64_t t = 0; t < model.tables(); ++t) {
+      model.table(t).export_rows(0, c.table_rows[static_cast<std::size_t>(t)],
+                                 restored1[static_cast<std::size_t>(t)].data());
+    }
+  }
+
+  // Bit-exact resharding: the R=4 row-split shards reassembled under the
+  // R=2 plan hold byte-identical rows to the single-process assembly.
+  for (std::size_t t = 0; t < restored1.size(); ++t) {
+    EXPECT_EQ(restored1[t], restored2[t]) << "table " << t;
+  }
+
+  // Trajectory: the restored R=2 run tracks the uninterrupted R=2 run from
+  // the first post-restore step, up to the cross-R reduction-order drift of
+  // the state at the save point (same tolerance class as the sharding
+  // parity suites; bit-exactness across rank counts is not a property even
+  // without checkpointing).
+  for (int i = 0; i < kPostSteps; ++i) {
+    EXPECT_NEAR(resumed[static_cast<std::size_t>(i)],
+                straight[static_cast<std::size_t>(kSaveStep + i)], 3e-3)
+        << "post-restore step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -114,6 +114,84 @@ TEST(ShardingPlan, CustomRejectsNonTilingShards) {
   EXPECT_THROW(ShardingPlan::custom(1, 2, shards), CheckError);
 }
 
+// With all the lookup mass measured in the head quarter of the table, the
+// head shard must carry (almost) the whole table cost and the tail shards
+// (almost) none — the re-costing that fixes the ROADMAP's "Zipf head
+// shards are under-costed" gap.
+TEST(ShardingPlan, RowSplitCostsFollowMeasuredHistogram) {
+  std::vector<std::int64_t> rows{8000};
+  std::vector<double> costs{1.0};
+  std::vector<std::vector<double>> hists{{100.0, 0.0, 0.0, 0.0}};  // head-only
+  const ShardingPlan plan =
+      ShardingPlan::row_split(rows, 4, costs, 2000, &hists);
+  ASSERT_EQ(plan.shards_of_table(0).size(), 4u);
+  const Shard& head = plan.shard(plan.shards_of_table(0)[0]);
+  EXPECT_EQ(head.row_begin, 0);
+  EXPECT_NEAR(head.cost, 1.0, 1e-9);  // all measured mass is in rows [0,2000)
+  for (std::size_t k = 1; k < 4; ++k) {
+    EXPECT_LT(plan.shard(plan.shards_of_table(0)[k]).cost, 1e-6);
+  }
+  // LPT with honest costs leaves the head shard alone on its rank.
+  EXPECT_EQ(plan.shards_of_rank(head.rank).size(), 1u);
+}
+
+// Bucket mass straddling a shard boundary is apportioned pro-rata, and a
+// flat histogram reproduces the historical uniform row-share costing.
+TEST(ShardingPlan, RowSplitHistogramProRataAndUniformFallback) {
+  std::vector<std::int64_t> rows{9000};
+  std::vector<double> costs{2.0};
+  // 3 even buckets of 3000 rows vs 2 shards of 4500: shard 0 takes bucket
+  // 0 plus half of bucket 1.
+  std::vector<std::vector<double>> hists{{60.0, 30.0, 10.0}};
+  const ShardingPlan plan =
+      ShardingPlan::row_split(rows, 2, costs, 4500, &hists);
+  ASSERT_EQ(plan.shards_of_table(0).size(), 2u);
+  EXPECT_NEAR(plan.shard(plan.shards_of_table(0)[0]).cost,
+              2.0 * (60.0 + 15.0) / 100.0, 1e-9);
+  EXPECT_NEAR(plan.shard(plan.shards_of_table(0)[1]).cost,
+              2.0 * (15.0 + 10.0) / 100.0, 1e-9);
+
+  std::vector<std::vector<double>> flat{{25.0, 25.0, 25.0, 25.0}};
+  const ShardingPlan measured =
+      ShardingPlan::row_split(rows, 2, costs, 4500, &flat);
+  const ShardingPlan uniform = ShardingPlan::row_split(rows, 2, costs, 4500);
+  for (std::int64_t s = 0; s < uniform.num_shards(); ++s) {
+    EXPECT_NEAR(measured.shard(s).cost, uniform.shard(s).cost, 1e-9);
+  }
+  // An all-zero histogram carries no information → uniform fallback too.
+  std::vector<std::vector<double>> zero{{0.0, 0.0}};
+  const ShardingPlan fallback =
+      ShardingPlan::row_split(rows, 2, costs, 4500, &zero);
+  for (std::int64_t s = 0; s < uniform.num_shards(); ++s) {
+    EXPECT_NEAR(fallback.shard(s).cost, uniform.shard(s).cost, 1e-9);
+  }
+}
+
+// The measurement pass itself: a Zipf index stream (rank 0 hottest) must
+// yield a front-loaded histogram; lookup rates match the nominal pooling.
+TEST(Sharding, MeasureLookupStatsSeesZipfHead) {
+  CtrParams params;
+  params.dense_dim = 4;
+  params.rows = {20000, 2000};
+  params.pooling = 2;
+  params.index_skew = 1.05;
+  SyntheticCtrDataset data(params);
+  const LookupStats stats = measure_lookup_stats(data, 512, 16);
+  ASSERT_EQ(stats.row_histograms.size(), 2u);
+  const auto& head_hist = stats.row_histograms[0];
+  ASSERT_EQ(head_hist.size(), 16u);
+  double total = 0.0, front = 0.0;
+  for (std::size_t b = 0; b < head_hist.size(); ++b) {
+    total += head_hist[b];
+    if (b < 4) front += head_hist[b];
+  }
+  EXPECT_NEAR(total, 512.0 * 2.0, 1e-9);  // every lookup lands in a bucket
+  // Criteo-like skew concentrates well over half the mass in the head
+  // quarter of the rows (a uniform stream would put 25% there).
+  EXPECT_GT(front / total, 0.5);
+  EXPECT_NEAR(stats.lookups_per_sample[0], 2.0, 1e-9);
+}
+
 TEST(Sharding, MeasureTableLookupsSeesPerTablePooling) {
   std::vector<std::int64_t> rows(4, 1000);
   std::vector<std::int64_t> poolings{8, 1, 2, 1};
