@@ -28,7 +28,10 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
         -j "${JOBS}" --timeout 900
 
 echo "==== Debug + TSan concurrency pass (prefetch/comm/ddp/exchange/sharding) ===="
-TSAN_SUITES='test_prefetch|test_comm|test_ddp|test_exchange|test_sharding'
+# test_prefetch includes the randomized stall/early-shutdown soak over the
+# multi-worker pipeline; test_prefetch_workers drives it through full
+# training loops (worker-count loss parity + the dedicated eval stream).
+TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding'
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDLRM_SANITIZE=thread \
@@ -36,7 +39,8 @@ cmake -B build-tsan -S . \
   -DDLRM_BUILD_EXAMPLES=OFF \
   -DDLRM_NATIVE_ARCH=OFF
 cmake --build build-tsan -j "${JOBS}" \
-  --target test_prefetch test_comm test_ddp test_exchange test_sharding
+  --target test_prefetch test_prefetch_workers test_comm test_ddp \
+           test_exchange test_sharding
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan -R "${TSAN_SUITES}" --output-on-failure \
         -j "${JOBS}" --timeout 1800

@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
     DistributedTrainerOptions opts;
     opts.lr = 0.05f;
     opts.global_batch = global_batch;
+    opts.prefetch_workers = 2;  // sharded stream: batch i on worker i % 2
     opts.sharding.policy = policy;
     opts.dist.exchange = ExchangeStrategy::kAlltoall;  // the HPC-native pattern
     opts.dist.overlap = true;
@@ -96,10 +97,10 @@ int main(int argc, char** argv) {
                   "(imbalance %.2fx)\n",
                   imb.max_sec * 1e3, imb.mean_sec * 1e3, imb.ratio());
       std::printf("loader cost: %.2f ms exposed, %.2f ms hidden behind "
-                  "compute (prefetch depth %d)\n",
+                  "compute (prefetch depth %d, %d workers)\n",
                   trainer.loader_exposed_sec() * 1e3,
                   trainer.loader_hidden_sec() * 1e3,
-                  trainer.prefetch().depth());
+                  trainer.prefetch().depth(), trainer.prefetch().workers());
       std::printf("rank 0 shards:");
       for (const auto& sh : trainer.model().owned_shards()) {
         std::printf(" t%lld[%lld:%lld)", static_cast<long long>(sh.table),

@@ -4,6 +4,7 @@
 //                 --ranks=4 --strategy=alltoall --precision=bf16
 //                 --iters=50 --lr=0.05 [--blocking] [--profile]
 //                 [--loader=sliced|naive] [--no-prefetch] [--prefetch-depth=N]
+//                 [--prefetch-workers=W]
 //                 [--sharding=round_robin|balanced|row_split]
 //                 [--row-split-threshold=N] [--lr-schedule=SPEC]
 //                 [--checkpoint-dir=DIR] [--save-every=N] [--resume]
@@ -11,8 +12,10 @@
 //
 // Configs: small | large | mlperf (paper Table I), optionally scaled down.
 // With --ranks=1 the single-process model runs; otherwise DistributedTrainer
-// drives the hybrid-parallel loop on in-process ranks, with the data
-// pipeline prefetching batches behind compute (disable with --no-prefetch;
+// drives the hybrid-parallel loop on in-process ranks. Either way the data
+// pipeline prefetches batches behind compute with --prefetch-workers
+// threads, each materializing the interleaved shard {i : i % W == w} of the
+// stream (losses are bit-identical for any W; disable with --no-prefetch;
 // --loader=naive reproduces the reference full-global-batch loader).
 // --sharding picks the embedding-table placement: round_robin (the paper's
 // t % R layout), balanced (cost-model LPT packing), or row_split (big
@@ -73,6 +76,7 @@ struct Args {
   bool print_step_losses = false;
   bool prefetch = true;
   int prefetch_depth = 2;
+  int prefetch_workers = 1;
   bool blocking = false;
   bool profile = false;
   bool check_loss = false;
@@ -109,6 +113,7 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--resume") == 0) a.resume = true;
     else if (std::strcmp(argv[i], "--print-step-losses") == 0) a.print_step_losses = true;
     else if (parse_flag(argv[i], "--prefetch-depth", &v)) a.prefetch_depth = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--prefetch-workers", &v)) a.prefetch_workers = std::atoi(v.c_str());
     else if (std::strcmp(argv[i], "--no-prefetch") == 0) a.prefetch = false;
     else if (std::strcmp(argv[i], "--blocking") == 0) a.blocking = true;
     else if (std::strcmp(argv[i], "--profile") == 0) a.profile = true;
@@ -120,6 +125,10 @@ Args parse(int argc, char** argv) {
   }
   if (a.prefetch_depth < 1) {
     std::fprintf(stderr, "bad --prefetch-depth (must be >= 1)\n");
+    std::exit(2);
+  }
+  if (a.prefetch_workers < 1) {
+    std::fprintf(stderr, "bad --prefetch-workers (must be >= 1)\n");
     std::exit(2);
   }
   if (a.resume && a.checkpoint_dir.empty()) {
@@ -314,8 +323,14 @@ int main(int argc, char** argv) {
     mo.update_strategy = parse_update(args.update);
     DlrmModel model(cfg, mo, 42);
     // The trainer owns the optimizer matched to the MLP precision
-    // (SGD-FP32 or Split-SGD-BF16).
-    Trainer trainer(model, data, {.lr = args.lr, .batch = cfg.minibatch});
+    // (SGD-FP32 or Split-SGD-BF16). The data pipeline runs exactly like
+    // the distributed one: W workers prefetching behind compute.
+    Trainer trainer(model, data,
+                    {.lr = args.lr,
+                     .batch = cfg.minibatch,
+                     .prefetch = args.prefetch,
+                     .prefetch_depth = args.prefetch_depth,
+                     .prefetch_workers = args.prefetch_workers});
     Profiler prof;
     Profiler* prof_ptr = args.profile ? &prof : nullptr;
     const Timer t;
@@ -361,6 +376,7 @@ int main(int argc, char** argv) {
   topts.loader_mode = parse_loader(args.loader);
   topts.prefetch = args.prefetch;
   topts.prefetch_depth = args.prefetch_depth;
+  topts.prefetch_workers = args.prefetch_workers;
   topts.sharding.policy = parse_sharding(args.sharding);
   topts.sharding.row_split_threshold = args.row_split_threshold;
   topts.dist.exchange = parse_strategy(args.strategy);
@@ -400,10 +416,11 @@ int main(int argc, char** argv) {
       std::printf("embedding time: max rank %.2f ms / mean %.2f ms "
                   "(imbalance %.2fx)\n",
                   imb.max_sec * 1e3, imb.mean_sec * 1e3, imb.ratio());
-      std::printf("loader: %s, prefetch %s(depth %d): exposed %.2f ms, "
-                  "hidden %.2f ms\n",
+      std::printf("loader: %s, prefetch %s(depth %d, workers %d): exposed "
+                  "%.2f ms, hidden %.2f ms\n",
                   args.loader.c_str(), args.prefetch ? "on" : "off",
-                  args.prefetch_depth, trainer.loader_exposed_sec() * 1e3,
+                  args.prefetch_depth, args.prefetch_workers,
+                  trainer.loader_exposed_sec() * 1e3,
                   trainer.loader_hidden_sec() * 1e3);
       if (args.profile) std::printf("%s", prof.report().c_str());
       if (args.check_loss && quarter > 0) {

@@ -221,6 +221,7 @@ void CheckpointWriter::write_manifest(const ModelConfigKey& key,
   ByteWriter meta;
   meta.i64(state.step);
   meta.f32(state.lr);
+  meta.i64(state.data_cursor);
   key.serialize(meta);
   file.section("meta", meta);
 
@@ -285,6 +286,7 @@ CheckpointReader::CheckpointReader(std::string dir)
   ByteReader meta = manifest_.open("meta");
   state_.step = meta.i64();
   state_.lr = meta.f32();
+  state_.data_cursor = meta.i64();
   key_ = ModelConfigKey::deserialize(meta);
 
   ByteReader planr = manifest_.open("plan");

@@ -78,6 +78,14 @@ struct ModelConfigKey {
 struct TrainerState {
   std::int64_t step = 0;
   float lr = 0.0f;
+  /// Training data-stream cursor: the next stream iteration the trainer
+  /// will consume. Recorded explicitly (rather than derived from `step`)
+  /// so restore can reposition and refill the prefetch pipeline *before*
+  /// step 1 trains. The format keeps it separate so steps and consumed
+  /// batches CAN diverge later (e.g. gradient accumulation), but today's
+  /// trainers always write cursor == step and refuse snapshots where the
+  /// two differ (consumption is still keyed on the step counter).
+  std::int64_t data_cursor = 0;
   /// Any live RNG streams the training loop owns (saved/restored verbatim;
   /// the synthetic datasets are stateless so trainers currently register
   /// none, but the format carries them for stateful loops).
@@ -141,6 +149,7 @@ class CheckpointReader {
 
   std::int64_t step() const { return state_.step; }
   float lr() const { return state_.lr; }
+  std::int64_t data_cursor() const { return state_.data_cursor; }
   const std::vector<RngState>& rng_streams() const {
     return state_.rng_streams;
   }

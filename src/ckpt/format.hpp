@@ -24,7 +24,9 @@
 namespace dlrm::ckpt {
 
 inline constexpr char kMagic[8] = {'D', 'L', 'R', 'M', 'C', 'K', 'P', 'T'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: the manifest meta section gained the training data-stream cursor
+// (TrainerState::data_cursor) used to warm-restart the prefetch pipeline.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `n` bytes.
 std::uint32_t crc32(const void* data, std::size_t n);

@@ -31,9 +31,26 @@ DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
                                 &data)),
       loader_(data, options.global_batch, comm.rank(), comm.size(),
               model_.plan(), options.loader_mode),
-      prefetch_(loader_,
-                {.enabled = options.prefetch, .depth = options.prefetch_depth}) {
+      prefetch_(loader_, {.enabled = options.prefetch,
+                          .depth = options.prefetch_depth,
+                          .workers = options.prefetch_workers}) {
   DLRM_CHECK(options_.global_batch > 0, "global batch must be positive");
+}
+
+PrefetchLoader& DistributedTrainer::eval_pipeline() {
+  if (!options_.dedicated_eval_stream) return prefetch_;
+  if (eval_prefetch_ == nullptr) {
+    // Lazy: train-only runs never pay the extra worker threads. The eval
+    // loader is a clone of the training one (same geometry, own scratch),
+    // and the pipeline gets its own cursor and depth — an eval pass only
+    // ever reseeks *this* stream, never the training pipeline.
+    eval_loader_ = loader_.clone();
+    eval_prefetch_ = std::make_unique<PrefetchLoader>(
+        *eval_loader_, PrefetchOptions{.enabled = options_.prefetch,
+                                       .depth = options_.eval_prefetch_depth,
+                                       .workers = options_.prefetch_workers});
+  }
+  return *eval_prefetch_;
 }
 
 double DistributedTrainer::allreduce_mean(double local) {
@@ -112,12 +129,13 @@ double DistributedTrainer::evaluate(std::int64_t first, std::int64_t n) {
     eval_scores_.reshape({gn});
     eval_labels_.reshape({gn});
   }
+  PrefetchLoader& stream = eval_pipeline();
   AucAccumulator auc;
   for (std::int64_t off = 0; off < n; off += gn) {
     // Keep the model batch fixed: score full batches, padding by wrap (same
     // convention as Trainer::evaluate), but only count the first `take`.
     const std::int64_t take = std::min(gn, n - off);
-    const HybridBatch& hb = prefetch_.next((first + off) / gn);
+    const HybridBatch& hb = stream.next((first + off) / gn);
     const Tensor<float>& logits = model_.forward(hb);
     // Chunk convention: matches allgather_chunks' slice boundaries, so the
     // gathered [GN] tensors are densely ordered even when GN % R != 0.
@@ -130,6 +148,12 @@ double DistributedTrainer::evaluate(std::int64_t first, std::int64_t n) {
     comm_.allgather_chunks(eval_labels_.data(), gn);
     auc.add(eval_scores_.data(), eval_labels_.data(), take);
   }
+  // Rewind the dedicated stream to the start of the range just scored:
+  // train_with_eval scores the same held-out range at every eval point, so
+  // this prewarms the next pass instead of prefetching past-range batches
+  // that the next pass's reseek would discard. (The legacy shared pipeline
+  // is left untouched — training's own reseek handles it, as in PR 2.)
+  if (options_.dedicated_eval_stream) stream.seek(first / gn);
   return auc.compute();
 }
 
@@ -158,6 +182,7 @@ void DistributedTrainer::save_checkpoint(const std::string& dir) {
     ckpt::TrainerState state;
     state.step = iter_;
     state.lr = options_.lr;
+    state.data_cursor = iter_;  // next training-stream iteration to consume
     writer.write_manifest(key, state, model_.plan(), model_.bottom_mlp(),
                           model_.top_mlp(), model_.dense_optimizer());
   }
@@ -183,6 +208,16 @@ bool DistributedTrainer::resume_from(const std::string& dir) {
   }
   iter_ = reader.step();
   set_lr(reader.lr());
+  // Training consumption is keyed on iter_ (see Trainer::resume_from).
+  DLRM_CHECK(reader.data_cursor() == reader.step(),
+             "saved data-stream cursor diverges from the saved step; "
+             "cursor-driven consumption is not wired yet");
+  // Warm restart of the data pipeline: reposition the workers at the saved
+  // stream cursor and refill before returning, so the first post-restore
+  // step consumes a full pipeline instead of paying the whole loader cost
+  // (and no reseek is ever charged to the training stream).
+  prefetch_.seek(reader.data_cursor());
+  prefetch_.prefill();
   comm_.barrier();  // no rank trains ahead while others still read
   return true;
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/distributed.hpp"
@@ -32,10 +33,23 @@ struct DistributedTrainerOptions {
   /// kLocalSlice = the optimized loader; kFullGlobalBatch reproduces the
   /// reference behaviour (Fig. 13's growing loader cost).
   LoaderMode loader_mode = LoaderMode::kLocalSlice;
-  /// Background double-buffered data pipeline (see PrefetchLoader). Off =
+  /// Background multi-worker data pipeline (see PrefetchPipeline). Off =
   /// the loader runs synchronously inside the step, fully exposed.
   bool prefetch = true;
   int prefetch_depth = 2;
+  /// Worker threads sharding the stream (batch i owned by worker i % W);
+  /// losses are bit-identical for any value. Applies to both the training
+  /// and the dedicated eval pipeline.
+  int prefetch_workers = 1;
+  /// true = evaluate() runs on its own loader/prefetch stream (own cursor,
+  /// own depth), so eval passes never reseek or flush the training
+  /// pipeline. false = the PR 2 behaviour: eval batches stream through the
+  /// training pipeline, paying a flush + cold refill per eval pass (kept
+  /// for the parity suite and as an ablation).
+  bool dedicated_eval_stream = true;
+  /// Depth of the dedicated eval pipeline (its cursor and backpressure are
+  /// fully independent of the training stream's).
+  int eval_prefetch_depth = 2;
   /// Embedding-table placement: round-robin (the paper's t % R layout),
   /// cost-balanced, or row-split. The cost-driven planners measure lookup
   /// statistics from the dataset, so every rank derives the same plan.
@@ -107,6 +121,11 @@ class DistributedTrainer {
   DataLoader& loader() { return loader_; }
   const PrefetchLoader& prefetch() const { return prefetch_; }
 
+  /// The dedicated eval pipeline (created lazily by the first evaluate()
+  /// call when dedicated_eval_stream is on); nullptr before that or when
+  /// eval streams through the training pipeline.
+  const PrefetchLoader* eval_prefetch() const { return eval_prefetch_.get(); }
+
   /// Loader-overlap accounting across all train() iterations so far:
   /// exposed = step time spent blocked on data, hidden = materialization
   /// cost that ran under compute. With prefetch off, hidden is 0 and
@@ -131,12 +150,17 @@ class DistributedTrainer {
 
  private:
   double allreduce_mean(double local);
+  /// The pipeline evaluate() draws from: the lazily-built dedicated eval
+  /// stream, or the training pipeline on the legacy reseek path.
+  PrefetchLoader& eval_pipeline();
 
   ThreadComm& comm_;
   DistributedTrainerOptions options_;
   DistributedDlrm model_;
   DataLoader loader_;
   PrefetchLoader prefetch_;
+  std::unique_ptr<DataLoader> eval_loader_;
+  std::unique_ptr<PrefetchLoader> eval_prefetch_;
   std::int64_t iter_ = 0;
   double loader_exposed_ = 0.0, loader_hidden_ = 0.0;
   Tensor<float> eval_scores_, eval_labels_;  // [GN] allgather staging

@@ -22,6 +22,7 @@ Trainer::Trainer(DlrmModel& model, Optimizer& opt, const Dataset& data,
     : model_(model), opt_(opt), data_(data), options_(options) {
   DLRM_CHECK(options_.batch > 0, "batch must be positive");
   model_.set_batch(options_.batch);
+  init_pipeline();
 }
 
 Trainer::Trainer(DlrmModel& model, const Dataset& data, TrainerOptions options)
@@ -33,13 +34,42 @@ Trainer::Trainer(DlrmModel& model, const Dataset& data, TrainerOptions options)
   DLRM_CHECK(options_.batch > 0, "batch must be positive");
   owned_opt_->attach(model_.mlp_param_slots());
   model_.set_batch(options_.batch);
+  init_pipeline();
+}
+
+void Trainer::init_pipeline() {
+  if (!options_.prefetch) return;
+  // Full-batch single-process stream: each worker drives its own loader
+  // clone through next_full, which materializes exactly the data_.fill
+  // call the synchronous path makes — so the stream is bit-identical to
+  // running without the pipeline.
+  loader_ = std::make_unique<DataLoader>(data_, options_.batch, /*rank=*/0,
+                                         /*ranks=*/1,
+                                         std::vector<std::int64_t>{},
+                                         LoaderMode::kLocalSlice);
+  const PrefetchOptions popts{.enabled = true,
+                              .depth = options_.prefetch_depth,
+                              .workers = options_.prefetch_workers};
+  auto workers =
+      make_worker_loaders<MiniBatch>(*loader_, popts, &DataLoader::next_full);
+  DataLoader* sync = loader_.get();
+  pipeline_ = std::make_unique<PrefetchPipeline<MiniBatch>>(
+      [sync](std::int64_t iter, MiniBatch& out) { sync->next_full(iter, out); },
+      std::move(workers.fns), popts);
+  // The clones must outlive the pipeline threads; keep them alongside.
+  worker_loaders_ = std::move(workers.clones);
 }
 
 double Trainer::train(std::int64_t iters, Profiler* prof) {
   Meter loss;
   for (std::int64_t i = 0; i < iters; ++i) {
-    data_.fill(iter_ * options_.batch, options_.batch, scratch_);
-    loss.add(model_.train_step(scratch_, options_.lr, opt_, prof));
+    if (pipeline_ != nullptr) {
+      loss.add(model_.train_step(pipeline_->next(iter_), options_.lr, opt_,
+                                 prof));
+    } else {
+      data_.fill(iter_ * options_.batch, options_.batch, scratch_);
+      loss.add(model_.train_step(scratch_, options_.lr, opt_, prof));
+    }
     ++iter_;
     if (ckpt_every_ > 0 && iter_ % ckpt_every_ == 0) {
       save_checkpoint(ckpt_dir_);
@@ -69,6 +99,7 @@ void Trainer::save_checkpoint(const std::string& dir) {
   ckpt::TrainerState state;
   state.step = iter_;
   state.lr = options_.lr;
+  state.data_cursor = iter_;  // next training-stream iteration to consume
   writer.write_manifest(key, state, plan, model_.bottom_mlp(),
                         model_.top_mlp(), opt_);
   writer.remove_stale_shards();  // manifest committed: GC superseded files
@@ -87,6 +118,18 @@ bool Trainer::resume_from(const std::string& dir) {
   }
   iter_ = reader.step();
   options_.lr = reader.lr();
+  // Training consumption is keyed on iter_, so a snapshot whose stream
+  // cursor diverged from its step (no current writer produces one) would
+  // silently replay or skip batches — refuse it instead.
+  DLRM_CHECK(reader.data_cursor() == reader.step(),
+             "saved data-stream cursor diverges from the saved step; "
+             "cursor-driven consumption is not wired yet");
+  if (pipeline_ != nullptr) {
+    // Warm restart: reposition the workers at the saved stream cursor and
+    // refill, so the first post-restore step consumes a full pipeline.
+    pipeline_->seek(reader.data_cursor());
+    pipeline_->prefill();
+  }
   return true;
 }
 

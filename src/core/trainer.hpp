@@ -11,6 +11,7 @@
 #include "common/log.hpp"
 #include "core/model.hpp"
 #include "data/dataset.hpp"
+#include "data/prefetch.hpp"
 #include "optim/lr_schedule.hpp"
 #include "optim/optimizer.hpp"
 #include "stats/metrics.hpp"
@@ -22,6 +23,15 @@ struct TrainerOptions {
   float lr = 0.1f;
   std::int64_t batch = 2048;
   std::uint64_t seed = 42;
+  /// Multi-worker background pipeline materializing training minibatches
+  /// ahead of compute (same engine as the distributed trainer's; batches
+  /// and losses are bit-identical on or off, for any worker count). Off by
+  /// default: unit-scale Trainer uses are synchronous; train_cli enables
+  /// it. Evaluation always runs on its own stream and never touches the
+  /// training pipeline or its cursor.
+  bool prefetch = false;
+  int prefetch_depth = 2;
+  int prefetch_workers = 1;
 };
 
 /// One point of the Fig. 16 curve: AUC measured after a fraction of the
@@ -143,7 +153,14 @@ class Trainer {
     if (!ckpt_dir_.empty()) save_checkpoint(ckpt_dir_);
   }
 
+  /// The training-stream pipeline (nullptr when options.prefetch is off).
+  const PrefetchPipeline<MiniBatch>* prefetch() const {
+    return pipeline_.get();
+  }
+
  private:
+  void init_pipeline();
+
   DlrmModel& model_;
   std::unique_ptr<Optimizer> owned_opt_;  // only set by the owning ctor
   Optimizer& opt_;
@@ -151,6 +168,11 @@ class Trainer {
   TrainerOptions options_;
   std::int64_t iter_ = 0;
   MiniBatch scratch_;
+  std::unique_ptr<DataLoader> loader_;  // sync-path / template loader
+  // Per-worker loader clones; declared before pipeline_ so the worker
+  // threads are joined (pipeline destroyed) before their loaders go away.
+  std::vector<std::unique_ptr<DataLoader>> worker_loaders_;
+  std::unique_ptr<PrefetchPipeline<MiniBatch>> pipeline_;
   std::string ckpt_dir_;
   std::int64_t ckpt_every_ = 0;
 };

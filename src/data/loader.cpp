@@ -94,6 +94,11 @@ DataLoader::DataLoader(const Dataset& data, std::int64_t global_batch,
     : DataLoader(ShardListTag{}, data, global_batch, rank, ranks,
                  full_table_shards(data, owned_tables, rank), mode) {}
 
+std::unique_ptr<DataLoader> DataLoader::clone() const {
+  return std::unique_ptr<DataLoader>(new DataLoader(
+      ShardListTag{}, data_, gn_, rank_, ranks_, owned_, mode_));
+}
+
 void DataLoader::next(std::int64_t iter, HybridBatch& out) {
   const Timer timer;
   const std::int64_t first = iter * gn_;

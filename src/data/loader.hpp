@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/sharding.hpp"
@@ -62,6 +63,11 @@ class DataLoader {
   std::int64_t global_batch() const { return gn_; }
   std::int64_t local_batch() const { return ln_; }
   const std::vector<Shard>& owned_shards() const { return owned_; }
+
+  /// A fresh loader over the same dataset/geometry with its own scratch
+  /// buffers — what each prefetch worker drives (next() reuses internal
+  /// staging, so one instance must never be shared across threads).
+  std::unique_ptr<DataLoader> clone() const;
 
   /// Loads iteration `iter` (samples [iter*GN, (iter+1)*GN) of the stream).
   void next(std::int64_t iter, HybridBatch& out);

@@ -1,125 +1,12 @@
 #include "data/prefetch.hpp"
 
-#include "common/log.hpp"
-#include "common/timer.hpp"
-
 namespace dlrm {
 
 PrefetchLoader::PrefetchLoader(DataLoader& loader, PrefetchOptions options)
-    : loader_(loader), options_(options) {
-  if (!options_.enabled) return;
-  DLRM_CHECK(options_.depth >= 1, "prefetch depth must be >= 1");
-  // depth slots may run ahead of the consumer; one extra slot stays lent out
-  // to the consumer while it computes on the previous batch.
-  slots_.resize(static_cast<std::size_t>(options_.depth) + 1);
-  for (int i = 0; i < static_cast<int>(slots_.size()); ++i) free_.push_back(i);
-  producer_ = std::thread([this] { producer_loop(); });
-}
-
-PrefetchLoader::~PrefetchLoader() {
-  if (!producer_.joinable()) return;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  cv_producer_.notify_all();
-  cv_consumer_.notify_all();
-  producer_.join();
-}
-
-void PrefetchLoader::producer_loop() {
-  for (;;) {
-    int idx;
-    std::int64_t iter;
-    std::uint64_t epoch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_producer_.wait(lock, [&] { return stop_ || !free_.empty(); });
-      if (stop_) return;
-      idx = free_.front();
-      free_.pop_front();
-      iter = produce_iter_++;
-      epoch = epoch_;
-    }
-
-    Slot& slot = slots_[static_cast<std::size_t>(idx)];
-    loader_.next(iter, slot.batch);
-    slot.iter = iter;
-    slot.epoch = epoch;
-    slot.load_sec = loader_.last_load_sec();
-
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++loaded_;
-      if (epoch == epoch_) {
-        ready_.push_back(idx);
-      } else {
-        free_.push_back(idx);  // reseek happened mid-load: discard
-      }
-    }
-    cv_consumer_.notify_all();
-    // A discarded slot means the producer can immediately retry; a ready one
-    // may unblock a waiting consumer. Either way wake the producer check too
-    // (it re-evaluates free_ on its own loop iteration).
-  }
-}
-
-const HybridBatch& PrefetchLoader::sync_next(std::int64_t iter) {
-  loader_.next(iter, sync_batch_);
-  last_load_sec_ = loader_.last_load_sec();
-  last_wait_sec_ = last_load_sec_;  // fully exposed: nothing is hidden
-  total_wait_sec_ += last_wait_sec_;
-  total_load_sec_ += last_load_sec_;
-  ++expect_iter_;
-  return sync_batch_;
-}
-
-const HybridBatch& PrefetchLoader::next(std::int64_t iter) {
-  if (!options_.enabled) return sync_next(iter);
-
-  const Timer wait_timer;
-  int idx;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    // Return the slot lent out by the previous call.
-    if (checked_out_ >= 0) {
-      free_.push_back(checked_out_);
-      checked_out_ = -1;
-      cv_producer_.notify_one();
-    }
-    // Non-sequential access: flush everything queued and restart the
-    // producer at `iter`. Slots still loading are tagged with the old epoch
-    // and get discarded when they land.
-    if (iter != expect_iter_) {
-      ++epoch_;
-      for (int r : ready_) free_.push_back(r);
-      ready_.clear();
-      produce_iter_ = iter;
-      expect_iter_ = iter;
-      cv_producer_.notify_one();
-    }
-    cv_consumer_.wait(lock, [&] {
-      return !ready_.empty() &&
-             slots_[static_cast<std::size_t>(ready_.front())].epoch == epoch_;
-    });
-    idx = ready_.front();
-    ready_.pop_front();
-    checked_out_ = idx;
-  }
-  last_wait_sec_ = wait_timer.elapsed_sec();
-
-  const Slot& slot = slots_[static_cast<std::size_t>(idx)];
-  DLRM_CHECK(slot.iter == iter, "prefetch hand-off out of order");
-  last_load_sec_ = slot.load_sec;
-  total_wait_sec_ += last_wait_sec_;
-  total_load_sec_ += last_load_sec_;
-  ++expect_iter_;
-  return slot.batch;
-}
-
-std::int64_t PrefetchLoader::batches_loaded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return loaded_;
-}
+    : workers_(make_worker_loaders<HybridBatch>(loader, options,
+                                                &DataLoader::next)),
+      pipe_([&loader](std::int64_t iter,
+                      HybridBatch& out) { loader.next(iter, out); },
+            workers_.fns, std::move(options)) {}
 
 }  // namespace dlrm

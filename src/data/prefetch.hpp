@@ -1,108 +1,407 @@
-// Asynchronous double-buffered data pipeline over DataLoader.
+// Multi-worker sharded asynchronous data pipeline.
 //
 // The paper's Fig. 13 shows the reference loader's cost growing with rank
-// count because it is paid synchronously inside every step. PrefetchLoader
-// moves DataLoader::next() onto a background producer thread with a bounded
-// ring of pre-materialized HybridBatches, so iteration i+1's data loads while
-// iteration i computes. The consumer only blocks when the producer has fallen
-// behind — that blocked time is the *exposed* loader cost; the rest is hidden
-// under compute.
+// count because it is paid synchronously inside every step, and InTune-style
+// profiling shows a single producer thread saturating long before it can
+// feed many compute cores. PrefetchPipeline generalizes the PR 2
+// double-buffered producer to W worker threads: worker w materializes the
+// deterministic interleaved shard {i : i mod W == w} of the batch stream
+// into a bounded ring of slots, and the consumer reassembles the stream
+// in iteration order. The consumer only blocks when every owner of the
+// next batch has fallen behind — that blocked time is the *exposed* loader
+// cost; the rest is hidden under compute.
 //
-// Determinism: batches are produced by the same DataLoader::next(iter) calls
-// in the same order as the synchronous path, and every sample is a pure
-// function of (dataset seed, global index), so prefetch on/off yields
-// bit-identical batches. Non-sequential access (e.g. switching between the
-// training and evaluation streams) flushes the pipeline and restarts the
-// producer at the requested iteration.
+// Determinism: every batch is a pure function of (dataset seed, global
+// iteration), each worker drives its own loader clone, and the slot ring
+// hands batches to the consumer strictly in iteration order — so the
+// stream is bit-identical for any worker count W, any depth, and prefetch
+// on or off. Non-sequential access (the legacy eval-through-the-training-
+// pipeline path) flushes the ring and restarts every worker at the
+// requested iteration; seek()/prefill() do the same repositioning
+// explicitly and warm the ring before the first post-restore step.
+//
+// Slot ring invariants (all under mu_):
+//   * S = depth + 1 slots; slot k hosts iterations base_ + k + m*S.
+//   * A worker claims iteration i only when slot_of(i) is kFree AND its
+//     next_iter equals i — so claims per slot happen in stream order and
+//     at most S batches (ready + loading + checked out) exist at once,
+//     which is both the backpressure bound and the deadlock-freedom
+//     argument (the slot of the iteration the consumer waits for can only
+//     be claimed by that iteration's owner).
+//   * A seek bumps remapping_, waits for in-flight loads to drain (stale
+//     results are discarded), then remaps every slot and worker cursor.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/log.hpp"
+#include "common/timer.hpp"
 #include "data/loader.hpp"
 
 namespace dlrm {
 
 struct PrefetchOptions {
-  /// false = synchronous passthrough (DataLoader::next inline, no thread).
+  /// false = synchronous passthrough (the load runs inline, no threads).
   bool enabled = true;
-  /// Pipeline depth N: how many batches the producer may run ahead of the
-  /// consumer (bounded-queue backpressure). 1 = classic double buffering.
+  /// Pipeline depth N: how many batches the workers may run ahead of the
+  /// consumer (bounded-ring backpressure). 1 = classic double buffering.
   int depth = 2;
+  /// Worker threads sharing the stream: batch i is owned by worker i % W.
+  int workers = 1;
+  /// Test instrumentation: called by worker `w` (outside the pipeline lock)
+  /// just before it materializes iteration `iter`. Lets the stress suite
+  /// inject randomized producer stalls; leave empty in production.
+  std::function<void(int w, std::int64_t iter)> stall_hook = {};
 };
 
-class PrefetchLoader {
+/// The worker/ring engine, generic over the batch type so the same pipeline
+/// feeds DistributedTrainer (HybridBatch via DataLoader::next) and Trainer
+/// (MiniBatch via DataLoader::next_full). `Batch` must be default-
+/// constructible; load functions must be callable from worker threads and
+/// touch only their own loader state.
+template <typename Batch>
+class PrefetchPipeline {
  public:
-  /// Wraps `loader`. While enabled, the producer thread is the only caller
-  /// of loader.next(); the loader must outlive this object.
-  PrefetchLoader(DataLoader& loader, PrefetchOptions options);
-  ~PrefetchLoader();
+  using LoadFn = std::function<void(std::int64_t iter, Batch& out)>;
 
-  PrefetchLoader(const PrefetchLoader&) = delete;
-  PrefetchLoader& operator=(const PrefetchLoader&) = delete;
+  /// `sync_load` serves the disabled (passthrough) mode from the consumer
+  /// thread; `worker_loads[w]` is the private load function of worker w
+  /// (exactly options.workers entries when enabled).
+  PrefetchPipeline(LoadFn sync_load, std::vector<LoadFn> worker_loads,
+                   PrefetchOptions options)
+      : sync_load_(std::move(sync_load)),
+        worker_loads_(std::move(worker_loads)),
+        options_(std::move(options)) {
+    if (!options_.enabled) return;
+    DLRM_CHECK(options_.depth >= 1, "prefetch depth must be >= 1");
+    DLRM_CHECK(options_.workers >= 1, "prefetch workers must be >= 1");
+    DLRM_CHECK(static_cast<int>(worker_loads_.size()) == options_.workers,
+               "need one load function per prefetch worker");
+    slots_.resize(static_cast<std::size_t>(options_.depth) + 1);
+    for (int k = 0; k < ring_size(); ++k) {
+      slots_[static_cast<std::size_t>(k)].next_iter = k;
+    }
+    worker_next_.resize(static_cast<std::size_t>(options_.workers));
+    for (int w = 0; w < options_.workers; ++w) {
+      worker_next_[static_cast<std::size_t>(w)] = w;
+    }
+    threads_.reserve(static_cast<std::size_t>(options_.workers));
+    for (int w = 0; w < options_.workers; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
 
-  /// Returns the batch for iteration `iter` (samples [iter*GN, (iter+1)*GN)
-  /// of the stream). The reference stays valid until the next call. Calling
-  /// with iter != previous+1 reseeks the pipeline (flush + restart).
-  const HybridBatch& next(std::int64_t iter);
+  ~PrefetchPipeline() {
+    if (threads_.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_worker_.notify_all();
+    cv_consumer_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  /// Returns the batch for iteration `iter`. The reference stays valid
+  /// until the next call. Calling with iter != previous+1 reseeks the
+  /// pipeline (flush + restart of every worker, counted in reseeks()).
+  const Batch& next(std::int64_t iter) {
+    if (!options_.enabled) return sync_next(iter);
+
+    const Timer wait_timer;
+    std::unique_lock<std::mutex> lock(mu_);
+    release_checked_out();
+    if (iter != expect_) {
+      ++reseeks_;
+      do_seek(lock, iter);
+    }
+    const int k = slot_of(iter);
+    Slot& slot = slots_[static_cast<std::size_t>(k)];
+    cv_consumer_.wait(lock, [&] {
+      return slot.state == Slot::kReady && slot.iter == iter;
+    });
+    slot.state = Slot::kCheckedOut;
+    checked_out_ = k;
+    ++expect_;
+    last_wait_sec_ = wait_timer.elapsed_sec();
+    last_load_sec_ = slot.load_sec;
+    total_wait_sec_ += last_wait_sec_;
+    total_load_sec_ += last_load_sec_;
+    return slot.batch;
+  }
+
+  /// Repositions the stream so the next call to next() expects `iter` and
+  /// the workers refill from there — without consuming a batch and without
+  /// counting as a reseek (this is the explicit post-restore warm-up path).
+  void seek(std::int64_t iter) {
+    if (!options_.enabled) {
+      expect_ = iter;
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    release_checked_out();
+    if (iter != expect_) do_seek(lock, iter);
+  }
+
+  /// Blocks until at least min(n, depth) batches are materialized and
+  /// ready for hand-off (n < 0 = a full pipeline). Combined with seek(),
+  /// this closes the "first post-restore step pays the full loader cost"
+  /// gap: restore seeks to the saved cursor and refills before step 1.
+  void prefill(int n = -1) {
+    if (!options_.enabled) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    // depth == ring_size() - 1 ready slots are reachable even with a batch
+    // checked out, so the cap below is always satisfiable.
+    const int want = n < 0 ? options_.depth : std::min(n, options_.depth);
+    cv_consumer_.wait(lock, [&] { return stop_ || ready_count() >= want; });
+  }
 
   bool enabled() const { return options_.enabled; }
   int depth() const { return options_.depth; }
+  int workers() const { return options_.enabled ? options_.workers : 0; }
 
-  /// Seconds the last next() spent blocked waiting on the producer — the
+  /// Seconds the last next() spent blocked waiting on the workers — the
   /// loader cost still *exposed* to the training step.
   double last_wait_sec() const { return last_wait_sec_; }
-  /// Seconds the producer spent materializing the last returned batch
-  /// (its full DataLoader cost, whether hidden or exposed).
+  /// Seconds a worker spent materializing the last returned batch (its
+  /// full load cost, whether hidden or exposed).
   double last_load_sec() const { return last_load_sec_; }
 
   /// Cumulative accounting across all next() calls.
   double total_wait_sec() const { return total_wait_sec_; }
   double total_load_sec() const { return total_load_sec_; }
 
-  /// Batches fully materialized by the producer so far (includes batches
+  /// Batches fully materialized by the workers so far (includes batches
   /// prefetched ahead and batches discarded by a reseek).
-  std::int64_t batches_loaded() const;
+  std::int64_t batches_loaded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return loaded_;
+  }
+
+  /// Batches currently materialized and waiting for hand-off.
+  int ready_batches() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ready_count();
+  }
+
+  /// Implicit pipeline flushes caused by non-sequential next() calls (the
+  /// legacy eval path reseeks twice per eval pass; the dedicated eval
+  /// stream keeps this at zero on the training pipeline).
+  std::int64_t reseeks() const { return reseeks_; }
+
+  /// The iteration the next sequential next() call will return — the
+  /// stream cursor (advanced by next(), repositioned by seek()).
+  std::int64_t next_iter() const { return expect_; }
 
  private:
   struct Slot {
-    HybridBatch batch;
-    std::int64_t iter = -1;
-    std::uint64_t epoch = 0;
+    enum State { kFree, kLoading, kReady, kCheckedOut };
+    Batch batch;
+    State state = kFree;
+    std::int64_t iter = -1;       // iteration held while kLoading..kCheckedOut
+    std::int64_t next_iter = 0;   // iteration this slot will host next
     double load_sec = 0.0;
   };
 
-  void producer_loop();
-  const HybridBatch& sync_next(std::int64_t iter);
+  int ring_size() const { return static_cast<int>(slots_.size()); }
 
-  DataLoader& loader_;
+  int slot_of(std::int64_t iter) const {  // mu_ held; iter >= base_
+    return static_cast<int>((iter - base_) % ring_size());
+  }
+
+  int ready_count() const {  // mu_ held
+    int n = 0;
+    for (const Slot& s : slots_) n += s.state == Slot::kReady ? 1 : 0;
+    return n;
+  }
+
+  bool claimable(int w) const {  // mu_ held
+    if (remapping_) return false;
+    const std::int64_t iter = worker_next_[static_cast<std::size_t>(w)];
+    const Slot& s = slots_[static_cast<std::size_t>(slot_of(iter))];
+    return s.state == Slot::kFree && s.next_iter == iter;
+  }
+
+  void release_checked_out() {  // mu_ held
+    if (checked_out_ < 0) return;
+    Slot& s = slots_[static_cast<std::size_t>(checked_out_)];
+    s.state = Slot::kFree;
+    s.next_iter = s.iter + ring_size();
+    checked_out_ = -1;
+    cv_worker_.notify_all();
+  }
+
+  /// mu_ held via `lock`; the checked-out slot must already be released.
+  void do_seek(std::unique_lock<std::mutex>& lock, std::int64_t iter) {
+    // Drain: workers mid-load finish into their slots (harmless — the
+    // results are discarded), and no new claim can start while remapping_.
+    remapping_ = true;
+    cv_consumer_.wait(lock, [&] { return loading_ == 0; });
+    base_ = iter;
+    expect_ = iter;
+    for (int k = 0; k < ring_size(); ++k) {
+      Slot& s = slots_[static_cast<std::size_t>(k)];
+      s.state = Slot::kFree;
+      s.iter = -1;
+      s.next_iter = base_ + k;
+    }
+    const int W = options_.workers;
+    for (int w = 0; w < W; ++w) {
+      // Smallest i >= base_ with i mod W == w (base_ may be any sign-free
+      // iteration index; iterations are never negative).
+      const std::int64_t off = (w - base_ % W + W) % W;
+      worker_next_[static_cast<std::size_t>(w)] = base_ + off;
+    }
+    remapping_ = false;
+    cv_worker_.notify_all();
+  }
+
+  void worker_loop(int w) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_worker_.wait(lock, [&] { return stop_ || claimable(w); });
+      if (stop_) return;
+      const std::int64_t iter = worker_next_[static_cast<std::size_t>(w)];
+      Slot& slot = slots_[static_cast<std::size_t>(slot_of(iter))];
+      slot.state = Slot::kLoading;
+      slot.iter = iter;
+      worker_next_[static_cast<std::size_t>(w)] += options_.workers;
+      ++loading_;
+      lock.unlock();
+
+      if (options_.stall_hook) options_.stall_hook(w, iter);
+      const Timer t;
+      worker_loads_[static_cast<std::size_t>(w)](iter, slot.batch);
+      const double sec = t.elapsed_sec();
+
+      lock.lock();
+      --loading_;
+      ++loaded_;
+      if (remapping_) {
+        // A seek started while we were loading: discard; do_seek remaps
+        // this slot once the drain completes.
+        slot.state = Slot::kFree;
+      } else {
+        slot.load_sec = sec;
+        slot.state = Slot::kReady;
+      }
+      cv_consumer_.notify_all();
+    }
+  }
+
+  const Batch& sync_next(std::int64_t iter) {
+    const Timer t;
+    sync_load_(iter, sync_batch_);
+    last_load_sec_ = t.elapsed_sec();
+    last_wait_sec_ = last_load_sec_;  // fully exposed: nothing is hidden
+    total_wait_sec_ += last_wait_sec_;
+    total_load_sec_ += last_load_sec_;
+    expect_ = iter + 1;
+    ++loaded_;
+    return sync_batch_;
+  }
+
+  LoadFn sync_load_;
+  std::vector<LoadFn> worker_loads_;
   PrefetchOptions options_;
 
-  // Pipeline state (guarded by mu_). Slots cycle: free -> loading -> ready
-  // -> checked out (returned to the consumer) -> free.
+  // Ring state (guarded by mu_). Slots cycle: free -> loading -> ready ->
+  // checked out (lent to the consumer) -> free.
   mutable std::mutex mu_;
-  std::condition_variable cv_producer_;  // free slot available / stop / seek
-  std::condition_variable cv_consumer_;  // ready slot available
+  std::condition_variable cv_worker_;    // slot claimable / stop / remap done
+  std::condition_variable cv_consumer_;  // slot ready / drain progress
   std::vector<Slot> slots_;
-  std::deque<int> free_;   // slot indices the producer may fill
-  std::deque<int> ready_;  // filled slots in iteration order
-  int checked_out_ = -1;   // slot currently lent to the consumer
-  std::int64_t produce_iter_ = 0;  // next iteration the producer will load
-  std::uint64_t epoch_ = 0;        // bumped on reseek; stale loads discarded
-  std::int64_t loaded_ = 0;
+  std::vector<std::int64_t> worker_next_;  // next iteration worker w loads
+  std::int64_t base_ = 0;    // seek base: slot k hosts base_ + k + m*S
+  std::int64_t expect_ = 0;  // next iteration the consumer will take
+  int checked_out_ = -1;     // slot currently lent to the consumer
+  int loading_ = 0;          // slots being written by workers right now
+  bool remapping_ = false;   // seek drain in progress: no new claims
   bool stop_ = false;
-  std::thread producer_;
+  std::int64_t loaded_ = 0;
+  std::vector<std::thread> threads_;
 
   // Consumer-side accounting (consumer thread only).
-  std::int64_t expect_iter_ = 0;
+  std::int64_t reseeks_ = 0;
   double last_wait_sec_ = 0.0, last_load_sec_ = 0.0;
   double total_wait_sec_ = 0.0, total_load_sec_ = 0.0;
 
-  HybridBatch sync_batch_;  // passthrough staging when disabled
+  Batch sync_batch_;  // passthrough staging when disabled
+};
+
+/// Per-worker loader clones plus their bound load functions — the wiring
+/// both pipeline owners need (PrefetchLoader over DataLoader::next, Trainer
+/// over DataLoader::next_full). The clones must outlive the pipeline whose
+/// workers drive them.
+template <typename Batch>
+struct WorkerLoaders {
+  std::vector<std::unique_ptr<DataLoader>> clones;
+  std::vector<typename PrefetchPipeline<Batch>::LoadFn> fns;
+};
+
+/// Clones `loader` once per enabled worker and binds the `load` member
+/// (&DataLoader::next or &DataLoader::next_full) to each clone.
+template <typename Batch>
+WorkerLoaders<Batch> make_worker_loaders(
+    const DataLoader& loader, const PrefetchOptions& options,
+    void (DataLoader::*load)(std::int64_t, Batch&)) {
+  WorkerLoaders<Batch> out;
+  if (!options.enabled || options.workers < 1) return out;
+  out.clones.reserve(static_cast<std::size_t>(options.workers));
+  out.fns.reserve(static_cast<std::size_t>(options.workers));
+  for (int w = 0; w < options.workers; ++w) {
+    out.clones.push_back(loader.clone());
+    DataLoader* l = out.clones.back().get();
+    out.fns.push_back(
+        [l, load](std::int64_t iter, Batch& b) { (l->*load)(iter, b); });
+  }
+  return out;
+}
+
+/// The hybrid-parallel instantiation: W workers over per-worker clones of a
+/// DataLoader (DataLoader::next uses internal scratch, so each worker must
+/// drive its own instance), handing HybridBatches to one rank's trainer.
+class PrefetchLoader {
+ public:
+  /// Wraps `loader`. While enabled, each worker drives a private clone of
+  /// `loader`; the synchronous passthrough (and callers asking the loader
+  /// for geometry/bytes) keep using `loader` itself, which must outlive
+  /// this object.
+  PrefetchLoader(DataLoader& loader, PrefetchOptions options);
+
+  PrefetchLoader(const PrefetchLoader&) = delete;
+  PrefetchLoader& operator=(const PrefetchLoader&) = delete;
+
+  /// See PrefetchPipeline::next.
+  const HybridBatch& next(std::int64_t iter) { return pipe_.next(iter); }
+  /// See PrefetchPipeline::seek / prefill (warm restore after resume).
+  void seek(std::int64_t iter) { pipe_.seek(iter); }
+  void prefill(int n = -1) { pipe_.prefill(n); }
+
+  bool enabled() const { return pipe_.enabled(); }
+  int depth() const { return pipe_.depth(); }
+  int workers() const { return pipe_.workers(); }
+
+  double last_wait_sec() const { return pipe_.last_wait_sec(); }
+  double last_load_sec() const { return pipe_.last_load_sec(); }
+  double total_wait_sec() const { return pipe_.total_wait_sec(); }
+  double total_load_sec() const { return pipe_.total_load_sec(); }
+  std::int64_t batches_loaded() const { return pipe_.batches_loaded(); }
+  int ready_batches() const { return pipe_.ready_batches(); }
+  std::int64_t reseeks() const { return pipe_.reseeks(); }
+  std::int64_t next_iter() const { return pipe_.next_iter(); }
+
+ private:
+  WorkerLoaders<HybridBatch> workers_;
+  PrefetchPipeline<HybridBatch> pipe_;
 };
 
 }  // namespace dlrm

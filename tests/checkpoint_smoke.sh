@@ -9,33 +9,52 @@
 # The resumed run must reproduce the straight run's steps 7..12 (and its
 # final reported loss) bit-for-bit: train_cli prints STEP_LOSS lines with
 # %.17g, so a literal diff is the assertion.
+#
+# Two legs: single-process (warm-restores the Trainer's MiniBatch pipeline)
+# and 2-rank × 2-worker (warm-restores the sharded distributed pipeline) —
+# the first post-restore STEP_LOSS equality is the warm-restore regression:
+# a mispositioned or cold-flushed pipeline would feed the wrong batch.
 set -euo pipefail
 
 TRAIN_CLI="$1"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/dlrm_ckpt_smoke.XXXXXX")"
 trap 'rm -rf "${WORK}"' EXIT
 
-FLAGS=(--config=small --scale-rows=256 --scale-batch=32 --print-step-losses)
-CKPT="${WORK}/ckpt"
+run_leg() {
+  local leg="$1"; shift
+  local flags=(--config=small --scale-rows=256 --scale-batch=32 \
+               --print-step-losses "$@")
+  local ckpt="${WORK}/ckpt-${leg}"
 
-"${TRAIN_CLI}" "${FLAGS[@]}" --iters=12 > "${WORK}/straight.log"
-"${TRAIN_CLI}" "${FLAGS[@]}" --iters=9 --checkpoint-dir="${CKPT}" \
-    --save-every=6 > "${WORK}/part1.log"
-"${TRAIN_CLI}" "${FLAGS[@]}" --iters=12 --checkpoint-dir="${CKPT}" \
-    --resume > "${WORK}/part2.log"
+  "${TRAIN_CLI}" "${flags[@]}" --iters=12 > "${WORK}/${leg}-straight.log"
+  "${TRAIN_CLI}" "${flags[@]}" --iters=9 --checkpoint-dir="${ckpt}" \
+      --save-every=6 > "${WORK}/${leg}-part1.log"
+  "${TRAIN_CLI}" "${flags[@]}" --iters=12 --checkpoint-dir="${ckpt}" \
+      --resume > "${WORK}/${leg}-part2.log"
 
-grep '^resumed from' "${WORK}/part2.log" | grep -q 'at step 6' || {
-  echo "FAIL: part 2 did not resume from the step-6 snapshot" >&2
-  cat "${WORK}/part2.log" >&2
-  exit 1
+  grep '^resumed from' "${WORK}/${leg}-part2.log" | grep -q 'at step 6' || {
+    echo "FAIL(${leg}): part 2 did not resume from the step-6 snapshot" >&2
+    cat "${WORK}/${leg}-part2.log" >&2
+    exit 1
+  }
+
+  grep '^STEP_LOSS' "${WORK}/${leg}-straight.log" | tail -6 \
+      > "${WORK}/${leg}-straight.tail"
+  grep '^STEP_LOSS' "${WORK}/${leg}-part2.log" > "${WORK}/${leg}-resumed.steps"
+  if ! diff "${WORK}/${leg}-straight.tail" "${WORK}/${leg}-resumed.steps"; then
+    echo "FAIL(${leg}): resumed per-step losses diverge from the" \
+         "uninterrupted run" >&2
+    exit 1
+  fi
+  echo "leg ${leg}: resumed steps 7-12 bit-identical"
 }
 
-grep '^STEP_LOSS' "${WORK}/straight.log" | tail -6 > "${WORK}/straight.tail"
-grep '^STEP_LOSS' "${WORK}/part2.log" > "${WORK}/resumed.steps"
-if ! diff "${WORK}/straight.tail" "${WORK}/resumed.steps"; then
-  echo "FAIL: resumed per-step losses diverge from the uninterrupted run" >&2
-  exit 1
-fi
+run_leg single --prefetch-workers=2
+run_leg dist2 --ranks=2 --prefetch-workers=2
+
+# Single-process leg bookkeeping for the summary check below.
+cp "${WORK}/single-straight.tail" "${WORK}/straight.tail"
+cp "${WORK}/single-part2.log" "${WORK}/part2.log"
 
 # Final reported loss: part 2's summary averages the 6 iterations it
 # trained; recompute the same window from the straight run's step losses

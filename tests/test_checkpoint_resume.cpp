@@ -235,5 +235,105 @@ TEST(CheckpointCrossGeometry, RowSplit4RestoresIntoRoundRobin2AndSingle) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Warm restore: the data pipeline refills before step 1 trains.
+// ---------------------------------------------------------------------------
+
+// resume_from must leave the prefetch pipeline positioned at the saved
+// stream cursor and already refilled — the first post-restore step consumes
+// prefetched data instead of paying the full loader cost, and no reseek is
+// ever charged to the training stream (losses bit-exact as ever).
+TEST(CheckpointWarmRestore, DistributedPipelineIsPrefilledAtSavedCursor) {
+  DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const std::string dir = test_dir("warm_distributed");
+  const DlrmConfig& cc = c;
+  DistributedTrainerOptions opts =
+      make_options(Precision::kFp32, ShardingPolicy::kRoundRobin);
+  opts.prefetch_workers = 2;
+
+  std::vector<double> want(kPostSteps, 0.0);
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    for (int i = 0; i < kSaveStep; ++i) (void)trainer.train(1);
+    trainer.save_checkpoint(dir);
+    for (int i = 0; i < kPostSteps; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) want[static_cast<std::size_t>(i)] = loss;
+    }
+  });
+  EXPECT_EQ(ckpt::CheckpointReader(dir).data_cursor(), kSaveStep);
+
+  std::vector<double> got(kPostSteps, 0.0);
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    ASSERT_TRUE(trainer.resume_from(dir));
+    // Warm: cursor repositioned, ring already full, nothing was flushed.
+    EXPECT_EQ(trainer.prefetch().next_iter(), kSaveStep);
+    EXPECT_GE(trainer.prefetch().ready_batches(), opts.prefetch_depth);
+    EXPECT_EQ(trainer.prefetch().reseeks(), 0);
+    for (int i = 0; i < kPostSteps; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) got[static_cast<std::size_t>(i)] = loss;
+    }
+    // Sequential consumption from the restored cursor: still no reseeks.
+    EXPECT_EQ(trainer.prefetch().reseeks(), 0);
+  });
+
+  for (int i = 0; i < kPostSteps; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)],
+              want[static_cast<std::size_t>(i)])
+        << "post-restore step " << i;
+  }
+}
+
+// Single-process Trainer with the pipeline on: same warm-restore contract
+// (train_cli's default configuration, which checkpoint_smoke.sh kills and
+// resumes end to end).
+TEST(CheckpointWarmRestore, TrainerPipelineIsPrefilledAtSavedCursor) {
+  DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const std::string dir = test_dir("warm_single");
+  const TrainerOptions topts = {.lr = 0.05f,
+                                .batch = c.minibatch,
+                                .prefetch = true,
+                                .prefetch_depth = 2,
+                                .prefetch_workers = 2};
+
+  std::vector<double> want(kPostSteps, 0.0);
+  {
+    DlrmModel model(c, {}, 42);
+    Trainer trainer(model, data, topts);
+    for (int i = 0; i < kSaveStep; ++i) (void)trainer.train(1);
+    trainer.save_checkpoint(dir);
+    for (int i = 0; i < kPostSteps; ++i) {
+      want[static_cast<std::size_t>(i)] = trainer.train(1);
+    }
+  }
+
+  std::vector<double> got(kPostSteps, 0.0);
+  {
+    DlrmModel model(c, {}, 42);
+    Trainer trainer(model, data, topts);
+    ASSERT_TRUE(trainer.resume_from(dir));
+    ASSERT_NE(trainer.prefetch(), nullptr);
+    EXPECT_EQ(trainer.prefetch()->next_iter(), kSaveStep);
+    EXPECT_GE(trainer.prefetch()->ready_batches(), topts.prefetch_depth);
+    EXPECT_EQ(trainer.prefetch()->reseeks(), 0);
+    for (int i = 0; i < kPostSteps; ++i) {
+      got[static_cast<std::size_t>(i)] = trainer.train(1);
+    }
+    EXPECT_EQ(trainer.prefetch()->reseeks(), 0);
+  }
+
+  for (int i = 0; i < kPostSteps; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)],
+              want[static_cast<std::size_t>(i)])
+        << "post-restore step " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dlrm

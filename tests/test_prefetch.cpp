@@ -1,13 +1,15 @@
-// Tests for the asynchronous double-buffered data pipeline: prefetch on/off
-// must hand over bit-identical batches, backpressure must stay bounded, and
-// shutdown mid-stream must neither deadlock nor leak (the ASan/TSan CI
-// passes run this file).
+// Tests for the multi-worker sharded data pipeline: prefetch on/off and any
+// worker count must hand over bit-identical batches, backpressure must stay
+// bounded, shutdown mid-stream must neither deadlock nor leak, and the
+// randomized stall/early-shutdown soak must deliver every batch exactly
+// once (the ASan/TSan CI passes run this file).
 #include "data/prefetch.hpp"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cstring>
+#include <random>
 #include <thread>
 
 namespace dlrm {
@@ -137,6 +139,178 @@ TEST(PrefetchLoader, RejectsBadDepth) {
   DataLoader loader(data, 8, 0, 1, {0, 1}, LoaderMode::kLocalSlice);
   EXPECT_THROW(PrefetchLoader(loader, {.enabled = true, .depth = 0}),
                CheckError);
+  EXPECT_THROW(
+      PrefetchLoader(loader, {.enabled = true, .depth = 2, .workers = 0}),
+      CheckError);
+}
+
+// The tentpole contract: W workers each materialize the interleaved shard
+// {i : i % W == w} of the stream, and the reassembled hand-off is
+// bit-identical to the synchronous loader for every (W, depth) shape —
+// including W > depth+1 (more workers than ring slots).
+TEST(PrefetchLoader, BitIdenticalForEveryWorkerCount) {
+  RandomDataset data(6, 4, 300, 3, 13);
+  const std::int64_t GN = 16;
+  for (int workers : {1, 2, 3, 4, 6}) {
+    for (int depth : {1, 2, 4}) {
+      DataLoader sync_loader(data, GN, 1, 2, {1, 3}, LoaderMode::kLocalSlice);
+      DataLoader async_loader(data, GN, 1, 2, {1, 3}, LoaderMode::kLocalSlice);
+      PrefetchLoader prefetch(
+          async_loader, {.enabled = true, .depth = depth, .workers = workers});
+      EXPECT_EQ(prefetch.workers(), workers);
+      HybridBatch ref;
+      for (std::int64_t iter = 0; iter < 12; ++iter) {
+        sync_loader.next(iter, ref);
+        const HybridBatch& got = prefetch.next(iter);
+        SCOPED_TRACE("workers " + std::to_string(workers) + " depth " +
+                     std::to_string(depth) + " iter " + std::to_string(iter));
+        expect_bitwise_equal(ref, got);
+      }
+      EXPECT_EQ(prefetch.reseeks(), 0);
+    }
+  }
+}
+
+TEST(PrefetchLoader, ReseekRestartsAllWorkersDeterministically) {
+  RandomDataset data(5, 3, 200, 2, 19);
+  DataLoader sync_loader(data, 12, 0, 2, {0, 2}, LoaderMode::kLocalSlice);
+  DataLoader wrapped(data, 12, 0, 2, {0, 2}, LoaderMode::kLocalSlice);
+  PrefetchLoader prefetch(wrapped,
+                          {.enabled = true, .depth = 3, .workers = 3});
+  HybridBatch ref;
+  const std::int64_t script[] = {0, 1, 2, 1, 2, 50, 51, 3, 4};
+  for (std::int64_t iter : script) {
+    sync_loader.next(iter, ref);
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    expect_bitwise_equal(ref, prefetch.next(iter));
+  }
+  EXPECT_EQ(prefetch.reseeks(), 3);  // jumps to 1, 50, 3
+}
+
+// seek() + prefill() is the warm-restore path: reposition the stream
+// without consuming, block until the ring is full, then hand off batches
+// from the new cursor — with no reseek charged and no wasted loads.
+TEST(PrefetchLoader, SeekAndPrefillWarmTheRing) {
+  RandomDataset data(5, 3, 200, 2, 19);
+  DataLoader sync_loader(data, 12, 0, 1, {0, 1}, LoaderMode::kLocalSlice);
+  DataLoader wrapped(data, 12, 0, 1, {0, 1}, LoaderMode::kLocalSlice);
+  for (int workers : {1, 3}) {
+    PrefetchLoader prefetch(wrapped,
+                            {.enabled = true, .depth = 3, .workers = workers});
+    prefetch.seek(41);
+    EXPECT_EQ(prefetch.next_iter(), 41);
+    prefetch.prefill();
+    EXPECT_GE(prefetch.ready_batches(), 3);
+    HybridBatch ref;
+    for (std::int64_t iter = 41; iter < 47; ++iter) {
+      sync_loader.next(iter, ref);
+      SCOPED_TRACE("workers " + std::to_string(workers) + " iter " +
+                   std::to_string(iter));
+      expect_bitwise_equal(ref, prefetch.next(iter));
+    }
+    EXPECT_EQ(prefetch.reseeks(), 0);
+    EXPECT_EQ(prefetch.next_iter(), 47);
+  }
+}
+
+TEST(PrefetchLoader, BackpressureBoundsTheWorkers) {
+  RandomDataset data(4, 2, 100, 2, 23);
+  for (int workers : {2, 4}) {
+    for (int depth = 1; depth <= 3; ++depth) {
+      DataLoader loader(data, 8, 0, 1, {0, 1}, LoaderMode::kLocalSlice);
+      PrefetchLoader prefetch(
+          loader, {.enabled = true, .depth = depth, .workers = workers});
+      std::int64_t consumed = 0;
+      for (std::int64_t iter = 0; iter < 6; ++iter) {
+        prefetch.next(iter);
+        ++consumed;
+      }
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(200);
+      while (prefetch.batches_loaded() < consumed + depth &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      // The ring bounds outstanding batches at depth+1 regardless of W.
+      EXPECT_LE(prefetch.batches_loaded(), consumed + depth + 1)
+          << "workers " << workers << " depth " << depth;
+    }
+  }
+}
+
+TEST(PrefetchLoader, CleanShutdownMidStreamWithWorkers) {
+  RandomDataset data(4, 2, 100, 2, 29);
+  // Destroy the pipeline at every early stage for several worker counts:
+  // before the first batch, with the ring full and workers blocked on
+  // backpressure, and mid-consumption. Completion without hanging is the
+  // assertion (and the sanitizer CI passes catch leaks/races).
+  for (int workers : {2, 3}) {
+    for (int depth = 1; depth <= 3; ++depth) {
+      for (int consume = 0; consume <= 3; ++consume) {
+        DataLoader loader(data, 8, 0, 1, {0, 1}, LoaderMode::kLocalSlice);
+        PrefetchLoader prefetch(
+            loader, {.enabled = true, .depth = depth, .workers = workers});
+        for (std::int64_t iter = 0; iter < consume; ++iter) {
+          prefetch.next(iter);
+        }
+      }
+    }
+  }
+}
+
+// Stress/soak: randomized producer stalls, randomized seeks, and early
+// shutdown at randomized pipeline states, 200 trials. Every consumed batch
+// is bit-compared against the synchronous reference (no loss, duplication,
+// or reordering — the in-order hand-off check inside next() backstops it),
+// and every trial must join cleanly. The CI TSan pass runs this file, so
+// the stalls double as a race amplifier.
+TEST(PrefetchLoader, StressRandomStallsSeeksAndEarlyShutdown) {
+  RandomDataset data(5, 3, 200, 2, 41);
+  const std::int64_t GN = 12;
+  DataLoader sync_loader(data, GN, 0, 2, {0, 2}, LoaderMode::kLocalSlice);
+  HybridBatch ref;
+  std::mt19937 rng(12345);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int workers = 1 + static_cast<int>(rng() % 4);
+    const int depth = 1 + static_cast<int>(rng() % 3);
+    const std::uint32_t stall_salt = rng();
+    PrefetchOptions opts;
+    opts.enabled = true;
+    opts.depth = depth;
+    opts.workers = workers;
+    opts.stall_hook = [stall_salt](int w, std::int64_t iter) {
+      // Deterministic pseudo-random stall per (worker, iter): ~1 in 3
+      // loads sleeps up to 300us, desynchronizing the workers.
+      const std::uint32_t h = stall_salt ^
+                              (static_cast<std::uint32_t>(iter) * 2654435761u) ^
+                              (static_cast<std::uint32_t>(w) * 40503u);
+      if (h % 3u == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(h % 300u));
+      }
+    };
+    DataLoader loader(data, GN, 0, 2, {0, 2}, LoaderMode::kLocalSlice);
+    PrefetchLoader prefetch(loader, opts);
+
+    std::int64_t iter = 0;
+    if (rng() % 4 == 0) {
+      iter = static_cast<std::int64_t>(rng() % 40);
+      prefetch.seek(iter);
+      if (rng() % 2 == 0) prefetch.prefill(static_cast<int>(rng() % 3));
+    }
+    const int consume = static_cast<int>(rng() % 7);
+    for (int i = 0; i < consume; ++i) {
+      if (rng() % 8 == 0) {
+        iter = static_cast<std::int64_t>(rng() % 40);  // mid-stream reseek
+      }
+      sync_loader.next(iter, ref);
+      SCOPED_TRACE("trial " + std::to_string(trial) + " iter " +
+                   std::to_string(iter));
+      expect_bitwise_equal(ref, prefetch.next(iter));
+      ++iter;
+    }
+    // Early shutdown here: the destructor must drain stalled workers and
+    // join without deadlock, whatever state the ring is in.
+  }
 }
 
 }  // namespace

@@ -1,0 +1,247 @@
+// Multi-worker sharded data pipeline, proven at the training-loop level:
+// per-step losses must be bit-identical across any prefetch worker count
+// and prefetch on/off, for single-process and distributed runs (even and
+// uneven GN % R), in fp32 and bf16 — and the dedicated eval stream must
+// leave the training pipeline completely untouched while reproducing the
+// legacy reseek path's results bit-for-bit. Runs under the CI TSan pass.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dist_trainer.hpp"
+#include "core/model.hpp"
+
+namespace dlrm {
+namespace {
+
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "tiny";
+  c.minibatch = 64;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {300, 200, 250, 150, 220, 180};  // S = 6
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.validate();
+  return c;
+}
+
+/// Per-iteration GLOBAL losses of an R-rank run with the given pipeline
+/// shape (rank 0's view; identical on every rank by construction).
+std::vector<double> distributed_losses(const DlrmConfig& c,
+                                       const Dataset& data, std::int64_t gn,
+                                       int ranks, int iters, bool prefetch,
+                                       int workers) {
+  std::vector<double> out(static_cast<std::size_t>(iters), 0.0);
+  const DlrmConfig& cc = c;
+  run_ranks(ranks, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = 0.05f;
+    opts.global_batch = gn;
+    opts.seed = 77;
+    opts.prefetch = prefetch;
+    opts.prefetch_depth = 2;
+    opts.prefetch_workers = workers;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    for (int i = 0; i < iters; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) out[static_cast<std::size_t>(i)] = loss;
+    }
+  });
+  return out;
+}
+
+// ranks, global batch (64 % R may be != 0), precision
+using WorkerCase = std::tuple<int, std::int64_t, Precision>;
+
+class PrefetchWorkerParityTest : public ::testing::TestWithParam<WorkerCase> {
+};
+
+// The acceptance matrix: losses bit-identical across workers ∈ {1,2,4} and
+// prefetch off, for R ∈ {1,2,4} (plus an uneven GN % R geometry), fp32 and
+// bf16. EXPECT_EQ on doubles — exact bits, not a tolerance.
+TEST_P(PrefetchWorkerParityTest, LossesBitIdenticalAcrossWorkerCounts) {
+  const auto [R, GN, precision] = GetParam();
+  DlrmConfig c = tiny_config();
+  c.mlp_precision = precision;
+  const int iters = 5;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  const std::vector<double> ref =
+      distributed_losses(c, data, GN, R, iters, /*prefetch=*/false,
+                         /*workers=*/1);
+  for (int workers : {1, 2, 4}) {
+    const std::vector<double> got =
+        distributed_losses(c, data, GN, R, iters, /*prefetch=*/true, workers);
+    for (int i = 0; i < iters; ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(i)],
+                ref[static_cast<std::size_t>(i)])
+          << "workers " << workers << " iteration " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PrefetchWorkerParityTest,
+    ::testing::Values(WorkerCase{1, 64, Precision::kFp32},
+                      WorkerCase{2, 64, Precision::kFp32},
+                      WorkerCase{4, 64, Precision::kFp32},
+                      WorkerCase{1, 64, Precision::kBf16},
+                      WorkerCase{2, 64, Precision::kBf16},
+                      WorkerCase{4, 64, Precision::kBf16},
+                      // Uneven local batches: GN % R != 0 (chunk-convention
+                      // slices through the sharded workers).
+                      WorkerCase{2, 33, Precision::kFp32},
+                      WorkerCase{2, 33, Precision::kBf16}),
+    [](const ::testing::TestParamInfo<WorkerCase>& tpi) {
+      return "R" + std::to_string(std::get<0>(tpi.param)) + "_GN" +
+             std::to_string(std::get<1>(tpi.param)) + "_" +
+             std::string(to_string(std::get<2>(tpi.param)));
+    });
+
+// The single-process Trainer rides the same engine (MiniBatch stream):
+// training losses must be bit-identical with the pipeline off or on at any
+// worker count.
+TEST(TrainerPipeline, LossesBitIdenticalAcrossWorkerCounts) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const int iters = 6;
+
+  auto losses = [&](bool prefetch, int workers) {
+    DlrmModel model(c, {}, 77);
+    Trainer trainer(model, data,
+                    {.lr = 0.05f,
+                     .batch = c.minibatch,
+                     .prefetch = prefetch,
+                     .prefetch_depth = 2,
+                     .prefetch_workers = workers});
+    std::vector<double> out;
+    for (int i = 0; i < iters; ++i) out.push_back(trainer.train(1));
+    return out;
+  };
+
+  const std::vector<double> ref = losses(false, 1);
+  for (int workers : {1, 2, 4}) {
+    const std::vector<double> got = losses(true, workers);
+    for (int i = 0; i < iters; ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(i)],
+                ref[static_cast<std::size_t>(i)])
+          << "workers " << workers << " iteration " << i;
+    }
+  }
+}
+
+/// train_with_eval results for one eval-stream mode (rank 0's view).
+std::vector<EvalPoint> eval_points(const DlrmConfig& c, const Dataset& data,
+                                   bool dedicated) {
+  std::vector<EvalPoint> out;
+  const DlrmConfig& cc = c;
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = 0.05f;
+    opts.global_batch = 64;
+    opts.seed = 77;
+    opts.prefetch_workers = 2;
+    opts.dedicated_eval_stream = dedicated;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+    const auto points = trainer.train_with_eval(/*train_samples=*/64 * 6,
+                                                /*eval_samples=*/128,
+                                                /*eval_points=*/3);
+    if (comm.rank() == 0) out = points;
+  });
+  return out;
+}
+
+// The dedicated eval pipeline must change nothing about the numbers: same
+// AUC, same per-interval train losses, bit for bit, as the legacy path that
+// streams eval batches through the training pipeline.
+TEST(DedicatedEvalStream, TrainWithEvalBitIdenticalToLegacyReseekPath) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  const std::vector<EvalPoint> legacy = eval_points(c, data, false);
+  const std::vector<EvalPoint> dedicated = eval_points(c, data, true);
+  ASSERT_EQ(legacy.size(), dedicated.size());
+  for (std::size_t p = 0; p < legacy.size(); ++p) {
+    EXPECT_EQ(dedicated[p].epoch_fraction, legacy[p].epoch_fraction);
+    EXPECT_EQ(dedicated[p].train_loss, legacy[p].train_loss) << "point " << p;
+    EXPECT_EQ(dedicated[p].auc, legacy[p].auc) << "point " << p;
+  }
+}
+
+// An eval pass must perform ZERO reseeks of the training stream and leave
+// its cursor untouched — and training after the eval must continue exactly
+// as if the eval never happened. The legacy path is the ablation: it pays
+// a reseek (flush + cold refill) on the shared pipeline.
+TEST(DedicatedEvalStream, EvalPassLeavesTrainingPipelineUntouched) {
+  const DlrmConfig c = tiny_config();
+  const DlrmConfig& cc = c;
+  const std::int64_t GN = 64;
+  const int pre_iters = 3, post_iters = 3;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  // Uninterrupted reference losses over pre+post iterations.
+  const std::vector<double> ref = distributed_losses(
+      c, data, GN, 2, pre_iters + post_iters, /*prefetch=*/true, 2);
+
+  for (bool dedicated : {true, false}) {
+    std::vector<double> got(static_cast<std::size_t>(pre_iters + post_iters),
+                            0.0);
+    std::int64_t train_reseeks = -1, cursor_after_eval = -1;
+    bool eval_stream_built = false;
+    run_ranks(2, 2, [&](ThreadComm& comm) {
+      DistributedTrainerOptions opts;
+      opts.lr = 0.05f;
+      opts.global_batch = GN;
+      opts.seed = 77;
+      opts.prefetch_workers = 2;
+      opts.dedicated_eval_stream = dedicated;
+      auto backend = QueueBackend::ccl_like(2);
+      DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+      for (int i = 0; i < pre_iters; ++i) {
+        const double loss = trainer.train(1);
+        if (comm.rank() == 0) got[static_cast<std::size_t>(i)] = loss;
+      }
+      trainer.evaluate(GN * 100, 128);
+      if (comm.rank() == 0) {
+        train_reseeks = trainer.prefetch().reseeks();
+        cursor_after_eval = trainer.prefetch().next_iter();
+        eval_stream_built = trainer.eval_prefetch() != nullptr;
+      }
+      for (int i = 0; i < post_iters; ++i) {
+        const double loss = trainer.train(1);
+        if (comm.rank() == 0) {
+          got[static_cast<std::size_t>(pre_iters + i)] = loss;
+        }
+      }
+    });
+    // Train losses are unaffected by the eval pass on BOTH paths (the
+    // legacy reseek restores the exact cursor; the dedicated stream never
+    // moves it) — the difference is the pipeline-state cost.
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], ref[i]) << (dedicated ? "dedicated" : "legacy")
+                                << " iteration " << i;
+    }
+    if (dedicated) {
+      EXPECT_EQ(train_reseeks, 0);  // the tentpole guarantee
+      EXPECT_EQ(cursor_after_eval, pre_iters);  // cursor untouched
+      EXPECT_TRUE(eval_stream_built);
+    } else {
+      // Legacy: the eval pass dragged the shared pipeline to the eval
+      // range (one reseek here, a second when training resumes).
+      EXPECT_GT(train_reseeks, 0);
+      EXPECT_EQ(cursor_after_eval, 102);  // GN*100/GN + ceil(128/64) batches
+      EXPECT_FALSE(eval_stream_built);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlrm
