@@ -1,8 +1,16 @@
 // Micro-benchmark (google-benchmark): EmbeddingBag kernels — update
-// strategies under uniform vs Zipf index streams, and the fused
-// backward+update ablation (paper Sect. III.A: up to 1.6x).
+// strategies under uniform vs Zipf index streams, the fused
+// backward+update ablation (paper Sect. III.A: up to 1.6x), and the
+// hot-row cache tier. Before the google-benchmark run, a BENCH_JSON row
+// is emitted per (precision, Zipf alpha, cache capacity) sweep point so
+// future PRs can track the cache's hit-rate/throughput trajectory.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "kernels/embedding.hpp"
 
@@ -129,6 +137,81 @@ void BM_EmbeddingUpdateSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_EmbeddingUpdateSplit)->Unit(benchmark::kMillisecond);
 
+// ---- Hot-row cache sweep ---------------------------------------------------
+//
+// Measures the combined forward + fused-update path (the two kernels the
+// tier dispatches) per (precision, Zipf alpha, cache capacity). Capacity 0
+// is the uncached baseline each speedup is computed against. Admission is
+// the exact top-K of the measured index stream, so the sweep reports the
+// tier's ceiling rather than a policy's approximation of it.
+void emit_cache_sweep_rows() {
+  const std::int64_t lookups = kBatch * kPool;
+  for (EmbedPrecision precision :
+       {EmbedPrecision::kFp32, EmbedPrecision::kBf16Split}) {
+    for (double alpha : {0.8, 1.05}) {
+      BagBatch bags = make_bags(kBatch, kPool, kRows, alpha);
+      // Exact per-row frequency of this stream → top-K admission set.
+      std::vector<std::int64_t> freq(static_cast<std::size_t>(kRows), 0);
+      for (std::int64_t i = 0; i < lookups; ++i) {
+        ++freq[static_cast<std::size_t>(bags.indices[i])];
+      }
+      std::vector<std::int64_t> order(static_cast<std::size_t>(kRows));
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+        return freq[static_cast<std::size_t>(a)] >
+               freq[static_cast<std::size_t>(b)];
+      });
+
+      double base_sec = 0.0;
+      for (double frac : {0.0, 0.05, 0.10}) {
+        EmbeddingTable table(kRows, kDim, precision);
+        Rng rng(6);
+        table.init(rng, 1.0f);
+        Tensor<float> out({kBatch, kDim});
+        Tensor<float> dy({kBatch, kDim});
+        fill_uniform(dy, rng, 0.1f);
+
+        const std::int64_t cap =
+            static_cast<std::int64_t>(frac * static_cast<double>(kRows));
+        if (cap > 0) {
+          EmbCacheOptions copts;
+          copts.capacity = cap;
+          copts.policy = EmbCachePolicy::kHist;
+          table.configure_cache(copts);
+          table.admit_rows(order.data(), cap);
+        }
+        table.reset_cache_stats();
+
+        const double sec = dlrm::bench::time_median_sec([&] {
+          table.forward(bags, out.data());
+          table.fused_backward_update(dy.data(), bags, 0.01f,
+                                      UpdateStrategy::kRaceFree);
+        });
+        if (frac == 0.0) base_sec = sec;
+        const EmbCacheStats st = table.cache_stats();
+        dlrm::bench::JsonRow("emb_cache_sweep")
+            .add("precision", to_string(precision))
+            .add("zipf_alpha", alpha)
+            .add("rows", kRows)
+            .add("capacity_rows", cap)
+            .add("capacity_frac", frac)
+            .add("lookups", lookups)
+            .add("hit_rate", st.hit_rate())
+            .add("ns_per_row", sec / static_cast<double>(lookups) * 1e9)
+            .add("speedup_vs_uncached", sec > 0 ? base_sec / sec : 1.0)
+            .emit();
+      }
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_cache_sweep_rows();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -50,5 +50,7 @@ int main() {
   // Placement quality under strong scaling: per-rank embedding-time
   // imbalance of the three sharding policies on a skewed table set.
   run_sharding_imbalance("fig11_comm_split", /*weak=*/false);
+  // Live re-balancing: the runtime answer to the same placement problem.
+  run_sharding_rebalance("fig11_comm_split");
   return 0;
 }

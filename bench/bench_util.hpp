@@ -60,6 +60,13 @@ double measured_core_peak_flops();
 /// count (Fig. 14 geometry) instead of holding it fixed (Fig. 11).
 void run_sharding_imbalance(const std::string& bench_name, bool weak);
 
+/// Real mini-run of the live shard re-balancer: starts from a deliberately
+/// lopsided placement of the skewed table set, trains with the imbalance
+/// watcher armed, and emits one BENCH_JSON row per rank count with the
+/// steps-to-trigger, the migration stall, rows migrated, and the windowed
+/// embedding-time imbalance before vs after the move.
+void run_sharding_rebalance(const std::string& bench_name);
+
 /// One machine-consumable result line: benches emit a compact JSON object
 /// per configuration so successive PRs can track precision/performance
 /// trajectories by grepping "^BENCH_JSON".

@@ -31,7 +31,9 @@ echo "==== Debug + TSan concurrency pass (prefetch/comm/ddp/exchange/sharding) =
 # test_prefetch includes the randomized stall/early-shutdown soak over the
 # multi-worker pipeline; test_prefetch_workers drives it through full
 # training loops (worker-count loss parity + the dedicated eval stream).
-TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding'
+# test_emb_cache races the hot-row tier against the concurrent update
+# strategies; test_rebalance migrates shards (alltoallv) mid-training.
+TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding|test_emb_cache|test_rebalance'
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDLRM_SANITIZE=thread \
@@ -40,7 +42,7 @@ cmake -B build-tsan -S . \
   -DDLRM_NATIVE_ARCH=OFF
 cmake --build build-tsan -j "${JOBS}" \
   --target test_prefetch test_prefetch_workers test_comm test_ddp \
-           test_exchange test_sharding
+           test_exchange test_sharding test_emb_cache test_rebalance
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan -R "${TSAN_SUITES}" --output-on-failure \
         -j "${JOBS}" --timeout 1800

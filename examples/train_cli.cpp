@@ -9,6 +9,8 @@
 //                 [--row-split-threshold=N] [--lr-schedule=SPEC]
 //                 [--checkpoint-dir=DIR] [--save-every=N] [--resume]
 //                 [--print-step-losses]
+//                 [--emb-cache-rows=K] [--emb-cache-policy=hist|counter|off]
+//                 [--rebalance-threshold=X] [--rebalance-every=N]
 //
 // Configs: small | large | mlperf (paper Table I), optionally scaled down.
 // With --ranks=1 the single-process model runs; otherwise DistributedTrainer
@@ -42,6 +44,14 @@
 // lines (the resume-parity smoke diffs them; bypasses --lr-schedule).
 // --check-loss-decreases exits nonzero unless the mean loss of the last
 // quarter of iterations is below that of the first quarter (CI smoke).
+// --emb-cache-rows puts the top-K rows of every table (shard) into the
+// hot-row fp32 working tier; --emb-cache-policy picks admission: hist =
+// one-shot from measured lookup histograms, counter = runtime counters
+// with periodic decay. Bit-identical losses either way.
+// --rebalance-threshold enables live shard re-balancing (distributed runs):
+// when the windowed max/mean embedding-time ratio exceeds X at a
+// --rebalance-every step boundary, the plan is recomputed from runtime
+// lookup stats and the shards are migrated in place (bit-exact).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +90,10 @@ struct Args {
   bool blocking = false;
   bool profile = false;
   bool check_loss = false;
+  std::int64_t emb_cache_rows = 0;
+  std::string emb_cache_policy = "hist";
+  double rebalance_threshold = 0.0;
+  std::int64_t rebalance_every = 32;
 };
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -114,6 +128,10 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--print-step-losses") == 0) a.print_step_losses = true;
     else if (parse_flag(argv[i], "--prefetch-depth", &v)) a.prefetch_depth = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--prefetch-workers", &v)) a.prefetch_workers = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--emb-cache-rows", &v)) a.emb_cache_rows = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--emb-cache-policy", &v)) a.emb_cache_policy = v;
+    else if (parse_flag(argv[i], "--rebalance-threshold", &v)) a.rebalance_threshold = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--rebalance-every", &v)) a.rebalance_every = std::atoll(v.c_str());
     else if (std::strcmp(argv[i], "--no-prefetch") == 0) a.prefetch = false;
     else if (std::strcmp(argv[i], "--blocking") == 0) a.blocking = true;
     else if (std::strcmp(argv[i], "--profile") == 0) a.profile = true;
@@ -145,7 +163,23 @@ Args parse(int argc, char** argv) {
     std::fprintf(stderr, "bad --save-every (must be >= 0)\n");
     std::exit(2);
   }
+  if (a.emb_cache_rows < 0) {
+    std::fprintf(stderr, "bad --emb-cache-rows (must be >= 0)\n");
+    std::exit(2);
+  }
+  if (a.rebalance_every < 1) {
+    std::fprintf(stderr, "bad --rebalance-every (must be >= 1)\n");
+    std::exit(2);
+  }
   return a;
+}
+
+EmbCachePolicy parse_cache_policy(const std::string& s) {
+  if (s == "hist") return EmbCachePolicy::kHist;
+  if (s == "counter") return EmbCachePolicy::kCounter;
+  if (s == "off") return EmbCachePolicy::kOff;
+  std::fprintf(stderr, "bad --emb-cache-policy (hist|counter|off)\n");
+  std::exit(2);
 }
 
 ExchangeStrategy parse_strategy(const std::string& s) {
@@ -321,7 +355,20 @@ int main(int argc, char** argv) {
     ModelOptions mo;
     mo.embed_precision = parse_embed_precision(args.precision);
     mo.update_strategy = parse_update(args.update);
+    mo.emb_cache.capacity = args.emb_cache_rows;
+    mo.emb_cache.policy = parse_cache_policy(args.emb_cache_policy);
     DlrmModel model(cfg, mo, 42);
+    if (mo.emb_cache.enabled() &&
+        mo.emb_cache.policy == EmbCachePolicy::kHist) {
+      // One-shot admission from the same measured histograms the
+      // distributed planners use.
+      const LookupStats stats =
+          measure_lookup_stats(data, /*samples=*/512, /*buckets=*/64);
+      for (std::int64_t t = 0; t < model.tables(); ++t) {
+        model.table(t).admit_top_rows_from_histogram(
+            stats.row_histograms[static_cast<std::size_t>(t)]);
+      }
+    }
     // The trainer owns the optimizer matched to the MLP precision
     // (SGD-FP32 or Split-SGD-BF16). The data pipeline runs exactly like
     // the distributed one: W workers prefetching behind compute.
@@ -352,6 +399,29 @@ int main(int argc, char** argv) {
                 static_cast<long long>(trained), t.elapsed_sec(),
                 t.elapsed_ms() / static_cast<double>(std::max<std::int64_t>(trained, 1)),
                 loss, trainer.optimizer().name().c_str());
+    if (mo.emb_cache.enabled()) {
+      EmbCacheStats cs;
+      for (std::int64_t t = 0; t < model.tables(); ++t) {
+        const EmbCacheStats one = model.table(t).cache_stats();
+        cs.hits += one.hits;
+        cs.misses += one.misses;
+        cs.evictions += one.evictions;
+        cs.admissions += one.admissions;
+        cs.capacity += one.capacity;
+        cs.resident += one.resident;
+      }
+      std::printf("emb cache (%s, %lld rows/table): hit rate %.1f%% "
+                  "(%lld hits / %lld misses), resident %lld/%lld, "
+                  "%lld admissions, %lld evictions\n",
+                  args.emb_cache_policy.c_str(),
+                  static_cast<long long>(args.emb_cache_rows),
+                  cs.hit_rate() * 100.0, static_cast<long long>(cs.hits),
+                  static_cast<long long>(cs.misses),
+                  static_cast<long long>(cs.resident),
+                  static_cast<long long>(cs.capacity),
+                  static_cast<long long>(cs.admissions),
+                  static_cast<long long>(cs.evictions));
+    }
     if (args.profile) std::printf("%s", prof.report().c_str());
     if (args.check_loss && quarter > 0) {
       std::printf("loss check: first-quarter %.4f -> last-quarter %.4f\n",
@@ -383,6 +453,13 @@ int main(int argc, char** argv) {
   topts.dist.embed_precision = parse_embed_precision(args.precision);
   topts.dist.update_strategy = parse_update(args.update);
   topts.dist.overlap = !args.blocking;
+  topts.dist.emb_cache.capacity = args.emb_cache_rows;
+  topts.dist.emb_cache.policy = parse_cache_policy(args.emb_cache_policy);
+  topts.rebalance.threshold = args.rebalance_threshold;
+  topts.rebalance.check_every = args.rebalance_every;
+  topts.rebalance.policy = topts.sharding.policy == ShardingPolicy::kRoundRobin
+                               ? ShardingPolicy::kGreedyBalanced
+                               : topts.sharding.policy;
   run_ranks(args.ranks, /*threads_per_rank=*/2, [&](ThreadComm& comm) {
     auto backend = args.blocking ? nullptr : QueueBackend::ccl_like(2);
     DistributedTrainer trainer(cfg, data, comm, backend.get(), topts);
@@ -416,6 +493,25 @@ int main(int argc, char** argv) {
       std::printf("embedding time: max rank %.2f ms / mean %.2f ms "
                   "(imbalance %.2fx)\n",
                   imb.max_sec * 1e3, imb.mean_sec * 1e3, imb.ratio());
+      if (topts.dist.emb_cache.enabled()) {
+        std::printf("emb cache (%s, %lld rows/shard): hit rate %.1f%% "
+                    "(%lld hits / %lld misses, all ranks)\n",
+                    args.emb_cache_policy.c_str(),
+                    static_cast<long long>(args.emb_cache_rows),
+                    imb.cache_hit_rate() * 100.0,
+                    static_cast<long long>(imb.cache_hits),
+                    static_cast<long long>(imb.cache_misses));
+      }
+      if (topts.rebalance.enabled()) {
+        const auto& rs = trainer.rebalance_stats();
+        std::printf("rebalance: %lld checks, %lld migrations, %lld rows "
+                    "moved, %.2f ms stalled, first trigger at step %lld\n",
+                    static_cast<long long>(rs.checks),
+                    static_cast<long long>(rs.rebalances),
+                    static_cast<long long>(rs.rows_migrated),
+                    rs.stall_sec * 1e3,
+                    static_cast<long long>(rs.first_trigger_step));
+      }
       std::printf("loader: %s, prefetch %s(depth %d, workers %d): exposed "
                   "%.2f ms, hidden %.2f ms\n",
                   args.loader.c_str(), args.prefetch ? "on" : "off",

@@ -24,27 +24,46 @@ DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
                                        DistributedTrainerOptions options)
     : comm_(comm),
       options_(options),
+      data_(&data),
       model_(config, merge_options(options), comm, backend,
              options.global_batch,
-             make_sharding_plan(options.sharding, config.table_rows,
-                                config.dim, options.global_batch, comm.size(),
-                                &data)),
-      loader_(data, options.global_batch, comm.rank(), comm.size(),
-              model_.plan(), options.loader_mode),
-      prefetch_(loader_, {.enabled = options.prefetch,
-                          .depth = options.prefetch_depth,
-                          .workers = options.prefetch_workers}) {
+             options.initial_plan.empty()
+                 ? make_sharding_plan(options.sharding, config.table_rows,
+                                      config.dim, options.global_batch,
+                                      comm.size(), &data)
+                 : options.initial_plan),
+      loader_(std::make_unique<DataLoader>(data, options.global_batch,
+                                           comm.rank(), comm.size(),
+                                           model_.plan(),
+                                           options.loader_mode)),
+      prefetch_(std::make_unique<PrefetchLoader>(
+          *loader_, PrefetchOptions{.enabled = options.prefetch,
+                                    .depth = options.prefetch_depth,
+                                    .workers = options.prefetch_workers})) {
   DLRM_CHECK(options_.global_batch > 0, "global batch must be positive");
+  // kHist cache admission: seed every owned shard from the same measured
+  // lookup histograms the cost-driven planners consume (deterministic, so
+  // every rank admits the same rows of the shards it owns).
+  const EmbCacheOptions& cache = options_.dist.emb_cache;
+  if (cache.enabled() && cache.policy == EmbCachePolicy::kHist) {
+    const LookupStats stats = measure_lookup_stats(
+        data, options_.sharding.stat_samples, options_.sharding.hist_buckets);
+    model_.configure_embedding_cache(cache, &stats.row_histograms);
+  }
+  // Live re-balancing needs runtime lookup statistics from step 0.
+  if (options_.rebalance.enabled()) {
+    model_.enable_lookup_stats(options_.sharding.hist_buckets);
+  }
 }
 
 PrefetchLoader& DistributedTrainer::eval_pipeline() {
-  if (!options_.dedicated_eval_stream) return prefetch_;
+  if (!options_.dedicated_eval_stream) return *prefetch_;
   if (eval_prefetch_ == nullptr) {
     // Lazy: train-only runs never pay the extra worker threads. The eval
     // loader is a clone of the training one (same geometry, own scratch),
     // and the pipeline gets its own cursor and depth — an eval pass only
     // ever reseeks *this* stream, never the training pipeline.
-    eval_loader_ = loader_.clone();
+    eval_loader_ = loader_->clone();
     eval_prefetch_ = std::make_unique<PrefetchLoader>(
         *eval_loader_, PrefetchOptions{.enabled = options_.prefetch,
                                        .depth = options_.eval_prefetch_depth,
@@ -71,29 +90,54 @@ double DistributedTrainer::allreduce_mean(double local) {
   return static_cast<double>(buf) / static_cast<double>(gn);
 }
 
-DistributedTrainer::EmbImbalance DistributedTrainer::embedding_imbalance() {
-  const int R = comm_.size();
-  // allgather_chunks with n == R places one float per rank.
-  std::vector<float> per_rank(static_cast<std::size_t>(R), 0.0f);
-  per_rank[static_cast<std::size_t>(comm_.rank())] =
-      static_cast<float>(model_.embedding_sec());
-  comm_.allgather_chunks(per_rank.data(), R);
-  EmbImbalance out;
-  for (float v : per_rank) {
-    out.max_sec = std::max(out.max_sec, static_cast<double>(v));
-    out.mean_sec += static_cast<double>(v);
+namespace {
+
+// Shared reduction for the cumulative and windowed imbalance reports: each
+// rank contributes [emb_sec, cache_hits, cache_misses]; allgather_chunks
+// with n == 3R places one 3-float chunk per rank.
+DistributedTrainer::EmbImbalance gather_imbalance(ThreadComm& comm,
+                                                  double emb_sec,
+                                                  const EmbCacheStats& cache) {
+  const int R = comm.size();
+  std::vector<float> per_rank(static_cast<std::size_t>(3 * R), 0.0f);
+  const std::size_t base = static_cast<std::size_t>(3 * comm.rank());
+  per_rank[base] = static_cast<float>(emb_sec);
+  per_rank[base + 1] = static_cast<float>(cache.hits);
+  per_rank[base + 2] = static_cast<float>(cache.misses);
+  comm.allgather_chunks(per_rank.data(), 3 * R);
+  DistributedTrainer::EmbImbalance out;
+  for (int r = 0; r < R; ++r) {
+    const double sec = static_cast<double>(per_rank[static_cast<std::size_t>(3 * r)]);
+    out.max_sec = std::max(out.max_sec, sec);
+    out.mean_sec += sec;
+    out.cache_hits += static_cast<std::int64_t>(
+        per_rank[static_cast<std::size_t>(3 * r + 1)]);
+    out.cache_misses += static_cast<std::int64_t>(
+        per_rank[static_cast<std::size_t>(3 * r + 2)]);
   }
   out.mean_sec /= R;
   return out;
 }
 
+}  // namespace
+
+DistributedTrainer::EmbImbalance DistributedTrainer::embedding_imbalance() {
+  return gather_imbalance(comm_, model_.embedding_sec(), model_.cache_stats());
+}
+
+DistributedTrainer::EmbImbalance
+DistributedTrainer::embedding_imbalance_window() {
+  return gather_imbalance(comm_, model_.embedding_sec() - window_baseline_sec_,
+                          model_.cache_stats());
+}
+
 double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
   Meter local_loss;
   for (std::int64_t i = 0; i < iters; ++i) {
-    const HybridBatch& hb = prefetch_.next(iter_);
-    const double exposed = prefetch_.last_wait_sec();
+    const HybridBatch& hb = prefetch_->next(iter_);
+    const double exposed = prefetch_->last_wait_sec();
     const double hidden =
-        std::max(0.0, prefetch_.last_load_sec() - exposed);
+        std::max(0.0, prefetch_->last_load_sec() - exposed);
     loader_exposed_ += exposed;
     loader_hidden_ += hidden;
     if (prof != nullptr) {
@@ -102,22 +146,97 @@ double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
     }
     local_loss.add(model_.train_step(hb, prof));
     ++iter_;
+    // Re-balance check BEFORE any checkpoint at the same boundary, so a
+    // snapshot taken here already records the migrated plan.
+    if (options_.rebalance.enabled() &&
+        iter_ % options_.rebalance.check_every == 0) {
+      maybe_rebalance(prof);
+    }
     if (ckpt_every_ > 0 && iter_ % ckpt_every_ == 0) {
       save_checkpoint(ckpt_dir_);  // SPMD: every rank hits the same boundary
     }
   }
   if (iters <= 0) return 0.0;
   // Placement-quality accounting: the per-rank embedding-time spread the
-  // ShardingPlan controls (one R-float allgather per train() call).
+  // ShardingPlan controls (one 3R-float allgather per train() call).
   const EmbImbalance imb = embedding_imbalance();
   if (prof != nullptr) {
     prof->add("emb_rank_max", imb.max_sec - prof->total_sec("emb_rank_max"));
     prof->add("emb_rank_mean", imb.mean_sec - prof->total_sec("emb_rank_mean"));
+    // Cumulative gauges like emb_rank_max: store the global totals as
+    // deltas so repeated train() calls don't double-count.
+    prof->add("emb_cache_hits", static_cast<double>(imb.cache_hits) -
+                                    prof->total_sec("emb_cache_hits"));
+    prof->add("emb_cache_misses", static_cast<double>(imb.cache_misses) -
+                                      prof->total_sec("emb_cache_misses"));
   }
   // One scalar allreduce per call, not per iteration: allreduce is linear
   // and (LN-weighted when uneven) the mean of local means equals the global
   // mean over all GN·iters samples.
   return allreduce_mean(local_loss.mean());
+}
+
+void DistributedTrainer::maybe_rebalance(Profiler* prof) {
+  ++rebalance_stats_.checks;
+  // All ranks reduce the same allgathered buffer, so the ratio (and hence
+  // the trigger decision) is identical everywhere — no divergence risk.
+  const EmbImbalance imb = embedding_imbalance_window();
+  window_baseline_sec_ = model_.embedding_sec();
+  if (imb.ratio() <= options_.rebalance.threshold) return;
+  if (rebalance_stats_.rebalances >= options_.rebalance.max_rebalances) return;
+  rebalance_now(prof);
+}
+
+bool DistributedTrainer::rebalance_now(Profiler* prof) {
+  // Runtime statistics drive the new plan. Both guards are SPMD-consistent:
+  // every rank enables stats at the same step and counts the same GN
+  // samples per step.
+  if (!model_.lookup_stats_enabled()) {
+    model_.enable_lookup_stats(options_.sharding.hist_buckets);
+    return false;  // nothing observed yet — start accumulating
+  }
+  if (model_.lookup_stats_samples() <= 0) return false;
+  LookupStats stats = model_.lookup_stats_allreduced();
+  ShardingOptions so = options_.sharding;
+  so.policy = options_.rebalance.policy;
+  so.row_split_threshold = options_.rebalance.row_split_threshold;
+  const DlrmConfig& config = model_.config();
+  const ShardingPlan target = make_sharding_plan_from_stats(
+      so, config.table_rows, config.dim, model_.global_batch(), comm_.size(),
+      stats);
+  const DistributedDlrm::ReshardResult res =
+      model_.reshard(target, &stats.row_histograms);
+  if (!res.changed) return false;
+  // The loaders materialize bags against the plan's shard list, so they are
+  // rebuilt on the new plan and repositioned at the current stream cursor —
+  // the training stream continues exactly where it left off.
+  loader_ = std::make_unique<DataLoader>(*data_, options_.global_batch,
+                                         comm_.rank(), comm_.size(),
+                                         model_.plan(), options_.loader_mode);
+  prefetch_ = std::make_unique<PrefetchLoader>(
+      *loader_, PrefetchOptions{.enabled = options_.prefetch,
+                                .depth = options_.prefetch_depth,
+                                .workers = options_.prefetch_workers});
+  prefetch_->seek(iter_);
+  prefetch_->prefill();
+  // The lazily-built eval stream (if any) references the old plan; drop it
+  // and let the next evaluate() rebuild it.
+  eval_prefetch_.reset();
+  eval_loader_.reset();
+  ++rebalance_stats_.rebalances;
+  rebalance_stats_.rows_migrated += res.rows_moved;
+  rebalance_stats_.stall_sec += res.stall_sec;
+  if (rebalance_stats_.first_trigger_step < 0) {
+    rebalance_stats_.first_trigger_step = iter_;
+  }
+  // Start the next imbalance window from the migrated placement.
+  window_baseline_sec_ = model_.embedding_sec();
+  if (prof != nullptr) {
+    prof->add("rebalance_stall", res.stall_sec);
+    prof->add("rebalance_rows", static_cast<double>(res.rows_moved));
+    prof->add("rebalance_count", 1.0);
+  }
+  return true;
 }
 
 double DistributedTrainer::evaluate(std::int64_t first, std::int64_t n) {
@@ -216,8 +335,8 @@ bool DistributedTrainer::resume_from(const std::string& dir) {
   // stream cursor and refill before returning, so the first post-restore
   // step consumes a full pipeline instead of paying the whole loader cost
   // (and no reseek is ever charged to the training stream).
-  prefetch_.seek(reader.data_cursor());
-  prefetch_.prefill();
+  prefetch_->seek(reader.data_cursor());
+  prefetch_->prefill();
   comm_.barrier();  // no rank trains ahead while others still read
   return true;
 }

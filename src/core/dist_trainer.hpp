@@ -26,6 +26,30 @@
 
 namespace dlrm {
 
+/// Live shard re-balancing: the trainer watches the per-rank embedding-time
+/// spread over a sliding window and, when it exceeds `threshold` at a step
+/// boundary, recomputes the ShardingPlan from the lookup statistics of the
+/// training stream observed so far and migrates the embedding state onto it
+/// (DistributedDlrm::reshard — bit-exact, no training-state loss).
+struct RebalanceOptions {
+  /// Window max/mean embedding-time ratio that triggers a migration
+  /// (1.0 = perfectly balanced). <= 0 disables re-balancing entirely.
+  double threshold = 0.0;
+  /// Steps between SPMD imbalance checks (each costs one tiny allgather).
+  std::int64_t check_every = 32;
+  /// Upper bound on migrations per run (hysteresis against plan flapping).
+  std::int64_t max_rebalances = 4;
+  /// Policy for the recomputed plan. Round-robin is pointless here;
+  /// kGreedyBalanced keeps tables whole (bit-identical training math),
+  /// kRowSplit additionally splits hot tables by the observed row
+  /// histograms.
+  ShardingPolicy policy = ShardingPolicy::kGreedyBalanced;
+  /// kRowSplit only: split tables above this many rows (<= 0 = auto).
+  std::int64_t row_split_threshold = 0;
+
+  bool enabled() const { return threshold > 0.0; }
+};
+
 struct DistributedTrainerOptions {
   float lr = 0.1f;
   std::int64_t global_batch = 2048;
@@ -55,8 +79,16 @@ struct DistributedTrainerOptions {
   /// statistics from the dataset, so every rank derives the same plan.
   ShardingOptions sharding{};
   /// Exchange/overlap/precision knobs; its lr and seed fields are
-  /// overridden by the ones above.
+  /// overridden by the ones above. dist.emb_cache configures the hot-row
+  /// tier (kHist admission is seeded from the same measured lookup stats
+  /// the cost-driven planners use).
   DistributedOptions dist{};
+  /// Live re-balancing knobs (off by default).
+  RebalanceOptions rebalance{};
+  /// Non-empty: place tables with exactly this plan instead of deriving one
+  /// from `sharding` (tests pin the target plan of a migration run;
+  /// external tuners inject hand-built placements).
+  ShardingPlan initial_plan{};
 };
 
 /// One rank's trainer. Construct inside the rank thread (e.g. run_ranks)
@@ -118,8 +150,8 @@ class DistributedTrainer {
   }
 
   DistributedDlrm& model() { return model_; }
-  DataLoader& loader() { return loader_; }
-  const PrefetchLoader& prefetch() const { return prefetch_; }
+  DataLoader& loader() { return *loader_; }
+  const PrefetchLoader& prefetch() const { return *prefetch_; }
 
   /// The dedicated eval pipeline (created lazily by the first evaluate()
   /// call when dedicated_eval_stream is on); nullptr before that or when
@@ -143,22 +175,55 @@ class DistributedTrainer {
   struct EmbImbalance {
     double max_sec = 0.0;
     double mean_sec = 0.0;
+    /// Hot-row cache traffic summed over all ranks' shards (0 when the
+    /// tier is off).
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
     /// max/mean, 1.0 = perfectly balanced.
     double ratio() const { return mean_sec > 0.0 ? max_sec / mean_sec : 1.0; }
+    double cache_hit_rate() const {
+      const std::int64_t total = cache_hits + cache_misses;
+      return total > 0
+                 ? static_cast<double>(cache_hits) / static_cast<double>(total)
+                 : 0.0;
+    }
   };
   EmbImbalance embedding_imbalance();
+  /// Same spread restricted to the window since the last re-balance check —
+  /// what the trigger compares against the threshold (cumulative totals
+  /// would dilute a developing imbalance under an old balanced prefix).
+  EmbImbalance embedding_imbalance_window();
+
+  /// SPMD: recompute the plan from runtime lookup stats and migrate NOW,
+  /// regardless of threshold/check_every (tests and external schedulers;
+  /// requires rebalance to be enabled or lookup stats to be accumulating).
+  /// Returns false if the recomputed plan equals the current one.
+  bool rebalance_now(Profiler* prof = nullptr);
+
+  struct RebalanceStats {
+    std::int64_t checks = 0;       // threshold evaluations
+    std::int64_t rebalances = 0;   // migrations actually performed
+    std::int64_t rows_migrated = 0;
+    double stall_sec = 0.0;        // total migration wall time (this rank)
+    std::int64_t first_trigger_step = -1;
+  };
+  const RebalanceStats& rebalance_stats() const { return rebalance_stats_; }
 
  private:
   double allreduce_mean(double local);
+  void maybe_rebalance(Profiler* prof);
   /// The pipeline evaluate() draws from: the lazily-built dedicated eval
   /// stream, or the training pipeline on the legacy reseek path.
   PrefetchLoader& eval_pipeline();
 
   ThreadComm& comm_;
   DistributedTrainerOptions options_;
+  const Dataset* data_;  // outlives the trainer; loaders rebuild on reshard
   DistributedDlrm model_;
-  DataLoader loader_;
-  PrefetchLoader prefetch_;
+  // unique_ptrs so a re-balance can rebuild the pipeline on the new plan
+  // (loaders reference the plan's shard list and are not re-assignable).
+  std::unique_ptr<DataLoader> loader_;
+  std::unique_ptr<PrefetchLoader> prefetch_;
   std::unique_ptr<DataLoader> eval_loader_;
   std::unique_ptr<PrefetchLoader> eval_prefetch_;
   std::int64_t iter_ = 0;
@@ -166,6 +231,8 @@ class DistributedTrainer {
   Tensor<float> eval_scores_, eval_labels_;  // [GN] allgather staging
   std::string ckpt_dir_;
   std::int64_t ckpt_every_ = 0;
+  RebalanceStats rebalance_stats_;
+  double window_baseline_sec_ = 0.0;  // embedding_sec at window start
 };
 
 }  // namespace dlrm

@@ -1,5 +1,6 @@
 #include "core/distributed.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
@@ -48,18 +49,19 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
            options.blocks, config.mlp_precision),
       interaction_(config.tables() + 1, config.dim,
                    config.interaction_pad <= 1 ? 1 : config.interaction_pad),
-      exchange_(comm, options.overlap ? backend : nullptr, options.exchange,
-                resolve_plan(std::move(plan), config, comm.size()), config.dim,
-                global_batch,
-                options.bf16_wire && config.mlp_precision == Precision::kBf16
-                    ? Precision::kBf16
-                    : Precision::kFp32),
+      exchange_(std::make_unique<EmbeddingExchange>(
+          comm, options.overlap ? backend : nullptr, options.exchange,
+          resolve_plan(std::move(plan), config, comm.size()), config.dim,
+          global_batch,
+          options.bf16_wire && config.mlp_precision == Precision::kBf16
+              ? Precision::kBf16
+              : Precision::kFp32)),
       ddp_(comm, options.overlap ? backend : nullptr, options.ddp_buckets,
            options.bf16_wire && config.mlp_precision == Precision::kBf16
                ? Precision::kBf16
                : Precision::kFp32) {
   config_.validate();
-  ln_ = exchange_.local_batch();
+  ln_ = exchange_->local_batch();
 
   // Identical MLP replicas on every rank (same seed stream as DlrmModel).
   Rng mlp_rng(options_.seed);
@@ -72,8 +74,8 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
   // so a single-process model with the same seed holds identical rows: a
   // shard view replays the full table's draw stream and keeps its range.
   const float scale = 1.0f / std::sqrt(static_cast<float>(config_.dim));
-  for (std::int64_t sid : exchange_.owned_shard_ids()) {
-    const Shard& sh = exchange_.plan().shard(sid);
+  for (std::int64_t sid : exchange_->owned_shard_ids()) {
+    const Shard& sh = exchange_->plan().shard(sid);
     const std::int64_t t = sh.table;
     tables_.push_back(std::make_unique<EmbeddingTable>(
         sh.rows(), config_.dim, options_.embed_precision, sh.row_begin,
@@ -102,12 +104,16 @@ DistributedDlrm::DistributedDlrm(const DlrmConfig& config,
   // working weights + hidden low halves bit-identical to an fp32 master.
   opt_ = make_dense_optimizer(config_.mlp_precision);
   opt_->attach(slots);
+
+  if (options_.emb_cache.enabled()) {
+    configure_embedding_cache(options_.emb_cache);
+  }
 }
 
 std::vector<Shard> DistributedDlrm::owned_shards() const {
   std::vector<Shard> out;
-  for (std::int64_t sid : exchange_.owned_shard_ids()) {
-    out.push_back(exchange_.plan().shard(sid));
+  for (std::int64_t sid : exchange_->owned_shard_ids()) {
+    out.push_back(exchange_->plan().shard(sid));
   }
   return out;
 }
@@ -116,11 +122,13 @@ const Tensor<float>& DistributedDlrm::forward(const HybridBatch& hb,
                                               Profiler* prof) {
   DLRM_CHECK(hb.labels.size() == ln_, "hybrid batch local slice mismatch");
   DLRM_CHECK(static_cast<std::int64_t>(hb.owned_bags.size()) ==
-                 exchange_.owned_tables(),
+                 exchange_->owned_tables(),
              "owned bag count mismatch");
 
   // Model-parallel embedding forward over the FULL global minibatch (a
   // partial bag sum per row-split shard, reduced in finish_forward).
+  if (stats_buckets_ > 0) note_lookup_stats(hb);
+
   {
     MaybeScope s(prof, "emb_fwd");
     const Timer t;
@@ -135,7 +143,7 @@ const Tensor<float>& DistributedDlrm::forward(const HybridBatch& hb,
   // Start the alltoall, then overlap it with the bottom MLP forward.
   std::vector<const float*> outs;
   for (auto& e : emb_out_) outs.push_back(e.data());
-  ExchangeHandle h = exchange_.start_forward(outs);
+  ExchangeHandle h = exchange_->start_forward(outs);
 
   const Tensor<float>* z0;
   {
@@ -145,7 +153,7 @@ const Tensor<float>& DistributedDlrm::forward(const HybridBatch& hb,
 
   {
     MaybeScope s(prof, "alltoall_fwd_finish");
-    exchange_.finish_forward(h, sliced_.data());
+    exchange_->finish_forward(h, sliced_.data());
   }
   a2a_frame_ = h.framework_sec;
   a2a_wait_ = h.wait_sec;
@@ -191,7 +199,7 @@ void DistributedDlrm::backward(const HybridBatch& hb,
   }
 
   // Start the gradient alltoall; overlap with bottom MLP backward.
-  ExchangeHandle h = exchange_.start_backward(dsliced_.data());
+  ExchangeHandle h = exchange_->start_backward(dsliced_.data());
 
   {
     MaybeScope s(prof, "bottom_mlp_bwd");
@@ -206,7 +214,7 @@ void DistributedDlrm::backward(const HybridBatch& hb,
     MaybeScope s(prof, "alltoall_bwd_finish");
     std::vector<float*> grads;
     for (auto& g : demb_own_) grads.push_back(g.data());
-    exchange_.finish_backward(h, grads);
+    exchange_->finish_backward(h, grads);
   }
   a2a_frame_ += h.framework_sec;
   a2a_wait_ += h.wait_sec;
@@ -240,6 +248,307 @@ void DistributedDlrm::backward(const HybridBatch& hb,
     MaybeScope s(prof, "opt_step");
     opt_->step(options_.lr);
   }
+}
+
+// ---- Hot-row cache tier ----------------------------------------------------
+
+void DistributedDlrm::configure_embedding_cache(
+    const EmbCacheOptions& opts,
+    const std::vector<std::vector<double>>* row_hists) {
+  options_.emb_cache = opts;
+  for (std::size_t k = 0; k < tables_.size(); ++k) {
+    EmbeddingTable& table = *tables_[k];
+    table.configure_cache(opts);
+    if (opts.enabled() && opts.policy == EmbCachePolicy::kHist &&
+        row_hists != nullptr) {
+      const std::size_t t = static_cast<std::size_t>(
+          exchange_->owned_ids()[k]);
+      if (t < row_hists->size() && !(*row_hists)[t].empty()) {
+        table.admit_top_rows_from_histogram((*row_hists)[t]);
+      }
+    }
+  }
+}
+
+EmbCacheStats DistributedDlrm::cache_stats() const {
+  EmbCacheStats out = cache_carry_;
+  out.capacity = 0;
+  out.resident = 0;
+  for (const auto& table : tables_) {
+    const EmbCacheStats st = table->cache_stats();
+    out.hits += st.hits;
+    out.misses += st.misses;
+    out.evictions += st.evictions;
+    out.admissions += st.admissions;
+    out.refreshes += st.refreshes;
+    out.capacity += st.capacity;
+    out.resident += st.resident;
+  }
+  return out;
+}
+
+void DistributedDlrm::reset_cache_stats() {
+  cache_carry_ = EmbCacheStats{};
+  for (auto& table : tables_) table->reset_cache_stats();
+}
+
+// ---- Runtime lookup statistics ---------------------------------------------
+
+void DistributedDlrm::enable_lookup_stats(std::int64_t buckets) {
+  DLRM_CHECK(buckets >= 1, "need at least one histogram bucket");
+  stats_buckets_ = buckets;
+  reset_lookup_stats();
+}
+
+void DistributedDlrm::reset_lookup_stats() {
+  const std::size_t s = static_cast<std::size_t>(config_.tables());
+  stats_samples_ = 0;
+  stats_lookups_.assign(s, 0.0);
+  stats_hist_.assign(s, {});
+  for (std::size_t t = 0; t < s; ++t) {
+    const std::int64_t rows = config_.table_rows[t];
+    stats_hist_[t].assign(
+        static_cast<std::size_t>(std::min(stats_buckets_, rows)), 0.0);
+  }
+}
+
+void DistributedDlrm::note_lookup_stats(const HybridBatch& hb) {
+  // Bag indices are shard-local; rebase into the logical table's row space
+  // so the histograms are plan-independent (they survive reshards, and
+  // summing over ranks recovers the full table's traffic).
+  for (std::size_t k = 0; k < tables_.size(); ++k) {
+    const EmbeddingTable& table = *tables_[k];
+    const std::size_t t =
+        static_cast<std::size_t>(exchange_->owned_ids()[k]);
+    auto& hist = stats_hist_[t];
+    const std::int64_t buckets = static_cast<std::int64_t>(hist.size());
+    const std::int64_t rows = table.global_rows();
+    const std::int64_t begin = table.row_begin();
+    const BagBatch& bags = hb.owned_bags[k];
+    const std::int64_t ns = bags.lookups();
+    const std::int64_t* idx = bags.indices.data();
+    for (std::int64_t i = 0; i < ns; ++i) {
+      hist[static_cast<std::size_t>((begin + idx[i]) * buckets / rows)] += 1.0;
+    }
+    stats_lookups_[t] += static_cast<double>(ns);
+  }
+  stats_samples_ += gn_;
+}
+
+LookupStats DistributedDlrm::lookup_stats_allreduced() {
+  DLRM_CHECK(stats_buckets_ > 0, "lookup stats are not enabled");
+  const std::size_t s = static_cast<std::size_t>(config_.tables());
+  // Flatten [per-table totals][per-table histograms][samples] into one
+  // allreduce. Samples are counted identically on every rank, so dividing
+  // the sum by R restores them; lookups/histograms are disjointly owned, so
+  // the sum is the global traffic.
+  std::vector<float> buf;
+  for (std::size_t t = 0; t < s; ++t) {
+    buf.push_back(static_cast<float>(stats_lookups_[t]));
+  }
+  for (std::size_t t = 0; t < s; ++t) {
+    for (double v : stats_hist_[t]) buf.push_back(static_cast<float>(v));
+  }
+  buf.push_back(static_cast<float>(stats_samples_));
+  comm_.allreduce(buf.data(), static_cast<std::int64_t>(buf.size()));
+
+  LookupStats out;
+  const double samples =
+      static_cast<double>(buf.back()) / static_cast<double>(comm_.size());
+  std::size_t pos = 0;
+  out.lookups_per_sample.assign(s, 0.0);
+  for (std::size_t t = 0; t < s; ++t) {
+    out.lookups_per_sample[t] =
+        samples > 0.0 ? static_cast<double>(buf[pos]) / samples : 0.0;
+    ++pos;
+  }
+  out.row_histograms.assign(s, {});
+  for (std::size_t t = 0; t < s; ++t) {
+    out.row_histograms[t].resize(stats_hist_[t].size());
+    for (std::size_t b = 0; b < stats_hist_[t].size(); ++b) {
+      out.row_histograms[t][b] = static_cast<double>(buf[pos++]);
+    }
+  }
+  return out;
+}
+
+// ---- Live re-balancing -----------------------------------------------------
+
+namespace {
+
+bool same_placement(const ShardingPlan& a, const ShardingPlan& b) {
+  if (a.num_shards() != b.num_shards()) return false;
+  for (std::int64_t i = 0; i < a.num_shards(); ++i) {
+    const Shard &x = a.shard(i), &y = b.shard(i);
+    if (x.table != y.table || x.row_begin != y.row_begin ||
+        x.row_end != y.row_end || x.rank != y.rank) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+DistributedDlrm::ReshardResult DistributedDlrm::reshard(
+    const ShardingPlan& new_plan,
+    const std::vector<std::vector<double>>* row_hists) {
+  const Timer timer;
+  ReshardResult res;
+  // By value: pass 4 swaps exchange_ (which owns the plan) and then still
+  // walks the old placement to unpack.
+  const ShardingPlan old_plan = exchange_->plan();
+  DLRM_CHECK(new_plan.tables() == config_.tables(),
+             "reshard plan table count must match the config");
+  DLRM_CHECK(new_plan.ranks() == comm_.size(),
+             "reshard plan rank count must match the comm world");
+  if (same_placement(old_plan, new_plan)) return res;
+
+  const int R = comm_.size();
+  const int me = comm_.rank();
+  const std::int64_t row_b =
+      EmbeddingTable::checkpoint_row_bytes(options_.embed_precision,
+                                           config_.dim);
+  DLRM_CHECK(row_b % 2 == 0, "row codec must be 16-bit aligned");
+
+  // Owned old shard (canonical id) → index into tables_.
+  std::vector<std::int64_t> old_owned = exchange_->owned_shard_ids();
+
+  // The migration schedule is one deterministic enumeration every rank
+  // agrees on: for each destination rank p (ascending), p's new shards in
+  // canonical order, each intersected with its table's old shards in
+  // canonical order. Spans land in the alltoallv buffers in exactly this
+  // order on both sides, so senders and receivers never coordinate.
+  auto for_each_span = [&](auto&& fn) {
+    for (int p = 0; p < R; ++p) {
+      for (std::int64_t nsid : new_plan.shards_of_rank(p)) {
+        const Shard& ns = new_plan.shard(nsid);
+        for (std::int64_t osid : old_plan.shards_of_table(ns.table)) {
+          const Shard& os = old_plan.shard(osid);
+          const std::int64_t b = std::max(ns.row_begin, os.row_begin);
+          const std::int64_t e = std::min(ns.row_end, os.row_end);
+          if (e > b) fn(nsid, ns, osid, os, b, e);
+        }
+      }
+    }
+  };
+
+  // Canonical shard id → index into this rank's table list (old plan now,
+  // new plan after the swap). Owned ids are ascending, so binary search.
+  auto owned_index = [](const std::vector<std::int64_t>& owned,
+                        std::int64_t sid) {
+    return static_cast<std::size_t>(
+        std::lower_bound(owned.begin(), owned.end(), sid) - owned.begin());
+  };
+
+  // Pass 1: alltoallv layout (u16 units — the codec is 16-bit aligned for
+  // every precision) + global movement accounting.
+  std::vector<std::int64_t> scounts(static_cast<std::size_t>(R), 0);
+  std::vector<std::int64_t> rcounts(static_cast<std::size_t>(R), 0);
+  for_each_span([&](std::int64_t, const Shard& ns, std::int64_t,
+                    const Shard& os, std::int64_t b, std::int64_t e) {
+    const std::int64_t units = (e - b) * row_b / 2;
+    if (os.rank == me) scounts[static_cast<std::size_t>(ns.rank)] += units;
+    if (ns.rank == me) rcounts[static_cast<std::size_t>(os.rank)] += units;
+    if (os.rank != ns.rank) {
+      res.rows_moved += e - b;
+      res.bytes_moved += (e - b) * row_b;
+    }
+  });
+  std::vector<std::int64_t> sdispls(static_cast<std::size_t>(R), 0);
+  std::vector<std::int64_t> rdispls(static_cast<std::size_t>(R), 0);
+  for (int p = 1; p < R; ++p) {
+    sdispls[static_cast<std::size_t>(p)] =
+        sdispls[static_cast<std::size_t>(p - 1)] +
+        scounts[static_cast<std::size_t>(p - 1)];
+    rdispls[static_cast<std::size_t>(p)] =
+        rdispls[static_cast<std::size_t>(p - 1)] +
+        rcounts[static_cast<std::size_t>(p - 1)];
+  }
+  const std::int64_t send_units =
+      sdispls.back() + scounts.back();
+  const std::int64_t recv_units =
+      rdispls.back() + rcounts.back();
+
+  // Pass 2: pack this rank's outgoing spans. export_rows reads through the
+  // cache tier, so resident masters are re-encoded and nothing needs an
+  // explicit flush.
+  std::vector<std::uint16_t> send(static_cast<std::size_t>(send_units));
+  std::vector<std::uint16_t> recv(static_cast<std::size_t>(recv_units));
+  {
+    std::vector<std::int64_t> cursor = sdispls;
+    for_each_span([&](std::int64_t, const Shard& ns, std::int64_t osid,
+                      const Shard& os, std::int64_t b, std::int64_t e) {
+      if (os.rank != me) return;
+      const std::size_t k = owned_index(old_owned, osid);
+      auto& cur = cursor[static_cast<std::size_t>(ns.rank)];
+      tables_[k]->export_rows(b - os.row_begin, e - b,
+                              reinterpret_cast<unsigned char*>(send.data() +
+                                                               cur));
+      cur += (e - b) * row_b / 2;
+    });
+  }
+
+  // Pass 3: one personalized alltoallv moves every span to its new owner
+  // (pure 16-bit payload movement, bit-exact; self spans copy through the
+  // local block).
+  const std::uint64_t seq = comm_.ticket();
+  comm_.alltoallv_bf16_seq(seq, send.data(), scounts.data(), sdispls.data(),
+                           recv.data(), rcounts.data(), rdispls.data());
+  send.clear();
+
+  // Carry the retired shards' cache tallies before dropping the tables.
+  for (const auto& table : tables_) {
+    const EmbCacheStats st = table->cache_stats();
+    cache_carry_.hits += st.hits;
+    cache_carry_.misses += st.misses;
+    cache_carry_.evictions += st.evictions;
+    cache_carry_.admissions += st.admissions;
+    cache_carry_.refreshes += st.refreshes;
+  }
+
+  // Pass 4: rebuild the owned shards on the new plan and unpack. Every row
+  // of every new shard is covered by exactly one span (both plans tile the
+  // tables), so no init draw is needed — the imported bytes ARE the state.
+  tables_.clear();
+  emb_out_.clear();
+  demb_own_.clear();
+  exchange_ = std::make_unique<EmbeddingExchange>(
+      comm_, backend_, options_.exchange, new_plan, config_.dim, gn_,
+      options_.bf16_wire && config_.mlp_precision == Precision::kBf16
+          ? Precision::kBf16
+          : Precision::kFp32);
+  DLRM_CHECK(exchange_->local_batch() == ln_, "reshard changed the slice");
+  for (std::int64_t sid : exchange_->owned_shard_ids()) {
+    const Shard& sh = exchange_->plan().shard(sid);
+    tables_.push_back(std::make_unique<EmbeddingTable>(
+        sh.rows(), config_.dim, options_.embed_precision, sh.row_begin,
+        config_.table_rows[static_cast<std::size_t>(sh.table)]));
+    emb_out_.emplace_back(std::vector<std::int64_t>{gn_, config_.dim});
+    demb_own_.emplace_back(std::vector<std::int64_t>{gn_, config_.dim});
+  }
+  {
+    std::vector<std::int64_t> cursor = rdispls;
+    const std::vector<std::int64_t> new_owned = exchange_->owned_shard_ids();
+    for_each_span([&](std::int64_t nsid, const Shard& ns, std::int64_t,
+                      const Shard& os, std::int64_t b, std::int64_t e) {
+      if (ns.rank != me) return;
+      const std::size_t k = owned_index(new_owned, nsid);
+      auto& cur = cursor[static_cast<std::size_t>(os.rank)];
+      tables_[k]->import_rows(
+          b - ns.row_begin, e - b,
+          reinterpret_cast<const unsigned char*>(recv.data() + cur));
+      cur += (e - b) * row_b / 2;
+    });
+  }
+
+  if (options_.emb_cache.enabled()) {
+    configure_embedding_cache(options_.emb_cache, row_hists);
+  }
+
+  res.changed = true;
+  res.stall_sec = timer.elapsed_sec();
+  return res;
 }
 
 double DistributedDlrm::train_step(const HybridBatch& hb, Profiler* prof) {

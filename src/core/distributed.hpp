@@ -55,6 +55,11 @@ struct DistributedOptions {
   /// exchanged embedding rows as 2-byte bf16 payloads (half the wire volume
   /// of Eqs. 1–2). Set false to ablate: bf16 compute with fp32 comm.
   bool bf16_wire = true;
+  /// Hot-row working tier applied to every owned shard (capacity is per
+  /// shard, clamped to its rows). kHist admission additionally wants a call
+  /// to configure_embedding_cache() with row histograms; kCounter
+  /// self-manages. Bit-identical to the uncached path for every precision.
+  EmbCacheOptions emb_cache{};
 };
 
 /// One rank's shard of the hybrid-parallel DLRM. Construct one per rank
@@ -72,10 +77,10 @@ class DistributedDlrm {
   std::int64_t local_batch() const { return ln_; }
   const DlrmConfig& config() const { return config_; }
   const DistributedOptions& options() const { return options_; }
-  const ShardingPlan& plan() const { return exchange_.plan(); }
+  const ShardingPlan& plan() const { return exchange_->plan(); }
   /// Table ids of this rank's shards (one entry per owned shard).
   const std::vector<std::int64_t>& owned_tables() const {
-    return exchange_.owned_ids();
+    return exchange_->owned_ids();
   }
   /// The shards this rank owns, in canonical order.
   std::vector<Shard> owned_shards() const;
@@ -111,9 +116,59 @@ class DistributedDlrm {
   /// ShardingPlan balances. Always measured (independent of the Profiler).
   double embedding_sec() const { return emb_sec_; }
 
+  // ---- Hot-row cache tier ---------------------------------------------
+
+  /// (Re)configures the working tier on every owned shard. `row_hists`
+  /// (one LookupStats histogram per logical table, any bucket count) seeds
+  /// kHist admission; kCounter admission is runtime-managed and ignores it.
+  void configure_embedding_cache(
+      const EmbCacheOptions& opts,
+      const std::vector<std::vector<double>>* row_hists = nullptr);
+
+  /// Cache counters summed over owned shards, cumulative across reshards
+  /// (migrated-away shards' tallies are carried over).
+  EmbCacheStats cache_stats() const;
+  void reset_cache_stats();
+
+  // ---- Runtime lookup statistics + live re-balancing ------------------
+
+  /// Starts accumulating per-table lookup rates and row histograms from the
+  /// bag streams this rank actually trains on (`buckets` row-range buckets
+  /// per table). Costs a scalar pass over the indices each step; off by
+  /// default.
+  void enable_lookup_stats(std::int64_t buckets);
+  bool lookup_stats_enabled() const { return stats_buckets_ > 0; }
+  /// Samples observed since enable/reset (same on every rank).
+  std::int64_t lookup_stats_samples() const { return stats_samples_; }
+
+  /// SPMD: sums every rank's accumulated statistics (each shard owner only
+  /// sees its own rows' traffic) into the global LookupStats every rank
+  /// agrees on — the input for make_sharding_plan_from_stats.
+  LookupStats lookup_stats_allreduced();
+  void reset_lookup_stats();
+
+  struct ReshardResult {
+    bool changed = false;          // false: new plan equals the current one
+    std::int64_t rows_moved = 0;   // rows that crossed ranks (global)
+    std::int64_t bytes_moved = 0;  // wire volume of the migration (global)
+    double stall_sec = 0.0;        // this rank's wall time inside reshard
+  };
+
+  /// SPMD: migrates the embedding state onto `new_plan` — export row spans,
+  /// one alltoallv to the new owners, import — then swaps the exchange
+  /// routing. Bit-exact: every row's storage (hidden Split-SGD halves
+  /// included) survives verbatim via the checkpoint row codec; no training
+  /// state is lost. The cache tier is reconfigured on the migrated shards
+  /// (`row_hists` seeds kHist re-admission). All ranks must pass the same
+  /// plan.
+  ReshardResult reshard(const ShardingPlan& new_plan,
+                        const std::vector<std::vector<double>>* row_hists =
+                            nullptr);
+
  private:
   void backward(const HybridBatch& hb, const Tensor<float>& dlogits,
                 Profiler* prof);
+  void note_lookup_stats(const HybridBatch& hb);
 
   DlrmConfig config_;
   DistributedOptions options_;
@@ -124,7 +179,9 @@ class DistributedDlrm {
   Mlp bottom_, top_;
   std::vector<std::unique_ptr<EmbeddingTable>> tables_;  // owned shards only
   DotInteraction interaction_;
-  EmbeddingExchange exchange_;
+  // unique_ptr so reshard() can swap in the new plan's routing (the exchange
+  // holds reference members and is deliberately not assignable).
+  std::unique_ptr<EmbeddingExchange> exchange_;
   DdpAllreducer ddp_;
   std::unique_ptr<Optimizer> opt_;  // matches config.mlp_precision
 
@@ -138,6 +195,17 @@ class DistributedDlrm {
 
   double a2a_wait_ = 0.0, a2a_frame_ = 0.0;
   double emb_sec_ = 0.0;
+
+  // Cache counters of shards migrated away, so cache_stats() stays
+  // cumulative across reshards.
+  EmbCacheStats cache_carry_{};
+
+  // Runtime lookup statistics (global-table bucket space, so they survive
+  // reshards unchanged).
+  std::int64_t stats_buckets_ = 0;
+  std::int64_t stats_samples_ = 0;
+  std::vector<double> stats_lookups_;               // per table
+  std::vector<std::vector<double>> stats_hist_;     // per table, B_t buckets
 };
 
 }  // namespace dlrm

@@ -46,6 +46,9 @@ DlrmModel::DlrmModel(const DlrmConfig& config, ModelOptions options,
     // which rank owns them.
     Rng trng(seed + 1000003ull * static_cast<std::uint64_t>(t + 1));
     tables_.back()->init(trng, 1.0f / std::sqrt(static_cast<float>(config_.dim)));
+    if (options_.emb_cache.enabled()) {
+      tables_.back()->configure_cache(options_.emb_cache);
+    }
   }
   DLRM_CHECK(interaction_.out_dim() == config_.interaction_out(),
              "interaction width mismatch");

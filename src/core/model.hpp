@@ -27,6 +27,11 @@ struct ModelOptions {
   /// true uses the fused kernel (Sect. III.A, up to 1.6x on updates).
   bool fused_embedding_update = true;
   BlockTargets blocks{};
+  /// Hot-row working tier applied to every table (capacity per table,
+  /// clamped to its rows). kHist admission additionally wants the caller
+  /// to seed rows (measure_lookup_stats + admit_top_rows_from_histogram);
+  /// kCounter self-manages. Bit-identical to the uncached path.
+  EmbCacheOptions emb_cache{};
 };
 
 class DlrmModel {

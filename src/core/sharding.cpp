@@ -340,16 +340,29 @@ ShardingPlan make_sharding_plan(const ShardingOptions& options,
     stats.lookups_per_sample.assign(table_rows.size(), 1.0);
     stats.row_histograms.assign(table_rows.size(), {});
   }
+  return make_sharding_plan_from_stats(options, table_rows, dim, global_batch,
+                                       ranks, stats);
+}
+
+ShardingPlan make_sharding_plan_from_stats(
+    const ShardingOptions& options, const std::vector<std::int64_t>& table_rows,
+    std::int64_t dim, std::int64_t global_batch, int ranks,
+    const LookupStats& stats) {
+  if (options.policy == ShardingPolicy::kRoundRobin) {
+    return ShardingPlan::round_robin(table_rows, ranks);
+  }
   const KernelModel kernel(clx_8280(), KernelEffs{});
   const std::vector<double> costs = estimate_table_costs(
       kernel, table_rows, stats.lookups_per_sample, dim, global_batch);
   if (options.policy == ShardingPolicy::kGreedyBalanced) {
     return ShardingPlan::greedy_balanced(table_rows, ranks, costs);
   }
+  const bool have_hists =
+      !stats.row_histograms.empty() &&
+      !stats.row_histograms.front().empty();
   return ShardingPlan::row_split(table_rows, ranks, costs,
                                  options.row_split_threshold,
-                                 data != nullptr ? &stats.row_histograms
-                                                 : nullptr);
+                                 have_hists ? &stats.row_histograms : nullptr);
 }
 
 }  // namespace dlrm

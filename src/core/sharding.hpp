@@ -187,4 +187,15 @@ ShardingPlan make_sharding_plan(const ShardingOptions& options,
                                 std::int64_t dim, std::int64_t global_batch,
                                 int ranks, const Dataset* data);
 
+/// Same planner fed with *given* lookup statistics instead of a fresh
+/// measurement pass — the entry point for live re-balancing, where the
+/// stats come from the training stream actually observed so far
+/// (DistributedDlrm::lookup_stats_allreduced) rather than a construction-time
+/// sample. Deterministic in its inputs, so ranks that agree on `stats`
+/// derive the identical plan.
+ShardingPlan make_sharding_plan_from_stats(
+    const ShardingOptions& options, const std::vector<std::int64_t>& table_rows,
+    std::int64_t dim, std::int64_t global_batch, int ranks,
+    const LookupStats& stats);
+
 }  // namespace dlrm

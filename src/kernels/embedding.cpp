@@ -1,5 +1,6 @@
 #include "kernels/embedding.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <vector>
@@ -32,6 +33,18 @@ const char* to_string(UpdateStrategy s) {
       return "RTM";
     case UpdateStrategy::kRaceFree:
       return "RaceFree";
+  }
+  return "?";
+}
+
+const char* to_string(EmbCachePolicy p) {
+  switch (p) {
+    case EmbCachePolicy::kOff:
+      return "off";
+    case EmbCachePolicy::kHist:
+      return "hist";
+    case EmbCachePolicy::kCounter:
+      return "counter";
   }
   return "?";
 }
@@ -148,16 +161,17 @@ void EmbeddingTable::init(Rng& rng, float scale) {
   }
 }
 
-std::int64_t EmbeddingTable::checkpoint_row_bytes() const {
-  switch (precision_) {
+std::int64_t EmbeddingTable::checkpoint_row_bytes(EmbedPrecision precision,
+                                                  std::int64_t dim) {
+  switch (precision) {
     case EmbedPrecision::kFp32:
     case EmbedPrecision::kFp24:
-      return dim_ * 4;  // fp24 is stored widened in fp32; copy it verbatim
+      return dim * 4;  // fp24 is stored widened in fp32; copy it verbatim
     case EmbedPrecision::kBf16Split:
     case EmbedPrecision::kBf16Split8:
-      return dim_ * 4;  // bf16 hi half + hidden lo half per element
+      return dim * 4;  // bf16 hi half + hidden lo half per element
     case EmbedPrecision::kFp16Stochastic:
-      return dim_ * 2;
+      return dim * 2;
   }
   return 0;
 }
@@ -172,7 +186,7 @@ void EmbeddingTable::export_rows(std::int64_t first, std::int64_t n,
     case EmbedPrecision::kFp24:
       std::memcpy(out, w_.data() + first * dim_,
                   static_cast<std::size_t>(elems) * 4);
-      return;
+      break;
     case EmbedPrecision::kBf16Split:
     case EmbedPrecision::kBf16Split8:
       // Per row: hi[dim] then lo[dim] — both halves, so the implicit fp32
@@ -184,11 +198,22 @@ void EmbeddingTable::export_rows(std::int64_t first, std::int64_t n,
         std::memcpy(dst + dim_ * 2, lo_.data() + base,
                     static_cast<std::size_t>(dim_) * 2);
       }
-      return;
+      break;
     case EmbedPrecision::kFp16Stochastic:
       std::memcpy(out, hi_.data() + first * dim_,
                   static_cast<std::size_t>(elems) * 2);
-      return;
+      break;
+  }
+  // Read through the cache tier: resident rows carry the authoritative
+  // master state, so re-encode them over the cold-storage bytes. Keeps the
+  // checkpoint encoding independent of cache configuration.
+  if (!cache_slot_.empty()) {
+    const std::int64_t rb = checkpoint_row_bytes();
+    for (std::int64_t r = first; r < first + n; ++r) {
+      if (const float* m = cached_row(r)) {
+        encode_row_bytes(m, out + (r - first) * rb);
+      }
+    }
   }
 }
 
@@ -202,7 +227,7 @@ void EmbeddingTable::import_rows(std::int64_t first, std::int64_t n,
     case EmbedPrecision::kFp24:
       std::memcpy(w_.data() + first * dim_, in,
                   static_cast<std::size_t>(elems) * 4);
-      return;
+      break;
     case EmbedPrecision::kBf16Split:
     case EmbedPrecision::kBf16Split8:
       for (std::int64_t r = 0; r < n; ++r) {
@@ -212,15 +237,34 @@ void EmbeddingTable::import_rows(std::int64_t first, std::int64_t n,
         std::memcpy(lo_.data() + base, src + dim_ * 2,
                     static_cast<std::size_t>(dim_) * 2);
       }
-      return;
+      break;
     case EmbedPrecision::kFp16Stochastic:
       std::memcpy(hi_.data() + first * dim_, in,
                   static_cast<std::size_t>(elems) * 2);
-      return;
+      break;
+  }
+  // Write through: refresh the cached masters of any resident row in range.
+  if (!cache_slot_.empty()) {
+    for (std::int64_t r = first; r < first + n; ++r) {
+      if (float* m = cached_row(r)) load_master_row(r, m);
+    }
   }
 }
 
 void EmbeddingTable::read_row(std::int64_t row, float* out) const {
+  if (const float* m = cached_row(row)) {
+    // Model-weight view of the cached master: bf16 variants expose only the
+    // hi half (top 16 bits of the master), everything else is the master
+    // itself.
+    const bool mask = precision_ == EmbedPrecision::kBf16Split ||
+                      precision_ == EmbedPrecision::kBf16Split8;
+    for (std::int64_t e = 0; e < dim_; ++e) {
+      out[e] = mask ? std::bit_cast<float>(
+                          std::bit_cast<std::uint32_t>(m[e]) & 0xFFFF0000u)
+                    : m[e];
+    }
+    return;
+  }
   const std::int64_t base = row * dim_;
   switch (precision_) {
     case EmbedPrecision::kFp32:
@@ -243,10 +287,10 @@ void EmbeddingTable::write_row(std::int64_t row, const float* values) {
   switch (precision_) {
     case EmbedPrecision::kFp32:
       for (std::int64_t e = 0; e < dim_; ++e) w_[base + e] = values[e];
-      return;
+      break;
     case EmbedPrecision::kFp24:
       for (std::int64_t e = 0; e < dim_; ++e) w_[base + e] = f32_to_f24_rne(values[e]);
-      return;
+      break;
     case EmbedPrecision::kBf16Split:
     case EmbedPrecision::kBf16Split8:
       for (std::int64_t e = 0; e < dim_; ++e) {
@@ -256,14 +300,284 @@ void EmbeddingTable::write_row(std::int64_t row, const float* values) {
                             ? s.lo
                             : static_cast<std::uint16_t>(s.lo & 0xFF00u);
       }
-      return;
+      break;
     case EmbedPrecision::kFp16Stochastic:
       for (std::int64_t e = 0; e < dim_; ++e) hi_[base + e] = f32_to_f16_rne(values[e]);
+      break;
+  }
+  if (float* m = cached_row(row)) load_master_row(row, m);
+}
+
+// ---- Hot-row cache tier ----------------------------------------------------
+
+void EmbeddingTable::load_master_row(std::int64_t row, float* out) const {
+  const std::int64_t base = row * dim_;
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24:
+      for (std::int64_t e = 0; e < dim_; ++e) out[e] = w_[base + e];
+      return;
+    case EmbedPrecision::kBf16Split:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        out[e] = combine_f32(hi_[base + e], lo_[base + e]);
+      }
+      return;
+    case EmbedPrecision::kBf16Split8:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        out[e] = combine_f32_partial(hi_[base + e], lo_[base + e], 8);
+      }
+      return;
+    case EmbedPrecision::kFp16Stochastic:
+      for (std::int64_t e = 0; e < dim_; ++e) out[e] = f16_to_f32(hi_[base + e]);
       return;
   }
 }
 
+void EmbeddingTable::encode_row_bytes(const float* master,
+                                      unsigned char* out) const {
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24:
+      std::memcpy(out, master, static_cast<std::size_t>(dim_) * 4);
+      return;
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8: {
+      auto* hi = reinterpret_cast<std::uint16_t*>(out);
+      auto* lo = reinterpret_cast<std::uint16_t*>(out + dim_ * 2);
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        const SplitF32 s = split_f32(master[e]);
+        hi[e] = s.hi;
+        lo[e] = precision_ == EmbedPrecision::kBf16Split
+                    ? s.lo
+                    : static_cast<std::uint16_t>(s.lo & 0xFF00u);
+      }
+      return;
+    }
+    case EmbedPrecision::kFp16Stochastic: {
+      auto* hi = reinterpret_cast<std::uint16_t*>(out);
+      // Masters hold exact fp16-representable values, so RNE is an identity
+      // re-encode.
+      for (std::int64_t e = 0; e < dim_; ++e) hi[e] = f32_to_f16_rne(master[e]);
+      return;
+    }
+  }
+}
+
+void EmbeddingTable::store_master_row(std::int64_t row, const float* master) {
+  const std::int64_t base = row * dim_;
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24:
+      for (std::int64_t e = 0; e < dim_; ++e) w_[base + e] = master[e];
+      return;
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        const SplitF32 s = split_f32(master[e]);
+        hi_[base + e] = s.hi;
+        lo_[base + e] = precision_ == EmbedPrecision::kBf16Split
+                            ? s.lo
+                            : static_cast<std::uint16_t>(s.lo & 0xFF00u);
+      }
+      return;
+    case EmbedPrecision::kFp16Stochastic:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        hi_[base + e] = f32_to_f16_rne(master[e]);
+      }
+      return;
+  }
+}
+
+void EmbeddingTable::evict_slot(std::int64_t slot) {
+  const std::int64_t row = slot_row_[static_cast<std::size_t>(slot)];
+  if (row < 0) return;
+  store_master_row(row, cache_.data() + slot * dim_);
+  slot_row_[static_cast<std::size_t>(slot)] = -1;
+  cache_slot_[static_cast<std::size_t>(row)] = -1;
+  --cache_resident_;
+  ++cache_evictions_;
+}
+
+void EmbeddingTable::configure_cache(const EmbCacheOptions& opts) {
+  flush_cache();
+  cache_opts_ = opts;
+  cache_.clear();
+  cache_slot_.clear();
+  slot_row_.clear();
+  freq_.clear();
+  cache_resident_ = 0;
+  forwards_since_refresh_ = 0;
+  reset_cache_stats();
+  if (!opts.enabled()) {
+    cache_opts_.policy = EmbCachePolicy::kOff;
+    cache_opts_.capacity = 0;
+    return;
+  }
+  cache_opts_.capacity = std::min<std::int64_t>(opts.capacity, rows_);
+  DLRM_CHECK(cache_opts_.capacity <= (std::int64_t{1} << 31) - 1,
+             "cache capacity exceeds slot index range");
+  cache_.assign(static_cast<std::size_t>(cache_opts_.capacity * dim_), 0.0f);
+  cache_slot_.assign(static_cast<std::size_t>(rows_), -1);
+  slot_row_.assign(static_cast<std::size_t>(cache_opts_.capacity), -1);
+  if (cache_opts_.policy == EmbCachePolicy::kCounter) {
+    freq_.assign(static_cast<std::size_t>(rows_), 0);
+    if (cache_opts_.refresh_every < 1) cache_opts_.refresh_every = 1;
+  }
+}
+
+void EmbeddingTable::admit_rows(const std::int64_t* rows, std::int64_t n) {
+  if (cache_slot_.empty()) return;
+  n = std::min<std::int64_t>(n, cache_opts_.capacity);
+  // Evict residents that fall out of the new set.
+  std::vector<char> keep(static_cast<std::size_t>(cache_opts_.capacity), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t s = cache_slot_[static_cast<std::size_t>(rows[i])];
+    if (s >= 0) keep[static_cast<std::size_t>(s)] = 1;
+  }
+  for (std::int64_t s = 0; s < cache_opts_.capacity; ++s) {
+    if (slot_row_[static_cast<std::size_t>(s)] >= 0 &&
+        !keep[static_cast<std::size_t>(s)]) {
+      evict_slot(s);
+    }
+  }
+  // Load newcomers into free slots in order.
+  std::int64_t scan = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t row = rows[i];
+    DLRM_CHECK(row >= 0 && row < rows_, "admit_rows id outside the shard");
+    if (cache_slot_[static_cast<std::size_t>(row)] >= 0) continue;
+    while (slot_row_[static_cast<std::size_t>(scan)] >= 0) ++scan;
+    load_master_row(row, cache_.data() + scan * dim_);
+    slot_row_[static_cast<std::size_t>(scan)] = row;
+    cache_slot_[static_cast<std::size_t>(row)] = static_cast<std::int32_t>(scan);
+    ++cache_resident_;
+    ++cache_admissions_;
+  }
+}
+
+void EmbeddingTable::admit_top_rows_from_histogram(
+    const std::vector<double>& histogram) {
+  if (cache_slot_.empty() || histogram.empty()) return;
+  const std::int64_t buckets = static_cast<std::int64_t>(histogram.size());
+  // Rank buckets by lookup density; within equal density prefer lower row
+  // ids (the Zipf head lives there under rank-ordered id assignment).
+  std::vector<std::int64_t> order(static_cast<std::size_t>(buckets));
+  for (std::int64_t b = 0; b < buckets; ++b) order[static_cast<std::size_t>(b)] = b;
+  std::vector<double> density(static_cast<std::size_t>(buckets), 0.0);
+  for (std::int64_t b = 0; b < buckets; ++b) {
+    const std::int64_t begin = global_rows_ * b / buckets;
+    const std::int64_t end = global_rows_ * (b + 1) / buckets;
+    if (end > begin) {
+      density[static_cast<std::size_t>(b)] =
+          histogram[static_cast<std::size_t>(b)] /
+          static_cast<double>(end - begin);
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int64_t a, std::int64_t b) {
+                     return density[static_cast<std::size_t>(a)] >
+                            density[static_cast<std::size_t>(b)];
+                   });
+  std::vector<std::int64_t> picked;
+  picked.reserve(static_cast<std::size_t>(cache_opts_.capacity));
+  const std::int64_t shard_begin = row_begin_;
+  const std::int64_t shard_end = row_begin_ + rows_;
+  for (const std::int64_t b : order) {
+    if (static_cast<std::int64_t>(picked.size()) >= cache_opts_.capacity) break;
+    const std::int64_t begin =
+        std::max(global_rows_ * b / buckets, shard_begin);
+    const std::int64_t end =
+        std::min(global_rows_ * (b + 1) / buckets, shard_end);
+    for (std::int64_t g = begin; g < end; ++g) {
+      if (static_cast<std::int64_t>(picked.size()) >= cache_opts_.capacity) break;
+      picked.push_back(g - shard_begin);
+    }
+  }
+  admit_rows(picked.data(), static_cast<std::int64_t>(picked.size()));
+}
+
+void EmbeddingTable::flush_cache() {
+  if (cache_slot_.empty()) return;
+  for (std::int64_t s = 0; s < cache_opts_.capacity; ++s) {
+    const std::int64_t row = slot_row_[static_cast<std::size_t>(s)];
+    if (row >= 0) store_master_row(row, cache_.data() + s * dim_);
+  }
+}
+
+EmbCacheStats EmbeddingTable::cache_stats() const {
+  EmbCacheStats st;
+  st.hits = cache_hits_.load(std::memory_order_relaxed);
+  st.misses = cache_misses_.load(std::memory_order_relaxed);
+  st.evictions = cache_evictions_;
+  st.admissions = cache_admissions_;
+  st.refreshes = cache_refreshes_;
+  st.capacity = cache_opts_.capacity;
+  st.resident = cache_resident_;
+  return st;
+}
+
+void EmbeddingTable::reset_cache_stats() {
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  cache_evictions_ = 0;
+  cache_admissions_ = 0;
+  cache_refreshes_ = 0;
+}
+
+std::int64_t EmbeddingTable::cache_bytes() const {
+  return static_cast<std::int64_t>(cache_.size()) * 4 +
+         static_cast<std::int64_t>(cache_slot_.size()) * 4 +
+         static_cast<std::int64_t>(slot_row_.size()) * 8 +
+         static_cast<std::int64_t>(freq_.size()) * 4;
+}
+
+void EmbeddingTable::note_forward_counters(const BagBatch& bags) const {
+  // Serial (called before the parallel bag loops), so plain counters are
+  // race-free; only derived cache state changes, never logical values.
+  auto* self = const_cast<EmbeddingTable*>(this);
+  const std::int64_t ns = bags.lookups();
+  const std::int64_t* idx = bags.indices.data();
+  for (std::int64_t s = 0; s < ns; ++s) {
+    ++self->freq_[static_cast<std::size_t>(idx[s])];
+  }
+  ++self->forwards_since_refresh_;
+  const bool cold_start = cache_resident_ == 0;
+  if (!cold_start && forwards_since_refresh_ < cache_opts_.refresh_every) {
+    return;
+  }
+  self->forwards_since_refresh_ = 0;
+  ++self->cache_refreshes_;
+  // Re-admit the top-capacity rows by current counter value (deterministic
+  // tie-break on row id), then decay so stale popularity ages out.
+  std::vector<std::int64_t> hot;
+  hot.reserve(static_cast<std::size_t>(rows_));
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    if (freq_[static_cast<std::size_t>(r)] > 0) hot.push_back(r);
+  }
+  const std::size_t k = static_cast<std::size_t>(
+      std::min<std::int64_t>(cache_opts_.capacity,
+                             static_cast<std::int64_t>(hot.size())));
+  std::partial_sort(hot.begin(), hot.begin() + static_cast<std::ptrdiff_t>(k),
+                    hot.end(), [&](std::int64_t a, std::int64_t b) {
+                      const std::uint32_t fa = freq_[static_cast<std::size_t>(a)];
+                      const std::uint32_t fb = freq_[static_cast<std::size_t>(b)];
+                      return fa != fb ? fa > fb : a < b;
+                    });
+  self->admit_rows(hot.data(), static_cast<std::int64_t>(k));
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    self->freq_[static_cast<std::size_t>(r)] >>=
+        static_cast<unsigned>(cache_opts_.decay_shift);
+  }
+}
+
 void EmbeddingTable::forward(const BagBatch& bags, float* out) const {
+  if (cache_enabled()) {
+    if (cache_opts_.policy == EmbCachePolicy::kCounter) {
+      note_forward_counters(bags);
+    }
+    forward_cached(bags, out);
+    return;
+  }
   const std::int64_t n = bags.batch();
   const std::int64_t* idx = bags.indices.data();
   const std::int64_t* off = bags.offsets.data();
@@ -305,6 +619,93 @@ void EmbeddingTable::forward(const BagBatch& bags, float* out) const {
   });
 }
 
+// Tier-dispatching bag sum: resident rows read from the contiguous fp32
+// arena, cold rows decode from precision storage exactly like the uncached
+// kernel — the value added per lookup is bit-identical either way.
+void EmbeddingTable::forward_cached(const BagBatch& bags, float* out) const {
+  const std::int64_t n = bags.batch();
+  const std::int64_t* idx = bags.indices.data();
+  const std::int64_t* off = bags.offsets.data();
+  const std::int64_t dim = dim_;
+  const float* arena = cache_.data();
+  const std::int32_t* slot = cache_slot_.data();
+
+  // Per-block hit/miss tallies, folded into the shared counters with one
+  // relaxed atomic add per block.
+  auto run = [&](auto&& accumulate_row) {
+    parallel_for_dynamic(
+        0, n, /*grain=*/16, [&](std::int64_t lo, std::int64_t hi) {
+          std::int64_t hits = 0, misses = 0;
+          for (std::int64_t b = lo; b < hi; ++b) {
+            float* __restrict__ dst = out + b * dim;
+            for (std::int64_t e = 0; e < dim; ++e) dst[e] = 0.0f;
+            for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
+              const std::int64_t row = idx[s];
+              const std::int32_t sl = slot[static_cast<std::size_t>(row)];
+              if (sl >= 0) {
+                ++hits;
+                const float* __restrict__ src =
+                    arena + static_cast<std::int64_t>(sl) * dim;
+                accumulate_row(dst, src, /*cached=*/true);
+              } else {
+                ++misses;
+                accumulate_row(dst, nullptr, /*cached=*/false, row);
+              }
+            }
+          }
+          cache_hits_.fetch_add(hits, std::memory_order_relaxed);
+          cache_misses_.fetch_add(misses, std::memory_order_relaxed);
+        });
+  };
+
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+    case EmbedPrecision::kFp24: {
+      const float* w = w_.data();
+      run([&](float* __restrict__ dst, const float* __restrict__ src,
+              bool cached, std::int64_t row = 0) {
+        if (!cached) src = w + row * dim;
+        for (std::int64_t e = 0; e < dim; ++e) dst[e] += src[e];
+      });
+      return;
+    }
+    case EmbedPrecision::kBf16Split:
+    case EmbedPrecision::kBf16Split8: {
+      // Model weight == hi half only: masters carry the hidden lo halves in
+      // their mantissa tails, so the cached add must mask them off to stay
+      // bit-identical with the bf16 decode of the cold path.
+      const std::uint16_t* hi = hi_.data();
+      run([&](float* __restrict__ dst, const float* __restrict__ src,
+              bool cached, std::int64_t row = 0) {
+        if (cached) {
+          for (std::int64_t e = 0; e < dim; ++e) {
+            dst[e] += std::bit_cast<float>(
+                std::bit_cast<std::uint32_t>(src[e]) & 0xFFFF0000u);
+          }
+        } else {
+          const std::uint16_t* __restrict__ h = hi + row * dim;
+          for (std::int64_t e = 0; e < dim; ++e) dst[e] += bf16_to_f32(h[e]);
+        }
+      });
+      return;
+    }
+    case EmbedPrecision::kFp16Stochastic: {
+      // Masters hold exact fp16-representable values: add them directly.
+      const std::uint16_t* hi = hi_.data();
+      run([&](float* __restrict__ dst, const float* __restrict__ src,
+              bool cached, std::int64_t row = 0) {
+        if (cached) {
+          for (std::int64_t e = 0; e < dim; ++e) dst[e] += src[e];
+        } else {
+          const std::uint16_t* __restrict__ h = hi + row * dim;
+          for (std::int64_t e = 0; e < dim; ++e) dst[e] += f16_to_f32(h[e]);
+        }
+      });
+      return;
+    }
+  }
+}
+
 void EmbeddingTable::backward(const float* dy, const BagBatch& bags,
                               Tensor<float>& dlookup) const {
   const std::int64_t n = bags.batch();
@@ -325,14 +726,63 @@ void EmbeddingTable::backward(const float* dy, const BagBatch& bags,
   });
 }
 
+// Cache-hit update: mutates the resident fp32 master so that after the
+// update `master == exact decoded storage state` still holds for every
+// precision — i.e. this mirrors update_row_lowp bit-for-bit, including the
+// stochastic-rounding rng stream, just without touching cold storage.
+void EmbeddingTable::update_master_row(float* master, std::int64_t row,
+                                       const float* grad, float lr,
+                                       std::uint64_t salt) {
+  switch (precision_) {
+    case EmbedPrecision::kFp32:
+      for (std::int64_t e = 0; e < dim_; ++e) master[e] -= lr * grad[e];
+      return;
+    case EmbedPrecision::kFp24:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        master[e] = f32_to_f24_rne(master[e] - lr * grad[e]);
+      }
+      return;
+    case EmbedPrecision::kBf16Split:
+      // split/combine is a lossless 16/16 bit split, so the fast path is a
+      // plain fp32 subtract — this is where the cached tier wins over the
+      // combine/split round trip of the cold path.
+      for (std::int64_t e = 0; e < dim_; ++e) master[e] -= lr * grad[e];
+      return;
+    case EmbedPrecision::kBf16Split8:
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        const SplitF32 s = split_f32(master[e] - lr * grad[e]);
+        master[e] = combine_f32_partial(s.hi, s.lo, 8);
+      }
+      return;
+    case EmbedPrecision::kFp16Stochastic: {
+      std::uint64_t state = salt ^ (static_cast<std::uint64_t>(row) << 20);
+      for (std::int64_t e = 0; e < dim_; ++e) {
+        const float updated = master[e] - lr * grad[e];
+        const std::uint16_t rnd =
+            static_cast<std::uint16_t>(detail::splitmix64(state) >> 48);
+        master[e] = f16_to_f32(f32_to_f16_stochastic(updated, rnd));
+      }
+      return;
+    }
+  }
+}
+
 void EmbeddingTable::update_row_fp32(std::int64_t row, const float* grad,
                                      float lr) {
+  if (float* m = cached_row(row)) {
+    for (std::int64_t e = 0; e < dim_; ++e) m[e] -= lr * grad[e];
+    return;
+  }
   float* __restrict__ w = w_.data() + row * dim_;
   for (std::int64_t e = 0; e < dim_; ++e) w[e] -= lr * grad[e];
 }
 
 void EmbeddingTable::update_row_lowp(std::int64_t row, const float* grad,
                                      float lr, std::uint64_t salt) {
+  if (float* m = cached_row(row)) {
+    update_master_row(m, row, grad, lr, salt);
+    return;
+  }
   const std::int64_t base = row * dim_;
   switch (precision_) {
     case EmbedPrecision::kFp32:
@@ -419,9 +869,16 @@ void EmbeddingTable::apply_update(const Tensor<float>& dlookup,
       DLRM_CHECK(precision_ == EmbedPrecision::kFp32,
                  "AtomicXchg requires fp32 storage (32-bit CAS granularity)");
       float* w = w_.data();
+      float* arena = cache_.data();
+      const std::int32_t* slot = cache_slot_.empty() ? nullptr
+                                                     : cache_slot_.data();
       parallel_for_dynamic(0, ns, /*grain=*/64, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t s = lo; s < hi; ++s) {
           float* __restrict__ row = w + idx[s] * dim;
+          if (slot) {
+            const std::int32_t sl = slot[static_cast<std::size_t>(idx[s])];
+            if (sl >= 0) row = arena + static_cast<std::int64_t>(sl) * dim;
+          }
           const float* __restrict__ g = dl + s * dim;
           for (std::int64_t e = 0; e < dim; ++e) {
             atomic_add_float(&row[e], -lr * g[e]);
@@ -481,11 +938,18 @@ void EmbeddingTable::fused_backward_update(const float* dy,
       DLRM_CHECK(precision_ == EmbedPrecision::kFp32,
                  "AtomicXchg requires fp32 storage (32-bit CAS granularity)");
       float* w = w_.data();
+      float* arena = cache_.data();
+      const std::int32_t* slot = cache_slot_.empty() ? nullptr
+                                                     : cache_slot_.data();
       parallel_for_dynamic(0, n, /*grain=*/16, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t b = lo; b < hi; ++b) {
           const float* __restrict__ g = dy + b * dim;
           for (std::int64_t s = off[b]; s < off[b + 1]; ++s) {
             float* __restrict__ row = w + idx[s] * dim;
+            if (slot) {
+              const std::int32_t sl = slot[static_cast<std::size_t>(idx[s])];
+              if (sl >= 0) row = arena + static_cast<std::int64_t>(sl) * dim;
+            }
             for (std::int64_t e = 0; e < dim; ++e) {
               atomic_add_float(&row[e], -lr * g[e]);
             }

@@ -27,7 +27,9 @@
 // [13]; fails to reach SOTA in the paper).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -60,6 +62,46 @@ enum class EmbedPrecision {
 
 const char* to_string(UpdateStrategy s);
 const char* to_string(EmbedPrecision p);
+
+/// How rows are admitted into the hot-row cache tier.
+enum class EmbCachePolicy {
+  kOff,      // no cache
+  kHist,     // one-shot admission from LookupStats row histograms
+  kCounter   // runtime per-row counters with periodic decay + re-admission
+};
+
+const char* to_string(EmbCachePolicy p);
+
+/// Hot-row working-tier configuration. Embedding lookups are heavily
+/// Zipf-skewed; the cache keeps the top-K rows as fp32 *master* state in one
+/// contiguous arena so hot traffic stays in a few MB instead of streaming the
+/// whole table.
+struct EmbCacheOptions {
+  std::int64_t capacity = 0;  // max resident rows per table; 0 disables
+  EmbCachePolicy policy = EmbCachePolicy::kOff;
+  std::int64_t refresh_every = 64;  // kCounter: forwards between refreshes
+  int decay_shift = 1;              // kCounter: counters >>= shift per refresh
+
+  bool enabled() const {
+    return policy != EmbCachePolicy::kOff && capacity > 0;
+  }
+};
+
+struct EmbCacheStats {
+  std::int64_t hits = 0;        // forward lookups served from the arena
+  std::int64_t misses = 0;      // forward lookups served from cold storage
+  std::int64_t evictions = 0;   // rows written back and dropped
+  std::int64_t admissions = 0;  // rows loaded into the arena
+  std::int64_t refreshes = 0;   // kCounter re-admission passes
+  std::int64_t capacity = 0;    // arena rows
+  std::int64_t resident = 0;    // currently cached rows
+
+  double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
 
 /// One embedding table W[M][E] with pluggable update strategy and storage
 /// precision. A table can also be a row-range *shard view* of a larger
@@ -112,7 +154,13 @@ class EmbeddingTable {
   /// encoding depends only on (precision, dim) — never on how the logical
   /// table is sharded — so a checkpoint row written by one shard geometry
   /// can be imported by any other.
-  std::int64_t checkpoint_row_bytes() const;
+  std::int64_t checkpoint_row_bytes() const {
+    return checkpoint_row_bytes(precision_, dim_);
+  }
+  /// Same, without a table instance (migration planning on ranks that own
+  /// no shard of a table still needs the wire size).
+  static std::int64_t checkpoint_row_bytes(EmbedPrecision precision,
+                                           std::int64_t dim);
 
   /// Serializes rows [first, first + n) (shard-local ids) into `out`
   /// (n * checkpoint_row_bytes() bytes, rows consecutive).
@@ -139,6 +187,44 @@ class EmbeddingTable {
   /// saving of Split-SGD shows up here).
   std::int64_t model_bytes() const;
 
+  // ---- Hot-row cache tier -------------------------------------------------
+  //
+  // A software-managed working tier: resident rows live as fp32 *master*
+  // state (the exact decoded storage state, low halves included) in one
+  // contiguous arena. Forward/update dispatch per lookup between the arena
+  // and cold storage; eviction re-encodes through the same bit-exact codec
+  // as export_rows, so results are bit-identical with the cache on or off.
+  // The cache is derived state: checkpoints (export_rows) read through it
+  // and never record it.
+
+  /// (Re)configures the cache. Any resident rows are written back first.
+  /// `capacity` is clamped to rows(). kHist expects a follow-up call to
+  /// admit_top_rows_from_histogram(); kCounter self-manages admission.
+  void configure_cache(const EmbCacheOptions& opts);
+
+  bool cache_enabled() const { return !cache_slot_.empty(); }
+  const EmbCacheOptions& cache_options() const { return cache_opts_; }
+
+  /// Replaces the resident set with `rows` (shard-local ids, unique,
+  /// truncated to capacity). Rows already resident stay in place; the rest
+  /// are written back / loaded as needed.
+  void admit_rows(const std::int64_t* rows, std::int64_t n);
+
+  /// Picks the top-capacity rows of this shard by histogram density and
+  /// admits them. `histogram` is a LookupStats row histogram over the
+  /// *logical global* table (any bucket count); bucket mass is apportioned
+  /// pro rata to this shard's row range.
+  void admit_top_rows_from_histogram(const std::vector<double>& histogram);
+
+  /// Writes every resident row back to cold storage (rows stay resident).
+  void flush_cache();
+
+  EmbCacheStats cache_stats() const;
+  void reset_cache_stats();
+
+  /// Arena + index bytes currently allocated for the cache tier.
+  std::int64_t cache_bytes() const;
+
  private:
   template <typename UpdateRow>
   void update_dispatch(const BagBatch& bags, UpdateStrategy strategy,
@@ -148,6 +234,27 @@ class EmbeddingTable {
   void update_row_lowp(std::int64_t row, const float* grad, float lr,
                        std::uint64_t salt);
 
+  /// Arena pointer for `row`, or nullptr when not resident (or cache off).
+  float* cached_row(std::int64_t row) {
+    if (cache_slot_.empty()) return nullptr;
+    const std::int32_t s = cache_slot_[static_cast<std::size_t>(row)];
+    return s < 0 ? nullptr : cache_.data() + static_cast<std::int64_t>(s) * dim_;
+  }
+  const float* cached_row(std::int64_t row) const {
+    return const_cast<EmbeddingTable*>(this)->cached_row(row);
+  }
+
+  void load_master_row(std::int64_t row, float* out) const;
+  void store_master_row(std::int64_t row, const float* master);
+  void encode_row_bytes(const float* master, unsigned char* out) const;
+  void evict_slot(std::int64_t slot);
+  void update_master_row(float* master, std::int64_t row, const float* grad,
+                         float lr, std::uint64_t salt);
+  void forward_cached(const BagBatch& bags, float* out) const;
+  /// kCounter bookkeeping: serial per-forward row counting + periodic
+  /// decay/re-admission. Logically const (derived state only).
+  void note_forward_counters(const BagBatch& bags) const;
+
   std::int64_t rows_, dim_;
   EmbedPrecision precision_;
   std::int64_t row_begin_ = 0, global_rows_ = 0;
@@ -155,6 +262,21 @@ class EmbeddingTable {
   Tensor<float> w_;                // kFp32
   Tensor<std::uint16_t> hi_;       // bf16 bits / fp16 bits
   Tensor<std::uint16_t> lo_;       // Split-SGD low halves
+
+  // Cache tier (all derived state; mutable so const forward() can maintain
+  // hit counters and kCounter admission without changing its signature).
+  EmbCacheOptions cache_opts_;
+  mutable std::vector<float> cache_;            // [capacity][dim] fp32 masters
+  mutable std::vector<std::int32_t> cache_slot_;  // [rows] row -> slot or -1
+  mutable std::vector<std::int64_t> slot_row_;    // [capacity] slot -> row or -1
+  mutable std::vector<std::uint32_t> freq_;       // kCounter per-row counters
+  mutable std::int64_t forwards_since_refresh_ = 0;
+  mutable std::int64_t cache_resident_ = 0;
+  mutable std::atomic<std::int64_t> cache_hits_{0};
+  mutable std::atomic<std::int64_t> cache_misses_{0};
+  mutable std::int64_t cache_evictions_ = 0;
+  mutable std::int64_t cache_admissions_ = 0;
+  mutable std::int64_t cache_refreshes_ = 0;
 };
 
 /// Float atomic add via 32-bit CAS loop (strategy kAtomicXchg).

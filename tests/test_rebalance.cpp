@@ -1,0 +1,398 @@
+// Live shard re-balancing + distributed hot-row cache tests.
+//
+// The two tentpole invariants:
+//   * The cache tier is bit-invisible at the training-loop level: per-step
+//     GLOBAL losses with the cache on equal the cache-off run exactly, for
+//     every rank count, precision and admission policy.
+//   * A migration loses no training state: re-balancing mid-run onto plan P
+//     produces the same per-step losses and the same final embedding bytes
+//     as an uninterrupted run that used P from step 0 (full-table plans are
+//     placement-invariant), and a reshard onto ANY plan — row splits
+//     included — moves every row's storage bytes verbatim.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dist_trainer.hpp"
+#include "core/model.hpp"
+
+namespace dlrm {
+namespace {
+
+namespace fs = std::filesystem;
+
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "rebalance-tiny";
+  c.minibatch = 64;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {300, 200, 250, 150, 220, 180};  // S = 6
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.validate();
+  return c;
+}
+
+// Worst legal placement (the exchange requires every rank to own at least
+// one shard): rank 1 gets only the last table, rank 0 everything else. With
+// 6 equal-traffic tables the rank-0/rank-1 embedding-time split is ~5:1, a
+// windowed max/mean ratio of ~5/3 — far above any sensible threshold, and
+// guaranteed to differ from a balanced recomputation.
+ShardingPlan skewed_plan(const DlrmConfig& c, int ranks) {
+  std::vector<Shard> shards;
+  for (std::int64_t t = 0; t < c.tables(); ++t) {
+    Shard s;
+    s.table = t;
+    s.row_begin = 0;
+    s.row_end = c.table_rows[static_cast<std::size_t>(t)];
+    s.rank = t == c.tables() - 1 ? ranks - 1 : 0;
+    shards.push_back(s);
+  }
+  return ShardingPlan::custom(c.tables(), ranks, std::move(shards),
+                              ShardingPolicy::kRoundRobin);
+}
+
+// Per-step global losses of one distributed run (rank 0's view; identical
+// on every rank by construction).
+std::vector<double> run_losses(const DlrmConfig& c, const Dataset& data,
+                               int R, int iters,
+                               const DistributedTrainerOptions& base) {
+  std::vector<double> losses(static_cast<std::size_t>(iters), 0.0);
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), base);
+    for (int i = 0; i < iters; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) losses[static_cast<std::size_t>(i)] = loss;
+    }
+  });
+  return losses;
+}
+
+using CacheParityCase =
+    std::tuple<int, EmbedPrecision, EmbCachePolicy>;  // R, precision, policy
+
+class CacheLossParityTest : public ::testing::TestWithParam<CacheParityCase> {
+};
+
+TEST_P(CacheLossParityTest, LossesBitIdenticalCacheOnVsOff) {
+  const auto [R, prec, policy] = GetParam();
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const int iters = 5;
+
+  DistributedTrainerOptions off;
+  off.lr = 0.05f;
+  off.global_batch = 64;
+  off.dist.embed_precision = prec;
+
+  DistributedTrainerOptions on = off;
+  on.dist.emb_cache.capacity = 24;
+  on.dist.emb_cache.policy = policy;
+  on.dist.emb_cache.refresh_every = 2;
+
+  const std::vector<double> ref = run_losses(c, data, R, iters, off);
+  const std::vector<double> got = run_losses(c, data, R, iters, on);
+  for (int i = 0; i < iters; ++i) {
+    EXPECT_EQ(ref[static_cast<std::size_t>(i)],
+              got[static_cast<std::size_t>(i)])
+        << "iteration " << i;
+  }
+}
+
+std::string cache_case_name(
+    const ::testing::TestParamInfo<CacheParityCase>& info) {
+  std::string s = "R" + std::to_string(std::get<0>(info.param));
+  s += std::get<1>(info.param) == EmbedPrecision::kFp32 ? "_fp32"
+                                                        : "_bf16split";
+  s += std::get<2>(info.param) == EmbCachePolicy::kHist ? "_hist" : "_counter";
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheLossParityTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(EmbedPrecision::kFp32,
+                                         EmbedPrecision::kBf16Split),
+                       ::testing::Values(EmbCachePolicy::kHist,
+                                         EmbCachePolicy::kCounter)),
+    cache_case_name);
+
+// Bytes of every logical table, assembled from each rank's shard exports
+// (one buffer per table, shards written at row_begin * row_bytes).
+class TableBytes {
+ public:
+  void init(const DlrmConfig& c, std::int64_t row_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!tables_.empty()) return;
+    for (std::int64_t t = 0; t < c.tables(); ++t) {
+      tables_.emplace_back(
+          static_cast<std::size_t>(c.table_rows[static_cast<std::size_t>(t)] *
+                                   row_bytes),
+          0);
+    }
+    row_bytes_ = row_bytes;
+  }
+
+  void add_shards(DistributedDlrm& model) {
+    const std::vector<Shard> shards = model.owned_shards();
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      const Shard& s = shards[k];
+      EmbeddingTable& table = model.owned_table(static_cast<std::int64_t>(k));
+      std::vector<unsigned char> bytes(
+          static_cast<std::size_t>(s.rows() * row_bytes_));
+      table.export_rows(0, s.rows(), bytes.data());
+      std::lock_guard<std::mutex> lock(mu_);
+      std::memcpy(tables_[static_cast<std::size_t>(s.table)].data() +
+                      s.row_begin * row_bytes_,
+                  bytes.data(), bytes.size());
+    }
+  }
+
+  const std::vector<std::vector<unsigned char>>& tables() const {
+    return tables_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::int64_t row_bytes_ = 0;
+  std::vector<std::vector<unsigned char>> tables_;
+};
+
+// Migration parity: start on the WORST plan, train N steps, force a
+// re-balance (recomputed from runtime stats), train M more — every loss and
+// the final embedding bytes must equal an uninterrupted run that used the
+// migrated plan from step 0. Full-table plans are placement-invariant, so
+// "same math, different owners" is exactly what a lossless migration gives.
+TEST(Rebalance, MigrationPreservesLossSequenceAndState) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const int R = 2, N = 4, M = 4;
+
+  DistributedTrainerOptions opts;
+  opts.lr = 0.05f;
+  opts.global_batch = 64;
+  opts.dist.emb_cache.capacity = 16;  // migration must carry cached rows too
+  opts.dist.emb_cache.policy = EmbCachePolicy::kCounter;
+  opts.dist.emb_cache.refresh_every = 2;
+  opts.initial_plan = skewed_plan(c, R);
+  // Enable runtime stats without ever auto-triggering: the test decides
+  // when to migrate.
+  opts.rebalance.threshold = 1e9;
+  opts.rebalance.check_every = 1000;
+
+  std::vector<double> run_a(static_cast<std::size_t>(N + M), 0.0);
+  ShardingPlan migrated;
+  TableBytes bytes_a;
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), opts);
+    for (int i = 0; i < N; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) run_a[static_cast<std::size_t>(i)] = loss;
+    }
+    ASSERT_TRUE(trainer.rebalance_now());
+    EXPECT_EQ(trainer.rebalance_stats().rebalances, 1);
+    EXPECT_GT(trainer.rebalance_stats().rows_migrated, 0);
+    for (int i = N; i < N + M; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) run_a[static_cast<std::size_t>(i)] = loss;
+    }
+    bytes_a.init(c, trainer.model().owned_shards().empty()
+                        ? EmbeddingTable::checkpoint_row_bytes(
+                              opts.dist.embed_precision, c.dim)
+                        : trainer.model().owned_table(0).checkpoint_row_bytes());
+    bytes_a.add_shards(trainer.model());
+    if (comm.rank() == 0) migrated = trainer.model().plan();
+  });
+  ASSERT_FALSE(migrated.empty());
+  // The recomputed plan must actually spread the tables.
+  EXPECT_GT(migrated.rank_rows(1), 0);
+
+  DistributedTrainerOptions opts_b = opts;
+  opts_b.initial_plan = migrated;
+  opts_b.rebalance = RebalanceOptions{};  // plain run, no stats, no trigger
+  std::vector<double> run_b(static_cast<std::size_t>(N + M), 0.0);
+  TableBytes bytes_b;
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), opts_b);
+    for (int i = 0; i < N + M; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) run_b[static_cast<std::size_t>(i)] = loss;
+    }
+    bytes_b.init(c, trainer.model().owned_table(0).checkpoint_row_bytes());
+    bytes_b.add_shards(trainer.model());
+  });
+
+  for (int i = 0; i < N + M; ++i) {
+    EXPECT_EQ(run_a[static_cast<std::size_t>(i)],
+              run_b[static_cast<std::size_t>(i)])
+        << "iteration " << i;
+  }
+  EXPECT_EQ(bytes_a.tables(), bytes_b.tables());
+}
+
+// Raw reshard onto an arbitrary row-split plan: every row's checkpoint
+// bytes must survive the alltoallv verbatim (bit-exact state migration even
+// when the training math on the new plan would differ in summation order).
+TEST(Rebalance, ReshardToRowSplitPlanMovesStateVerbatim) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const int R = 2;
+
+  // Target: table 0 split across both ranks, the rest with flipped owners.
+  std::vector<Shard> shards;
+  for (std::int64_t t = 0; t < c.tables(); ++t) {
+    const std::int64_t rows = c.table_rows[static_cast<std::size_t>(t)];
+    if (t == 0) {
+      shards.push_back({0, 0, rows / 2, 1});
+      shards.push_back({0, rows / 2, rows, 0});
+    } else {
+      Shard s;
+      s.table = t;
+      s.row_begin = 0;
+      s.row_end = rows;
+      s.rank = static_cast<int>((t + 1) % R);
+      shards.push_back(s);
+    }
+  }
+  const ShardingPlan target = ShardingPlan::custom(
+      c.tables(), R, std::move(shards), ShardingPolicy::kRowSplit);
+
+  TableBytes before, after;
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = 0.05f;
+    opts.global_batch = 64;
+    opts.dist.emb_cache.capacity = 16;
+    opts.dist.emb_cache.policy = EmbCachePolicy::kCounter;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), opts);
+    trainer.train(3);  // put real training state into every table
+    before.init(c, trainer.model().owned_table(0).checkpoint_row_bytes());
+    before.add_shards(trainer.model());
+    comm.barrier();  // all exports done before anyone migrates
+    const DistributedDlrm::ReshardResult res =
+        trainer.model().reshard(target);
+    EXPECT_TRUE(res.changed);
+    EXPECT_GT(res.rows_moved, 0);
+    EXPECT_GT(res.bytes_moved, 0);
+    after.init(c, trainer.model().owned_table(0).checkpoint_row_bytes());
+    after.add_shards(trainer.model());
+    // Reshard onto the SAME plan is a no-op on every rank.
+    const DistributedDlrm::ReshardResult again =
+        trainer.model().reshard(target);
+    EXPECT_FALSE(again.changed);
+    EXPECT_EQ(again.rows_moved, 0);
+  });
+  EXPECT_EQ(before.tables(), after.tables());
+}
+
+// Auto-trigger end to end: a lopsided placement plus a modest threshold must
+// fire within the first few windows and spread the plan. Rank 1 owns only the
+// smallest table (180 of 1500 rows), so the windowed max/mean time ratio sits
+// near 1.76; the threshold leaves headroom for scheduler noise.
+TEST(Rebalance, AutoTriggerFiresOnImbalancedPlacement) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const int R = 2;
+
+  std::vector<double> off_losses;
+  std::vector<double> on_losses;
+  run_ranks(R, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.lr = 0.05f;
+    opts.global_batch = 64;
+    opts.initial_plan = skewed_plan(c, R);
+    opts.rebalance.threshold = 1.3;
+    opts.rebalance.check_every = 2;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), opts);
+    for (int i = 0; i < 8; ++i) {
+      const double loss = trainer.train(1);
+      if (comm.rank() == 0) on_losses.push_back(loss);
+    }
+    const auto& rs = trainer.rebalance_stats();
+    EXPECT_GE(rs.checks, 4);
+    EXPECT_GE(rs.rebalances, 1);
+    EXPECT_GT(rs.rows_migrated, 0);
+    EXPECT_GE(rs.first_trigger_step, 2);
+    EXPECT_LE(rs.first_trigger_step, 8);
+    EXPECT_GT(trainer.model().plan().rank_rows(1), 0)
+        << "migration left every table on rank 0";
+  });
+
+  // The whole re-balance (trigger + migration) must be loss-transparent:
+  // same losses as a run that never rebalances (full-table placement
+  // invariance).
+  DistributedTrainerOptions base;
+  base.lr = 0.05f;
+  base.global_batch = 64;
+  base.initial_plan = skewed_plan(c, R);
+  off_losses = run_losses(c, data, R, 8, base);
+  ASSERT_EQ(on_losses.size(), off_losses.size());
+  for (std::size_t i = 0; i < off_losses.size(); ++i) {
+    EXPECT_EQ(on_losses[i], off_losses[i]) << "iteration " << i;
+  }
+}
+
+// Distributed checkpoint with the cache on: shard files and manifest must be
+// byte-identical to a cache-off run — the tier is derived state end to end.
+TEST(Rebalance, CheckpointBytesUnaffectedByCache) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const int R = 2;
+
+  auto run_and_save = [&](bool cache_on, const std::string& name) {
+    const fs::path dir = fs::temp_directory_path() / ("dlrm_cache_ckpt_" + name);
+    fs::remove_all(dir);
+    run_ranks(R, 2, [&](ThreadComm& comm) {
+      DistributedTrainerOptions opts;
+      opts.lr = 0.05f;
+      opts.global_batch = 64;
+      if (cache_on) {
+        opts.dist.emb_cache.capacity = 24;
+        opts.dist.emb_cache.policy = EmbCachePolicy::kCounter;
+        opts.dist.emb_cache.refresh_every = 2;
+      }
+      auto backend = QueueBackend::ccl_like(2);
+      DistributedTrainer trainer(c, data, comm, backend.get(), opts);
+      trainer.train(4);
+      trainer.save_checkpoint(dir.string());
+    });
+    return dir;
+  };
+
+  const fs::path on = run_and_save(true, "on");
+  const fs::path off = run_and_save(false, "off");
+
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  std::map<std::string, std::string> files_on, files_off;
+  for (const auto& e : fs::directory_iterator(on)) {
+    files_on[e.path().filename().string()] = slurp(e.path());
+  }
+  for (const auto& e : fs::directory_iterator(off)) {
+    files_off[e.path().filename().string()] = slurp(e.path());
+  }
+  EXPECT_EQ(files_on, files_off);
+  fs::remove_all(on);
+  fs::remove_all(off);
+}
+
+}  // namespace
+}  // namespace dlrm
