@@ -1,0 +1,108 @@
+// Serving bench: QPS × batch-policy sweep over the online inference path.
+//
+// For each (offered QPS, batching policy) cell, a Poisson load generator
+// drives the InferenceEngine for a fixed request count and one BENCH_JSON
+// row reports the per-request latency percentiles, achieved throughput,
+// and batch-shape statistics. The point of the sweep is the serving
+// trade-off: batch=1 minimizes queueing at low load but saturates first;
+// dynamic micro-batching amortizes the forward pass and sustains higher
+// offered load at an equal-or-better p99.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/config.hpp"
+#include "core/trainer.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/snapshot.hpp"
+
+namespace dlrm {
+namespace {
+
+DlrmConfig bench_config() {
+  // Table I "small" scaled down so a cell finishes in well under a second
+  // of compute; the batching trade-off shape is what matters, not scale.
+  return small_config().scaled_down(/*row_divisor=*/256, /*batch_divisor=*/64);
+}
+
+struct Policy {
+  const char* name;
+  serve::BatchPolicy policy;
+};
+
+void run_cell(serve::ModelSnapshot& snap, const Dataset& data, double qps,
+              const Policy& pol) {
+  serve::EngineOptions eopts;
+  eopts.policy = pol.policy;
+  eopts.queue_capacity = 4096;
+  eopts.slo_ms = 5.0;
+  serve::InferenceEngine engine(snap, data, eopts);
+  engine.start();
+
+  serve::LoadGenOptions lopts;
+  lopts.qps = qps;
+  lopts.requests = static_cast<std::int64_t>(qps / 2);  // ~0.5 s of load
+  if (lopts.requests < 500) lopts.requests = 500;
+  lopts.fanout = 4;
+  lopts.key_space = 1 << 16;
+  lopts.zipf_s = 0.9;
+  serve::PoissonLoadGen gen(engine, lopts);
+  gen.run();
+  engine.stop();
+
+  const serve::ServeStats s = engine.stats();
+  bench::JsonRow("serving")
+      .add("qps_offered", qps)
+      .add("policy", pol.name)
+      .add("max_batch", pol.policy.max_batch)
+      .add("max_wait_us", pol.policy.max_wait_us)
+      .add("requests", s.requests)
+      .add("fanout", lopts.fanout)
+      .add("p50_ms", s.p50_ms)
+      .add("p95_ms", s.p95_ms)
+      .add("p99_ms", s.p99_ms)
+      .add("max_ms", s.max_ms)
+      .add("throughput_rps", s.throughput_rps)
+      .add("mean_batch", s.mean_batch)
+      .add("batches", s.batches)
+      .add("slo_violations", s.slo_violations)
+      .emit();
+  bench::row({bench::fmt(qps, 0), pol.name, bench::fmt(s.p50_ms),
+              bench::fmt(s.p99_ms), bench::fmt(s.throughput_rps, 0),
+              bench::fmt(s.mean_batch, 1)});
+}
+
+}  // namespace
+}  // namespace dlrm
+
+int main() {
+  using namespace dlrm;
+  bench::banner("online serving: QPS x batch-policy sweep");
+
+  const DlrmConfig c = bench_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  // Serve real (briefly trained) weights, published through the snapshot
+  // path the serving engine uses in production.
+  DlrmModel model(c, {}, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = c.minibatch});
+  trainer.train(8);
+  serve::ModelSnapshot snap(c, {});
+  snap.publish_from(model, trainer.iterations_done());
+
+  const std::vector<Policy> policies = {
+      {"batch1", {.max_batch = 1, .max_wait_us = 0}},
+      {"dyn32_1ms", {.max_batch = 32, .max_wait_us = 1000}},
+  };
+  const std::vector<double> qps_sweep = {1000.0, 4000.0, 12000.0};
+
+  bench::row({"qps", "policy", "p50ms", "p99ms", "rps", "meanB"});
+  for (const double qps : qps_sweep) {
+    for (const Policy& pol : policies) {
+      run_cell(snap, data, qps, pol);
+    }
+  }
+  return 0;
+}

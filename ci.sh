@@ -33,7 +33,10 @@ echo "==== Debug + TSan concurrency pass (prefetch/comm/ddp/exchange/sharding) =
 # training loops (worker-count loss parity + the dedicated eval stream).
 # test_emb_cache races the hot-row tier against the concurrent update
 # strategies; test_rebalance migrates shards (alltoallv) mid-training.
-TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding|test_emb_cache|test_rebalance'
+# test_serving races the load-generator, batcher, and snapshot-publisher
+# threads through the bounded queue, the double-buffered snapshot handover,
+# and the shared Profiler.
+TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding|test_emb_cache|test_rebalance|test_serving'
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDLRM_SANITIZE=thread \
@@ -42,7 +45,8 @@ cmake -B build-tsan -S . \
   -DDLRM_NATIVE_ARCH=OFF
 cmake --build build-tsan -j "${JOBS}" \
   --target test_prefetch test_prefetch_workers test_comm test_ddp \
-           test_exchange test_sharding test_emb_cache test_rebalance
+           test_exchange test_sharding test_emb_cache test_rebalance \
+           test_serving
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan -R "${TSAN_SUITES}" --output-on-failure \
         -j "${JOBS}" --timeout 1800

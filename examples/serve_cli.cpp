@@ -1,0 +1,241 @@
+// dlrm-serve: online inference driver over the serving subsystem.
+//
+//   $ ./serve_cli --config=small --scale-rows=256 --scale-batch=16
+//                 --qps=2000 --requests=2000 --fanout=4 --zipf=0.9
+//                 --max-batch=32 --max-wait-us=1000 [--queue-cap=N]
+//                 [--slo-ms=X] [--drop-when-full] [--train-iters=N]
+//                 [--publish-every=N] [--checkpoint-dir=DIR]
+//                 [--check-serving] [--profile]
+//
+// Trains the model briefly (--train-iters) to get non-trivial weights,
+// publishes them into a ModelSnapshot, then drives the InferenceEngine
+// with an open-loop Poisson load generator (Zipf-skewed keys) and prints
+// the latency percentiles plus one BENCH_JSON row. With --checkpoint-dir
+// the snapshot is restored from an existing checkpoint instead (any saved
+// geometry). --publish-every=N republishes fresh weights every N served
+// requests while training continues — the serve-while-training loop, with
+// snapshots handed over at micro-batch boundaries. --check-serving exits
+// nonzero unless every submitted request was answered and the batched
+// scores match per-request offline forwards bit-for-bit (CI smoke).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/config.hpp"
+#include "core/trainer.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/snapshot.hpp"
+#include "stats/profiler.hpp"
+
+namespace dlrm {
+namespace {
+
+struct Args {
+  std::string config = "small";
+  std::int64_t scale_rows = 64;
+  std::int64_t scale_batch = 8;
+  double qps = 2000.0;
+  std::int64_t requests = 2000;
+  std::int64_t fanout = 4;
+  double zipf = 0.9;
+  std::int64_t key_space = 1 << 16;
+  std::int64_t max_batch = 32;
+  std::int64_t max_wait_us = 1000;
+  std::int64_t queue_cap = 1024;
+  double slo_ms = 5.0;
+  bool drop_when_full = false;
+  int train_iters = 8;
+  std::int64_t publish_every = 0;  // 0 = serve one frozen snapshot
+  std::string checkpoint_dir;
+  bool check_serving = false;
+  bool profile = false;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--config", &v)) a.config = v;
+    else if (parse_flag(argv[i], "--scale-rows", &v)) a.scale_rows = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--scale-batch", &v)) a.scale_batch = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--qps", &v)) a.qps = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--requests", &v)) a.requests = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--fanout", &v)) a.fanout = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--zipf", &v)) a.zipf = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--key-space", &v)) a.key_space = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--max-batch", &v)) a.max_batch = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--max-wait-us", &v)) a.max_wait_us = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--queue-cap", &v)) a.queue_cap = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--slo-ms", &v)) a.slo_ms = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--train-iters", &v)) a.train_iters = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--publish-every", &v)) a.publish_every = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--checkpoint-dir", &v)) a.checkpoint_dir = v;
+    else if (std::strcmp(argv[i], "--drop-when-full") == 0) a.drop_when_full = true;
+    else if (std::strcmp(argv[i], "--check-serving") == 0) a.check_serving = true;
+    else if (std::strcmp(argv[i], "--profile") == 0) a.profile = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+DlrmConfig pick_config(const Args& a) {
+  DlrmConfig c;
+  if (a.config == "small") c = small_config();
+  else if (a.config == "large") c = large_config();
+  else if (a.config == "mlperf") c = mlperf_config();
+  else {
+    std::fprintf(stderr, "unknown config: %s\n", a.config.c_str());
+    std::exit(2);
+  }
+  return c.scaled_down(a.scale_rows, a.scale_batch);
+}
+
+int run(const Args& args) {
+  const DlrmConfig c = pick_config(args);
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  DlrmModel model(c, {}, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = c.minibatch});
+  serve::ModelSnapshot snapA(c, {}), snapB(c, {});
+  if (!args.checkpoint_dir.empty()) {
+    snapA.publish_from_checkpoint(args.checkpoint_dir);
+    std::printf("restored snapshot version %lld from %s\n",
+                static_cast<long long>(snapA.version()),
+                args.checkpoint_dir.c_str());
+  } else {
+    trainer.train(args.train_iters);
+    snapA.publish_from(model, trainer.iterations_done());
+  }
+
+  Profiler prof;
+  serve::EngineOptions eopts;
+  eopts.policy = {.max_batch = args.max_batch, .max_wait_us = args.max_wait_us};
+  eopts.queue_capacity = args.queue_cap;
+  eopts.slo_ms = args.slo_ms;
+  serve::InferenceEngine engine(snapA, data, eopts,
+                                args.profile ? &prof : nullptr);
+  engine.start();
+
+  serve::LoadGenOptions lopts;
+  lopts.qps = args.qps;
+  lopts.requests = args.requests;
+  lopts.fanout = args.fanout;
+  lopts.key_space = args.key_space;
+  lopts.zipf_s = args.zipf;
+  lopts.drop_when_full = args.drop_when_full;
+  serve::PoissonLoadGen gen(engine, lopts);
+
+  if (args.publish_every > 0 && args.checkpoint_dir.empty()) {
+    // Serve-while-training: load on this thread, training + publication on
+    // another, double-buffered snapshots handed over at batch boundaries.
+    std::atomic<bool> done{false};
+    std::thread publisher([&] {
+      serve::ModelSnapshot* snaps[2] = {&snapA, &snapB};
+      int pub = 0;
+      while (!done.load()) {
+        trainer.train(1);
+        serve::ModelSnapshot* idle = snaps[(++pub) % 2];
+        idle->publish_from(model, trainer.iterations_done());
+        engine.set_snapshot(idle);
+        // The retired buffer is only reusable once the handover is
+        // adopted; bounded wait so shutdown (done) stays reachable.
+        while (!engine.wait_snapshot_swapped(0.05) && !done.load()) {
+        }
+        if (done.load()) break;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            static_cast<double>(args.publish_every) / args.qps));
+      }
+    });
+    gen.run();
+    done.store(true);
+    publisher.join();
+  } else {
+    gen.run();
+  }
+  engine.stop();
+
+  const serve::ServeStats s = engine.stats();
+  std::printf(
+      "served %lld requests (%lld samples) in %.3f s: %.0f req/s, "
+      "batch mean %.1f\n",
+      static_cast<long long>(s.requests), static_cast<long long>(s.samples),
+      s.wall_sec, s.throughput_rps, s.mean_batch);
+  std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  "
+              "(SLO %.1f ms violated %lld, rejected %lld)\n",
+              s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms, args.slo_ms,
+              static_cast<long long>(s.slo_violations),
+              static_cast<long long>(s.rejected));
+  std::printf(
+      "BENCH_JSON {\"bench\":\"serve_cli\",\"qps_offered\":%g,"
+      "\"max_batch\":%lld,\"max_wait_us\":%lld,\"requests\":%lld,"
+      "\"p50_ms\":%.6g,\"p95_ms\":%.6g,\"p99_ms\":%.6g,"
+      "\"throughput_rps\":%.6g,\"mean_batch\":%.6g,\"slo_violations\":%lld,"
+      "\"rejected\":%lld}\n",
+      args.qps, static_cast<long long>(args.max_batch),
+      static_cast<long long>(args.max_wait_us),
+      static_cast<long long>(s.requests), s.p50_ms, s.p95_ms, s.p99_ms,
+      s.throughput_rps, s.mean_batch, static_cast<long long>(s.slo_violations),
+      static_cast<long long>(s.rejected));
+  if (args.profile) std::printf("%s", prof.report().c_str());
+
+  if (args.check_serving) {
+    if (s.requests + s.rejected != args.requests || s.requests < 1) {
+      std::fprintf(stderr, "CHECK FAILED: %lld answered + %lld rejected != "
+                           "%lld submitted\n",
+                   static_cast<long long>(s.requests),
+                   static_cast<long long>(s.rejected),
+                   static_cast<long long>(args.requests));
+      return 1;
+    }
+    // Bit-exactness: every served score must equal an offline per-request
+    // forward on the final snapshot. Only valid for a frozen snapshot.
+    if (args.publish_every == 0) {
+      const std::vector<serve::Request> trace = serve::make_trace(lopts);
+      std::map<std::int64_t, float> offline;
+      MiniBatch mb;
+      serve::ModelSnapshot& snap = snapA;
+      for (const serve::Request& r : trace) {
+        data.fill(r.key, r.fanout, mb);
+        offline[r.id] = snap.forward(mb)[0];
+      }
+      for (const serve::Response& r : engine.responses()) {
+        if (offline.at(r.id) != r.score0) {
+          std::fprintf(stderr,
+                       "CHECK FAILED: request %lld served %.9g != offline "
+                       "%.9g\n",
+                       static_cast<long long>(r.id),
+                       static_cast<double>(r.score0),
+                       static_cast<double>(offline.at(r.id)));
+          return 1;
+        }
+      }
+    }
+    std::printf("CHECK OK: all requests served%s\n",
+                args.publish_every == 0 ? ", scores match offline forwards"
+                                        : "");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dlrm
+
+int main(int argc, char** argv) { return dlrm::run(dlrm::parse_args(argc, argv)); }

@@ -22,8 +22,8 @@
 // --sharding picks the embedding-table placement: round_robin (the paper's
 // t % R layout), balanced (cost-model LPT packing), or row_split (big
 // tables split into row-range shards; threshold via --row-split-threshold,
-// default = ceil(total rows / ranks)). The alltoall strategy also accepts
-// rank counts that do not divide the batch (uneven local slices).
+// default = ceil(total rows / ranks)). Every strategy accepts rank counts
+// that do not divide the batch (uneven chunk-convention local slices).
 // --lr-schedule applies a first-class LrSchedule over the run, e.g.
 // "step:0.5:0.25", "warmup:0.1", "poly" (see optim/lr_schedule.hpp).
 //
@@ -435,9 +435,6 @@ int main(int argc, char** argv) {
   }
 
   const std::int64_t gn = cfg.minibatch;
-  // Uneven local slices (GN % R != 0) need the alltoallv exchange path.
-  DLRM_CHECK(gn % args.ranks == 0 || args.strategy == "alltoall",
-             "GN % ranks != 0 needs --strategy=alltoall");
   int exit_code = 0;
   // Parse every enum flag before spawning rank threads (parse errors exit).
   DistributedTrainerOptions topts;

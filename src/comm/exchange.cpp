@@ -35,12 +35,6 @@ EmbeddingExchange::EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
   const int R = comm_.size();
   DLRM_CHECK(plan_.ranks() == R, "plan rank count must match the communicator");
   DLRM_CHECK(gn_ >= R, "global batch must cover all ranks");
-  if (strategy_ != ExchangeStrategy::kAlltoall) {
-    // scatter/gather move one uniform chunk per peer; only the alltoallv
-    // path supports uneven slices.
-    DLRM_CHECK(gn_ % R == 0,
-               "scatter-based exchange strategies need GN divisible by R");
-  }
   ln_ = slice_len(comm_.rank());
 
   const std::int64_t num_shards = plan_.num_shards();
@@ -84,6 +78,20 @@ EmbeddingExchange::EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
   sdispls_.reshape({R});
   rcounts_.reshape({R});
   rdispls_.reshape({R});
+
+  // Root-side per-peer extents for the scatterv/gatherv calls of the
+  // scatter-based strategies. Slices follow the chunk convention, so the
+  // scatter paths carry GN % R != 0 exactly like the alltoallv path.
+  // ScatterList moves one slice per call; FusedScatter moves all of the
+  // root's shards at once, so its per-peer extent scales by owned_.
+  vcounts_.reshape({R});
+  vdispls_.reshape({R});
+  const std::int64_t unit =
+      strategy_ == ExchangeStrategy::kFusedScatter ? owned_ : 1;
+  for (int p = 0; p < R; ++p) {
+    vcounts_[p] = unit * slice_len(p) * e_;
+    vdispls_[p] = unit * slice_begin(p) * e_;
+  }
 }
 
 EmbeddingExchange::EmbeddingExchange(ThreadComm& comm, QueueBackend* backend,
@@ -141,14 +149,16 @@ ExchangeHandle EmbeddingExchange::start_forward(
               root == comm_.rank() ? send16_.data() + k * gn_ * e_ : nullptr;
           std::uint16_t* dst = recv16_.data() + sid * slice;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
-            comm_.scatter_bf16_seq(seq, src, dst, slice, root);
+            comm_.scatterv_bf16_seq(seq, src, vcounts_.data(), vdispls_.data(),
+                                    dst, slice, root);
           });
         } else {
           const float* src =
               root == comm_.rank() ? local_out[static_cast<std::size_t>(k)] : nullptr;
           float* dst = recv_.data() + sid * slice;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
-            comm_.scatter_seq(seq, src, dst, slice, root);
+            comm_.scatterv_seq(seq, src, vcounts_.data(), vdispls_.data(), dst,
+                               slice, root);
           });
         }
       }
@@ -161,17 +171,21 @@ ExchangeHandle EmbeddingExchange::start_forward(
       if (wire16) {
         std::uint16_t* pack = send16_.data();
         for (int p = 0; p < R; ++p) {
+          const std::int64_t pbegin = slice_begin(p) * e_;
+          const std::int64_t pslice = slice_len(p) * e_;
           for (std::int64_t k = 0; k < owned_; ++k) {
-            const float* src = local_out[static_cast<std::size_t>(k)] + p * slice;
-            for (std::int64_t i = 0; i < slice; ++i) *pack++ = f32_to_bf16_rne(src[i]);
+            const float* src = local_out[static_cast<std::size_t>(k)] + pbegin;
+            for (std::int64_t i = 0; i < pslice; ++i) *pack++ = f32_to_bf16_rne(src[i]);
           }
         }
       } else {
         float* pack = send_.data();
         for (int p = 0; p < R; ++p) {
+          const std::int64_t pbegin = slice_begin(p) * e_;
+          const std::int64_t pslice = slice_len(p) * e_;
           for (std::int64_t k = 0; k < owned_; ++k) {
-            const float* src = local_out[static_cast<std::size_t>(k)] + p * slice;
-            for (std::int64_t i = 0; i < slice; ++i) *pack++ = src[i];
+            const float* src = local_out[static_cast<std::size_t>(k)] + pbegin;
+            for (std::int64_t i = 0; i < pslice; ++i) *pack++ = src[i];
           }
         }
       }
@@ -184,13 +198,15 @@ ExchangeHandle EmbeddingExchange::start_forward(
           const std::uint16_t* src =
               root == comm_.rank() ? send16_.data() : nullptr;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
-            comm_.scatter_bf16_seq(seq, src, dst, chunk, root);
+            comm_.scatterv_bf16_seq(seq, src, vcounts_.data(), vdispls_.data(),
+                                    dst, chunk, root);
           });
         } else {
           float* dst = recv_.data() + prefix_shards(root) * slice;
           const float* src = root == comm_.rank() ? send_.data() : nullptr;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
-            comm_.scatter_seq(seq, src, dst, chunk, root);
+            comm_.scatterv_seq(seq, src, vcounts_.data(), vdispls_.data(), dst,
+                               chunk, root);
           });
         }
       }
@@ -310,14 +326,16 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
           std::uint16_t* dst =
               root == comm_.rank() ? recv16_.data() + k * gn_ * e_ : nullptr;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
-            comm_.gather_bf16_seq(seq, src, dst, slice, root);
+            comm_.gatherv_bf16_seq(seq, src, slice, dst, vcounts_.data(),
+                                   vdispls_.data(), root);
           });
         } else {
           const float* src = dsliced + t * slice;
           float* dst =
               root == comm_.rank() ? recv_.data() + k * gn_ * e_ : nullptr;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, slice, root] {
-            comm_.gather_seq(seq, src, dst, slice, root);
+            comm_.gatherv_seq(seq, src, slice, dst, vcounts_.data(),
+                              vdispls_.data(), root);
           });
         }
       }
@@ -350,13 +368,15 @@ ExchangeHandle EmbeddingExchange::start_backward(const float* dsliced) {
               send16_.data() + displs[static_cast<std::size_t>(root)];
           std::uint16_t* dst = root == comm_.rank() ? recv16_.data() : nullptr;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
-            comm_.gather_bf16_seq(seq, src, dst, chunk, root);
+            comm_.gatherv_bf16_seq(seq, src, chunk, dst, vcounts_.data(),
+                                   vdispls_.data(), root);
           });
         } else {
           const float* src = send_.data() + displs[static_cast<std::size_t>(root)];
           float* dst = root == comm_.rank() ? recv_.data() : nullptr;
           submit(h, CommOpKind::kAlltoall, [this, seq, src, dst, chunk, root] {
-            comm_.gather_seq(seq, src, dst, chunk, root);
+            comm_.gatherv_seq(seq, src, chunk, dst, vcounts_.data(),
+                              vdispls_.data(), root);
           });
         }
       }

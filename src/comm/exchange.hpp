@@ -19,8 +19,9 @@
 // finish_forward() reduces the partials per table; the backward exchange
 // replicates each table's slice gradients to every owner of one of its
 // shards. Slice lengths follow the chunk convention LN_p = GN*(p+1)/R -
-// GN*p/R, so GN need not divide by R (kAlltoall only; the scatter-based
-// strategies keep the uniform-slice requirement of their collectives).
+// GN*p/R, so GN need not divide by R: the alltoallv path carries uneven
+// slices natively and the scatter-based strategies use scatterv/gatherv
+// with the same per-peer extents.
 //
 // forward() moves shard outputs [GN][E] (at the owners) to per-table slice
 // tensors [S][LN][E] (at every rank); backward() moves interaction gradients
@@ -133,7 +134,8 @@ class EmbeddingExchange {
   }
 
   /// Element offset of shard `sid`'s block in the owner-grouped recv layout
-  /// used by kFusedScatter/kAlltoall forward (uniform slices only).
+  /// used by kFusedScatter/kAlltoall forward (blocks hold this rank's LN
+  /// slice, so the layout is uneven-safe).
   std::int64_t grouped_recv_offset(std::int64_t sid) const {
     return (prefix_shards(shard_owner_[static_cast<std::size_t>(sid)]) +
             shard_slot_[static_cast<std::size_t>(sid)]) *
@@ -157,6 +159,10 @@ class EmbeddingExchange {
   Tensor<float> send_, recv_;
   Tensor<std::uint16_t> send16_, recv16_;
   Tensor<std::int64_t> scounts_, sdispls_, rcounts_, rdispls_;
+  // Constant root-side per-peer extents for the scatterv/gatherv calls of
+  // the scatter-based strategies (chunk-convention slices × e_, scaled by
+  // owned_ for kFusedScatter). Computed once in the constructor.
+  Tensor<std::int64_t> vcounts_, vdispls_;
 };
 
 }  // namespace dlrm

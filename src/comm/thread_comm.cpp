@@ -276,6 +276,97 @@ void ThreadComm::scatter_seq(std::uint64_t seq, const float* send, float* recv,
   world_->release(seq, ctx);
 }
 
+void ThreadComm::scatterv_seq(std::uint64_t seq, const float* send,
+                              const std::int64_t* counts,
+                              const std::int64_t* displs, float* recv,
+                              std::int64_t recvcount, int root) {
+  auto ctx = world_->context(seq);
+  if (rank_ == root) {
+    DLRM_CHECK(send != nullptr && counts != nullptr && displs != nullptr,
+               "root must provide send/counts/displs");
+    ctx->send[static_cast<std::size_t>(rank_)] = send;
+    ctx->counts[static_cast<std::size_t>(rank_)] = counts;
+    ctx->displs[static_cast<std::size_t>(rank_)] = displs;
+  }
+  ctx->barrier.arrive_and_wait();
+  DLRM_DCHECK(recvcount == ctx->counts[static_cast<std::size_t>(root)][rank_],
+              "scatterv count mismatch");
+  copy_floats(recv,
+              ctx->send[static_cast<std::size_t>(root)] +
+                  ctx->displs[static_cast<std::size_t>(root)][rank_],
+              recvcount);
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::gatherv_seq(std::uint64_t seq, const float* send,
+                             std::int64_t sendcount, float* recv,
+                             const std::int64_t* counts,
+                             const std::int64_t* displs, int root) {
+  auto ctx = world_->context(seq);
+  ctx->send[static_cast<std::size_t>(rank_)] = send;
+  ctx->counts[static_cast<std::size_t>(rank_)] = &sendcount;
+  ctx->barrier.arrive_and_wait();
+  if (rank_ == root) {
+    DLRM_CHECK(recv != nullptr && counts != nullptr && displs != nullptr,
+               "root must provide recv/counts/displs");
+    for (int p = 0; p < size(); ++p) {
+      DLRM_DCHECK(counts[p] == ctx->counts[static_cast<std::size_t>(p)][0],
+                  "gatherv count mismatch");
+      copy_floats(recv + displs[p], ctx->send[static_cast<std::size_t>(p)],
+                  counts[p]);
+    }
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::scatterv_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                                   const std::int64_t* counts,
+                                   const std::int64_t* displs,
+                                   std::uint16_t* recv, std::int64_t recvcount,
+                                   int root) {
+  auto ctx = world_->context(seq);
+  if (rank_ == root) {
+    DLRM_CHECK(send != nullptr && counts != nullptr && displs != nullptr,
+               "root must provide send/counts/displs");
+    ctx->send16[static_cast<std::size_t>(rank_)] = send;
+    ctx->counts[static_cast<std::size_t>(rank_)] = counts;
+    ctx->displs[static_cast<std::size_t>(rank_)] = displs;
+  }
+  ctx->barrier.arrive_and_wait();
+  DLRM_DCHECK(recvcount == ctx->counts[static_cast<std::size_t>(root)][rank_],
+              "scatterv count mismatch");
+  copy_u16(recv,
+           ctx->send16[static_cast<std::size_t>(root)] +
+               ctx->displs[static_cast<std::size_t>(root)][rank_],
+           recvcount);
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
+void ThreadComm::gatherv_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                                  std::int64_t sendcount, std::uint16_t* recv,
+                                  const std::int64_t* counts,
+                                  const std::int64_t* displs, int root) {
+  auto ctx = world_->context(seq);
+  ctx->send16[static_cast<std::size_t>(rank_)] = send;
+  ctx->counts[static_cast<std::size_t>(rank_)] = &sendcount;
+  ctx->barrier.arrive_and_wait();
+  if (rank_ == root) {
+    DLRM_CHECK(recv != nullptr && counts != nullptr && displs != nullptr,
+               "root must provide recv/counts/displs");
+    for (int p = 0; p < size(); ++p) {
+      DLRM_DCHECK(counts[p] == ctx->counts[static_cast<std::size_t>(p)][0],
+                  "gatherv count mismatch");
+      copy_u16(recv + displs[p], ctx->send16[static_cast<std::size_t>(p)],
+               counts[p]);
+    }
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
 void ThreadComm::gather_seq(std::uint64_t seq, const float* send, float* recv,
                             std::int64_t chunk, int root) {
   auto ctx = world_->context(seq);

@@ -143,6 +143,25 @@ class ThreadComm {
     gather_seq(ticket(), send, recv, chunk, root);
   }
 
+  /// Variable-count scatter: root sends counts[p] floats at displs[p] of
+  /// `send` to peer p, which receives them into recv ([recvcount] floats,
+  /// recvcount == counts[rank]). Non-roots pass send/counts/displs ==
+  /// nullptr. Root's arrays must stay alive for the duration of the op.
+  void scatterv(const float* send, const std::int64_t* counts,
+                const std::int64_t* displs, float* recv, std::int64_t recvcount,
+                int root) {
+    scatterv_seq(ticket(), send, counts, displs, recv, recvcount, root);
+  }
+
+  /// Variable-count gather: each peer sends `sendcount` floats; root receives
+  /// peer p's block into recv + displs[p] (counts[p] floats, counts[p] ==
+  /// peer p's sendcount). Non-roots pass recv/counts/displs == nullptr.
+  void gatherv(const float* send, std::int64_t sendcount, float* recv,
+               const std::int64_t* counts, const std::int64_t* displs,
+               int root) {
+    gatherv_seq(ticket(), send, sendcount, recv, counts, displs, root);
+  }
+
   // --- bf16-payload collectives (paper Sect. III.C / VII) -----------------
   //
   // Buffers hold raw bf16 bits. Reductions decode to fp32, accumulate in
@@ -169,6 +188,13 @@ class ThreadComm {
                         std::uint16_t* recv, std::int64_t chunk, int root);
   void gather_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
                        std::uint16_t* recv, std::int64_t chunk, int root);
+  void scatterv_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                         const std::int64_t* counts, const std::int64_t* displs,
+                         std::uint16_t* recv, std::int64_t recvcount, int root);
+  void gatherv_bf16_seq(std::uint64_t seq, const std::uint16_t* send,
+                        std::int64_t sendcount, std::uint16_t* recv,
+                        const std::int64_t* counts, const std::int64_t* displs,
+                        int root);
 
   // --- Ticketed variants (for asynchronous backends) ----------------------
 
@@ -187,6 +213,12 @@ class ThreadComm {
                    std::int64_t chunk, int root);
   void gather_seq(std::uint64_t seq, const float* send, float* recv,
                   std::int64_t chunk, int root);
+  void scatterv_seq(std::uint64_t seq, const float* send,
+                    const std::int64_t* counts, const std::int64_t* displs,
+                    float* recv, std::int64_t recvcount, int root);
+  void gatherv_seq(std::uint64_t seq, const float* send, std::int64_t sendcount,
+                   float* recv, const std::int64_t* counts,
+                   const std::int64_t* displs, int root);
 
  private:
   // Chunked collectives split buffers with the repo-wide chunk convention

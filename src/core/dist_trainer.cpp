@@ -220,9 +220,12 @@ bool DistributedTrainer::rebalance_now(Profiler* prof) {
   prefetch_->seek(iter_);
   prefetch_->prefill();
   // The lazily-built eval stream (if any) references the old plan; drop it
-  // and let the next evaluate() rebuild it.
+  // and let the next evaluate() rebuild it. The cached eval batches hold
+  // shard-local bags of the old plan, so they go too.
   eval_prefetch_.reset();
   eval_loader_.reset();
+  eval_cache_.clear();
+  eval_cache_first_ = eval_cache_len_ = -1;
   ++rebalance_stats_.rebalances;
   rebalance_stats_.rows_migrated += res.rows_moved;
   rebalance_stats_.stall_sec += res.stall_sec;
@@ -248,31 +251,75 @@ double DistributedTrainer::evaluate(std::int64_t first, std::int64_t n) {
     eval_scores_.reshape({gn});
     eval_labels_.reshape({gn});
   }
-  PrefetchLoader& stream = eval_pipeline();
+  // Eval-range cache: train_with_eval scores the SAME held-out range at
+  // every eval point, so after the first pass the materialized batches are
+  // kept (deep copies — the pipeline recycles its slot buffers) and repeat
+  // passes never touch the loader/prefetch machinery. SPMD-safe: the hit or
+  // miss decision depends only on (first, n) and the options, which are
+  // identical on every rank.
+  const std::int64_t nbatches = (n + gn - 1) / gn;
+  const bool cacheable = options_.cache_eval_range &&
+                         nbatches <= options_.eval_cache_max_batches;
+  const bool cached =
+      cacheable && eval_cache_first_ == first && eval_cache_len_ == n;
+  if (!cached) {
+    ++eval_materialize_passes_;
+    eval_cache_.clear();
+    eval_cache_first_ = eval_cache_len_ = -1;
+    if (cacheable) eval_cache_.reserve(static_cast<std::size_t>(nbatches));
+  }
+  PrefetchLoader* stream = cached ? nullptr : &eval_pipeline();
   AucAccumulator auc;
   for (std::int64_t off = 0; off < n; off += gn) {
     // Keep the model batch fixed: score full batches, padding by wrap (same
     // convention as Trainer::evaluate), but only count the first `take`.
     const std::int64_t take = std::min(gn, n - off);
-    const HybridBatch& hb = stream.next((first + off) / gn);
-    const Tensor<float>& logits = model_.forward(hb);
+    const HybridBatch* hb;
+    if (cached) {
+      hb = &eval_cache_[static_cast<std::size_t>(off / gn)];
+    } else {
+      const HybridBatch& fresh = stream->next((first + off) / gn);
+      if (cacheable) {
+        // reserve() above bounds the vector: push_back never reallocates,
+        // so `hb` stays valid across iterations.
+        HybridBatch copy;
+        copy.dense = fresh.dense.clone();
+        copy.labels = fresh.labels.clone();
+        copy.owned_bags.reserve(fresh.owned_bags.size());
+        for (const BagBatch& bag : fresh.owned_bags) {
+          copy.owned_bags.push_back(
+              BagBatch{bag.indices.clone(), bag.offsets.clone()});
+        }
+        eval_cache_.push_back(std::move(copy));
+        hb = &eval_cache_.back();
+      } else {
+        hb = &fresh;
+      }
+    }
+    const Tensor<float>& logits = model_.forward(*hb);
     // Chunk convention: matches allgather_chunks' slice boundaries, so the
     // gathered [GN] tensors are densely ordered even when GN % R != 0.
     const std::int64_t base = chunk_begin(gn, comm_.rank(), comm_.size());
     for (std::int64_t i = 0; i < ln; ++i) {
       eval_scores_[base + i] = logits[i];
-      eval_labels_[base + i] = hb.labels[i];
+      eval_labels_[base + i] = hb->labels[i];
     }
     comm_.allgather_chunks(eval_scores_.data(), gn);
     comm_.allgather_chunks(eval_labels_.data(), gn);
     auc.add(eval_scores_.data(), eval_labels_.data(), take);
   }
-  // Rewind the dedicated stream to the start of the range just scored:
-  // train_with_eval scores the same held-out range at every eval point, so
-  // this prewarms the next pass instead of prefetching past-range batches
-  // that the next pass's reseek would discard. (The legacy shared pipeline
-  // is left untouched — training's own reseek handles it, as in PR 2.)
-  if (options_.dedicated_eval_stream) stream.seek(first / gn);
+  if (!cached && cacheable) {
+    eval_cache_first_ = first;
+    eval_cache_len_ = n;
+  }
+  // Rewind the dedicated stream to the start of the range just scored (only
+  // when it was actually consumed): prewarms a future uncached pass instead
+  // of prefetching past-range batches that a reseek would discard. (The
+  // legacy shared pipeline is left untouched — training's own reseek
+  // handles it, as in PR 2.)
+  if (options_.dedicated_eval_stream && stream != nullptr) {
+    stream->seek(first / gn);
+  }
   return auc.compute();
 }
 

@@ -74,6 +74,15 @@ struct DistributedTrainerOptions {
   /// Depth of the dedicated eval pipeline (its cursor and backpressure are
   /// fully independent of the training stream's).
   int eval_prefetch_depth = 2;
+  /// Cache the materialized held-out range after the first evaluate() pass
+  /// (deep-copied HybridBatches): train_with_eval scores the *same* range at
+  /// every eval point, so repeat passes skip the loader/prefetch machinery
+  /// entirely — bit-identical AUC, no re-materialization. Invalidated when
+  /// the requested range changes and on reshard (the bags are plan-shaped).
+  bool cache_eval_range = true;
+  /// Ranges longer than this many global batches stream uncached (bound on
+  /// resident memory; the default covers every eval range in the repo).
+  std::int64_t eval_cache_max_batches = 256;
   /// Embedding-table placement: round-robin (the paper's t % R layout),
   /// cost-balanced, or row-split. The cost-driven planners measure lookup
   /// statistics from the dataset, so every rank derives the same plan.
@@ -158,6 +167,18 @@ class DistributedTrainer {
   /// eval streams through the training pipeline.
   const PrefetchLoader* eval_prefetch() const { return eval_prefetch_.get(); }
 
+  /// Number of evaluate() passes that materialized data through the
+  /// pipeline (cache misses). With cache_eval_range on and a fixed range
+  /// this stays 1 however many passes run — i.e. re-materializations after
+  /// the first pass == 0.
+  std::int64_t eval_materialize_passes() const {
+    return eval_materialize_passes_;
+  }
+  /// Batches currently held by the eval-range cache (0 = invalidated).
+  std::int64_t eval_cache_batches() const {
+    return static_cast<std::int64_t>(eval_cache_.size());
+  }
+
   /// Loader-overlap accounting across all train() iterations so far:
   /// exposed = step time spent blocked on data, hidden = materialization
   /// cost that ran under compute. With prefetch off, hidden is 0 and
@@ -228,6 +249,12 @@ class DistributedTrainer {
   std::unique_ptr<PrefetchLoader> eval_prefetch_;
   std::int64_t iter_ = 0;
   double loader_exposed_ = 0.0, loader_hidden_ = 0.0;
+  // Eval-range cache: deep copies of the held-out range's batches keyed by
+  // (first, n). Dropped on reshard — the cached bags are shard-local to the
+  // old plan.
+  std::vector<HybridBatch> eval_cache_;
+  std::int64_t eval_cache_first_ = -1, eval_cache_len_ = -1;
+  std::int64_t eval_materialize_passes_ = 0;
   Tensor<float> eval_scores_, eval_labels_;  // [GN] allgather staging
   std::string ckpt_dir_;
   std::int64_t ckpt_every_ = 0;

@@ -1,0 +1,304 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace dlrm::serve {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;  // nearest-rank, 1-based -> 0-based
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(ModelSnapshot& snapshot, const Dataset& data,
+                                 EngineOptions options, Profiler* prof)
+    : snap_(&snapshot), data_(data), options_(options), prof_(prof) {
+  DLRM_CHECK(options_.policy.max_batch >= 1, "max_batch must be >= 1");
+  DLRM_CHECK(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
+}
+
+InferenceEngine::~InferenceEngine() { stop(); }
+
+void InferenceEngine::start() {
+  DLRM_CHECK(!running_, "engine already running");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    wall_start_ = now_sec();
+    wall_end_ = 0.0;
+  }
+  running_ = true;
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+void InferenceEngine::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  batcher_.join();
+  running_ = false;
+  {
+    // The batcher is gone; adopt any still-pending snapshot so a waiting
+    // publisher is released (every prior forward happened-before the join).
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (pending_ != nullptr) {
+      snap_ = pending_;
+      pending_ = nullptr;
+    }
+  }
+  snap_cv_.notify_all();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  wall_end_ = now_sec();
+}
+
+bool InferenceEngine::submit(Request r) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] {
+    return closed_ ||
+           static_cast<std::int64_t>(queue_.size()) < options_.queue_capacity;
+  });
+  if (closed_) return false;
+  queue_.push_back(r);
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool InferenceEngine::try_submit(Request r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (static_cast<std::int64_t>(queue_.size()) >= options_.queue_capacity) {
+      // Load shed: only a full OPEN queue counts as a rejection.
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++rejected_;
+      return false;
+    }
+    queue_.push_back(r);
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void InferenceEngine::set_snapshot(ModelSnapshot* snap) {
+  DLRM_CHECK(snap != nullptr, "set_snapshot needs a snapshot");
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  pending_ = snap;
+}
+
+bool InferenceEngine::wait_snapshot_swapped(double timeout_sec) {
+  std::unique_lock<std::mutex> lock(snap_mu_);
+  const auto adopted = [&] { return pending_ == nullptr; };
+  if (timeout_sec < 0.0) {
+    snap_cv_.wait(lock, adopted);
+    return true;
+  }
+  return snap_cv_.wait_for(lock, std::chrono::duration<double>(timeout_sec),
+                           adopted);
+}
+
+void InferenceEngine::batcher_loop() {
+  const auto& policy = options_.policy;
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    std::int64_t samples = 0;
+    {
+      // Block for the first request (or shutdown with a drained queue).
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed + drained
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+      samples = batch.back().fanout;
+    }
+    not_full_.notify_one();
+
+    // Linger: pack whole requests until the sample budget is hit or the
+    // wait window expires. A saturated queue fills the batch immediately,
+    // so the packing matches run_trace's greedy rule.
+    const double deadline =
+        now_sec() + static_cast<double>(policy.max_wait_us) * 1e-6;
+    while (samples < policy.max_batch) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        if (closed_) break;
+        const double rem = deadline - now_sec();
+        if (rem <= 0.0) break;
+        not_empty_.wait_for(lock, std::chrono::duration<double>(rem));
+        if (queue_.empty()) {
+          if (closed_ || now_sec() >= deadline) break;
+          continue;
+        }
+      }
+      if (samples + queue_.front().fanout > policy.max_batch) break;
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+      samples += batch.back().fanout;
+      lock.unlock();
+      not_full_.notify_one();
+    }
+    execute_batch(batch);
+  }
+}
+
+void InferenceEngine::execute_batch(const std::vector<Request>& reqs) {
+  {
+    // Adopt a pending snapshot at the batch boundary. The single batcher
+    // thread's previous forward finished before this lock, so signalling
+    // here proves the replaced snapshot is unreferenced (wait_snapshot_
+    // swapped's happens-before edge for republishing into it).
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    if (pending_ != nullptr) {
+      snap_ = pending_;
+      pending_ = nullptr;
+      snap_cv_.notify_all();
+    }
+  }
+
+  std::int64_t total = 0;
+  for (const Request& r : reqs) {
+    DLRM_CHECK(r.fanout >= 1, "request fanout must be >= 1");
+    total += r.fanout;
+  }
+
+  {
+    // Assemble one MiniBatch from the per-request sample ranges. Pooling is
+    // fixed per table, so every per-sample extent is regular and whole rows
+    // concatenate; shape_minibatch's offsets already describe the result.
+    const double t0 = now_sec();
+    shape_minibatch(data_, total, mb_);
+    const std::int64_t d = data_.dense_dim();
+    std::int64_t row = 0;
+    for (const Request& r : reqs) {
+      data_.fill(r.key, r.fanout, rscratch_);
+      std::memcpy(mb_.dense.data() + row * d, rscratch_.dense.data(),
+                  static_cast<std::size_t>(r.fanout * d) * sizeof(float));
+      std::memcpy(mb_.labels.data() + row, rscratch_.labels.data(),
+                  static_cast<std::size_t>(r.fanout) * sizeof(float));
+      for (std::int64_t t = 0; t < data_.tables(); ++t) {
+        const std::int64_t p = data_.pooling(t);
+        std::memcpy(
+            mb_.bags[static_cast<std::size_t>(t)].indices.data() + row * p,
+            rscratch_.bags[static_cast<std::size_t>(t)].indices.data(),
+            static_cast<std::size_t>(r.fanout * p) * sizeof(std::int64_t));
+      }
+      row += r.fanout;
+    }
+    if (prof_ != nullptr) prof_->add("serve_assemble", now_sec() - t0);
+  }
+
+  const double fwd0 = now_sec();
+  const Tensor<float>* logits = &snap_->forward(mb_, prof_);
+  if (prof_ != nullptr) prof_->add("serve_forward", now_sec() - fwd0);
+
+  const double done = now_sec();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++batches_;
+  samples_ += total;
+  std::int64_t row = 0;
+  for (const Request& r : reqs) {
+    Response resp;
+    resp.id = r.id;
+    resp.latency_ms = (done - r.submit_sec) * 1e3;
+    resp.batch = total;
+    resp.version = snap_->version();
+    resp.score0 = (*logits)[row];
+    latencies_ms_.push_back(resp.latency_ms);
+    if (resp.latency_ms > options_.slo_ms) ++slo_violations_;
+    if (prof_ != nullptr) prof_->add("serve_latency", done - r.submit_sec);
+    responses_.push_back(resp);
+    row += r.fanout;
+  }
+}
+
+std::vector<Response> InferenceEngine::run_trace(
+    const std::vector<Request>& trace) {
+  DLRM_CHECK(!running_, "run_trace needs a stopped engine");
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    wall_start_ = now_sec();
+    wall_end_ = 0.0;
+  }
+  std::vector<Request> batch;
+  std::int64_t samples = 0;
+  std::size_t first_resp;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    first_resp = responses_.size();
+  }
+  for (const Request& r : trace) {
+    if (!batch.empty() &&
+        samples + r.fanout > options_.policy.max_batch) {
+      execute_batch(batch);
+      batch.clear();
+      samples = 0;
+    }
+    batch.push_back(r);
+    samples += r.fanout;
+  }
+  if (!batch.empty()) execute_batch(batch);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  wall_end_ = now_sec();
+  return {responses_.begin() + static_cast<std::ptrdiff_t>(first_resp),
+          responses_.end()};
+}
+
+ServeStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServeStats s;
+  s.requests = static_cast<std::int64_t>(latencies_ms_.size());
+  s.batches = batches_;
+  s.samples = samples_;
+  s.slo_violations = slo_violations_;
+  s.rejected = rejected_;
+  std::vector<double> sorted = latencies_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_ms = percentile(sorted, 0.50);
+  s.p95_ms = percentile(sorted, 0.95);
+  s.p99_ms = percentile(sorted, 0.99);
+  s.max_ms = sorted.empty() ? 0.0 : sorted.back();
+  s.mean_batch = batches_ > 0
+                     ? static_cast<double>(samples_) / static_cast<double>(batches_)
+                     : 0.0;
+  const double end = wall_end_ > 0.0 ? wall_end_ : now_sec();
+  s.wall_sec = std::max(1e-9, end - wall_start_);
+  s.throughput_rps = static_cast<double>(s.requests) / s.wall_sec;
+  return s;
+}
+
+std::vector<Response> InferenceEngine::responses() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return responses_;
+}
+
+void InferenceEngine::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  responses_.clear();
+  latencies_ms_.clear();
+  batches_ = samples_ = slo_violations_ = rejected_ = 0;
+  wall_start_ = now_sec();
+  wall_end_ = 0.0;
+}
+
+}  // namespace dlrm::serve

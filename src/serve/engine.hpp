@@ -1,0 +1,163 @@
+// Batched online inference over a published model snapshot.
+//
+// The serving pipeline mirrors the open-source recommendation-serving
+// harnesses built around DLRM: producer threads push requests into a
+// bounded MPMC queue; one batcher thread drains it into dynamic
+// micro-batches under a (max_batch, max_wait_us) policy and runs the
+// forward pass on a ModelSnapshot. Requests carry a fan-out (candidate
+// items scored per request), so a micro-batch packs whole requests until
+// the sample budget is reached. Per-request latencies feed p50/p95/p99 and
+// SLO-violation accounting; the same counters also land in the shared
+// Profiler ("serve_*" scopes) next to the training breakdown.
+//
+// Snapshot handover is double-buffered: a trainer publishes into an idle
+// ModelSnapshot and calls set_snapshot; the batcher swaps it in at the
+// next micro-batch boundary, so serve-while-training never reads weights
+// mid-mutation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "serve/snapshot.hpp"
+#include "stats/profiler.hpp"
+
+namespace dlrm::serve {
+
+/// One scoring request: `key` addresses the deterministic sample stream
+/// (the request's user/context), `fanout` consecutive samples are scored.
+struct Request {
+  std::int64_t id = 0;
+  std::int64_t key = 0;
+  std::int64_t fanout = 1;
+  double submit_sec = 0.0;  // arrival stamp (open-loop: intended arrival)
+};
+
+struct Response {
+  std::int64_t id = 0;
+  double latency_ms = 0.0;
+  std::int64_t batch = 0;        // samples in the micro-batch that served it
+  std::int64_t version = -1;     // snapshot version that scored it
+  float score0 = 0.0f;           // logit of the request's first candidate
+};
+
+struct BatchPolicy {
+  /// Sample budget per micro-batch; 1 disables batching. A single request
+  /// whose fanout exceeds the budget still runs (alone).
+  std::int64_t max_batch = 32;
+  /// Linger time: how long the batcher waits for more requests before
+  /// executing a partial batch.
+  std::int64_t max_wait_us = 1000;
+};
+
+struct EngineOptions {
+  BatchPolicy policy;
+  std::int64_t queue_capacity = 1024;
+  double slo_ms = 5.0;
+};
+
+/// Aggregate serving statistics; percentiles by nearest rank.
+struct ServeStats {
+  std::int64_t requests = 0;
+  std::int64_t batches = 0;
+  std::int64_t samples = 0;
+  std::int64_t slo_violations = 0;
+  std::int64_t rejected = 0;  // try_submit refusals (queue full)
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+  double mean_batch = 0.0;
+  double throughput_rps = 0.0;  // requests / wall between start() and stop()
+  double wall_sec = 0.0;
+};
+
+class InferenceEngine {
+ public:
+  /// `snapshot` must outlive the engine (as must any snapshot later handed
+  /// over via set_snapshot). `data` provides the request feature stream.
+  InferenceEngine(ModelSnapshot& snapshot, const Dataset& data,
+                  EngineOptions options, Profiler* prof = nullptr);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Spawns the batcher thread and opens the queue.
+  void start();
+  /// Closes the queue, drains every enqueued request, joins the batcher.
+  /// Idempotent.
+  void stop();
+  bool running() const { return running_; }
+
+  /// Blocking enqueue (waits while the queue is full). Returns false once
+  /// the queue is closed.
+  bool submit(Request r);
+  /// Non-blocking enqueue; false (and `rejected` accounting) when full or
+  /// closed.
+  bool try_submit(Request r);
+
+  /// Hands over a freshly published snapshot; takes effect at the next
+  /// micro-batch boundary. Safe to call while serving.
+  void set_snapshot(ModelSnapshot* snap);
+
+  /// Blocks until the last set_snapshot handover has been adopted (at a
+  /// micro-batch boundary, or at stop()); returns whether it was. Only
+  /// then is the snapshot it replaced guaranteed unreferenced by the
+  /// batcher — a double-buffering publisher MUST observe true here before
+  /// republishing into the retired buffer, or the next publish races the
+  /// in-flight forward. A non-negative `timeout_sec` bounds the wait
+  /// (adoption needs traffic: an idle batcher only adopts at stop()).
+  bool wait_snapshot_swapped(double timeout_sec = -1.0);
+
+  /// Offline replay on the caller thread (engine must not be running):
+  /// packs `trace` in order under the same (max_batch) rule the live
+  /// batcher uses with a saturated queue, executes each micro-batch, and
+  /// returns responses in request order. Deterministic: the same trace and
+  /// snapshot always produce identical batching and scores.
+  std::vector<Response> run_trace(const std::vector<Request>& trace);
+
+  ServeStats stats() const;
+  std::vector<Response> responses() const;
+  void reset_stats();
+
+ private:
+  void batcher_loop();
+  /// Swaps in a pending snapshot, assembles one MiniBatch from `reqs`,
+  /// forwards, and records responses + latency accounting.
+  void execute_batch(const std::vector<Request>& reqs);
+
+  ModelSnapshot* snap_;
+  const Dataset& data_;
+  EngineOptions options_;
+  Profiler* prof_;
+
+  // Request queue.
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<Request> queue_;
+  bool closed_ = true;
+
+  // Pending snapshot handover (swapped at batch boundaries; snap_cv_
+  // signals adoption so publishers can reclaim the retired buffer).
+  std::mutex snap_mu_;
+  std::condition_variable snap_cv_;
+  ModelSnapshot* pending_ = nullptr;
+
+  // Results + accounting.
+  mutable std::mutex stats_mu_;
+  std::vector<Response> responses_;
+  std::vector<double> latencies_ms_;
+  std::int64_t batches_ = 0, samples_ = 0, slo_violations_ = 0, rejected_ = 0;
+  double wall_start_ = 0.0, wall_end_ = 0.0;
+
+  // Batch assembly scratch (batcher thread only).
+  MiniBatch mb_, rscratch_;
+
+  std::thread batcher_;
+  bool running_ = false;
+};
+
+}  // namespace dlrm::serve

@@ -1,0 +1,74 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace dlrm::serve {
+
+namespace {
+
+/// Exponential inter-arrival gap for rate `qps` (1 - u keeps log() finite).
+double exp_gap(Rng& rng, double qps) {
+  return -std::log(1.0 - rng.next_double()) / qps;
+}
+
+}  // namespace
+
+PoissonLoadGen::PoissonLoadGen(InferenceEngine& engine, LoadGenOptions options)
+    : engine_(engine), options_(options) {
+  DLRM_CHECK(options_.qps > 0.0, "qps must be positive");
+  DLRM_CHECK(options_.fanout >= 1, "fanout must be >= 1");
+  DLRM_CHECK(options_.key_space >= 1, "key_space must be >= 1");
+}
+
+void PoissonLoadGen::run() {
+  Rng rng(options_.seed);
+  const ZipfSampler keys(options_.key_space, options_.zipf_s);
+  double next = now_sec();
+  for (std::int64_t i = 0; i < options_.requests; ++i) {
+    next += exp_gap(rng, options_.qps);
+    const double wait = next - now_sec();
+    if (wait > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    }
+    Request r;
+    r.id = i;
+    r.key = keys(rng);
+    r.fanout = options_.fanout;
+    r.submit_sec = next;  // intended arrival: open-loop latency accounting
+    if (options_.drop_when_full) {
+      if (engine_.try_submit(r)) {
+        ++sent_;
+      } else {
+        ++dropped_;
+      }
+    } else {
+      if (engine_.submit(r)) ++sent_;
+    }
+  }
+}
+
+std::vector<Request> make_trace(const LoadGenOptions& options) {
+  Rng rng(options.seed);
+  const ZipfSampler keys(options.key_space, options.zipf_s);
+  std::vector<Request> trace;
+  trace.reserve(static_cast<std::size_t>(options.requests));
+  double t = 0.0;
+  for (std::int64_t i = 0; i < options.requests; ++i) {
+    t += exp_gap(rng, options.qps);
+    Request r;
+    r.id = i;
+    r.key = keys(rng);
+    r.fanout = options.fanout;
+    r.submit_sec = t;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace dlrm::serve

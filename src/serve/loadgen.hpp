@@ -1,0 +1,54 @@
+// Synthetic open-loop load generator for the serving path.
+//
+// Arrivals are Poisson (exponential inter-arrival gaps at a configured
+// QPS) and request keys are Zipf-skewed over the sample stream, matching
+// the production access skew the paper's embedding analysis leans on.
+// Open loop: each request is stamped with its *intended* arrival time, so
+// queueing delay under overload shows up in the latency percentiles
+// instead of being hidden by coordinated omission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace dlrm::serve {
+
+struct LoadGenOptions {
+  double qps = 1000.0;
+  std::int64_t requests = 1000;
+  std::int64_t fanout = 4;        // candidates scored per request
+  std::int64_t key_space = 1 << 20;  // sample-stream keys drawn from [0, n)
+  double zipf_s = 0.9;            // key skew; 0 = uniform
+  std::uint64_t seed = 7;
+  /// true: try_submit and count drops (load shedding); false: block on a
+  /// full queue (backpressure).
+  bool drop_when_full = false;
+};
+
+class PoissonLoadGen {
+ public:
+  PoissonLoadGen(InferenceEngine& engine, LoadGenOptions options);
+
+  /// Generates and submits options.requests requests on the caller thread,
+  /// pacing to the Poisson schedule. Returns when the last request was
+  /// submitted (or dropped).
+  void run();
+
+  std::int64_t sent() const { return sent_; }
+  std::int64_t dropped() const { return dropped_; }
+
+ private:
+  InferenceEngine& engine_;
+  LoadGenOptions options_;
+  std::int64_t sent_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+/// Deterministic request trace with the same key/fanout distribution the
+/// live generator produces (submit stamps at the nominal schedule). Feed to
+/// InferenceEngine::run_trace for reproducible offline replay.
+std::vector<Request> make_trace(const LoadGenOptions& options);
+
+}  // namespace dlrm::serve

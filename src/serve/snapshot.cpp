@@ -1,0 +1,81 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+
+#include "ckpt/checkpoint.hpp"
+#include "common/log.hpp"
+
+namespace dlrm::serve {
+
+namespace {
+
+/// Copies one MLP through the canonical flat-fp32 encoding (the same form
+/// the checkpoint manifest stores). pack_from refreshes nothing else: the
+/// bf16 VNNI mirrors are rebuilt from these canonical weights on every
+/// forward, so this is a complete publication.
+void copy_mlp(Mlp& src, Mlp& dst, std::vector<float>& flat) {
+  DLRM_CHECK(src.layer_count() == dst.layer_count(),
+             "snapshot MLP topology mismatch");
+  for (std::size_t l = 0; l < src.layer_count(); ++l) {
+    FullyConnected& s = src.layer(l);
+    FullyConnected& d = dst.layer(l);
+    DLRM_CHECK(s.in_features() == d.in_features() &&
+                   s.out_features() == d.out_features(),
+               "snapshot MLP layer shape mismatch");
+    const std::size_t n =
+        static_cast<std::size_t>(s.out_features() * s.in_features());
+    if (flat.size() < n) flat.resize(n);
+    s.weights().unpack_to(flat.data());
+    d.weights().pack_from(flat.data());
+    std::copy(s.bias().data(), s.bias().data() + s.bias().size(),
+              d.bias().data());
+  }
+}
+
+}  // namespace
+
+ModelSnapshot::ModelSnapshot(const DlrmConfig& config, ModelOptions options,
+                             std::uint64_t seed)
+    : config_(config), model_(config, options, seed) {}
+
+void ModelSnapshot::publish_from(DlrmModel& src, std::int64_t version) {
+  DLRM_CHECK(src.tables() == model_.tables(), "snapshot table count mismatch");
+  for (std::int64_t t = 0; t < src.tables(); ++t) {
+    EmbeddingTable& from = src.table(t);
+    EmbeddingTable& to = model_.table(t);
+    DLRM_CHECK(from.rows() == to.rows() && from.dim() == to.dim() &&
+                   from.precision() == to.precision(),
+               "snapshot table geometry mismatch");
+    const std::size_t bytes =
+        static_cast<std::size_t>(from.rows() * from.checkpoint_row_bytes());
+    if (row_buf_.size() < bytes) row_buf_.resize(bytes);
+    from.export_rows(0, from.rows(), row_buf_.data());
+    to.import_rows(0, to.rows(), row_buf_.data());
+  }
+  copy_mlp(src.bottom_mlp(), model_.bottom_mlp(), flat_buf_);
+  copy_mlp(src.top_mlp(), model_.top_mlp(), flat_buf_);
+  version_ = version;
+}
+
+void ModelSnapshot::publish_from_checkpoint(const std::string& dir) {
+  ckpt::CheckpointReader reader(dir);
+  // Serving doesn't care which global batch trained the snapshot; borrow
+  // the saved one so check_model validates only the model identity.
+  reader.check_model(ckpt::ModelConfigKey::from(
+      config_, model_.options().embed_precision,
+      reader.saved_key().global_batch));
+  reader.load_dense(model_.bottom_mlp(), model_.top_mlp());
+  for (std::int64_t t = 0; t < model_.tables(); ++t) {
+    const Shard full{t, 0, model_.table(t).rows(), /*rank=*/0, /*cost=*/0.0};
+    reader.load_shard_rows(full, model_.table(t));
+  }
+  version_ = reader.step();
+}
+
+const Tensor<float>& ModelSnapshot::forward(const MiniBatch& mb,
+                                            Profiler* prof) {
+  if (model_.batch() != mb.batch()) model_.set_batch(mb.batch());
+  return model_.forward(mb, prof);
+}
+
+}  // namespace dlrm::serve

@@ -1,0 +1,59 @@
+// Published model snapshot for online serving.
+//
+// Serving must never read weights a concurrent trainer is mutating. A
+// ModelSnapshot owns a second, forward-only DlrmModel and copies the live
+// weights into it at a step boundary through the checkpoint subsystem's
+// canonical encodings — embedding rows via the per-precision row codec
+// (export_rows/import_rows) and MLP layers via the canonical flat-fp32
+// dense form (unpack_to/pack_from). Both codecs are bit-exact round trips,
+// so a served forward on the snapshot is bit-identical to an offline
+// forward on the source weights at publication time. The bf16 VNNI mirrors
+// inside FullyConnected are repacked from the canonical fp32 weights on
+// every forward, so publication never leaves a stale mirror behind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace dlrm::serve {
+
+class ModelSnapshot {
+ public:
+  /// Builds the forward-only replica. Weights are meaningless until the
+  /// first publish_from / publish_from_checkpoint call.
+  ModelSnapshot(const DlrmConfig& config, ModelOptions options,
+                std::uint64_t seed = 1);
+
+  /// Copies `src`'s weights (bit-exact) and stamps `version` (typically the
+  /// trainer's step). The caller must quiesce training for the duration —
+  /// call between optimizer steps. Never call while an InferenceEngine is
+  /// forwarding on THIS snapshot; publish into an idle snapshot and hand it
+  /// over with InferenceEngine::set_snapshot instead.
+  void publish_from(DlrmModel& src, std::int64_t version);
+
+  /// Loads the snapshot in `dir` written by Trainer or DistributedTrainer
+  /// of any geometry (cross-geometry resharding via load_shard_rows).
+  /// Version becomes the saved step.
+  void publish_from_checkpoint(const std::string& dir);
+
+  /// Monotone publication stamp; -1 until the first publish.
+  std::int64_t version() const { return version_; }
+  const DlrmConfig& config() const { return config_; }
+  DlrmModel& model() { return model_; }
+
+  /// Forward-only scoring; reallocates activation buffers when the batch
+  /// size changes (dynamic micro-batches vary per execution).
+  const Tensor<float>& forward(const MiniBatch& mb, Profiler* prof = nullptr);
+
+ private:
+  DlrmConfig config_;
+  DlrmModel model_;
+  std::int64_t version_ = -1;
+  std::vector<unsigned char> row_buf_;  // export_rows/import_rows staging
+  std::vector<float> flat_buf_;         // canonical dense staging
+};
+
+}  // namespace dlrm::serve

@@ -5,6 +5,7 @@
 namespace dlrm {
 
 double Profiler::total_sec_prefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   double total = 0.0;
   for (const auto& [name, sw] : counters_) {
     if (name.rfind(prefix, 0) == 0) total += sw.total_sec();
@@ -13,6 +14,7 @@ double Profiler::total_sec_prefix(const std::string& prefix) const {
 }
 
 std::string Profiler::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char line[160];
   std::snprintf(line, sizeof(line), "%-32s %10s %12s %12s\n", "op", "calls",

@@ -3,10 +3,16 @@
 // Mirrors the instrumentation the paper added to PyTorch: per-op timers plus
 // the communication split into "framework" (packing, launching, averaging)
 // and "wait" (blocked on the backend) components shown in Figs. 10–14.
+//
+// Thread-safe: counters are bumped concurrently from the trainer thread, the
+// prefetch workers, and the serving batcher/load-generator threads, so every
+// access to the counter map goes through one mutex. Counter updates are rare
+// (per op, not per element) so the lock is uncontended in practice.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/timer.hpp"
@@ -16,7 +22,10 @@ namespace dlrm {
 class Profiler {
  public:
   /// Adds `sec` to the named counter.
-  void add(const std::string& name, double sec) { counters_[name].add_sec(sec); }
+  void add(const std::string& name, double sec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name].add_sec(sec);
+  }
 
   /// RAII scope timer: Profiler::Scope s(prof, "embedding_fwd");
   class Scope {
@@ -34,14 +43,17 @@ class Profiler {
   };
 
   double total_sec(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0.0 : it->second.total_sec();
   }
   double mean_ms(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0.0 : it->second.mean_ms();
   }
   std::int64_t count(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.count();
   }
@@ -49,14 +61,23 @@ class Profiler {
   /// Sum of all counters whose name starts with `prefix`.
   double total_sec_prefix(const std::string& prefix) const;
 
-  void reset() { counters_.clear(); }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+  }
 
   /// Formats an aligned table: name, calls, total ms, mean ms.
   std::string report() const;
 
-  const std::map<std::string, Stopwatch>& counters() const { return counters_; }
+  /// Snapshot of all counters (copy, taken under the lock — callers iterate
+  /// without racing concurrent add()s).
+  std::map<std::string, Stopwatch> counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Stopwatch> counters_;
 };
 

@@ -1,0 +1,132 @@
+// Held-out eval-range cache (DistributedTrainer): repeat evaluate() calls
+// over the same range must skip the loader/prefetch machinery entirely
+// after the first pass — bit-identical AUC, materialize-pass counter stuck
+// at 1, dedicated eval pipeline idle — and the cache must invalidate when
+// the requested range changes or caching is disabled.
+#include "core/dist_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace dlrm {
+namespace {
+
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "tiny";
+  c.minibatch = 64;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {300, 200, 250, 150, 220, 180};
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.validate();
+  return c;
+}
+
+TEST(EvalCache, RepeatPassesAreBitIdenticalAndSkipRematerialization) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const std::int64_t GN = 64;
+  const std::int64_t eval_first = 100 * GN, eval_n = 4 * GN;
+  const int passes = 3;
+
+  // Reference: caching off — every pass streams through the eval pipeline.
+  std::vector<double> ref(passes, 0.0);
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.global_batch = GN;
+    opts.cache_eval_range = false;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), opts);
+    trainer.train(2);
+    for (int p = 0; p < passes; ++p) {
+      const double auc = trainer.evaluate(eval_first, eval_n);
+      if (comm.rank() == 0) ref[static_cast<std::size_t>(p)] = auc;
+    }
+    EXPECT_EQ(trainer.eval_materialize_passes(), passes);
+    EXPECT_EQ(trainer.eval_cache_batches(), 0);
+  });
+
+  // Cached: one materialization, identical AUC on every pass, and the
+  // dedicated eval pipeline loads nothing after the first pass.
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    DistributedTrainerOptions opts;
+    opts.global_batch = GN;
+    opts.cache_eval_range = true;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), opts);
+    trainer.train(2);
+    std::vector<double> got;
+    for (int p = 0; p < passes; ++p) {
+      got.push_back(trainer.evaluate(eval_first, eval_n));
+    }
+    EXPECT_EQ(trainer.eval_materialize_passes(), 1);
+    EXPECT_EQ(trainer.eval_cache_batches(), eval_n / GN);
+    ASSERT_NE(trainer.eval_prefetch(), nullptr);
+    const std::int64_t loaded_after_first = trainer.eval_prefetch()->batches_loaded();
+    trainer.evaluate(eval_first, eval_n);
+    EXPECT_EQ(trainer.eval_prefetch()->batches_loaded(), loaded_after_first);
+    if (comm.rank() == 0) {
+      for (int p = 0; p < passes; ++p) {
+        EXPECT_EQ(got[static_cast<std::size_t>(p)],
+                  ref[static_cast<std::size_t>(p)])
+            << "pass " << p;
+      }
+    }
+  });
+}
+
+TEST(EvalCache, RangeChangeInvalidates) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const std::int64_t GN = 64;
+
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    (void)comm;
+    DistributedTrainerOptions opts;
+    opts.global_batch = GN;
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), opts);
+    trainer.train(1);
+
+    const std::int64_t a = 100 * GN, b = 200 * GN, n = 2 * GN;
+    const double auc_a1 = trainer.evaluate(a, n);
+    EXPECT_EQ(trainer.eval_materialize_passes(), 1);
+    trainer.evaluate(b, n);  // different range: re-materializes
+    EXPECT_EQ(trainer.eval_materialize_passes(), 2);
+    trainer.evaluate(b, n);  // cached again
+    EXPECT_EQ(trainer.eval_materialize_passes(), 2);
+    const double auc_a2 = trainer.evaluate(a, n);  // a was evicted
+    EXPECT_EQ(trainer.eval_materialize_passes(), 3);
+    EXPECT_EQ(auc_a1, auc_a2);
+  });
+}
+
+TEST(EvalCache, OverlongRangeStreamsUncached) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const std::int64_t GN = 64;
+
+  run_ranks(2, 2, [&](ThreadComm& comm) {
+    (void)comm;
+    DistributedTrainerOptions opts;
+    opts.global_batch = GN;
+    opts.eval_cache_max_batches = 2;  // range below needs 3
+    auto backend = QueueBackend::ccl_like(2);
+    DistributedTrainer trainer(c, data, comm, backend.get(), opts);
+    trainer.train(1);
+    trainer.evaluate(100 * GN, 3 * GN);
+    trainer.evaluate(100 * GN, 3 * GN);
+    EXPECT_EQ(trainer.eval_materialize_passes(), 2);
+    EXPECT_EQ(trainer.eval_cache_batches(), 0);
+  });
+}
+
+}  // namespace
+}  // namespace dlrm

@@ -46,12 +46,13 @@ TEST_P(ExchangeTest, ForwardRoutesTableSlices) {
     auto h = ex.start_forward(ptrs);
     ex.finish_forward(h, sliced.data());
 
-    // Every rank must now see, for every table, its own batch slice.
+    // Every rank must now see, for every table, its own batch slice
+    // (chunk convention, so GN % R != 0 geometries line up too).
+    const std::int64_t base = chunk_begin(GN, comm.rank(), comm.size());
     for (std::int64_t t = 0; t < S; ++t) {
       for (std::int64_t r = 0; r < LN; ++r) {
         for (std::int64_t e = 0; e < E; ++e) {
-          ASSERT_EQ(sliced[(t * LN + r) * E + e],
-                    marker(t, comm.rank() * LN + r, e))
+          ASSERT_EQ(sliced[(t * LN + r) * E + e], marker(t, base + r, e))
               << "rank " << comm.rank() << " t " << t << " r " << r;
         }
       }
@@ -66,11 +67,12 @@ TEST_P(ExchangeTest, BackwardRoutesGradientsToOwners) {
     const std::int64_t LN = ex.local_batch();
 
     // Gradient for table t, my slice row r: marker with the global row id.
+    const std::int64_t base = chunk_begin(GN, comm.rank(), comm.size());
     Tensor<float> dsliced({S, LN, E});
     for (std::int64_t t = 0; t < S; ++t) {
       for (std::int64_t r = 0; r < LN; ++r) {
         for (std::int64_t e = 0; e < E; ++e) {
-          dsliced[(t * LN + r) * E + e] = marker(t, comm.rank() * LN + r, e);
+          dsliced[(t * LN + r) * E + e] = marker(t, base + r, e);
         }
       }
     }
@@ -111,7 +113,18 @@ INSTANTIATE_TEST_SUITE_P(
         ExCase{4, 26, 4, 16, ExchangeStrategy::kFusedScatter},
         ExCase{4, 26, 4, 16, ExchangeStrategy::kAlltoall},
         // One table per rank (max model parallelism of the Small config).
-        ExCase{8, 8, 2, 16, ExchangeStrategy::kAlltoall}),
+        ExCase{8, 8, 2, 16, ExchangeStrategy::kAlltoall},
+        // GN % R != 0 regression (carried PR 3/6 gap): every strategy must
+        // carry uneven chunk-convention slices, not just the alltoallv path.
+        ExCase{2, 8, 4, 33, ExchangeStrategy::kScatterList},
+        ExCase{2, 8, 4, 33, ExchangeStrategy::kFusedScatter},
+        ExCase{2, 8, 4, 33, ExchangeStrategy::kAlltoall},
+        ExCase{4, 8, 4, 33, ExchangeStrategy::kScatterList},
+        ExCase{4, 8, 4, 33, ExchangeStrategy::kFusedScatter},
+        ExCase{4, 8, 4, 33, ExchangeStrategy::kAlltoall},
+        // Uneven batch AND uneven table distribution together.
+        ExCase{4, 26, 4, 33, ExchangeStrategy::kScatterList},
+        ExCase{4, 26, 4, 33, ExchangeStrategy::kFusedScatter}),
     [](const ::testing::TestParamInfo<ExCase>& tpi) {
       return std::string(to_string(std::get<4>(tpi.param))) + "_R" +
              std::to_string(std::get<0>(tpi.param)) + "_S" +
@@ -262,21 +275,89 @@ TEST(Exchange, VolumeMatchesEq2) {
   });
 }
 
-// GN % R != 0: the alltoallv path carries uneven chunk-convention slices;
-// the scatter-based strategies (uniform collective chunks) still reject.
-TEST(Exchange, IndivisibleBatchNeedsAlltoall) {
-  run_ranks(3, 0, [](ThreadComm& comm) {
-    const std::int64_t GN = 16;  // 16 % 3 != 0
-    EXPECT_THROW(EmbeddingExchange(comm, nullptr,
-                                   ExchangeStrategy::kScatterList, 6, 4, GN),
-                 CheckError);
-    EXPECT_THROW(EmbeddingExchange(comm, nullptr,
-                                   ExchangeStrategy::kFusedScatter, 6, 4, GN),
-                 CheckError);
-    EmbeddingExchange ex(comm, nullptr, ExchangeStrategy::kAlltoall, 6, 4, GN);
-    EXPECT_EQ(ex.local_batch(),
-              GN * (comm.rank() + 1) / 3 - GN * comm.rank() / 3);
-  });
+// GN % R != 0: all three strategies now carry uneven chunk-convention
+// slices (the scatter paths moved to scatterv/gatherv), so construction
+// succeeds everywhere and every rank gets its chunk-sized local batch.
+TEST(Exchange, IndivisibleBatchAllStrategies) {
+  for (auto strategy :
+       {ExchangeStrategy::kScatterList, ExchangeStrategy::kFusedScatter,
+        ExchangeStrategy::kAlltoall}) {
+    run_ranks(3, 0, [strategy](ThreadComm& comm) {
+      const std::int64_t GN = 16;  // 16 % 3 != 0
+      EmbeddingExchange ex(comm, nullptr, strategy, 6, 4, GN);
+      EXPECT_EQ(ex.local_batch(),
+                GN * (comm.rank() + 1) / 3 - GN * comm.rank() / 3);
+    });
+  }
+}
+
+// bf16 payload over uneven slices: the scatterv/gatherv paths are pure
+// movement, so each delivered element is exactly the RNE rounding of the
+// fp32 marker — for every strategy, GN=33 over R=2.
+TEST(Exchange, UnevenBf16PayloadExactRne) {
+  const std::int64_t S = 4, E = 3, GN = 33;
+  const int R = 2;
+  for (auto strategy :
+       {ExchangeStrategy::kScatterList, ExchangeStrategy::kFusedScatter,
+        ExchangeStrategy::kAlltoall}) {
+    run_ranks(R, 0, [&, strategy](ThreadComm& comm) {
+      EmbeddingExchange ex(comm, nullptr, strategy, S, E, GN,
+                           Precision::kBf16);
+      const std::int64_t LN = ex.local_batch();
+      const std::int64_t base = chunk_begin(GN, comm.rank(), comm.size());
+
+      std::vector<Tensor<float>> outs;
+      std::vector<const float*> ptrs;
+      for (std::int64_t t : ex.owned_ids()) {
+        outs.emplace_back(std::vector<std::int64_t>{GN, E});
+        for (std::int64_t r = 0; r < GN; ++r) {
+          for (std::int64_t e = 0; e < E; ++e) {
+            outs.back()[r * E + e] = marker(t, r, e);
+          }
+        }
+        ptrs.push_back(outs.back().data());
+      }
+      Tensor<float> sliced({S, LN, E});
+      auto h = ex.start_forward(ptrs);
+      ex.finish_forward(h, sliced.data());
+      for (std::int64_t t = 0; t < S; ++t) {
+        for (std::int64_t r = 0; r < LN; ++r) {
+          for (std::int64_t e = 0; e < E; ++e) {
+            ASSERT_EQ(sliced[(t * LN + r) * E + e],
+                      bf16_to_f32(f32_to_bf16_rne(marker(t, base + r, e))))
+                << to_string(strategy) << " t " << t << " r " << r;
+          }
+        }
+      }
+
+      Tensor<float> dsliced({S, LN, E});
+      for (std::int64_t t = 0; t < S; ++t) {
+        for (std::int64_t r = 0; r < LN; ++r) {
+          for (std::int64_t e = 0; e < E; ++e) {
+            dsliced[(t * LN + r) * E + e] = marker(t, base + r, e);
+          }
+        }
+      }
+      std::vector<Tensor<float>> grads;
+      std::vector<float*> gptrs;
+      for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+        grads.emplace_back(std::vector<std::int64_t>{GN, E});
+      }
+      for (auto& g : grads) gptrs.push_back(g.data());
+      auto hb = ex.start_backward(dsliced.data());
+      ex.finish_backward(hb, gptrs);
+      for (std::int64_t k = 0; k < ex.owned_tables(); ++k) {
+        const std::int64_t t = ex.owned_ids()[static_cast<std::size_t>(k)];
+        for (std::int64_t r = 0; r < GN; ++r) {
+          for (std::int64_t e = 0; e < E; ++e) {
+            ASSERT_EQ(grads[static_cast<std::size_t>(k)][r * E + e],
+                      bf16_to_f32(f32_to_bf16_rne(marker(t, r, e))))
+                << to_string(strategy) << " table " << t << " row " << r;
+          }
+        }
+      }
+    });
+  }
 }
 
 // Uneven slices round-trip: forward delivers each rank its chunk of every
@@ -285,8 +366,11 @@ TEST(Exchange, IndivisibleBatchNeedsAlltoall) {
 TEST(Exchange, UnevenSlicesRoundTrip) {
   const std::int64_t S = 5, E = 3, GN = 10;
   const int R = 3;
-  run_ranks(R, 0, [&](ThreadComm& comm) {
-    EmbeddingExchange ex(comm, nullptr, ExchangeStrategy::kAlltoall, S, E, GN);
+  for (auto strategy :
+       {ExchangeStrategy::kScatterList, ExchangeStrategy::kFusedScatter,
+        ExchangeStrategy::kAlltoall}) {
+  run_ranks(R, 0, [&, strategy](ThreadComm& comm) {
+    EmbeddingExchange ex(comm, nullptr, strategy, S, E, GN);
     const std::int64_t ln = ex.local_batch();
     const std::int64_t base = GN * comm.rank() / R;
 
@@ -345,6 +429,7 @@ TEST(Exchange, UnevenSlicesRoundTrip) {
       }
     }
   });
+  }
 }
 
 }  // namespace

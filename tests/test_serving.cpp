@@ -1,0 +1,348 @@
+// Online serving path: batcher determinism, snapshot-publication parity
+// (served scores bit-identical to offline forwards on the same published
+// weights, fp32 and bf16, in-process and from checkpoint directories),
+// queue backpressure and clean shutdown, serve-while-training snapshot
+// handover, and SLO accounting sanity. Runs under the TSan pass in ci.sh —
+// the batcher, load-generator, and publisher threads all share the engine
+// and the Profiler.
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/trainer.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/snapshot.hpp"
+
+namespace dlrm {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::BatchPolicy;
+using serve::EngineOptions;
+using serve::InferenceEngine;
+using serve::LoadGenOptions;
+using serve::ModelSnapshot;
+using serve::PoissonLoadGen;
+using serve::Request;
+using serve::Response;
+
+DlrmConfig serve_config(Precision mlp = Precision::kFp32) {
+  DlrmConfig c;
+  c.name = "serve-tiny";
+  c.minibatch = 32;
+  c.global_batch_strong = 32;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {120, 90, 140, 60};
+  c.bottom_mlp = {8, 16, 16};
+  c.top_mlp = {16, 8, 1};
+  c.mlp_precision = mlp;
+  c.validate();
+  return c;
+}
+
+RandomDataset serve_data(const DlrmConfig& c) {
+  return RandomDataset(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+}
+
+/// A snapshot published from a freshly trained model (few steps so the
+/// weights are non-trivial).
+void train_and_publish(const DlrmConfig& c, const ModelOptions& mopts,
+                       const Dataset& data, ModelSnapshot& snap,
+                       int iters = 4) {
+  DlrmModel model(c, mopts, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+  trainer.train(iters);
+  snap.publish_from(model, trainer.iterations_done());
+}
+
+std::vector<Request> fixed_trace() {
+  LoadGenOptions lopts;
+  lopts.qps = 1e6;  // stamps only; run_trace ignores pacing
+  lopts.requests = 60;
+  lopts.fanout = 3;
+  lopts.key_space = 4096;
+  lopts.zipf_s = 0.9;
+  lopts.seed = 5;
+  return serve::make_trace(lopts);
+}
+
+std::map<std::int64_t, float> scores_by_id(const std::vector<Response>& rs) {
+  std::map<std::int64_t, float> out;
+  for (const Response& r : rs) out[r.id] = r.score0;
+  return out;
+}
+
+// Two fresh engines over identically published snapshots must produce the
+// same batching and bit-identical scores for the same trace.
+TEST(Serving, TraceReplayIsDeterministic) {
+  const DlrmConfig c = serve_config();
+  const RandomDataset data = serve_data(c);
+  const std::vector<Request> trace = fixed_trace();
+
+  std::vector<std::vector<Response>> runs;
+  for (int run = 0; run < 2; ++run) {
+    ModelSnapshot snap(c, {});
+    train_and_publish(c, {}, data, snap);
+    InferenceEngine engine(snap, data,
+                           {.policy = {.max_batch = 8, .max_wait_us = 0}});
+    runs.push_back(engine.run_trace(trace));
+  }
+  ASSERT_EQ(runs[0].size(), trace.size());
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i].id, runs[1][i].id);
+    EXPECT_EQ(runs[0][i].batch, runs[1][i].batch) << "request " << i;
+    EXPECT_EQ(runs[0][i].score0, runs[1][i].score0) << "request " << i;
+  }
+}
+
+// Per-sample forwards are independent of batch composition, so dynamic
+// micro-batches must score every request bit-identically to batch=1.
+TEST(Serving, DynamicBatchingMatchesBatchOneBitExact) {
+  const DlrmConfig c = serve_config();
+  const RandomDataset data = serve_data(c);
+  const std::vector<Request> trace = fixed_trace();
+
+  ModelSnapshot snap(c, {});
+  train_and_publish(c, {}, data, snap);
+
+  InferenceEngine batched(snap, data,
+                          {.policy = {.max_batch = 16, .max_wait_us = 0}});
+  const auto dyn = scores_by_id(batched.run_trace(trace));
+  InferenceEngine single(snap, data,
+                         {.policy = {.max_batch = 1, .max_wait_us = 0}});
+  const auto one = scores_by_id(single.run_trace(trace));
+
+  ASSERT_EQ(dyn.size(), one.size());
+  for (const auto& [id, score] : dyn) {
+    ASSERT_TRUE(one.count(id));
+    EXPECT_EQ(score, one.at(id)) << "request id " << id;
+  }
+  // Batching actually happened.
+  const auto s = batched.stats();
+  EXPECT_GT(s.mean_batch, 1.0);
+}
+
+// Publication parity: scores served from a snapshot restored out of a
+// checkpoint directory must be bit-identical to (a) offline per-request
+// forwards on that snapshot and (b) a snapshot published in-process from
+// the live model that wrote the checkpoint. Covers the fp32 and bf16
+// embedding/MLP codecs.
+class ServingCkptParityTest : public ::testing::TestWithParam<Precision> {};
+
+TEST_P(ServingCkptParityTest, CheckpointAndInProcessPublishServeIdentically) {
+  const Precision precision = GetParam();
+  const DlrmConfig c = serve_config(precision);
+  ModelOptions mopts;
+  mopts.embed_precision = precision == Precision::kBf16
+                              ? EmbedPrecision::kBf16Split
+                              : EmbedPrecision::kFp32;
+  const RandomDataset data = serve_data(c);
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("dlrm_serve_ckpt_" + std::string(to_string(precision)));
+  fs::remove_all(dir);
+
+  DlrmModel model(c, mopts, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+  trainer.train(4);
+  trainer.save_checkpoint(dir.string());
+
+  ModelSnapshot live(c, mopts);
+  live.publish_from(model, trainer.iterations_done());
+  ModelSnapshot restored(c, mopts);
+  restored.publish_from_checkpoint(dir.string());
+  EXPECT_EQ(restored.version(), trainer.iterations_done());
+
+  const std::vector<Request> trace = fixed_trace();
+  InferenceEngine engine(restored, data,
+                         {.policy = {.max_batch = 8, .max_wait_us = 0}});
+  const std::vector<Response> served = engine.run_trace(trace);
+  ASSERT_EQ(served.size(), trace.size());
+
+  // Offline reference: each request forwarded alone on the in-process
+  // snapshot (exercises a different batch geometry AND the other
+  // publication path at once).
+  std::map<std::int64_t, float> offline;
+  MiniBatch mb;
+  for (const Request& r : trace) {
+    data.fill(r.key, r.fanout, mb);
+    offline[r.id] = live.forward(mb)[0];
+  }
+  for (const Response& r : served) {
+    ASSERT_TRUE(offline.count(r.id));
+    EXPECT_EQ(r.score0, offline.at(r.id)) << "request id " << r.id;
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, ServingCkptParityTest,
+                         ::testing::Values(Precision::kFp32, Precision::kBf16),
+                         [](const ::testing::TestParamInfo<Precision>& tpi) {
+                           return std::string(to_string(tpi.param));
+                         });
+
+// Bounded queue: try_submit sheds load once the queue is full (accounted as
+// rejected), stop() drains everything accepted, and submits after shutdown
+// are refused.
+TEST(Serving, BackpressureRejectionAndCleanShutdown) {
+  const DlrmConfig c = serve_config();
+  const RandomDataset data = serve_data(c);
+  ModelSnapshot snap(c, {});
+  train_and_publish(c, {}, data, snap);
+
+  EngineOptions opts;
+  opts.policy = {.max_batch = 4, .max_wait_us = 100};
+  opts.queue_capacity = 4;
+  InferenceEngine engine(snap, data, opts);
+
+  // Closed queue (not started): both submit flavours refuse.
+  EXPECT_FALSE(engine.try_submit({.id = 0, .key = 0, .fanout = 1}));
+  EXPECT_FALSE(engine.submit({.id = 0, .key = 0, .fanout = 1}));
+
+  engine.start();
+  std::int64_t accepted = 0, rejected = 0;
+  for (std::int64_t i = 0; i < 64; ++i) {
+    Request r;
+    r.id = i;
+    r.key = i;
+    r.fanout = 2;
+    r.submit_sec = now_sec();
+    if (engine.try_submit(r)) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  // Blocking submits always land (backpressure, not shedding).
+  for (std::int64_t i = 64; i < 96; ++i) {
+    Request r;
+    r.id = i;
+    r.key = i;
+    r.fanout = 2;
+    r.submit_sec = now_sec();
+    EXPECT_TRUE(engine.submit(r));
+    ++accepted;
+  }
+  engine.stop();
+
+  const auto s = engine.stats();
+  EXPECT_EQ(static_cast<std::int64_t>(engine.responses().size()), accepted);
+  EXPECT_EQ(s.requests, accepted);
+  EXPECT_EQ(s.rejected, rejected);
+  EXPECT_FALSE(engine.submit({.id = 999, .key = 0, .fanout = 1}));
+  EXPECT_FALSE(engine.try_submit({.id = 999, .key = 0, .fanout = 1}));
+}
+
+// Serve-while-training: a publisher thread repeatedly publishes fresh
+// weights into the idle buffer of a snapshot pair and hands it over while
+// the Poisson load generator drives the engine. Every request must be
+// answered, and the responses must observe a snapshot version advance.
+// (TSan validates the handover and the shared Profiler.)
+TEST(Serving, ServeWhileTrainingObservesNewSnapshots) {
+  const DlrmConfig c = serve_config();
+  const RandomDataset data = serve_data(c);
+
+  DlrmModel model(c, {}, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+  trainer.train(1);
+
+  ModelSnapshot snapA(c, {}), snapB(c, {});
+  snapA.publish_from(model, trainer.iterations_done());
+
+  Profiler prof;
+  EngineOptions opts;
+  opts.policy = {.max_batch = 16, .max_wait_us = 200};
+  opts.queue_capacity = 256;
+  InferenceEngine engine(snapA, data, opts, &prof);
+  engine.start();
+
+  LoadGenOptions lopts;
+  lopts.qps = 4000;
+  lopts.requests = 400;
+  lopts.fanout = 2;
+  lopts.key_space = 4096;
+  lopts.zipf_s = 0.9;
+  PoissonLoadGen gen(engine, lopts);
+  std::thread load([&] { gen.run(); });
+
+  // Alternate publishing into whichever snapshot the engine is NOT using;
+  // wait for each handover to be adopted before reclaiming the retired
+  // buffer (the republish-while-forwarding race TSan would catch).
+  ModelSnapshot* snaps[2] = {&snapA, &snapB};
+  for (int pub = 0; pub < 4; ++pub) {
+    trainer.train(1);
+    ModelSnapshot* idle = snaps[(pub + 1) % 2];
+    idle->publish_from(model, trainer.iterations_done());
+    engine.set_snapshot(idle);
+    // Traffic drained already? Then no more adoptions happen: stop
+    // publishing rather than touch a possibly-still-referenced buffer.
+    if (!engine.wait_snapshot_swapped(0.5)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  load.join();
+  engine.stop();
+
+  EXPECT_EQ(gen.sent(), lopts.requests);
+  const std::vector<Response> rs = engine.responses();
+  ASSERT_EQ(static_cast<std::int64_t>(rs.size()), lopts.requests);
+  std::set<std::int64_t> versions;
+  for (const Response& r : rs) versions.insert(r.version);
+  EXPECT_GE(versions.size(), 2u) << "no snapshot handover was observed";
+  EXPECT_EQ(*versions.rbegin(), trainer.iterations_done());
+  // The serving scopes landed in the shared profiler.
+  EXPECT_EQ(prof.count("serve_latency"), lopts.requests);
+  EXPECT_GT(prof.count("serve_forward"), 0);
+}
+
+// Percentile/throughput bookkeeping: ordered percentiles, request/batch
+// accounting consistent, SLO violations within [0, requests].
+TEST(Serving, SloAccountingIsSane) {
+  const DlrmConfig c = serve_config();
+  const RandomDataset data = serve_data(c);
+  ModelSnapshot snap(c, {});
+  train_and_publish(c, {}, data, snap);
+
+  EngineOptions opts;
+  opts.policy = {.max_batch = 8, .max_wait_us = 100};
+  opts.slo_ms = 2.0;
+  InferenceEngine engine(snap, data, opts);
+  engine.start();
+  LoadGenOptions lopts;
+  lopts.qps = 3000;
+  lopts.requests = 200;
+  lopts.fanout = 2;
+  PoissonLoadGen gen(engine, lopts);
+  gen.run();
+  engine.stop();
+
+  const auto s = engine.stats();
+  EXPECT_EQ(s.requests, lopts.requests);
+  EXPECT_GE(s.batches, 1);
+  EXPECT_EQ(s.samples, lopts.requests * lopts.fanout);
+  EXPECT_LE(s.p50_ms, s.p95_ms);
+  EXPECT_LE(s.p95_ms, s.p99_ms);
+  EXPECT_LE(s.p99_ms, s.max_ms);
+  EXPECT_GT(s.p50_ms, 0.0);
+  EXPECT_GE(s.mean_batch, 1.0);
+  EXPECT_GT(s.throughput_rps, 0.0);
+  EXPECT_GE(s.slo_violations, 0);
+  EXPECT_LE(s.slo_violations, s.requests);
+}
+
+}  // namespace
+}  // namespace dlrm
