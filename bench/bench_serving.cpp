@@ -30,6 +30,7 @@ DlrmConfig bench_config() {
 struct Policy {
   const char* name;
   serve::BatchPolicy policy;
+  bool bucket = false;  // pow2 batch-size bucketing (padded execution)
 };
 
 void run_cell(serve::ModelSnapshot& snap, const Dataset& data, double qps,
@@ -38,6 +39,7 @@ void run_cell(serve::ModelSnapshot& snap, const Dataset& data, double qps,
   eopts.policy = pol.policy;
   eopts.queue_capacity = 4096;
   eopts.slo_ms = 5.0;
+  eopts.bucket_batches = pol.bucket;
   serve::InferenceEngine engine(snap, data, eopts);
   engine.start();
 
@@ -58,6 +60,7 @@ void run_cell(serve::ModelSnapshot& snap, const Dataset& data, double qps,
       .add("policy", pol.name)
       .add("max_batch", pol.policy.max_batch)
       .add("max_wait_us", pol.policy.max_wait_us)
+      .add("bucketed", pol.bucket ? 1 : 0)
       .add("requests", s.requests)
       .add("fanout", lopts.fanout)
       .add("p50_ms", s.p50_ms)
@@ -95,6 +98,9 @@ int main() {
   const std::vector<Policy> policies = {
       {"batch1", {.max_batch = 1, .max_wait_us = 0}},
       {"dyn32_1ms", {.max_batch = 32, .max_wait_us = 1000}},
+      // Same dynamic policy with pow2 bucketing: pays a few padded rows per
+      // batch to keep the engine on ~log2(max_batch) stable shapes.
+      {"dyn32_1ms_pow2", {.max_batch = 32, .max_wait_us = 1000}, true},
   };
   const std::vector<double> qps_sweep = {1000.0, 4000.0, 12000.0};
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs a set of benchmark binaries and aggregates every BENCH_JSON row they
+# emit into one machine-readable file (default BENCH_PR8.json: a JSON array,
+# one element per row, each annotated with the binary it came from).
+#
+#   $ bench/collect_bench.sh <build-dir> [out.json] [bench ...]
+#
+# With no bench names, runs the PR 8 headline set: checkpoint I/O (sync save
+# cost vs async exposed stall), the serving policy sweep (including the pow2
+# bucketed policy), and the single-socket training throughput row the stall
+# numbers are read against. Any bench binary that emits BENCH_JSON rows can
+# be named explicitly instead. Raw logs land next to the output file.
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: collect_bench.sh <build-dir> [out.json] [bench ...]}"
+OUT="${2:-BENCH_PR8.json}"
+shift || true
+[ "$#" -gt 0 ] && shift || true
+BENCHES=("$@")
+if [ "${#BENCHES[@]}" -eq 0 ]; then
+  BENCHES=(bench_table1_configs bench_serving bench_fig7_single_socket)
+fi
+
+LOG_DIR="$(dirname "${OUT}")"
+[ "${LOG_DIR}" = "" ] && LOG_DIR="."
+TMP_ROWS="$(mktemp "${TMPDIR:-/tmp}/bench_rows.XXXXXX")"
+trap 'rm -f "${TMP_ROWS}"' EXIT
+
+for b in "${BENCHES[@]}"; do
+  bin="${BUILD_DIR}/${b}"
+  if [ ! -x "${bin}" ]; then
+    echo "collect_bench: skipping ${b} (not built at ${bin})" >&2
+    continue
+  fi
+  log="${LOG_DIR}/${b}.log"
+  echo "collect_bench: running ${b} ..." >&2
+  "${bin}" > "${log}"
+  # Re-tag each row with its source binary:  {"source":"<b>",<original row>}
+  sed -n "s/^BENCH_JSON {/{\"source\":\"${b}\",/p" "${log}" >> "${TMP_ROWS}"
+done
+
+if [ ! -s "${TMP_ROWS}" ]; then
+  echo "collect_bench: no BENCH_JSON rows produced" >&2
+  exit 1
+fi
+
+{
+  echo "["
+  sed '$!s/$/,/' "${TMP_ROWS}"
+  echo "]"
+} > "${OUT}"
+echo "collect_bench: $(wc -l < "${TMP_ROWS}") rows -> ${OUT}"

@@ -51,6 +51,7 @@ struct Args {
   std::int64_t max_wait_us = 1000;
   std::int64_t queue_cap = 1024;
   double slo_ms = 5.0;
+  bool bucket_batches = false;
   bool drop_when_full = false;
   int train_iters = 8;
   std::int64_t publish_every = 0;  // 0 = serve one frozen snapshot
@@ -85,6 +86,7 @@ Args parse_args(int argc, char** argv) {
     else if (parse_flag(argv[i], "--train-iters", &v)) a.train_iters = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--publish-every", &v)) a.publish_every = std::atoll(v.c_str());
     else if (parse_flag(argv[i], "--checkpoint-dir", &v)) a.checkpoint_dir = v;
+    else if (std::strcmp(argv[i], "--bucket-batches") == 0) a.bucket_batches = true;
     else if (std::strcmp(argv[i], "--drop-when-full") == 0) a.drop_when_full = true;
     else if (std::strcmp(argv[i], "--check-serving") == 0) a.check_serving = true;
     else if (std::strcmp(argv[i], "--profile") == 0) a.profile = true;
@@ -130,6 +132,7 @@ int run(const Args& args) {
   eopts.policy = {.max_batch = args.max_batch, .max_wait_us = args.max_wait_us};
   eopts.queue_capacity = args.queue_cap;
   eopts.slo_ms = args.slo_ms;
+  eopts.bucket_batches = args.bucket_batches;
   serve::InferenceEngine engine(snapA, data, eopts,
                                 args.profile ? &prof : nullptr);
   engine.start();

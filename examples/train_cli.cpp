@@ -8,6 +8,7 @@
 //                 [--sharding=round_robin|balanced|row_split]
 //                 [--row-split-threshold=N] [--lr-schedule=SPEC]
 //                 [--checkpoint-dir=DIR] [--save-every=N] [--resume]
+//                 [--async-ckpt] [--keep-last=N] [--grad-accum=A]
 //                 [--print-step-losses]
 //                 [--emb-cache-rows=K] [--emb-cache-policy=hist|counter|off]
 //                 [--rebalance-threshold=X] [--rebalance-every=N]
@@ -39,7 +40,14 @@
 // written every --save-every iterations (and at eval points); --resume
 // restores the snapshot in DIR first and continues until --iters total
 // iterations. The snapshot geometry is free: a run may resume a checkpoint
-// saved with a different --ranks / --sharding. --print-step-losses drives
+// saved with a different --ranks / --sharding. --async-ckpt moves snapshot
+// serialization and commit onto a background writer thread per rank (the
+// training loop only stages the state — same bytes on disk); --keep-last
+// retains the N most recent snapshots (step-addressed manifests).
+// --grad-accum=A splits each batch into A micro-batches with fp32 gradient
+// accumulation and one optimizer step (and, distributed, one allreduce) per
+// window — same effective batch, ~A× smaller activations.
+// --print-step-losses drives
 // the loop one iteration at a time and prints "STEP_LOSS <iter> <loss>"
 // lines (the resume-parity smoke diffs them; bypasses --lr-schedule).
 // --check-loss-decreases exits nonzero unless the mean loss of the last
@@ -83,6 +91,9 @@ struct Args {
   std::string checkpoint_dir;
   std::int64_t save_every = 0;
   bool resume = false;
+  bool async_ckpt = false;
+  int keep_last = 1;
+  int grad_accum = 1;
   bool print_step_losses = false;
   bool prefetch = true;
   int prefetch_depth = 2;
@@ -125,6 +136,9 @@ Args parse(int argc, char** argv) {
     else if (parse_flag(argv[i], "--checkpoint-dir", &v)) a.checkpoint_dir = v;
     else if (parse_flag(argv[i], "--save-every", &v)) a.save_every = std::atoll(v.c_str());
     else if (std::strcmp(argv[i], "--resume") == 0) a.resume = true;
+    else if (std::strcmp(argv[i], "--async-ckpt") == 0) a.async_ckpt = true;
+    else if (parse_flag(argv[i], "--keep-last", &v)) a.keep_last = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--grad-accum", &v)) a.grad_accum = std::atoi(v.c_str());
     else if (std::strcmp(argv[i], "--print-step-losses") == 0) a.print_step_losses = true;
     else if (parse_flag(argv[i], "--prefetch-depth", &v)) a.prefetch_depth = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--prefetch-workers", &v)) a.prefetch_workers = std::atoi(v.c_str());
@@ -161,6 +175,14 @@ Args parse(int argc, char** argv) {
   }
   if (a.save_every < 0) {
     std::fprintf(stderr, "bad --save-every (must be >= 0)\n");
+    std::exit(2);
+  }
+  if (a.keep_last < 1) {
+    std::fprintf(stderr, "bad --keep-last (must be >= 1)\n");
+    std::exit(2);
+  }
+  if (a.grad_accum < 1) {
+    std::fprintf(stderr, "bad --grad-accum (must be >= 1)\n");
     std::exit(2);
   }
   if (a.emb_cache_rows < 0) {
@@ -282,7 +304,11 @@ void setup_checkpointing(TrainerT& trainer, const Args& args, bool printer) {
                   args.checkpoint_dir.c_str());
     }
   }
-  trainer.set_checkpointing(args.checkpoint_dir, args.save_every);
+  CheckpointOptions copts;
+  copts.save_every = args.save_every;
+  copts.async = args.async_ckpt;
+  copts.keep_last = args.keep_last;
+  trainer.set_checkpointing(args.checkpoint_dir, copts);
 }
 
 template <typename TrainerT>
@@ -295,7 +321,9 @@ double drive_training(TrainerT& trainer, const Args& args,
   const std::int64_t remaining = args.iters - start;
   *trained = remaining;  // what THIS invocation runs (less after a resume)
   if (!args.print_step_losses) {
-    return train_scheduled(trainer, start, args.iters, sched, prof);
+    const double loss = train_scheduled(trainer, start, args.iters, sched, prof);
+    trainer.finish_checkpoints();  // commit any in-flight background save
+    return loss;
   }
   double sum = 0.0;
   for (std::int64_t i = 0; i < remaining; ++i) {
@@ -308,6 +336,7 @@ double drive_training(TrainerT& trainer, const Args& args,
                   static_cast<long long>(trainer.iterations_done()), loss);
     }
   }
+  trainer.finish_checkpoints();  // commit any in-flight background save
   return remaining > 0 ? sum / static_cast<double>(remaining) : 0.0;
 }
 
@@ -375,6 +404,7 @@ int main(int argc, char** argv) {
     Trainer trainer(model, data,
                     {.lr = args.lr,
                      .batch = cfg.minibatch,
+                     .grad_accum = args.grad_accum,
                      .prefetch = args.prefetch,
                      .prefetch_depth = args.prefetch_depth,
                      .prefetch_workers = args.prefetch_workers});
@@ -390,6 +420,7 @@ int main(int argc, char** argv) {
       trainer.train(args.iters - 2 * quarter, prof_ptr);
       if (schedule) trainer.set_lr(schedule(1.0));
       last_loss = trainer.train(quarter, prof_ptr);
+      trainer.finish_checkpoints();
       loss = last_loss;
     } else {
       loss = drive_training(trainer, args, schedule, prof_ptr, true, &trained);
@@ -440,6 +471,7 @@ int main(int argc, char** argv) {
   DistributedTrainerOptions topts;
   topts.lr = args.lr;
   topts.global_batch = gn;
+  topts.grad_accum = args.grad_accum;
   topts.loader_mode = parse_loader(args.loader);
   topts.prefetch = args.prefetch;
   topts.prefetch_depth = args.prefetch_depth;
@@ -472,6 +504,7 @@ int main(int argc, char** argv) {
       const double mid = trainer.train(args.iters - 2 * quarter, prof_ptr);
       if (schedule) trainer.set_lr(schedule(1.0));
       last_loss = trainer.train(quarter, prof_ptr);
+      trainer.finish_checkpoints();
       loss = (first_loss * quarter + mid * (args.iters - 2 * quarter) +
               last_loss * quarter) /
              args.iters;

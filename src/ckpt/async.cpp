@@ -1,0 +1,159 @@
+#include "ckpt/async.hpp"
+
+#include <map>
+#include <memory>
+
+#include "common/timer.hpp"
+
+namespace dlrm::ckpt {
+
+namespace {
+
+// Cross-rank commit coordination. Ranks are threads of one process (the
+// ThreadComm execution model), so their writer threads meet in a
+// process-global group keyed by (directory, step): every rank announces its
+// shard file is on disk, rank 0 then commits the manifest, and everyone
+// garbage-collects only after the commit. The group outlives stragglers via
+// shared_ptr; the last rank to depart erases the registry entry (safe
+// because the commit — and therefore every departure — happens only after
+// all ranks have fetched the group and arrived).
+struct CommitGroup {
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  bool committed = false;
+  int departed = 0;
+};
+
+std::mutex g_groups_mu;
+std::map<std::string, std::shared_ptr<CommitGroup>>& groups() {
+  static std::map<std::string, std::shared_ptr<CommitGroup>> g;
+  return g;
+}
+
+std::shared_ptr<CommitGroup> commit_group(const std::string& key) {
+  std::lock_guard<std::mutex> lk(g_groups_mu);
+  std::shared_ptr<CommitGroup>& g = groups()[key];
+  if (!g) g = std::make_shared<CommitGroup>();
+  return g;
+}
+
+void leave_commit_group(const std::string& key,
+                        const std::shared_ptr<CommitGroup>& g, int ranks) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(g->mu);
+    last = ++g->departed == ranks;
+  }
+  if (last) {
+    std::lock_guard<std::mutex> lk(g_groups_mu);
+    groups().erase(key);
+  }
+}
+
+}  // namespace
+
+AsyncCheckpointWriter::AsyncCheckpointWriter(std::string dir, int rank,
+                                             int ranks, int keep_last)
+    : dir_(std::move(dir)),
+      rank_(rank),
+      ranks_(ranks),
+      keep_last_(keep_last),
+      writer_([this] { writer_loop(); }) {
+  DLRM_CHECK(ranks_ >= 1 && rank_ >= 0 && rank_ < ranks_,
+             "bad rank/ranks for the async checkpoint writer");
+}
+
+AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+StagedSave AsyncCheckpointWriter::take_buffer() {
+  std::lock_guard<std::mutex> lk(mu_);
+  DLRM_CHECK(buffers_out_ == 0,
+             "a staged save is already being captured (take_buffer without "
+             "a matching submit)");
+  ++buffers_out_;
+  if (free_.empty()) return {};
+  StagedSave s = std::move(free_.back());
+  free_.pop_back();
+  return s;
+}
+
+double AsyncCheckpointWriter::submit(StagedSave&& save) {
+  DLRM_CHECK(save.step >= 0, "staged save was not stamped with a step");
+  const double t0 = now_sec();
+  std::unique_lock<std::mutex> lk(mu_);
+  DLRM_CHECK(buffers_out_ == 1, "submit without a take_buffer");
+  // Depth-1 queue: back-pressure until the previous snapshot committed.
+  idle_cv_.wait(lk, [&] { return !has_pending_ && !writing_; });
+  pending_ = std::move(save);
+  has_pending_ = true;
+  --buffers_out_;
+  cv_.notify_all();
+  return now_sec() - t0;
+}
+
+void AsyncCheckpointWriter::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return !has_pending_ && !writing_; });
+}
+
+std::int64_t AsyncCheckpointWriter::bytes_written() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+void AsyncCheckpointWriter::writer_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return has_pending_ || stop_; });
+    if (!has_pending_) break;  // stop requested and the queue is drained
+    StagedSave save = std::move(pending_);
+    has_pending_ = false;
+    writing_ = true;
+    lk.unlock();
+    commit_and_gc(save);
+    lk.lock();
+    save.step = -1;  // recycle: payload capacity stays with the buffers
+    save.has_manifest = false;
+    free_.push_back(std::move(save));
+    writing_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+void AsyncCheckpointWriter::commit_and_gc(StagedSave& save) {
+  CheckpointWriter w(dir_, rank_, save.step, keep_last_);
+  w.write_shard_sections(save.shard_sections);
+
+  const std::string key = dir_ + ":" + std::to_string(save.step);
+  std::shared_ptr<CommitGroup> g = commit_group(key);
+  {
+    std::unique_lock<std::mutex> glk(g->mu);
+    ++g->arrived;
+    g->cv.notify_all();
+    if (save.has_manifest) {
+      g->cv.wait(glk, [&] { return g->arrived == ranks_; });
+      glk.unlock();
+      w.write_manifest_sections(save.manifest_sections);
+      glk.lock();
+      g->committed = true;
+      g->cv.notify_all();
+    } else {
+      g->cv.wait(glk, [&] { return g->committed; });
+    }
+  }
+  w.remove_stale_shards();
+  leave_commit_group(key, g, ranks_);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  bytes_ += w.bytes_written();
+}
+
+}  // namespace dlrm::ckpt

@@ -1,0 +1,108 @@
+// Background checkpointing: the save's expensive half (CRC32 + file I/O +
+// commit rename) runs on a dedicated writer thread per rank, off the
+// training critical path.
+//
+// A save splits into two phases with very different costs:
+//
+//   capture — serialize the live state into SectionPayload buffers
+//             (EmbeddingTable::export_rows, MLP unpack_to, optimizer
+//             save_state). Pure memory traffic; this is the only part the
+//             training thread still pays for.
+//   write   — CRC32 every section, fwrite, fsync-free tmp+rename commit.
+//             Dominates synchronous save cost; here it drains on the
+//             writer thread while training proceeds.
+//
+// Both phases feed the exact same section builders the synchronous
+// CheckpointWriter uses (ckpt/checkpoint.hpp), so an async checkpoint is
+// byte-identical to a synchronous save taken at the same step.
+//
+// Double-buffered staging arena: take_buffer() hands the trainer a recycled
+// StagedSave whose payload vectors retain their capacity, so steady-state
+// captures allocate nothing. Two buffers suffice because the in-flight
+// queue is depth 1 — submit() back-pressures (blocks) until the previous
+// snapshot has committed, so at any instant one buffer is being written and
+// one is being filled.
+//
+// Multi-rank commit protocol (ranks are threads of one process, mirroring
+// ThreadComm): each rank's writer thread writes its shard file, then meets
+// the others in a process-global commit group keyed by (directory, step).
+// Rank 0 waits for all shard files, commits the manifest (the rename is the
+// snapshot commit point, exactly as in the synchronous path), and releases
+// the group; every rank then garbage-collects snapshots beyond the
+// retention window. No ThreadComm collectives are used — the training
+// threads keep the comm backend to themselves.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+
+namespace dlrm::ckpt {
+
+/// One fully captured snapshot of a rank's share of the training state,
+/// staged for the writer thread.
+struct StagedSave {
+  std::int64_t step = -1;
+  std::vector<SectionPayload> shard_sections;
+  /// Rank 0 also stages the manifest; other ranks leave this false.
+  bool has_manifest = false;
+  std::vector<SectionPayload> manifest_sections;
+};
+
+class AsyncCheckpointWriter {
+ public:
+  /// `ranks` is the total number of ranks saving into `dir` (each with its
+  /// own AsyncCheckpointWriter); the commit group waits for all of them.
+  AsyncCheckpointWriter(std::string dir, int rank, int ranks, int keep_last);
+  ~AsyncCheckpointWriter();
+
+  AsyncCheckpointWriter(const AsyncCheckpointWriter&) = delete;
+  AsyncCheckpointWriter& operator=(const AsyncCheckpointWriter&) = delete;
+
+  /// A recycled staging buffer (payload capacity retained from earlier
+  /// saves). Fill `step` / sections, then submit(). At most two buffers
+  /// exist; calling take_buffer() twice without a submit() in between is a
+  /// usage error.
+  StagedSave take_buffer();
+
+  /// Hands the captured snapshot to the writer thread. Blocks while the
+  /// previous snapshot is still in flight (queue depth 1) and returns the
+  /// seconds spent blocked — the back-pressure share of the save stall.
+  double submit(StagedSave&& save);
+
+  /// Blocks until every submitted snapshot has committed and been GC'd.
+  void wait_idle();
+
+  /// Total bytes this rank's writer put on disk (shard files, and on rank 0
+  /// the manifests).
+  std::int64_t bytes_written() const;
+
+ private:
+  void writer_loop();
+  void commit_and_gc(StagedSave& save);
+
+  std::string dir_;
+  int rank_;
+  int ranks_;
+  int keep_last_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;           // signals the writer thread
+  std::condition_variable idle_cv_;      // signals submit()/wait_idle()
+  std::vector<StagedSave> free_;         // recycled staging buffers
+  StagedSave pending_;                   // the one queued snapshot
+  bool has_pending_ = false;
+  bool writing_ = false;
+  bool stop_ = false;
+  int buffers_out_ = 0;
+  std::int64_t bytes_ = 0;
+
+  std::thread writer_;
+};
+
+}  // namespace dlrm::ckpt

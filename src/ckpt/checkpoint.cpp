@@ -1,7 +1,12 @@
 #include "ckpt/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
+#include <utility>
+
+#include "common/threadpool.hpp"
 
 namespace dlrm::ckpt {
 
@@ -20,10 +25,29 @@ std::string dims_str(const std::vector<std::int64_t>& v) {
   return s + "]";
 }
 
+/// Step parsed from "<prefix>K.dlrmckpt", or -1 when `name` does not match.
+std::int64_t parse_step_suffix(const std::string& name,
+                               const std::string& prefix) {
+  static const std::string ext = ".dlrmckpt";
+  if (name.rfind(prefix, 0) != 0) return -1;
+  if (name.size() <= prefix.size() + ext.size()) return -1;
+  if (name.compare(name.size() - ext.size(), ext.size(), ext) != 0) return -1;
+  std::int64_t step = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - ext.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    step = step * 10 + (name[i] - '0');
+  }
+  return step;
+}
+
 }  // namespace
 
 std::string manifest_path(const std::string& dir) {
   return dir + "/manifest.dlrmckpt";
+}
+
+std::string step_manifest_path(const std::string& dir, std::int64_t step) {
+  return dir + "/manifest-s" + std::to_string(step) + ".dlrmckpt";
 }
 
 std::string rank_file_path(const std::string& dir, int rank,
@@ -156,27 +180,44 @@ ShardingPlan read_plan(ByteReader& r) {
 }
 
 // ---------------------------------------------------------------------------
-// CheckpointWriter
+// Section builders (capture side, shared by sync and async saves)
 // ---------------------------------------------------------------------------
 
-CheckpointWriter::CheckpointWriter(std::string dir, int rank,
-                                   std::int64_t step)
-    : dir_(std::move(dir)), rank_(rank), step_(step) {
-  std::filesystem::create_directories(dir_);
+namespace {
+
+/// Reuses out[idx] when present (clearing its payload, keeping its
+/// allocation), growing `out` otherwise.
+ByteWriter& reuse_slot(std::vector<SectionPayload>& out, std::size_t idx,
+                       const std::string& tag) {
+  if (idx < out.size()) {
+    out[idx].payload.clear();
+  } else {
+    out.emplace_back();
+  }
+  out[idx].tag = tag;
+  return out[idx].payload;
 }
 
-void CheckpointWriter::write_shards(
-    const std::vector<Shard>& shards,
-    const std::vector<EmbeddingTable*>& tables) {
+}  // namespace
+
+void build_shard_sections_into(std::vector<SectionPayload>& out,
+                               std::int64_t step,
+                               const std::vector<Shard>& shards,
+                               const std::vector<EmbeddingTable*>& tables) {
   DLRM_CHECK(shards.size() == tables.size(),
              "need one table per owned shard");
-  FileWriter file(rank_file_path(dir_, rank_, step_));
+  // Headers and payload sizing are serial (cheap); the row export — the
+  // bulk of the capture — runs parallel across shards, which is what keeps
+  // the training thread's exposed stall at memcpy scale under background
+  // checkpointing.
+  std::vector<unsigned char*> dst(shards.size(), nullptr);
   for (std::size_t k = 0; k < shards.size(); ++k) {
     const Shard& sh = shards[k];
     EmbeddingTable& t = *tables[k];
     DLRM_CHECK(t.rows() == sh.rows(), "shard/table row-count mismatch");
-    ByteWriter payload;
-    payload.i64(step_);
+    ByteWriter& payload =
+        reuse_slot(out, k, shard_tag(sh.table, sh.row_begin));
+    payload.i64(step);
     payload.i64(sh.table);
     payload.i64(sh.row_begin);
     payload.i64(sh.row_end);
@@ -184,29 +225,170 @@ void CheckpointWriter::write_shards(
     payload.u32(static_cast<std::uint32_t>(t.precision()));
     const std::int64_t row_bytes = t.checkpoint_row_bytes();
     payload.i64(row_bytes);
-    std::vector<unsigned char> rows(
-        static_cast<std::size_t>(sh.rows() * row_bytes));
-    t.export_rows(0, sh.rows(), rows.data());
-    payload.bytes(rows.data(), rows.size());
-    file.section(shard_tag(sh.table, sh.row_begin), payload);
+    dst[k] = payload.append(static_cast<std::size_t>(sh.rows() * row_bytes));
   }
+  out.resize(shards.size());
+  parallel_for_dynamic(
+      0, static_cast<std::int64_t>(shards.size()), 1,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t k = b; k < e; ++k) {
+          const auto i = static_cast<std::size_t>(k);
+          tables[i]->export_rows(0, shards[i].rows(), dst[i]);
+        }
+      });
+}
+
+std::vector<SectionPayload> build_shard_sections(
+    std::int64_t step, const std::vector<Shard>& shards,
+    const std::vector<EmbeddingTable*>& tables) {
+  std::vector<SectionPayload> out;
+  build_shard_sections_into(out, step, shards, tables);
+  return out;
+}
+
+void build_manifest_sections_into(std::vector<SectionPayload>& out,
+                                  const ModelConfigKey& key,
+                                  const TrainerState& state,
+                                  const ShardingPlan& plan, Mlp& bottom,
+                                  Mlp& top, const Optimizer& opt) {
+  ByteWriter& meta = reuse_slot(out, 0, "meta");
+  meta.i64(state.step);
+  meta.f32(state.lr);
+  meta.i64(state.data_cursor);
+  key.serialize(meta);
+
+  ByteWriter& planw = reuse_slot(out, 1, "plan");
+  write_plan(planw, plan);
+
+  // Dense MLP weights in canonical flat fp32 form. Under bf16/Split-SGD the
+  // blocked fp32 storage already sits on the bf16 grid, so the unpack is
+  // exact; the hidden low halves travel in the optimizer section.
+  ByteWriter& dense = reuse_slot(out, 2, "dense");
+  Mlp* mlps[2] = {&bottom, &top};
+  for (Mlp* mlp : mlps) {
+    dense.u32(static_cast<std::uint32_t>(mlp->layer_count()));
+    for (std::size_t l = 0; l < mlp->layer_count(); ++l) {
+      FullyConnected& layer = mlp->layer(l);
+      const std::int64_t k = layer.out_features(), c = layer.in_features();
+      dense.i64(k);
+      dense.i64(c);
+      // Unpack straight into the payload (every prior field is a multiple
+      // of 4 bytes, so the float view is aligned): the dense capture is one
+      // layout transform, with no staging vector on the stall path.
+      layer.weights().unpack_to(reinterpret_cast<float*>(
+          dense.append(static_cast<std::size_t>(k * c) * sizeof(float))));
+      dense.bytes(layer.bias().data(), static_cast<std::size_t>(k) * 4);
+    }
+  }
+
+  ByteWriter& optw = reuse_slot(out, 3, "opt");
+  optw.str(opt.name());
+  const std::int64_t opt_bytes = opt.checkpoint_bytes();
+  optw.u64(static_cast<std::uint64_t>(opt_bytes));
+  if (opt_bytes > 0) {
+    opt.save_state(optw.append(static_cast<std::size_t>(opt_bytes)));
+  }
+
+  ByteWriter& rng = reuse_slot(out, 4, "rng");
+  rng.u32(static_cast<std::uint32_t>(state.rng_streams.size()));
+  for (const RngState& st : state.rng_streams) {
+    for (int i = 0; i < 4; ++i) rng.u64(st.s[i]);
+    rng.f32(st.cached);
+    rng.u8(st.has_cached ? 1 : 0);
+  }
+
+  out.resize(5);
+}
+
+std::vector<SectionPayload> build_manifest_sections(
+    const ModelConfigKey& key, const TrainerState& state,
+    const ShardingPlan& plan, Mlp& bottom, Mlp& top, const Optimizer& opt) {
+  std::vector<SectionPayload> out;
+  build_manifest_sections_into(out, key, state, plan, bottom, top, opt);
+  return out;
+}
+
+std::int64_t write_sections_file(const std::string& path,
+                                 const std::vector<SectionPayload>& sections) {
+  FileWriter file(path);
+  for (const SectionPayload& s : sections) file.section(s.tag, s.payload);
   file.finish();
-  bytes_ += file.bytes_written();
+  return file.bytes_written();
+}
+
+int gc_torn_files(const std::string& dir, std::int64_t committed_step) {
+  int removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    bool torn = false;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      torn = true;  // FileWriter staging debris; never a committed file.
+    } else if (name.rfind("manifest-s", 0) == 0) {
+      torn = parse_step_suffix(name, "manifest-s") > committed_step;
+    } else if (name.rfind("rank-", 0) == 0) {
+      const std::size_t pos = name.rfind("-s");
+      if (pos != std::string::npos) {
+        torn = parse_step_suffix(name, name.substr(0, pos + 2)) >
+               committed_step;
+      }
+    }
+    if (torn && std::filesystem::remove(entry.path(), ec)) ++removed;
+  }
+  return removed;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter
+// ---------------------------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(std::string dir, int rank,
+                                   std::int64_t step, int keep_last)
+    : dir_(std::move(dir)), rank_(rank), step_(step), keep_last_(keep_last) {
+  DLRM_CHECK(keep_last_ >= 1, "keep_last must be at least 1");
+  std::filesystem::create_directories(dir_);
+}
+
+void CheckpointWriter::write_shards(
+    const std::vector<Shard>& shards,
+    const std::vector<EmbeddingTable*>& tables) {
+  write_shard_sections(build_shard_sections(step_, shards, tables));
+}
+
+void CheckpointWriter::write_shard_sections(
+    const std::vector<SectionPayload>& sections) {
+  bytes_ += write_sections_file(rank_file_path(dir_, rank_, step_), sections);
 }
 
 void CheckpointWriter::remove_stale_shards() {
   // Compare filenames, not full paths: dir_ may carry a trailing slash or
   // other non-canonical spelling that directory_iterator normalizes away.
-  const std::string keep = std::filesystem::path(
-      rank_file_path(dir_, rank_, step_)).filename().string();
-  char prefix[32];
-  std::snprintf(prefix, sizeof(prefix), "rank-%05d-s", rank_);
+  char prefix_buf[32];
+  std::snprintf(prefix_buf, sizeof(prefix_buf), "rank-%05d-s", rank_);
+  const std::string rank_prefix = prefix_buf;
+
+  // Collect this rank's snapshot steps on disk (plus, on rank 0, the
+  // step-manifest steps), keep the newest keep_last_, delete the rest.
+  std::vector<std::pair<std::int64_t, std::filesystem::path>> files;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind(prefix, 0) == 0 && name != keep) {
-      std::filesystem::remove(entry.path(), ec);
+    std::int64_t step = -1;
+    if (name.rfind(rank_prefix, 0) == 0) {
+      step = parse_step_suffix(name, rank_prefix);
+    } else if (rank_ == 0 && name.rfind("manifest-s", 0) == 0) {
+      step = parse_step_suffix(name, "manifest-s");
     }
+    if (step >= 0) files.emplace_back(step, entry.path());
+  }
+  std::vector<std::int64_t> steps;
+  for (const auto& [step, path] : files) steps.push_back(step);
+  std::sort(steps.begin(), steps.end(), std::greater<>());
+  steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  if (static_cast<int>(steps.size()) <= keep_last_) return;
+  const std::int64_t oldest_kept = steps[keep_last_ - 1];
+  for (const auto& [step, path] : files) {
+    if (step < oldest_kept) std::filesystem::remove(path, ec);
   }
 }
 
@@ -216,60 +398,20 @@ void CheckpointWriter::write_manifest(const ModelConfigKey& key,
                                       Mlp& top, const Optimizer& opt) {
   DLRM_CHECK(state.step == step_,
              "manifest step must match the writer's snapshot step");
-  FileWriter file(manifest_path(dir_));
+  write_manifest_sections(
+      build_manifest_sections(key, state, plan, bottom, top, opt));
+}
 
-  ByteWriter meta;
-  meta.i64(state.step);
-  meta.f32(state.lr);
-  meta.i64(state.data_cursor);
-  key.serialize(meta);
-  file.section("meta", meta);
-
-  ByteWriter planw;
-  write_plan(planw, plan);
-  file.section("plan", planw);
-
-  // Dense MLP weights in canonical flat fp32 form. Under bf16/Split-SGD the
-  // blocked fp32 storage already sits on the bf16 grid, so the unpack is
-  // exact; the hidden low halves travel in the optimizer section.
-  ByteWriter dense;
-  Mlp* mlps[2] = {&bottom, &top};
-  std::vector<float> flat;
-  for (Mlp* mlp : mlps) {
-    dense.u32(static_cast<std::uint32_t>(mlp->layer_count()));
-    for (std::size_t l = 0; l < mlp->layer_count(); ++l) {
-      FullyConnected& layer = mlp->layer(l);
-      const std::int64_t k = layer.out_features(), c = layer.in_features();
-      dense.i64(k);
-      dense.i64(c);
-      flat.resize(static_cast<std::size_t>(k * c));
-      layer.weights().unpack_to(flat.data());
-      dense.bytes(flat.data(), flat.size() * sizeof(float));
-      dense.bytes(layer.bias().data(), static_cast<std::size_t>(k) * 4);
-    }
+void CheckpointWriter::write_manifest_sections(
+    const std::vector<SectionPayload>& sections) {
+  // With retention, commit the step-addressed manifest first: once the
+  // latest-pointer manifest.dlrmckpt renames over to this step, every
+  // retained snapshot (including this one) must already be independently
+  // openable.
+  if (keep_last_ > 1) {
+    bytes_ += write_sections_file(step_manifest_path(dir_, step_), sections);
   }
-  file.section("dense", dense);
-
-  ByteWriter optw;
-  optw.str(opt.name());
-  const std::int64_t opt_bytes = opt.checkpoint_bytes();
-  optw.u64(static_cast<std::uint64_t>(opt_bytes));
-  std::vector<unsigned char> opt_state(static_cast<std::size_t>(opt_bytes));
-  if (opt_bytes > 0) opt.save_state(opt_state.data());
-  optw.bytes(opt_state.data(), opt_state.size());
-  file.section("opt", optw);
-
-  ByteWriter rng;
-  rng.u32(static_cast<std::uint32_t>(state.rng_streams.size()));
-  for (const RngState& st : state.rng_streams) {
-    for (int i = 0; i < 4; ++i) rng.u64(st.s[i]);
-    rng.f32(st.cached);
-    rng.u8(st.has_cached ? 1 : 0);
-  }
-  file.section("rng", rng);
-
-  file.finish();
-  bytes_ += file.bytes_written();
+  bytes_ += write_sections_file(manifest_path(dir_), sections);
 }
 
 // ---------------------------------------------------------------------------
@@ -281,13 +423,17 @@ bool CheckpointReader::exists(const std::string& dir) {
   return std::filesystem::is_regular_file(manifest_path(dir), ec);
 }
 
-CheckpointReader::CheckpointReader(std::string dir)
-    : dir_(std::move(dir)), manifest_(manifest_path(dir_)) {
+CheckpointReader::CheckpointReader(std::string dir, std::int64_t step)
+    : dir_(std::move(dir)),
+      manifest_(step < 0 ? manifest_path(dir_)
+                         : step_manifest_path(dir_, step)) {
   ByteReader meta = manifest_.open("meta");
   state_.step = meta.i64();
   state_.lr = meta.f32();
   state_.data_cursor = meta.i64();
   key_ = ModelConfigKey::deserialize(meta);
+  DLRM_CHECK(step < 0 || state_.step == step,
+             "step-addressed manifest holds a different step than its name");
 
   ByteReader planr = manifest_.open("plan");
   plan_ = read_plan(planr);

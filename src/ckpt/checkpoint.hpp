@@ -78,13 +78,14 @@ struct ModelConfigKey {
 struct TrainerState {
   std::int64_t step = 0;
   float lr = 0.0f;
-  /// Training data-stream cursor: the next stream iteration the trainer
-  /// will consume. Recorded explicitly (rather than derived from `step`)
-  /// so restore can reposition and refill the prefetch pipeline *before*
-  /// step 1 trains. The format keeps it separate so steps and consumed
-  /// batches CAN diverge later (e.g. gradient accumulation), but today's
-  /// trainers always write cursor == step and refuse snapshots where the
-  /// two differ (consumption is still keyed on the step counter).
+  /// Training data-stream cursor in LOADER units: the next micro-batch the
+  /// trainer will consume. Recorded explicitly (rather than derived from
+  /// `step`) so restore can reposition and refill the prefetch pipeline
+  /// *before* step 1 trains. Under gradient accumulation the trainers write
+  /// cursor == step * grad_accum (A micro-batches consumed per optimizer
+  /// step) and refuse snapshots whose cursor does not match their own
+  /// window size — resuming across a grad_accum change would silently
+  /// replay or skip batches.
   std::int64_t data_cursor = 0;
   /// Any live RNG streams the training loop owns (saved/restored verbatim;
   /// the synthetic datasets are stateless so trainers currently register
@@ -94,6 +95,45 @@ struct TrainerState {
 
 void write_plan(ByteWriter& w, const ShardingPlan& plan);
 ShardingPlan read_plan(ByteReader& r);
+
+/// One named section of a checkpoint file, fully serialized but not yet on
+/// disk. The capture side of a save builds these (memcpy-speed: export_rows
+/// / unpack_to into payload buffers) and the write side turns them into a
+/// file (CRC32 + fwrite + rename). Splitting the two is what lets the
+/// background checkpointer move the expensive half off the training thread
+/// while staying byte-identical to a synchronous save: both paths feed the
+/// exact same SectionPayload list through write_sections_file().
+struct SectionPayload {
+  std::string tag;
+  ByteWriter payload;
+};
+
+/// Serializes one rank's owned shards into sections (the body of a
+/// rank-NNNNN-sK.dlrmckpt file). `tables[k]` holds the rows of `shards[k]`.
+/// The _into form recycles `out`'s entries (payload capacity retained) so a
+/// steady-state capture into a staging buffer allocates nothing.
+void build_shard_sections_into(std::vector<SectionPayload>& out,
+                               std::int64_t step,
+                               const std::vector<Shard>& shards,
+                               const std::vector<EmbeddingTable*>& tables);
+std::vector<SectionPayload> build_shard_sections(
+    std::int64_t step, const std::vector<Shard>& shards,
+    const std::vector<EmbeddingTable*>& tables);
+
+/// Serializes the manifest sections (meta/plan/dense/opt/rng).
+void build_manifest_sections_into(std::vector<SectionPayload>& out,
+                                  const ModelConfigKey& key,
+                                  const TrainerState& state,
+                                  const ShardingPlan& plan, Mlp& bottom,
+                                  Mlp& top, const Optimizer& opt);
+std::vector<SectionPayload> build_manifest_sections(
+    const ModelConfigKey& key, const TrainerState& state,
+    const ShardingPlan& plan, Mlp& bottom, Mlp& top, const Optimizer& opt);
+
+/// Writes `sections` in order to `path` via the tmp+rename FileWriter
+/// protocol. Returns bytes written.
+std::int64_t write_sections_file(const std::string& path,
+                                 const std::vector<SectionPayload>& sections);
 
 /// Writes one rank's share of a snapshot. Every rank calls write_shards();
 /// rank 0 additionally calls write_manifest() *after* all ranks' shard
@@ -110,12 +150,22 @@ ShardingPlan read_plan(ByteReader& r);
 class CheckpointWriter {
  public:
   /// `step` is the trainer iteration the snapshot captures (names the rank
-  /// files and stamps every shard section).
-  CheckpointWriter(std::string dir, int rank, std::int64_t step);
+  /// files and stamps every shard section). `keep_last` is the retention
+  /// window: with keep_last == 1 (the default) remove_stale_shards()
+  /// reproduces the historical behavior of keeping only the committed
+  /// snapshot; with keep_last > 1 the newest `keep_last` snapshot steps are
+  /// retained, rank 0 additionally commits a step-addressed
+  /// manifest-sK.dlrmckpt per snapshot (so older retained steps stay
+  /// restorable after manifest.dlrmckpt moves on), and GC prunes beyond the
+  /// window.
+  CheckpointWriter(std::string dir, int rank, std::int64_t step,
+                   int keep_last = 1);
 
   /// One section per owned shard; `tables[k]` holds the rows of `shards[k]`.
   void write_shards(const std::vector<Shard>& shards,
                     const std::vector<EmbeddingTable*>& tables);
+  /// Same file, from pre-captured sections (the async writer's path).
+  void write_shard_sections(const std::vector<SectionPayload>& sections);
 
   /// Rank 0 only: model fingerprint, trainer state, plan, canonical dense
   /// MLP weights and dense-optimizer state. `state.step` must equal the
@@ -123,9 +173,12 @@ class CheckpointWriter {
   void write_manifest(const ModelConfigKey& key, const TrainerState& state,
                       const ShardingPlan& plan, Mlp& bottom, Mlp& top,
                       const Optimizer& opt);
+  /// Same commit protocol, from pre-captured sections.
+  void write_manifest_sections(const std::vector<SectionPayload>& sections);
 
-  /// Deletes this rank's shard files from superseded snapshots (call after
-  /// the new manifest is committed on every rank).
+  /// Deletes this rank's shard files (and, on rank 0, step manifests) from
+  /// snapshots older than the retention window (call after the new manifest
+  /// is committed on every rank).
   void remove_stale_shards();
 
   std::int64_t bytes_written() const { return bytes_; }
@@ -134,6 +187,7 @@ class CheckpointWriter {
   std::string dir_;
   int rank_;
   std::int64_t step_;
+  int keep_last_;
   std::int64_t bytes_ = 0;
 };
 
@@ -142,7 +196,10 @@ class CheckpointReader {
  public:
   /// Opens and validates the manifest. Throws CheckError on any structural
   /// problem; use exists() first to treat "no checkpoint" as a fresh start.
-  explicit CheckpointReader(std::string dir);
+  /// `step` < 0 opens the latest committed snapshot (manifest.dlrmckpt);
+  /// `step` >= 0 opens the retained snapshot of that step through its
+  /// step-addressed manifest (requires a writer with keep_last > 1).
+  explicit CheckpointReader(std::string dir, std::int64_t step = -1);
 
   /// True when `dir` holds a committed snapshot (manifest present).
   static bool exists(const std::string& dir);
@@ -188,8 +245,17 @@ class CheckpointReader {
 };
 
 std::string manifest_path(const std::string& dir);
+/// Step-addressed manifest of a retained snapshot (keep_last > 1).
+std::string step_manifest_path(const std::string& dir, std::int64_t step);
 /// Shard file of `rank` for the snapshot taken at `step`.
 std::string rank_file_path(const std::string& dir, int rank,
                            std::int64_t step);
+
+/// Removes the debris of saves that never committed: FileWriter *.tmp
+/// staging files and any rank/step-manifest files stamped with a step newer
+/// than `committed_step` (a background save killed between shard writes and
+/// the manifest rename leaves exactly these behind). The committed
+/// snapshot's files are never touched. Returns the number of files removed.
+int gc_torn_files(const std::string& dir, std::int64_t committed_step);
 
 }  // namespace dlrm::ckpt

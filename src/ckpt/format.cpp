@@ -47,11 +47,10 @@ FileWriter::FileWriter(std::string path) : path_(std::move(path)) {
   header.bytes(kMagic, sizeof(kMagic));
   header.u32(kFormatVersion);
   header.u32(0);  // reserved
-  if (std::fwrite(header.data().data(), 1, header.data().size(), f) !=
-      header.data().size()) {
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
     fail("short write to checkpoint file '" + path_ + ".tmp'");
   }
-  bytes_ = static_cast<std::int64_t>(header.data().size());
+  bytes_ = static_cast<std::int64_t>(header.size());
 }
 
 FileWriter::~FileWriter() {
@@ -67,17 +66,14 @@ void FileWriter::section(const std::string& tag, const ByteWriter& payload) {
   // (embedding shard sections are the bulk of a snapshot).
   ByteWriter header;
   header.str(tag);
-  header.u64(payload.data().size());
-  header.u32(crc32(payload.data().data(), payload.data().size()));
+  header.u64(payload.size());
+  header.u32(crc32(payload.data(), payload.size()));
   auto* f = static_cast<std::FILE*>(file_);
-  if (std::fwrite(header.data().data(), 1, header.data().size(), f) !=
-          header.data().size() ||
-      std::fwrite(payload.data().data(), 1, payload.data().size(), f) !=
-          payload.data().size()) {
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), f) != payload.size()) {
     fail("short write to checkpoint file '" + path_ + ".tmp'");
   }
-  bytes_ += static_cast<std::int64_t>(header.data().size() +
-                                      payload.data().size());
+  bytes_ += static_cast<std::int64_t>(header.size() + payload.size());
 }
 
 void FileWriter::finish() {

@@ -34,17 +34,32 @@ std::uint32_t crc32(const void* data, std::size_t n);
 /// Append-only payload builder for one section.
 class ByteWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u8(std::uint8_t v) { *append(1) = v; }
   void u32(std::uint32_t v) { pod(v); }
   void u64(std::uint64_t v) { pod(v); }
   void i64(std::int64_t v) { pod(v); }
   void f32(float v) { pod(v); }
   void f64(double v) { pod(v); }
   void bytes(const void* p, std::size_t n) {
-    const std::size_t off = buf_.size();
-    buf_.resize(off + n);
-    if (n > 0) std::memcpy(buf_.data() + off, p, n);
+    if (n > 0) std::memcpy(append(n), p, n);
   }
+  /// Appends `n` uninitialized bytes and returns a pointer to them, so
+  /// bulk producers (EmbeddingTable::export_rows) can serialize straight
+  /// into the payload without a staging copy. The logical size is tracked
+  /// separately from the backing vector, which only ever grows (and is
+  /// only zero-filled when it does): a recycled staging buffer's capture
+  /// costs exactly one producer-side copy, not a memset plus a copy.
+  unsigned char* append(std::size_t n) {
+    if (size_ + n > buf_.size()) {
+      buf_.resize(std::max(size_ + n, buf_.size() + buf_.size() / 2));
+    }
+    unsigned char* p = buf_.data() + size_;
+    size_ += n;
+    return p;
+  }
+  /// Empties the payload but keeps the allocation — recycled staging
+  /// buffers (ckpt/async.hpp) re-capture without reallocating.
+  void clear() { size_ = 0; }
   void str(const std::string& s) {
     u32(static_cast<std::uint32_t>(s.size()));
     bytes(s.data(), s.size());
@@ -54,7 +69,8 @@ class ByteWriter {
     bytes(v.data(), v.size() * sizeof(std::int64_t));
   }
 
-  const std::vector<unsigned char>& data() const { return buf_; }
+  const unsigned char* data() const { return buf_.data(); }
+  std::size_t size() const { return size_; }
 
  private:
   template <typename T>
@@ -64,6 +80,7 @@ class ByteWriter {
   }
 
   std::vector<unsigned char> buf_;
+  std::size_t size_ = 0;
 };
 
 /// Bounds-checked sequential reader over one section's payload.

@@ -149,6 +149,7 @@ void DdpAllreducer::finish() {
   }
   framework_sec_ += frame.elapsed_sec();
   in_flight_ = false;
+  ++runs_;
 }
 
 }  // namespace dlrm

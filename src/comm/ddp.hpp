@@ -54,6 +54,9 @@ class DdpAllreducer {
   // Instrumentation (reset by start()).
   double framework_sec() const { return framework_sec_; }
   double wait_sec() const { return wait_sec_; }
+  /// Completed allreduces since construction (gradient accumulation defers
+  /// the allreduce to window boundaries; this counter proves the deferral).
+  std::int64_t runs() const { return runs_; }
 
  private:
   struct Bucket {
@@ -73,6 +76,7 @@ class DdpAllreducer {
   bool in_flight_ = false;
   double framework_sec_ = 0.0;
   double wait_sec_ = 0.0;
+  std::int64_t runs_ = 0;
 };
 
 }  // namespace dlrm

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "ckpt/async.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "common/log.hpp"
+#include "common/timer.hpp"
 
 namespace dlrm {
 
@@ -16,6 +18,17 @@ DistributedOptions merge_options(const DistributedTrainerOptions& o) {
   return d;
 }
 
+/// The micro global batch the model and loaders run at: the effective
+/// global_batch split across the accumulation window. Validated here because
+/// it feeds the constructor's member-init list.
+std::int64_t micro_gn(const DistributedTrainerOptions& o) {
+  DLRM_CHECK(o.global_batch > 0, "global batch must be positive");
+  DLRM_CHECK(o.grad_accum >= 1, "grad_accum must be >= 1");
+  DLRM_CHECK(o.global_batch % o.grad_accum == 0,
+             "global batch must divide evenly into grad_accum micro-batches");
+  return o.global_batch / o.grad_accum;
+}
+
 }  // namespace
 
 DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
@@ -26,13 +39,13 @@ DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
       options_(options),
       data_(&data),
       model_(config, merge_options(options), comm, backend,
-             options.global_batch,
+             micro_gn(options),
              options.initial_plan.empty()
                  ? make_sharding_plan(options.sharding, config.table_rows,
                                       config.dim, options.global_batch,
                                       comm.size(), &data)
                  : options.initial_plan),
-      loader_(std::make_unique<DataLoader>(data, options.global_batch,
+      loader_(std::make_unique<DataLoader>(data, micro_gn(options),
                                            comm.rank(), comm.size(),
                                            model_.plan(),
                                            options.loader_mode)),
@@ -40,7 +53,7 @@ DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
           *loader_, PrefetchOptions{.enabled = options.prefetch,
                                     .depth = options.prefetch_depth,
                                     .workers = options.prefetch_workers})) {
-  DLRM_CHECK(options_.global_batch > 0, "global batch must be positive");
+  if (options_.grad_accum > 1) model_.attach_accumulator(accum_);
   // kHist cache admission: seed every owned shard from the same measured
   // lookup histograms the cost-driven planners consume (deterministic, so
   // every rank admits the same rows of the shards it owns).
@@ -131,20 +144,47 @@ DistributedTrainer::embedding_imbalance_window() {
                           model_.cache_stats());
 }
 
+DistributedTrainer::~DistributedTrainer() = default;
+
 double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
   Meter local_loss;
+  const int A = options_.grad_accum;
   for (std::int64_t i = 0; i < iters; ++i) {
-    const HybridBatch& hb = prefetch_->next(iter_);
-    const double exposed = prefetch_->last_wait_sec();
-    const double hidden =
-        std::max(0.0, prefetch_->last_load_sec() - exposed);
-    loader_exposed_ += exposed;
-    loader_hidden_ += hidden;
-    if (prof != nullptr) {
-      prof->add("loader_exposed", exposed);
-      prof->add("loader_hidden", hidden);
+    if (A == 1) {
+      const HybridBatch& hb = prefetch_->next(iter_);
+      const double exposed = prefetch_->last_wait_sec();
+      const double hidden =
+          std::max(0.0, prefetch_->last_load_sec() - exposed);
+      loader_exposed_ += exposed;
+      loader_hidden_ += hidden;
+      if (prof != nullptr) {
+        prof->add("loader_exposed", exposed);
+        prof->add("loader_hidden", hidden);
+      }
+      local_loss.add(model_.train_step(hb, prof));
+    } else {
+      // One accumulation window: A micro-steps at the micro global batch,
+      // dense grads summed in fp32, ONE allreduce + optimizer apply on the
+      // window-closing micro-step (flush).
+      const float wscale = 1.0f / static_cast<float>(A);
+      double wloss = 0.0;
+      for (int a = 0; a < A; ++a) {
+        const HybridBatch& hb = prefetch_->next(iter_ * A + a);
+        const double exposed = prefetch_->last_wait_sec();
+        const double hidden =
+            std::max(0.0, prefetch_->last_load_sec() - exposed);
+        loader_exposed_ += exposed;
+        loader_hidden_ += hidden;
+        if (prof != nullptr) {
+          prof->add("loader_exposed", exposed);
+          prof->add("loader_hidden", hidden);
+        }
+        wloss += model_.accumulate_step(hb, accum_, wscale, a == A - 1, prof);
+      }
+      // Equal-size micro-slices: the window's local mean is the mean of the
+      // micro means.
+      local_loss.add(wloss / A);
     }
-    local_loss.add(model_.train_step(hb, prof));
     ++iter_;
     // Re-balance check BEFORE any checkpoint at the same boundary, so a
     // snapshot taken here already records the migrated plan.
@@ -152,8 +192,8 @@ double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
         iter_ % options_.rebalance.check_every == 0) {
       maybe_rebalance(prof);
     }
-    if (ckpt_every_ > 0 && iter_ % ckpt_every_ == 0) {
-      save_checkpoint(ckpt_dir_);  // SPMD: every rank hits the same boundary
+    if (ckpt_opts_.save_every > 0 && iter_ % ckpt_opts_.save_every == 0) {
+      save_now(prof);  // SPMD: every rank hits the same boundary
     }
   }
   if (iters <= 0) return 0.0;
@@ -210,14 +250,14 @@ bool DistributedTrainer::rebalance_now(Profiler* prof) {
   // The loaders materialize bags against the plan's shard list, so they are
   // rebuilt on the new plan and repositioned at the current stream cursor —
   // the training stream continues exactly where it left off.
-  loader_ = std::make_unique<DataLoader>(*data_, options_.global_batch,
+  loader_ = std::make_unique<DataLoader>(*data_, model_.global_batch(),
                                          comm_.rank(), comm_.size(),
                                          model_.plan(), options_.loader_mode);
   prefetch_ = std::make_unique<PrefetchLoader>(
       *loader_, PrefetchOptions{.enabled = options_.prefetch,
                                 .depth = options_.prefetch_depth,
                                 .workers = options_.prefetch_workers});
-  prefetch_->seek(iter_);
+  prefetch_->seek(iter_ * options_.grad_accum);
   prefetch_->prefill();
   // The lazily-built eval stream (if any) references the old plan; drop it
   // and let the next evaluate() rebuild it. The cached eval batches hold
@@ -325,13 +365,71 @@ double DistributedTrainer::evaluate(std::int64_t first, std::int64_t n) {
 
 void DistributedTrainer::set_checkpointing(std::string dir,
                                            std::int64_t save_every) {
+  CheckpointOptions opts;
+  opts.save_every = save_every;
+  set_checkpointing(std::move(dir), opts);
+}
+
+void DistributedTrainer::set_checkpointing(std::string dir,
+                                           CheckpointOptions opts) {
   DLRM_CHECK(!dir.empty(), "checkpoint directory must not be empty");
+  DLRM_CHECK(opts.keep_last >= 1, "keep_last must be >= 1");
   ckpt_dir_ = std::move(dir);
-  ckpt_every_ = save_every;
+  ckpt_opts_ = opts;
+  async_.reset();  // re-created on demand with the new settings
+}
+
+void DistributedTrainer::finish_checkpoints() {
+  if (async_ != nullptr) async_->wait_idle();
+}
+
+void DistributedTrainer::save_now(Profiler* prof) {
+  const Timer stall;
+  if (ckpt_opts_.async) {
+    if (async_ == nullptr) {
+      async_ = std::make_unique<ckpt::AsyncCheckpointWriter>(
+          ckpt_dir_, comm_.rank(), comm_.size(), ckpt_opts_.keep_last);
+    }
+    // Capture only — NO ThreadComm collectives here. Each rank stages its
+    // own shard rows; rank 0 also stages the manifest (replicated dense
+    // state). The per-step commit group on the writer threads orders the
+    // manifest rename after the last rank's shard file, replacing the sync
+    // path's barriers.
+    ckpt::StagedSave save = async_->take_buffer();
+    save.step = iter_;
+    const std::vector<Shard> shards = model_.owned_shards();
+    std::vector<EmbeddingTable*> tables;
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      tables.push_back(&model_.owned_table(static_cast<std::int64_t>(k)));
+    }
+    ckpt::build_shard_sections_into(save.shard_sections, iter_, shards,
+                                    tables);
+    if (comm_.rank() == 0) {
+      save.has_manifest = true;
+      const auto key = ckpt::ModelConfigKey::from(model_.config(),
+                                                  options_.dist.embed_precision,
+                                                  options_.global_batch);
+      ckpt::TrainerState state;
+      state.step = iter_;
+      state.lr = options_.lr;
+      state.data_cursor = iter_ * options_.grad_accum;
+      ckpt::build_manifest_sections_into(save.manifest_sections, key, state,
+                                         model_.plan(), model_.bottom_mlp(),
+                                         model_.top_mlp(),
+                                         model_.dense_optimizer());
+    }
+    async_->submit(std::move(save));
+  } else {
+    save_checkpoint(ckpt_dir_);
+  }
+  const double sec = stall.elapsed_sec();
+  ckpt_stall_sec_ += sec;
+  if (prof != nullptr) prof->add("ckpt_stall_us", sec);
 }
 
 void DistributedTrainer::save_checkpoint(const std::string& dir) {
-  ckpt::CheckpointWriter writer(dir, comm_.rank(), iter_);
+  ckpt::CheckpointWriter writer(dir, comm_.rank(), iter_,
+                                ckpt_opts_.keep_last);
   const std::vector<Shard> shards = model_.owned_shards();
   std::vector<EmbeddingTable*> tables;
   for (std::size_t k = 0; k < shards.size(); ++k) {
@@ -344,11 +442,12 @@ void DistributedTrainer::save_checkpoint(const std::string& dir) {
   comm_.barrier();
   if (comm_.rank() == 0) {
     const auto key = ckpt::ModelConfigKey::from(
-        model_.config(), options_.dist.embed_precision, model_.global_batch());
+        model_.config(), options_.dist.embed_precision, options_.global_batch);
     ckpt::TrainerState state;
     state.step = iter_;
     state.lr = options_.lr;
-    state.data_cursor = iter_;  // next training-stream iteration to consume
+    // Next training-stream position in loader (micro-batch) units.
+    state.data_cursor = iter_ * options_.grad_accum;
     writer.write_manifest(key, state, model_.plan(), model_.bottom_mlp(),
                           model_.top_mlp(), model_.dense_optimizer());
   }
@@ -360,8 +459,12 @@ bool DistributedTrainer::resume_from(const std::string& dir) {
   // Same filesystem on every rank: the existence check is SPMD-consistent.
   if (!ckpt::CheckpointReader::exists(dir)) return false;
   ckpt::CheckpointReader reader(dir);
+  // A crash mid-background-save can leave .tmp files or step-suffixed files
+  // beyond the committed manifest. One rank sweeps them (they are dead
+  // weight, never read — no barrier needed before the loads below).
+  if (comm_.rank() == 0) ckpt::gc_torn_files(dir, reader.step());
   reader.check_model(ckpt::ModelConfigKey::from(
-      model_.config(), options_.dist.embed_precision, model_.global_batch()));
+      model_.config(), options_.dist.embed_precision, options_.global_batch));
   // Dense replicas: every rank loads the same manifest bytes, so the
   // replicated MLP/optimizer state stays bit-identical across ranks.
   reader.load_dense(model_.bottom_mlp(), model_.top_mlp());
@@ -374,10 +477,12 @@ bool DistributedTrainer::resume_from(const std::string& dir) {
   }
   iter_ = reader.step();
   set_lr(reader.lr());
-  // Training consumption is keyed on iter_ (see Trainer::resume_from).
-  DLRM_CHECK(reader.data_cursor() == reader.step(),
-             "saved data-stream cursor diverges from the saved step; "
-             "cursor-driven consumption is not wired yet");
+  // The stream cursor advances grad_accum micro-batches per step; a mismatch
+  // means the snapshot was taken under a different accumulation window and
+  // resuming would silently replay or skip batches — refuse it instead.
+  DLRM_CHECK(reader.data_cursor() == reader.step() * options_.grad_accum,
+             "saved data-stream cursor does not match step x grad_accum; "
+             "resume with the grad_accum the snapshot was taken with");
   // Warm restart of the data pipeline: reposition the workers at the saved
   // stream cursor and refill before returning, so the first post-restore
   // step consumes a full pipeline instead of paying the whole loader cost
@@ -391,8 +496,9 @@ bool DistributedTrainer::resume_from(const std::string& dir) {
 std::vector<EvalPoint> DistributedTrainer::train_with_eval(
     std::int64_t train_samples, std::int64_t eval_samples, int eval_points,
     const LrSchedule& lr_schedule) {
-  // SPMD: all ranks iterate the same checkpoint targets in lockstep.
-  return detail::train_with_eval_loop(*this, model_.global_batch(),
+  // SPMD: all ranks iterate the same checkpoint targets in lockstep. The
+  // loop's batch is the EFFECTIVE one: train() counts accumulation windows.
+  return detail::train_with_eval_loop(*this, options_.global_batch,
                                       train_samples, eval_samples, eval_points,
                                       lr_schedule);
 }

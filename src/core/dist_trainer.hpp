@@ -54,6 +54,12 @@ struct DistributedTrainerOptions {
   float lr = 0.1f;
   std::int64_t global_batch = 2048;
   std::uint64_t seed = 42;
+  /// Gradient-accumulation window (see TrainerOptions::grad_accum):
+  /// `global_batch` is the EFFECTIVE batch, the model/loaders run at
+  /// global_batch/grad_accum, and exactly ONE DDP allreduce + dense
+  /// optimizer step runs per window — the allreduce count drops by
+  /// grad_accum× along with the activation footprint.
+  int grad_accum = 1;
   /// kLocalSlice = the optimized loader; kFullGlobalBatch reproduces the
   /// reference behaviour (Fig. 13's growing loader cost).
   LoaderMode loader_mode = LoaderMode::kLocalSlice;
@@ -108,6 +114,8 @@ class DistributedTrainer {
                      ThreadComm& comm, QueueBackend* backend,
                      DistributedTrainerOptions options);
 
+  ~DistributedTrainer();
+
   /// Runs `iters` training iterations; returns the mean GLOBAL loss (mean
   /// BCE over the full GN batch, allreduced — identical on every rank).
   double train(std::int64_t iters, Profiler* prof = nullptr);
@@ -132,7 +140,10 @@ class DistributedTrainer {
   float lr() const { return options_.lr; }
 
   std::int64_t iterations_done() const { return iter_; }
-  std::int64_t global_batch() const { return model_.global_batch(); }
+  /// The EFFECTIVE global batch (one optimizer step's worth of samples).
+  /// The model itself runs at global_batch() / grad_accum — see
+  /// model().global_batch() for the micro size.
+  std::int64_t global_batch() const { return options_.global_batch; }
   std::int64_t local_batch() const { return model_.local_batch(); }
 
   // Checkpoint/restore (src/ckpt). SPMD like every collective-bearing
@@ -146,6 +157,21 @@ class DistributedTrainer {
   /// (0 = only at eval points and explicit calls).
   void set_checkpointing(std::string dir, std::int64_t save_every = 0);
 
+  /// Full control: async background saves, retention depth, save interval.
+  /// In async mode the training thread only captures its shard state (and
+  /// rank 0 the dense manifest) into a staging buffer; per-rank writer
+  /// threads serialize and the LAST rank's arrival releases the manifest
+  /// commit — no ThreadComm collectives on the save path at all.
+  void set_checkpointing(std::string dir, CheckpointOptions opts);
+
+  /// Drains this rank's in-flight background save (no-op in sync mode).
+  /// After every rank's call returns, the snapshot is committed on disk.
+  void finish_checkpoints();
+
+  /// Cumulative wall time train() stalled on snapshots on THIS rank (full
+  /// save + barriers in sync mode; capture + back-pressure in async mode).
+  double checkpoint_stall_sec() const { return ckpt_stall_sec_; }
+
   /// Writes a full snapshot now (SPMD; returns once the snapshot is
   /// committed on every rank).
   void save_checkpoint(const std::string& dir);
@@ -154,8 +180,9 @@ class DistributedTrainer {
   bool resume_from(const std::string& dir);
 
   /// Hook for train_with_eval_loop; no-op unless checkpointing is enabled.
+  /// Routes through the configured save mode (sync or background).
   void checkpoint_at_eval() {
-    if (!ckpt_dir_.empty()) save_checkpoint(ckpt_dir_);
+    if (!ckpt_dir_.empty()) save_now(nullptr);
   }
 
   DistributedDlrm& model() { return model_; }
@@ -233,6 +260,9 @@ class DistributedTrainer {
  private:
   double allreduce_mean(double local);
   void maybe_rebalance(Profiler* prof);
+  /// Snapshot through the configured mode; accumulates the exposed stall
+  /// into checkpoint_stall_sec() and the "ckpt_stall_us" profiler counter.
+  void save_now(Profiler* prof);
   /// The pipeline evaluate() draws from: the lazily-built dedicated eval
   /// stream, or the training pipeline on the legacy reseek path.
   PrefetchLoader& eval_pipeline();
@@ -256,8 +286,11 @@ class DistributedTrainer {
   std::int64_t eval_cache_first_ = -1, eval_cache_len_ = -1;
   std::int64_t eval_materialize_passes_ = 0;
   Tensor<float> eval_scores_, eval_labels_;  // [GN] allgather staging
+  GradAccumulator accum_;  // attached only when grad_accum > 1
   std::string ckpt_dir_;
-  std::int64_t ckpt_every_ = 0;
+  CheckpointOptions ckpt_opts_;
+  std::unique_ptr<ckpt::AsyncCheckpointWriter> async_;
+  double ckpt_stall_sec_ = 0.0;
   RebalanceStats rebalance_stats_;
   double window_baseline_sec_ = 0.0;  // embedding_sec at window start
 };

@@ -177,7 +177,8 @@ const Tensor<float>& DistributedDlrm::forward(const HybridBatch& hb,
 }
 
 void DistributedDlrm::backward(const HybridBatch& hb,
-                               const Tensor<float>& dlogits, Profiler* prof) {
+                               const Tensor<float>& dlogits, Profiler* prof,
+                               GradAccumulator* accum, bool flush) {
   {
     MaybeScope s(prof, "top_mlp_bwd");
     for (std::int64_t i = 0; i < ln_; ++i) dlogits2d_[i] = dlogits[i];
@@ -206,9 +207,22 @@ void DistributedDlrm::backward(const HybridBatch& hb,
     bottom_.backward(dz0_);
   }
 
+  // Gradient accumulation: bank this micro-batch's dense grads; on the
+  // window-closing micro-batch fold the window sum back into the layers so
+  // the (one) allreduce + optimizer step below see the full-batch gradient.
+  if (accum != nullptr) {
+    // "accum_flush" counts one hit per window (the closing fold); its count
+    // is the number of optimizer steps taken under accumulation.
+    MaybeScope s(prof, flush ? "accum_flush" : "accum_add");
+    accum->add();
+    if (flush) accum->fold_into_slots();
+  }
+
   // All MLP grads are ready: launch the DDP allreduce (overlaps with the
-  // embedding gradient exchange + sparse update below).
-  ddp_.start();
+  // embedding gradient exchange + sparse update below). Mid-window
+  // micro-batches skip it — that deferral, one allreduce per A
+  // micro-batches, is the communication saving of accumulation.
+  if (flush) ddp_.start();
 
   {
     MaybeScope s(prof, "alltoall_bwd_finish");
@@ -239,14 +253,15 @@ void DistributedDlrm::backward(const HybridBatch& hb,
     emb_sec_ += t.elapsed_sec();
   }
 
-  {
-    MaybeScope s(prof, "allreduce_finish");
-    ddp_.finish();
-  }
-
-  {
-    MaybeScope s(prof, "opt_step");
-    opt_->step(options_.lr);
+  if (flush) {
+    {
+      MaybeScope s(prof, "allreduce_finish");
+      ddp_.finish();
+    }
+    {
+      MaybeScope s(prof, "opt_step");
+      opt_->step(options_.lr);
+    }
   }
 }
 
@@ -571,6 +586,41 @@ double DistributedDlrm::train_step(const HybridBatch& hb, Profiler* prof) {
   }
   backward(hb, dlogits, prof);
   return loss;
+}
+
+double DistributedDlrm::accumulate_step(const HybridBatch& hb,
+                                        GradAccumulator& accum,
+                                        float window_scale, bool flush,
+                                        Profiler* prof) {
+  DLRM_CHECK(accum.attached(), "accumulator must be attached first");
+  const Tensor<float>& logits = forward(hb, prof);
+  Tensor<float> dlogits({ln_});
+  double loss;
+  {
+    MaybeScope s(prof, "loss");
+    loss = bce_with_logits(logits.data(), hb.labels.data(), ln_,
+                           dlogits.data());
+  }
+  // Same uneven-slice re-weighting as train_step, composed with the window
+  // scale: the sum over the window's A micro-gradients then equals the mean
+  // gradient over the effective batch A*GN exactly.
+  const std::int64_t R = comm_.size();
+  float w = window_scale;
+  if (ln_ * R != gn_) {
+    w *= static_cast<float>(ln_ * R) / static_cast<float>(gn_);
+  }
+  if (w != 1.0f) {
+    for (std::int64_t i = 0; i < ln_; ++i) dlogits[i] *= w;
+  }
+  backward(hb, dlogits, prof, &accum, flush);
+  return loss;
+}
+
+void DistributedDlrm::attach_accumulator(GradAccumulator& accum) {
+  auto slots = top_.param_slots();
+  auto bslots = bottom_.param_slots();
+  slots.insert(slots.end(), bslots.begin(), bslots.end());
+  accum.attach(slots);
 }
 
 }  // namespace dlrm

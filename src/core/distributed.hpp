@@ -36,6 +36,7 @@
 #include "kernels/embedding.hpp"
 #include "kernels/interaction.hpp"
 #include "kernels/mlp.hpp"
+#include "optim/accum.hpp"
 #include "optim/optimizer.hpp"
 #include "stats/profiler.hpp"
 
@@ -89,6 +90,25 @@ class DistributedDlrm {
   /// shards' global bags). Returns the local mean BCE loss.
   double train_step(const HybridBatch& hb, Profiler* prof = nullptr);
 
+  /// One gradient-accumulation micro-iteration at the model's (micro)
+  /// global batch. The loss gradient is pre-scaled by `window_scale` (1/A
+  /// for a window of A micro-batches, on top of the uneven-slice
+  /// re-weighting), dense grads are accumulated into `accum`, and the
+  /// sparse embedding update applies immediately with the same scaling.
+  /// When `flush` is false the DDP allreduce and the dense optimizer step
+  /// are skipped entirely; on the window-closing call (`flush` true) the
+  /// accumulated grads fold back into the layers, ONE allreduce runs —
+  /// overlapped with the embedding update, exactly like train_step — and
+  /// the optimizer applies. `accum` must be attached to this model's MLP
+  /// slots (attach_accumulator). Returns the (unscaled) micro-batch loss.
+  double accumulate_step(const HybridBatch& hb, GradAccumulator& accum,
+                         float window_scale, bool flush,
+                         Profiler* prof = nullptr);
+
+  /// Attaches `accum` to this rank's MLP parameter slots (the same slots,
+  /// in the same order, DDP and the dense optimizer use).
+  void attach_accumulator(GradAccumulator& accum);
+
   /// Forward only; returns local logits [LN] (for evaluation).
   const Tensor<float>& forward(const HybridBatch& hb, Profiler* prof = nullptr);
 
@@ -110,6 +130,9 @@ class DistributedDlrm {
   double last_alltoall_framework_sec() const { return a2a_frame_; }
   double last_allreduce_wait_sec() const { return ddp_.wait_sec(); }
   double last_allreduce_framework_sec() const { return ddp_.framework_sec(); }
+  /// Completed DDP allreduces since construction (one per window under
+  /// gradient accumulation, one per step without).
+  std::int64_t allreduce_runs() const { return ddp_.runs(); }
 
   /// Cumulative wall time this rank spent in embedding kernels (forward +
   /// fused backward/update) across all steps — the model-parallel work a
@@ -167,7 +190,8 @@ class DistributedDlrm {
 
  private:
   void backward(const HybridBatch& hb, const Tensor<float>& dlogits,
-                Profiler* prof);
+                Profiler* prof, GradAccumulator* accum = nullptr,
+                bool flush = true);
   void note_lookup_stats(const HybridBatch& hb);
 
   DlrmConfig config_;

@@ -154,7 +154,7 @@ void DlrmModel::backward(const MiniBatch& mb, const Tensor<float>& dlogits,
   }
 }
 
-double DlrmModel::train_step(const MiniBatch& mb, float lr, Optimizer& opt,
+double DlrmModel::micro_step(const MiniBatch& mb, float lr, float scale,
                              Profiler* prof) {
   const Tensor<float>& logits = forward(mb, prof);
   Tensor<float> dlogits({n_});
@@ -163,7 +163,17 @@ double DlrmModel::train_step(const MiniBatch& mb, float lr, Optimizer& opt,
     MaybeScope s(prof, "loss");
     loss = bce_with_logits(logits.data(), mb.labels.data(), n_, dlogits.data());
   }
+  // scale == 1 skips the pass, keeping the unaccumulated path bit-identical.
+  if (scale != 1.0f) {
+    for (std::int64_t i = 0; i < n_; ++i) dlogits[i] *= scale;
+  }
   backward(mb, dlogits, lr, prof);
+  return loss;
+}
+
+double DlrmModel::train_step(const MiniBatch& mb, float lr, Optimizer& opt,
+                             Profiler* prof) {
+  const double loss = micro_step(mb, lr, 1.0f, prof);
   {
     MaybeScope s(prof, "opt_step");
     opt.step(lr);

@@ -57,6 +57,16 @@ class DlrmModel {
   double train_step(const MiniBatch& mb, float lr, Optimizer& opt,
                     Profiler* prof = nullptr);
 
+  /// One gradient-accumulation micro-iteration: forward + loss + backward
+  /// with the loss gradient pre-scaled by `scale` (1/A for a window of A
+  /// micro-batches). Applies the sparse embedding update (scaled the same
+  /// way) but NOT the dense optimizer step — the caller accumulates the
+  /// dense grads and applies the optimizer at the window boundary. Returns
+  /// the (unscaled) micro-batch loss. scale == 1 is exactly train_step
+  /// minus the optimizer step.
+  double micro_step(const MiniBatch& mb, float lr, float scale,
+                    Profiler* prof = nullptr);
+
   /// Inference scores (logits) without touching gradients.
   const Tensor<float>& predict(const MiniBatch& mb) { return forward(mb); }
 

@@ -1,9 +1,12 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "ckpt/async.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "common/log.hpp"
+#include "common/timer.hpp"
 
 namespace dlrm {
 
@@ -21,7 +24,12 @@ Trainer::Trainer(DlrmModel& model, Optimizer& opt, const Dataset& data,
                  TrainerOptions options)
     : model_(model), opt_(opt), data_(data), options_(options) {
   DLRM_CHECK(options_.batch > 0, "batch must be positive");
-  model_.set_batch(options_.batch);
+  DLRM_CHECK(options_.grad_accum >= 1, "grad_accum must be >= 1");
+  DLRM_CHECK(options_.batch % options_.grad_accum == 0,
+             "batch must divide evenly into grad_accum micro-batches");
+  micro_batch_ = options_.batch / options_.grad_accum;
+  model_.set_batch(micro_batch_);
+  if (options_.grad_accum > 1) accum_.attach(model_.mlp_param_slots());
   init_pipeline();
 }
 
@@ -32,18 +40,26 @@ Trainer::Trainer(DlrmModel& model, const Dataset& data, TrainerOptions options)
       data_(data),
       options_(options) {
   DLRM_CHECK(options_.batch > 0, "batch must be positive");
+  DLRM_CHECK(options_.grad_accum >= 1, "grad_accum must be >= 1");
+  DLRM_CHECK(options_.batch % options_.grad_accum == 0,
+             "batch must divide evenly into grad_accum micro-batches");
+  micro_batch_ = options_.batch / options_.grad_accum;
   owned_opt_->attach(model_.mlp_param_slots());
-  model_.set_batch(options_.batch);
+  model_.set_batch(micro_batch_);
+  if (options_.grad_accum > 1) accum_.attach(model_.mlp_param_slots());
   init_pipeline();
 }
 
+Trainer::~Trainer() = default;
+
 void Trainer::init_pipeline() {
   if (!options_.prefetch) return;
-  // Full-batch single-process stream: each worker drives its own loader
+  // Micro-batch single-process stream: each worker drives its own loader
   // clone through next_full, which materializes exactly the data_.fill
   // call the synchronous path makes — so the stream is bit-identical to
-  // running without the pipeline.
-  loader_ = std::make_unique<DataLoader>(data_, options_.batch, /*rank=*/0,
+  // running without the pipeline. The loader runs at the micro-batch size;
+  // with grad_accum == 1 that is the full batch, as before.
+  loader_ = std::make_unique<DataLoader>(data_, micro_batch_, /*rank=*/0,
                                          /*ranks=*/1,
                                          std::vector<std::int64_t>{},
                                          LoaderMode::kLocalSlice);
@@ -62,30 +78,104 @@ void Trainer::init_pipeline() {
 
 double Trainer::train(std::int64_t iters, Profiler* prof) {
   Meter loss;
+  const int A = options_.grad_accum;
   for (std::int64_t i = 0; i < iters; ++i) {
-    if (pipeline_ != nullptr) {
-      loss.add(model_.train_step(pipeline_->next(iter_), options_.lr, opt_,
-                                 prof));
+    if (A == 1) {
+      if (pipeline_ != nullptr) {
+        loss.add(model_.train_step(pipeline_->next(iter_), options_.lr, opt_,
+                                   prof));
+      } else {
+        data_.fill(iter_ * micro_batch_, micro_batch_, scratch_);
+        loss.add(model_.train_step(scratch_, options_.lr, opt_, prof));
+      }
     } else {
-      data_.fill(iter_ * options_.batch, options_.batch, scratch_);
-      loss.add(model_.train_step(scratch_, options_.lr, opt_, prof));
+      // One accumulation window: A micro-steps with dlogits scaled by 1/A,
+      // dense grads summed in fp32 (fixed order), one optimizer apply.
+      const float scale = 1.0f / static_cast<float>(A);
+      double wloss = 0.0;
+      for (int a = 0; a < A; ++a) {
+        const std::int64_t micro = iter_ * A + a;
+        if (pipeline_ != nullptr) {
+          wloss += model_.micro_step(pipeline_->next(micro), options_.lr,
+                                     scale, prof);
+        } else {
+          data_.fill(micro * micro_batch_, micro_batch_, scratch_);
+          wloss += model_.micro_step(scratch_, options_.lr, scale, prof);
+        }
+        accum_.add();
+      }
+      const Timer flush;
+      accum_.fold_into_slots();
+      opt_.step(options_.lr);
+      if (prof != nullptr) prof->add("accum_flush", flush.elapsed_sec());
+      loss.add(wloss / A);
     }
     ++iter_;
-    if (ckpt_every_ > 0 && iter_ % ckpt_every_ == 0) {
-      save_checkpoint(ckpt_dir_);
+    if (ckpt_opts_.save_every > 0 && iter_ % ckpt_opts_.save_every == 0) {
+      save_now(prof);
     }
   }
   return loss.mean();
 }
 
 void Trainer::set_checkpointing(std::string dir, std::int64_t save_every) {
+  CheckpointOptions opts;
+  opts.save_every = save_every;
+  set_checkpointing(std::move(dir), opts);
+}
+
+void Trainer::set_checkpointing(std::string dir, CheckpointOptions opts) {
   DLRM_CHECK(!dir.empty(), "checkpoint directory must not be empty");
+  DLRM_CHECK(opts.keep_last >= 1, "keep_last must be >= 1");
   ckpt_dir_ = std::move(dir);
-  ckpt_every_ = save_every;
+  ckpt_opts_ = opts;
+  async_.reset();  // re-created on demand with the new settings
+}
+
+void Trainer::finish_checkpoints() {
+  if (async_ != nullptr) async_->wait_idle();
+}
+
+void Trainer::save_now(Profiler* prof) {
+  const Timer stall;
+  if (ckpt_opts_.async) {
+    if (async_ == nullptr) {
+      async_ = std::make_unique<ckpt::AsyncCheckpointWriter>(
+          ckpt_dir_, /*rank=*/0, /*ranks=*/1, ckpt_opts_.keep_last);
+    }
+    // Capture only: serialize the state into the staging buffer and hand it
+    // to the writer thread. The exposed stall is this capture plus any
+    // back-pressure from a still-draining previous snapshot.
+    ckpt::StagedSave save = async_->take_buffer();
+    save.step = iter_;
+    const ShardingPlan plan = single_process_plan(model_.config());
+    std::vector<EmbeddingTable*> tables;
+    for (std::int64_t t = 0; t < model_.tables(); ++t) {
+      tables.push_back(&model_.table(t));
+    }
+    ckpt::build_shard_sections_into(save.shard_sections, iter_, plan.shards(),
+                                    tables);
+    save.has_manifest = true;
+    const auto key = ckpt::ModelConfigKey::from(
+        model_.config(), model_.options().embed_precision, options_.batch);
+    ckpt::TrainerState state;
+    state.step = iter_;
+    state.lr = options_.lr;
+    state.data_cursor = iter_ * options_.grad_accum;
+    ckpt::build_manifest_sections_into(save.manifest_sections, key, state,
+                                       plan, model_.bottom_mlp(),
+                                       model_.top_mlp(), opt_);
+    async_->submit(std::move(save));
+  } else {
+    save_checkpoint(ckpt_dir_);
+  }
+  const double sec = stall.elapsed_sec();
+  ckpt_stall_sec_ += sec;
+  if (prof != nullptr) prof->add("ckpt_stall_us", sec);
 }
 
 void Trainer::save_checkpoint(const std::string& dir) {
-  ckpt::CheckpointWriter writer(dir, /*rank=*/0, iter_);
+  ckpt::CheckpointWriter writer(dir, /*rank=*/0, iter_, ckpt_opts_.keep_last);
   const ShardingPlan plan = single_process_plan(model_.config());
   std::vector<EmbeddingTable*> tables;
   for (std::int64_t t = 0; t < model_.tables(); ++t) {
@@ -99,7 +189,8 @@ void Trainer::save_checkpoint(const std::string& dir) {
   ckpt::TrainerState state;
   state.step = iter_;
   state.lr = options_.lr;
-  state.data_cursor = iter_;  // next training-stream iteration to consume
+  // Next training-stream position in loader (micro-batch) units.
+  state.data_cursor = iter_ * options_.grad_accum;
   writer.write_manifest(key, state, plan, model_.bottom_mlp(),
                         model_.top_mlp(), opt_);
   writer.remove_stale_shards();  // manifest committed: GC superseded files
@@ -108,6 +199,9 @@ void Trainer::save_checkpoint(const std::string& dir) {
 bool Trainer::resume_from(const std::string& dir) {
   if (!ckpt::CheckpointReader::exists(dir)) return false;
   ckpt::CheckpointReader reader(dir);
+  // A crash mid-background-save can leave .tmp files or step-suffixed files
+  // beyond the committed manifest; they are dead weight, never read.
+  ckpt::gc_torn_files(dir, reader.step());
   reader.check_model(ckpt::ModelConfigKey::from(
       model_.config(), model_.options().embed_precision, options_.batch));
   reader.load_dense(model_.bottom_mlp(), model_.top_mlp());
@@ -118,12 +212,12 @@ bool Trainer::resume_from(const std::string& dir) {
   }
   iter_ = reader.step();
   options_.lr = reader.lr();
-  // Training consumption is keyed on iter_, so a snapshot whose stream
-  // cursor diverged from its step (no current writer produces one) would
-  // silently replay or skip batches — refuse it instead.
-  DLRM_CHECK(reader.data_cursor() == reader.step(),
-             "saved data-stream cursor diverges from the saved step; "
-             "cursor-driven consumption is not wired yet");
+  // The stream cursor advances grad_accum micro-batches per step; a mismatch
+  // means the snapshot was taken under a different accumulation window and
+  // resuming would silently replay or skip batches — refuse it instead.
+  DLRM_CHECK(reader.data_cursor() == reader.step() * options_.grad_accum,
+             "saved data-stream cursor does not match step x grad_accum; "
+             "resume with the grad_accum the snapshot was taken with");
   if (pipeline_ != nullptr) {
     // Warm restart: reposition the workers at the saved stream cursor and
     // refill, so the first post-restore step consumes a full pipeline.
@@ -136,7 +230,7 @@ bool Trainer::resume_from(const std::string& dir) {
 double Trainer::evaluate(std::int64_t first, std::int64_t n) {
   AucAccumulator auc;
   MiniBatch mb;
-  const std::int64_t bs = options_.batch;
+  const std::int64_t bs = micro_batch_;
   for (std::int64_t off = 0; off < n; off += bs) {
     const std::int64_t take = std::min(bs, n - off);
     // Keep the model batch fixed: evaluate full batches, padding by wrap.

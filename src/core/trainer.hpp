@@ -12,6 +12,7 @@
 #include "core/model.hpp"
 #include "data/dataset.hpp"
 #include "data/prefetch.hpp"
+#include "optim/accum.hpp"
 #include "optim/lr_schedule.hpp"
 #include "optim/optimizer.hpp"
 #include "stats/metrics.hpp"
@@ -19,10 +20,39 @@
 
 namespace dlrm {
 
+namespace ckpt {
+class AsyncCheckpointWriter;
+}  // namespace ckpt
+
+/// How periodic snapshots are taken (shared by both trainers).
+struct CheckpointOptions {
+  /// Snapshot every this many train() iterations (0 = only at eval points
+  /// and explicit save_checkpoint calls).
+  std::int64_t save_every = 0;
+  /// Background checkpointing: the training thread only captures the state
+  /// into a staging buffer (plus back-pressure if the previous snapshot is
+  /// still being written); serialization, CRC and the atomic commit drain
+  /// on a dedicated writer thread. Bytes on disk are identical to a
+  /// synchronous save at the same step.
+  bool async = false;
+  /// Snapshots retained in the directory (>= 1). With > 1, each snapshot
+  /// also commits a step-addressed manifest-sK.dlrmckpt so older retained
+  /// steps stay restorable (CheckpointReader(dir, step)).
+  int keep_last = 1;
+};
+
 struct TrainerOptions {
   float lr = 0.1f;
   std::int64_t batch = 2048;
   std::uint64_t seed = 42;
+  /// Gradient-accumulation window: `batch` is the EFFECTIVE batch, split
+  /// into grad_accum micro-batches of batch/grad_accum samples (must
+  /// divide). Dense gradients accumulate in fp32 across the window (fixed
+  /// summation order — deterministic) and the optimizer applies once per
+  /// window; the sparse embedding update applies per micro-batch with the
+  /// same 1/grad_accum scaling. Activations shrink ~grad_accum× because the
+  /// model runs at the micro size. 1 = the unaccumulated path, untouched.
+  int grad_accum = 1;
   /// Multi-worker background pipeline materializing training minibatches
   /// ahead of compute (same engine as the distributed trainer's; batches
   /// and losses are bit-identical on or off, for any worker count). Off by
@@ -103,6 +133,8 @@ class Trainer {
   /// it to the model's MLP parameter slots.
   Trainer(DlrmModel& model, const Dataset& data, TrainerOptions options);
 
+  ~Trainer();
+
   const Optimizer& optimizer() const { return opt_; }
 
   /// Trains on `train_samples` total samples; evaluates ROC-AUC on
@@ -140,6 +172,18 @@ class Trainer {
   /// every eval point of train_with_eval.
   void set_checkpointing(std::string dir, std::int64_t save_every = 0);
 
+  /// Full control: async background saves, retention depth, save interval.
+  void set_checkpointing(std::string dir, CheckpointOptions opts);
+
+  /// Drains any in-flight background save (no-op in sync mode). After this
+  /// returns, the last submitted snapshot is committed on disk.
+  void finish_checkpoints();
+
+  /// Cumulative wall time train() stalled on snapshots: full save cost in
+  /// sync mode; capture + back-pressure only in async mode. The ratio is
+  /// the headline win of background checkpointing.
+  double checkpoint_stall_sec() const { return ckpt_stall_sec_; }
+
   /// Writes a full snapshot into `dir` now (overwrites a prior snapshot).
   void save_checkpoint(const std::string& dir);
 
@@ -149,8 +193,9 @@ class Trainer {
   bool resume_from(const std::string& dir);
 
   /// Hook for train_with_eval_loop; no-op unless checkpointing is enabled.
+  /// Routes through the configured save mode (sync or background).
   void checkpoint_at_eval() {
-    if (!ckpt_dir_.empty()) save_checkpoint(ckpt_dir_);
+    if (!ckpt_dir_.empty()) save_now(nullptr);
   }
 
   /// The training-stream pipeline (nullptr when options.prefetch is off).
@@ -160,13 +205,18 @@ class Trainer {
 
  private:
   void init_pipeline();
+  /// Snapshot through the configured mode; accumulates the exposed stall
+  /// into checkpoint_stall_sec() and the "ckpt_stall_us" profiler counter.
+  void save_now(Profiler* prof);
 
   DlrmModel& model_;
   std::unique_ptr<Optimizer> owned_opt_;  // only set by the owning ctor
   Optimizer& opt_;
   const Dataset& data_;
   TrainerOptions options_;
-  std::int64_t iter_ = 0;
+  std::int64_t micro_batch_ = 0;  // batch / grad_accum (model runs at this)
+  GradAccumulator accum_;         // attached only when grad_accum > 1
+  std::int64_t iter_ = 0;         // optimizer steps == accumulation windows
   MiniBatch scratch_;
   std::unique_ptr<DataLoader> loader_;  // sync-path / template loader
   // Per-worker loader clones; declared before pipeline_ so the worker
@@ -174,7 +224,9 @@ class Trainer {
   std::vector<std::unique_ptr<DataLoader>> worker_loaders_;
   std::unique_ptr<PrefetchPipeline<MiniBatch>> pipeline_;
   std::string ckpt_dir_;
-  std::int64_t ckpt_every_ = 0;
+  CheckpointOptions ckpt_opts_;
+  std::unique_ptr<ckpt::AsyncCheckpointWriter> async_;
+  double ckpt_stall_sec_ = 0.0;
 };
 
 }  // namespace dlrm

@@ -1,0 +1,50 @@
+#include "optim/accum.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/threadpool.hpp"
+
+namespace dlrm {
+
+void GradAccumulator::attach(const std::vector<ParamSlot>& slots) {
+  DLRM_CHECK(slots_.empty(), "GradAccumulator::attach called twice");
+  slots_ = slots;
+  offsets_.reserve(slots_.size());
+  total_ = 0;
+  for (const ParamSlot& s : slots_) {
+    offsets_.push_back(total_);
+    total_ += s.size;
+  }
+  sum_.assign(static_cast<std::size_t>(total_), 0.0f);
+}
+
+void GradAccumulator::add() {
+  DLRM_CHECK(attached(), "GradAccumulator used before attach");
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    const float* g = slots_[k].grad;
+    float* acc = sum_.data() + offsets_[k];
+    const std::int64_t n = slots_[k].size;
+    // Element-wise, so the parallel partition cannot reorder any sum.
+    parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) acc[i] += g[i];
+    });
+  }
+}
+
+void GradAccumulator::fold_into_slots() {
+  DLRM_CHECK(attached(), "GradAccumulator used before attach");
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    float* g = slots_[k].grad;
+    float* acc = sum_.data() + offsets_[k];
+    const std::int64_t n = slots_[k].size;
+    parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        g[i] = acc[i];
+        acc[i] = 0.0f;
+      }
+    });
+  }
+}
+
+}  // namespace dlrm

@@ -1,0 +1,53 @@
+// Micro-batch gradient accumulation for the dense (MLP) parameters.
+//
+// A gradient-accumulation window splits a global batch of GN samples into A
+// micro-batches of GN/A. Each micro-batch runs forward/backward with its
+// loss gradient pre-scaled by 1/A, so the SUM of the A micro-gradients
+// equals the full-batch mean gradient exactly; the accumulator keeps that
+// running sum in a dedicated fp32 arena and folds it back into the layers'
+// grad slots at the window boundary, where the (one) DDP allreduce and the
+// dense optimizer step run. Summation order is fixed — slot order within
+// add(), window order across calls — so the accumulated gradient (and the
+// training loss sequence) is deterministic for a given A.
+//
+// The sparse embedding side deliberately does NOT accumulate: each
+// micro-batch's fused_backward_update applies immediately with the same
+// 1/A-scaled gradient (the updates are cheap and row-sparse, and deferring
+// them would need a GN-sized gradient staging buffer — exactly the memory
+// the window exists to avoid).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/param_slot.hpp"
+
+namespace dlrm {
+
+class GradAccumulator {
+ public:
+  /// Registers the grad blocks to accumulate (the model's mlp_param_slots,
+  /// in their canonical order) and allocates the zeroed fp32 arena. Call
+  /// exactly once.
+  void attach(const std::vector<ParamSlot>& slots);
+  bool attached() const { return !slots_.empty(); }
+
+  /// arena += current slot gradients, in fixed slot order.
+  void add();
+
+  /// Writes the accumulated sums back into the slot gradients (so the
+  /// optimizer / DDP see the window's full-batch gradient) and zeroes the
+  /// arena for the next window.
+  void fold_into_slots();
+
+  /// Total accumulated parameters (== arena floats).
+  std::int64_t param_count() const { return total_; }
+
+ private:
+  std::vector<ParamSlot> slots_;
+  std::vector<std::int64_t> offsets_;  // slot k's arena offset
+  std::vector<float> sum_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace dlrm

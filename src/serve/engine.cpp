@@ -181,13 +181,20 @@ void InferenceEngine::execute_batch(const std::vector<Request>& reqs) {
     DLRM_CHECK(r.fanout >= 1, "request fanout must be >= 1");
     total += r.fanout;
   }
+  // Bucketing: execute at the next power of two so the MiniBatch and the
+  // snapshot's activations only ever see ~log2(max_batch) distinct shapes.
+  std::int64_t exec = total;
+  if (options_.bucket_batches) {
+    exec = 1;
+    while (exec < total) exec *= 2;
+  }
 
   {
     // Assemble one MiniBatch from the per-request sample ranges. Pooling is
     // fixed per table, so every per-sample extent is regular and whole rows
     // concatenate; shape_minibatch's offsets already describe the result.
     const double t0 = now_sec();
-    shape_minibatch(data_, total, mb_);
+    shape_minibatch(data_, exec, mb_);
     const std::int64_t d = data_.dense_dim();
     std::int64_t row = 0;
     for (const Request& r : reqs) {
@@ -205,7 +212,25 @@ void InferenceEngine::execute_batch(const std::vector<Request>& reqs) {
       }
       row += r.fanout;
     }
-    if (prof_ != nullptr) prof_->add("serve_assemble", now_sec() - t0);
+    // Pad rows replicate sample 0: valid features, scored and discarded.
+    for (; row < exec; ++row) {
+      std::memcpy(mb_.dense.data() + row * d, mb_.dense.data(),
+                  static_cast<std::size_t>(d) * sizeof(float));
+      mb_.labels[row] = mb_.labels[0];
+      for (std::int64_t t = 0; t < data_.tables(); ++t) {
+        const std::int64_t p = data_.pooling(t);
+        std::int64_t* idx =
+            mb_.bags[static_cast<std::size_t>(t)].indices.data();
+        std::memcpy(idx + row * p, idx,
+                    static_cast<std::size_t>(p) * sizeof(std::int64_t));
+      }
+    }
+    if (prof_ != nullptr) {
+      prof_->add("serve_assemble", now_sec() - t0);
+      if (exec > total) {
+        prof_->add("serve_padded", static_cast<double>(exec - total));
+      }
+    }
   }
 
   const double fwd0 = now_sec();

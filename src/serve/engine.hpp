@@ -59,6 +59,14 @@ struct EngineOptions {
   BatchPolicy policy;
   std::int64_t queue_capacity = 1024;
   double slo_ms = 5.0;
+  /// Round every executed batch up to the next power of two (padding with
+  /// copies of the batch's first sample; padded rows are scored and
+  /// discarded). Dynamic batching produces a different size almost every
+  /// micro-batch, and each new size re-shapes the MiniBatch and the
+  /// snapshot's activation workspace; bucketing collapses the size
+  /// diversity to ~log2(max_batch) shapes so steady-state serving stops
+  /// reallocating. Padded-row overhead lands in the "serve_padded" counter.
+  bool bucket_batches = false;
 };
 
 /// Aggregate serving statistics; percentiles by nearest rank.

@@ -177,15 +177,18 @@ class BlockedWeightsT {
     }
   }
 
-  /// Unpacks into a flat row-major [K][C] fp32 matrix.
+  /// Unpacks into a flat row-major [K][C] fp32 matrix. Iterates ik outer /
+  /// ic inner so the flat side is written contiguously (the strided reads
+  /// stay inside one L1-resident [bc][bk] tile) — this sits on the exposed
+  /// capture path of background checkpointing.
   void unpack_to(float* flat) const {
     for (std::int64_t ikb = 0; ikb < kb(); ++ikb) {
       for (std::int64_t icb = 0; icb < cb(); ++icb) {
         const T* src = block(ikb, icb);
-        for (std::int64_t ic = 0; ic < bc(); ++ic) {
-          for (std::int64_t ik = 0; ik < bk(); ++ik) {
-            flat[(ikb * bk() + ik) * c() + icb * bc() + ic] =
-                detail::Convert<T>::load(src[ic * bk() + ik]);
+        for (std::int64_t ik = 0; ik < bk(); ++ik) {
+          float* dst = flat + (ikb * bk() + ik) * c() + icb * bc();
+          for (std::int64_t ic = 0; ic < bc(); ++ic) {
+            dst[ic] = detail::Convert<T>::load(src[ic * bk() + ik]);
           }
         }
       }

@@ -10,10 +10,13 @@
 # final reported loss) bit-for-bit: train_cli prints STEP_LOSS lines with
 # %.17g, so a literal diff is the assertion.
 #
-# Two legs: single-process (warm-restores the Trainer's MiniBatch pipeline)
-# and 2-rank × 2-worker (warm-restores the sharded distributed pipeline) —
+# Legs: single-process (warm-restores the Trainer's MiniBatch pipeline),
+# 2-rank × 2-worker (warm-restores the sharded distributed pipeline) —
 # the first post-restore STEP_LOSS equality is the warm-restore regression:
-# a mispositioned or cold-flushed pipeline would feed the wrong batch.
+# a mispositioned or cold-flushed pipeline would feed the wrong batch —
+# then the same two through --async-ckpt (background saves must commit the
+# same restorable bytes), and a kill-during-background-save leg that leaves
+# torn step-suffixed files behind and requires resume to sweep them.
 set -euo pipefail
 
 TRAIN_CLI="$1"
@@ -51,6 +54,43 @@ run_leg() {
 
 run_leg single --prefetch-workers=2
 run_leg dist2 --ranks=2 --prefetch-workers=2
+
+# Background-checkpointing legs: identical protocol through --async-ckpt
+# (the committed bytes must behave exactly like a synchronous snapshot).
+run_leg async --prefetch-workers=2 --async-ckpt
+run_leg async2 --ranks=2 --prefetch-workers=2 --async-ckpt --keep-last=2
+
+# Kill-during-background-save: fabricate the debris an async save killed
+# before its manifest rename leaves behind (step-suffixed files newer than
+# the committed step plus a *.tmp staging file) and require resume to sweep
+# it and still reproduce the straight run bit-for-bit.
+ASYNC_CKPT="${WORK}/ckpt-asynckill"
+"${TRAIN_CLI}" --config=small --scale-rows=256 --scale-batch=32 \
+    --print-step-losses --prefetch-workers=2 --iters=9 --checkpoint-dir="${ASYNC_CKPT}" \
+    --save-every=6 --async-ckpt > "${WORK}/asynckill-part1.log"
+printf 'torn' > "${ASYNC_CKPT}/rank-00000-s9.dlrmckpt"
+printf 'torn' > "${ASYNC_CKPT}/manifest-s9.dlrmckpt"
+printf 'torn' > "${ASYNC_CKPT}/stale.dlrmckpt.tmp"
+"${TRAIN_CLI}" --config=small --scale-rows=256 --scale-batch=32 \
+    --print-step-losses --prefetch-workers=2 --iters=12 --checkpoint-dir="${ASYNC_CKPT}" \
+    --resume > "${WORK}/asynckill-part2.log"
+grep '^resumed from' "${WORK}/asynckill-part2.log" | grep -q 'at step 6' || {
+  echo "FAIL(asynckill): resume ignored the committed step-6 snapshot" >&2
+  cat "${WORK}/asynckill-part2.log" >&2
+  exit 1
+}
+for debris in rank-00000-s9.dlrmckpt manifest-s9.dlrmckpt stale.dlrmckpt.tmp; do
+  [ ! -e "${ASYNC_CKPT}/${debris}" ] || {
+    echo "FAIL(asynckill): torn file ${debris} survived resume" >&2
+    exit 1
+  }
+done
+grep '^STEP_LOSS' "${WORK}/asynckill-part2.log" > "${WORK}/asynckill-resumed.steps"
+if ! diff "${WORK}/single-straight.tail" "${WORK}/asynckill-resumed.steps"; then
+  echo "FAIL(asynckill): resume after torn-file sweep diverges" >&2
+  exit 1
+fi
+echo "leg asynckill: torn files swept, resumed steps 7-12 bit-identical"
 
 # Single-process leg bookkeeping for the summary check below.
 cp "${WORK}/single-straight.tail" "${WORK}/straight.tail"

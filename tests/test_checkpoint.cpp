@@ -76,7 +76,7 @@ TEST(CkptFormat, ByteWriterReaderRoundTrip) {
   w.str("hello");
   w.vec_i64({3, 1, 4, 1, 5});
 
-  ckpt::ByteReader r(w.data().data(), w.data().size(), "test");
+  ckpt::ByteReader r(w.data(), w.size(), "test");
   EXPECT_EQ(r.u8(), 7);
   EXPECT_EQ(r.u32(), 0xDEADBEEFu);
   EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
@@ -407,7 +407,8 @@ TEST_F(CkptNegativeTest, HugeSectionLengthFails) {
   file.u64(0xFFFFFFFFFFFFFFFFull);  // declared payload length
   file.u32(0);                      // crc
   const std::string path = ckpt::manifest_path(dir_);
-  write_file(path, file.data());
+  write_file(path,
+             std::vector<unsigned char>(file.data(), file.data() + file.size()));
   expect_resume_error("truncated");
 }
 

@@ -1,0 +1,224 @@
+// Micro-batch gradient accumulation tests: an A-way accumulation window
+// must train (to tolerance) like the unsplit effective batch while the
+// model itself runs at batch/A (the ~A× activation-memory win), the split
+// must be deterministic (fixed fp32 summation order), the distributed
+// window must cost exactly ONE allreduce, and checkpoints taken under
+// accumulation must resume bit-exactly — and refuse a grad_accum change.
+#include "optim/accum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dist_trainer.hpp"
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+
+namespace dlrm {
+namespace {
+
+DlrmConfig tiny_config() {
+  DlrmConfig c;
+  c.name = "accum-tiny";
+  c.minibatch = 64;
+  c.global_batch_strong = 64;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {300, 200, 250, 150, 220, 180};
+  c.bottom_mlp = {12, 32, 16};
+  c.top_mlp = {32, 16, 1};
+  c.validate();
+  return c;
+}
+
+// Per-window losses of a single-process run at effective batch `batch`
+// split into `accum` micro-batches.
+std::vector<double> sp_losses(const DlrmConfig& c, const Dataset& data,
+                              std::int64_t batch, int accum, int windows,
+                              std::uint64_t seed = 42) {
+  DlrmModel model(c, {}, seed);
+  Trainer trainer(model, data,
+                  {.lr = 0.05f, .batch = batch, .seed = seed,
+                   .grad_accum = accum});
+  EXPECT_EQ(model.batch(), batch / accum);  // activations live at micro size
+  std::vector<double> out;
+  for (int i = 0; i < windows; ++i) out.push_back(trainer.train(1));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Single-process parity, determinism, footprint
+// ---------------------------------------------------------------------------
+
+using SpCase = std::tuple<int, Precision>;  // accum, mlp precision
+
+class GradAccumSpParityTest : public ::testing::TestWithParam<SpCase> {};
+
+TEST_P(GradAccumSpParityTest, WindowLossMatchesUnsplitBatch) {
+  const auto [A, precision] = GetParam();
+  DlrmConfig c = tiny_config();
+  c.mlp_precision = precision;
+  const int windows = 4;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  const std::vector<double> ref = sp_losses(c, data, c.minibatch, 1, windows);
+  const std::vector<double> acc = sp_losses(c, data, c.minibatch, A, windows);
+
+  // The dense window sum is mathematically the full-batch gradient, but the
+  // sparse rows update eagerly per micro-batch (micros later in the window
+  // see slightly newer embeddings) and bf16 additionally rounds the smaller
+  // per-micro payloads, so parity is to tolerance, not bitwise.
+  const double tol = precision == Precision::kBf16 ? 3e-2 : 1e-2;
+  for (int i = 0; i < windows; ++i) {
+    EXPECT_NEAR(acc[static_cast<std::size_t>(i)],
+                ref[static_cast<std::size_t>(i)], tol)
+        << "window " << i << " A=" << A;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GradAccumSpParityTest,
+    ::testing::Values(SpCase{2, Precision::kFp32}, SpCase{4, Precision::kFp32},
+                      SpCase{2, Precision::kBf16},
+                      SpCase{4, Precision::kBf16}),
+    [](const ::testing::TestParamInfo<SpCase>& tpi) {
+      return "A" + std::to_string(std::get<0>(tpi.param)) + "_" +
+             std::string(to_string(std::get<1>(tpi.param)));
+    });
+
+// Fixed summation order: the accumulated path must be run-to-run bitwise
+// deterministic, not merely close.
+TEST(GradAccum, DeterministicAcrossRuns) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const std::vector<double> a = sp_losses(c, data, c.minibatch, 4, 5);
+  const std::vector<double> b = sp_losses(c, data, c.minibatch, 4, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GradAccum, RejectsIndivisibleWindow) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  DlrmModel model(c, {}, 42);
+  EXPECT_THROW(Trainer(model, data, {.batch = 64, .grad_accum = 3}),
+               CheckError);
+  EXPECT_THROW(Trainer(model, data, {.batch = 64, .grad_accum = 0}),
+               CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed parity and allreduce frequency
+// ---------------------------------------------------------------------------
+
+using DistCase = std::tuple<int, Precision>;  // ranks, mlp precision
+
+class GradAccumDistParityTest : public ::testing::TestWithParam<DistCase> {};
+
+// R ranks x A micro-batches vs the same R-rank run without accumulation:
+// the only deltas are the in-window effects tested above, so the same
+// tolerances apply at every rank count.
+TEST_P(GradAccumDistParityTest, WindowLossMatchesUnsplitAtSameRanks) {
+  const auto [R, precision] = GetParam();
+  DlrmConfig c = tiny_config();
+  c.mlp_precision = precision;
+  const std::int64_t GN = 64;
+  const int windows = 4;
+  const std::uint64_t seed = 77;
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const DlrmConfig& cc = c;
+
+  auto run = [&](int accum) {
+    std::vector<double> losses(static_cast<std::size_t>(windows), 0.0);
+    run_ranks(R, 2, [&](ThreadComm& comm) {
+      DistributedTrainerOptions opts;
+      opts.lr = 0.05f;
+      opts.global_batch = GN;
+      opts.seed = seed;
+      opts.grad_accum = accum;
+      auto backend = QueueBackend::ccl_like(2);
+      DistributedTrainer trainer(cc, data, comm, backend.get(), opts);
+      EXPECT_EQ(trainer.global_batch(), GN);  // effective, regardless of A
+      EXPECT_EQ(trainer.model().global_batch(), GN / accum);
+      for (int i = 0; i < windows; ++i) {
+        const double loss = trainer.train(1);
+        if (comm.rank() == 0) losses[static_cast<std::size_t>(i)] = loss;
+      }
+      // One optimizer step per window, exactly one allreduce each.
+      EXPECT_EQ(trainer.model().allreduce_runs(), windows);
+    });
+    return losses;
+  };
+
+  const std::vector<double> ref = run(1);
+  const double tol = precision == Precision::kBf16 ? 3e-2 : 1e-2;
+  for (const int A : {2, 4}) {
+    const std::vector<double> acc = run(A);
+    for (int i = 0; i < windows; ++i) {
+      EXPECT_NEAR(acc[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(i)], tol)
+          << "window " << i << " R=" << R << " A=" << A;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GradAccumDistParityTest,
+    ::testing::Values(DistCase{1, Precision::kFp32},
+                      DistCase{2, Precision::kFp32},
+                      DistCase{4, Precision::kFp32},
+                      DistCase{1, Precision::kBf16},
+                      DistCase{2, Precision::kBf16},
+                      DistCase{4, Precision::kBf16}),
+    [](const ::testing::TestParamInfo<DistCase>& tpi) {
+      return "R" + std::to_string(std::get<0>(tpi.param)) + "_" +
+             std::string(to_string(std::get<1>(tpi.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Checkpointing under accumulation
+// ---------------------------------------------------------------------------
+
+TEST(GradAccum, CheckpointResumesBitExactAndRefusesWindowChange) {
+  const DlrmConfig c = tiny_config();
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dlrm_accum_ckpt").string();
+  std::filesystem::remove_all(dir);
+
+  const std::vector<double> straight = sp_losses(c, data, c.minibatch, 2, 4);
+  {
+    DlrmModel model(c, {}, 42);
+    Trainer trainer(model, data,
+                    {.lr = 0.05f, .batch = c.minibatch, .grad_accum = 2});
+    trainer.train(2);
+    trainer.save_checkpoint(dir);
+  }
+  {
+    DlrmModel model(c, {}, 9);
+    Trainer trainer(model, data,
+                    {.lr = 0.05f, .batch = c.minibatch, .grad_accum = 2});
+    ASSERT_TRUE(trainer.resume_from(dir));
+    ASSERT_EQ(trainer.iterations_done(), 2);
+    // The saved cursor repositions the stream at window granularity, so the
+    // continued run replays the exact micro-batches of the straight run.
+    for (int i = 2; i < 4; ++i) {
+      EXPECT_EQ(trainer.train(1), straight[static_cast<std::size_t>(i)])
+          << "window " << i;
+    }
+  }
+  {
+    // Same effective batch, different window split: the data cursor no
+    // longer matches step * grad_accum, so resume must refuse instead of
+    // silently replaying or skipping micro-batches.
+    DlrmModel model(c, {}, 9);
+    Trainer trainer(model, data, {.lr = 0.05f, .batch = c.minibatch});
+    EXPECT_THROW(trainer.resume_from(dir), CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace dlrm
