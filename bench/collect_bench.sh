@@ -1,19 +1,20 @@
 #!/usr/bin/env bash
 # Runs a set of benchmark binaries and aggregates every BENCH_JSON row they
-# emit into one machine-readable file (default BENCH_PR8.json: a JSON array,
+# emit into one machine-readable file (default BENCH_PR9.json: a JSON array,
 # one element per row, each annotated with the binary it came from).
 #
 #   $ bench/collect_bench.sh <build-dir> [out.json] [bench ...]
 #
-# With no bench names, runs the PR 8 headline set: checkpoint I/O (sync save
-# cost vs async exposed stall), the serving policy sweep (including the pow2
-# bucketed policy), and the single-socket training throughput row the stall
+# With no bench names, runs the PR 9 headline set: checkpoint I/O (sync save
+# cost vs async exposed stall), the serving sweep — policy cells plus the
+# 2-class admission-control overload (controller off/on) and the sharded-tier
+# replay rows — and the single-socket training throughput row the stall
 # numbers are read against. Any bench binary that emits BENCH_JSON rows can
 # be named explicitly instead. Raw logs land next to the output file.
 set -euo pipefail
 
 BUILD_DIR="${1:?usage: collect_bench.sh <build-dir> [out.json] [bench ...]}"
-OUT="${2:-BENCH_PR8.json}"
+OUT="${2:-BENCH_PR9.json}"
 shift || true
 [ "$#" -gt 0 ] && shift || true
 BENCHES=("$@")

@@ -38,8 +38,11 @@ echo "==== Debug + TSan concurrency pass (prefetch/comm/ddp/exchange/sharding) =
 # and the shared Profiler. test_async_ckpt races the training thread
 # against the per-rank background checkpoint writers (staging handoff,
 # back-pressure, cross-rank commit group); test_grad_accum runs the
-# accumulation window across the multi-rank trainers.
-TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding|test_emb_cache|test_rebalance|test_serving|test_async_ckpt|test_grad_accum'
+# accumulation window across the multi-rank trainers. test_sharded_serving
+# races the R serving-rank threads (broadcast/gather per micro-batch), the
+# load generator, the admission-controlled queue, and the sharded snapshot
+# handover.
+TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding|test_emb_cache|test_rebalance|test_serving|test_sharded_serving|test_async_ckpt|test_grad_accum'
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDLRM_SANITIZE=thread \
@@ -49,7 +52,7 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "${JOBS}" \
   --target test_prefetch test_prefetch_workers test_comm test_ddp \
            test_exchange test_sharding test_emb_cache test_rebalance \
-           test_serving test_async_ckpt test_grad_accum
+           test_serving test_sharded_serving test_async_ckpt test_grad_accum
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan -R "${TSAN_SUITES}" --output-on-failure \
         -j "${JOBS}" --timeout 1800

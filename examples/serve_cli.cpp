@@ -5,18 +5,32 @@
 //                 --max-batch=32 --max-wait-us=1000 [--queue-cap=N]
 //                 [--slo-ms=X] [--drop-when-full] [--train-iters=N]
 //                 [--publish-every=N] [--checkpoint-dir=DIR]
-//                 [--check-serving] [--profile]
+//                 [--serve-ranks=R] [--serve-sharding=round_robin|row_split]
+//                 [--row-split-threshold=N] [--slo-class-mix=F]
+//                 [--p99-target-us=X] [--check-serving] [--profile]
 //
 // Trains the model briefly (--train-iters) to get non-trivial weights,
-// publishes them into a ModelSnapshot, then drives the InferenceEngine
-// with an open-loop Poisson load generator (Zipf-skewed keys) and prints
-// the latency percentiles plus one BENCH_JSON row. With --checkpoint-dir
-// the snapshot is restored from an existing checkpoint instead (any saved
-// geometry). --publish-every=N republishes fresh weights every N served
-// requests while training continues — the serve-while-training loop, with
-// snapshots handed over at micro-batch boundaries. --check-serving exits
-// nonzero unless every submitted request was answered and the batched
-// scores match per-request offline forwards bit-for-bit (CI smoke).
+// publishes them into a snapshot, then drives the engine with an open-loop
+// Poisson load generator (Zipf-skewed keys) and prints the latency
+// percentiles plus one BENCH_JSON row. With --checkpoint-dir the snapshot
+// is restored from an existing checkpoint instead (any saved geometry).
+// --publish-every=N republishes fresh weights every N served requests
+// while training continues — the serve-while-training loop, with snapshots
+// handed over at micro-batch boundaries.
+//
+// --serve-ranks=R > 1 serves through the model-parallel sharded tier: R
+// serving ranks over a ThreadComm, each holding only its plan shards
+// (--serve-sharding picks the geometry), with embedding lookups fanned out
+// and gathered per micro-batch. Results are bit-identical to the
+// single-process engine. --slo-class-mix=F marks a (1-F) fraction of the
+// generated load as batch class; --p99-target-us arms the admission
+// controller, which defers and then sheds batch traffic whenever the
+// measured rolling interactive p99 approaches the target (hysteresis
+// re-admission on recovery).
+//
+// --check-serving exits nonzero unless the request accounting closes
+// (served + rejected + shed == generated) and the served scores match
+// per-request offline forwards bit-for-bit (CI smoke).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -29,9 +43,11 @@
 
 #include "common/timer.hpp"
 #include "core/config.hpp"
+#include "core/sharding.hpp"
 #include "core/trainer.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/sharded.hpp"
 #include "serve/snapshot.hpp"
 #include "stats/profiler.hpp"
 
@@ -56,6 +72,11 @@ struct Args {
   int train_iters = 8;
   std::int64_t publish_every = 0;  // 0 = serve one frozen snapshot
   std::string checkpoint_dir;
+  int serve_ranks = 1;
+  std::string serve_sharding = "round_robin";
+  std::int64_t row_split_threshold = 0;  // <= 0: ceil(total_rows / ranks)
+  double slo_class_mix = 1.0;            // interactive fraction
+  double p99_target_us = 0.0;            // 0 disables admission control
   bool check_serving = false;
   bool profile = false;
 };
@@ -86,6 +107,11 @@ Args parse_args(int argc, char** argv) {
     else if (parse_flag(argv[i], "--train-iters", &v)) a.train_iters = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--publish-every", &v)) a.publish_every = std::atoll(v.c_str());
     else if (parse_flag(argv[i], "--checkpoint-dir", &v)) a.checkpoint_dir = v;
+    else if (parse_flag(argv[i], "--serve-ranks", &v)) a.serve_ranks = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--serve-sharding", &v)) a.serve_sharding = v;
+    else if (parse_flag(argv[i], "--row-split-threshold", &v)) a.row_split_threshold = std::atoll(v.c_str());
+    else if (parse_flag(argv[i], "--slo-class-mix", &v)) a.slo_class_mix = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--p99-target-us", &v)) a.p99_target_us = std::atof(v.c_str());
     else if (std::strcmp(argv[i], "--bucket-batches") == 0) a.bucket_batches = true;
     else if (std::strcmp(argv[i], "--drop-when-full") == 0) a.drop_when_full = true;
     else if (std::strcmp(argv[i], "--check-serving") == 0) a.check_serving = true;
@@ -110,52 +136,37 @@ DlrmConfig pick_config(const Args& a) {
   return c.scaled_down(a.scale_rows, a.scale_batch);
 }
 
-int run(const Args& args) {
-  const DlrmConfig c = pick_config(args);
-  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
-
-  DlrmModel model(c, {}, /*seed=*/21);
-  Trainer trainer(model, data, {.lr = 0.05f, .batch = c.minibatch});
-  serve::ModelSnapshot snapA(c, {}), snapB(c, {});
-  if (!args.checkpoint_dir.empty()) {
-    snapA.publish_from_checkpoint(args.checkpoint_dir);
-    std::printf("restored snapshot version %lld from %s\n",
-                static_cast<long long>(snapA.version()),
-                args.checkpoint_dir.c_str());
-  } else {
-    trainer.train(args.train_iters);
-    snapA.publish_from(model, trainer.iterations_done());
+ShardingPlan pick_plan(const Args& a, const DlrmConfig& c) {
+  if (a.serve_sharding == "round_robin") {
+    return ShardingPlan::round_robin(c.table_rows, a.serve_ranks);
   }
+  if (a.serve_sharding == "row_split") {
+    const std::vector<double> costs(c.table_rows.size(), 1.0);
+    return ShardingPlan::row_split(c.table_rows, a.serve_ranks, costs,
+                                   a.row_split_threshold);
+  }
+  std::fprintf(stderr, "unknown serve sharding: %s\n",
+               a.serve_sharding.c_str());
+  std::exit(2);
+}
 
-  Profiler prof;
-  serve::EngineOptions eopts;
-  eopts.policy = {.max_batch = args.max_batch, .max_wait_us = args.max_wait_us};
-  eopts.queue_capacity = args.queue_cap;
-  eopts.slo_ms = args.slo_ms;
-  eopts.bucket_batches = args.bucket_batches;
-  serve::InferenceEngine engine(snapA, data, eopts,
-                                args.profile ? &prof : nullptr);
+/// Drives one engine (single-process or sharded — identical member
+/// surface) through the Poisson load, optionally republishing fresh
+/// weights from `trainer` into the idle snapshot buffer.
+template <class Engine, class Snapshot>
+void drive(const Args& args, Engine& engine, Snapshot& snapA, Snapshot& snapB,
+           DlrmModel& model, Trainer& trainer, serve::PoissonLoadGen& gen) {
   engine.start();
-
-  serve::LoadGenOptions lopts;
-  lopts.qps = args.qps;
-  lopts.requests = args.requests;
-  lopts.fanout = args.fanout;
-  lopts.key_space = args.key_space;
-  lopts.zipf_s = args.zipf;
-  lopts.drop_when_full = args.drop_when_full;
-  serve::PoissonLoadGen gen(engine, lopts);
-
   if (args.publish_every > 0 && args.checkpoint_dir.empty()) {
     // Serve-while-training: load on this thread, training + publication on
     // another, double-buffered snapshots handed over at batch boundaries.
     std::atomic<bool> done{false};
     std::thread publisher([&] {
-      serve::ModelSnapshot* snaps[2] = {&snapA, &snapB};
+      Snapshot* snaps[2] = {&snapA, &snapB};
       int pub = 0;
       while (!done.load()) {
         trainer.train(1);
-        serve::ModelSnapshot* idle = snaps[(++pub) % 2];
+        Snapshot* idle = snaps[(++pub) % 2];
         idle->publish_from(model, trainer.iterations_done());
         engine.set_snapshot(idle);
         // The retired buffer is only reusable once the handover is
@@ -174,66 +185,180 @@ int run(const Args& args) {
     gen.run();
   }
   engine.stop();
+}
 
-  const serve::ServeStats s = engine.stats();
+void print_summary(const Args& args, const serve::ServeStats& s) {
   std::printf(
       "served %lld requests (%lld samples) in %.3f s: %.0f req/s, "
       "batch mean %.1f\n",
       static_cast<long long>(s.requests), static_cast<long long>(s.samples),
       s.wall_sec, s.throughput_rps, s.mean_batch);
   std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  "
-              "(SLO %.1f ms violated %lld, rejected %lld)\n",
+              "(SLO %.1f ms violated %lld, rejected %lld, shed %lld)\n",
               s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms, args.slo_ms,
               static_cast<long long>(s.slo_violations),
-              static_cast<long long>(s.rejected));
+              static_cast<long long>(s.rejected),
+              static_cast<long long>(s.shed));
+  if (args.slo_class_mix < 1.0 || args.p99_target_us > 0.0) {
+    for (int c = 0; c < serve::kNumSloClasses; ++c) {
+      const auto& cs = s.by_class[static_cast<std::size_t>(c)];
+      std::printf(
+          "  class %-11s admitted %lld served %lld shed %lld deferred %lld"
+          "  p50 %.3f  p95 %.3f  p99 %.3f ms\n",
+          serve::to_string(static_cast<serve::SloClass>(c)),
+          static_cast<long long>(cs.admitted),
+          static_cast<long long>(cs.served), static_cast<long long>(cs.shed),
+          static_cast<long long>(cs.deferred), cs.p50_ms, cs.p95_ms,
+          cs.p99_ms);
+    }
+    if (args.p99_target_us > 0.0) {
+      std::printf("  admission: state %s, rolling interactive p99 %.3f ms "
+                  "(target %.3f ms)\n",
+                  serve::to_string(s.admission_state), s.admission_p99_ms,
+                  args.p99_target_us * 1e-3);
+    }
+  }
   std::printf(
       "BENCH_JSON {\"bench\":\"serve_cli\",\"qps_offered\":%g,"
       "\"max_batch\":%lld,\"max_wait_us\":%lld,\"requests\":%lld,"
+      "\"serve_ranks\":%d,\"sharding\":\"%s\",\"interactive_frac\":%g,"
+      "\"p99_target_us\":%g,"
       "\"p50_ms\":%.6g,\"p95_ms\":%.6g,\"p99_ms\":%.6g,"
+      "\"interactive_p99_ms\":%.6g,\"batch_p99_ms\":%.6g,"
       "\"throughput_rps\":%.6g,\"mean_batch\":%.6g,\"slo_violations\":%lld,"
-      "\"rejected\":%lld}\n",
+      "\"rejected\":%lld,\"shed\":%lld,\"deferred\":%lld,"
+      "\"admission_state\":\"%s\"}\n",
       args.qps, static_cast<long long>(args.max_batch),
       static_cast<long long>(args.max_wait_us),
-      static_cast<long long>(s.requests), s.p50_ms, s.p95_ms, s.p99_ms,
+      static_cast<long long>(s.requests), args.serve_ranks,
+      args.serve_sharding.c_str(), args.slo_class_mix, args.p99_target_us,
+      s.p50_ms, s.p95_ms, s.p99_ms, s.by_class[0].p99_ms, s.by_class[1].p99_ms,
       s.throughput_rps, s.mean_batch, static_cast<long long>(s.slo_violations),
-      static_cast<long long>(s.rejected));
-  if (args.profile) std::printf("%s", prof.report().c_str());
+      static_cast<long long>(s.rejected), static_cast<long long>(s.shed),
+      static_cast<long long>(s.by_class[1].deferred),
+      serve::to_string(s.admission_state));
+}
 
+int check_serving(const Args& args, const serve::ServeStats& s,
+                  const std::vector<serve::Response>& responses,
+                  const serve::LoadGenOptions& lopts,
+                  serve::ModelSnapshot& offline_snap, const Dataset& data) {
+  if (s.requests + s.rejected + s.shed != args.requests || s.requests < 1) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: %lld answered + %lld rejected + %lld shed "
+                 "!= %lld submitted\n",
+                 static_cast<long long>(s.requests),
+                 static_cast<long long>(s.rejected),
+                 static_cast<long long>(s.shed),
+                 static_cast<long long>(args.requests));
+    return 1;
+  }
+  // Bit-exactness: every served score must equal an offline per-request
+  // forward on the final snapshot. Only valid for a frozen snapshot. The
+  // offline reference is always the *single-process* snapshot, so for
+  // --serve-ranks > 1 this doubles as the sharded-parity check.
+  if (args.publish_every == 0) {
+    const std::vector<serve::Request> trace = serve::make_trace(lopts);
+    std::map<std::int64_t, float> offline;
+    MiniBatch mb;
+    for (const serve::Request& r : trace) {
+      data.fill(r.key, r.fanout, mb);
+      offline[r.id] = offline_snap.forward(mb)[0];
+    }
+    for (const serve::Response& r : responses) {
+      if (offline.at(r.id) != r.score0) {
+        std::fprintf(
+            stderr,
+            "CHECK FAILED: request %lld served %.9g != offline %.9g\n",
+            static_cast<long long>(r.id), static_cast<double>(r.score0),
+            static_cast<double>(offline.at(r.id)));
+        return 1;
+      }
+    }
+  }
+  std::printf("CHECK OK: all requests accounted%s\n",
+              args.publish_every == 0 ? ", scores match offline forwards"
+                                      : "");
+  return 0;
+}
+
+int run(const Args& args) {
+  const DlrmConfig c = pick_config(args);
+  RandomDataset data(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+
+  DlrmModel model(c, {}, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = c.minibatch});
+  // The single-process snapshot always exists: it serves when
+  // --serve-ranks=1 and is the offline reference for --check-serving.
+  serve::ModelSnapshot snapA(c, {}), snapB(c, {});
+  if (!args.checkpoint_dir.empty()) {
+    snapA.publish_from_checkpoint(args.checkpoint_dir);
+    std::printf("restored snapshot version %lld from %s\n",
+                static_cast<long long>(snapA.version()),
+                args.checkpoint_dir.c_str());
+  } else {
+    trainer.train(args.train_iters);
+    snapA.publish_from(model, trainer.iterations_done());
+  }
+
+  Profiler prof;
+  Profiler* profp = args.profile ? &prof : nullptr;
+
+  serve::LoadGenOptions lopts;
+  lopts.qps = args.qps;
+  lopts.requests = args.requests;
+  lopts.fanout = args.fanout;
+  lopts.key_space = args.key_space;
+  lopts.zipf_s = args.zipf;
+  lopts.drop_when_full = args.drop_when_full;
+  lopts.interactive_frac = args.slo_class_mix;
+
+  serve::AdmissionOptions admission;
+  admission.p99_target_ms = args.p99_target_us * 1e-3;
+
+  serve::ServeStats s;
+  std::vector<serve::Response> responses;
+  if (args.serve_ranks > 1) {
+    const ShardingPlan plan = pick_plan(args, c);
+    std::printf("sharded serving: %d ranks, %lld shards (%s)\n",
+                args.serve_ranks, static_cast<long long>(plan.num_shards()),
+                args.serve_sharding.c_str());
+    serve::ShardedSnapshot shardA(c, {}, plan), shardB(c, {}, plan);
+    if (!args.checkpoint_dir.empty()) {
+      shardA.publish_from_checkpoint(args.checkpoint_dir);
+    } else {
+      shardA.publish_from(model, trainer.iterations_done());
+    }
+    serve::ShardedEngineOptions eopts;
+    eopts.policy = {.max_batch = args.max_batch,
+                    .max_wait_us = args.max_wait_us};
+    eopts.queue_capacity = args.queue_cap;
+    eopts.slo_ms = args.slo_ms;
+    eopts.admission = admission;
+    serve::ShardedInferenceEngine engine(shardA, data, eopts, profp);
+    serve::PoissonLoadGen gen(engine, lopts);
+    drive(args, engine, shardA, shardB, model, trainer, gen);
+    s = engine.stats();
+    responses = engine.responses();
+  } else {
+    serve::EngineOptions eopts;
+    eopts.policy = {.max_batch = args.max_batch,
+                    .max_wait_us = args.max_wait_us};
+    eopts.queue_capacity = args.queue_cap;
+    eopts.slo_ms = args.slo_ms;
+    eopts.bucket_batches = args.bucket_batches;
+    eopts.admission = admission;
+    serve::InferenceEngine engine(snapA, data, eopts, profp);
+    serve::PoissonLoadGen gen(engine, lopts);
+    drive(args, engine, snapA, snapB, model, trainer, gen);
+    s = engine.stats();
+    responses = engine.responses();
+  }
+
+  print_summary(args, s);
+  if (args.profile) std::printf("%s", prof.report().c_str());
   if (args.check_serving) {
-    if (s.requests + s.rejected != args.requests || s.requests < 1) {
-      std::fprintf(stderr, "CHECK FAILED: %lld answered + %lld rejected != "
-                           "%lld submitted\n",
-                   static_cast<long long>(s.requests),
-                   static_cast<long long>(s.rejected),
-                   static_cast<long long>(args.requests));
-      return 1;
-    }
-    // Bit-exactness: every served score must equal an offline per-request
-    // forward on the final snapshot. Only valid for a frozen snapshot.
-    if (args.publish_every == 0) {
-      const std::vector<serve::Request> trace = serve::make_trace(lopts);
-      std::map<std::int64_t, float> offline;
-      MiniBatch mb;
-      serve::ModelSnapshot& snap = snapA;
-      for (const serve::Request& r : trace) {
-        data.fill(r.key, r.fanout, mb);
-        offline[r.id] = snap.forward(mb)[0];
-      }
-      for (const serve::Response& r : engine.responses()) {
-        if (offline.at(r.id) != r.score0) {
-          std::fprintf(stderr,
-                       "CHECK FAILED: request %lld served %.9g != offline "
-                       "%.9g\n",
-                       static_cast<long long>(r.id),
-                       static_cast<double>(r.score0),
-                       static_cast<double>(offline.at(r.id)));
-          return 1;
-        }
-      }
-    }
-    std::printf("CHECK OK: all requests served%s\n",
-                args.publish_every == 0 ? ", scores match offline forwards"
-                                        : "");
+    return check_serving(args, s, responses, lopts, snapA, data);
   }
   return 0;
 }

@@ -262,6 +262,20 @@ void ThreadComm::broadcast_seq(std::uint64_t seq, float* data, std::int64_t n,
   world_->release(seq, ctx);
 }
 
+void ThreadComm::broadcast_i64_seq(std::uint64_t seq, std::int64_t* data,
+                                   std::int64_t n, int root) {
+  auto ctx = world_->context(seq);
+  if (rank_ == root) ctx->send64[static_cast<std::size_t>(rank_)] = data;
+  ctx->barrier.arrive_and_wait();
+  if (rank_ != root) {
+    const std::int64_t* __restrict__ src =
+        ctx->send64[static_cast<std::size_t>(root)];
+    for (std::int64_t i = 0; i < n; ++i) data[i] = src[i];
+  }
+  ctx->barrier.arrive_and_wait();
+  world_->release(seq, ctx);
+}
+
 void ThreadComm::scatter_seq(std::uint64_t seq, const float* send, float* recv,
                              std::int64_t chunk, int root) {
   auto ctx = world_->context(seq);

@@ -55,6 +55,7 @@ class CommWorld {
           recv(static_cast<std::size_t>(ranks), nullptr),
           send16(static_cast<std::size_t>(ranks), nullptr),
           recv16(static_cast<std::size_t>(ranks), nullptr),
+          send64(static_cast<std::size_t>(ranks), nullptr),
           counts(static_cast<std::size_t>(ranks), nullptr),
           displs(static_cast<std::size_t>(ranks), nullptr) {}
     SpinBarrier barrier;
@@ -62,6 +63,7 @@ class CommWorld {
     std::vector<float*> recv;
     std::vector<const std::uint16_t*> send16;  // bf16-payload collectives
     std::vector<std::uint16_t*> recv16;
+    std::vector<const std::int64_t*> send64;  // i64-payload collectives
     std::vector<const std::int64_t*> counts;  // alltoallv layouts
     std::vector<const std::int64_t*> displs;
     std::atomic<int> finished{0};
@@ -129,6 +131,11 @@ class ThreadComm {
 
   void broadcast(float* data, std::int64_t n, int root) {
     broadcast_seq(ticket(), data, n, root);
+  }
+
+  /// Broadcast of an int64 payload (batch headers / index metadata).
+  void broadcast_i64(std::int64_t* data, std::int64_t n, int root) {
+    broadcast_i64_seq(ticket(), data, n, root);
   }
 
   /// Root sends chunk p of `send` ([R*chunk] floats) to each peer's recv
@@ -209,6 +216,8 @@ class ThreadComm {
                      float* recv, const std::int64_t* rcounts,
                      const std::int64_t* rdispls);
   void broadcast_seq(std::uint64_t seq, float* data, std::int64_t n, int root);
+  void broadcast_i64_seq(std::uint64_t seq, std::int64_t* data, std::int64_t n,
+                         int root);
   void scatter_seq(std::uint64_t seq, const float* send, float* recv,
                    std::int64_t chunk, int root);
   void gather_seq(std::uint64_t seq, const float* send, float* recv,

@@ -10,22 +10,13 @@
 
 namespace dlrm::serve {
 
-namespace {
-
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto n = static_cast<double>(sorted.size());
-  auto rank = static_cast<std::size_t>(std::ceil(q * n));
-  if (rank > 0) --rank;  // nearest-rank, 1-based -> 0-based
-  if (rank >= sorted.size()) rank = sorted.size() - 1;
-  return sorted[rank];
-}
-
-}  // namespace
-
 InferenceEngine::InferenceEngine(ModelSnapshot& snapshot, const Dataset& data,
                                  EngineOptions options, Profiler* prof)
-    : snap_(&snapshot), data_(data), options_(options), prof_(prof) {
+    : snap_(&snapshot),
+      data_(data),
+      options_(options),
+      prof_(prof),
+      queue_(options.queue_capacity, options.admission) {
   DLRM_CHECK(options_.policy.max_batch >= 1, "max_batch must be >= 1");
   DLRM_CHECK(options_.queue_capacity >= 1, "queue_capacity must be >= 1");
 }
@@ -34,10 +25,7 @@ InferenceEngine::~InferenceEngine() { stop(); }
 
 void InferenceEngine::start() {
   DLRM_CHECK(!running_, "engine already running");
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = false;
-  }
+  queue_.open();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     wall_start_ = now_sec();
@@ -49,12 +37,7 @@ void InferenceEngine::start() {
 
 void InferenceEngine::stop() {
   if (!running_) return;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
-  }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  queue_.close();
   batcher_.join();
   running_ = false;
   {
@@ -72,32 +55,43 @@ void InferenceEngine::stop() {
 }
 
 bool InferenceEngine::submit(Request r) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [&] {
-    return closed_ ||
-           static_cast<std::int64_t>(queue_.size()) < options_.queue_capacity;
-  });
-  if (closed_) return false;
-  queue_.push_back(r);
-  lock.unlock();
-  not_empty_.notify_one();
-  return true;
+  switch (queue_.submit(r, /*blocking=*/true)) {
+    case SubmitResult::kOk:
+      return true;
+    case SubmitResult::kShed:
+      note_refused(r);
+      return false;
+    default:  // kClosed (kFull cannot happen when blocking)
+      return false;
+  }
 }
 
 bool InferenceEngine::try_submit(Request r) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closed_) return false;
-    if (static_cast<std::int64_t>(queue_.size()) >= options_.queue_capacity) {
+  switch (queue_.submit(r, /*blocking=*/false)) {
+    case SubmitResult::kOk:
+      return true;
+    case SubmitResult::kShed:
+      note_refused(r);
+      return false;
+    case SubmitResult::kFull: {
       // Load shed: only a full OPEN queue counts as a rejection.
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++rejected_;
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++rejected_;
+      }
+      note_refused(r);
       return false;
     }
-    queue_.push_back(r);
+    default:  // kClosed: refused without accounting
+      return false;
   }
-  not_empty_.notify_one();
-  return true;
+}
+
+void InferenceEngine::note_refused(const Request& r) {
+  const double lat_ms = (now_sec() - r.submit_sec) * 1e3;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latencies_ms_.push_back(lat_ms);
+  if (lat_ms > options_.slo_ms) ++slo_violations_;
 }
 
 void InferenceEngine::set_snapshot(ModelSnapshot* snap) {
@@ -118,46 +112,13 @@ bool InferenceEngine::wait_snapshot_swapped(double timeout_sec) {
 }
 
 void InferenceEngine::batcher_loop() {
-  const auto& policy = options_.policy;
+  // collect_batch blocks for the first request, then lingers packing whole
+  // requests until the sample budget is hit or the wait window expires. A
+  // saturated queue fills the batch immediately, so the packing matches
+  // run_trace's greedy rule; strict class priority and admission deferral
+  // live inside RequestQueue.
   std::vector<Request> batch;
-  for (;;) {
-    batch.clear();
-    std::int64_t samples = 0;
-    {
-      // Block for the first request (or shutdown with a drained queue).
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // closed + drained
-      batch.push_back(queue_.front());
-      queue_.pop_front();
-      samples = batch.back().fanout;
-    }
-    not_full_.notify_one();
-
-    // Linger: pack whole requests until the sample budget is hit or the
-    // wait window expires. A saturated queue fills the batch immediately,
-    // so the packing matches run_trace's greedy rule.
-    const double deadline =
-        now_sec() + static_cast<double>(policy.max_wait_us) * 1e-6;
-    while (samples < policy.max_batch) {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (queue_.empty()) {
-        if (closed_) break;
-        const double rem = deadline - now_sec();
-        if (rem <= 0.0) break;
-        not_empty_.wait_for(lock, std::chrono::duration<double>(rem));
-        if (queue_.empty()) {
-          if (closed_ || now_sec() >= deadline) break;
-          continue;
-        }
-      }
-      if (samples + queue_.front().fanout > policy.max_batch) break;
-      batch.push_back(queue_.front());
-      queue_.pop_front();
-      samples += batch.back().fanout;
-      lock.unlock();
-      not_full_.notify_one();
-    }
+  while (collect_batch(queue_, options_.policy, batch)) {
     execute_batch(batch);
   }
 }
@@ -238,22 +199,33 @@ void InferenceEngine::execute_batch(const std::vector<Request>& reqs) {
   if (prof_ != nullptr) prof_->add("serve_forward", now_sec() - fwd0);
 
   const double done = now_sec();
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++batches_;
-  samples_ += total;
-  std::int64_t row = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++batches_;
+    samples_ += total;
+    std::int64_t row = 0;
+    for (const Request& r : reqs) {
+      Response resp;
+      resp.id = r.id;
+      resp.latency_ms = (done - r.submit_sec) * 1e3;
+      resp.batch = total;
+      resp.version = snap_->version();
+      resp.score0 = (*logits)[row];
+      resp.slo = r.slo;
+      const auto c = static_cast<std::size_t>(r.slo);
+      latencies_ms_.push_back(resp.latency_ms);
+      class_lat_[c].push_back(resp.latency_ms);
+      ++served_class_[c];
+      if (resp.latency_ms > options_.slo_ms) ++slo_violations_;
+      if (prof_ != nullptr) prof_->add("serve_latency", done - r.submit_sec);
+      responses_.push_back(resp);
+      row += r.fanout;
+    }
+  }
+  // Feed served latencies back to the admission controller outside the
+  // stats lock (record_latency takes the queue lock and wakes the drain).
   for (const Request& r : reqs) {
-    Response resp;
-    resp.id = r.id;
-    resp.latency_ms = (done - r.submit_sec) * 1e3;
-    resp.batch = total;
-    resp.version = snap_->version();
-    resp.score0 = (*logits)[row];
-    latencies_ms_.push_back(resp.latency_ms);
-    if (resp.latency_ms > options_.slo_ms) ++slo_violations_;
-    if (prof_ != nullptr) prof_->add("serve_latency", done - r.submit_sec);
-    responses_.push_back(resp);
-    row += r.fanout;
+    queue_.record_latency(r.slo, (done - r.submit_sec) * 1e3);
   }
 }
 
@@ -290,18 +262,23 @@ std::vector<Response> InferenceEngine::run_trace(
 }
 
 ServeStats InferenceEngine::stats() const {
+  // Queue-side state first (its own lock) to avoid nesting under stats_mu_.
+  const QueueCounters qc = queue_.counters();
+  const AdmissionState astate = queue_.admission_state();
+  const double ap99 = queue_.admission_p99_ms();
+
   std::lock_guard<std::mutex> lock(stats_mu_);
   ServeStats s;
-  s.requests = static_cast<std::int64_t>(latencies_ms_.size());
+  s.requests = static_cast<std::int64_t>(responses_.size());
   s.batches = batches_;
   s.samples = samples_;
   s.slo_violations = slo_violations_;
   s.rejected = rejected_;
   std::vector<double> sorted = latencies_ms_;
   std::sort(sorted.begin(), sorted.end());
-  s.p50_ms = percentile(sorted, 0.50);
-  s.p95_ms = percentile(sorted, 0.95);
-  s.p99_ms = percentile(sorted, 0.99);
+  s.p50_ms = percentile_nearest_rank(sorted, 0.50);
+  s.p95_ms = percentile_nearest_rank(sorted, 0.95);
+  s.p99_ms = percentile_nearest_rank(sorted, 0.99);
   s.max_ms = sorted.empty() ? 0.0 : sorted.back();
   s.mean_batch = batches_ > 0
                      ? static_cast<double>(samples_) / static_cast<double>(batches_)
@@ -309,6 +286,22 @@ ServeStats InferenceEngine::stats() const {
   const double end = wall_end_ > 0.0 ? wall_end_ : now_sec();
   s.wall_sec = std::max(1e-9, end - wall_start_);
   s.throughput_rps = static_cast<double>(s.requests) / s.wall_sec;
+  s.admission_state = astate;
+  s.admission_p99_ms = ap99;
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    auto& cs = s.by_class[static_cast<std::size_t>(c)];
+    cs.admitted = qc.admitted[static_cast<std::size_t>(c)];
+    cs.served = served_class_[static_cast<std::size_t>(c)];
+    cs.shed = qc.shed[static_cast<std::size_t>(c)];
+    cs.deferred = qc.deferred[static_cast<std::size_t>(c)];
+    std::vector<double> csorted = class_lat_[static_cast<std::size_t>(c)];
+    std::sort(csorted.begin(), csorted.end());
+    cs.p50_ms = percentile_nearest_rank(csorted, 0.50);
+    cs.p95_ms = percentile_nearest_rank(csorted, 0.95);
+    cs.p99_ms = percentile_nearest_rank(csorted, 0.99);
+    cs.max_ms = csorted.empty() ? 0.0 : csorted.back();
+    s.shed += cs.shed;
+  }
   return s;
 }
 
@@ -318,9 +311,12 @@ std::vector<Response> InferenceEngine::responses() const {
 }
 
 void InferenceEngine::reset_stats() {
+  queue_.reset_counters();
   std::lock_guard<std::mutex> lock(stats_mu_);
   responses_.clear();
   latencies_ms_.clear();
+  for (auto& v : class_lat_) v.clear();
+  served_class_.fill(0);
   batches_ = samples_ = slo_violations_ = rejected_ = 0;
   wall_start_ = now_sec();
   wall_end_ = 0.0;

@@ -16,27 +16,21 @@
 // mid-mutation.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "serve/admission.hpp"
 #include "serve/snapshot.hpp"
 #include "stats/profiler.hpp"
 
 namespace dlrm::serve {
 
-/// One scoring request: `key` addresses the deterministic sample stream
-/// (the request's user/context), `fanout` consecutive samples are scored.
-struct Request {
-  std::int64_t id = 0;
-  std::int64_t key = 0;
-  std::int64_t fanout = 1;
-  double submit_sec = 0.0;  // arrival stamp (open-loop: intended arrival)
-};
+// Request and the SLO-class machinery live in serve/admission.hpp.
 
 struct Response {
   std::int64_t id = 0;
@@ -44,6 +38,7 @@ struct Response {
   std::int64_t batch = 0;        // samples in the micro-batch that served it
   std::int64_t version = -1;     // snapshot version that scored it
   float score0 = 0.0f;           // logit of the request's first candidate
+  SloClass slo = SloClass::kInteractive;
 };
 
 struct BatchPolicy {
@@ -57,8 +52,11 @@ struct BatchPolicy {
 
 struct EngineOptions {
   BatchPolicy policy;
+  /// Bound per SLO class (each class gets its own queue of this depth).
   std::int64_t queue_capacity = 1024;
   double slo_ms = 5.0;
+  /// p99-driven batch-class shedding; disabled unless p99_target_ms > 0.
+  AdmissionOptions admission;
   /// Round every executed batch up to the next power of two (padding with
   /// copies of the batch's first sample; padded rows are scored and
   /// discarded). Dynamic batching produces a different size almost every
@@ -69,26 +67,42 @@ struct EngineOptions {
   bool bucket_batches = false;
 };
 
-/// Aggregate serving statistics; percentiles by nearest rank.
+/// Aggregate serving statistics; percentiles by nearest rank. The global
+/// percentiles cover every request with a timing record — served ones AND
+/// shed/rejected ones (scored against their intended-arrival stamp), so
+/// overload tails are not hidden by coordinated omission. Per-class
+/// percentiles cover served requests of that class only.
 struct ServeStats {
-  std::int64_t requests = 0;
+  struct ClassStats {
+    std::int64_t admitted = 0;  // accepted into the queue
+    std::int64_t served = 0;    // scored (responses)
+    std::int64_t shed = 0;      // refused by the admission controller
+    std::int64_t deferred = 0;  // held in queue while the controller deferred
+    double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+  };
+
+  std::int64_t requests = 0;  // served requests (== responses)
   std::int64_t batches = 0;
   std::int64_t samples = 0;
   std::int64_t slo_violations = 0;
   std::int64_t rejected = 0;  // try_submit refusals (queue full)
+  std::int64_t shed = 0;      // admission-controller refusals (all classes)
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
   double mean_batch = 0.0;
   double throughput_rps = 0.0;  // requests / wall between start() and stop()
   double wall_sec = 0.0;
+  AdmissionState admission_state = AdmissionState::kOpen;
+  double admission_p99_ms = 0.0;  // controller's rolling interactive p99
+  std::array<ClassStats, kNumSloClasses> by_class{};
 };
 
-class InferenceEngine {
+class InferenceEngine : public RequestSink {
  public:
   /// `snapshot` must outlive the engine (as must any snapshot later handed
   /// over via set_snapshot). `data` provides the request feature stream.
   InferenceEngine(ModelSnapshot& snapshot, const Dataset& data,
                   EngineOptions options, Profiler* prof = nullptr);
-  ~InferenceEngine();
+  ~InferenceEngine() override;
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
@@ -100,12 +114,15 @@ class InferenceEngine {
   void stop();
   bool running() const { return running_; }
 
-  /// Blocking enqueue (waits while the queue is full). Returns false once
-  /// the queue is closed.
-  bool submit(Request r);
-  /// Non-blocking enqueue; false (and `rejected` accounting) when full or
+  /// Blocking enqueue (waits while the class queue is full). Returns false
+  /// once the queue is closed, or when the admission controller sheds the
+  /// request (shed requests keep a timing record against their
+  /// intended-arrival stamp).
+  bool submit(Request r) override;
+  /// Non-blocking enqueue; false (and `rejected`/`shed` accounting plus a
+  /// timing record) when full or shed; false without accounting when
   /// closed.
-  bool try_submit(Request r);
+  bool try_submit(Request r) override;
 
   /// Hands over a freshly published snapshot; takes effect at the next
   /// micro-batch boundary. Safe to call while serving.
@@ -136,17 +153,18 @@ class InferenceEngine {
   /// Swaps in a pending snapshot, assembles one MiniBatch from `reqs`,
   /// forwards, and records responses + latency accounting.
   void execute_batch(const std::vector<Request>& reqs);
+  /// Timing record for a refused (shed / queue-full) request: latency
+  /// against the intended-arrival stamp, so overload percentiles keep the
+  /// worst requests (no coordinated omission in the shed path).
+  void note_refused(const Request& r);
 
   ModelSnapshot* snap_;
   const Dataset& data_;
   EngineOptions options_;
   Profiler* prof_;
 
-  // Request queue.
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_, not_full_;
-  std::deque<Request> queue_;
-  bool closed_ = true;
+  // Per-class request queues + admission control.
+  RequestQueue queue_;
 
   // Pending snapshot handover (swapped at batch boundaries; snap_cv_
   // signals adoption so publishers can reclaim the retired buffer).
@@ -157,7 +175,9 @@ class InferenceEngine {
   // Results + accounting.
   mutable std::mutex stats_mu_;
   std::vector<Response> responses_;
-  std::vector<double> latencies_ms_;
+  std::vector<double> latencies_ms_;  // served + refused timing records
+  std::array<std::vector<double>, kNumSloClasses> class_lat_;  // served only
+  std::array<std::int64_t, kNumSloClasses> served_class_{};
   std::int64_t batches_ = 0, samples_ = 0, slo_violations_ = 0, rejected_ = 0;
   double wall_start_ = 0.0, wall_end_ = 0.0;
 

@@ -17,13 +17,27 @@ double exp_gap(Rng& rng, double qps) {
   return -std::log(1.0 - rng.next_double()) / qps;
 }
 
+/// Class draw AFTER the key draw, and only when the mix is active, so an
+/// all-interactive trace consumes exactly the pre-class-mix RNG sequence.
+SloClass draw_class(Rng& rng, double interactive_frac) {
+  if (interactive_frac >= 1.0) return SloClass::kInteractive;
+  return rng.next_double() < interactive_frac ? SloClass::kInteractive
+                                              : SloClass::kBatch;
+}
+
+void check(const LoadGenOptions& o) {
+  DLRM_CHECK(o.qps > 0.0, "qps must be positive");
+  DLRM_CHECK(o.fanout >= 1, "fanout must be >= 1");
+  DLRM_CHECK(o.key_space >= 1, "key_space must be >= 1");
+  DLRM_CHECK(o.interactive_frac >= 0.0 && o.interactive_frac <= 1.0,
+             "interactive_frac must be in [0, 1]");
+}
+
 }  // namespace
 
-PoissonLoadGen::PoissonLoadGen(InferenceEngine& engine, LoadGenOptions options)
-    : engine_(engine), options_(options) {
-  DLRM_CHECK(options_.qps > 0.0, "qps must be positive");
-  DLRM_CHECK(options_.fanout >= 1, "fanout must be >= 1");
-  DLRM_CHECK(options_.key_space >= 1, "key_space must be >= 1");
+PoissonLoadGen::PoissonLoadGen(RequestSink& sink, LoadGenOptions options)
+    : sink_(sink), options_(options) {
+  check(options_);
 }
 
 void PoissonLoadGen::run() {
@@ -41,19 +55,25 @@ void PoissonLoadGen::run() {
     r.key = keys(rng);
     r.fanout = options_.fanout;
     r.submit_sec = next;  // intended arrival: open-loop latency accounting
+    r.slo = draw_class(rng, options_.interactive_frac);
     if (options_.drop_when_full) {
-      if (engine_.try_submit(r)) {
+      if (sink_.try_submit(r)) {
         ++sent_;
       } else {
         ++dropped_;
       }
     } else {
-      if (engine_.submit(r)) ++sent_;
+      if (sink_.submit(r)) {
+        ++sent_;
+      } else {
+        ++dropped_;  // closed queue or admission shed
+      }
     }
   }
 }
 
 std::vector<Request> make_trace(const LoadGenOptions& options) {
+  check(options);
   Rng rng(options.seed);
   const ZipfSampler keys(options.key_space, options.zipf_s);
   std::vector<Request> trace;
@@ -66,6 +86,7 @@ std::vector<Request> make_trace(const LoadGenOptions& options) {
     r.key = keys(rng);
     r.fanout = options.fanout;
     r.submit_sec = t;
+    r.slo = draw_class(rng, options.interactive_frac);
     trace.push_back(r);
   }
   return trace;

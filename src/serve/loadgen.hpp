@@ -25,11 +25,16 @@ struct LoadGenOptions {
   /// true: try_submit and count drops (load shedding); false: block on a
   /// full queue (backpressure).
   bool drop_when_full = false;
+  /// Class mix: fraction of interactive traffic (the rest is batch class).
+  /// 1.0 (all interactive) draws no extra randomness, so single-class
+  /// traces are byte-identical to pre-class-mix ones.
+  double interactive_frac = 1.0;
 };
 
 class PoissonLoadGen {
  public:
-  PoissonLoadGen(InferenceEngine& engine, LoadGenOptions options);
+  /// Drives any sink (single-process or sharded engine).
+  PoissonLoadGen(RequestSink& sink, LoadGenOptions options);
 
   /// Generates and submits options.requests requests on the caller thread,
   /// pacing to the Poisson schedule. Returns when the last request was
@@ -40,7 +45,7 @@ class PoissonLoadGen {
   std::int64_t dropped() const { return dropped_; }
 
  private:
-  InferenceEngine& engine_;
+  RequestSink& sink_;
   LoadGenOptions options_;
   std::int64_t sent_ = 0;
   std::int64_t dropped_ = 0;

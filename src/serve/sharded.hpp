@@ -1,0 +1,234 @@
+// Model-parallel sharded serving tier (the inference-side counterpart of
+// the training-time hybrid parallelism).
+//
+// A model whose embedding tables needed a ShardingPlan to *train* could not
+// be served by the single-process InferenceEngine at all — every serving
+// rank would have to hold every table. This tier runs R serving ranks over
+// a ThreadComm, each holding only the embedding shards its rank owns under
+// any ShardingPlan geometry (row-split included), published bit-exactly
+// through the same checkpoint codecs ModelSnapshot uses.
+//
+// Request flow (one SPMD "op" per micro-batch):
+//   rank 0  — owns the RequestQueue and the batcher (admission control,
+//             SLO classes and strict-priority draining included),
+//             broadcasts the batch header + (key, fanout) payload;
+//   all     — materialize the batch's bag stream for their owned shards
+//             (bags rewritten to shard-local rows for split tables), run
+//             the embedding lookups, and gatherv the per-shard outputs to
+//             rank 0;
+//   rank 0  — assembles per-table features (split-table shards are merged
+//             per lookup in original index order, so fp32 accumulation
+//             order — and therefore every bit of the result — matches the
+//             single-process forward), runs the dense stack (bottom MLP +
+//             interaction + top MLP) on the assembled batch, and records
+//             responses/latencies.
+//
+// Determinism contract: ShardedInferenceEngine::run_trace is bit-exact
+// against InferenceEngine::run_trace on the same trace for every plan
+// geometry and embedding precision (tests/test_sharded_serving.cpp holds
+// the R∈{1,2,4} × {round_robin,row_split} × {fp32,bf16} matrix).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/thread_comm.hpp"
+#include "core/model.hpp"
+#include "core/sharding.hpp"
+#include "serve/engine.hpp"
+
+namespace dlrm::serve {
+
+/// Sharded counterpart of ModelSnapshot: one EmbeddingTable per plan shard
+/// (canonical order) plus one dense stack (bottom/top MLP + interaction)
+/// that rank 0 runs on the assembled batch. Weights are published through
+/// the bit-exact checkpoint codecs, so serving results equal an offline
+/// forward on the source weights at publication time.
+class ShardedSnapshot {
+ public:
+  /// Builds the shard replicas; weights are meaningless until the first
+  /// publish_from / publish_from_checkpoint. The hot-row cache tier is
+  /// never configured on shard replicas (forward-only serving reads).
+  ShardedSnapshot(const DlrmConfig& config, ModelOptions options,
+                  const ShardingPlan& plan, std::uint64_t seed = 1);
+
+  /// Copies `src`'s weights (bit-exact): every shard imports its row range
+  /// through export_rows/import_rows, the dense stack through the canonical
+  /// flat-fp32 form. Same quiescence contract as ModelSnapshot::publish_from.
+  void publish_from(DlrmModel& src, std::int64_t version);
+
+  /// Loads from a checkpoint of any training geometry (cross-geometry
+  /// resharding via load_shard_rows). Version becomes the saved step.
+  void publish_from_checkpoint(const std::string& dir);
+
+  std::int64_t version() const { return version_; }
+  const DlrmConfig& config() const { return config_; }
+  const ShardingPlan& plan() const { return plan_; }
+
+  /// Shard replica by canonical shard index.
+  EmbeddingTable& shard_table(std::int64_t s) {
+    return *tables_[static_cast<std::size_t>(s)];
+  }
+
+  /// Dense stack on the assembled batch: `table_feats[t]` points to table
+  /// t's [n][dim] pooled embedding output. Bit-identical to
+  /// DlrmModel::forward given identical inputs. Single caller (rank 0).
+  const Tensor<float>& forward_dense(
+      const Tensor<float>& dense, const std::vector<const float*>& table_feats,
+      std::int64_t n);
+
+ private:
+  DlrmConfig config_;
+  ShardingPlan plan_;
+  std::vector<std::unique_ptr<EmbeddingTable>> tables_;  // canonical order
+  Mlp bottom_, top_;
+  DotInteraction interaction_;
+  std::int64_t n_ = 0;  // current dense-stack batch
+  Tensor<float> interact_out_;
+  Tensor<float> logits_;
+  std::vector<const float*> feats_;     // [1 + tables] forward scratch
+  std::vector<unsigned char> row_buf_;  // export_rows/import_rows staging
+  std::vector<float> flat_buf_;         // canonical dense staging
+  std::int64_t version_ = -1;
+};
+
+struct ShardedEngineOptions {
+  BatchPolicy policy;
+  /// Bound per SLO class (rank 0's queue).
+  std::int64_t queue_capacity = 1024;
+  double slo_ms = 5.0;
+  /// p99-driven batch-class shedding; disabled unless p99_target_ms > 0.
+  AdmissionOptions admission;
+  // Note: no bucket_batches — pow2 padding is a single-process-engine
+  // optimization and is not supported on the sharded path.
+};
+
+/// R-rank model-parallel inference engine. The public surface mirrors
+/// InferenceEngine (RequestSink, set_snapshot handover, run_trace,
+/// ServeStats) so callers and the load generator treat both uniformly.
+class ShardedInferenceEngine : public RequestSink {
+ public:
+  /// `snapshot` (and any snapshot later handed over) must outlive the
+  /// engine; its plan fixes the rank count.
+  ShardedInferenceEngine(ShardedSnapshot& snapshot, const Dataset& data,
+                         ShardedEngineOptions options,
+                         Profiler* prof = nullptr);
+  ~ShardedInferenceEngine() override;
+
+  ShardedInferenceEngine(const ShardedInferenceEngine&) = delete;
+  ShardedInferenceEngine& operator=(const ShardedInferenceEngine&) = delete;
+
+  int ranks() const { return ranks_; }
+
+  /// Spawns the R serving-rank threads (rank 0 batches, the rest follow)
+  /// and opens the queue.
+  void start();
+  /// Closes the queue, drains it, joins all ranks. Rethrows the first
+  /// rank exception, if any. Idempotent.
+  void stop();
+  bool running() const { return running_; }
+
+  /// Same submit semantics as InferenceEngine (admission shedding keeps a
+  /// timing record against the intended-arrival stamp).
+  bool submit(Request r) override;
+  bool try_submit(Request r) override;
+
+  /// Double-buffered snapshot handover; adopted by rank 0 at the next
+  /// micro-batch boundary. The new snapshot's plan must have the same rank
+  /// count.
+  void set_snapshot(ShardedSnapshot* snap);
+  bool wait_snapshot_swapped(double timeout_sec = -1.0);
+
+  /// Offline replay (engine must not be running): spins up R transient
+  /// ranks, packs `trace` under the same greedy max_batch rule the
+  /// single-process engine uses, and returns responses in request order.
+  /// Deterministic and bit-exact vs InferenceEngine::run_trace.
+  std::vector<Response> run_trace(const std::vector<Request>& trace);
+
+  ServeStats stats() const;
+  std::vector<Response> responses() const;
+  void reset_stats();
+
+ private:
+  /// Compact request form broadcast to followers.
+  struct ReqKey {
+    std::int64_t key = 0;
+    std::int64_t fanout = 0;
+  };
+
+  /// Per-rank scratch; element r is touched only by rank thread r.
+  struct RankScratch {
+    std::vector<ReqKey> reqs;          // decoded broadcast payload
+    std::vector<std::int64_t> header;  // broadcast staging
+    std::vector<std::int64_t> payload;
+    BagBatch req_bags;                  // one request's bags (fill scratch)
+    std::vector<std::int64_t> idx_acc;  // concatenated batch bag staging
+    std::vector<std::int64_t> off_acc;
+    BagBatch full_bags;   // whole-table bags for the batch
+    BagBatch local_bags;  // shard-local rewrite of full_bags
+    std::vector<float> send;  // concatenated per-shard lookup outputs
+  };
+
+  void batcher_body(ThreadComm& comm);
+  void follower_body(ThreadComm& comm);
+  /// Rank 0: adopt pending snapshot, broadcast the batch, run its own
+  /// shard lookups, gather, merge, dense forward, record responses.
+  void process_batch(ThreadComm& comm, const std::vector<Request>& reqs);
+  /// Builds the whole-table bag batch for table `t` over `reqs`.
+  void build_table_bags(std::int64_t t, const std::vector<ReqKey>& reqs,
+                        RankScratch& rs, BagBatch& out);
+  /// Fills rs.send with this rank's concatenated shard outputs.
+  void fill_send(int rank, RankScratch& rs);
+  void note_refused(const Request& r);
+
+  ShardedSnapshot* active_;  // written by rank 0 at batch boundaries only
+  const Dataset& data_;
+  ShardedEngineOptions options_;
+  Profiler* prof_;
+  const int ranks_;
+
+  RequestQueue queue_;
+
+  // Pending snapshot handover (see InferenceEngine).
+  std::mutex snap_mu_;
+  std::condition_variable snap_cv_;
+  ShardedSnapshot* pending_ = nullptr;
+
+  // Results + accounting (rank 0 writes, any thread reads via stats()).
+  mutable std::mutex stats_mu_;
+  std::vector<Response> responses_;
+  std::vector<double> latencies_ms_;
+  std::array<std::vector<double>, kNumSloClasses> class_lat_;
+  std::array<std::int64_t, kNumSloClasses> served_class_{};
+  std::int64_t batches_ = 0, samples_ = 0, slo_violations_ = 0, rejected_ = 0;
+  double wall_start_ = 0.0, wall_end_ = 0.0;
+
+  std::vector<RankScratch> scratch_;  // [ranks]
+
+  // Rank-0 merge/assembly scratch.
+  std::vector<std::int64_t> shard_floats_;   // per canonical shard
+  std::vector<std::int64_t> shard_offset_;   // recv offset per shard
+  std::vector<std::int64_t> shard_cursor_;   // merge read cursors
+  std::vector<std::int64_t> counts_, displs_;  // gatherv layout [ranks]
+  std::vector<float> recv_;                    // gathered shard outputs
+  std::vector<Tensor<float>> merged_;          // per split table [N][E]
+  std::vector<BagBatch> table_bags_;           // rank 0's per-table full bags
+  std::vector<bool> table_bags_built_;
+  Tensor<float> dense_;       // [N][D]
+  MiniBatch rscratch_;        // per-request dense fill staging
+  std::vector<const float*> feat_ptrs_;  // per-table feature pointers
+
+  std::vector<std::thread> threads_;
+  std::vector<std::exception_ptr> errors_;
+  std::shared_ptr<CommWorld> world_;
+  bool running_ = false;
+};
+
+}  // namespace dlrm::serve

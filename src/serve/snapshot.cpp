@@ -7,13 +7,10 @@
 
 namespace dlrm::serve {
 
-namespace {
-
-/// Copies one MLP through the canonical flat-fp32 encoding (the same form
-/// the checkpoint manifest stores). pack_from refreshes nothing else: the
-/// bf16 VNNI mirrors are rebuilt from these canonical weights on every
-/// forward, so this is a complete publication.
-void copy_mlp(Mlp& src, Mlp& dst, std::vector<float>& flat) {
+/// pack_from refreshes nothing else: the bf16 VNNI mirrors are rebuilt from
+/// these canonical weights on every forward, so this is a complete
+/// publication.
+void copy_mlp_canonical(Mlp& src, Mlp& dst, std::vector<float>& flat) {
   DLRM_CHECK(src.layer_count() == dst.layer_count(),
              "snapshot MLP topology mismatch");
   for (std::size_t l = 0; l < src.layer_count(); ++l) {
@@ -31,8 +28,6 @@ void copy_mlp(Mlp& src, Mlp& dst, std::vector<float>& flat) {
               d.bias().data());
   }
 }
-
-}  // namespace
 
 ModelSnapshot::ModelSnapshot(const DlrmConfig& config, ModelOptions options,
                              std::uint64_t seed)
@@ -52,8 +47,8 @@ void ModelSnapshot::publish_from(DlrmModel& src, std::int64_t version) {
     from.export_rows(0, from.rows(), row_buf_.data());
     to.import_rows(0, to.rows(), row_buf_.data());
   }
-  copy_mlp(src.bottom_mlp(), model_.bottom_mlp(), flat_buf_);
-  copy_mlp(src.top_mlp(), model_.top_mlp(), flat_buf_);
+  copy_mlp_canonical(src.bottom_mlp(), model_.bottom_mlp(), flat_buf_);
+  copy_mlp_canonical(src.top_mlp(), model_.top_mlp(), flat_buf_);
   version_ = version;
 }
 

@@ -20,6 +20,12 @@
 
 namespace dlrm::serve {
 
+/// Copies one MLP through the canonical flat-fp32 encoding (the same form
+/// the checkpoint manifest stores) — a bit-exact publication. `flat` is
+/// caller-provided staging, grown on demand. Shared by ModelSnapshot and
+/// the sharded serving tier (serve/sharded.hpp).
+void copy_mlp_canonical(Mlp& src, Mlp& dst, std::vector<float>& flat);
+
 class ModelSnapshot {
  public:
   /// Builds the forward-only replica. Weights are meaningless until the

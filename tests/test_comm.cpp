@@ -129,6 +129,26 @@ TEST_P(CollectivesTest, BroadcastFromEveryRoot) {
   });
 }
 
+TEST_P(CollectivesTest, BroadcastI64FromEveryRoot) {
+  const int R = GetParam();
+  run_ranks(R, 0, [&](ThreadComm& comm) {
+    for (int root = 0; root < R; ++root) {
+      std::vector<std::int64_t> data(33);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = comm.rank() == root
+                      ? (std::int64_t{1} << 40) + root * 100 +
+                            static_cast<std::int64_t>(i)
+                      : -1;
+      }
+      comm.broadcast_i64(data.data(), 33, root);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(data[i], (std::int64_t{1} << 40) + root * 100 +
+                               static_cast<std::int64_t>(i));
+      }
+    }
+  });
+}
+
 TEST_P(CollectivesTest, ScatterGatherRoundTrip) {
   const int R = GetParam();
   const std::int64_t chunk = 23;

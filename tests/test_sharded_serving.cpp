@@ -1,0 +1,525 @@
+// Sharded serving tier + admission control.
+//
+//   * Bit-exact parity: ShardedInferenceEngine::run_trace vs the
+//     single-process InferenceEngine over the full R∈{1,2,4} ×
+//     {round_robin, row_split} × {fp32, bf16} matrix, plus the
+//     checkpoint-publication path.
+//   * AdmissionController unit behaviour: hysteresis state walk under
+//     synthetic p99 pressure, batch-class records never move the window.
+//   * RequestQueue: strict-priority draining, shed/defer counters, batch
+//     re-admission after recovery.
+//   * Engine-level integration: a 2-class mix against a throttled target
+//     sheds batch traffic while interactive requests keep being served,
+//     with closed accounting.
+//   * Live sharded serving under load + snapshot handover (the TSan leg).
+#include "serve/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/trainer.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/snapshot.hpp"
+
+namespace dlrm {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::AdmissionController;
+using serve::AdmissionOptions;
+using serve::AdmissionState;
+using serve::BatchPolicy;
+using serve::InferenceEngine;
+using serve::LoadGenOptions;
+using serve::ModelSnapshot;
+using serve::PoissonLoadGen;
+using serve::PopStatus;
+using serve::Request;
+using serve::RequestQueue;
+using serve::Response;
+using serve::ShardedEngineOptions;
+using serve::ShardedInferenceEngine;
+using serve::ShardedSnapshot;
+using serve::SloClass;
+using serve::SubmitResult;
+
+DlrmConfig serve_config(Precision mlp = Precision::kFp32) {
+  DlrmConfig c;
+  c.name = "serve-tiny";
+  c.minibatch = 32;
+  c.global_batch_strong = 32;
+  c.local_batch_weak = 16;
+  c.pooling = 2;
+  c.dim = 16;
+  c.table_rows = {120, 90, 140, 60};
+  c.bottom_mlp = {8, 16, 16};
+  c.top_mlp = {16, 8, 1};
+  c.mlp_precision = mlp;
+  c.validate();
+  return c;
+}
+
+RandomDataset serve_data(const DlrmConfig& c) {
+  return RandomDataset(c.bottom_mlp.front(), c.table_rows, c.pooling, 11);
+}
+
+ModelOptions model_options(Precision mlp) {
+  ModelOptions mopts;
+  mopts.embed_precision = mlp == Precision::kBf16 ? EmbedPrecision::kBf16Split
+                                                  : EmbedPrecision::kFp32;
+  return mopts;
+}
+
+ShardingPlan make_plan(const DlrmConfig& c, int ranks, bool row_split) {
+  if (!row_split) return ShardingPlan::round_robin(c.table_rows, ranks);
+  // Uniform costs; threshold 64 splits three of the four tables.
+  const std::vector<double> costs(c.table_rows.size(), 1.0);
+  return ShardingPlan::row_split(c.table_rows, ranks, costs,
+                                 /*row_threshold=*/64);
+}
+
+std::vector<Request> fixed_trace() {
+  LoadGenOptions lopts;
+  lopts.qps = 1e6;  // stamps only; run_trace ignores pacing
+  lopts.requests = 60;
+  lopts.fanout = 3;
+  lopts.key_space = 4096;
+  lopts.zipf_s = 0.9;
+  lopts.seed = 5;
+  return serve::make_trace(lopts);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact parity matrix
+
+using ParityParam = std::tuple<int, bool, Precision>;  // ranks, row_split, mlp
+
+class ShardedParityTest : public ::testing::TestWithParam<ParityParam> {};
+
+TEST_P(ShardedParityTest, MatchesSingleProcessBitExact) {
+  const auto [ranks, row_split, mlp] = GetParam();
+  const DlrmConfig c = serve_config(mlp);
+  const ModelOptions mopts = model_options(mlp);
+  const RandomDataset data = serve_data(c);
+  const ShardingPlan plan = make_plan(c, ranks, row_split);
+  // A table splits into at most `ranks` shards, so R=1 degenerates to
+  // full-table placement (still a distinct code path worth the cell).
+  if (row_split && ranks > 1) ASSERT_TRUE(plan.has_split_tables());
+
+  DlrmModel model(c, mopts, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+  trainer.train(4);
+
+  ModelSnapshot ref_snap(c, mopts);
+  ref_snap.publish_from(model, trainer.iterations_done());
+  ShardedSnapshot sharded_snap(c, mopts, plan);
+  sharded_snap.publish_from(model, trainer.iterations_done());
+
+  const std::vector<Request> trace = fixed_trace();
+  InferenceEngine ref(ref_snap, data,
+                      {.policy = {.max_batch = 8, .max_wait_us = 0}});
+  const std::vector<Response> want = ref.run_trace(trace);
+
+  ShardedEngineOptions sopts;
+  sopts.policy = {.max_batch = 8, .max_wait_us = 0};
+  ShardedInferenceEngine engine(sharded_snap, data, sopts);
+  ASSERT_EQ(engine.ranks(), ranks);
+  const std::vector<Response> got = engine.run_trace(trace);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "request " << i;
+    EXPECT_EQ(got[i].batch, want[i].batch) << "request " << i;
+    // Bitwise: EXPECT_EQ on float, not NEAR.
+    EXPECT_EQ(got[i].score0, want[i].score0) << "request " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ShardedParityTest,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Bool(),
+                       ::testing::Values(Precision::kFp32, Precision::kBf16)),
+    [](const ::testing::TestParamInfo<ParityParam>& tpi) {
+      return "R" + std::to_string(std::get<0>(tpi.param)) +
+             (std::get<1>(tpi.param) ? "_row_split_" : "_round_robin_") +
+             std::string(to_string(std::get<2>(tpi.param)));
+    });
+
+// Checkpoint publication: a sharded snapshot restored from a checkpoint
+// directory serves bit-identically to a single-process snapshot restored
+// from the same checkpoint (cross-geometry resharding included).
+TEST(ShardedServing, CheckpointPublicationServesIdentically) {
+  const DlrmConfig c = serve_config(Precision::kBf16);
+  const ModelOptions mopts = model_options(Precision::kBf16);
+  const RandomDataset data = serve_data(c);
+  const fs::path dir = fs::temp_directory_path() / "dlrm_sharded_serve_ckpt";
+  fs::remove_all(dir);
+
+  DlrmModel model(c, mopts, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+  trainer.train(4);
+  trainer.save_checkpoint(dir.string());
+
+  ModelSnapshot ref_snap(c, mopts);
+  ref_snap.publish_from_checkpoint(dir.string());
+  const ShardingPlan plan = make_plan(c, /*ranks=*/2, /*row_split=*/true);
+  ShardedSnapshot sharded_snap(c, mopts, plan);
+  sharded_snap.publish_from_checkpoint(dir.string());
+  EXPECT_EQ(sharded_snap.version(), trainer.iterations_done());
+  EXPECT_EQ(sharded_snap.version(), ref_snap.version());
+
+  const std::vector<Request> trace = fixed_trace();
+  InferenceEngine ref(ref_snap, data,
+                      {.policy = {.max_batch = 8, .max_wait_us = 0}});
+  const std::vector<Response> want = ref.run_trace(trace);
+  ShardedEngineOptions sopts;
+  sopts.policy = {.max_batch = 8, .max_wait_us = 0};
+  ShardedInferenceEngine engine(sharded_snap, data, sopts);
+  const std::vector<Response> got = engine.run_trace(trace);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].score0, want[i].score0) << "request " << i;
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController unit behaviour
+
+AdmissionOptions tight_admission() {
+  AdmissionOptions a;
+  a.p99_target_ms = 10.0;  // defer at 7, shed at 9, exit at 6
+  a.window = 8;
+  a.min_samples = 4;
+  return a;
+}
+
+TEST(Admission, HysteresisStateWalk) {
+  AdmissionController ctrl(tight_admission());
+  EXPECT_EQ(ctrl.state(), AdmissionState::kOpen);
+
+  // Below min_samples: no transitions no matter how bad the latency.
+  ctrl.record(SloClass::kInteractive, 100.0);
+  ctrl.record(SloClass::kInteractive, 100.0);
+  ctrl.record(SloClass::kInteractive, 100.0);
+  EXPECT_EQ(ctrl.state(), AdmissionState::kOpen);
+
+  // Fourth sample reaches min_samples; p99 (window max) = 100 >= 9 -> shed.
+  ctrl.record(SloClass::kInteractive, 100.0);
+  EXPECT_EQ(ctrl.state(), AdmissionState::kShed);
+  EXPECT_TRUE(ctrl.shed_batch());
+  EXPECT_TRUE(ctrl.hold_batch());
+
+  // Recovery below the shed threshold but above exit: still shedding
+  // (hysteresis) until the window's p99 drops to <= 6.
+  for (int i = 0; i < 7; ++i) ctrl.record(SloClass::kInteractive, 8.0);
+  EXPECT_EQ(ctrl.state(), AdmissionState::kShed);
+  ctrl.record(SloClass::kInteractive, 8.0);  // 100 ages out, p99 = 8 > 6
+  EXPECT_EQ(ctrl.state(), AdmissionState::kShed);
+  for (int i = 0; i < 8; ++i) ctrl.record(SloClass::kInteractive, 1.0);
+  EXPECT_EQ(ctrl.state(), AdmissionState::kOpen);
+  EXPECT_FALSE(ctrl.hold_batch());
+
+  // Mid-band entry: p99 in [defer, shed) defers without shedding.
+  for (int i = 0; i < 8; ++i) ctrl.record(SloClass::kInteractive, 8.0);
+  EXPECT_EQ(ctrl.state(), AdmissionState::kDefer);
+  EXPECT_FALSE(ctrl.shed_batch());
+  EXPECT_TRUE(ctrl.hold_batch());
+  // Defer escalates to shed when p99 crosses the shed threshold.
+  ctrl.record(SloClass::kInteractive, 50.0);
+  EXPECT_EQ(ctrl.state(), AdmissionState::kShed);
+}
+
+TEST(Admission, BatchRecordsNeverMoveTheWindow) {
+  AdmissionController ctrl(tight_admission());
+  for (int i = 0; i < 32; ++i) ctrl.record(SloClass::kBatch, 1000.0);
+  EXPECT_EQ(ctrl.state(), AdmissionState::kOpen);
+  EXPECT_EQ(ctrl.samples(), 0);
+  EXPECT_EQ(ctrl.rolling_p99_ms(), 0.0);
+}
+
+TEST(Admission, DisabledControllerNeverTransitions) {
+  AdmissionController ctrl(AdmissionOptions{});  // p99_target_ms = 0
+  for (int i = 0; i < 64; ++i) ctrl.record(SloClass::kInteractive, 1e6);
+  EXPECT_EQ(ctrl.state(), AdmissionState::kOpen);
+  EXPECT_FALSE(ctrl.shed_batch());
+  EXPECT_FALSE(ctrl.hold_batch());
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue: strict priority, shed, defer, re-admission
+
+Request make_req(std::int64_t id, SloClass slo) {
+  Request r;
+  r.id = id;
+  r.key = id;
+  r.fanout = 1;
+  r.submit_sec = now_sec();
+  r.slo = slo;
+  return r;
+}
+
+TEST(RequestQueueTest, StrictPriorityDraining) {
+  RequestQueue q(/*capacity_per_class=*/8, AdmissionOptions{});
+  q.open();
+  ASSERT_EQ(q.submit(make_req(1, SloClass::kBatch), false), SubmitResult::kOk);
+  ASSERT_EQ(q.submit(make_req(2, SloClass::kBatch), false), SubmitResult::kOk);
+  ASSERT_EQ(q.submit(make_req(3, SloClass::kInteractive), false),
+            SubmitResult::kOk);
+
+  Request r;
+  ASSERT_TRUE(q.pop_first(r));
+  EXPECT_EQ(r.id, 3);  // interactive jumps the earlier batch arrivals
+  ASSERT_TRUE(q.pop_first(r));
+  EXPECT_EQ(r.id, 1);
+  ASSERT_TRUE(q.pop_first(r));
+  EXPECT_EQ(r.id, 2);
+  q.close();
+  EXPECT_FALSE(q.pop_first(r));
+}
+
+TEST(RequestQueueTest, ShedsBatchUnderSyntheticP99Pressure) {
+  AdmissionOptions a = tight_admission();
+  a.min_samples = 1;
+  RequestQueue q(/*capacity_per_class=*/8, a);
+  q.open();
+  // One terrible interactive latency flips the controller to kShed.
+  q.record_latency(SloClass::kInteractive, 1000.0);
+  EXPECT_EQ(q.admission_state(), AdmissionState::kShed);
+
+  EXPECT_EQ(q.submit(make_req(1, SloClass::kBatch), false),
+            SubmitResult::kShed);
+  EXPECT_EQ(q.submit(make_req(2, SloClass::kBatch), true), SubmitResult::kShed);
+  // Interactive traffic is never shed.
+  EXPECT_EQ(q.submit(make_req(3, SloClass::kInteractive), false),
+            SubmitResult::kOk);
+
+  const auto counters = q.counters();
+  EXPECT_EQ(counters.shed[1], 2);
+  EXPECT_EQ(counters.shed[0], 0);
+  EXPECT_EQ(counters.admitted[0], 1);
+  q.close();
+}
+
+TEST(RequestQueueTest, DefersThenReadmitsBatchWithHysteresis) {
+  AdmissionOptions a = tight_admission();
+  a.min_samples = 1;
+  a.window = 4;
+  RequestQueue q(/*capacity_per_class=*/8, a);
+  q.open();
+  ASSERT_EQ(q.submit(make_req(1, SloClass::kBatch), false), SubmitResult::kOk);
+
+  // p99 = 8ms: defer band. The queued batch request is held, not dropped.
+  q.record_latency(SloClass::kInteractive, 8.0);
+  EXPECT_EQ(q.admission_state(), AdmissionState::kDefer);
+  Request r;
+  EXPECT_EQ(q.pop_fitting(/*budget=*/4, /*deadline_sec=*/now_sec() + 0.01, r),
+            PopStatus::kTimeout);
+  EXPECT_EQ(q.counters().deferred[1], 1);
+
+  // Recovery: window floods with good latencies, batch drains again.
+  for (int i = 0; i < 4; ++i) q.record_latency(SloClass::kInteractive, 1.0);
+  EXPECT_EQ(q.admission_state(), AdmissionState::kOpen);
+  ASSERT_EQ(q.pop_fitting(/*budget=*/4, now_sec() + 0.01, r),
+            PopStatus::kPopped);
+  EXPECT_EQ(r.id, 1);
+  q.close();
+}
+
+TEST(RequestQueueTest, CloseDrainsHeldBatchWork) {
+  AdmissionOptions a = tight_admission();
+  a.min_samples = 1;
+  RequestQueue q(/*capacity_per_class=*/8, a);
+  q.open();
+  ASSERT_EQ(q.submit(make_req(7, SloClass::kBatch), false), SubmitResult::kOk);
+  q.record_latency(SloClass::kInteractive, 1000.0);  // hold the batch class
+  q.close();
+  // Shutdown drain ignores the hold: admitted work is always served.
+  Request r;
+  ASSERT_TRUE(q.pop_first(r));
+  EXPECT_EQ(r.id, 7);
+  EXPECT_FALSE(q.pop_first(r));
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level integration: 2-class mix against a throttled p99 target
+
+TEST(ShardedServing, AdmissionShedsBatchKeepsInteractive) {
+  const DlrmConfig c = serve_config();
+  const RandomDataset data = serve_data(c);
+  DlrmModel model(c, {}, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+  trainer.train(4);
+  ModelSnapshot snap(c, {});
+  snap.publish_from(model, trainer.iterations_done());
+
+  serve::EngineOptions opts;
+  opts.policy = {.max_batch = 8, .max_wait_us = 100};
+  // Impossible target: the first interactive completions trip the shed
+  // state, so batch arrivals after warm-up are refused.
+  opts.admission.p99_target_ms = 1e-3;
+  opts.admission.window = 32;
+  opts.admission.min_samples = 1;
+  InferenceEngine engine(snap, data, opts);
+  engine.start();
+
+  LoadGenOptions lopts;
+  lopts.qps = 8000;
+  lopts.requests = 400;
+  lopts.fanout = 2;
+  lopts.key_space = 4096;
+  lopts.interactive_frac = 0.5;
+  lopts.drop_when_full = true;
+  PoissonLoadGen gen(engine, lopts);
+  gen.run();
+  engine.stop();
+
+  const auto s = engine.stats();
+  const auto& inter = s.by_class[0];
+  const auto& batch = s.by_class[1];
+  EXPECT_GT(batch.shed, 0) << "overload never shed batch traffic";
+  EXPECT_EQ(inter.shed, 0) << "interactive traffic must never be shed";
+  EXPECT_GT(inter.served, 0);
+  EXPECT_EQ(s.admission_state, AdmissionState::kShed);
+  // Accounting closes: every generated request was served, rejected
+  // (full-queue drop), or shed.
+  EXPECT_EQ(gen.sent() + gen.dropped(), lopts.requests);
+  EXPECT_EQ(s.requests + s.rejected + s.shed, lopts.requests);
+  EXPECT_EQ(s.requests, gen.sent());
+  EXPECT_EQ(inter.served + batch.served, s.requests);
+  // Per-class percentiles are over served requests only, and ordered.
+  EXPECT_LE(inter.p50_ms, inter.p99_ms);
+  EXPECT_GT(s.admission_p99_ms, 0.0);
+}
+
+// Without a controller the same overload never sheds anything.
+TEST(ShardedServing, NoControllerNeverSheds) {
+  const DlrmConfig c = serve_config();
+  const RandomDataset data = serve_data(c);
+  DlrmModel model(c, {}, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+  trainer.train(4);
+  ModelSnapshot snap(c, {});
+  snap.publish_from(model, trainer.iterations_done());
+
+  serve::EngineOptions opts;
+  opts.policy = {.max_batch = 8, .max_wait_us = 100};
+  InferenceEngine engine(snap, data, opts);
+  engine.start();
+  LoadGenOptions lopts;
+  lopts.qps = 8000;
+  lopts.requests = 200;
+  lopts.fanout = 2;
+  lopts.interactive_frac = 0.5;
+  lopts.drop_when_full = true;
+  PoissonLoadGen gen(engine, lopts);
+  gen.run();
+  engine.stop();
+
+  const auto s = engine.stats();
+  EXPECT_EQ(s.shed, 0);
+  EXPECT_EQ(s.admission_state, AdmissionState::kOpen);
+  EXPECT_EQ(s.requests + s.rejected, lopts.requests);
+}
+
+// Class-mix traces: single-class traces are byte-identical to the
+// pre-class-mix generator (no RNG draw when interactive_frac == 1), and a
+// mixed trace stamps both classes while keeping the same keys.
+TEST(ShardedServing, ClassMixTraceStampsClasses) {
+  LoadGenOptions lopts;
+  lopts.qps = 1e6;
+  lopts.requests = 200;
+  lopts.fanout = 2;
+  lopts.key_space = 1024;
+  lopts.seed = 9;
+  const std::vector<Request> pure = serve::make_trace(lopts);
+  for (const Request& r : pure) EXPECT_EQ(r.slo, SloClass::kInteractive);
+
+  lopts.interactive_frac = 0.5;
+  const std::vector<Request> mixed = serve::make_trace(lopts);
+  ASSERT_EQ(mixed.size(), pure.size());
+  std::int64_t batch_count = 0;
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_EQ(mixed[i].id, pure[i].id);
+    EXPECT_EQ(mixed[i].fanout, pure[i].fanout);
+    if (mixed[i].slo == SloClass::kBatch) ++batch_count;
+  }
+  EXPECT_GT(batch_count, 40);
+  EXPECT_LT(batch_count, 160);
+}
+
+// ---------------------------------------------------------------------------
+// Live sharded serving under Poisson load with snapshot handover (TSan leg:
+// R serving ranks + loadgen thread + publisher thread share the engine).
+
+TEST(ShardedServing, LiveServingWithSnapshotHandover) {
+  const DlrmConfig c = serve_config();
+  const RandomDataset data = serve_data(c);
+  const ShardingPlan plan = make_plan(c, /*ranks=*/2, /*row_split=*/true);
+
+  DlrmModel model(c, {}, /*seed=*/21);
+  Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+  trainer.train(1);
+
+  ShardedSnapshot snapA(c, {}, plan), snapB(c, {}, plan);
+  snapA.publish_from(model, trainer.iterations_done());
+
+  ShardedEngineOptions opts;
+  opts.policy = {.max_batch = 16, .max_wait_us = 200};
+  opts.queue_capacity = 256;
+  ShardedInferenceEngine engine(snapA, data, opts);
+  engine.start();
+
+  LoadGenOptions lopts;
+  lopts.qps = 3000;
+  lopts.requests = 300;
+  lopts.fanout = 2;
+  lopts.key_space = 4096;
+  lopts.zipf_s = 0.9;
+  lopts.interactive_frac = 0.7;
+  PoissonLoadGen gen(engine, lopts);
+  std::thread load([&] { gen.run(); });
+
+  ShardedSnapshot* snaps[2] = {&snapA, &snapB};
+  for (int pub = 0; pub < 4; ++pub) {
+    trainer.train(1);
+    ShardedSnapshot* idle = snaps[(pub + 1) % 2];
+    idle->publish_from(model, trainer.iterations_done());
+    engine.set_snapshot(idle);
+    if (!engine.wait_snapshot_swapped(0.5)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  load.join();
+  engine.stop();
+
+  EXPECT_EQ(gen.sent(), lopts.requests);
+  const std::vector<Response> rs = engine.responses();
+  ASSERT_EQ(static_cast<std::int64_t>(rs.size()), lopts.requests);
+  std::set<std::int64_t> versions;
+  std::int64_t batch_served = 0;
+  for (const Response& r : rs) {
+    versions.insert(r.version);
+    if (r.slo == SloClass::kBatch) ++batch_served;
+  }
+  EXPECT_GE(versions.size(), 2u) << "no snapshot handover was observed";
+  EXPECT_GT(batch_served, 0);
+  const auto s = engine.stats();
+  EXPECT_EQ(s.requests, lopts.requests);
+  EXPECT_EQ(s.samples, lopts.requests * lopts.fanout);
+  EXPECT_LE(s.p50_ms, s.p99_ms);
+}
+
+}  // namespace
+}  // namespace dlrm
