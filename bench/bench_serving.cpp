@@ -141,7 +141,8 @@ void run_admission_cell(serve::ModelSnapshot& snap, const Dataset& data,
 // Offline trace replay through the sharded tier at R ranks: wall-clock per
 // request of the broadcast/lookup/gather/merge/dense pipeline.
 void run_sharded_cell(const DlrmConfig& c, DlrmModel& model,
-                      std::int64_t version, const Dataset& data, int ranks) {
+                      std::int64_t version, const Dataset& data, int ranks,
+                      bool bucket = false) {
   const ShardingPlan plan = ShardingPlan::round_robin(c.table_rows, ranks);
   serve::ShardedSnapshot snap(c, {}, plan);
   snap.publish_from(model, version);
@@ -156,7 +157,9 @@ void run_sharded_cell(const DlrmConfig& c, DlrmModel& model,
 
   serve::ShardedEngineOptions eopts;
   eopts.policy = {.max_batch = 32, .max_wait_us = 0};
-  serve::ShardedInferenceEngine engine(snap, data, eopts);
+  eopts.bucket_batches = bucket;
+  Profiler prof;
+  serve::ShardedInferenceEngine engine(snap, data, eopts, &prof);
   const double t0 = now_sec();
   const std::vector<serve::Response> rs = engine.run_trace(trace);
   const double wall = now_sec() - t0;
@@ -164,12 +167,15 @@ void run_sharded_cell(const DlrmConfig& c, DlrmModel& model,
   bench::JsonRow("serving_sharded")
       .add("serve_ranks", ranks)
       .add("shards", plan.num_shards())
+      .add("bucketed", bucket ? 1 : 0)
+      .add("padded_rows", prof.total_sec("serve_padded"))
       .add("requests", static_cast<std::int64_t>(rs.size()))
       .add("fanout", lopts.fanout)
       .add("wall_sec", wall)
       .add("throughput_rps", static_cast<double>(rs.size()) / wall)
       .emit();
-  bench::row({"R" + std::to_string(ranks),
+  bench::row({std::string("R") + std::to_string(ranks) +
+                  (bucket ? "_pow2" : ""),
               bench::fmt(static_cast<double>(rs.size()) / wall, 0)});
 }
 
@@ -217,5 +223,9 @@ int main() {
   for (const int ranks : {1, 2}) {
     run_sharded_cell(c, model, trainer.iterations_done(), data, ranks);
   }
+  // Pow2 bucketing on the sharded path (pads before the broadcast so every
+  // rank runs the padded shape); results stay bit-identical, cost differs.
+  run_sharded_cell(c, model, trainer.iterations_done(), data, /*ranks=*/2,
+                   /*bucket=*/true);
   return 0;
 }

@@ -16,6 +16,9 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "==== Bench collection (BENCH_PR10.json) ===="
+bench/collect_bench.sh build BENCH_PR10.json
+
 echo "==== Debug + ASan/UBSan unit-test pass ===="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -41,8 +44,10 @@ echo "==== Debug + TSan concurrency pass (prefetch/comm/ddp/exchange/sharding) =
 # accumulation window across the multi-rank trainers. test_sharded_serving
 # races the R serving-rank threads (broadcast/gather per micro-batch), the
 # load generator, the admission-controlled queue, and the sharded snapshot
-# handover.
-TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding|test_emb_cache|test_rebalance|test_serving|test_sharded_serving|test_async_ckpt|test_grad_accum'
+# handover. test_autotune drives the elastic-pipeline controller's rebuild +
+# seek + prefill resize cycles through live training loops and the
+# slow-loader/consumer-jitter soak.
+TSAN_SUITES='test_prefetch|test_prefetch_workers|test_comm|test_ddp|test_exchange|test_sharding|test_emb_cache|test_rebalance|test_serving|test_sharded_serving|test_async_ckpt|test_grad_accum|test_autotune'
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DDLRM_SANITIZE=thread \
@@ -52,7 +57,8 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "${JOBS}" \
   --target test_prefetch test_prefetch_workers test_comm test_ddp \
            test_exchange test_sharding test_emb_cache test_rebalance \
-           test_serving test_sharded_serving test_async_ckpt test_grad_accum
+           test_serving test_sharded_serving test_async_ckpt \
+           test_grad_accum test_autotune
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan -R "${TSAN_SUITES}" --output-on-failure \
         -j "${JOBS}" --timeout 1800

@@ -4,7 +4,9 @@
 //                 --ranks=4 --strategy=alltoall --precision=bf16
 //                 --iters=50 --lr=0.05 [--blocking] [--profile]
 //                 [--loader=sliced|naive] [--no-prefetch] [--prefetch-depth=N]
-//                 [--prefetch-workers=W]
+//                 [--prefetch-workers=W] [--autotune-pipeline]
+//                 [--stall-target=F] [--max-pipeline-workers=N]
+//                 [--max-prefetch-depth=N]
 //                 [--sharding=round_robin|balanced|row_split]
 //                 [--row-split-threshold=N] [--lr-schedule=SPEC]
 //                 [--checkpoint-dir=DIR] [--save-every=N] [--resume]
@@ -60,6 +62,12 @@
 // when the windowed max/mean embedding-time ratio exceeds X at a
 // --rebalance-every step boundary, the plan is recomputed from runtime
 // lookup stats and the shards are migrated in place (bit-exact).
+// --autotune-pipeline puts the prefetch pipeline's shape under a runtime
+// feedback controller (src/data/autotune.hpp): starting from
+// --prefetch-workers/--prefetch-depth, it grows or shrinks workers and ring
+// depth at window boundaries until the measured exposed-stall fraction sits
+// below --stall-target, bounded by --max-pipeline-workers /
+// --max-prefetch-depth. Resizes are loss-neutral (bit-identical batches).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -98,6 +106,10 @@ struct Args {
   bool prefetch = true;
   int prefetch_depth = 2;
   int prefetch_workers = 1;
+  bool autotune_pipeline = false;
+  double stall_target = 0.05;
+  int max_pipeline_workers = 8;
+  int max_prefetch_depth = 8;
   bool blocking = false;
   bool profile = false;
   bool check_loss = false;
@@ -142,6 +154,10 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--print-step-losses") == 0) a.print_step_losses = true;
     else if (parse_flag(argv[i], "--prefetch-depth", &v)) a.prefetch_depth = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--prefetch-workers", &v)) a.prefetch_workers = std::atoi(v.c_str());
+    else if (std::strcmp(argv[i], "--autotune-pipeline") == 0) a.autotune_pipeline = true;
+    else if (parse_flag(argv[i], "--stall-target", &v)) a.stall_target = std::atof(v.c_str());
+    else if (parse_flag(argv[i], "--max-pipeline-workers", &v)) a.max_pipeline_workers = std::atoi(v.c_str());
+    else if (parse_flag(argv[i], "--max-prefetch-depth", &v)) a.max_prefetch_depth = std::atoi(v.c_str());
     else if (parse_flag(argv[i], "--emb-cache-rows", &v)) a.emb_cache_rows = std::atoll(v.c_str());
     else if (parse_flag(argv[i], "--emb-cache-policy", &v)) a.emb_cache_policy = v;
     else if (parse_flag(argv[i], "--rebalance-threshold", &v)) a.rebalance_threshold = std::atof(v.c_str());
@@ -161,6 +177,25 @@ Args parse(int argc, char** argv) {
   }
   if (a.prefetch_workers < 1) {
     std::fprintf(stderr, "bad --prefetch-workers (must be >= 1)\n");
+    std::exit(2);
+  }
+  if (a.autotune_pipeline && !a.prefetch) {
+    std::fprintf(stderr, "--autotune-pipeline needs the prefetch pipeline "
+                         "(drop --no-prefetch)\n");
+    std::exit(2);
+  }
+  if (a.stall_target <= 0.0 || a.stall_target >= 1.0) {
+    std::fprintf(stderr, "bad --stall-target (must be in (0, 1))\n");
+    std::exit(2);
+  }
+  if (a.max_pipeline_workers < a.prefetch_workers) {
+    std::fprintf(stderr,
+                 "bad --max-pipeline-workers (must be >= --prefetch-workers)\n");
+    std::exit(2);
+  }
+  if (a.max_prefetch_depth < a.prefetch_depth) {
+    std::fprintf(stderr,
+                 "bad --max-prefetch-depth (must be >= --prefetch-depth)\n");
     std::exit(2);
   }
   if (a.resume && a.checkpoint_dir.empty()) {
@@ -287,6 +322,29 @@ double train_scheduled(TrainerT& trainer, std::int64_t start,
   return weighted / static_cast<double>(iters);
 }
 
+AutotuneOptions make_autotune(const Args& a) {
+  AutotuneOptions t;
+  t.enabled = a.autotune_pipeline;
+  t.stall_target = a.stall_target;
+  t.max_workers = a.max_pipeline_workers;
+  t.max_depth = a.max_prefetch_depth;
+  return t;
+}
+
+/// End-of-run controller summary (rank 0 / single-process printer only).
+template <typename TrainerT>
+void print_autotune_summary(const TrainerT& trainer, const Args& args) {
+  if (!args.autotune_pipeline) return;
+  const PipelineController& pc = trainer.pipeline_controller();
+  std::printf("pipeline autotune: target %.1f%%, %lld windows, %lld resizes, "
+              "workers %d -> %d, depth %d -> %d, last window stall %.1f%%\n",
+              args.stall_target * 100.0,
+              static_cast<long long>(pc.windows()),
+              static_cast<long long>(pc.resizes()), args.prefetch_workers,
+              pc.workers(), args.prefetch_depth, pc.depth(),
+              pc.last_stall_frac() * 100.0);
+}
+
 /// Applies --checkpoint-dir/--save-every/--resume to any trainer (both the
 /// plain and the --check-loss-decreases paths go through this).
 template <typename TrainerT>
@@ -407,7 +465,8 @@ int main(int argc, char** argv) {
                      .grad_accum = args.grad_accum,
                      .prefetch = args.prefetch,
                      .prefetch_depth = args.prefetch_depth,
-                     .prefetch_workers = args.prefetch_workers});
+                     .prefetch_workers = args.prefetch_workers,
+                     .autotune = make_autotune(args)});
     Profiler prof;
     Profiler* prof_ptr = args.profile ? &prof : nullptr;
     const Timer t;
@@ -453,6 +512,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(cs.admissions),
                   static_cast<long long>(cs.evictions));
     }
+    print_autotune_summary(trainer, args);
     if (args.profile) std::printf("%s", prof.report().c_str());
     if (args.check_loss && quarter > 0) {
       std::printf("loss check: first-quarter %.4f -> last-quarter %.4f\n",
@@ -476,6 +536,7 @@ int main(int argc, char** argv) {
   topts.prefetch = args.prefetch;
   topts.prefetch_depth = args.prefetch_depth;
   topts.prefetch_workers = args.prefetch_workers;
+  topts.autotune = make_autotune(args);
   topts.sharding.policy = parse_sharding(args.sharding);
   topts.sharding.row_split_threshold = args.row_split_threshold;
   topts.dist.exchange = parse_strategy(args.strategy);
@@ -548,6 +609,7 @@ int main(int argc, char** argv) {
                   args.prefetch_depth, args.prefetch_workers,
                   trainer.loader_exposed_sec() * 1e3,
                   trainer.loader_hidden_sec() * 1e3);
+      print_autotune_summary(trainer, args);
       if (args.profile) std::printf("%s", prof.report().c_str());
       if (args.check_loss && quarter > 0) {
         std::printf("loss check: first-quarter %.4f -> last-quarter %.4f\n",

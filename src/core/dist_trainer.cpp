@@ -54,6 +54,13 @@ DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
                                     .depth = options.prefetch_depth,
                                     .workers = options.prefetch_workers})) {
   if (options_.grad_accum > 1) model_.attach_accumulator(accum_);
+  tuner_ = PipelineController(
+      [&] {
+        AutotuneOptions a = options_.autotune;
+        a.enabled = a.enabled && options_.prefetch;  // inert without a pipeline
+        return a;
+      }(),
+      options_.prefetch_workers, options_.prefetch_depth);
   // kHist cache admission: seed every owned shard from the same measured
   // lookup histograms the cost-driven planners consume (deterministic, so
   // every rank admits the same rows of the shards it owns).
@@ -69,20 +76,57 @@ DistributedTrainer::DistributedTrainer(const DlrmConfig& config,
   }
 }
 
+PrefetchOptions DistributedTrainer::pipeline_options() const {
+  return PrefetchOptions{
+      .enabled = options_.prefetch,
+      .depth = tuner_.enabled() ? tuner_.depth() : options_.prefetch_depth,
+      .workers =
+          tuner_.enabled() ? tuner_.workers() : options_.prefetch_workers};
+}
+
 PrefetchLoader& DistributedTrainer::eval_pipeline() {
   if (!options_.dedicated_eval_stream) return *prefetch_;
   if (eval_prefetch_ == nullptr) {
     // Lazy: train-only runs never pay the extra worker threads. The eval
     // loader is a clone of the training one (same geometry, own scratch),
     // and the pipeline gets its own cursor and depth — an eval pass only
-    // ever reseeks *this* stream, never the training pipeline.
+    // ever reseeks *this* stream, never the training pipeline. The worker
+    // count follows the autotuned shape (depth stays the eval knob: eval
+    // backpressure is independent of the training stream's).
     eval_loader_ = loader_->clone();
-    eval_prefetch_ = std::make_unique<PrefetchLoader>(
-        *eval_loader_, PrefetchOptions{.enabled = options_.prefetch,
-                                       .depth = options_.eval_prefetch_depth,
-                                       .workers = options_.prefetch_workers});
+    PrefetchOptions popts = pipeline_options();
+    popts.depth = options_.eval_prefetch_depth;
+    eval_prefetch_ = std::make_unique<PrefetchLoader>(*eval_loader_, popts);
   }
   return *eval_prefetch_;
+}
+
+void DistributedTrainer::maybe_autotune(double exposed_sec, double wall_sec,
+                                        Profiler* prof) {
+  if (!tuner_.enabled()) return;
+  tuner_.observe(exposed_sec, wall_sec);
+  if (!tuner_.window_complete()) return;
+  // One small allreduce per window: every rank feeds decide() the same
+  // global [exposed, wall] sums, so the resize decision is SPMD-identical
+  // (the fraction is the all-rank mean stall share).
+  float sums[2] = {static_cast<float>(tuner_.window_exposed_sec()),
+                   static_cast<float>(tuner_.window_wall_sec())};
+  comm_.allreduce(sums, 2);
+  const PipelineDecision d = tuner_.decide(static_cast<double>(sums[0]),
+                                           static_cast<double>(sums[1]), iter_);
+  if (prof != nullptr) prof->add("pipeline_stall_frac", d.stall_frac);
+  if (!d.resize) return;
+  // Same drain -> rebuild -> seek()+prefill() mechanics as reshard and warm
+  // restore; the reassembly contract keeps the batch stream bit-identical
+  // across the resize. No collectives here — every rank rebuilds locally.
+  prefetch_ = std::make_unique<PrefetchLoader>(*loader_, pipeline_options());
+  prefetch_->seek(iter_ * options_.grad_accum);
+  prefetch_->prefill();
+  // Let the lazily-built eval stream (if any) pick up the new worker count
+  // on its next build.
+  eval_prefetch_.reset();
+  eval_loader_.reset();
+  if (prof != nullptr) prof->add("pipeline_resize_count", 1.0);
 }
 
 double DistributedTrainer::allreduce_mean(double local) {
@@ -150,6 +194,8 @@ double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
   Meter local_loss;
   const int A = options_.grad_accum;
   for (std::int64_t i = 0; i < iters; ++i) {
+    const Timer step_timer;
+    double step_exposed = 0.0;
     if (A == 1) {
       const HybridBatch& hb = prefetch_->next(iter_);
       const double exposed = prefetch_->last_wait_sec();
@@ -157,6 +203,7 @@ double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
           std::max(0.0, prefetch_->last_load_sec() - exposed);
       loader_exposed_ += exposed;
       loader_hidden_ += hidden;
+      step_exposed += exposed;
       if (prof != nullptr) {
         prof->add("loader_exposed", exposed);
         prof->add("loader_hidden", hidden);
@@ -175,6 +222,7 @@ double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
             std::max(0.0, prefetch_->last_load_sec() - exposed);
         loader_exposed_ += exposed;
         loader_hidden_ += hidden;
+        step_exposed += exposed;
         if (prof != nullptr) {
           prof->add("loader_exposed", exposed);
           prof->add("loader_hidden", hidden);
@@ -186,6 +234,7 @@ double DistributedTrainer::train(std::int64_t iters, Profiler* prof) {
       local_loss.add(wloss / A);
     }
     ++iter_;
+    maybe_autotune(step_exposed, step_timer.elapsed_sec(), prof);
     // Re-balance check BEFORE any checkpoint at the same boundary, so a
     // snapshot taken here already records the migrated plan.
     if (options_.rebalance.enabled() &&
@@ -253,10 +302,9 @@ bool DistributedTrainer::rebalance_now(Profiler* prof) {
   loader_ = std::make_unique<DataLoader>(*data_, model_.global_batch(),
                                          comm_.rank(), comm_.size(),
                                          model_.plan(), options_.loader_mode);
-  prefetch_ = std::make_unique<PrefetchLoader>(
-      *loader_, PrefetchOptions{.enabled = options_.prefetch,
-                                .depth = options_.prefetch_depth,
-                                .workers = options_.prefetch_workers});
+  // The rebuilt pipeline keeps the autotuned shape (if any), so a migration
+  // never resets the controller's progress.
+  prefetch_ = std::make_unique<PrefetchLoader>(*loader_, pipeline_options());
   prefetch_->seek(iter_ * options_.grad_accum);
   prefetch_->prefill();
   // The lazily-built eval stream (if any) references the old plan; drop it

@@ -71,6 +71,14 @@ struct DistributedTrainerOptions {
   /// losses are bit-identical for any value. Applies to both the training
   /// and the dedicated eval pipeline.
   int prefetch_workers = 1;
+  /// Elastic pipeline shape (see src/data/autotune.hpp): when enabled (and
+  /// prefetch is on), a PipelineController watches the measured
+  /// exposed-stall fraction and resizes workers/depth at window boundaries,
+  /// starting from (prefetch_workers, prefetch_depth). The window sums are
+  /// allreduced first, so the decision is SPMD-identical on every rank; the
+  /// dedicated eval stream and rebalance-rebuilt pipelines pick up the
+  /// tuned shape. Loss sequences stay bit-identical to a static shape.
+  AutotuneOptions autotune{};
   /// true = evaluate() runs on its own loader/prefetch stream (own cursor,
   /// own depth), so eval passes never reseek or flush the training
   /// pipeline. false = the PR 2 behaviour: eval batches stream through the
@@ -257,9 +265,20 @@ class DistributedTrainer {
   };
   const RebalanceStats& rebalance_stats() const { return rebalance_stats_; }
 
+  /// The elastic-pipeline controller (inert unless options.autotune.enabled
+  /// and prefetch is on): resize count, windows, stall trace, final shape.
+  const PipelineController& pipeline_controller() const { return tuner_; }
+
  private:
   double allreduce_mean(double local);
   void maybe_rebalance(Profiler* prof);
+  /// Feeds the controller one step's observation; at window boundaries
+  /// allreduces the window sums (SPMD — every rank hits the same boundary)
+  /// and, on a resize decision, rebuilds the pipeline at the new shape.
+  void maybe_autotune(double exposed_sec, double wall_sec, Profiler* prof);
+  /// The pipeline shape rebuilds should use: the controller's current
+  /// (workers, depth) when autotuning, the static options otherwise.
+  PrefetchOptions pipeline_options() const;
   /// Snapshot through the configured mode; accumulates the exposed stall
   /// into checkpoint_stall_sec() and the "ckpt_stall_us" profiler counter.
   void save_now(Profiler* prof);
@@ -279,6 +298,7 @@ class DistributedTrainer {
   std::unique_ptr<PrefetchLoader> eval_prefetch_;
   std::int64_t iter_ = 0;
   double loader_exposed_ = 0.0, loader_hidden_ = 0.0;
+  PipelineController tuner_;
   // Eval-range cache: deep copies of the held-out range's batches keyed by
   // (first, n). Dropped on reshard — the cached bags are shard-local to the
   // old plan.

@@ -63,27 +63,56 @@ void Trainer::init_pipeline() {
                                          /*ranks=*/1,
                                          std::vector<std::int64_t>{},
                                          LoaderMode::kLocalSlice);
-  const PrefetchOptions popts{.enabled = true,
-                              .depth = options_.prefetch_depth,
-                              .workers = options_.prefetch_workers};
-  auto workers =
+  tuner_ = PipelineController(options_.autotune, options_.prefetch_workers,
+                              options_.prefetch_depth);
+  rebuild_pipeline(options_.prefetch_workers, options_.prefetch_depth);
+}
+
+void Trainer::rebuild_pipeline(int workers, int depth) {
+  // Join any existing worker threads before their loader clones go away.
+  pipeline_.reset();
+  worker_loaders_.clear();
+  const PrefetchOptions popts{
+      .enabled = true, .depth = depth, .workers = workers};
+  auto wl =
       make_worker_loaders<MiniBatch>(*loader_, popts, &DataLoader::next_full);
+  // The clones must outlive the pipeline threads; keep them alongside.
+  worker_loaders_ = std::move(wl.clones);
   DataLoader* sync = loader_.get();
   pipeline_ = std::make_unique<PrefetchPipeline<MiniBatch>>(
       [sync](std::int64_t iter, MiniBatch& out) { sync->next_full(iter, out); },
-      std::move(workers.fns), popts);
-  // The clones must outlive the pipeline threads; keep them alongside.
-  worker_loaders_ = std::move(workers.clones);
+      std::move(wl.fns), popts);
+}
+
+void Trainer::maybe_autotune(double exposed_sec, double wall_sec,
+                             Profiler* prof) {
+  if (!tuner_.enabled() || pipeline_ == nullptr) return;
+  tuner_.observe(exposed_sec, wall_sec);
+  if (!tuner_.window_complete()) return;
+  const PipelineDecision d = tuner_.decide(
+      tuner_.window_exposed_sec(), tuner_.window_wall_sec(), iter_);
+  if (prof != nullptr) prof->add("pipeline_stall_frac", d.stall_frac);
+  if (!d.resize) return;
+  // Same drain -> rebuild -> seek()+prefill() mechanics as reshard and warm
+  // restore: the reassembly contract makes the batch stream independent of
+  // the pipeline shape, so this resize is invisible to the loss sequence.
+  rebuild_pipeline(d.workers, d.depth);
+  pipeline_->seek(iter_ * options_.grad_accum);
+  pipeline_->prefill();
+  if (prof != nullptr) prof->add("pipeline_resize_count", 1.0);
 }
 
 double Trainer::train(std::int64_t iters, Profiler* prof) {
   Meter loss;
   const int A = options_.grad_accum;
   for (std::int64_t i = 0; i < iters; ++i) {
+    const Timer step_timer;
+    double step_exposed = 0.0;
     if (A == 1) {
       if (pipeline_ != nullptr) {
-        loss.add(model_.train_step(pipeline_->next(iter_), options_.lr, opt_,
-                                   prof));
+        const MiniBatch& mb = pipeline_->next(iter_);
+        step_exposed += pipeline_->last_wait_sec();
+        loss.add(model_.train_step(mb, options_.lr, opt_, prof));
       } else {
         data_.fill(iter_ * micro_batch_, micro_batch_, scratch_);
         loss.add(model_.train_step(scratch_, options_.lr, opt_, prof));
@@ -96,8 +125,9 @@ double Trainer::train(std::int64_t iters, Profiler* prof) {
       for (int a = 0; a < A; ++a) {
         const std::int64_t micro = iter_ * A + a;
         if (pipeline_ != nullptr) {
-          wloss += model_.micro_step(pipeline_->next(micro), options_.lr,
-                                     scale, prof);
+          const MiniBatch& mb = pipeline_->next(micro);
+          step_exposed += pipeline_->last_wait_sec();
+          wloss += model_.micro_step(mb, options_.lr, scale, prof);
         } else {
           data_.fill(micro * micro_batch_, micro_batch_, scratch_);
           wloss += model_.micro_step(scratch_, options_.lr, scale, prof);
@@ -111,6 +141,7 @@ double Trainer::train(std::int64_t iters, Profiler* prof) {
       loss.add(wloss / A);
     }
     ++iter_;
+    maybe_autotune(step_exposed, step_timer.elapsed_sec(), prof);
     if (ckpt_opts_.save_every > 0 && iter_ % ckpt_opts_.save_every == 0) {
       save_now(prof);
     }

@@ -10,6 +10,7 @@
 
 #include "common/log.hpp"
 #include "core/model.hpp"
+#include "data/autotune.hpp"
 #include "data/dataset.hpp"
 #include "data/prefetch.hpp"
 #include "optim/accum.hpp"
@@ -62,6 +63,13 @@ struct TrainerOptions {
   bool prefetch = false;
   int prefetch_depth = 2;
   int prefetch_workers = 1;
+  /// Elastic pipeline shape: when autotune.enabled (and prefetch is on),
+  /// a PipelineController samples the pipeline's exposed-stall fraction
+  /// each step and resizes workers/depth at window boundaries, starting
+  /// from (prefetch_workers, prefetch_depth). Resizes rebuild the pipeline
+  /// and seek()+prefill() at the current cursor, so the batch stream — and
+  /// therefore the loss sequence — is bit-identical to a static shape.
+  AutotuneOptions autotune{};
 };
 
 /// One point of the Fig. 16 curve: AUC measured after a fraction of the
@@ -203,8 +211,18 @@ class Trainer {
     return pipeline_.get();
   }
 
+  /// The elastic-pipeline controller (inert unless options.autotune.enabled
+  /// and prefetch is on): resize count, windows, stall trace, final shape.
+  const PipelineController& pipeline_controller() const { return tuner_; }
+
  private:
   void init_pipeline();
+  /// (Re)builds the pipeline at the given shape over the existing template
+  /// loader — the autotune resize path and the initial build share this.
+  void rebuild_pipeline(int workers, int depth);
+  /// Feeds the controller one step's observation; at window boundaries
+  /// decides and, on a resize, rebuilds + seeks + prefills at the cursor.
+  void maybe_autotune(double exposed_sec, double wall_sec, Profiler* prof);
   /// Snapshot through the configured mode; accumulates the exposed stall
   /// into checkpoint_stall_sec() and the "ckpt_stall_us" profiler counter.
   void save_now(Profiler* prof);
@@ -223,6 +241,7 @@ class Trainer {
   // threads are joined (pipeline destroyed) before their loaders go away.
   std::vector<std::unique_ptr<DataLoader>> worker_loaders_;
   std::unique_ptr<PrefetchPipeline<MiniBatch>> pipeline_;
+  PipelineController tuner_;
   std::string ckpt_dir_;
   CheckpointOptions ckpt_opts_;
   std::unique_ptr<ckpt::AsyncCheckpointWriter> async_;

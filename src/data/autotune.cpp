@@ -1,0 +1,102 @@
+#include "data/autotune.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dlrm {
+
+PipelineController::PipelineController(AutotuneOptions options, int workers,
+                                       int depth)
+    : options_(options), workers_(workers), depth_(depth) {
+  DLRM_CHECK(workers >= 1, "autotune: initial workers must be >= 1");
+  DLRM_CHECK(depth >= 1, "autotune: initial depth must be >= 1");
+  if (!options_.enabled) return;
+  DLRM_CHECK(options_.window >= 1, "autotune: window must be >= 1");
+  DLRM_CHECK(options_.min_workers >= 1 &&
+                 options_.max_workers >= options_.min_workers,
+             "autotune: worker bounds must satisfy 1 <= min <= max");
+  DLRM_CHECK(options_.min_depth >= 1 &&
+                 options_.max_depth >= options_.min_depth,
+             "autotune: depth bounds must satisfy 1 <= min <= max");
+  DLRM_CHECK(workers >= options_.min_workers &&
+                 workers <= options_.max_workers,
+             "autotune: initial workers outside [min_workers, max_workers]");
+  DLRM_CHECK(depth >= options_.min_depth && depth <= options_.max_depth,
+             "autotune: initial depth outside [min_depth, max_depth]");
+  DLRM_CHECK(options_.hold_windows >= 0, "autotune: hold_windows must be >= 0");
+  DLRM_CHECK(options_.shrink_streak >= 1,
+             "autotune: shrink_streak must be >= 1");
+}
+
+void PipelineController::observe(double exposed_sec, double wall_sec) {
+  if (!options_.enabled) return;
+  window_exposed_ += exposed_sec;
+  window_wall_ += wall_sec;
+  ++window_steps_;
+}
+
+PipelineDecision PipelineController::decide(double exposed_sum,
+                                            double wall_sum,
+                                            std::int64_t step) {
+  PipelineDecision d;
+  d.workers = workers_;
+  d.depth = depth_;
+  if (!options_.enabled) return d;
+
+  const double frac = wall_sum > 0.0 ? exposed_sum / wall_sum : 0.0;
+  d.stall_frac = frac;
+  last_stall_frac_ = frac;
+  ++windows_;
+  trace_.push_back(AutotuneSample{step, frac, workers_, depth_, false});
+
+  // Reset the window before any early return so the next one starts clean.
+  window_exposed_ = 0.0;
+  window_wall_ = 0.0;
+  window_steps_ = 0;
+
+  if (hold_ > 0) {
+    --hold_;
+    return d;
+  }
+
+  if (frac > options_.stall_target) {
+    // Input-bound: add parallelism first (more workers hide longer
+    // loads), then buffer depth (a deeper ring rides out jitter).
+    low_streak_ = 0;
+    if (workers_ < options_.max_workers) {
+      workers_ = std::min(workers_ * 2, options_.max_workers);
+      d.resize = true;
+    } else if (depth_ < options_.max_depth) {
+      depth_ = std::min(depth_ * 2, options_.max_depth);
+      d.resize = true;
+    }
+  } else if (frac < options_.stall_target * options_.shrink_margin) {
+    // Comfortably under target: shrink in reverse order, but only after a
+    // streak of low windows so one quiet window doesn't flap the shape.
+    ++low_streak_;
+    if (low_streak_ >= options_.shrink_streak) {
+      low_streak_ = 0;
+      if (depth_ > options_.min_depth) {
+        depth_ = std::max(depth_ / 2, options_.min_depth);
+        d.resize = true;
+      } else if (workers_ > options_.min_workers) {
+        workers_ = std::max(workers_ / 2, options_.min_workers);
+        d.resize = true;
+      }
+    }
+  } else {
+    low_streak_ = 0;
+  }
+
+  if (d.resize) {
+    ++resizes_;
+    hold_ = options_.hold_windows;
+    d.workers = workers_;
+    d.depth = depth_;
+    trace_.back().resized = true;
+  }
+  return d;
+}
+
+}  // namespace dlrm

@@ -1,0 +1,131 @@
+// Runtime feedback controller over the prefetch pipeline's shape.
+//
+// InTune (Nagrecha et al., PAPERS.md) shows recommender training is
+// routinely input-bound and that a controller over the *measured* loader
+// cost recovers the loss; the cross-stack characterization (Hsia et al.)
+// shows the input-vs-compute balance shifts with model and batch
+// configuration, so no static --prefetch-workers/--prefetch-depth setting
+// is right everywhere. PipelineController closes the loop over the
+// accounting PrefetchPipeline already keeps: each step the trainer feeds
+// it the exposed wait and the step wall time; at window boundaries the
+// controller compares the window's exposed-stall fraction against a
+// target and grows (workers first, then ring depth) or shrinks (reverse
+// order, with hysteresis) the pipeline shape within configured bounds.
+//
+// The controller only *decides*; the owning trainer performs the resize
+// with the same drain -> rebuild -> seek()+prefill() mechanics reshard and
+// warm restore use. The pipeline's reassembly contract (batch i owned by
+// worker i mod W; the stream is bit-identical for any W and depth) makes
+// every resize loss-neutral by construction.
+//
+// Determinism: decide() is a pure function of the fed sums and the
+// controller's own counters — no clocks, no RNG. DistributedTrainer
+// allreduces the window's [exposed, wall] sums first, so every rank feeds
+// identical values and the SPMD decision is identical everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dlrm {
+
+struct AutotuneOptions {
+  /// false = the controller is inert (static pipeline shape).
+  bool enabled = false;
+  /// Exposed-stall fraction the controller steers the window mean below:
+  /// sum(exposed wait) / sum(step wall) over one window.
+  double stall_target = 0.05;
+  /// Steps per decision window (resizes only happen at window boundaries,
+  /// which are step-counted and therefore SPMD-identical across ranks).
+  std::int64_t window = 8;
+  /// Bounds the controller moves within. Growth doubles workers up to
+  /// max_workers, then doubles the ring depth up to max_depth; shrinking
+  /// reverses that order down to the floors.
+  int min_workers = 1;
+  int max_workers = 8;
+  int min_depth = 1;
+  int max_depth = 8;
+  /// Shrink hysteresis: only shrink after `shrink_streak` consecutive
+  /// windows measured below stall_target * shrink_margin (a dead band
+  /// between grow and shrink thresholds prevents flapping).
+  double shrink_margin = 0.25;
+  std::int64_t shrink_streak = 2;
+  /// Windows to hold still after a resize, letting the rebuilt (and
+  /// prefilled) pipeline settle before the next measurement counts.
+  std::int64_t hold_windows = 1;
+};
+
+/// What the trainer should do at a window boundary.
+struct PipelineDecision {
+  bool resize = false;  // true: rebuild the pipeline at (workers, depth)
+  int workers = 0;      // target shape (current shape when !resize)
+  int depth = 0;
+  double stall_frac = 0.0;  // the window's measured exposed-stall fraction
+};
+
+/// One convergence-trace entry per decision window: the shape the window
+/// ran at, its measured stall fraction, and whether it triggered a resize.
+struct AutotuneSample {
+  std::int64_t step = 0;
+  double stall_frac = 0.0;
+  int workers = 0;
+  int depth = 0;
+  bool resized = false;
+};
+
+class PipelineController {
+ public:
+  /// Disabled controller (default-constructed trainers before wiring).
+  PipelineController() = default;
+  /// Starts at the trainer's configured (workers, depth); when enabled the
+  /// initial shape must already lie within the configured bounds.
+  PipelineController(AutotuneOptions options, int workers, int depth);
+
+  bool enabled() const { return options_.enabled; }
+
+  /// Per-step observation: seconds the step spent blocked on the pipeline
+  /// (exposed) and the step's wall time. Call once per optimizer step.
+  void observe(double exposed_sec, double wall_sec);
+
+  /// True once `window` observations accumulated — time to decide().
+  bool window_complete() const { return window_steps_ >= options_.window; }
+
+  /// The pending window's local sums (what a distributed trainer
+  /// allreduces before feeding decide()).
+  double window_exposed_sec() const { return window_exposed_; }
+  double window_wall_sec() const { return window_wall_; }
+
+  /// Closes the window: computes the stall fraction from the (possibly
+  /// allreduced) sums, updates the target shape, records the convergence
+  /// trace, and resets the window. `step` only labels the trace entry.
+  PipelineDecision decide(double exposed_sum, double wall_sum,
+                          std::int64_t step);
+
+  /// The shape the controller currently wants the pipeline at.
+  int workers() const { return workers_; }
+  int depth() const { return depth_; }
+
+  std::int64_t resizes() const { return resizes_; }
+  std::int64_t windows() const { return windows_; }
+  double last_stall_frac() const { return last_stall_frac_; }
+  const AutotuneOptions& options() const { return options_; }
+  /// One entry per closed window — the convergence trace bench_fig13 and
+  /// the end-of-run summary read.
+  const std::vector<AutotuneSample>& trace() const { return trace_; }
+
+ private:
+  AutotuneOptions options_{};
+  int workers_ = 1;
+  int depth_ = 1;
+  double window_exposed_ = 0.0;
+  double window_wall_ = 0.0;
+  std::int64_t window_steps_ = 0;
+  std::int64_t hold_ = 0;          // windows left before resizing again
+  std::int64_t low_streak_ = 0;    // consecutive windows in the shrink band
+  std::int64_t resizes_ = 0;
+  std::int64_t windows_ = 0;
+  double last_stall_frac_ = 0.0;
+  std::vector<AutotuneSample> trace_;
+};
+
+}  // namespace dlrm

@@ -170,14 +170,28 @@ class PrefetchPipeline {
 
   /// Seconds the last next() spent blocked waiting on the workers — the
   /// loader cost still *exposed* to the training step.
-  double last_wait_sec() const { return last_wait_sec_; }
+  double last_wait_sec() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_wait_sec_;
+  }
   /// Seconds a worker spent materializing the last returned batch (its
   /// full load cost, whether hidden or exposed).
-  double last_load_sec() const { return last_load_sec_; }
+  double last_load_sec() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_load_sec_;
+  }
 
-  /// Cumulative accounting across all next() calls.
-  double total_wait_sec() const { return total_wait_sec_; }
-  double total_load_sec() const { return total_load_sec_; }
+  /// Cumulative accounting across all next() calls. Guarded by mu_ like
+  /// the writes in next(), so samplers (e.g. PipelineController, a
+  /// monitoring thread) never race the consumer's accounting update.
+  double total_wait_sec() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_wait_sec_;
+  }
+  double total_load_sec() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_load_sec_;
+  }
 
   /// Batches fully materialized by the workers so far (includes batches
   /// prefetched ahead and batches discarded by a reseek).
@@ -300,6 +314,9 @@ class PrefetchPipeline {
   const Batch& sync_next(std::int64_t iter) {
     const Timer t;
     sync_load_(iter, sync_batch_);
+    // No worker threads exist in disabled mode, but the accounting still
+    // goes under mu_ so the (lock-guarded) accessors stay uniform.
+    std::lock_guard<std::mutex> lock(mu_);
     last_load_sec_ = t.elapsed_sec();
     last_wait_sec_ = last_load_sec_;  // fully exposed: nothing is hidden
     total_wait_sec_ += last_wait_sec_;
@@ -329,7 +346,8 @@ class PrefetchPipeline {
   std::int64_t loaded_ = 0;
   std::vector<std::thread> threads_;
 
-  // Consumer-side accounting (consumer thread only).
+  // Wait/load accounting (written by the consumer under mu_; accessors
+  // lock mu_ too so external samplers never read a torn update).
   std::int64_t reseeks_ = 0;
   double last_wait_sec_ = 0.0, last_load_sec_ = 0.0;
   double total_wait_sec_ = 0.0, total_load_sec_ = 0.0;

@@ -17,10 +17,13 @@ double exp_gap(Rng& rng, double qps) {
   return -std::log(1.0 - rng.next_double()) / qps;
 }
 
-/// Class draw AFTER the key draw, and only when the mix is active, so an
-/// all-interactive trace consumes exactly the pre-class-mix RNG sequence.
+/// Class draw AFTER the key draw, and only when the mix is actually mixed,
+/// so BOTH single-class traces (all-interactive AND all-batch) consume
+/// exactly the pre-class-mix RNG sequence — keys, fanouts and arrival
+/// times stay byte-identical to a class-free trace at either extreme.
 SloClass draw_class(Rng& rng, double interactive_frac) {
   if (interactive_frac >= 1.0) return SloClass::kInteractive;
+  if (interactive_frac <= 0.0) return SloClass::kBatch;
   return rng.next_double() < interactive_frac ? SloClass::kInteractive
                                               : SloClass::kBatch;
 }

@@ -26,8 +26,9 @@ struct LoadGenOptions {
   /// full queue (backpressure).
   bool drop_when_full = false;
   /// Class mix: fraction of interactive traffic (the rest is batch class).
-  /// 1.0 (all interactive) draws no extra randomness, so single-class
-  /// traces are byte-identical to pre-class-mix ones.
+  /// Both extremes — 1.0 (all interactive) and 0.0 (all batch) — draw no
+  /// extra randomness, so either single-class trace is byte-identical to a
+  /// pre-class-mix one (same keys, fanouts and arrival times).
   double interactive_frac = 1.0;
 };
 

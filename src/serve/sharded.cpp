@@ -369,9 +369,27 @@ void ShardedInferenceEngine::process_batch(ThreadComm& comm,
     rs.payload[static_cast<std::size_t>(2 * i)] = r.key;
     rs.payload[static_cast<std::size_t>(2 * i + 1)] = r.fanout;
   }
-  rs.header.assign({std::int64_t{1}, nreq});
+  // pow2 bucketing (same rule as InferenceEngine::execute_batch): pad the
+  // batch to the next power-of-two sample count with synthetic
+  // single-sample requests replicating sample 0, appended BEFORE the
+  // broadcast so every rank materializes identically padded bags without
+  // any protocol change. Pad rows ride the whole lookup/gather/merge/dense
+  // pipeline and are discarded: the response loop below only reads the
+  // real rows, which sit at unchanged offsets ahead of the pads.
+  std::int64_t exec = total;
+  if (options_.bucket_batches) {
+    exec = 1;
+    while (exec < total) exec *= 2;
+  }
+  for (std::int64_t m = total; m < exec; ++m) {
+    rs.reqs.push_back({reqs[0].key, 1});
+    rs.payload.push_back(reqs[0].key);
+    rs.payload.push_back(1);
+  }
+  const auto nsend = static_cast<std::int64_t>(rs.reqs.size());
+  rs.header.assign({std::int64_t{1}, nsend});
   comm.broadcast_i64(rs.header.data(), 2, /*root=*/0);
-  comm.broadcast_i64(rs.payload.data(), 2 * nreq, /*root=*/0);
+  comm.broadcast_i64(rs.payload.data(), 2 * nsend, /*root=*/0);
 
   const ShardingPlan& plan = active_->plan();
   const DlrmConfig& config = active_->config();
@@ -388,7 +406,7 @@ void ShardedInferenceEngine::process_batch(ThreadComm& comm,
   for (std::int64_t s = 0; s < plan.num_shards(); ++s) {
     const Shard& sh = plan.shard(s);
     if (is_full_shard(sh, config)) {
-      shard_floats_[static_cast<std::size_t>(s)] = total * e;
+      shard_floats_[static_cast<std::size_t>(s)] = exec * e;
       continue;
     }
     const auto t = static_cast<std::size_t>(sh.table);
@@ -426,15 +444,20 @@ void ShardedInferenceEngine::process_batch(ThreadComm& comm,
   comm.gatherv(rs.send.data(), static_cast<std::int64_t>(rs.send.size()),
                recv_.data(), counts_.data(), displs_.data(), /*root=*/0);
 
-  // Assemble the dense slab.
+  // Assemble the dense slab (pad rows replicate sample 0, exactly the
+  // dense side of the synthetic pad requests broadcast above).
   const std::int64_t d = data_.dense_dim();
-  dense_.reshape({total, d});
+  dense_.reshape({exec, d});
   std::int64_t row = 0;
   for (const Request& r : reqs) {
     data_.fill(r.key, r.fanout, rscratch_);
     std::memcpy(dense_.data() + row * d, rscratch_.dense.data(),
                 static_cast<std::size_t>(r.fanout * d) * sizeof(float));
     row += r.fanout;
+  }
+  for (std::int64_t m = total; m < exec; ++m) {
+    std::memcpy(dense_.data() + m * d, dense_.data(),
+                static_cast<std::size_t>(d) * sizeof(float));
   }
 
   // Per-table features: whole-table shards point straight into recv_;
@@ -452,9 +475,9 @@ void ShardedInferenceEngine::process_batch(ThreadComm& comm,
       continue;
     }
     Tensor<float>& m = merged_[t];
-    m.reshape({total, e});
+    m.reshape({exec, e});
     const BagBatch& bags = table_bags_[t];
-    for (std::int64_t n = 0; n < total; ++n) {
+    for (std::int64_t n = 0; n < exec; ++n) {
       float* dst = m.data() + n * e;
       std::fill(dst, dst + e, 0.0f);
       for (std::int64_t j = bags.offsets[n]; j < bags.offsets[n + 1]; ++j) {
@@ -476,10 +499,15 @@ void ShardedInferenceEngine::process_batch(ThreadComm& comm,
     }
     feat_ptrs_[t] = m.data();
   }
-  if (prof_ != nullptr) prof_->add("serve_assemble", now_sec() - t0);
+  if (prof_ != nullptr) {
+    prof_->add("serve_assemble", now_sec() - t0);
+    if (exec > total) {
+      prof_->add("serve_padded", static_cast<double>(exec - total));
+    }
+  }
 
   const double fwd0 = now_sec();
-  const Tensor<float>& logits = active_->forward_dense(dense_, feat_ptrs_, total);
+  const Tensor<float>& logits = active_->forward_dense(dense_, feat_ptrs_, exec);
   if (prof_ != nullptr) prof_->add("serve_forward", now_sec() - fwd0);
 
   const double done = now_sec();

@@ -106,8 +106,14 @@ struct ShardedEngineOptions {
   double slo_ms = 5.0;
   /// p99-driven batch-class shedding; disabled unless p99_target_ms > 0.
   AdmissionOptions admission;
-  // Note: no bucket_batches — pow2 padding is a single-process-engine
-  // optimization and is not supported on the sharded path.
+  /// Pad every micro-batch to the next power-of-two sample count with
+  /// synthetic single-sample requests replicating sample 0, appended on
+  /// rank 0 BEFORE the payload broadcast — so every rank builds identically
+  /// padded bags and the gather/merge/dense pipeline runs at pow2 shapes
+  /// (cache-friendly GEMM tiles, same rule as EngineOptions.bucket_batches).
+  /// Pad rows are scored and discarded; real scores are bitwise identical
+  /// to the single-process pow2 engine. Counted via "serve_padded".
+  bool bucket_batches = false;
 };
 
 /// R-rank model-parallel inference engine. The public surface mirrors

@@ -155,6 +155,65 @@ INSTANTIATE_TEST_SUITE_P(
              std::string(to_string(std::get<2>(tpi.param)));
     });
 
+// Pow2 bucketing on the sharded path: with bucket_batches set on BOTH
+// engines, the sharded tier pads each micro-batch to the next power-of-two
+// before the broadcast (every rank sees the padded request list), and the
+// real scores stay bitwise identical to the single-process pow2 engine.
+// Regression for the bug where ShardedEngineOptions silently ignored
+// bucketing altogether.
+TEST(ShardedServing, Pow2BucketingMatchesSingleProcessBitExact) {
+  for (const Precision mlp : {Precision::kFp32, Precision::kBf16}) {
+    for (const int ranks : {2, 4}) {
+      for (const bool row_split : {false, true}) {
+        const DlrmConfig c = serve_config(mlp);
+        const ModelOptions mopts = model_options(mlp);
+        const RandomDataset data = serve_data(c);
+        const ShardingPlan plan = make_plan(c, ranks, row_split);
+
+        DlrmModel model(c, mopts, /*seed=*/21);
+        Trainer trainer(model, data, {.lr = 0.05f, .batch = 32});
+        trainer.train(4);
+
+        ModelSnapshot ref_snap(c, mopts);
+        ref_snap.publish_from(model, trainer.iterations_done());
+        ShardedSnapshot sharded_snap(c, mopts, plan);
+        sharded_snap.publish_from(model, trainer.iterations_done());
+
+        // 60 requests x fanout 3 at max_batch 8: micro-batches of up to 24
+        // samples, never a power of two unless padded.
+        const std::vector<Request> trace = fixed_trace();
+        Profiler ref_prof;
+        InferenceEngine ref(ref_snap, data,
+                            {.policy = {.max_batch = 8, .max_wait_us = 0},
+                             .bucket_batches = true},
+                            &ref_prof);
+        const std::vector<Response> want = ref.run_trace(trace);
+
+        ShardedEngineOptions sopts;
+        sopts.policy = {.max_batch = 8, .max_wait_us = 0};
+        sopts.bucket_batches = true;
+        Profiler prof;
+        ShardedInferenceEngine engine(sharded_snap, data, sopts, &prof);
+        const std::vector<Response> got = engine.run_trace(trace);
+
+        // Padding actually happened on both engines — and identically.
+        EXPECT_GT(prof.total_sec("serve_padded"), 0.0);
+        EXPECT_EQ(prof.total_sec("serve_padded"),
+                  ref_prof.total_sec("serve_padded"));
+
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].id, want[i].id) << "request " << i;
+          EXPECT_EQ(got[i].batch, want[i].batch) << "request " << i;
+          EXPECT_EQ(got[i].score0, want[i].score0)
+              << "R" << ranks << (row_split ? " row_split " : " round_robin ")
+              << to_string(mlp) << " request " << i;
+        }
+      }
+    }
+  }
+}
+
 // Checkpoint publication: a sharded snapshot restored from a checkpoint
 // directory serves bit-identically to a single-process snapshot restored
 // from the same checkpoint (cross-geometry resharding included).
@@ -457,6 +516,35 @@ TEST(ShardedServing, ClassMixTraceStampsClasses) {
   }
   EXPECT_GT(batch_count, 40);
   EXPECT_LT(batch_count, 160);
+}
+
+// Regression: the all-batch extreme (interactive_frac == 0) must skip the
+// class draw exactly like the all-interactive one does, so BOTH
+// single-class traces are byte-identical to each other (and therefore to a
+// pre-class-mix trace) — same keys, fanouts and arrival stamps, only the
+// stamped class differs. Previously only frac >= 1 skipped the draw, so an
+// all-batch trace silently consumed extra RNG and shifted every key.
+TEST(ShardedServing, AllBatchTraceByteIdenticalToAllInteractive) {
+  LoadGenOptions lopts;
+  lopts.qps = 1e6;
+  lopts.requests = 200;
+  lopts.fanout = 2;
+  lopts.key_space = 1024;
+  lopts.seed = 9;
+  lopts.interactive_frac = 1.0;
+  const std::vector<Request> interactive = serve::make_trace(lopts);
+  lopts.interactive_frac = 0.0;
+  const std::vector<Request> batch = serve::make_trace(lopts);
+
+  ASSERT_EQ(batch.size(), interactive.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].slo, SloClass::kBatch) << "request " << i;
+    EXPECT_EQ(batch[i].id, interactive[i].id) << "request " << i;
+    EXPECT_EQ(batch[i].key, interactive[i].key) << "request " << i;
+    EXPECT_EQ(batch[i].fanout, interactive[i].fanout) << "request " << i;
+    EXPECT_EQ(batch[i].submit_sec, interactive[i].submit_sec)
+        << "request " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------
